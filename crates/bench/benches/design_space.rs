@@ -1,0 +1,38 @@
+//! Criterion benchmark of the parallel design-space sweep (§III-F: "design
+//! space exploration ... takes only tens of minutes over a single CPU
+//! server"; each point is independent and parallelizes over cores).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vtrain_core::search::{self, SearchLimits};
+use vtrain_core::Estimator;
+use vtrain_model::presets;
+use vtrain_parallel::{ClusterSpec, PipelineSchedule};
+
+fn bench_sweep(c: &mut Criterion) {
+    let estimator = Estimator::new(ClusterSpec::aws_p4d(256));
+    let model = presets::megatron("3.6B");
+    let limits =
+        SearchLimits { max_tensor: 8, max_data: 16, max_pipeline: 6, max_micro_batch: 2 };
+    let candidates = search::enumerate_candidates(
+        &model,
+        estimator.cluster(),
+        256,
+        PipelineSchedule::OneFOneB,
+        &limits,
+    );
+    let mut group = c.benchmark_group("design_space_sweep");
+    group.sample_size(10);
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| search::sweep(&estimator, &model, &candidates, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

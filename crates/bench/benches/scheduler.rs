@@ -1,0 +1,62 @@
+//! Criterion benchmark of the multi-tenant cluster discrete-event
+//! simulation (the substrate of Figs. 12–14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vtrain_cluster::{
+    generate_trace, simulate_cluster, CatalogEntry, ModelCatalog, ProfilePolicy,
+    SchedulerConfig, ThroughputProfile, TraceConfig,
+};
+use vtrain_model::TimeNs;
+
+fn synthetic_catalog() -> ModelCatalog {
+    let mut catalog = ModelCatalog::new();
+    for (name, base_iter) in [("small", 2.0f64), ("medium", 6.0), ("large", 15.0)] {
+        let rungs: Vec<(usize, TimeNs)> = (0..7)
+            .map(|i| {
+                let gpus = 8usize << i;
+                (gpus, TimeNs::from_secs_f64(base_iter / (1.6f64).powi(i)))
+            })
+            .collect();
+        let baseline = ThroughputProfile::new(rungs.clone());
+        let vtrain = ThroughputProfile::new(
+            rungs.iter().map(|&(g, t)| (g, t.scale(0.8))).collect(),
+        );
+        catalog.insert(CatalogEntry {
+            name: name.to_owned(),
+            global_batch: 1024,
+            baseline,
+            vtrain,
+        });
+    }
+    catalog
+}
+
+fn bench_cluster_sim(c: &mut Criterion) {
+    let catalog = synthetic_catalog();
+    let mut group = c.benchmark_group("cluster_simulation");
+    for jobs in [32usize, 128, 512] {
+        let trace = generate_trace(
+            &TraceConfig {
+                num_jobs: jobs,
+                seed: 7,
+                arrival_window: TimeNs::from_secs(100 * 3600),
+                deadline_lambda: Some((0.5, 1.5)),
+                iterations: (500, 4000),
+            },
+            &catalog,
+        );
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &trace, |b, trace| {
+            b.iter(|| {
+                simulate_cluster(
+                    trace,
+                    &catalog,
+                    &SchedulerConfig { total_gpus: 1024, policy: ProfilePolicy::VTrainOptimal },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_sim);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the simulator core: graph construction,
+//! profiling, lowering, and the Algorithm 1 replay — substantiating the
+//! paper's §III-F claim that a single simulation completes in seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vtrain_core::{simulate, Estimator, SimMode, TaskGraph};
+use vtrain_graph::{build_op_graph, GraphOptions};
+use vtrain_model::presets;
+use vtrain_parallel::{ClusterSpec, GpuSpec, ParallelConfig};
+use vtrain_profile::{CommModel, Profiler};
+
+fn plan(t: usize, d: usize, p: usize, m: usize, b: usize) -> ParallelConfig {
+    ParallelConfig::builder()
+        .tensor(t)
+        .data(d)
+        .pipeline(p)
+        .micro_batch(m)
+        .global_batch(b)
+        .build()
+        .unwrap()
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let model = presets::megatron("18.4B");
+    let mut group = c.benchmark_group("op_graph_build");
+    for (label, cfg) in
+        [("p8_mb32", plan(8, 2, 8, 1, 64)), ("p8_mb128", plan(8, 2, 8, 1, 256))]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| build_op_graph(&model, cfg, &GraphOptions::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let model = presets::megatron("18.4B");
+    let graph = build_op_graph(&model, &plan(8, 2, 8, 1, 64), &GraphOptions::default());
+    let sigs = graph.necessary_operators();
+    c.bench_function("profile_necessary_operators", |b| {
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        b.iter(|| profiler.profile(&sigs));
+    });
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let model = presets::megatron("18.4B");
+    let cluster = ClusterSpec::aws_p4d(512);
+    let cfg = plan(8, 4, 8, 1, 128);
+    let graph = build_op_graph(
+        &model,
+        &cfg,
+        &GraphOptions { gpus_per_node: 8, ..GraphOptions::default() },
+    );
+    let table = Profiler::new(cluster.gpu.clone()).profile(&graph.necessary_operators());
+    let comm = CommModel::new(&cluster, 1.0);
+    let tg = TaskGraph::lower(&graph, &table, &comm).unwrap();
+    c.bench_function("algorithm1_replay", |b| {
+        b.iter(|| simulate(&tg, SimMode::Predicted));
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // The §III-F headline: one full estimate (graph + profile + lower +
+    // replay) runs in single-digit seconds even for MT-NLG-scale inputs.
+    let estimator = Estimator::new(ClusterSpec::dgx_a100_80gb(2240));
+    let model = presets::mt_nlg_530b();
+    let cfg = plan(8, 8, 35, 1, 1920);
+    let mut group = c.benchmark_group("single_iteration_estimate");
+    group.sample_size(10);
+    group.bench_function("mtnlg_8_8_35", |b| {
+        b.iter(|| estimator.estimate(&model, &cfg).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_build, bench_profiler, bench_replay, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Ablations of the design choices DESIGN.md calls out: gradient bucketing
+//! (Fig. 5), pipeline schedule (Fig. 7), micro-batch size, and the
+//! bandwidth-effectiveness factor α — quantifying each mechanism's
+//! contribution to predicted iteration time.
+//!
+//! ```sh
+//! cargo run --release -p vtrain-bench --bin abl_design_choices
+//! ```
+
+use serde::Serialize;
+use vtrain_bench::report;
+use vtrain_core::Estimator;
+use vtrain_model::presets;
+use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule};
+
+#[derive(Serialize)]
+struct Abl {
+    study: &'static str,
+    variant: String,
+    iteration_s: f64,
+    delta_pct: f64,
+}
+
+fn main() {
+    let cluster = ClusterSpec::aws_p4d(256);
+    let estimator = Estimator::new(cluster.clone());
+    let model = presets::megatron("18.4B");
+    let mut rows: Vec<Abl> = Vec::new();
+
+    let time = |plan: &ParallelConfig, est: &Estimator| {
+        est.estimate(&model, plan).expect("ablation plans feasible").iteration_time.as_secs_f64()
+    };
+
+    // --- gradient bucketing (DP All-Reduce overlap, Fig. 5).
+    report::banner("Ablation: gradient bucketing (d = 16)");
+    let base_plan = |bucketing: bool, sched: PipelineSchedule, m: usize| {
+        ParallelConfig::builder()
+            .tensor(8)
+            .data(16)
+            .pipeline(2)
+            .micro_batch(m)
+            .global_batch(256)
+            .schedule(sched)
+            .gradient_bucketing(bucketing)
+            .build()
+            .unwrap()
+    };
+    let with = time(&base_plan(true, PipelineSchedule::OneFOneB, 1), &estimator);
+    let without = time(&base_plan(false, PipelineSchedule::OneFOneB, 1), &estimator);
+    println!("bucketed   {with:.3}s");
+    println!("unbucketed {without:.3}s  (+{:.1}%)", 100.0 * (without / with - 1.0));
+    rows.push(Abl { study: "bucketing", variant: "on".into(), iteration_s: with, delta_pct: 0.0 });
+    rows.push(Abl {
+        study: "bucketing",
+        variant: "off".into(),
+        iteration_s: without,
+        delta_pct: 100.0 * (without / with - 1.0),
+    });
+
+    // --- pipeline schedule (GPipe vs 1F1B have equal bubbles in the clean
+    // model; 1F1B's advantage is the memory bound it lifts).
+    report::banner("Ablation: pipeline schedule (p = 8)");
+    let pipe_plan = |sched: PipelineSchedule| {
+        ParallelConfig::builder()
+            .tensor(8)
+            .data(2)
+            .pipeline(8)
+            .micro_batch(1)
+            .global_batch(64)
+            .schedule(sched)
+            .build()
+            .unwrap()
+    };
+    for sched in [PipelineSchedule::GPipe, PipelineSchedule::OneFOneB] {
+        let plan = pipe_plan(sched);
+        let t = time(&plan, &estimator);
+        let in_flight = plan.max_in_flight_micro_batches();
+        println!("{sched:?}: {t:.3}s, peak in-flight micro-batches {in_flight}");
+        rows.push(Abl {
+            study: "schedule",
+            variant: format!("{sched:?}"),
+            iteration_s: t,
+            delta_pct: 0.0,
+        });
+    }
+
+    // --- micro-batch size (bubble vs per-kernel efficiency trade-off).
+    report::banner("Ablation: micro-batch size (p = 8, d = 2)");
+    let mut first = None;
+    for m in [1usize, 2, 4, 8] {
+        let plan = ParallelConfig::builder()
+            .tensor(8)
+            .data(2)
+            .pipeline(8)
+            .micro_batch(m)
+            .global_batch(128)
+            .build()
+            .unwrap();
+        if estimator.estimate(&model, &plan).is_err() {
+            continue;
+        }
+        let t = time(&plan, &estimator);
+        let base = *first.get_or_insert(t);
+        println!("m = {m}: {t:.3}s ({:+.1}%)", 100.0 * (t / base - 1.0));
+        rows.push(Abl {
+            study: "micro_batch",
+            variant: format!("m{m}"),
+            iteration_s: t,
+            delta_pct: 100.0 * (t / base - 1.0),
+        });
+    }
+
+    // --- α sensitivity of an inter-node-DP-heavy plan.
+    report::banner("Ablation: bandwidth-effectiveness factor α (exposed DP)");
+    let exposed = ParallelConfig::builder()
+        .tensor(8)
+        .data(32)
+        .pipeline(1)
+        .micro_batch(1)
+        .global_batch(256)
+        .gradient_bucketing(false)
+        .build()
+        .unwrap();
+    let mut base = None;
+    for alpha in [1.0, 0.8, 0.6, 0.4, 0.2] {
+        let est = Estimator::with_alpha(cluster.clone(), alpha);
+        let t = time(&exposed, &est);
+        let b = *base.get_or_insert(t);
+        println!("α = {alpha:.1}: {t:.3}s ({:+.1}%)", 100.0 * (t / b - 1.0));
+        rows.push(Abl {
+            study: "alpha",
+            variant: format!("{alpha:.1}"),
+            iteration_s: t,
+            delta_pct: 100.0 * (t / b - 1.0),
+        });
+    }
+
+    report::dump_json("abl_design_choices", &rows);
+}

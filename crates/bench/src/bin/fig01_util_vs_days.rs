@@ -1,0 +1,56 @@
+//! Figure 1: wall-clock training time of GPT-3 (175B) on 1,024 A100 GPUs as
+//! a function of GPU compute utilization, with AWS P4d cost.
+//!
+//! ```sh
+//! cargo run --release -p vtrain-bench --bin fig01_util_vs_days
+//! ```
+
+use serde::Serialize;
+use vtrain_bench::report;
+use vtrain_core::CostModel;
+use vtrain_model::presets;
+
+#[derive(Serialize)]
+struct Row {
+    utilization_pct: f64,
+    training_days: f64,
+    cost_million_usd: f64,
+}
+
+fn main() {
+    report::banner("Figure 1: GPT-3 175B training time vs GPU compute utilization");
+    let model = presets::gpt3_175b();
+    let gpus = 1024usize;
+    let tokens: u64 = 300_000_000_000;
+    let peak = 312e12;
+    let cost = CostModel::default();
+    // Total FLOPs: the Megatron hardware-FLOPs accounting at the training
+    // batch, scaled to the full token budget.
+    let batch = 1536usize;
+    let flops_per_iter = model.flops_per_iteration(batch, true).as_f64();
+    let iters = tokens as f64 / model.tokens_per_iteration(batch) as f64;
+    let total_flops = flops_per_iter * iters;
+
+    println!("total training FLOPs: {total_flops:.3e}");
+    println!("{:>12} {:>16} {:>12}", "util (%)", "days", "cost ($M)");
+    let mut rows = Vec::new();
+    let mut util = 30.0f64;
+    while util <= 70.0 + 1e-9 {
+        let seconds = total_flops / (gpus as f64 * peak * util / 100.0);
+        let days = seconds / 86_400.0;
+        let dollars = cost.dollars_per_hour(gpus) * seconds / 3600.0;
+        println!("{:>12.0} {:>16.2} {:>12.2}", util, days, dollars / 1e6);
+        rows.push(Row {
+            utilization_pct: util,
+            training_days: days,
+            cost_million_usd: dollars / 1e6,
+        });
+        util += 5.0;
+    }
+    // The paper's headline: dropping from 50% to 40% utilization adds ~8
+    // days and millions of dollars.
+    let d40 = rows.iter().find(|r| r.utilization_pct == 40.0).unwrap().training_days;
+    let d50 = rows.iter().find(|r| r.utilization_pct == 50.0).unwrap().training_days;
+    println!("\n50% -> 40% utilization costs {:.1} extra days", d40 - d50);
+    report::dump_json("fig01_util_vs_days", &rows);
+}

@@ -1,0 +1,168 @@
+//! Figure 9: validation of vTrain-predicted vs measured single-iteration
+//! training time — (a) single-node (paper: 1,440 points, MAPE 8.37%,
+//! R² 0.9896) and (b) multi-node (paper: 116 points, MAPE 14.73%,
+//! R² 0.9887). Also reproduces the §IV α-calibration sweep.
+//!
+//! ```sh
+//! cargo run --release -p vtrain-bench --bin fig09_validation
+//! ```
+
+use serde::Serialize;
+use vtrain_bench::{points, report, stats, threads};
+use vtrain_core::Estimator;
+use vtrain_gpu::{NoiseConfig, NoiseModel};
+use vtrain_model::ModelConfig;
+use vtrain_parallel::{ClusterSpec, ParallelConfig};
+
+#[derive(Serialize)]
+struct Scatter {
+    label: String,
+    predicted_s: f64,
+    measured_s: f64,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    points: usize,
+    mape_pct: f64,
+    r_squared: f64,
+    paper_mape_pct: f64,
+    paper_r_squared: f64,
+}
+
+fn run(
+    name: &str,
+    cluster: ClusterSpec,
+    pts: &[(ModelConfig, ParallelConfig)],
+    paper: (f64, f64),
+) -> Vec<(f64, f64)> {
+    let estimator = Estimator::new(cluster);
+    let noise = NoiseModel::new(NoiseConfig::default());
+    // Fan the points out across threads (each is independent).
+    let chunked: Vec<Vec<(usize, f64, f64)>> = std::thread::scope(|scope| {
+        let n = threads();
+        let mut handles = Vec::new();
+        for w in 0..n {
+            let estimator = &estimator;
+            let noise = &noise;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                for (i, (model, plan)) in pts.iter().enumerate() {
+                    if i % n != w {
+                        continue;
+                    }
+                    let (Ok(pred), Ok(meas)) = (
+                        estimator.estimate(model, plan),
+                        estimator.measure(model, plan, noise),
+                    ) else {
+                        continue;
+                    };
+                    out.push((
+                        i,
+                        pred.iteration_time.as_secs_f64(),
+                        meas.iteration_time.as_secs_f64(),
+                    ));
+                }
+                out
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("validation worker")).collect()
+    });
+    let mut indexed: Vec<(usize, f64, f64)> = chunked.into_iter().flatten().collect();
+    indexed.sort_by_key(|&(i, _, _)| i);
+    let pairs: Vec<(f64, f64)> = indexed.iter().map(|&(_, p, m)| (p, m)).collect();
+
+    let (mape, r2) = (stats::mape(&pairs), stats::r_squared(&pairs));
+    report::banner(&format!("Figure 9{name}"));
+    println!("points: {}", pairs.len());
+    println!("MAPE:   {mape:.2}%   (paper: {:.2}%)", paper.0);
+    println!("R²:     {r2:.4}  (paper: {:.4})", paper.1);
+
+    let scatter: Vec<Scatter> = indexed
+        .iter()
+        .map(|&(i, p, m)| Scatter {
+            label: format!("{} {}", pts[i].0.name(), pts[i].1),
+            predicted_s: p,
+            measured_s: m,
+        })
+        .collect();
+    report::dump_json(&format!("fig09{name}_scatter"), &scatter);
+    report::dump_json(
+        &format!("fig09{name}_summary"),
+        &Summary {
+            points: pairs.len(),
+            mape_pct: mape,
+            r_squared: r2,
+            paper_mape_pct: paper.0,
+            paper_r_squared: paper.1,
+        },
+    );
+    pairs
+}
+
+fn alpha_sweep() {
+    report::banner("§IV: bandwidth-effectiveness (α) calibration sweep");
+    // Calibrate α the way practitioners do (nccl-tests style): compare the
+    // Equation (1) analytical prediction against measured inter-node
+    // All-Reduce latencies across payload sizes and node counts, and pick
+    // the α minimizing the error.
+    use vtrain_gpu::comm::InterNodeModel;
+    use vtrain_model::{Bytes, TimeNs};
+    let cluster = ClusterSpec::aws_p4d(512);
+    let noise = NoiseModel::new(NoiseConfig::default());
+    let reference = InterNodeModel::new(cluster.internode_bandwidth, 1.0, cluster.internode_latency);
+
+    // "Measured" collectives: the emulated fat-tree delivers the full link
+    // rate, perturbed by launch jitter and straggler pacing.
+    let mut measured = Vec::new();
+    let mut id = 0u64;
+    for nodes in [2usize, 4, 8, 16, 32, 64] {
+        for mib in [1u64, 8, 64, 256, 1024] {
+            let clean = reference.all_reduce(Bytes::from_mib(mib), nodes);
+            let t = noise
+                .comm_time(id, clean, false, 1)
+                .scale(noise.sync_straggler_factor(nodes));
+            measured.push((nodes, mib, t));
+            id += 1;
+        }
+    }
+
+    println!("{:>6} {:>10}", "alpha", "MAPE (%)");
+    let mut best = (f64::MAX, 0.0);
+    for alpha10 in 1..=10 {
+        let alpha = alpha10 as f64 / 10.0;
+        let model =
+            InterNodeModel::new(cluster.internode_bandwidth, alpha, cluster.internode_latency);
+        let pairs: Vec<(f64, f64)> = measured
+            .iter()
+            .map(|&(nodes, mib, t)| {
+                let pred = model.all_reduce(Bytes::from_mib(mib), nodes);
+                (pred.as_secs_f64(), t.as_secs_f64())
+            })
+            .collect();
+        let mape = stats::mape(&pairs);
+        println!("{alpha:>6.1} {mape:>10.2}");
+        if mape < best.0 {
+            best = (mape, alpha);
+        }
+    }
+    println!("error minimized at α = {:.1} (paper: 1.0)", best.1);
+    let _ = TimeNs::ZERO;
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let single = args.iter().any(|a| a == "--single-node");
+    let multi = args.iter().any(|a| a == "--multi-node");
+    let all = !(single || multi);
+
+    if single || all {
+        let pts = points::single_node_points();
+        run("a_single_node", ClusterSpec::aws_p4d(8), &pts, (8.37, 0.9896));
+    }
+    if multi || all {
+        let pts = points::multi_node_points();
+        run("b_multi_node", ClusterSpec::aws_p4d(512), &pts, (14.73, 0.9887));
+        alpha_sweep();
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 12: deadline satisfactory ratio of ElasticFlow-baseline vs
+//! vTrain-informed scheduling over nine workload traces, at 64 and 128
+//! jobs (paper: vTrain improves the ratio 1.09×/1.23× on average).
+//!
+//! Also prints Table III (the job model configurations) for reference.
+//!
+//! ```sh
+//! cargo run --release -p vtrain-bench --bin fig12_deadlines
+//! ```
+
+use serde::Serialize;
+use vtrain_bench::sched::{table_iii_catalog, CLUSTER_GPUS};
+use vtrain_bench::report;
+use vtrain_cluster::{
+    generate_trace, simulate_cluster, ProfilePolicy, SchedulerConfig, TraceConfig,
+};
+use vtrain_model::{presets, TimeNs};
+
+#[derive(Serialize)]
+struct Row {
+    jobs: usize,
+    trace: u64,
+    elasticflow_ratio: f64,
+    vtrain_ratio: f64,
+}
+
+fn main() {
+    report::banner("Table III: job model configurations");
+    println!("{:<16} {:>8} {:>7} {:>7} {:>6} {:>6} {:>6}", "model", "params", "L", "h", "n", "s", "B");
+    for (model, batch) in presets::table_iii_models() {
+        println!(
+            "{:<16} {:>7.1}B {:>7} {:>7} {:>6} {:>6} {:>6}",
+            model.name(),
+            model.num_parameters_billion(),
+            model.num_layers(),
+            model.hidden_size(),
+            model.num_heads(),
+            model.seq_len(),
+            batch
+        );
+    }
+
+    let catalog = table_iii_catalog();
+    report::banner("Figure 12: deadline satisfactory ratio (9 traces)");
+    let mut rows = Vec::new();
+    for &jobs in &[64usize, 128] {
+        println!("\n--- {jobs} jobs ---");
+        println!("{:>6} {:>14} {:>12} {:>9}", "trace", "ElasticFlow", "vTrain", "gain");
+        let mut sums = (0.0, 0.0);
+        for trace_id in 1..=9u64 {
+            let trace = generate_trace(
+                &TraceConfig {
+                    num_jobs: jobs,
+                    seed: trace_id,
+                    arrival_window: TimeNs::from_secs(60 * 3600),
+                    deadline_lambda: Some((0.5, 1.5)),
+                    iterations: (800, 5000),
+                },
+                &catalog,
+            );
+            let base = simulate_cluster(
+                &trace,
+                &catalog,
+                &SchedulerConfig {
+                    total_gpus: CLUSTER_GPUS,
+                    policy: ProfilePolicy::DataParallelOnly,
+                },
+            );
+            let vt = simulate_cluster(
+                &trace,
+                &catalog,
+                &SchedulerConfig { total_gpus: CLUSTER_GPUS, policy: ProfilePolicy::VTrainOptimal },
+            );
+            let (b, v) = (base.deadline_satisfactory_ratio(), vt.deadline_satisfactory_ratio());
+            sums.0 += b;
+            sums.1 += v;
+            println!("{trace_id:>6} {b:>14.3} {v:>12.3} {:>8.2}x", v / b.max(1e-9));
+            rows.push(Row { jobs, trace: trace_id, elasticflow_ratio: b, vtrain_ratio: v });
+        }
+        println!(
+            "{:>6} {:>14.3} {:>12.3} {:>8.2}x   (paper avg: {})",
+            "avg",
+            sums.0 / 9.0,
+            sums.1 / 9.0,
+            (sums.1 / sums.0.max(1e-9)),
+            if jobs == 64 { "1.09x" } else { "1.23x" }
+        );
+    }
+    report::dump_json("fig12_deadlines", &rows);
+}

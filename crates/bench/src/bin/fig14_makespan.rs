@@ -1,0 +1,64 @@
+//! Figure 14: makespan of batches of simultaneously-submitted jobs
+//! (16–72 jobs, all arriving at t = 0), normalized to ElasticFlow
+//! (paper: vTrain shortens makespan by up to 23.03%, with the smallest
+//! gain at the lightest load).
+//!
+//! ```sh
+//! cargo run --release -p vtrain-bench --bin fig14_makespan
+//! ```
+
+use serde::Serialize;
+use vtrain_bench::sched::{table_iii_catalog, CLUSTER_GPUS};
+use vtrain_bench::report;
+use vtrain_cluster::{
+    generate_trace, simulate_cluster, ProfilePolicy, SchedulerConfig, TraceConfig,
+};
+use vtrain_model::TimeNs;
+
+#[derive(Serialize)]
+struct Row {
+    jobs: usize,
+    elasticflow_makespan_s: f64,
+    vtrain_makespan_s: f64,
+    normalized: f64,
+}
+
+fn main() {
+    let catalog = table_iii_catalog();
+    report::banner("Figure 14: makespan, simultaneous submission");
+    println!("{:>6} {:>16} {:>14} {:>12}", "jobs", "ElasticFlow (h)", "vTrain (h)", "normalized");
+    let mut rows = Vec::new();
+    for &jobs in &[16usize, 32, 48, 64, 72] {
+        let trace = generate_trace(
+            &TraceConfig {
+                num_jobs: jobs,
+                seed: 42,
+                arrival_window: TimeNs::ZERO,
+                deadline_lambda: None,
+                iterations: (500, 4000),
+            },
+            &catalog,
+        );
+        let base = simulate_cluster(
+            &trace,
+            &catalog,
+            &SchedulerConfig { total_gpus: CLUSTER_GPUS, policy: ProfilePolicy::DataParallelOnly },
+        );
+        let vt = simulate_cluster(
+            &trace,
+            &catalog,
+            &SchedulerConfig { total_gpus: CLUSTER_GPUS, policy: ProfilePolicy::VTrainOptimal },
+        );
+        let (b, v) = (base.makespan.as_secs_f64(), vt.makespan.as_secs_f64());
+        let norm = v / b;
+        println!("{jobs:>6} {:>16.2} {:>14.2} {norm:>12.3}", b / 3600.0, v / 3600.0);
+        rows.push(Row {
+            jobs,
+            elasticflow_makespan_s: b,
+            vtrain_makespan_s: v,
+            normalized: norm,
+        });
+    }
+    println!("(paper: gains grow with load, up to −23.03%)");
+    report::dump_json("fig14_makespan", &rows);
+}

@@ -1,0 +1,99 @@
+//! # vtrain-bench
+//!
+//! Shared infrastructure for the experiment binaries that regenerate every
+//! table and figure of the vTrain paper (see `DESIGN.md` §4 for the full
+//! experiment index) and for the Criterion benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod points;
+pub mod report;
+pub mod sched;
+pub mod stats;
+
+use vtrain_model::{presets, ModelConfig};
+use vtrain_parallel::ParallelConfig;
+
+/// The MT-NLG 530B case-study workload (§V-A): model, global batch
+/// (1,920 sequences × 2,048 tokens), and total training tokens (270 B).
+pub fn mtnlg_workload() -> (ModelConfig, usize, u64) {
+    (presets::mt_nlg_530b(), 1920, 270_000_000_000)
+}
+
+/// The six Table I plans: three published MT-NLG baselines and the three
+/// vTrain-uncovered alternatives, as `(label, plan)` pairs.
+pub fn table_i_plans() -> Vec<(&'static str, ParallelConfig)> {
+    let plan = |t: usize, d: usize, p: usize| {
+        ParallelConfig::builder()
+            .tensor(t)
+            .data(d)
+            .pipeline(p)
+            .micro_batch(1)
+            .global_batch(1920)
+            .build()
+            .expect("Table I plans are arithmetically valid")
+    };
+    vec![
+        ("MT-NLG (8, 8,35)", plan(8, 8, 35)),
+        ("MT-NLG (8,10,35)", plan(8, 10, 35)),
+        ("MT-NLG (8,12,35)", plan(8, 12, 35)),
+        ("Ours   (8,12,21)", plan(8, 12, 21)),
+        ("Ours   (8,16,21)", plan(8, 16, 21)),
+        ("Ours   (8,20,21)", plan(8, 20, 21)),
+    ]
+}
+
+/// The Table II scale-down study: `(params-label, gpus, [40]-plan,
+/// vTrain-plan)` with plans given as `(t, d, p, m)`.
+pub fn table_ii_rows() -> Vec<(&'static str, usize, (usize, usize, usize, usize), (usize, usize, usize, usize))>
+{
+    vec![
+        ("3.6", 64, (2, 32, 1, 16), (1, 64, 1, 8)),
+        ("18.4", 256, (8, 32, 1, 4), (8, 32, 1, 8)),
+        ("39.1", 512, (8, 32, 2, 4), (4, 32, 4, 2)),
+    ]
+}
+
+/// Builds a `(t, d, p, m)` plan at a given global batch.
+pub fn plan(tdpm: (usize, usize, usize, usize), global_batch: usize) -> ParallelConfig {
+    ParallelConfig::builder()
+        .tensor(tdpm.0)
+        .data(tdpm.1)
+        .pipeline(tdpm.2)
+        .micro_batch(tdpm.3)
+        .global_batch(global_batch)
+        .build()
+        .expect("experiment plans are arithmetically valid")
+}
+
+/// True if `--full` was passed (run the complete, slower experiment).
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Worker threads for sweeps.
+pub fn threads() -> usize {
+    std::thread::available_parallelism().map(Into::into).unwrap_or(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_plans_match_published_gpu_counts() {
+        let plans = table_i_plans();
+        let gpus: Vec<usize> = plans.iter().map(|(_, p)| p.num_gpus()).collect();
+        assert_eq!(gpus, vec![2240, 2800, 3360, 2016, 2688, 3360]);
+    }
+
+    #[test]
+    fn mtnlg_workload_token_arithmetic() {
+        let (model, batch, tokens) = mtnlg_workload();
+        let per_iter = model.tokens_per_iteration(batch);
+        assert_eq!(per_iter, 1920 * 2048);
+        // ~68k iterations (§V-A).
+        assert!((tokens.div_ceil(per_iter) as f64 - 68_000.0).abs() < 1_000.0);
+    }
+}

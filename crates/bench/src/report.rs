@@ -1,0 +1,45 @@
+//! Experiment output: human-readable tables plus machine-readable JSON
+//! dumps under `results/` (consumed by `EXPERIMENTS.md`).
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// The directory experiment artifacts are written to (`results/` at the
+/// workspace root), created on first use.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("VTRAIN_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+    let path = PathBuf::from(dir);
+    fs::create_dir_all(&path).expect("results directory must be creatable");
+    path
+}
+
+/// Serializes `value` to `results/<name>.json`.
+pub fn dump_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("experiment results serialize");
+    fs::write(&path, json).expect("results file must be writable");
+    eprintln!("[results] wrote {}", path.display());
+}
+
+/// Prints a banner for an experiment section.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_json_round_trips() {
+        std::env::set_var("VTRAIN_RESULTS_DIR", std::env::temp_dir().join("vtrain-test-results"));
+        dump_json("unit-test", &vec![1, 2, 3]);
+        let path = results_dir().join("unit-test.json");
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        std::env::remove_var("VTRAIN_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,64 @@
+//! Validation statistics (MAPE, R²) used by the Fig. 9 experiments.
+
+/// Mean absolute percentage error of `(predicted, measured)` pairs.
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty or any measured value is zero.
+pub fn mape(pairs: &[(f64, f64)]) -> f64 {
+    assert!(!pairs.is_empty(), "MAPE of an empty sample");
+    100.0
+        * pairs
+            .iter()
+            .map(|&(p, m)| {
+                assert!(m != 0.0, "measured value must be nonzero");
+                ((p - m) / m).abs()
+            })
+            .sum::<f64>()
+        / pairs.len() as f64
+}
+
+/// Coefficient of determination of predictions against measurements
+/// (R² of the identity line, matching the paper's scatter plots).
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty.
+pub fn r_squared(pairs: &[(f64, f64)]) -> f64 {
+    assert!(!pairs.is_empty(), "R² of an empty sample");
+    let mean = pairs.iter().map(|&(_, m)| m).sum::<f64>() / pairs.len() as f64;
+    let ss_res: f64 = pairs.iter().map(|&(p, m)| (m - p).powi(2)).sum();
+    let ss_tot: f64 = pairs.iter().map(|&(_, m)| (m - mean).powi(2)).sum();
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let pairs = [(1.0, 1.0), (2.0, 2.0), (5.0, 5.0)];
+        assert_eq!(mape(&pairs), 0.0);
+        assert!((r_squared(&pairs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ten_percent_bias_gives_ten_percent_mape() {
+        let pairs = [(0.9, 1.0), (1.8, 2.0), (4.5, 5.0)];
+        assert!((mape(&pairs) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r_squared_degrades_with_noise() {
+        let tight = [(1.0, 1.01), (2.0, 1.98), (3.0, 3.05), (4.0, 3.96)];
+        let loose = [(1.0, 1.5), (2.0, 1.2), (3.0, 4.1), (4.0, 3.0)];
+        assert!(r_squared(&tight) > r_squared(&loose));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = mape(&[]);
+    }
+}

@@ -1,0 +1,359 @@
+//! Per-model throughput profiles and the model catalog.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use vtrain_core::search::{self, SearchLimits};
+use vtrain_core::Estimator;
+use vtrain_model::{ModelConfig, TimeNs};
+use vtrain_parallel::{ParallelConfig, PipelineSchedule};
+
+/// How a job's throughput-vs-GPUs profile is obtained (§V-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProfilePolicy {
+    /// ElasticFlow baseline: fix the minimal feasible tensor/pipeline
+    /// degrees and scale only along data parallelism.
+    DataParallelOnly,
+    /// vTrain: the best plan per GPU count from full design-space
+    /// exploration.
+    VTrainOptimal,
+}
+
+/// A job's profiled iteration time as a function of allocated GPUs.
+///
+/// Entries are kept sorted by GPU count with strictly improving iteration
+/// times (an allocation that doesn't help is never chosen over a smaller
+/// one), which makes allocation reasoning monotone.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThroughputProfile {
+    entries: Vec<(usize, TimeNs)>,
+}
+
+impl ThroughputProfile {
+    /// Builds a profile from raw `(gpus, iteration_time)` samples: sorts by
+    /// GPU count and prunes entries that don't strictly improve on a
+    /// smaller allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn new(mut samples: Vec<(usize, TimeNs)>) -> Self {
+        assert!(!samples.is_empty(), "profile needs at least one sample");
+        samples.sort_by_key(|&(g, t)| (g, t));
+        samples.dedup_by_key(|&mut (g, _)| g);
+        let mut entries: Vec<(usize, TimeNs)> = Vec::with_capacity(samples.len());
+        for (g, t) in samples {
+            match entries.last() {
+                Some(&(_, best)) if t >= best => {}
+                _ => entries.push((g, t)),
+            }
+        }
+        ThroughputProfile { entries }
+    }
+
+    /// Profiled `(gpus, iteration_time)` rungs, ascending GPUs.
+    pub fn entries(&self) -> &[(usize, TimeNs)] {
+        &self.entries
+    }
+
+    /// Smallest allocation the job can run on.
+    pub fn min_gpus(&self) -> usize {
+        self.entries[0].0
+    }
+
+    /// Largest profiled allocation.
+    pub fn max_gpus(&self) -> usize {
+        self.entries[self.entries.len() - 1].0
+    }
+
+    /// Iteration time at the best rung not exceeding `gpus` (None if even
+    /// the smallest rung doesn't fit).
+    pub fn iter_time(&self, gpus: usize) -> Option<TimeNs> {
+        self.entries.iter().take_while(|&&(g, _)| g <= gpus).map(|&(_, t)| t).last()
+    }
+
+    /// The rung (GPU count) realizing [`ThroughputProfile::iter_time`].
+    pub fn rung(&self, gpus: usize) -> Option<usize> {
+        self.entries.iter().take_while(|&&(g, _)| g <= gpus).map(|&(g, _)| g).last()
+    }
+
+    /// The smallest rung that finishes `remaining_iters` within
+    /// `time_left`, if any.
+    pub fn min_gpus_to_finish(&self, remaining_iters: f64, time_left: TimeNs) -> Option<usize> {
+        if remaining_iters <= 0.0 {
+            return Some(self.min_gpus());
+        }
+        self.entries
+            .iter()
+            .find(|&&(_, t)| t.as_secs_f64() * remaining_iters <= time_left.as_secs_f64())
+            .map(|&(g, _)| g)
+    }
+
+    /// Standalone duration of `iterations` at the minimal allocation
+    /// (deadline reference, §V-B).
+    pub fn reference_duration(&self, iterations: u64) -> TimeNs {
+        TimeNs::from_secs_f64(self.entries[0].1.as_secs_f64() * iterations as f64)
+    }
+
+    /// True if `self` is pointwise at least as fast as `other` wherever
+    /// both are defined — the guarantee vTrain profiles give over the
+    /// baseline (§V-B).
+    pub fn dominates(&self, other: &ThroughputProfile) -> bool {
+        other.entries.iter().all(|&(g, t_other)| match self.iter_time(g) {
+            Some(t_self) => t_self <= t_other,
+            None => false,
+        })
+    }
+}
+
+/// One catalog model with both profiles.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// Catalog key.
+    pub name: String,
+    /// Global batch the job trains with (Table III).
+    pub global_batch: usize,
+    /// ElasticFlow-baseline profile.
+    pub baseline: ThroughputProfile,
+    /// vTrain-informed profile.
+    pub vtrain: ThroughputProfile,
+}
+
+/// The set of models jobs are drawn from, with pre-computed profiles.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ModelCatalog {
+    entries: HashMap<String, CatalogEntry>,
+}
+
+impl ModelCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        ModelCatalog::default()
+    }
+
+    /// Inserts an entry keyed by its name.
+    pub fn insert(&mut self, entry: CatalogEntry) {
+        self.entries.insert(entry.name.clone(), entry);
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.get(name)
+    }
+
+    /// Profile of `name` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not in the catalog.
+    pub fn profile(&self, name: &str, policy: ProfilePolicy) -> &ThroughputProfile {
+        let entry = self.entries.get(name).unwrap_or_else(|| panic!("unknown model `{name}`"));
+        match policy {
+            ProfilePolicy::DataParallelOnly => &entry.baseline,
+            ProfilePolicy::VTrainOptimal => &entry.vtrain,
+        }
+    }
+
+    /// Catalog keys in sorted order (deterministic trace generation).
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.entries.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of catalog entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The minimal `(t, p)` the baseline keeps for a model: the smallest
+/// node-aligned tensor degree and even pipeline depth whose `d = 1` plan
+/// fits GPU memory (§V-B gives 8-way TP + 2-way PP for the 39.1B model).
+fn baseline_min_plan(
+    estimator: &Estimator,
+    model: &ModelConfig,
+    global_batch: usize,
+) -> Option<(usize, usize)> {
+    let gpn = estimator.cluster().gpus_per_node;
+    let t = {
+        let mut t = gpn.min(8);
+        while t > 1 && (model.num_heads() % t != 0 || model.hidden_size() % t != 0) {
+            t /= 2;
+        }
+        t
+    };
+    let depths: Vec<usize> =
+        (1..=model.num_layers()).filter(|p| model.num_layers() % p == 0).collect();
+    for &p in &depths {
+        if global_batch % 1 != 0 {
+            continue;
+        }
+        let plan = ParallelConfig::builder()
+            .tensor(t)
+            .data(1)
+            .pipeline(p)
+            .micro_batch(1)
+            .global_batch(global_batch)
+            .build()
+            .ok()?;
+        if plan.validate(model, estimator.cluster()).is_ok() {
+            return Some((t, p));
+        }
+    }
+    None
+}
+
+/// Builds both profiles for a model over a ladder of GPU counts up to the
+/// cluster size.
+///
+/// The baseline profile sweeps only the data-parallel degree at the minimal
+/// `(t, p)`; the vTrain profile takes the best plan per GPU count from a
+/// full design-space exploration with `limits`.
+pub fn build_catalog(
+    estimator: &Estimator,
+    models: &[(ModelConfig, usize)],
+    limits: &SearchLimits,
+    threads: usize,
+) -> ModelCatalog {
+    let mut catalog = ModelCatalog::new();
+    let cluster_gpus = estimator.cluster().total_gpus;
+    for (model, global_batch) in models {
+        // --- baseline: data-parallel-only scaling.
+        let mut baseline_samples = Vec::new();
+        if let Some((t, p)) = baseline_min_plan(estimator, model, *global_batch) {
+            let mut d = 1usize;
+            while t * p * d <= cluster_gpus {
+                if global_batch % d == 0 {
+                    // Give the baseline its best micro-batch (profiling the
+                    // DP dimension includes batching, per ElasticFlow).
+                    let mut best: Option<TimeNs> = None;
+                    let mut m = 1usize;
+                    while m <= 8 && (global_batch / d) % m == 0 {
+                        let plan = ParallelConfig::builder()
+                            .tensor(t)
+                            .data(d)
+                            .pipeline(p)
+                            .micro_batch(m)
+                            .global_batch(*global_batch)
+                            .build()
+                            .expect("divisibility checked");
+                        if let Ok(est) = estimator.estimate(model, &plan) {
+                            best = Some(match best {
+                                Some(b) => b.min(est.iteration_time),
+                                None => est.iteration_time,
+                            });
+                        }
+                        m *= 2;
+                    }
+                    if let Some(t_best) = best {
+                        baseline_samples.push((t * p * d, t_best));
+                    }
+                }
+                d *= 2;
+            }
+        }
+        if baseline_samples.is_empty() {
+            continue;
+        }
+        let baseline = ThroughputProfile::new(baseline_samples);
+
+        // --- vTrain: best plan per GPU count from the full DSE.
+        let points = search::explore(
+            estimator,
+            model,
+            *global_batch,
+            PipelineSchedule::OneFOneB,
+            limits,
+            threads,
+        );
+        let mut best_per_gpus: HashMap<usize, TimeNs> = HashMap::new();
+        for p in &points {
+            best_per_gpus
+                .entry(p.estimate.num_gpus)
+                .and_modify(|t| *t = (*t).min(p.estimate.iteration_time))
+                .or_insert(p.estimate.iteration_time);
+        }
+        // vTrain knows at least everything the baseline profiled.
+        for &(g, t) in baseline.entries() {
+            best_per_gpus.entry(g).and_modify(|x| *x = (*x).min(t)).or_insert(t);
+        }
+        let vtrain = ThroughputProfile::new(best_per_gpus.into_iter().collect());
+
+        catalog.insert(CatalogEntry {
+            name: model.name().to_owned(),
+            global_batch: *global_batch,
+            baseline,
+            vtrain,
+        });
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtrain_model::presets;
+    use vtrain_parallel::ClusterSpec;
+
+    fn t(secs: f64) -> TimeNs {
+        TimeNs::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn profile_prunes_non_improving_rungs() {
+        let p = ThroughputProfile::new(vec![(8, t(10.0)), (16, t(12.0)), (32, t(5.0))]);
+        assert_eq!(p.entries().len(), 2);
+        assert_eq!(p.min_gpus(), 8);
+        assert_eq!(p.iter_time(16), Some(t(10.0)));
+        assert_eq!(p.iter_time(32), Some(t(5.0)));
+        assert_eq!(p.iter_time(4), None);
+    }
+
+    #[test]
+    fn min_gpus_to_finish_picks_smallest_sufficient_rung() {
+        let p = ThroughputProfile::new(vec![(8, t(10.0)), (16, t(6.0)), (32, t(4.0))]);
+        // 100 iterations in 700s: needs ≤7s/iter ⇒ 16 GPUs.
+        assert_eq!(p.min_gpus_to_finish(100.0, TimeNs::from_secs(700)), Some(16));
+        // Impossible even at 32 GPUs.
+        assert_eq!(p.min_gpus_to_finish(100.0, TimeNs::from_secs(100)), None);
+        // Already done.
+        assert_eq!(p.min_gpus_to_finish(0.0, TimeNs::ZERO), Some(8));
+    }
+
+    #[test]
+    fn dominance_is_pointwise() {
+        let fast = ThroughputProfile::new(vec![(8, t(8.0)), (16, t(4.0))]);
+        let slow = ThroughputProfile::new(vec![(8, t(10.0)), (16, t(6.0))]);
+        assert!(fast.dominates(&slow));
+        assert!(!slow.dominates(&fast));
+        assert!(fast.dominates(&fast));
+    }
+
+    #[test]
+    fn built_catalog_vtrain_dominates_baseline() {
+        let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
+        let models = vec![(presets::megatron("1.7B"), 64usize)];
+        let limits =
+            SearchLimits { max_tensor: 8, max_data: 8, max_pipeline: 4, max_micro_batch: 4 };
+        let catalog = build_catalog(&estimator, &models, &limits, 4);
+        assert_eq!(catalog.len(), 1);
+        let entry = catalog.get("Megatron 1.7B").unwrap();
+        assert!(
+            entry.vtrain.dominates(&entry.baseline),
+            "vTrain profile must be pointwise at least as fast"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        let catalog = ModelCatalog::new();
+        let _ = catalog.profile("nope", ProfilePolicy::VTrainOptimal);
+    }
+}

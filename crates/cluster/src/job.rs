@@ -1,0 +1,61 @@
+//! Training jobs and their scheduling outcomes.
+
+use serde::{Deserialize, Serialize};
+use vtrain_model::TimeNs;
+
+/// One LLM training job submitted to the shared cluster.
+///
+/// Serverless model (§V-B): the user specifies *what* to train and an
+/// optional deadline; the platform owns every systems decision.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique job id.
+    pub id: usize,
+    /// Catalog key of the model being trained (Table III entry).
+    pub model_name: String,
+    /// Training iterations requested.
+    pub iterations: u64,
+    /// Submission time.
+    pub arrival: TimeNs,
+    /// Absolute completion deadline, if any.
+    pub deadline: Option<TimeNs>,
+}
+
+/// The scheduler's verdict on one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Job id.
+    pub id: usize,
+    /// Completion time (None if terminated unfinished).
+    pub completion: Option<TimeNs>,
+    /// True if the job had a deadline and missed it (ElasticFlow terminates
+    /// such jobs at their deadline).
+    pub violated: bool,
+}
+
+impl JobOutcome {
+    /// Job completion time (arrival → completion), if the job finished.
+    pub fn jct(&self, spec: &JobSpec) -> Option<TimeNs> {
+        self.completion.map(|c| c.saturating_sub(spec.arrival))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jct_subtracts_arrival() {
+        let spec = JobSpec {
+            id: 1,
+            model_name: "m".into(),
+            iterations: 10,
+            arrival: TimeNs::from_secs(100),
+            deadline: None,
+        };
+        let done = JobOutcome { id: 1, completion: Some(TimeNs::from_secs(250)), violated: false };
+        assert_eq!(done.jct(&spec), Some(TimeNs::from_secs(150)));
+        let dead = JobOutcome { id: 1, completion: None, violated: true };
+        assert_eq!(dead.jct(&spec), None);
+    }
+}

@@ -1,0 +1,33 @@
+//! # vtrain-cluster
+//!
+//! Multi-tenant GPU cluster scheduling simulator (paper §V-B).
+//!
+//! Reproduces the paper's second case study: an ElasticFlow-style serverless
+//! training platform with deadline-aware admission control and elastic GPU
+//! scaling, evaluated against workload traces of LLM training jobs
+//! (Table III models on a 1,024-GPU A100 cluster).
+//!
+//! The **only** difference between the two compared systems is the per-job
+//! throughput profile the scheduler consults:
+//! * **ElasticFlow baseline** — profiles scale along the data-parallel
+//!   dimension only, at the minimal tensor/pipeline degrees the model needs
+//!   to fit memory (exactly the limitation the paper identifies);
+//! * **vTrain-informed** — profiles come from vTrain's full `(t, d, p, m)`
+//!   design-space exploration, pointwise at least as fast.
+//!
+//! Everything else — traces, admission control, elastic allocation, event
+//! loop — is shared, so measured improvements in deadline satisfaction,
+//! JCT, and makespan (Figs. 12/13/14) isolate the value of better plans.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod job;
+mod scheduler;
+mod trace;
+
+pub use catalog::{build_catalog, CatalogEntry, ModelCatalog, ProfilePolicy, ThroughputProfile};
+pub use job::{JobOutcome, JobSpec};
+pub use scheduler::{simulate_cluster, SchedulerConfig, SimOutcome};
+pub use trace::{generate_trace, TraceConfig};

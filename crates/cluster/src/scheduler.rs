@@ -1,0 +1,425 @@
+//! The ElasticFlow-style deadline-aware elastic scheduler and its
+//! discrete-event cluster simulation (§V-B).
+
+use serde::{Deserialize, Serialize};
+use vtrain_model::TimeNs;
+
+use crate::catalog::{ModelCatalog, ProfilePolicy, ThroughputProfile};
+use crate::job::{JobOutcome, JobSpec};
+
+/// Scheduler configuration: which profile source informs decisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// GPUs in the shared cluster (the paper uses 1,024).
+    pub total_gpus: usize,
+    /// Throughput profiles consulted: baseline ElasticFlow or vTrain.
+    pub policy: ProfilePolicy,
+}
+
+/// Result of simulating a whole trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Per-job verdicts, indexed consistently with the input order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Time at which the last job left the system.
+    pub makespan: TimeNs,
+}
+
+impl SimOutcome {
+    /// Fraction of jobs that met their deadlines (Fig. 12's metric).
+    /// Jobs without deadlines count as satisfied.
+    pub fn deadline_satisfactory_ratio(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        let ok = self.outcomes.iter().filter(|o| !o.violated).count();
+        ok as f64 / self.outcomes.len() as f64
+    }
+
+    /// Mean job completion time over finished jobs (Fig. 13's metric).
+    pub fn average_jct(&self, jobs: &[JobSpec]) -> Option<TimeNs> {
+        let jcts: Vec<f64> = self
+            .outcomes
+            .iter()
+            .zip(jobs)
+            .filter_map(|(o, j)| o.jct(j).map(|t| t.as_secs_f64()))
+            .collect();
+        if jcts.is_empty() {
+            return None;
+        }
+        Some(TimeNs::from_secs_f64(jcts.iter().sum::<f64>() / jcts.len() as f64))
+    }
+}
+
+/// Live state of one admitted job.
+struct Active {
+    idx: usize,
+    remaining: f64,
+    alloc: usize, // 0 = paused
+}
+
+/// Simulates the cluster over a trace.
+///
+/// Both compared systems run *this exact function*; only
+/// `cfg.policy` differs (§V-B: "we implement the exact same scheduling
+/// algorithm ElasticFlow proposes").
+///
+/// Algorithm per event: advance running jobs' progress, retire completions
+/// and deadline expirations (ElasticFlow terminates deadline-missing jobs),
+/// admit arrivals (optimistic admission — rejected outright only if even
+/// the largest profiled allocation cannot meet the deadline), then
+/// reallocate: earliest-deadline-first gets each deadline job its minimum
+/// sufficient allocation, remaining jobs get their minimal rung, and
+/// leftover GPUs go to the upgrade with the best marginal speed-up per GPU.
+///
+/// # Panics
+///
+/// Panics if a job references a model absent from the catalog.
+pub fn simulate_cluster(
+    jobs: &[JobSpec],
+    catalog: &ModelCatalog,
+    cfg: &SchedulerConfig,
+) -> SimOutcome {
+    let profiles: Vec<&ThroughputProfile> =
+        jobs.iter().map(|j| catalog.profile(&j.model_name, cfg.policy)).collect();
+
+    // Arrival order (stable by arrival, then id).
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (jobs[i].arrival, jobs[i].id));
+
+    let mut outcomes: Vec<JobOutcome> =
+        jobs.iter().map(|j| JobOutcome { id: j.id, completion: None, violated: false }).collect();
+    let mut active: Vec<Active> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut now = 0.0f64;
+    let mut makespan = 0.0f64;
+    let eps = 1e-6;
+
+    loop {
+        // ---- next event time.
+        let mut t_next = f64::INFINITY;
+        if next_arrival < order.len() {
+            t_next = t_next.min(jobs[order[next_arrival]].arrival.as_secs_f64());
+        }
+        for a in &active {
+            if a.alloc > 0 {
+                let it = profiles[a.idx].iter_time(a.alloc).expect("allocated rung exists");
+                t_next = t_next.min(now + a.remaining * it.as_secs_f64());
+            }
+            if let Some(d) = jobs[a.idx].deadline {
+                t_next = t_next.min(d.as_secs_f64().max(now));
+            }
+        }
+        if !t_next.is_finite() {
+            // Unschedulable stragglers (min rung larger than the cluster).
+            for a in &active {
+                outcomes[a.idx].violated = true;
+            }
+            break;
+        }
+
+        // ---- advance progress.
+        let dt = t_next - now;
+        for a in &mut active {
+            if a.alloc > 0 {
+                let it = profiles[a.idx].iter_time(a.alloc).expect("allocated rung exists");
+                a.remaining -= dt / it.as_secs_f64();
+            }
+        }
+        now = t_next;
+
+        // ---- completions.
+        active.retain(|a| {
+            if a.remaining <= eps {
+                outcomes[a.idx].completion = Some(TimeNs::from_secs_f64(now));
+                makespan = makespan.max(now);
+                false
+            } else {
+                true
+            }
+        });
+
+        // ---- deadline expirations (terminate, count as violated).
+        active.retain(|a| {
+            let expired = jobs[a.idx]
+                .deadline
+                .is_some_and(|d| d.as_secs_f64() <= now + eps);
+            if expired {
+                outcomes[a.idx].violated = true;
+                makespan = makespan.max(now);
+            }
+            !expired
+        });
+
+        // ---- arrivals.
+        while next_arrival < order.len()
+            && jobs[order[next_arrival]].arrival.as_secs_f64() <= now + eps
+        {
+            let idx = order[next_arrival];
+            next_arrival += 1;
+            let job = &jobs[idx];
+            let profile = profiles[idx];
+            if profile.min_gpus() > cfg.total_gpus {
+                outcomes[idx].violated = true;
+                makespan = makespan.max(now);
+                continue;
+            }
+            if let Some(d) = job.deadline {
+                // Admission control: reject if even the largest profiled
+                // allocation cannot make the deadline in isolation.
+                let left = TimeNs::from_secs_f64((d.as_secs_f64() - now).max(0.0));
+                if profile.min_gpus_to_finish(job.iterations as f64, left).is_none() {
+                    outcomes[idx].violated = true;
+                    makespan = makespan.max(now);
+                    continue;
+                }
+            }
+            active.push(Active { idx, remaining: job.iterations as f64, alloc: 0 });
+        }
+
+        if active.is_empty() && next_arrival >= order.len() {
+            break;
+        }
+
+        reallocate(&mut active, jobs, &profiles, cfg.total_gpus, now);
+    }
+
+    SimOutcome { outcomes, makespan: TimeNs::from_secs_f64(makespan) }
+}
+
+/// Elastic reallocation at an event boundary.
+fn reallocate(
+    active: &mut [Active],
+    jobs: &[JobSpec],
+    profiles: &[&ThroughputProfile],
+    total_gpus: usize,
+    now: f64,
+) {
+    let mut capacity = total_gpus;
+    for a in active.iter_mut() {
+        a.alloc = 0;
+    }
+
+    // Phase 1a: deadline jobs, earliest deadline first, get their minimum
+    // sufficient allocation.
+    let mut idxs: Vec<usize> = (0..active.len()).collect();
+    idxs.sort_by(|&x, &y| {
+        let dx = jobs[active[x].idx].deadline.map(|d| d.as_nanos()).unwrap_or(u64::MAX);
+        let dy = jobs[active[y].idx].deadline.map(|d| d.as_nanos()).unwrap_or(u64::MAX);
+        (dx, jobs[active[x].idx].arrival).cmp(&(dy, jobs[active[y].idx].arrival))
+    });
+    for &i in &idxs {
+        let profile = profiles[active[i].idx];
+        let want = match jobs[active[i].idx].deadline {
+            Some(d) => {
+                let left = TimeNs::from_secs_f64((d.as_secs_f64() - now).max(0.0));
+                profile
+                    .min_gpus_to_finish(active[i].remaining, left)
+                    .unwrap_or_else(|| profile.max_gpus())
+            }
+            None => profile.min_gpus(),
+        };
+        let grant = if want <= capacity {
+            Some(want)
+        } else {
+            // Best-effort: the largest rung that still fits.
+            profile.rung(capacity)
+        };
+        if let Some(g) = grant {
+            let g = profile.rung(g).expect("grant snapped to a rung");
+            active[i].alloc = g;
+            capacity -= g;
+        }
+    }
+
+    // Phase 2: spend leftovers on the best marginal speed-up per GPU.
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None; // (job, new rung, gain/gpu)
+        for (i, a) in active.iter().enumerate() {
+            let profile = profiles[a.idx];
+            let cur = a.alloc;
+            let cur_time = profile.iter_time(cur.max(profile.min_gpus()));
+            // Next strictly larger rung.
+            let Some(&(g_next, t_next)) =
+                profile.entries().iter().find(|&&(g, _)| g > cur)
+            else {
+                continue;
+            };
+            let delta = g_next - cur;
+            if delta > capacity {
+                continue;
+            }
+            let t_cur = if a.alloc == 0 {
+                f64::INFINITY
+            } else {
+                cur_time.expect("current rung profiled").as_secs_f64()
+            };
+            let gain = if t_cur.is_infinite() {
+                f64::INFINITY
+            } else {
+                a.remaining * (t_cur - t_next.as_secs_f64()) / delta as f64
+            };
+            if gain > 0.0 && best.map_or(true, |(_, _, bg)| gain > bg) {
+                best = Some((i, g_next, gain));
+            }
+        }
+        let Some((i, g_next, _)) = best else { break };
+        capacity -= g_next - active[i].alloc;
+        active[i].alloc = g_next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogEntry;
+    use crate::trace::{generate_trace, TraceConfig};
+
+    fn t(secs: f64) -> TimeNs {
+        TimeNs::from_secs_f64(secs)
+    }
+
+    fn profile(entries: &[(usize, f64)]) -> ThroughputProfile {
+        ThroughputProfile::new(entries.iter().map(|&(g, s)| (g, t(s))).collect())
+    }
+
+    /// Catalog where the vTrain profile is strictly better at scale.
+    fn catalog() -> ModelCatalog {
+        let mut c = ModelCatalog::new();
+        c.insert(CatalogEntry {
+            name: "m".into(),
+            global_batch: 64,
+            baseline: profile(&[(8, 10.0), (16, 6.0), (32, 4.0)]),
+            vtrain: profile(&[(8, 8.0), (16, 4.5), (32, 2.5), (64, 1.8)]),
+        });
+        c
+    }
+
+    fn job(id: usize, iters: u64, arrival_s: f64, deadline_s: Option<f64>) -> JobSpec {
+        JobSpec {
+            id,
+            model_name: "m".into(),
+            iterations: iters,
+            arrival: t(arrival_s),
+            deadline: deadline_s.map(t),
+        }
+    }
+
+    #[test]
+    fn lone_job_gets_the_largest_useful_allocation() {
+        let jobs = vec![job(0, 100, 0.0, None)];
+        let cfg = SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::DataParallelOnly };
+        let out = simulate_cluster(&jobs, &catalog(), &cfg);
+        // Baseline tops out at 32 GPUs, 4 s/iter ⇒ 400 s.
+        let jct = out.average_jct(&jobs).unwrap().as_secs_f64();
+        assert!((jct - 400.0).abs() < 1.0, "jct {jct}");
+        assert_eq!(out.deadline_satisfactory_ratio(), 1.0);
+    }
+
+    #[test]
+    fn vtrain_profile_shortens_the_same_job() {
+        let jobs = vec![job(0, 100, 0.0, None)];
+        let base = simulate_cluster(
+            &jobs,
+            &catalog(),
+            &SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::DataParallelOnly },
+        );
+        let vt = simulate_cluster(
+            &jobs,
+            &catalog(),
+            &SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::VTrainOptimal },
+        );
+        // vTrain reaches 64 GPUs at 1.8 s/iter ⇒ 180 s.
+        assert!(vt.makespan < base.makespan);
+        assert!((vt.makespan.as_secs_f64() - 180.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_jobs_share_capacity() {
+        let jobs = vec![job(0, 100, 0.0, None), job(1, 100, 0.0, None)];
+        let cfg = SchedulerConfig { total_gpus: 16, policy: ProfilePolicy::DataParallelOnly };
+        let out = simulate_cluster(&jobs, &catalog(), &cfg);
+        // Each gets 8 GPUs at 10 s/iter ⇒ both finish at 1000 s.
+        assert!((out.makespan.as_secs_f64() - 1000.0).abs() < 1.0);
+        assert!(out.outcomes.iter().all(|o| o.completion.is_some()));
+    }
+
+    #[test]
+    fn impossible_deadline_is_rejected_at_admission() {
+        // 100 iterations, best baseline rate 4 s/iter ⇒ needs 400 s; only
+        // 100 s of slack.
+        let jobs = vec![job(0, 100, 0.0, Some(100.0))];
+        let cfg = SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::DataParallelOnly };
+        let out = simulate_cluster(&jobs, &catalog(), &cfg);
+        assert!(out.outcomes[0].violated);
+        assert_eq!(out.deadline_satisfactory_ratio(), 0.0);
+    }
+
+    #[test]
+    fn deadline_met_by_elastic_scale_up() {
+        // Needs ≤ 6 s/iter ⇒ EDF hands it 16 GPUs even while a
+        // deadline-free job competes.
+        let jobs = vec![job(0, 100, 0.0, Some(650.0)), job(1, 50, 0.0, None)];
+        let cfg = SchedulerConfig { total_gpus: 24, policy: ProfilePolicy::DataParallelOnly };
+        let out = simulate_cluster(&jobs, &catalog(), &cfg);
+        assert!(!out.outcomes[0].violated, "deadline job must be satisfied");
+        assert!(out.outcomes[1].completion.is_some(), "background job still finishes");
+    }
+
+    #[test]
+    fn vtrain_never_worse_on_shared_traces() {
+        let catalog = catalog();
+        for seed in 1..=5 {
+            let cfg_trace = TraceConfig {
+                num_jobs: 24,
+                seed,
+                arrival_window: t(5_000.0),
+                deadline_lambda: Some((0.5, 1.5)),
+                iterations: (50, 200),
+            };
+            let jobs = generate_trace(&cfg_trace, &catalog);
+            let base = simulate_cluster(
+                &jobs,
+                &catalog,
+                &SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::DataParallelOnly },
+            );
+            let vt = simulate_cluster(
+                &jobs,
+                &catalog,
+                &SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::VTrainOptimal },
+            );
+            assert!(
+                vt.deadline_satisfactory_ratio() >= base.deadline_satisfactory_ratio() - 1e-9,
+                "seed {seed}: vTrain ratio regressed"
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let cfg_trace = TraceConfig { num_jobs: 16, seed: 3, ..TraceConfig::default() };
+        let cat = catalog();
+        let jobs = generate_trace(&cfg_trace, &cat);
+        let cfg = SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::VTrainOptimal };
+        let a = simulate_cluster(&jobs, &cat, &cfg);
+        let b = simulate_cluster(&jobs, &cat, &cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn oversized_job_cannot_run() {
+        let mut cat = ModelCatalog::new();
+        cat.insert(CatalogEntry {
+            name: "m".into(),
+            global_batch: 64,
+            baseline: profile(&[(128, 1.0)]),
+            vtrain: profile(&[(128, 1.0)]),
+        });
+        let jobs = vec![job(0, 10, 0.0, None)];
+        let cfg = SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::DataParallelOnly };
+        let out = simulate_cluster(&jobs, &cat, &cfg);
+        assert!(out.outcomes[0].violated);
+        assert!(out.outcomes[0].completion.is_none());
+    }
+}

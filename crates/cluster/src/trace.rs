@@ -1,0 +1,165 @@
+//! Synthetic workload traces (stand-in for the Microsoft ITP cluster
+//! traces, per DESIGN.md).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use vtrain_model::TimeNs;
+
+use crate::catalog::{ModelCatalog, ProfilePolicy};
+use crate::job::JobSpec;
+
+/// Parameters of one generated trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceConfig {
+    /// Number of jobs.
+    pub num_jobs: usize,
+    /// RNG seed (a trace id; the paper samples nine trace windows).
+    pub seed: u64,
+    /// All arrivals fall within this window from time zero. `ZERO` makes
+    /// every job arrive at t = 0 (the makespan experiments, Fig. 14).
+    pub arrival_window: TimeNs,
+    /// Deadline factor range `λ ∈ U[lo, hi]`; `None` disables deadlines
+    /// (the JCT experiments, Fig. 13).
+    pub deadline_lambda: Option<(f64, f64)>,
+    /// Uniform range of requested training iterations.
+    pub iterations: (u64, u64),
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            num_jobs: 64,
+            seed: 1,
+            // The paper models a 400-hour cluster window; arrivals land in
+            // the first quarter.
+            arrival_window: TimeNs::from_secs(100 * 3600),
+            deadline_lambda: Some((0.5, 1.5)),
+            iterations: (50, 400),
+        }
+    }
+}
+
+/// Generates a deterministic trace over the catalog's models.
+///
+/// Inter-arrival times follow a heavy-tailed log-normal (matching the bursty
+/// arrivals of production ML clusters), rescaled so the last arrival lands
+/// inside the window. Each job picks a catalog model uniformly; its deadline
+/// is `arrival + λ · standalone duration` with the standalone duration taken
+/// from the *baseline* profile's minimal allocation, exactly the reference
+/// both compared systems share.
+///
+/// # Panics
+///
+/// Panics if the catalog is empty or `num_jobs == 0`.
+pub fn generate_trace(cfg: &TraceConfig, catalog: &ModelCatalog) -> Vec<JobSpec> {
+    assert!(cfg.num_jobs > 0, "trace needs at least one job");
+    assert!(!catalog.is_empty(), "catalog must not be empty");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let names = catalog.names();
+
+    // Log-normal inter-arrivals (σ = 1.2 gives the bursty shape of the ITP
+    // trace), rescaled to the window.
+    let arrivals: Vec<TimeNs> = if cfg.arrival_window == TimeNs::ZERO {
+        vec![TimeNs::ZERO; cfg.num_jobs]
+    } else {
+        let dist = LogNormal::new(0.0, 1.2).expect("valid lognormal");
+        let gaps: Vec<f64> = (0..cfg.num_jobs).map(|_| dist.sample(&mut rng)).collect();
+        let total: f64 = gaps.iter().sum();
+        let scale = cfg.arrival_window.as_secs_f64() / total;
+        let mut now = 0.0;
+        gaps.iter()
+            .map(|g| {
+                now += g * scale;
+                TimeNs::from_secs_f64(now)
+            })
+            .collect()
+    };
+
+    (0..cfg.num_jobs)
+        .map(|id| {
+            let name = names[rng.gen_range(0..names.len())].to_owned();
+            let iterations = rng.gen_range(cfg.iterations.0..=cfg.iterations.1);
+            let arrival = arrivals[id];
+            let deadline = cfg.deadline_lambda.map(|(lo, hi)| {
+                let lambda = rng.gen_range(lo..hi);
+                let standalone = catalog
+                    .profile(&name, ProfilePolicy::DataParallelOnly)
+                    .reference_duration(iterations);
+                arrival + standalone.scale(lambda)
+            });
+            JobSpec { id, model_name: name, iterations, arrival, deadline }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{CatalogEntry, ThroughputProfile};
+
+    fn catalog() -> ModelCatalog {
+        let mut c = ModelCatalog::new();
+        for (name, iter_secs) in [("small", 2.0), ("large", 8.0)] {
+            let profile = ThroughputProfile::new(vec![
+                (8, TimeNs::from_secs_f64(iter_secs)),
+                (16, TimeNs::from_secs_f64(iter_secs / 1.8)),
+            ]);
+            c.insert(CatalogEntry {
+                name: name.into(),
+                global_batch: 64,
+                baseline: profile.clone(),
+                vtrain: profile,
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let cfg = TraceConfig { num_jobs: 32, seed: 7, ..TraceConfig::default() };
+        let a = generate_trace(&cfg, &catalog());
+        let b = generate_trace(&cfg, &catalog());
+        assert_eq!(a, b);
+        let c = generate_trace(&TraceConfig { seed: 8, ..cfg }, &catalog());
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn arrivals_respect_window_and_order() {
+        let cfg = TraceConfig { num_jobs: 50, ..TraceConfig::default() };
+        let jobs = generate_trace(&cfg, &catalog());
+        let mut prev = TimeNs::ZERO;
+        for j in &jobs {
+            assert!(j.arrival >= prev, "arrivals sorted");
+            prev = j.arrival;
+        }
+        assert!(prev <= cfg.arrival_window + TimeNs::from_secs(1));
+    }
+
+    #[test]
+    fn zero_window_means_simultaneous_arrival() {
+        let cfg = TraceConfig {
+            num_jobs: 16,
+            arrival_window: TimeNs::ZERO,
+            deadline_lambda: None,
+            ..TraceConfig::default()
+        };
+        let jobs = generate_trace(&cfg, &catalog());
+        assert!(jobs.iter().all(|j| j.arrival == TimeNs::ZERO && j.deadline.is_none()));
+    }
+
+    #[test]
+    fn deadlines_scale_with_standalone_duration() {
+        let cfg = TraceConfig { num_jobs: 64, ..TraceConfig::default() };
+        let cat = catalog();
+        for j in generate_trace(&cfg, &cat) {
+            let standalone = cat
+                .profile(&j.model_name, ProfilePolicy::DataParallelOnly)
+                .reference_duration(j.iterations);
+            let d = j.deadline.unwrap();
+            let lambda = d.saturating_sub(j.arrival).as_secs_f64() / standalone.as_secs_f64();
+            assert!((0.5..1.5).contains(&lambda), "λ = {lambda}");
+        }
+    }
+}

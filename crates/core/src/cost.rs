@@ -1,0 +1,139 @@
+//! Training-cost arithmetic (paper Fig. 1, Table I).
+
+use serde::{Deserialize, Serialize};
+use vtrain_model::TimeNs;
+
+/// Converts GPU time to dollars.
+///
+/// The paper prices training via AWS EC2 P4d instances; Table I implies
+/// $5.00 per GPU-hour (2,240 GPUs ↔ $11,200/hour), which is the default.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Dollars per GPU-hour.
+    pub per_gpu_hour: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { per_gpu_hour: 5.0 }
+    }
+}
+
+impl CostModel {
+    /// Creates a cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite.
+    pub fn new(per_gpu_hour: f64) -> Self {
+        assert!(per_gpu_hour.is_finite() && per_gpu_hour > 0.0, "rate must be positive");
+        CostModel { per_gpu_hour }
+    }
+
+    /// Cluster-wide dollars per hour for `gpus` GPUs.
+    pub fn dollars_per_hour(&self, gpus: usize) -> f64 {
+        gpus as f64 * self.per_gpu_hour
+    }
+
+    /// Total cost of occupying `gpus` GPUs for `duration`.
+    pub fn total_cost(&self, gpus: usize, duration: TimeNs) -> f64 {
+        self.dollars_per_hour(gpus) * duration.as_secs_f64() / 3600.0
+    }
+}
+
+/// End-to-end projection of a training run from a single-iteration estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainingProjection {
+    /// Training iterations to consume the token budget.
+    pub iterations: u64,
+    /// Wall-clock time for all iterations.
+    pub total_time: TimeNs,
+    /// GPUs occupied.
+    pub num_gpus: usize,
+    /// Cluster-wide dollars per hour.
+    pub dollars_per_hour: f64,
+    /// End-to-end training cost in dollars.
+    pub total_dollars: f64,
+}
+
+impl TrainingProjection {
+    /// Projects end-to-end training: `total_tokens / tokens-per-iteration`
+    /// iterations at `iteration_time` each (paper §III-E).
+    pub fn project(
+        iteration_time: TimeNs,
+        tokens_per_iteration: u64,
+        total_tokens: u64,
+        num_gpus: usize,
+        cost: &CostModel,
+    ) -> Self {
+        assert!(tokens_per_iteration > 0, "iteration must consume tokens");
+        let iterations = total_tokens.div_ceil(tokens_per_iteration);
+        let total_time = TimeNs::from_secs_f64(iteration_time.as_secs_f64() * iterations as f64);
+        TrainingProjection {
+            iterations,
+            total_time,
+            num_gpus,
+            dollars_per_hour: cost.dollars_per_hour(num_gpus),
+            total_dollars: cost.total_cost(num_gpus, total_time),
+        }
+    }
+
+    /// Wall-clock training time in days.
+    pub fn days(&self) -> f64 {
+        self.total_time.as_secs_f64() / 86_400.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_pricing_identity() {
+        // 2,240 GPUs at the default rate ⇒ $11,200/hour (Table I row 1).
+        let c = CostModel::default();
+        assert_eq!(c.dollars_per_hour(2240), 11_200.0);
+    }
+
+    #[test]
+    fn mt_nlg_projection_magnitude() {
+        // MT-NLG consumes 1920×2048 tokens/iter over 270B tokens ⇒ ~68.7k
+        // iterations (the paper quotes "approximately 68,000").
+        let proj = TrainingProjection::project(
+            TimeNs::from_secs_f64(42.59),
+            1920 * 2048,
+            270_000_000_000,
+            2240,
+            &CostModel::default(),
+        );
+        assert!((proj.iterations as f64 - 68_665.0).abs() < 10.0, "{}", proj.iterations);
+        // Table I: 33.52 days, $9.01M.
+        assert!((proj.days() - 33.8).abs() < 0.5, "days {}", proj.days());
+        assert!((proj.total_dollars / 1e6 - 9.1).abs() < 0.2, "cost {}", proj.total_dollars);
+    }
+
+    #[test]
+    fn cost_scales_linearly() {
+        let c = CostModel::new(2.0);
+        let t = TimeNs::from_secs(7200);
+        assert!((c.total_cost(10, t) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = CostModel::new(0.0);
+    }
+
+    #[test]
+    fn iterations_round_up() {
+        let proj = TrainingProjection::project(
+            TimeNs::from_secs(1),
+            1000,
+            1500,
+            1,
+            &CostModel::default(),
+        );
+        assert_eq!(proj.iterations, 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! # vtrain-core
+//!
+//! The vTrain simulator proper (paper §III-D/E/F and §V-A).
+//!
+//! Pipeline: an operator-granularity execution graph plus the profiled
+//! operator-to-task lookup table and communication models are lowered into a
+//! [`TaskGraph`]; [`simulate`] replays it with **Algorithm 1** — a FIFO
+//! ready-queue traversal over per-(GPU, stream) timelines that honors
+//! dependencies and computation/communication overlap — yielding the
+//! single-iteration training time. [`Estimator`] wraps the whole flow;
+//! [`search`] sweeps the `(t, d, p, m)` design space in parallel to find
+//! cost-effective plans; [`CostModel`] converts GPU-hours to dollars.
+//!
+//! Two execution modes mirror the paper's validation methodology:
+//! * **Predicted** — clean lookup-table replay (what vTrain reports);
+//! * **Measured** — the same replay perturbed by the ground-truth
+//!   [`NoiseModel`](vtrain_gpu::NoiseModel), standing in for the real
+//!   GPU-cluster measurements of Fig. 9 / Table II.
+//!
+//! # Examples
+//!
+//! ```
+//! use vtrain_core::Estimator;
+//! use vtrain_model::presets;
+//! use vtrain_parallel::{ClusterSpec, ParallelConfig};
+//!
+//! let cluster = ClusterSpec::aws_p4d(64);
+//! let estimator = Estimator::new(cluster);
+//! let plan = ParallelConfig::builder()
+//!     .tensor(8).data(4).pipeline(2).micro_batch(2).global_batch(64)
+//!     .build()?;
+//! let est = estimator.estimate(&presets::megatron("18.4B"), &plan)?;
+//! assert!(est.iteration_time.as_secs_f64() > 0.0);
+//! assert!(est.utilization > 0.0 && est.utilization <= 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod estimate;
+pub mod search;
+mod sim;
+mod task_graph;
+
+pub use cost::{CostModel, TrainingProjection};
+pub use estimate::{EstimateError, Estimator, IterationEstimate};
+pub use sim::{simulate, BusyBreakdown, SimMode, SimReport};
+pub use task_graph::{Task, TaskGraph, TaskKind};

@@ -1,0 +1,317 @@
+//! Design-space exploration over `(t, d, p, m)` 3D-parallelism plans
+//! (paper §V-A, Figs. 10/11, Tables I/II).
+//!
+//! Every simulation point is independent, so the sweep fans out over
+//! crossbeam scoped threads — the software analogue of the paper's
+//! "completely parallelizable over multiple CPU cores" observation (§III-F).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use vtrain_model::ModelConfig;
+use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule};
+
+use crate::cost::{CostModel, TrainingProjection};
+use crate::estimate::{Estimator, IterationEstimate};
+
+/// Bounds of the exhaustive sweep (paper §V-A sweeps `t ≤ 16`, `d ≤ 32`,
+/// `p ≤ 105`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchLimits {
+    /// Maximum tensor-parallel degree.
+    pub max_tensor: usize,
+    /// Maximum data-parallel degree.
+    pub max_data: usize,
+    /// Maximum pipeline depth.
+    pub max_pipeline: usize,
+    /// Maximum micro-batch size.
+    pub max_micro_batch: usize,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits { max_tensor: 16, max_data: 32, max_pipeline: 105, max_micro_batch: 8 }
+    }
+}
+
+/// One evaluated design point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// The plan.
+    pub plan: ParallelConfig,
+    /// Its simulated verdict.
+    pub estimate: IterationEstimate,
+}
+
+impl DesignPoint {
+    /// End-to-end projection of this point over a token budget.
+    pub fn project(&self, total_tokens: u64, cost: &CostModel) -> TrainingProjection {
+        TrainingProjection::project(
+            self.estimate.iteration_time,
+            self.estimate.tokens_per_iteration,
+            total_tokens,
+            self.estimate.num_gpus,
+            cost,
+        )
+    }
+}
+
+/// Enumerates the candidate plans of an exhaustive `(t, d, p, m)` sweep.
+///
+/// Tensor degrees are powers of two within the NVLink domain; pipeline
+/// depths divide the layer count evenly (the paper's design methodology of
+/// identically-shaped stages); `d·m` must divide the global batch.
+pub fn enumerate_candidates(
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    global_batch: usize,
+    schedule: PipelineSchedule,
+    limits: &SearchLimits,
+) -> Vec<ParallelConfig> {
+    let mut tensors = Vec::new();
+    let mut t = 1;
+    while t <= limits.max_tensor.min(cluster.gpus_per_node) {
+        if model.num_heads() % t == 0 && model.hidden_size() % t == 0 {
+            tensors.push(t);
+        }
+        t *= 2;
+    }
+    let pipelines: Vec<usize> = (1..=limits.max_pipeline.min(model.num_layers()))
+        .filter(|p| model.num_layers() % p == 0)
+        .collect();
+    let mut out = Vec::new();
+    for &t in &tensors {
+        for d in 1..=limits.max_data {
+            if global_batch % d != 0 {
+                continue;
+            }
+            for &p in &pipelines {
+                if t * d * p > cluster.total_gpus {
+                    continue;
+                }
+                let mut m = 1;
+                while m <= limits.max_micro_batch {
+                    if (global_batch / d) % m == 0 {
+                        let plan = ParallelConfig::builder()
+                            .tensor(t)
+                            .data(d)
+                            .pipeline(p)
+                            .micro_batch(m)
+                            .global_batch(global_batch)
+                            .schedule(schedule)
+                            .build()
+                            .expect("enumerated divisibility holds");
+                        out.push(plan);
+                    }
+                    m *= 2;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates candidates in parallel, discarding infeasible plans.
+///
+/// Results are returned in candidate order regardless of thread
+/// interleaving, so sweeps are deterministic.
+pub fn sweep(
+    estimator: &Estimator,
+    model: &ModelConfig,
+    candidates: &[ParallelConfig],
+    threads: usize,
+) -> Vec<DesignPoint> {
+    let threads = threads.max(1);
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, DesignPoint)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= candidates.len() {
+                    break;
+                }
+                if let Ok(estimate) = estimator.estimate(model, &candidates[i]) {
+                    results
+                        .lock()
+                        .push((i, DesignPoint { plan: candidates[i], estimate }));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    let mut out = results.into_inner();
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Convenience: enumerate + sweep with one call.
+pub fn explore(
+    estimator: &Estimator,
+    model: &ModelConfig,
+    global_batch: usize,
+    schedule: PipelineSchedule,
+    limits: &SearchLimits,
+    threads: usize,
+) -> Vec<DesignPoint> {
+    let candidates =
+        enumerate_candidates(model, estimator.cluster(), global_batch, schedule, limits);
+    sweep(estimator, model, &candidates, threads)
+}
+
+/// The fastest feasible plan using at most `max_gpus` GPUs.
+pub fn fastest_within_gpu_budget(
+    points: &[DesignPoint],
+    max_gpus: usize,
+) -> Option<&DesignPoint> {
+    points
+        .iter()
+        .filter(|p| p.estimate.num_gpus <= max_gpus)
+        .min_by(|a, b| a.estimate.iteration_time.cmp(&b.estimate.iteration_time))
+}
+
+/// The cheapest end-to-end plan (total dollars over `total_tokens`) using at
+/// most `max_gpus` GPUs — the paper's cost-effectiveness criterion
+/// (Table I).
+pub fn most_cost_effective<'a>(
+    points: &'a [DesignPoint],
+    total_tokens: u64,
+    cost: &CostModel,
+    max_gpus: usize,
+) -> Option<(&'a DesignPoint, TrainingProjection)> {
+    points
+        .iter()
+        .filter(|p| p.estimate.num_gpus <= max_gpus)
+        .map(|p| (p, p.project(total_tokens, cost)))
+        .min_by(|a, b| a.1.total_dollars.total_cmp(&b.1.total_dollars))
+}
+
+/// Pareto frontier minimizing `(iteration_time, num_gpus)`.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<&DesignPoint> {
+    let mut front: Vec<&DesignPoint> = Vec::new();
+    for p in points {
+        let dominated = points.iter().any(|q| {
+            (q.estimate.iteration_time < p.estimate.iteration_time
+                && q.estimate.num_gpus <= p.estimate.num_gpus)
+                || (q.estimate.iteration_time <= p.estimate.iteration_time
+                    && q.estimate.num_gpus < p.estimate.num_gpus)
+        });
+        if !dominated {
+            front.push(p);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtrain_model::presets;
+
+    fn small_points() -> Vec<DesignPoint> {
+        let cluster = ClusterSpec::aws_p4d(16);
+        let estimator = Estimator::new(cluster);
+        let model = presets::megatron("1.7B");
+        explore(
+            &estimator,
+            &model,
+            16,
+            PipelineSchedule::OneFOneB,
+            &SearchLimits { max_tensor: 4, max_data: 4, max_pipeline: 4, max_micro_batch: 4 },
+            4,
+        )
+    }
+
+    #[test]
+    fn enumeration_respects_constraints() {
+        let model = presets::megatron("1.7B"); // 24 layers
+        let cluster = ClusterSpec::aws_p4d(64);
+        let limits =
+            SearchLimits { max_tensor: 16, max_data: 8, max_pipeline: 8, max_micro_batch: 4 };
+        let cands = enumerate_candidates(
+            &model,
+            &cluster,
+            32,
+            PipelineSchedule::OneFOneB,
+            &limits,
+        );
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.tensor() <= 8, "tensor capped by node size");
+            assert_eq!(24 % c.pipeline(), 0, "even stage partition");
+            assert_eq!(32 % (c.data() * c.micro_batch()), 0);
+            assert!(c.num_gpus() <= 64);
+        }
+    }
+
+    #[test]
+    fn sweep_returns_feasible_points_deterministically() {
+        let a = small_points();
+        let b = small_points();
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.plan, y.plan);
+            assert_eq!(x.estimate.iteration_time, y.estimate.iteration_time);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_agree() {
+        let cluster = ClusterSpec::aws_p4d(16);
+        let estimator = Estimator::new(cluster.clone());
+        let model = presets::megatron("1.7B");
+        let limits =
+            SearchLimits { max_tensor: 2, max_data: 2, max_pipeline: 2, max_micro_batch: 2 };
+        let cands = enumerate_candidates(
+            &model,
+            &cluster,
+            8,
+            PipelineSchedule::OneFOneB,
+            &limits,
+        );
+        let serial = sweep(&estimator, &model, &cands, 1);
+        let parallel = sweep(&estimator, &model, &cands, 8);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.estimate.iteration_time, b.estimate.iteration_time);
+        }
+    }
+
+    #[test]
+    fn budget_filters_apply() {
+        let points = small_points();
+        let best = fastest_within_gpu_budget(&points, 8).unwrap();
+        assert!(best.estimate.num_gpus <= 8);
+        // No point under the budget beats it.
+        for p in points.iter().filter(|p| p.estimate.num_gpus <= 8) {
+            assert!(best.estimate.iteration_time <= p.estimate.iteration_time);
+        }
+    }
+
+    #[test]
+    fn cost_optimum_is_cheapest() {
+        let points = small_points();
+        let cost = CostModel::default();
+        let (_, proj) = most_cost_effective(&points, 1_000_000_000, &cost, 16).unwrap();
+        for p in &points {
+            let other = p.project(1_000_000_000, &cost);
+            assert!(proj.total_dollars <= other.total_dollars + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pareto_points_are_mutually_nondominated() {
+        let points = small_points();
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        for a in &front {
+            for b in &front {
+                let strictly_better = b.estimate.iteration_time < a.estimate.iteration_time
+                    && b.estimate.num_gpus <= a.estimate.num_gpus;
+                assert!(!strictly_better, "front contains dominated point");
+            }
+        }
+    }
+}

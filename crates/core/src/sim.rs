@@ -1,0 +1,301 @@
+//! Algorithm 1: estimating single-iteration training time by replaying the
+//! task-granularity execution graph over per-GPU timelines.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use vtrain_gpu::NoiseModel;
+use vtrain_graph::{CommKind, CommScope};
+use vtrain_model::TimeNs;
+
+use crate::task_graph::{TaskGraph, TaskKind};
+
+/// Execution mode of the replay.
+#[derive(Clone, Copy, Debug)]
+pub enum SimMode<'a> {
+    /// Clean lookup-table replay — vTrain's prediction.
+    Predicted,
+    /// Ground-truth emulation standing in for a real measured run: applies
+    /// the [`NoiseModel`]'s launch overheads, jitter, contention inflation,
+    /// interference, and straggler effects.
+    Measured {
+        /// The fidelity layer.
+        noise: &'a NoiseModel,
+        /// Server nodes occupied by the plan (straggler pool size).
+        nodes: usize,
+    },
+}
+
+/// Busy-time totals summed across all simulated devices, by category.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusyBreakdown {
+    /// Compute-kernel time.
+    pub compute: TimeNs,
+    /// Tensor-parallel All-Reduce time (on the critical compute stream).
+    pub tp_comm: TimeNs,
+    /// Data-parallel gradient All-Reduce time (comm stream).
+    pub dp_comm: TimeNs,
+    /// Pipeline Send-Receive time (comm stream).
+    pub pp_comm: TimeNs,
+}
+
+impl BusyBreakdown {
+    /// All communication categories combined.
+    pub fn total_comm(&self) -> TimeNs {
+        self.tp_comm + self.dp_comm + self.pp_comm
+    }
+}
+
+/// Result of one replay.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Predicted (or emulated) single-iteration training time — the maximum
+    /// over all device timelines (Algorithm 1 line 22).
+    pub iteration_time: TimeNs,
+    /// Busy time by category, summed over devices.
+    pub busy: BusyBreakdown,
+    /// Per-device compute-stream busy time (bubble analysis).
+    pub device_busy: Vec<TimeNs>,
+    /// Number of tasks replayed.
+    pub tasks_executed: usize,
+}
+
+impl SimReport {
+    /// Mean fraction of wall-clock time each device's compute stream was
+    /// busy (1 − pipeline-bubble fraction).
+    pub fn mean_device_occupancy(&self) -> f64 {
+        if self.device_busy.is_empty() || self.iteration_time == TimeNs::ZERO {
+            return 0.0;
+        }
+        let total: f64 = self.device_busy.iter().map(|t| t.as_secs_f64()).sum();
+        total / (self.device_busy.len() as f64 * self.iteration_time.as_secs_f64())
+    }
+}
+
+/// Replays the task graph (Algorithm 1 of the paper).
+///
+/// Tasks are fetched in FIFO order from a ready queue seeded with all
+/// zero-dependency tasks; each task starts at the later of its stream's
+/// availability and its dependencies' completion; finishing a task releases
+/// its children. The per-device compute and communication streams advance
+/// independently, modeling computation/communication overlap (Fig. 5).
+///
+/// # Panics
+///
+/// Panics if the graph contains a dependency cycle (some task never becomes
+/// ready).
+pub fn simulate(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
+    let n = graph.len();
+    let mut in_degree = graph.in_degrees();
+    let mut ready_at = vec![TimeNs::ZERO; n];
+    // Timeline T[i] per (device, stream).
+    let mut stream_avail = vec![[TimeNs::ZERO; 2]; graph.num_devices() as usize];
+    let mut device_busy = vec![TimeNs::ZERO; graph.num_devices() as usize];
+
+    let mut queue: VecDeque<u32> =
+        (0..n as u32).filter(|&i| in_degree[i as usize] == 0).collect();
+
+    let mut report = SimReport { device_busy: vec![TimeNs::ZERO; graph.num_devices() as usize], ..SimReport::default() };
+    let mut executed = 0usize;
+
+    while let Some(u) = queue.pop_front() {
+        let task = &graph.tasks()[u as usize];
+        let duration = effective_duration(u, task.duration, &task.kind, &mode);
+        let dev = task.device as usize;
+        let stream = task.stream as usize;
+        let start = ready_at[u as usize].max(stream_avail[dev][stream]);
+        let finish = start + duration;
+        stream_avail[dev][stream] = finish;
+        report.iteration_time = report.iteration_time.max(finish);
+
+        match task.kind {
+            TaskKind::Compute { .. } => {
+                report.busy.compute += duration;
+                device_busy[dev] += duration;
+            }
+            TaskKind::Comm { kind, .. } => match kind {
+                CommKind::TpAllReduce => {
+                    report.busy.tp_comm += duration;
+                    device_busy[dev] += duration;
+                }
+                CommKind::DpAllReduce => report.busy.dp_comm += duration,
+                CommKind::PpSendRecv => report.busy.pp_comm += duration,
+            },
+        }
+
+        for &c in graph.children(u) {
+            ready_at[c as usize] = ready_at[c as usize].max(finish);
+            in_degree[c as usize] -= 1;
+            if in_degree[c as usize] == 0 {
+                queue.push_back(c);
+            }
+        }
+        executed += 1;
+    }
+
+    assert_eq!(executed, n, "task graph contains a cycle: {} of {n} tasks ran", executed);
+    report.tasks_executed = executed;
+    report.device_busy = device_busy;
+    report
+}
+
+/// Applies the mode's perturbations to one task's clean duration.
+fn effective_duration(
+    task_id: u32,
+    clean: TimeNs,
+    kind: &TaskKind,
+    mode: &SimMode<'_>,
+) -> TimeNs {
+    match mode {
+        SimMode::Predicted => clean,
+        SimMode::Measured { noise, nodes } => match *kind {
+            TaskKind::Compute { kernels } => {
+                let extra_launches = kernels.saturating_sub(1) as u64;
+                noise.compute_time(task_id as u64, clean)
+                    + TimeNs::from_nanos(
+                        noise.config().launch_overhead.as_nanos() * extra_launches,
+                    )
+            }
+            TaskKind::Comm { kind, scope, overlappable, concurrent_groups } => {
+                // TP All-Reduces interleave with the surrounding kernels
+                // (the paper's dominant single-node error source); bucketed
+                // DP All-Reduces overlap backward compute.
+                let overlaps = matches!(kind, CommKind::TpAllReduce) || overlappable;
+                let mut t = noise.comm_time(
+                    task_id as u64,
+                    clean,
+                    overlaps,
+                    concurrent_groups as usize,
+                );
+                if kind == CommKind::DpAllReduce && scope == CommScope::InterNode {
+                    // Synchronization across nodes is paced by stragglers.
+                    t = t.scale(noise.sync_straggler_factor((*nodes).min(64)));
+                }
+                t
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtrain_gpu::NoiseConfig;
+    use vtrain_graph::{build_op_graph, GraphOptions};
+    use vtrain_model::presets;
+    use vtrain_parallel::{ClusterSpec, GpuSpec, ParallelConfig, PipelineSchedule};
+    use vtrain_profile::{CommModel, Profiler};
+
+    fn lower(
+        t: usize,
+        d: usize,
+        p: usize,
+        m: usize,
+        b: usize,
+        sched: PipelineSchedule,
+        bucketing: bool,
+    ) -> TaskGraph {
+        let model = presets::megatron("1.7B");
+        let plan = ParallelConfig::builder()
+            .tensor(t)
+            .data(d)
+            .pipeline(p)
+            .micro_batch(m)
+            .global_batch(b)
+            .schedule(sched)
+            .gradient_bucketing(bucketing)
+            .build()
+            .unwrap();
+        let graph = build_op_graph(&model, &plan, &GraphOptions::default());
+        let table = Profiler::new(GpuSpec::a100_40gb()).profile(&graph.necessary_operators());
+        let comm = CommModel::new(&ClusterSpec::aws_p4d(256), 1.0);
+        TaskGraph::lower(&graph, &table, &comm).unwrap()
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let tg = lower(2, 2, 2, 1, 8, PipelineSchedule::OneFOneB, true);
+        let a = simulate(&tg, SimMode::Predicted);
+        let b = simulate(&tg, SimMode::Predicted);
+        assert_eq!(a.iteration_time, b.iteration_time);
+        assert_eq!(a.busy, b.busy);
+    }
+
+    #[test]
+    fn iteration_time_bounds() {
+        let tg = lower(2, 2, 2, 1, 8, PipelineSchedule::OneFOneB, true);
+        let r = simulate(&tg, SimMode::Predicted);
+        assert_eq!(r.tasks_executed, tg.len());
+        // Never below the busiest device, never above the serial sum.
+        let serial: TimeNs = tg.tasks().iter().map(|t| t.duration).sum();
+        let busiest = r.device_busy.iter().copied().max().unwrap();
+        assert!(r.iteration_time >= busiest);
+        assert!(r.iteration_time <= serial);
+        assert!(r.mean_device_occupancy() > 0.0 && r.mean_device_occupancy() <= 1.0);
+    }
+
+    #[test]
+    fn single_device_graph_time_is_serial_sum_of_compute_stream() {
+        // p = 1, d = 1: everything serializes on one compute stream.
+        let tg = lower(2, 1, 1, 1, 4, PipelineSchedule::OneFOneB, true);
+        let r = simulate(&tg, SimMode::Predicted);
+        let serial: TimeNs = tg.tasks().iter().map(|t| t.duration).sum();
+        assert_eq!(r.iteration_time, serial);
+    }
+
+    #[test]
+    fn more_micro_batches_shrink_pipeline_bubble() {
+        // Same total work (B constant), more micro-batches ⇒ smaller bubble
+        // fraction under GPipe (§II-B).
+        let few = simulate(&lower(1, 1, 4, 8, 16, PipelineSchedule::GPipe, true), SimMode::Predicted);
+        let many = simulate(&lower(1, 1, 4, 1, 16, PipelineSchedule::GPipe, true), SimMode::Predicted);
+        assert!(
+            many.mean_device_occupancy() > few.mean_device_occupancy(),
+            "16 micro-batches should fill the pipeline better than 2"
+        );
+    }
+
+    #[test]
+    fn one_f_one_b_no_slower_than_gpipe() {
+        let gpipe = simulate(&lower(1, 1, 4, 1, 16, PipelineSchedule::GPipe, true), SimMode::Predicted);
+        let fb = simulate(&lower(1, 1, 4, 1, 16, PipelineSchedule::OneFOneB, true), SimMode::Predicted);
+        // Equal-bubble in the ideal model; 1F1B must never be slower.
+        assert!(fb.iteration_time <= gpipe.iteration_time.scale(1.001));
+    }
+
+    #[test]
+    fn bucketing_overlap_helps_or_ties() {
+        let with = simulate(&lower(1, 8, 1, 1, 16, PipelineSchedule::OneFOneB, true), SimMode::Predicted);
+        let without =
+            simulate(&lower(1, 8, 1, 1, 16, PipelineSchedule::OneFOneB, false), SimMode::Predicted);
+        assert!(
+            with.iteration_time <= without.iteration_time,
+            "gradient bucketing must not slow the iteration: {} vs {}",
+            with.iteration_time,
+            without.iteration_time
+        );
+    }
+
+    #[test]
+    fn measured_mode_is_slower_than_predicted() {
+        let tg = lower(4, 2, 2, 1, 8, PipelineSchedule::OneFOneB, true);
+        let predicted = simulate(&tg, SimMode::Predicted);
+        let noise = NoiseModel::new(NoiseConfig::default());
+        let measured = simulate(&tg, SimMode::Measured { noise: &noise, nodes: 2 });
+        assert!(
+            measured.iteration_time > predicted.iteration_time,
+            "launch overhead + contention must inflate the measured run"
+        );
+        // ... but within a sane envelope (< 2×).
+        assert!(measured.iteration_time < predicted.iteration_time.scale(2.0));
+    }
+
+    #[test]
+    fn measured_mode_is_deterministic() {
+        let tg = lower(4, 2, 2, 1, 8, PipelineSchedule::OneFOneB, true);
+        let noise = NoiseModel::new(NoiseConfig::default());
+        let a = simulate(&tg, SimMode::Measured { noise: &noise, nodes: 2 });
+        let b = simulate(&tg, SimMode::Measured { noise: &noise, nodes: 2 });
+        assert_eq!(a.iteration_time, b.iteration_time);
+    }
+}

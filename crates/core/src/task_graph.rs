@@ -1,0 +1,223 @@
+//! Lowering the operator graph to the task-granularity execution graph
+//! (paper §III-D).
+//!
+//! Compute layer-nodes are replaced by their profiled CUDA-kernel sequences.
+//! Because an operator's kernels launch back-to-back on a single stream with
+//! no external dependency attaching between them, the sequence is lowered to
+//! one task carrying the summed latency and the kernel count — a lossless
+//! aggregation for the replay, while the kernel count preserves the
+//! launch-overhead accounting the ground-truth emulator needs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use vtrain_graph::{CommKind, CommScope, Op, OpGraph, StreamKind};
+use vtrain_model::TimeNs;
+use vtrain_profile::{CommModel, OperatorTaskTable};
+
+/// What a task does (drives how the measured-mode perturbations apply).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Aggregated compute-kernel sequence.
+    Compute {
+        /// Number of CUDA kernels aggregated into this task.
+        kernels: u32,
+    },
+    /// A communication operator.
+    Comm {
+        /// Collective class.
+        kind: CommKind,
+        /// Network tier.
+        scope: CommScope,
+        /// May overlap compute (runs on the comm stream by construction).
+        overlappable: bool,
+        /// DP groups sharing the node uplinks.
+        concurrent_groups: u32,
+    },
+}
+
+/// One schedulable unit of the task-granularity graph.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Task {
+    /// Owning device (pipeline-stage representative GPU).
+    pub device: u32,
+    /// Stream on the device (0 = compute, 1 = comm).
+    pub stream: u8,
+    /// Clean (lookup-table) duration.
+    pub duration: TimeNs,
+    /// Task class.
+    pub kind: TaskKind,
+}
+
+/// The task-granularity execution graph consumed by Algorithm 1.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    children: Vec<Vec<u32>>,
+    num_devices: u32,
+}
+
+/// Error lowering an operator graph: an operator was never profiled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MissingProfile;
+
+impl fmt::Display for MissingProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "operator missing from the lookup table; profile necessary operators first")
+    }
+}
+
+impl std::error::Error for MissingProfile {}
+
+impl TaskGraph {
+    /// Lowers an operator graph using the profiled lookup table and the
+    /// communication model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingProfile`] if a compute operator's signature is not
+    /// in `table`.
+    pub fn lower(
+        graph: &OpGraph,
+        table: &OperatorTaskTable,
+        comm: &CommModel,
+    ) -> Result<Self, MissingProfile> {
+        let mut tasks = Vec::with_capacity(graph.num_nodes());
+        for node in graph.nodes() {
+            let stream = match node.stream {
+                StreamKind::Compute => 0u8,
+                StreamKind::Comm => 1u8,
+            };
+            let task = match &node.op {
+                Op::Compute(c) => {
+                    let profile = table.get(&c.sig).ok_or(MissingProfile)?;
+                    Task {
+                        device: node.device,
+                        stream,
+                        duration: profile.total(),
+                        kind: TaskKind::Compute { kernels: profile.kernel_count() as u32 },
+                    }
+                }
+                Op::Comm(c) => Task {
+                    device: node.device,
+                    stream,
+                    duration: comm.latency(c),
+                    kind: TaskKind::Comm {
+                        kind: c.kind,
+                        scope: c.scope,
+                        overlappable: c.overlappable,
+                        concurrent_groups: c.concurrent_groups as u32,
+                    },
+                },
+            };
+            tasks.push(task);
+        }
+        let children = (0..graph.num_nodes() as u32)
+            .map(|i| graph.children(i).to_vec())
+            .collect();
+        Ok(TaskGraph { tasks, children, num_devices: graph.num_devices() })
+    }
+
+    /// All tasks, indexed consistently with [`TaskGraph::children`].
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Successor indices of task `i`.
+    pub fn children(&self, i: u32) -> &[u32] {
+        &self.children[i as usize]
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> u32 {
+        self.num_devices
+    }
+
+    /// In-degrees (Algorithm 1's `ref` counts).
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.tasks.len()];
+        for kids in &self.children {
+            for &k in kids {
+                deg[k as usize] += 1;
+            }
+        }
+        deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtrain_graph::{build_op_graph, GraphOptions};
+    use vtrain_model::presets;
+    use vtrain_parallel::{ClusterSpec, GpuSpec, ParallelConfig};
+    use vtrain_profile::Profiler;
+
+    fn lower_plan(t: usize, d: usize, p: usize) -> TaskGraph {
+        let model = presets::megatron("1.7B");
+        let plan = ParallelConfig::builder()
+            .tensor(t)
+            .data(d)
+            .pipeline(p)
+            .global_batch(4 * d)
+            .build()
+            .unwrap();
+        let graph = build_op_graph(&model, &plan, &GraphOptions::default());
+        let table = Profiler::new(GpuSpec::a100_40gb()).profile(&graph.necessary_operators());
+        let comm = CommModel::new(&ClusterSpec::aws_p4d(64), 1.0);
+        TaskGraph::lower(&graph, &table, &comm).unwrap()
+    }
+
+    #[test]
+    fn lowering_preserves_structure() {
+        let model = presets::megatron("1.7B");
+        let plan = ParallelConfig::builder()
+            .tensor(2)
+            .data(2)
+            .pipeline(2)
+            .global_batch(8)
+            .build()
+            .unwrap();
+        let graph = build_op_graph(&model, &plan, &GraphOptions::default());
+        let tg = lower_plan(2, 2, 2);
+        assert_eq!(tg.len(), graph.num_nodes());
+        assert_eq!(tg.num_devices(), 2);
+        assert!(tg.tasks().iter().all(|t| t.duration > TimeNs::ZERO));
+    }
+
+    #[test]
+    fn missing_profile_is_an_error() {
+        let model = presets::megatron("1.7B");
+        let plan = ParallelConfig::builder().global_batch(4).build().unwrap();
+        let graph = build_op_graph(&model, &plan, &GraphOptions::default());
+        let empty = OperatorTaskTable::new();
+        let comm = CommModel::new(&ClusterSpec::aws_p4d(8), 1.0);
+        assert_eq!(TaskGraph::lower(&graph, &empty, &comm).unwrap_err(), MissingProfile);
+    }
+
+    #[test]
+    fn compute_tasks_carry_kernel_counts() {
+        let tg = lower_plan(2, 1, 1);
+        let max_kernels = tg
+            .tasks()
+            .iter()
+            .filter_map(|t| match t.kind {
+                TaskKind::Compute { kernels } => Some(kernels),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        // A backward block with recompute aggregates well over 10 kernels.
+        assert!(max_kernels >= 10, "max kernels {max_kernels}");
+    }
+}

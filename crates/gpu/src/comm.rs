@@ -1,0 +1,159 @@
+//! Collective-communication latency models.
+//!
+//! Intra-node collectives ride NVLink/NVSwitch; inter-node collectives use
+//! the NCCL analytical form the paper adopts as Equation (1):
+//!
+//! ```text
+//! t = S/B · 2(n-1)/n
+//! ```
+//!
+//! with `B = α·Bmax` where `α` is the *bandwidth effectiveness factor*
+//! (§IV). Point-to-point pipeline transfers are a simple
+//! latency + size/bandwidth model, reflecting the paper's observation that
+//! Send-Receive is insensitive to interconnect bandwidth.
+
+use serde::{Deserialize, Serialize};
+use vtrain_model::{Bytes, TimeNs};
+
+/// The `2(n-1)/n` ring All-Reduce traffic multiplier.
+///
+/// Each of `n` ranks sends and receives each byte twice except its own
+/// shard (reduce-scatter + all-gather).
+///
+/// # Panics
+///
+/// Panics if `ranks == 0`.
+pub fn ring_factor(ranks: usize) -> f64 {
+    assert!(ranks > 0, "collective needs at least one rank");
+    2.0 * (ranks as f64 - 1.0) / ranks as f64
+}
+
+/// Latency of a ring All-Reduce of `bytes` across `ranks` peers sharing
+/// `bandwidth_per_rank` bytes/s each, plus a fixed `base_latency`
+/// (Equation (1) of the paper with `B = bandwidth_per_rank`).
+pub fn all_reduce_time(
+    bytes: Bytes,
+    ranks: usize,
+    bandwidth_per_rank: f64,
+    base_latency: TimeNs,
+) -> TimeNs {
+    assert!(bandwidth_per_rank > 0.0, "bandwidth must be positive");
+    if ranks <= 1 {
+        return TimeNs::ZERO;
+    }
+    let transfer = bytes.as_f64() * ring_factor(ranks) / bandwidth_per_rank;
+    base_latency + TimeNs::from_secs_f64(transfer)
+}
+
+/// Latency of a point-to-point Send-Receive of `bytes` over a link of
+/// `bandwidth` bytes/s with `base_latency` setup time.
+pub fn send_recv_time(bytes: Bytes, bandwidth: f64, base_latency: TimeNs) -> TimeNs {
+    assert!(bandwidth > 0.0, "bandwidth must be positive");
+    base_latency + TimeNs::from_secs_f64(bytes.as_f64() / bandwidth)
+}
+
+/// The paper's Equation (1) inter-node All-Reduce model with an explicit
+/// bandwidth effectiveness factor `α` applied to the maximum bandwidth.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InterNodeModel {
+    /// Maximum per-participant inter-node bandwidth `Bmax`, bytes/s.
+    pub max_bandwidth: f64,
+    /// Bandwidth effectiveness factor `α ∈ (0, 1]`.
+    pub alpha: f64,
+    /// Fixed collective launch latency.
+    pub base_latency: TimeNs,
+}
+
+impl InterNodeModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or bandwidth is non-positive.
+    pub fn new(max_bandwidth: f64, alpha: f64, base_latency: TimeNs) -> Self {
+        assert!(max_bandwidth > 0.0, "bandwidth must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        InterNodeModel { max_bandwidth, alpha, base_latency }
+    }
+
+    /// Effective bandwidth `B = α·Bmax`.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.alpha * self.max_bandwidth
+    }
+
+    /// All-Reduce latency per Equation (1).
+    pub fn all_reduce(&self, bytes: Bytes, ranks: usize) -> TimeNs {
+        all_reduce_time(bytes, ranks, self.effective_bandwidth(), self.base_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ring_factor_limits() {
+        assert_eq!(ring_factor(1), 0.0);
+        assert_eq!(ring_factor(2), 1.0);
+        assert!((ring_factor(512) - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn all_reduce_single_rank_is_free() {
+        assert_eq!(
+            all_reduce_time(Bytes::from_gib(1), 1, 1e9, TimeNs::from_micros(10)),
+            TimeNs::ZERO
+        );
+    }
+
+    #[test]
+    fn equation_one_example() {
+        // 1 GiB across 8 nodes at 100 GB/s, α = 1.0:
+        // t = 2^30 · (2·7/8) / 1e11 ≈ 18.8 ms.
+        let model = InterNodeModel::new(100e9, 1.0, TimeNs::ZERO);
+        let t = model.all_reduce(Bytes::from_gib(1), 8);
+        assert!((t.as_secs_f64() - 0.0188).abs() < 0.001, "{t}");
+    }
+
+    #[test]
+    fn alpha_scales_time_inversely() {
+        let full = InterNodeModel::new(100e9, 1.0, TimeNs::ZERO);
+        let half = InterNodeModel::new(100e9, 0.5, TimeNs::ZERO);
+        let b = Bytes::from_mib(256);
+        let ratio = half.all_reduce(b, 4).as_secs_f64() / full.all_reduce(b, 4).as_secs_f64();
+        assert!((ratio - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_validated() {
+        let _ = InterNodeModel::new(1e9, 1.5, TimeNs::ZERO);
+    }
+
+    #[test]
+    fn send_recv_is_latency_plus_transfer() {
+        let t = send_recv_time(Bytes::from_mib(100), 1e9, TimeNs::from_micros(20));
+        let expect = 20e-6 + 100.0 * 1024.0 * 1024.0 / 1e9;
+        assert!((t.as_secs_f64() - expect).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn all_reduce_monotone_in_size_and_ranks(
+            mib_a in 1u64..2048, mib_b in 1u64..2048, r in 2usize..512,
+        ) {
+            let (lo, hi) = if mib_a <= mib_b { (mib_a, mib_b) } else { (mib_b, mib_a) };
+            let bw = 100e9;
+            let lat = TimeNs::from_micros(20);
+            prop_assert!(
+                all_reduce_time(Bytes::from_mib(lo), r, bw, lat)
+                    <= all_reduce_time(Bytes::from_mib(hi), r, bw, lat)
+            );
+            prop_assert!(
+                all_reduce_time(Bytes::from_mib(lo), r, bw, lat)
+                    <= all_reduce_time(Bytes::from_mib(lo), r + 1, bw, lat)
+            );
+        }
+    }
+}

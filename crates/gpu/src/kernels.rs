@@ -1,0 +1,174 @@
+//! CUDA-kernel-shaped work descriptions.
+//!
+//! vTrain's operator-to-task lookup table maps each high-level operator to
+//! the list of low-level CUDA kernels (tasks) it launches (paper Fig. 4).
+//! [`KernelKind`] describes the shape of such a task precisely enough for
+//! the analytical device model to assign it a latency, and
+//! [`Kernel::name`] renders a CUPTI-style kernel name so traces look like
+//! the ones the paper collects (e.g. `ampere_fp16_..._128x128_tn`).
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of a single GPU kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Dense FP16 tensor-core GEMM: `batch` independent `m×k · k×n`
+    /// products.
+    Gemm {
+        /// Rows of the output tile.
+        m: u64,
+        /// Columns of the output tile.
+        n: u64,
+        /// Reduction dimension.
+        k: u64,
+        /// Batch count (1 for plain GEMM, `heads·micro_batch` for
+        /// attention score/context GEMMs).
+        batch: u64,
+    },
+    /// Memory-bound elementwise kernel (bias, residual add, GeLU, dropout,
+    /// scatter-add); cost is driven by bytes moved.
+    Elementwise {
+        /// Total bytes read + written.
+        bytes: u64,
+    },
+    /// Row-wise softmax over a `rows × cols` matrix (FP16).
+    Softmax {
+        /// Independent rows.
+        rows: u64,
+        /// Elements per row.
+        cols: u64,
+    },
+    /// LayerNorm over a `rows × cols` activation (FP16).
+    LayerNorm {
+        /// Independent rows.
+        rows: u64,
+        /// Elements per row.
+        cols: u64,
+    },
+    /// Embedding-table gather + positional add for `tokens` tokens.
+    EmbeddingLookup {
+        /// Tokens looked up.
+        tokens: u64,
+        /// Hidden dimension.
+        hidden: u64,
+    },
+    /// Fused Adam optimizer step over `params` parameters (mixed
+    /// precision: FP32 master weights and moments, FP16 copy).
+    AdamUpdate {
+        /// Parameters updated.
+        params: u64,
+    },
+}
+
+impl KernelKind {
+    /// Floating-point operations this kernel performs (2·m·n·k per GEMM
+    /// element; elementwise/normalization kernels count a handful of ops
+    /// per element but are memory bound anyway).
+    pub fn flops(&self) -> f64 {
+        match *self {
+            KernelKind::Gemm { m, n, k, batch } => 2.0 * m as f64 * n as f64 * k as f64 * batch as f64,
+            KernelKind::Elementwise { bytes } => bytes as f64 / 2.0,
+            KernelKind::Softmax { rows, cols } => 5.0 * rows as f64 * cols as f64,
+            KernelKind::LayerNorm { rows, cols } => 8.0 * rows as f64 * cols as f64,
+            KernelKind::EmbeddingLookup { tokens, hidden } => tokens as f64 * hidden as f64,
+            KernelKind::AdamUpdate { params } => 12.0 * params as f64,
+        }
+    }
+
+    /// Bytes of HBM traffic this kernel generates.
+    pub fn bytes(&self) -> f64 {
+        match *self {
+            KernelKind::Gemm { m, n, k, batch } => {
+                // FP16 operands + output; each operand read once (tiled reuse
+                // captured by the device model's efficiency term).
+                2.0 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64)
+                    * batch as f64
+            }
+            KernelKind::Elementwise { bytes } => bytes as f64,
+            // read + write FP16, plus one extra pass for the reduction.
+            KernelKind::Softmax { rows, cols } => 6.0 * rows as f64 * cols as f64,
+            KernelKind::LayerNorm { rows, cols } => 6.0 * rows as f64 * cols as f64,
+            KernelKind::EmbeddingLookup { tokens, hidden } => 6.0 * tokens as f64 * hidden as f64,
+            // w(4+4) m(4+4) v(4+4) g(2) + fp16 w copy(2) per param.
+            KernelKind::AdamUpdate { params } => 28.0 * params as f64,
+        }
+    }
+}
+
+/// A named kernel as it would appear in a CUPTI trace.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Kernel {
+    /// The kernel's shape (drives its latency).
+    pub kind: KernelKind,
+}
+
+impl Kernel {
+    /// Creates a kernel from its shape.
+    pub fn new(kind: KernelKind) -> Self {
+        Kernel { kind }
+    }
+
+    /// A CUPTI-style kernel name, e.g.
+    /// `ampere_fp16_s16816gemm_fp16_128x128_ldg8_f2f_tn_b1_m4096_n4096_k1024`.
+    pub fn name(&self) -> String {
+        match self.kind {
+            KernelKind::Gemm { m, n, k, batch } => format!(
+                "ampere_fp16_s16816gemm_fp16_128x128_ldg8_f2f_tn_b{batch}_m{m}_n{n}_k{k}"
+            ),
+            KernelKind::Elementwise { bytes } => {
+                format!("vectorized_elementwise_kernel_v4_{bytes}b")
+            }
+            KernelKind::Softmax { rows, cols } => {
+                format!("softmax_warp_forward_fp16_r{rows}_c{cols}")
+            }
+            KernelKind::LayerNorm { rows, cols } => {
+                format!("cunn_layer_norm_fp16_r{rows}_c{cols}")
+            }
+            KernelKind::EmbeddingLookup { tokens, hidden } => {
+                format!("indexSelectLargeIndex_t{tokens}_h{hidden}")
+            }
+            KernelKind::AdamUpdate { params } => format!("multi_tensor_adam_p{params}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_flops_follow_2mnk() {
+        let k = KernelKind::Gemm { m: 128, n: 256, k: 64, batch: 2 };
+        assert_eq!(k.flops(), 2.0 * 128.0 * 256.0 * 64.0 * 2.0);
+    }
+
+    #[test]
+    fn bytes_are_positive_for_all_kinds() {
+        let kinds = [
+            KernelKind::Gemm { m: 16, n: 16, k: 16, batch: 1 },
+            KernelKind::Elementwise { bytes: 1024 },
+            KernelKind::Softmax { rows: 8, cols: 8 },
+            KernelKind::LayerNorm { rows: 8, cols: 8 },
+            KernelKind::EmbeddingLookup { tokens: 8, hidden: 8 },
+            KernelKind::AdamUpdate { params: 100 },
+        ];
+        for k in kinds {
+            assert!(k.bytes() > 0.0, "{k:?}");
+            assert!(k.flops() > 0.0, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn names_encode_shape() {
+        let k = Kernel::new(KernelKind::Gemm { m: 4096, n: 1024, k: 512, batch: 1 });
+        let name = k.name();
+        assert!(name.contains("m4096") && name.contains("n1024") && name.contains("k512"));
+        assert!(name.starts_with("ampere_fp16"));
+    }
+
+    #[test]
+    fn adam_moves_28_bytes_per_param() {
+        let k = KernelKind::AdamUpdate { params: 10 };
+        assert_eq!(k.bytes(), 280.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Analytical A100 kernel-latency model.
+//!
+//! Plays the role of the physical GPU in the paper's profiling flow: given a
+//! kernel shape, produce the wall-clock latency CUPTI would have reported.
+//! GEMMs follow a roofline with tensor-core tile (128×128) and wave (108 SM)
+//! quantization — the dominant second-order effect for transformer GEMMs —
+//! while normalization/elementwise kernels are HBM-bandwidth bound with a
+//! fixed device-side ramp-up cost.
+
+use vtrain_model::TimeNs;
+use vtrain_parallel::GpuSpec;
+
+use crate::kernels::KernelKind;
+
+/// GEMM output tile produced per thread-block by ampere FP16 kernels.
+const TILE_M: u64 = 128;
+/// GEMM output tile columns.
+const TILE_N: u64 = 128;
+/// Peak fraction of tensor-core throughput achieved by large,
+/// well-quantized GEMMs (cuBLAS sustains ~70-75 % on transformer-shaped
+/// FP16 GEMMs on A100, short of the ~85 % synthetic-benchmark peak).
+const GEMM_PEAK_EFFICIENCY: f64 = 0.72;
+/// Achievable fraction of HBM bandwidth for streaming kernels.
+const STREAM_EFFICIENCY: f64 = 0.8;
+/// Device-side fixed cost of any kernel (pipeline fill, tail effects).
+const KERNEL_RAMP: TimeNs = TimeNs::from_micros(2);
+
+/// Deterministic kernel-latency oracle for one GPU.
+///
+/// # Examples
+///
+/// ```
+/// use vtrain_gpu::{DeviceModel, KernelKind};
+/// use vtrain_parallel::GpuSpec;
+///
+/// let dev = DeviceModel::new(GpuSpec::a100_40gb());
+/// let big = dev.kernel_latency(&KernelKind::Gemm { m: 8192, n: 8192, k: 8192, batch: 1 });
+/// let small = dev.kernel_latency(&KernelKind::Gemm { m: 128, n: 128, k: 128, batch: 1 });
+/// assert!(big > small);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeviceModel {
+    spec: GpuSpec,
+}
+
+impl DeviceModel {
+    /// Creates a latency model for the given GPU.
+    pub fn new(spec: GpuSpec) -> Self {
+        DeviceModel { spec }
+    }
+
+    /// The modeled GPU's spec.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Fraction of peak tensor-core throughput a GEMM of this shape
+    /// achieves, combining tile quantization (partial 128×128 tiles do full
+    /// work), wave quantization (the last wave may underfill the 108 SMs),
+    /// and reduction-depth efficiency (short `k` cannot hide the MMA
+    /// pipeline latency).
+    pub fn gemm_efficiency(&self, m: u64, n: u64, k: u64, batch: u64) -> f64 {
+        let tiles_m = m.div_ceil(TILE_M);
+        let tiles_n = n.div_ceil(TILE_N);
+        let tiles = tiles_m * tiles_n * batch;
+        let tile_util = (m as f64 / (tiles_m * TILE_M) as f64)
+            * (n as f64 / (tiles_n * TILE_N) as f64);
+        let waves = tiles.div_ceil(self.spec.sm_count as u64);
+        let wave_util = tiles as f64 / (waves * self.spec.sm_count as u64) as f64;
+        let k_util = k as f64 / (k as f64 + 64.0);
+        GEMM_PEAK_EFFICIENCY * tile_util * wave_util * k_util
+    }
+
+    /// Wall-clock latency of one kernel on this device.
+    ///
+    /// GEMMs take `max(compute roofline / efficiency, memory roofline)`;
+    /// all other kernels are HBM-bound streams. Every kernel pays a fixed
+    /// device-side ramp cost.
+    pub fn kernel_latency(&self, kind: &KernelKind) -> TimeNs {
+        let mem_secs = kind.bytes() / (self.spec.memory_bandwidth * STREAM_EFFICIENCY);
+        let secs = match *kind {
+            KernelKind::Gemm { m, n, k, batch } => {
+                let eff = self.gemm_efficiency(m, n, k, batch);
+                let compute_secs = kind.flops() / (self.spec.peak_fp16_flops * eff);
+                compute_secs.max(mem_secs)
+            }
+            _ => mem_secs,
+        };
+        TimeNs::from_secs_f64(secs) + KERNEL_RAMP
+    }
+
+    /// Total latency of a kernel sequence (no overlap within a stream).
+    pub fn sequence_latency<'a, I>(&self, kinds: I) -> TimeNs
+    where
+        I: IntoIterator<Item = &'a KernelKind>,
+    {
+        kinds.into_iter().map(|k| self.kernel_latency(k)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dev() -> DeviceModel {
+        DeviceModel::new(GpuSpec::a100_40gb())
+    }
+
+    #[test]
+    fn large_gemm_approaches_peak_efficiency() {
+        // 8k³ GEMM: 2·8192³ = 1.1e12 FLOPs; at ~70 % of 312 TFLOPS ≈ 5 ms.
+        let eff = dev().gemm_efficiency(8192, 8192, 8192, 1);
+        assert!(eff > 0.63, "eff = {eff}");
+        let t = dev().kernel_latency(&KernelKind::Gemm { m: 8192, n: 8192, k: 8192, batch: 1 });
+        let secs = t.as_secs_f64();
+        assert!((3.5e-3..6e-3).contains(&secs), "latency {secs}s");
+    }
+
+    #[test]
+    fn wave_quantization_penalizes_one_extra_tile() {
+        let d = dev();
+        // 108 tiles fill the 108 SMs exactly; a 109th tile forces a second,
+        // nearly-empty wave, halving tensor-core efficiency for ~1 % more
+        // FLOPs.
+        let full_wave = d.gemm_efficiency(108 * 128, 128, 4096, 1);
+        let spill = d.gemm_efficiency(108 * 128 + 1, 128, 4096, 1);
+        assert!(spill < 0.6 * full_wave, "full {full_wave}, spill {spill}");
+    }
+
+    #[test]
+    fn short_k_is_inefficient() {
+        let d = dev();
+        // k = 64 cannot hide the MMA pipeline latency: roughly half the
+        // deep-k efficiency.
+        assert!(d.gemm_efficiency(4096, 4096, 64, 1) < 0.6 * d.gemm_efficiency(4096, 4096, 4096, 1));
+    }
+
+    #[test]
+    fn elementwise_is_bandwidth_bound() {
+        // 1 GiB moved at 0.8 × 1.555 TB/s ≈ 863 µs.
+        let t = dev().kernel_latency(&KernelKind::Elementwise { bytes: 1 << 30 });
+        let secs = t.as_secs_f64();
+        assert!((7e-4..1.1e-3).contains(&secs), "latency {secs}s");
+    }
+
+    #[test]
+    fn every_kernel_pays_ramp_cost() {
+        let t = dev().kernel_latency(&KernelKind::Elementwise { bytes: 1 });
+        assert!(t >= TimeNs::from_micros(2));
+    }
+
+    #[test]
+    fn sequence_latency_sums() {
+        let d = dev();
+        let ks = [
+            KernelKind::Elementwise { bytes: 1 << 20 },
+            KernelKind::Softmax { rows: 1024, cols: 1024 },
+        ];
+        assert_eq!(d.sequence_latency(ks.iter()), d.kernel_latency(&ks[0]) + d.kernel_latency(&ks[1]));
+    }
+
+    proptest! {
+        #[test]
+        fn efficiency_is_a_valid_fraction(
+            m in 1u64..16384, n in 1u64..16384, k in 1u64..16384, b in 1u64..64,
+        ) {
+            let eff = dev().gemm_efficiency(m, n, k, b);
+            prop_assert!(eff > 0.0 && eff <= GEMM_PEAK_EFFICIENCY + 1e-12);
+        }
+
+        #[test]
+        fn latency_monotonic_in_bytes(a in 1u64..1_000_000_000, b in 1u64..1_000_000_000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let d = dev();
+            let small = d.kernel_latency(&KernelKind::Elementwise { bytes: lo });
+            let large = d.kernel_latency(&KernelKind::Elementwise { bytes: hi });
+            prop_assert!(small <= large);
+        }
+
+        #[test]
+        fn gemm_latency_positive_and_finite(
+            m in 1u64..8192, n in 1u64..8192, k in 1u64..8192,
+        ) {
+            let t = dev().kernel_latency(&KernelKind::Gemm { m, n, k, batch: 1 });
+            prop_assert!(t > TimeNs::ZERO);
+            prop_assert!(t < TimeNs::from_secs(60));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # vtrain-gpu
+//!
+//! GPU device model and ground-truth cluster emulation substrate for vTrain.
+//!
+//! The published vTrain profiles CUDA kernels on real NVIDIA A100 GPUs via
+//! CUPTI and validates against measured multi-GPU training runs. Neither a
+//! GPU nor CUPTI is available to this reproduction, so this crate supplies
+//! the two substitutes documented in `DESIGN.md`:
+//!
+//! 1. [`DeviceModel`] — a deterministic, analytical A100 kernel-latency
+//!    model (roofline GEMMs with tile/wave quantization across 108 SMs,
+//!    memory-bound elementwise/normalization kernels). The profiling module
+//!    "executes" operators against this model exactly where the paper's
+//!    profiler executes them on hardware.
+//! 2. [`NoiseModel`] — the *ground-truth fidelity layer* that stands in for
+//!    the real measured systems: it injects the discrepancy mechanisms the
+//!    paper itself blames its prediction error on (§IV): ~30 % NCCL latency
+//!    inflation when collectives overlap compute, per-kernel launch
+//!    overheads, run-to-run jitter, straggler nodes, and inter-node network
+//!    interference between data-parallel groups.
+//!
+//! Collective-communication latency models (ring All-Reduce, the NCCL
+//! `S/B · 2(n-1)/n` analytical form of the paper's Equation (1)) live in
+//! [`comm`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+mod kernels;
+mod latency;
+mod noise;
+
+pub use kernels::{Kernel, KernelKind};
+pub use latency::DeviceModel;
+pub use noise::{NoiseConfig, NoiseModel};

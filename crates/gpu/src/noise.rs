@@ -1,0 +1,270 @@
+//! The ground-truth fidelity layer ("measured" systems stand-in).
+//!
+//! The paper validates vTrain against real measured training runs and
+//! attributes its prediction error to specific mechanisms (§IV):
+//!
+//! * NCCL primitives are on average ~30 % slower during real training than
+//!   in the isolated setting they were profiled in — most pronounced under
+//!   tensor parallelism (two All-Reduces per layer per pass);
+//! * kernel-launch latencies that the lookup-table replay ignores;
+//! * straggler GPU nodes at synchronization points;
+//! * interference between data-parallel groups sharing network links.
+//!
+//! [`NoiseModel`] injects exactly these mechanisms, deterministically (all
+//! randomness is hashed from `(seed, id)`, so the same configuration always
+//! "measures" the same time — mirroring the paper's observation that kernel
+//! execution times exhibit little run-to-run variance).
+
+use serde::{Deserialize, Serialize};
+use vtrain_model::TimeNs;
+
+/// Magnitudes of the emulated real-system effects.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Seed for all deterministic pseudo-randomness.
+    pub seed: u64,
+    /// Mean fractional slow-down of collectives running concurrently with
+    /// compute (the paper reports ≈ 0.30).
+    pub comm_inflation: f64,
+    /// Log-normal σ of per-kernel execution-time jitter.
+    pub jitter_sigma: f64,
+    /// Log-normal σ of per-node straggler slow-down sampled once per node.
+    pub straggler_sigma: f64,
+    /// Fractional slow-down added per *additional* data-parallel group
+    /// sharing a node's inter-node links (ToR interference, §IV).
+    pub congestion_per_group: f64,
+    /// Host-side launch overhead added to every kernel.
+    pub launch_overhead: TimeNs,
+    /// Log-normal σ of the per-configuration iteration-level bias (runtime
+    /// framework effects a kernel-level replay cannot see: dataloader
+    /// stalls, allocator behaviour, NCCL channel formation). Grows with the
+    /// node count — the paper's multi-node error (14.73 %) is nearly twice
+    /// its single-node error (8.37 %) for exactly this reason.
+    pub iteration_bias_sigma: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            seed: 0x5eed_cafe,
+            comm_inflation: 0.30,
+            jitter_sigma: 0.03,
+            straggler_sigma: 0.015,
+            congestion_per_group: 0.05,
+            // Effective serialized cost per launch: CUDA enqueues pipeline
+            // with execution, so the visible gap is well under the ~4 µs
+            // host-side launch latency.
+            launch_overhead: TimeNs::from_nanos(1200),
+            iteration_bias_sigma: 0.055,
+        }
+    }
+}
+
+/// Deterministic perturbation oracle implementing [`NoiseConfig`].
+#[derive(Clone, Debug)]
+pub struct NoiseModel {
+    cfg: NoiseConfig,
+}
+
+/// SplitMix64 — tiny, high-quality 64-bit mixer (public domain algorithm).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl NoiseModel {
+    /// Creates the oracle.
+    pub fn new(cfg: NoiseConfig) -> Self {
+        NoiseModel { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NoiseConfig {
+        &self.cfg
+    }
+
+    /// Uniform sample in `[0, 1)` keyed by `(seed, id, lane)`.
+    fn u01(&self, id: u64, lane: u64) -> f64 {
+        let h = splitmix64(self.cfg.seed ^ splitmix64(id ^ lane.rotate_left(17)));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Standard-normal sample keyed by `(seed, id, lane)` (Box–Muller).
+    fn normal(&self, id: u64, lane: u64) -> f64 {
+        let u1 = self.u01(id, lane).max(f64::MIN_POSITIVE);
+        let u2 = self.u01(id, lane ^ 0xABCD_EF01);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Log-normal multiplicative factor `exp(σ·z)` keyed by `id`.
+    fn lognormal(&self, id: u64, lane: u64, sigma: f64) -> f64 {
+        (sigma * self.normal(id, lane)).exp()
+    }
+
+    /// The "measured" duration of a compute kernel: clean latency × jitter,
+    /// plus the host launch overhead the clean replay ignores.
+    pub fn compute_time(&self, task_id: u64, clean: TimeNs) -> TimeNs {
+        clean.scale(self.lognormal(task_id, 1, self.cfg.jitter_sigma)) + self.cfg.launch_overhead
+    }
+
+    /// The "measured" duration of a communication operation.
+    ///
+    /// `overlaps_compute` marks collectives issued while the owning GPU has
+    /// concurrent kernel work (TP All-Reduces inside a layer, bucketed DP
+    /// All-Reduces during backward); these suffer the ~30 % inflation.
+    /// `concurrent_groups` is the number of data-parallel groups sharing
+    /// this GPU's node uplinks (> 1 only when `t <` GPUs-per-node spreads
+    /// several DP groups across one node).
+    pub fn comm_time(
+        &self,
+        task_id: u64,
+        clean: TimeNs,
+        overlaps_compute: bool,
+        concurrent_groups: usize,
+    ) -> TimeNs {
+        let mut factor = self.lognormal(task_id, 2, self.cfg.jitter_sigma);
+        if overlaps_compute {
+            factor *= 1.0 + self.cfg.comm_inflation;
+        }
+        if concurrent_groups > 1 {
+            factor *= 1.0 + self.cfg.congestion_per_group * (concurrent_groups - 1) as f64;
+        }
+        clean.scale(factor) + self.cfg.launch_overhead
+    }
+
+    /// Multiplicative straggler slow-down of a node (≥ 1; the slowest node
+    /// paces every synchronization point).
+    pub fn straggler_factor(&self, node_id: u64) -> f64 {
+        1.0 + (self.lognormal(node_id, 3, self.cfg.straggler_sigma) - 1.0).abs()
+    }
+
+    /// The effective synchronization slow-down across `nodes` nodes: the
+    /// maximum straggler factor among them.
+    pub fn sync_straggler_factor(&self, nodes: usize) -> f64 {
+        (0..nodes as u64).map(|n| self.straggler_factor(n)).fold(1.0, f64::max)
+    }
+
+    /// Per-configuration multiplicative iteration bias: a log-normal with a
+    /// mild positive drift (framework overheads add time on average, but
+    /// individual configurations scatter on both sides, as in the paper's
+    /// Fig. 9 scatter plots). σ grows logarithmically with the node count,
+    /// reproducing the error structure (multi-node scatter ≈ 2×
+    /// single-node).
+    pub fn iteration_bias(&self, config_key: u64, nodes: usize) -> f64 {
+        let sigma =
+            self.cfg.iteration_bias_sigma * (1.0 + 0.45 * (nodes.max(1) as f64).ln());
+        (sigma * self.normal(config_key, 4) + 0.5 * sigma).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> NoiseModel {
+        NoiseModel::new(NoiseConfig::default())
+    }
+
+    #[test]
+    fn perturbations_are_deterministic() {
+        let a = model();
+        let b = model();
+        let clean = TimeNs::from_micros(500);
+        for id in 0..100 {
+            assert_eq!(a.compute_time(id, clean), b.compute_time(id, clean));
+            assert_eq!(a.comm_time(id, clean, true, 4), b.comm_time(id, clean, true, 4));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = NoiseModel::new(NoiseConfig { seed: 1, ..NoiseConfig::default() });
+        let b = NoiseModel::new(NoiseConfig { seed: 2, ..NoiseConfig::default() });
+        let clean = TimeNs::from_millis(3);
+        let differs = (0..32).any(|id| a.compute_time(id, clean) != b.compute_time(id, clean));
+        assert!(differs);
+    }
+
+    #[test]
+    fn jitter_is_small_and_centered() {
+        let m = model();
+        let clean = TimeNs::from_millis(10);
+        let mean: f64 = (0..2000)
+            .map(|id| m.compute_time(id, clean).as_secs_f64() / clean.as_secs_f64())
+            .sum::<f64>()
+            / 2000.0;
+        // jitter σ = 3 %, launch overhead 4 µs on 10 ms ⇒ mean ratio ≈ 1.0
+        assert!((mean - 1.0).abs() < 0.01, "mean ratio {mean}");
+    }
+
+    #[test]
+    fn overlap_inflates_comm_by_about_thirty_percent() {
+        let m = model();
+        let clean = TimeNs::from_millis(5);
+        let ratio: f64 = (0..500)
+            .map(|id| {
+                m.comm_time(id, clean, true, 1).as_secs_f64()
+                    / m.comm_time(id, clean, false, 1).as_secs_f64()
+            })
+            .sum::<f64>()
+            / 500.0;
+        assert!((ratio - 1.30).abs() < 0.02, "inflation ratio {ratio}");
+    }
+
+    #[test]
+    fn congestion_grows_with_groups() {
+        let m = model();
+        let clean = TimeNs::from_millis(5);
+        let one = m.comm_time(7, clean, false, 1);
+        let four = m.comm_time(7, clean, false, 4);
+        assert!(four > one);
+    }
+
+    #[test]
+    fn straggler_factor_at_least_one_and_monotone_in_nodes() {
+        let m = model();
+        for n in 0..64 {
+            assert!(m.straggler_factor(n) >= 1.0);
+        }
+        assert!(m.sync_straggler_factor(64) >= m.sync_straggler_factor(2));
+    }
+
+    #[test]
+    fn iteration_bias_is_deterministic_and_positive() {
+        let m = model();
+        for key in 0..200u64 {
+            let b = m.iteration_bias(key, 8);
+            assert!(b > 0.0 && b.is_finite());
+            assert_eq!(b, m.iteration_bias(key, 8));
+        }
+    }
+
+    #[test]
+    fn iteration_bias_scatter_grows_with_nodes() {
+        // Multi-node deployments scatter roughly twice as wide as
+        // single-node ones (the paper's Fig. 9 error structure).
+        let m = model();
+        let spread = |nodes: usize| {
+            (0..500u64)
+                .map(|k| (m.iteration_bias(k, nodes) - 1.0).abs())
+                .sum::<f64>()
+                / 500.0
+        };
+        let single = spread(1);
+        let multi = spread(64);
+        assert!(
+            multi > 1.5 * single,
+            "multi-node spread {multi:.4} should dwarf single-node {single:.4}"
+        );
+    }
+
+    #[test]
+    fn iteration_bias_drifts_positive_on_average() {
+        let m = model();
+        let mean: f64 =
+            (0..1000u64).map(|k| m.iteration_bias(k, 8)).sum::<f64>() / 1000.0;
+        assert!(mean > 1.0, "mean bias {mean:.4} should exceed 1 (overheads add time)");
+    }
+}

@@ -1,0 +1,202 @@
+//! The operator-granularity DAG container.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ops::{Op, OpSignature};
+
+/// Execution stream a node occupies on its device.
+///
+/// Compute kernels and the sequentially-dependent TP All-Reduces serialize
+/// on the compute stream; DP gradient All-Reduces and pipeline sends run on
+/// a separate communication stream so they can overlap compute (Fig. 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamKind {
+    /// The device's main compute stream.
+    Compute,
+    /// The device's NCCL communication stream.
+    Comm,
+}
+
+/// One vertex of the operator-granularity graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OpNode {
+    /// Owning device (pipeline-stage index of the representative GPU).
+    pub device: u32,
+    /// Stream the node occupies on its device.
+    pub stream: StreamKind,
+    /// The operator.
+    pub op: Op,
+}
+
+/// The operator-granularity execution DAG for one training iteration.
+///
+/// Nodes are stored in creation order, which is also a valid per-stream
+/// program order; edges point from producers to consumers.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OpGraph {
+    nodes: Vec<OpNode>,
+    children: Vec<Vec<u32>>,
+    num_devices: u32,
+}
+
+impl OpGraph {
+    /// Creates an empty graph over `num_devices` representative GPUs.
+    pub fn new(num_devices: u32) -> Self {
+        OpGraph { nodes: Vec::new(), children: Vec::new(), num_devices }
+    }
+
+    /// Number of representative devices (pipeline stages).
+    pub fn num_devices(&self) -> u32 {
+        self.num_devices
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All nodes in creation (program) order.
+    pub fn nodes(&self) -> &[OpNode] {
+        &self.nodes
+    }
+
+    /// The node at `idx`.
+    pub fn node(&self, idx: u32) -> &OpNode {
+        &self.nodes[idx as usize]
+    }
+
+    /// Direct successors of `idx`.
+    pub fn children(&self, idx: u32) -> &[u32] {
+        &self.children[idx as usize]
+    }
+
+    /// Appends a node and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device index is out of range.
+    pub fn push(&mut self, node: OpNode) -> u32 {
+        assert!(node.device < self.num_devices, "device out of range");
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.children.push(Vec::new());
+        idx
+    }
+
+    /// Adds a dependency edge `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or the edge is a self-loop.
+    pub fn add_edge(&mut self, from: u32, to: u32) {
+        assert!((to as usize) < self.nodes.len(), "edge target out of range");
+        assert!((from as usize) < self.nodes.len(), "edge source out of range");
+        assert!(from != to, "self-dependency on node {from}");
+        self.children[from as usize].push(to);
+    }
+
+    /// In-degree of every node (the `ref` counts of Algorithm 1).
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.nodes.len()];
+        for kids in &self.children {
+            for &k in kids {
+                deg[k as usize] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Total edge count.
+    pub fn num_edges(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// The deduplicated set of compute-operator signatures — the paper's
+    /// *necessary operators*, the only things the profiler must execute.
+    pub fn necessary_operators(&self) -> HashSet<OpSignature> {
+        self.nodes.iter().filter_map(|n| n.op.signature().copied()).collect()
+    }
+
+    /// Verifies the graph is a DAG (Kahn's algorithm visits every node).
+    pub fn is_acyclic(&self) -> bool {
+        let mut deg = self.in_degrees();
+        let mut queue: Vec<u32> =
+            (0..self.nodes.len() as u32).filter(|&i| deg[i as usize] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(u) = queue.pop() {
+            visited += 1;
+            for &c in self.children(u) {
+                deg[c as usize] -= 1;
+                if deg[c as usize] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        visited == self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{CommKind, CommOp, CommScope};
+    use vtrain_model::Bytes;
+
+    fn comm_node(device: u32) -> OpNode {
+        OpNode {
+            device,
+            stream: StreamKind::Comm,
+            op: Op::Comm(CommOp {
+                kind: CommKind::PpSendRecv,
+                bytes: Bytes::from_mib(1),
+                ranks: 2,
+                scope: CommScope::InterNode,
+                overlappable: false,
+                concurrent_groups: 1,
+            }),
+        }
+    }
+
+    #[test]
+    fn push_and_edges_track_degrees() {
+        let mut g = OpGraph::new(2);
+        let a = g.push(comm_node(0));
+        let b = g.push(comm_node(1));
+        let c = g.push(comm_node(1));
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, c);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.in_degrees(), vec![0, 1, 2]);
+        assert_eq!(g.children(a), &[b, c]);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut g = OpGraph::new(1);
+        let a = g.push(comm_node(0));
+        let b = g.push(comm_node(0));
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-dependency")]
+    fn self_loops_rejected() {
+        let mut g = OpGraph::new(1);
+        let a = g.push(comm_node(0));
+        g.add_edge(a, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "device out of range")]
+    fn device_bounds_checked() {
+        let mut g = OpGraph::new(1);
+        g.push(comm_node(5));
+    }
+}

@@ -1,0 +1,181 @@
+//! Operator vocabulary of the execution graph.
+
+use serde::{Deserialize, Serialize};
+use vtrain_model::Bytes;
+
+/// The computation operator classes of a decoder-only LLM iteration.
+///
+/// Forward/backward MHA and FFN are the per-layer blocks of Fig. 2; the
+/// backward variants include the recomputation forward when activation
+/// recomputation is enabled (accounted during kernel decomposition).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompKind {
+    /// Embedding lookup + positional add (first stage, forward).
+    EmbeddingFwd,
+    /// Embedding gradient scatter-add (first stage, backward).
+    EmbeddingBwd,
+    /// Multi-head-attention block, forward.
+    MhaFwd,
+    /// Multi-head-attention block, backward.
+    MhaBwd,
+    /// Feedforward block, forward.
+    FfnFwd,
+    /// Feedforward block, backward.
+    FfnBwd,
+    /// LM head (vocabulary projection + loss), forward (last stage).
+    LmHeadFwd,
+    /// LM head, backward (last stage).
+    LmHeadBwd,
+    /// Fused optimizer step over the stage's local parameters.
+    WeightUpdate,
+}
+
+/// The shape key of a computation operator — the paper's *necessary
+/// operator* identity (§III-C). Two layer-nodes with equal signatures launch
+/// identical CUDA-kernel sequences, so only one needs profiling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpSignature {
+    /// Operator class.
+    pub kind: CompKind,
+    /// Hidden size `h`.
+    pub hidden: usize,
+    /// Attention heads `n` (0 where irrelevant).
+    pub heads: usize,
+    /// Sequence length `s`.
+    pub seq: usize,
+    /// Micro-batch size `m`.
+    pub micro_batch: usize,
+    /// Tensor-parallel degree `t` the operator is sharded across.
+    pub tensor: usize,
+    /// FFN expansion factor.
+    pub ffn_expansion: usize,
+    /// Vocabulary size (LM head / embedding ops; 0 elsewhere).
+    pub vocab: usize,
+    /// Local parameter count (WeightUpdate only; 0 elsewhere).
+    pub params: u64,
+    /// Whether activation recomputation prepends a forward replay to the
+    /// backward kernels.
+    pub recompute: bool,
+}
+
+/// A computation layer-node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ComputeOp {
+    /// Shape/kernel identity.
+    pub sig: OpSignature,
+}
+
+/// Communication operator classes (paper Figs. 5 and 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommKind {
+    /// Tensor-parallel All-Reduce after an MHA/FFN block (sequentially
+    /// dependent with the surrounding compute).
+    TpAllReduce,
+    /// Data-parallel gradient All-Reduce (per bucket when bucketing).
+    DpAllReduce,
+    /// Pipeline-parallel Send-Receive of boundary activations/gradients.
+    PpSendRecv,
+}
+
+/// Whether a collective stays inside one NVLink domain or crosses nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommScope {
+    /// All participants share a node (NVLink/NVSwitch).
+    IntraNode,
+    /// Participants span nodes (InfiniBand).
+    InterNode,
+}
+
+/// A communication operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CommOp {
+    /// Collective class.
+    pub kind: CommKind,
+    /// Payload bytes per participant.
+    pub bytes: Bytes,
+    /// Participating ranks (`t` for TP, `d` for DP, 2 for P2P).
+    pub ranks: usize,
+    /// Network tier.
+    pub scope: CommScope,
+    /// True if the runtime may overlap this collective with compute
+    /// (DP bucket All-Reduces); false for the sequentially-dependent TP
+    /// All-Reduces and pipeline transfers consumed on the critical path.
+    pub overlappable: bool,
+    /// Data-parallel groups sharing this GPU's node uplinks (drives the
+    /// ground-truth emulator's interference term; 1 = no sharing).
+    pub concurrent_groups: usize,
+}
+
+/// Any graph operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// A computation layer-node.
+    Compute(ComputeOp),
+    /// A communication operator.
+    Comm(CommOp),
+}
+
+impl Op {
+    /// The compute signature, if this is a compute node.
+    pub fn signature(&self) -> Option<&OpSignature> {
+        match self {
+            Op::Compute(c) => Some(&c.sig),
+            Op::Comm(_) => None,
+        }
+    }
+
+    /// The communication descriptor, if this is a comm node.
+    pub fn comm(&self) -> Option<&CommOp> {
+        match self {
+            Op::Comm(c) => Some(c),
+            Op::Compute(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(kind: CompKind) -> OpSignature {
+        OpSignature {
+            kind,
+            hidden: 1024,
+            heads: 16,
+            seq: 512,
+            micro_batch: 2,
+            tensor: 2,
+            ffn_expansion: 4,
+            vocab: 0,
+            params: 0,
+            recompute: true,
+        }
+    }
+
+    #[test]
+    fn signatures_hash_by_shape() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(sig(CompKind::MhaFwd));
+        set.insert(sig(CompKind::MhaFwd));
+        set.insert(sig(CompKind::FfnFwd));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn op_accessors_discriminate() {
+        let c = Op::Compute(ComputeOp { sig: sig(CompKind::MhaFwd) });
+        assert!(c.signature().is_some());
+        assert!(c.comm().is_none());
+        let k = Op::Comm(CommOp {
+            kind: CommKind::TpAllReduce,
+            bytes: Bytes::from_mib(4),
+            ranks: 8,
+            scope: CommScope::IntraNode,
+            overlappable: false,
+            concurrent_groups: 1,
+        });
+        assert!(k.comm().is_some());
+        assert!(k.signature().is_none());
+    }
+}

@@ -1,0 +1,321 @@
+//! The transformer model description consumed by every other vTrain crate.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of a decoder-only, transformer-based LLM (paper Fig. 2).
+///
+/// The model consists of an embedding layer (word + positional embeddings),
+/// `L` identical decoder layers (multi-head attention block + feedforward
+/// block), and an LM head that reuses the transposed word-embedding matrix.
+///
+/// Construct via [`ModelConfig::builder`] or a preset in [`crate::presets`].
+///
+/// # Examples
+///
+/// ```
+/// use vtrain_model::ModelConfig;
+///
+/// let cfg = ModelConfig::builder()
+///     .hidden_size(2048)
+///     .num_layers(24)
+///     .seq_len(1024)
+///     .num_heads(16)
+///     .build()?;
+/// assert_eq!(cfg.head_dim(), 128);
+/// # Ok::<(), vtrain_model::ModelConfigError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelConfig {
+    name: String,
+    hidden_size: usize,
+    num_layers: usize,
+    seq_len: usize,
+    num_heads: usize,
+    vocab_size: usize,
+    ffn_expansion: usize,
+}
+
+/// Error returned when a [`ModelConfigBuilder`] describes an invalid model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelConfigError {
+    /// A dimension that must be positive was zero.
+    ZeroDimension(&'static str),
+    /// `hidden_size` is not divisible by `num_heads`.
+    HeadsDoNotDivideHidden {
+        /// The configured hidden size.
+        hidden_size: usize,
+        /// The configured head count.
+        num_heads: usize,
+    },
+}
+
+impl fmt::Display for ModelConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelConfigError::ZeroDimension(field) => {
+                write!(f, "model dimension `{field}` must be positive")
+            }
+            ModelConfigError::HeadsDoNotDivideHidden { hidden_size, num_heads } => write!(
+                f,
+                "hidden size {hidden_size} is not divisible by {num_heads} attention heads"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelConfigError {}
+
+impl ModelConfig {
+    /// Starts building a model description.
+    pub fn builder() -> ModelConfigBuilder {
+        ModelConfigBuilder::default()
+    }
+
+    /// Human-readable model name (e.g. `"GPT-3 175B"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Hidden dimension `h`.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Number of stacked decoder layers `L`.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Maximum sequence length `s` (tokens per training sample).
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Number of attention heads `n`.
+    pub fn num_heads(&self) -> usize {
+        self.num_heads
+    }
+
+    /// Vocabulary size `V`.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// FFN expansion factor (4 for the classic `4h` intermediate size).
+    pub fn ffn_expansion(&self) -> usize {
+        self.ffn_expansion
+    }
+
+    /// FFN intermediate dimension (`ffn_expansion * hidden_size`).
+    pub fn ffn_hidden_size(&self) -> usize {
+        self.ffn_expansion * self.hidden_size
+    }
+
+    /// Per-head dimension (`hidden_size / num_heads`).
+    pub fn head_dim(&self) -> usize {
+        self.hidden_size / self.num_heads
+    }
+
+    /// Tokens consumed by one training iteration at the given global batch
+    /// size (in sequences).
+    pub fn tokens_per_iteration(&self, global_batch: usize) -> u64 {
+        global_batch as u64 * self.seq_len as u64
+    }
+
+    /// Returns a copy with a different name (useful when deriving scaled
+    /// variants of a preset).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl fmt::Display for ModelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (h={}, L={}, s={}, n={}, V={})",
+            self.name, self.hidden_size, self.num_layers, self.seq_len, self.num_heads,
+            self.vocab_size
+        )
+    }
+}
+
+/// Incremental builder for [`ModelConfig`].
+///
+/// Defaults: `seq_len = 2048`, `vocab_size = 51,200` (the Megatron-padded
+/// GPT-2 vocabulary used by MT-NLG), `ffn_expansion = 4`, and
+/// `name = "custom"`.
+#[derive(Clone, Debug)]
+pub struct ModelConfigBuilder {
+    name: String,
+    hidden_size: usize,
+    num_layers: usize,
+    seq_len: usize,
+    num_heads: usize,
+    vocab_size: usize,
+    ffn_expansion: usize,
+}
+
+impl Default for ModelConfigBuilder {
+    fn default() -> Self {
+        ModelConfigBuilder {
+            name: "custom".to_owned(),
+            hidden_size: 0,
+            num_layers: 0,
+            seq_len: 2048,
+            num_heads: 0,
+            vocab_size: 51_200,
+            ffn_expansion: 4,
+        }
+    }
+}
+
+impl ModelConfigBuilder {
+    /// Sets the model name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the hidden dimension `h`.
+    pub fn hidden_size(mut self, h: usize) -> Self {
+        self.hidden_size = h;
+        self
+    }
+
+    /// Sets the number of decoder layers `L`.
+    pub fn num_layers(mut self, l: usize) -> Self {
+        self.num_layers = l;
+        self
+    }
+
+    /// Sets the maximum sequence length `s`.
+    pub fn seq_len(mut self, s: usize) -> Self {
+        self.seq_len = s;
+        self
+    }
+
+    /// Sets the number of attention heads `n`.
+    pub fn num_heads(mut self, n: usize) -> Self {
+        self.num_heads = n;
+        self
+    }
+
+    /// Sets the vocabulary size `V`.
+    pub fn vocab_size(mut self, v: usize) -> Self {
+        self.vocab_size = v;
+        self
+    }
+
+    /// Sets the FFN expansion factor (default 4).
+    pub fn ffn_expansion(mut self, e: usize) -> Self {
+        self.ffn_expansion = e;
+        self
+    }
+
+    /// Validates the description and produces a [`ModelConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelConfigError::ZeroDimension`] if any of `hidden_size`,
+    /// `num_layers`, `seq_len`, `num_heads`, `vocab_size`, or
+    /// `ffn_expansion` is zero, and
+    /// [`ModelConfigError::HeadsDoNotDivideHidden`] if `num_heads` does not
+    /// divide `hidden_size`.
+    pub fn build(self) -> Result<ModelConfig, ModelConfigError> {
+        for (value, field) in [
+            (self.hidden_size, "hidden_size"),
+            (self.num_layers, "num_layers"),
+            (self.seq_len, "seq_len"),
+            (self.num_heads, "num_heads"),
+            (self.vocab_size, "vocab_size"),
+            (self.ffn_expansion, "ffn_expansion"),
+        ] {
+            if value == 0 {
+                return Err(ModelConfigError::ZeroDimension(field));
+            }
+        }
+        if self.hidden_size % self.num_heads != 0 {
+            return Err(ModelConfigError::HeadsDoNotDivideHidden {
+                hidden_size: self.hidden_size,
+                num_heads: self.num_heads,
+            });
+        }
+        Ok(ModelConfig {
+            name: self.name,
+            hidden_size: self.hidden_size,
+            num_layers: self.num_layers,
+            seq_len: self.seq_len,
+            num_heads: self.num_heads,
+            vocab_size: self.vocab_size,
+            ffn_expansion: self.ffn_expansion,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ModelConfig {
+        ModelConfig::builder()
+            .name("small")
+            .hidden_size(1024)
+            .num_layers(4)
+            .seq_len(512)
+            .num_heads(8)
+            .vocab_size(50_257)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_fields() {
+        let m = small();
+        assert_eq!(m.name(), "small");
+        assert_eq!(m.hidden_size(), 1024);
+        assert_eq!(m.num_layers(), 4);
+        assert_eq!(m.seq_len(), 512);
+        assert_eq!(m.num_heads(), 8);
+        assert_eq!(m.vocab_size(), 50_257);
+        assert_eq!(m.head_dim(), 128);
+        assert_eq!(m.ffn_hidden_size(), 4096);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let err = ModelConfig::builder().hidden_size(0).build().unwrap_err();
+        assert_eq!(err, ModelConfigError::ZeroDimension("hidden_size"));
+    }
+
+    #[test]
+    fn heads_must_divide_hidden() {
+        let err = ModelConfig::builder()
+            .hidden_size(1000)
+            .num_layers(2)
+            .num_heads(7)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelConfigError::HeadsDoNotDivideHidden { .. }));
+        assert!(err.to_string().contains("not divisible"));
+    }
+
+    #[test]
+    fn tokens_per_iteration_multiplies() {
+        assert_eq!(small().tokens_per_iteration(1920), 1920 * 512);
+    }
+
+    #[test]
+    fn with_name_renames() {
+        assert_eq!(small().with_name("renamed").name(), "renamed");
+    }
+
+    #[test]
+    fn display_mentions_dimensions() {
+        let s = small().to_string();
+        assert!(s.contains("h=1024") && s.contains("L=4"));
+    }
+}

@@ -1,0 +1,151 @@
+//! FLOPs accounting following the Megatron-LM formulation.
+//!
+//! The paper derives GPU compute utilization as "achieved FLOPS relative to
+//! the maximum FLOPS" (Fig. 1), where achieved FLOPs per iteration follow the
+//! Megatron closed form `96·B·s·L·h²·(1 + s/6h + V/16Lh)` — the factor 96
+//! accounts for forward (24), activation-recompute forward (24), and backward
+//! (48) matrix-multiply FLOPs per layer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Flops;
+use crate::ModelConfig;
+
+/// Per-iteration FLOPs decomposed by source, for one global batch.
+///
+/// All values are *model* FLOPs (the 2·m·n·k GEMM convention); elementwise
+/// operations are ignored, matching how utilization is conventionally
+/// reported for LLM training.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlopsBreakdown {
+    /// Forward-pass FLOPs across all decoder layers.
+    pub decoder_forward: Flops,
+    /// LM-head (vocabulary projection) forward FLOPs.
+    pub lm_head_forward: Flops,
+    /// Backward-pass FLOPs (2× forward).
+    pub backward: Flops,
+    /// Extra forward FLOPs re-executed due to activation recomputation
+    /// (zero when recomputation is disabled).
+    pub recompute: Flops,
+}
+
+impl FlopsBreakdown {
+    /// Total FLOPs for the iteration.
+    pub fn total(&self) -> Flops {
+        self.decoder_forward + self.lm_head_forward + self.backward + self.recompute
+    }
+}
+
+impl ModelConfig {
+    /// Forward-pass matrix-multiply FLOPs for a single sequence through one
+    /// decoder layer: `24·s·h² + 4·s²·h` (QKV/proj/FFN GEMMs + the two
+    /// attention batched GEMMs).
+    pub fn layer_forward_flops_per_seq(&self) -> Flops {
+        let s = self.seq_len() as f64;
+        let h = self.hidden_size() as f64;
+        let e = self.ffn_expansion() as f64;
+        // QKV: 6sh², proj: 2sh², FFN: 2·(2e)·s·h² ; attention: 2·(2s²h)
+        let gemms = (6.0 + 2.0 + 4.0 * e) * s * h * h;
+        let attention = 4.0 * s * s * h;
+        Flops::new(gemms + attention)
+    }
+
+    /// LM-head forward FLOPs for a single sequence (`2·s·h·V`).
+    pub fn lm_head_forward_flops_per_seq(&self) -> Flops {
+        Flops::new(2.0 * self.seq_len() as f64 * self.hidden_size() as f64
+            * self.vocab_size() as f64)
+    }
+
+    /// Full per-iteration FLOPs breakdown at the given global batch size
+    /// (in sequences). `recompute` enables full activation recomputation
+    /// (an extra forward pass), the standard setting for the large models
+    /// the paper studies.
+    pub fn flops_breakdown(&self, global_batch: usize, recompute: bool) -> FlopsBreakdown {
+        let b = global_batch as f64;
+        let l = self.num_layers() as f64;
+        let decoder_fwd = self.layer_forward_flops_per_seq() * (b * l);
+        let lm_head_fwd = self.lm_head_forward_flops_per_seq() * b;
+        let fwd_total = decoder_fwd + lm_head_fwd;
+        FlopsBreakdown {
+            decoder_forward: decoder_fwd,
+            lm_head_forward: lm_head_fwd,
+            backward: fwd_total * 2.0,
+            recompute: if recompute { decoder_fwd } else { Flops::ZERO },
+        }
+    }
+
+    /// Total training FLOPs for one iteration (Megatron convention).
+    ///
+    /// With `recompute = true` and the default FFN expansion this equals the
+    /// published `96·B·s·L·h²·(1 + s/6h + V/16Lh)` up to the small LM-head
+    /// recompute term.
+    pub fn flops_per_iteration(&self, global_batch: usize, recompute: bool) -> Flops {
+        self.flops_breakdown(global_batch, recompute).total()
+    }
+
+    /// The approximate end-to-end training compute `C ≈ 6·N·T` FLOPs used by
+    /// the Chinchilla scaling-law arithmetic (paper §V-C), where `N` is the
+    /// parameter count and `tokens` is the number of training tokens.
+    pub fn approx_training_flops(&self, tokens: u64) -> Flops {
+        Flops::new(6.0 * self.num_parameters() as f64 * tokens as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    /// Our per-GEMM accounting must agree with the published Megatron
+    /// closed form within a fraction of a percent.
+    #[test]
+    fn matches_megatron_closed_form() {
+        for model in [presets::gpt3_175b(), presets::mt_nlg_530b()] {
+            let b = 1536usize;
+            let (s, h, l, v) = (
+                model.seq_len() as f64,
+                model.hidden_size() as f64,
+                model.num_layers() as f64,
+                model.vocab_size() as f64,
+            );
+            let published =
+                96.0 * b as f64 * s * l * h * h * (1.0 + s / (6.0 * h) + v / (16.0 * l * h));
+            let ours = model.flops_per_iteration(b, true).as_f64();
+            let rel = (ours - published).abs() / published;
+            assert!(rel < 0.01, "{}: rel error {rel}", model.name());
+        }
+    }
+
+    #[test]
+    fn backward_is_twice_forward() {
+        let m = presets::gpt3_175b();
+        let bd = m.flops_breakdown(8, false);
+        let fwd = bd.decoder_forward + bd.lm_head_forward;
+        assert!((bd.backward.as_f64() / fwd.as_f64() - 2.0).abs() < 1e-12);
+        assert_eq!(bd.recompute, Flops::ZERO);
+    }
+
+    #[test]
+    fn recompute_adds_decoder_forward() {
+        let m = presets::gpt3_175b();
+        let with = m.flops_breakdown(8, true);
+        let without = m.flops_breakdown(8, false);
+        assert_eq!(with.recompute, without.decoder_forward);
+        assert!(with.total() > without.total());
+    }
+
+    #[test]
+    fn flops_scale_linearly_in_batch() {
+        let m = presets::gpt2_1_5b();
+        let one = m.flops_per_iteration(1, true).as_f64();
+        let eight = m.flops_per_iteration(8, true).as_f64();
+        assert!((eight / one - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chinchilla_budget_matches_paper_example() {
+        // Paper §V-C: 3,360 A100s × 30 days at 100% utility = 2.72e24 FLOPs.
+        let c: f64 = 3360.0 * 312e12 * 30.0 * 86_400.0;
+        assert!((c / 1e24 - 2.72).abs() < 0.02);
+    }
+}

@@ -1,0 +1,49 @@
+//! # vtrain-model
+//!
+//! LLM architecture description and analytical accounting (parameters, FLOPs,
+//! memory) for the vTrain simulation framework.
+//!
+//! This crate is the bottom of the vTrain workspace: it defines the
+//! hyperparameters of a decoder-only transformer (Section II-A of the paper)
+//! — hidden size `h`, number of layers `L`, maximum sequence length `s`,
+//! number of attention heads `n`, and vocabulary size `V` — together with the
+//! closed-form parameter count, the Megatron FLOPs-per-iteration formula used
+//! for GPU-utilization accounting, and the per-GPU memory footprint model
+//! used to reject infeasible parallelization plans.
+//!
+//! # Examples
+//!
+//! ```
+//! use vtrain_model::{presets, ModelConfig};
+//!
+//! let gpt3 = presets::gpt3_175b();
+//! assert_eq!(gpt3.num_layers(), 96);
+//! // ~175 billion parameters
+//! let billions = gpt3.num_parameters() as f64 / 1e9;
+//! assert!((billions - 175.0).abs() < 5.0);
+//!
+//! let custom = ModelConfig::builder()
+//!     .hidden_size(1024)
+//!     .num_layers(12)
+//!     .seq_len(2048)
+//!     .num_heads(16)
+//!     .vocab_size(50_257)
+//!     .build()
+//!     .expect("valid config");
+//! assert!(custom.num_parameters() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod flops;
+mod memory;
+mod params;
+pub mod presets;
+pub mod units;
+
+pub use config::{ModelConfig, ModelConfigBuilder, ModelConfigError};
+pub use flops::FlopsBreakdown;
+pub use memory::{ActivationStrategy, MemoryBreakdown};
+pub use units::{Bytes, Flops, TimeNs};

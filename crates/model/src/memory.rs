@@ -1,0 +1,192 @@
+//! Per-GPU memory footprint estimation under 3D parallelism.
+//!
+//! State-of-the-art LLMs are memory-capacity bound (paper §II-B): a
+//! parallelization plan is only feasible if weights, optimizer state,
+//! gradients, and in-flight activations fit in a single GPU's HBM. vTrain
+//! uses this model to prune the design space before simulating.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Bytes;
+use crate::ModelConfig;
+
+/// How activations are retained between forward and backward passes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivationStrategy {
+    /// Full activation recomputation: only layer-boundary activations are
+    /// stored per in-flight micro-batch; the working set of a single layer
+    /// is re-materialized during backward. Standard for the paper's models.
+    #[default]
+    FullRecompute,
+    /// No recomputation: every layer's full activation working set is kept.
+    StoreAll,
+}
+
+/// Memory required on the *most loaded* GPU of a training plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryBreakdown {
+    /// FP16 weights resident on this GPU.
+    pub weights: Bytes,
+    /// FP16 gradients.
+    pub gradients: Bytes,
+    /// Mixed-precision Adam state (FP32 master weights + two moments = 12 B/param).
+    pub optimizer: Bytes,
+    /// Activation storage for all in-flight micro-batches.
+    pub activations: Bytes,
+}
+
+impl MemoryBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> Bytes {
+        self.weights + self.gradients + self.optimizer + self.activations
+    }
+}
+
+impl ModelConfig {
+    /// Parameters resident on one GPU of the *heaviest* pipeline stage under
+    /// `t`-way tensor and `p`-way pipeline parallelism.
+    ///
+    /// Decoder layers are distributed round-robin (`ceil(L/p)` on the
+    /// heaviest stage) and split `t` ways; the word embedding (first stage)
+    /// and the tied LM head + final LayerNorm (last stage) are also split
+    /// `t` ways following Megatron's vocab-parallel embedding.
+    pub fn params_per_gpu(&self, tensor: usize, pipeline: usize) -> u64 {
+        assert!(tensor > 0 && pipeline > 0, "parallel degrees must be positive");
+        let layers_heaviest = self.num_layers().div_ceil(pipeline) as u64;
+        let layer_share = layers_heaviest * self.params_per_layer() / tensor as u64;
+        // First stage holds the embedding; for p == 1 the same GPU holds both
+        // embedding and final LayerNorm. Take the heavier endpoint.
+        let first_extra = self.embedding_params() / tensor as u64;
+        let last_extra = 2 * self.hidden_size() as u64;
+        layer_share + if pipeline == 1 { first_extra + last_extra } else { first_extra.max(last_extra) }
+    }
+
+    /// Activation bytes for ONE micro-batch on one GPU of a stage, following
+    /// the Megatron activation-memory formula for a tensor-parallel decoder
+    /// layer: `s·b·h·(10 + 24/t + 5·n·s/(h·t))` bytes, FP16.
+    pub fn activation_bytes_per_layer(&self, micro_batch: usize, tensor: usize) -> Bytes {
+        let s = self.seq_len() as f64;
+        let b = micro_batch as f64;
+        let h = self.hidden_size() as f64;
+        let n = self.num_heads() as f64;
+        let t = tensor as f64;
+        let per_layer = s * b * h * (10.0 + 24.0 / t + 5.0 * n * s / (h * t));
+        Bytes::from_bytes(per_layer.ceil() as u64)
+    }
+
+    /// Layer-boundary activation bytes for one micro-batch (the only thing
+    /// stored per layer under full recomputation): `2·s·b·h` (FP16).
+    pub fn boundary_activation_bytes(&self, micro_batch: usize) -> Bytes {
+        Bytes::from_bytes(2 * self.seq_len() as u64 * micro_batch as u64
+            * self.hidden_size() as u64)
+    }
+
+    /// Estimates the memory footprint of the most loaded GPU.
+    ///
+    /// `in_flight_micro_batches` is schedule dependent: the number of
+    /// micro-batches whose activations coexist (all of them under GPipe, at
+    /// most the pipeline depth under 1F1B).
+    pub fn memory_per_gpu(
+        &self,
+        tensor: usize,
+        pipeline: usize,
+        micro_batch: usize,
+        in_flight_micro_batches: usize,
+        strategy: ActivationStrategy,
+    ) -> MemoryBreakdown {
+        let params = self.params_per_gpu(tensor, pipeline);
+        let layers_heaviest = self.num_layers().div_ceil(pipeline) as u64;
+        let in_flight = in_flight_micro_batches.max(1) as u64;
+        // Bytes retained per in-flight micro-batch, plus a transient working
+        // set that exists only once (a single layer recomputes at a time).
+        let (stored_per_mb, transient) = match strategy {
+            ActivationStrategy::FullRecompute => (
+                // Stored: one boundary activation per layer.
+                self.boundary_activation_bytes(micro_batch).as_u64() * layers_heaviest,
+                // Working set of the one layer being recomputed.
+                self.activation_bytes_per_layer(micro_batch, tensor).as_u64(),
+            ),
+            ActivationStrategy::StoreAll => (
+                self.activation_bytes_per_layer(micro_batch, tensor).as_u64()
+                    * layers_heaviest,
+                0,
+            ),
+        };
+        MemoryBreakdown {
+            weights: Bytes::from_bytes(2 * params),
+            gradients: Bytes::from_bytes(2 * params),
+            optimizer: Bytes::from_bytes(12 * params),
+            activations: Bytes::from_bytes(stored_per_mb * in_flight + transient),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn params_per_gpu_shrink_with_parallelism() {
+        let m = presets::gpt3_175b();
+        let base = m.params_per_gpu(1, 1);
+        assert!(m.params_per_gpu(8, 1) < base);
+        assert!(m.params_per_gpu(1, 8) < base);
+        assert!(m.params_per_gpu(8, 8) < m.params_per_gpu(8, 1));
+    }
+
+    #[test]
+    fn params_per_gpu_unpartitioned_matches_total() {
+        let m = presets::gpt2_1_5b();
+        let got = m.params_per_gpu(1, 1);
+        let total = m.num_parameters();
+        // Identical up to integer division in the tensor split (t = 1 here).
+        assert_eq!(got, total);
+    }
+
+    #[test]
+    fn mt_nlg_fits_only_when_partitioned() {
+        let m = presets::mt_nlg_530b();
+        let a100_80g = Bytes::from_gib(80);
+        let unsplit = m.memory_per_gpu(1, 1, 1, 1, ActivationStrategy::FullRecompute);
+        assert!(unsplit.total() > a100_80g, "530B cannot fit a single GPU");
+        // The published (8, d, 35) plan must fit the DGX A100-80GB nodes
+        // MT-NLG was actually trained on.
+        let split = m.memory_per_gpu(8, 35, 1, 35, ActivationStrategy::FullRecompute);
+        assert!(
+            split.total() <= a100_80g,
+            "published MT-NLG plan must fit 80 GiB, got {}",
+            split.total()
+        );
+    }
+
+    #[test]
+    fn recompute_uses_less_activation_memory() {
+        let m = presets::gpt3_175b();
+        let rec = m.memory_per_gpu(8, 8, 4, 8, ActivationStrategy::FullRecompute);
+        let all = m.memory_per_gpu(8, 8, 4, 8, ActivationStrategy::StoreAll);
+        assert!(rec.activations < all.activations);
+        assert_eq!(rec.weights, all.weights);
+    }
+
+    #[test]
+    fn activations_scale_affinely_with_in_flight_micro_batches() {
+        // activations(n) = stored·n + one transient recompute working set.
+        let m = presets::gpt2_1_5b();
+        let at = |n: usize| {
+            m.memory_per_gpu(1, 4, 2, n, ActivationStrategy::FullRecompute).activations.as_u64()
+        };
+        let (one, two, four) = (at(1), at(2), at(4));
+        assert!(two > one && four > two);
+        assert_eq!(four - two, 2 * (two - one), "stored part scales linearly");
+        assert!(one > two - one, "transient working set counted exactly once");
+    }
+
+    #[test]
+    fn optimizer_state_is_six_times_weights() {
+        let m = presets::gpt2_1_5b();
+        let bd = m.memory_per_gpu(2, 2, 1, 1, ActivationStrategy::FullRecompute);
+        assert_eq!(bd.optimizer.as_u64(), 6 * bd.weights.as_u64());
+        assert_eq!(bd.gradients, bd.weights);
+    }
+}

@@ -1,0 +1,98 @@
+//! Closed-form parameter counting for decoder-only transformers.
+//!
+//! The dominant term is the classic `12·L·h²` (per layer: `4h²` attention +
+//! `8h²` FFN at the default expansion factor 4), plus word/positional
+//! embeddings and biases. The LM head shares the word-embedding matrix
+//! (paper §II-A), so it contributes no extra parameters.
+
+use crate::ModelConfig;
+
+impl ModelConfig {
+    /// Parameters in one decoder layer.
+    ///
+    /// QKV projection (`3h² + 3h`), attention output projection (`h² + h`),
+    /// the two FFN matrices (`2·e·h² + (e+1)·h` at expansion `e`), and two
+    /// LayerNorms (`4h`).
+    pub fn params_per_layer(&self) -> u64 {
+        let h = self.hidden_size() as u64;
+        let e = self.ffn_expansion() as u64;
+        let attention = 3 * h * h + 3 * h + h * h + h;
+        let ffn = 2 * e * h * h + (e + 1) * h;
+        let layernorms = 4 * h;
+        attention + ffn + layernorms
+    }
+
+    /// Parameters in the embedding layer: word embeddings (`V·h`) plus
+    /// positional embeddings (`s·h`).
+    pub fn embedding_params(&self) -> u64 {
+        let h = self.hidden_size() as u64;
+        (self.vocab_size() as u64 + self.seq_len() as u64) * h
+    }
+
+    /// Total trainable parameters: `L` decoder layers + embeddings + the
+    /// final LayerNorm (`2h`). The LM head is weight-tied to the word
+    /// embedding and adds nothing.
+    pub fn num_parameters(&self) -> u64 {
+        self.num_layers() as u64 * self.params_per_layer()
+            + self.embedding_params()
+            + 2 * self.hidden_size() as u64
+    }
+
+    /// Total parameters expressed in billions (convenience for reporting).
+    pub fn num_parameters_billion(&self) -> f64 {
+        self.num_parameters() as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets;
+
+    /// The presets must reproduce their advertised published sizes.
+    #[test]
+    fn preset_sizes_match_published_values() {
+        let cases = [
+            (presets::gpt2_1_5b(), 1.5, 0.1),
+            (presets::gpt3_175b(), 175.0, 4.0),
+            (presets::mt_nlg_530b(), 530.0, 5.0),
+        ];
+        for (model, expect_b, tol) in cases {
+            let got = model.num_parameters_billion();
+            assert!(
+                (got - expect_b).abs() < tol,
+                "{}: expected ~{expect_b}B params, counted {got:.2}B",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dominant_term_is_12_l_h_squared() {
+        let m = presets::mt_nlg_530b();
+        let dominant = 12.0 * m.num_layers() as f64 * (m.hidden_size() as f64).powi(2);
+        let total = m.num_parameters() as f64;
+        // Embeddings and biases are a small correction for a 530B model.
+        assert!((total - dominant) / total < 0.01);
+    }
+
+    #[test]
+    fn megatron_family_matches_advertised_names() {
+        for m in presets::megatron_family() {
+            // Names encode the advertised size, e.g. "Megatron 18.4B".
+            let advertised: f64 = m
+                .name()
+                .split_whitespace()
+                .last()
+                .unwrap()
+                .trim_end_matches('B')
+                .parse()
+                .unwrap();
+            let got = m.num_parameters_billion();
+            assert!(
+                (got - advertised).abs() / advertised < 0.08,
+                "{}: advertised {advertised}B counted {got:.2}B",
+                m.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Published model configurations used throughout the paper's evaluation.
+
+use crate::ModelConfig;
+
+fn preset(name: &str, h: usize, l: usize, n: usize, s: usize, v: usize) -> ModelConfig {
+    ModelConfig::builder()
+        .name(name)
+        .hidden_size(h)
+        .num_layers(l)
+        .num_heads(n)
+        .seq_len(s)
+        .vocab_size(v)
+        .build()
+        .expect("preset configurations are valid by construction")
+}
+
+/// GPT-2 XL (1.5B parameters), the 2019 starting point of the scaling trend
+/// cited in §II-A.
+pub fn gpt2_1_5b() -> ModelConfig {
+    preset("GPT-2 1.5B", 1600, 48, 25, 1024, 50_257)
+}
+
+/// GPT-3 (175B parameters), the Fig. 1 motivating workload.
+pub fn gpt3_175b() -> ModelConfig {
+    preset("GPT-3 175B", 12_288, 96, 96, 2048, 50_257)
+}
+
+/// Megatron-Turing NLG 530B — the case-study #1 model: `h = 20,480`,
+/// `L = 105`, `n = 128` (§V-A).
+pub fn mt_nlg_530b() -> ModelConfig {
+    preset("MT-NLG 530B", 20_480, 105, 128, 2048, 51_200)
+}
+
+/// The scaled-down Megatron model family of Narayanan et al. [40], used for
+/// the paper's multi-node validation and Table II. Names advertise the
+/// parameter count in billions.
+pub fn megatron_family() -> Vec<ModelConfig> {
+    [
+        ("Megatron 1.7B", 2304, 24, 24),
+        ("Megatron 3.6B", 3072, 30, 32),
+        ("Megatron 7.5B", 4096, 36, 32),
+        ("Megatron 18.4B", 6144, 40, 48),
+        ("Megatron 39.1B", 8192, 48, 64),
+        ("Megatron 76.1B", 10_240, 60, 80),
+        ("Megatron 145.6B", 12_288, 80, 96),
+        ("Megatron 310.1B", 16_384, 96, 128),
+        ("Megatron 529.6B", 20_480, 105, 128),
+    ]
+    .into_iter()
+    .map(|(name, h, l, n)| preset(name, h, l, n, 2048, 51_200))
+    .collect()
+}
+
+/// Looks up a member of [`megatron_family`] by advertised size, e.g.
+/// `megatron("18.4B")`.
+///
+/// # Panics
+///
+/// Panics if `size` does not name a family member.
+pub fn megatron(size: &str) -> ModelConfig {
+    megatron_family()
+        .into_iter()
+        .find(|m| m.name().ends_with(size))
+        .unwrap_or_else(|| panic!("no Megatron family member named {size}"))
+}
+
+/// The three LLM configurations of Table III used by the multi-tenant GPU
+/// cluster experiments (§V-B), together with their global batch sizes.
+///
+/// Returns `(model, global_batch)` tuples for 18.4B/1024, 39.1B/1536, and
+/// 81.2B/1792.
+pub fn table_iii_models() -> Vec<(ModelConfig, usize)> {
+    vec![
+        (preset("Table-III 18.4B", 6144, 40, 48, 2048, 51_200), 1024),
+        (preset("Table-III 39.1B", 8192, 48, 64, 2048, 51_200), 1536),
+        (preset("Table-III 81.2B", 10_240, 64, 80, 2048, 51_200), 1792),
+    ]
+}
+
+/// A compact family of small models (fits one 8-GPU node) used to generate
+/// the paper's 1,440-point single-node validation sweep (Fig. 9(a)).
+pub fn single_node_family() -> Vec<ModelConfig> {
+    let mut out = Vec::new();
+    for (h, n) in [(1024, 16), (1536, 16), (2048, 16), (2560, 32), (3072, 32)] {
+        for l in [4usize, 8, 12] {
+            for s in [512usize, 1024, 2048] {
+                out.push(preset(
+                    &format!("val-h{h}-L{l}-s{s}"),
+                    h,
+                    l,
+                    n,
+                    s,
+                    51_200,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn megatron_lookup_finds_members() {
+        assert_eq!(megatron("18.4B").hidden_size(), 6144);
+        assert_eq!(megatron("39.1B").num_layers(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "no Megatron family member")]
+    fn megatron_lookup_panics_on_unknown() {
+        let _ = megatron("999B");
+    }
+
+    #[test]
+    fn table_iii_sizes_match_paper() {
+        let models = table_iii_models();
+        let sizes: Vec<f64> = models.iter().map(|(m, _)| m.num_parameters_billion()).collect();
+        assert!((sizes[0] - 18.4).abs() < 1.0, "got {}", sizes[0]);
+        assert!((sizes[1] - 39.1).abs() < 1.5, "got {}", sizes[1]);
+        assert!((sizes[2] - 81.2).abs() < 2.5, "got {}", sizes[2]);
+        let batches: Vec<usize> = models.iter().map(|&(_, b)| b).collect();
+        assert_eq!(batches, vec![1024, 1536, 1792]);
+    }
+
+    #[test]
+    fn single_node_family_is_varied_and_valid() {
+        let fam = single_node_family();
+        assert_eq!(fam.len(), 45);
+        for m in &fam {
+            assert!(m.hidden_size() % m.num_heads() == 0);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! GPU and cluster hardware descriptions.
+
+use serde::{Deserialize, Serialize};
+use vtrain_model::{Bytes, TimeNs};
+
+/// Performance envelope of one GPU.
+///
+/// The defaults model the NVIDIA A100 the paper validates against.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"A100-SXM4-40GB"`.
+    pub name: String,
+    /// Peak dense FP16 tensor-core throughput, FLOP/s (A100: 312e12).
+    pub peak_fp16_flops: f64,
+    /// HBM bandwidth, bytes/s (A100-40GB: 1.555e12).
+    pub memory_bandwidth: f64,
+    /// HBM capacity.
+    pub memory: Bytes,
+    /// Number of streaming multiprocessors (A100: 108).
+    pub sm_count: usize,
+    /// Fixed host-side launch overhead added per CUDA kernel by the
+    /// ground-truth emulator (not by the clean vTrain prediction).
+    pub kernel_launch_overhead: TimeNs,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100 SXM4 40 GB (AWS p4d.24xlarge GPUs).
+    pub fn a100_40gb() -> Self {
+        GpuSpec {
+            name: "A100-SXM4-40GB".to_owned(),
+            peak_fp16_flops: 312e12,
+            memory_bandwidth: 1.555e12,
+            memory: Bytes::from_gib(40),
+            sm_count: 108,
+            kernel_launch_overhead: TimeNs::from_micros(4),
+        }
+    }
+
+    /// NVIDIA A100 SXM4 80 GB (DGX A100 640GB nodes; MT-NLG hardware).
+    pub fn a100_80gb() -> Self {
+        GpuSpec {
+            name: "A100-SXM4-80GB".to_owned(),
+            peak_fp16_flops: 312e12,
+            memory_bandwidth: 2.039e12,
+            memory: Bytes::from_gib(80),
+            ..GpuSpec::a100_40gb()
+        }
+    }
+}
+
+/// A homogeneous multi-node GPU cluster (paper §IV).
+///
+/// Nodes hold `gpus_per_node` GPUs connected by NVLink/NVSwitch; nodes are
+/// connected by InfiniBand in a two-level non-blocking fat tree.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Per-GPU hardware description.
+    pub gpu: GpuSpec,
+    /// GPUs per server node (8 for DGX/p4d).
+    pub gpus_per_node: usize,
+    /// Total GPUs available.
+    pub total_gpus: usize,
+    /// Per-GPU NVLink/NVSwitch collective bus bandwidth, bytes/s
+    /// (A100 NVSwitch: ~235 GB/s effective All-Reduce bus bandwidth).
+    pub nvlink_bus_bandwidth: f64,
+    /// Aggregate inter-node bandwidth per node, bytes/s
+    /// (4 × 200 Gb/s HDR InfiniBand = 100 GB/s).
+    pub internode_bandwidth: f64,
+    /// Base latency of an intra-node NCCL collective launch.
+    pub nvlink_latency: TimeNs,
+    /// Base latency of an inter-node message (switch + HCA traversal).
+    pub internode_latency: TimeNs,
+}
+
+impl ClusterSpec {
+    /// AWS EC2 p4d-style cluster: nodes of 8× A100-40GB, NVSwitch intra-node,
+    /// 4× 200 Gb/s HDR InfiniBand inter-node (the paper's validation
+    /// platform).
+    pub fn aws_p4d(total_gpus: usize) -> Self {
+        ClusterSpec {
+            gpu: GpuSpec::a100_40gb(),
+            gpus_per_node: 8,
+            total_gpus,
+            nvlink_bus_bandwidth: 235e9,
+            internode_bandwidth: 100e9,
+            nvlink_latency: TimeNs::from_micros(8),
+            internode_latency: TimeNs::from_micros(20),
+        }
+    }
+
+    /// DGX A100-80GB cluster (560-node MT-NLG-style installation).
+    pub fn dgx_a100_80gb(total_gpus: usize) -> Self {
+        ClusterSpec { gpu: GpuSpec::a100_80gb(), ..ClusterSpec::aws_p4d(total_gpus) }
+    }
+
+    /// Number of server nodes (`ceil(total_gpus / gpus_per_node)`).
+    pub fn num_nodes(&self) -> usize {
+        self.total_gpus.div_ceil(self.gpus_per_node)
+    }
+
+    /// Returns a copy resized to `total_gpus` GPUs.
+    pub fn with_total_gpus(mut self, total_gpus: usize) -> Self {
+        self.total_gpus = total_gpus;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p4d_matches_paper_platform() {
+        let c = ClusterSpec::aws_p4d(512);
+        assert_eq!(c.gpus_per_node, 8);
+        assert_eq!(c.num_nodes(), 64);
+        assert!((c.internode_bandwidth - 100e9).abs() < 1.0);
+        assert_eq!(c.gpu.memory, Bytes::from_gib(40));
+    }
+
+    #[test]
+    fn node_count_rounds_up() {
+        assert_eq!(ClusterSpec::aws_p4d(9).num_nodes(), 2);
+        assert_eq!(ClusterSpec::aws_p4d(8).num_nodes(), 1);
+    }
+
+    #[test]
+    fn with_total_gpus_resizes() {
+        let c = ClusterSpec::aws_p4d(8).with_total_gpus(1024);
+        assert_eq!(c.total_gpus, 1024);
+        assert_eq!(c.num_nodes(), 128);
+    }
+
+    #[test]
+    fn a100_80gb_differs_only_in_memory_and_bandwidth() {
+        let a = GpuSpec::a100_40gb();
+        let b = GpuSpec::a100_80gb();
+        assert_eq!(a.peak_fp16_flops, b.peak_fp16_flops);
+        assert!(b.memory > a.memory);
+        assert!(b.memory_bandwidth > a.memory_bandwidth);
+    }
+}

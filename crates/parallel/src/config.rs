@@ -1,0 +1,428 @@
+//! The `(t, d, p)`-way 3D-parallelism plan and its feasibility validation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use vtrain_model::{ActivationStrategy, Bytes, ModelConfig};
+
+use crate::{ClusterSpec, PipelineSchedule};
+
+/// A complete parallelization plan for one training job.
+///
+/// Combines the 3D-parallel degrees with the batching parameters: the
+/// global batch is split `d` ways across data-parallel replicas, and each
+/// replica processes its share as `global_batch / (d·m)` micro-batches of
+/// `m` sequences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    tensor: usize,
+    data: usize,
+    pipeline: usize,
+    micro_batch: usize,
+    global_batch: usize,
+    schedule: PipelineSchedule,
+    gradient_bucketing: bool,
+}
+
+/// Why a plan is malformed or infeasible (paper §II-B memory wall, §V-A
+/// search-space constraints).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A degree or batch parameter that must be positive was zero.
+    ZeroField(&'static str),
+    /// `global_batch` is not divisible by `data * micro_batch`.
+    BatchNotDivisible {
+        /// Configured global batch (sequences per iteration).
+        global_batch: usize,
+        /// `data * micro_batch`.
+        divisor: usize,
+    },
+    /// Tensor parallelism must stay inside one node (NVLink domain).
+    TensorExceedsNode {
+        /// Requested tensor-parallel degree.
+        tensor: usize,
+        /// GPUs available per node.
+        gpus_per_node: usize,
+    },
+    /// Pipeline depth exceeds the number of decoder layers.
+    PipelineTooDeep {
+        /// Requested pipeline depth.
+        pipeline: usize,
+        /// Model decoder-layer count.
+        num_layers: usize,
+    },
+    /// The plan needs more GPUs than the cluster offers.
+    NotEnoughGpus {
+        /// GPUs required (`t·d·p`).
+        required: usize,
+        /// GPUs available.
+        available: usize,
+    },
+    /// The per-GPU memory footprint exceeds HBM capacity.
+    OutOfMemory {
+        /// Estimated bytes on the most loaded GPU.
+        required: Bytes,
+        /// HBM capacity.
+        capacity: Bytes,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::ZeroField(field) => write!(f, "plan field `{field}` must be positive"),
+            PlanError::BatchNotDivisible { global_batch, divisor } => write!(
+                f,
+                "global batch {global_batch} is not divisible by data*micro_batch = {divisor}"
+            ),
+            PlanError::TensorExceedsNode { tensor, gpus_per_node } => write!(
+                f,
+                "tensor parallelism {tensor} exceeds the {gpus_per_node}-GPU NVLink domain"
+            ),
+            PlanError::PipelineTooDeep { pipeline, num_layers } => {
+                write!(f, "pipeline depth {pipeline} exceeds {num_layers} decoder layers")
+            }
+            PlanError::NotEnoughGpus { required, available } => {
+                write!(f, "plan requires {required} GPUs but only {available} are available")
+            }
+            PlanError::OutOfMemory { required, capacity } => {
+                write!(f, "plan needs {required} per GPU but HBM holds {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl ParallelConfig {
+    /// Starts building a plan. Defaults: all degrees 1, `micro_batch = 1`,
+    /// `global_batch = 1`, 1F1B schedule, gradient bucketing enabled.
+    pub fn builder() -> ParallelConfigBuilder {
+        ParallelConfigBuilder::default()
+    }
+
+    /// Tensor-parallel degree `t`.
+    pub fn tensor(&self) -> usize {
+        self.tensor
+    }
+
+    /// Data-parallel degree `d`.
+    pub fn data(&self) -> usize {
+        self.data
+    }
+
+    /// Pipeline-parallel degree `p`.
+    pub fn pipeline(&self) -> usize {
+        self.pipeline
+    }
+
+    /// Micro-batch size `m` (sequences).
+    pub fn micro_batch(&self) -> usize {
+        self.micro_batch
+    }
+
+    /// Global batch size (sequences consumed per iteration across all
+    /// replicas).
+    pub fn global_batch(&self) -> usize {
+        self.global_batch
+    }
+
+    /// Pipeline scheduling policy.
+    pub fn schedule(&self) -> PipelineSchedule {
+        self.schedule
+    }
+
+    /// Whether DP gradient bucketing (overlap of gradient All-Reduce with
+    /// backward compute, paper Fig. 5) is enabled.
+    pub fn gradient_bucketing(&self) -> bool {
+        self.gradient_bucketing
+    }
+
+    /// Total GPUs the plan occupies: `t · d · p`.
+    pub fn num_gpus(&self) -> usize {
+        self.tensor * self.data * self.pipeline
+    }
+
+    /// Micro-batches per pipeline replica per iteration:
+    /// `global_batch / (d · m)`.
+    pub fn num_micro_batches(&self) -> usize {
+        self.global_batch / (self.data * self.micro_batch)
+    }
+
+    /// Peak in-flight micro-batches under this plan's schedule.
+    pub fn max_in_flight_micro_batches(&self) -> usize {
+        self.schedule.max_in_flight(self.pipeline, self.num_micro_batches())
+    }
+
+    /// Checks the plan against a model and cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint among: tensor parallelism must
+    /// fit the NVLink domain, pipeline depth must not exceed layer count,
+    /// `t·d·p` must fit the cluster, and the per-GPU footprint (full
+    /// activation recomputation assumed) must fit HBM.
+    pub fn validate(&self, model: &ModelConfig, cluster: &ClusterSpec) -> Result<(), PlanError> {
+        if self.tensor > cluster.gpus_per_node {
+            return Err(PlanError::TensorExceedsNode {
+                tensor: self.tensor,
+                gpus_per_node: cluster.gpus_per_node,
+            });
+        }
+        if self.pipeline > model.num_layers() {
+            return Err(PlanError::PipelineTooDeep {
+                pipeline: self.pipeline,
+                num_layers: model.num_layers(),
+            });
+        }
+        if self.num_gpus() > cluster.total_gpus {
+            return Err(PlanError::NotEnoughGpus {
+                required: self.num_gpus(),
+                available: cluster.total_gpus,
+            });
+        }
+        let footprint = model
+            .memory_per_gpu(
+                self.tensor,
+                self.pipeline,
+                self.micro_batch,
+                self.max_in_flight_micro_batches(),
+                ActivationStrategy::FullRecompute,
+            )
+            .total();
+        if footprint > cluster.gpu.memory {
+            return Err(PlanError::OutOfMemory {
+                required: footprint,
+                capacity: cluster.gpu.memory,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ParallelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {})-way, m={}, B={}, {:?}",
+            self.tensor, self.data, self.pipeline, self.micro_batch, self.global_batch,
+            self.schedule
+        )
+    }
+}
+
+/// Incremental builder for [`ParallelConfig`].
+#[derive(Clone, Debug)]
+pub struct ParallelConfigBuilder {
+    tensor: usize,
+    data: usize,
+    pipeline: usize,
+    micro_batch: usize,
+    global_batch: usize,
+    schedule: PipelineSchedule,
+    gradient_bucketing: bool,
+}
+
+impl Default for ParallelConfigBuilder {
+    fn default() -> Self {
+        ParallelConfigBuilder {
+            tensor: 1,
+            data: 1,
+            pipeline: 1,
+            micro_batch: 1,
+            global_batch: 1,
+            schedule: PipelineSchedule::OneFOneB,
+            gradient_bucketing: true,
+        }
+    }
+}
+
+impl ParallelConfigBuilder {
+    /// Sets the tensor-parallel degree `t`.
+    pub fn tensor(mut self, t: usize) -> Self {
+        self.tensor = t;
+        self
+    }
+
+    /// Sets the data-parallel degree `d`.
+    pub fn data(mut self, d: usize) -> Self {
+        self.data = d;
+        self
+    }
+
+    /// Sets the pipeline-parallel degree `p`.
+    pub fn pipeline(mut self, p: usize) -> Self {
+        self.pipeline = p;
+        self
+    }
+
+    /// Sets the micro-batch size `m`.
+    pub fn micro_batch(mut self, m: usize) -> Self {
+        self.micro_batch = m;
+        self
+    }
+
+    /// Sets the global batch size (sequences).
+    pub fn global_batch(mut self, b: usize) -> Self {
+        self.global_batch = b;
+        self
+    }
+
+    /// Sets the pipeline schedule.
+    pub fn schedule(mut self, s: PipelineSchedule) -> Self {
+        self.schedule = s;
+        self
+    }
+
+    /// Enables or disables DP gradient bucketing.
+    pub fn gradient_bucketing(mut self, enabled: bool) -> Self {
+        self.gradient_bucketing = enabled;
+        self
+    }
+
+    /// Validates the arithmetic constraints and produces the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::ZeroField`] for zero parameters and
+    /// [`PlanError::BatchNotDivisible`] when the global batch cannot be
+    /// split into whole micro-batches.
+    pub fn build(self) -> Result<ParallelConfig, PlanError> {
+        for (value, field) in [
+            (self.tensor, "tensor"),
+            (self.data, "data"),
+            (self.pipeline, "pipeline"),
+            (self.micro_batch, "micro_batch"),
+            (self.global_batch, "global_batch"),
+        ] {
+            if value == 0 {
+                return Err(PlanError::ZeroField(field));
+            }
+        }
+        let divisor = self.data * self.micro_batch;
+        if self.global_batch % divisor != 0 {
+            return Err(PlanError::BatchNotDivisible {
+                global_batch: self.global_batch,
+                divisor,
+            });
+        }
+        Ok(ParallelConfig {
+            tensor: self.tensor,
+            data: self.data,
+            pipeline: self.pipeline,
+            micro_batch: self.micro_batch,
+            global_batch: self.global_batch,
+            schedule: self.schedule,
+            gradient_bucketing: self.gradient_bucketing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vtrain_model::presets;
+
+    fn plan(t: usize, d: usize, p: usize, m: usize, b: usize) -> ParallelConfig {
+        ParallelConfig::builder()
+            .tensor(t)
+            .data(d)
+            .pipeline(p)
+            .micro_batch(m)
+            .global_batch(b)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn mt_nlg_published_plan_arithmetic() {
+        // (8, 12, 35) with B = 1,920 sequences and m = 1.
+        let p = plan(8, 12, 35, 1, 1920);
+        assert_eq!(p.num_gpus(), 3360);
+        assert_eq!(p.num_micro_batches(), 160);
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        let err = ParallelConfig::builder().tensor(0).build().unwrap_err();
+        assert_eq!(err, PlanError::ZeroField("tensor"));
+    }
+
+    #[test]
+    fn indivisible_batch_rejected() {
+        let err = ParallelConfig::builder()
+            .data(3)
+            .micro_batch(2)
+            .global_batch(16)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PlanError::BatchNotDivisible { divisor: 6, .. }));
+    }
+
+    #[test]
+    fn validate_rejects_tensor_over_node() {
+        let cluster = ClusterSpec::aws_p4d(64);
+        let model = presets::megatron("1.7B");
+        let err = plan(16, 1, 1, 1, 16).validate(&model, &cluster).unwrap_err();
+        assert!(matches!(err, PlanError::TensorExceedsNode { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_deep_pipeline() {
+        let cluster = ClusterSpec::aws_p4d(1024);
+        let model = presets::megatron("1.7B"); // 24 layers
+        let err = plan(1, 1, 32, 1, 32).validate(&model, &cluster).unwrap_err();
+        assert!(matches!(err, PlanError::PipelineTooDeep { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_cluster_overflow() {
+        let cluster = ClusterSpec::aws_p4d(8);
+        let model = presets::megatron("1.7B");
+        let err = plan(8, 2, 1, 1, 16).validate(&model, &cluster).unwrap_err();
+        assert!(matches!(err, PlanError::NotEnoughGpus { required: 16, available: 8 }));
+    }
+
+    #[test]
+    fn validate_rejects_oom() {
+        let cluster = ClusterSpec::aws_p4d(8);
+        let model = presets::megatron("39.1B");
+        let err = plan(8, 1, 1, 1, 8).validate(&model, &cluster).unwrap_err();
+        assert!(matches!(err, PlanError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn validate_accepts_feasible_plan() {
+        let cluster = ClusterSpec::aws_p4d(512);
+        let model = presets::megatron("18.4B");
+        plan(8, 8, 8, 2, 512).validate(&model, &cluster).unwrap();
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = PlanError::OutOfMemory {
+            required: Bytes::from_gib(50),
+            capacity: Bytes::from_gib(40),
+        };
+        assert!(err.to_string().contains("50.00GiB"));
+    }
+
+    proptest! {
+        #[test]
+        fn gpus_and_micro_batches_are_consistent(
+            t in 1usize..16,
+            d in 1usize..32,
+            p in 1usize..16,
+            m in 1usize..8,
+            k in 1usize..16,
+        ) {
+            let b = d * m * k;
+            let cfg = plan(t, d, p, m, b);
+            prop_assert_eq!(cfg.num_gpus(), t * d * p);
+            prop_assert_eq!(cfg.num_micro_batches(), k);
+            prop_assert_eq!(cfg.num_micro_batches() * d * m, b);
+            prop_assert!(cfg.max_in_flight_micro_batches() <= k.max(p));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Communication latency models (paper §III-D and §IV).
+
+use serde::{Deserialize, Serialize};
+use vtrain_gpu::comm::{all_reduce_time, send_recv_time, InterNodeModel};
+use vtrain_graph::{CommKind, CommOp, CommScope};
+use vtrain_model::{Bytes, TimeNs};
+use vtrain_parallel::ClusterSpec;
+
+/// Sizes swept when profiling intra-node NCCL primitives (1 MB – 1024 MB,
+/// the range the paper reports).
+const SWEEP_MIB: [u64; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+/// Rank counts profiled (2/4/8 GPUs of one node).
+const SWEEP_RANKS: [usize; 3] = [2, 4, 8];
+
+/// The complete communication model: profiled intra-node tables plus the
+/// Equation (1) analytical inter-node model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CommModel {
+    /// Profiled `(ranks, [(bytes, latency)])` anchors for intra-node
+    /// All-Reduce, interpolated log-linearly between anchors.
+    intra_anchors: Vec<(usize, Vec<(u64, TimeNs)>)>,
+    inter: InterNodeModel,
+    nvlink_bus_bandwidth: f64,
+    nvlink_latency: TimeNs,
+    internode_bandwidth: f64,
+    internode_latency: TimeNs,
+}
+
+impl CommModel {
+    /// Builds the model for a cluster: sweeps intra-node NCCL All-Reduce
+    /// latencies in an isolated setting (exactly the paper's methodology —
+    /// and, exactly as the paper notes, therefore blind to the ~30 %
+    /// contention inflation the ground-truth emulator injects), and
+    /// instantiates Equation (1) with bandwidth-effectiveness `alpha`.
+    pub fn new(cluster: &ClusterSpec, alpha: f64) -> Self {
+        let intra_anchors = SWEEP_RANKS
+            .iter()
+            .map(|&ranks| {
+                let anchors = SWEEP_MIB
+                    .iter()
+                    .map(|&mib| {
+                        let bytes = Bytes::from_mib(mib);
+                        let t = all_reduce_time(
+                            bytes,
+                            ranks,
+                            cluster.nvlink_bus_bandwidth,
+                            cluster.nvlink_latency,
+                        );
+                        (bytes.as_u64(), t)
+                    })
+                    .collect();
+                (ranks, anchors)
+            })
+            .collect();
+        CommModel {
+            intra_anchors,
+            inter: InterNodeModel::new(cluster.internode_bandwidth, alpha, cluster.internode_latency),
+            nvlink_bus_bandwidth: cluster.nvlink_bus_bandwidth,
+            nvlink_latency: cluster.nvlink_latency,
+            internode_bandwidth: cluster.internode_bandwidth,
+            internode_latency: cluster.internode_latency,
+        }
+    }
+
+    /// Returns a copy with a different bandwidth-effectiveness factor
+    /// (used by the §IV α-calibration sweep).
+    pub fn with_alpha(&self, alpha: f64) -> Self {
+        let mut out = self.clone();
+        out.inter = InterNodeModel::new(self.internode_bandwidth, alpha, self.internode_latency);
+        out
+    }
+
+    /// The configured `α`.
+    pub fn alpha(&self) -> f64 {
+        self.inter.alpha
+    }
+
+    /// Latency of an intra-node All-Reduce by table interpolation
+    /// (log-linear between profiled anchors; linear extrapolation outside).
+    pub fn intra_all_reduce(&self, bytes: Bytes, ranks: usize) -> TimeNs {
+        if ranks <= 1 {
+            return TimeNs::ZERO;
+        }
+        let Some((_, anchors)) = self.intra_anchors.iter().find(|(r, _)| *r == ranks) else {
+            // Unprofiled rank count: fall back to the ring model directly.
+            return all_reduce_time(bytes, ranks, self.nvlink_bus_bandwidth, self.nvlink_latency);
+        };
+        interpolate(anchors, bytes.as_u64())
+    }
+
+    /// Latency of an operator from the execution graph.
+    pub fn latency(&self, op: &CommOp) -> TimeNs {
+        match (op.kind, op.scope) {
+            (CommKind::TpAllReduce, _) | (CommKind::DpAllReduce, CommScope::IntraNode) => {
+                self.intra_all_reduce(op.bytes, op.ranks)
+            }
+            (CommKind::DpAllReduce, CommScope::InterNode) => {
+                self.inter.all_reduce(op.bytes, op.ranks)
+            }
+            (CommKind::PpSendRecv, CommScope::IntraNode) => {
+                send_recv_time(op.bytes, self.nvlink_bus_bandwidth, self.nvlink_latency)
+            }
+            (CommKind::PpSendRecv, CommScope::InterNode) => {
+                send_recv_time(op.bytes, self.internode_bandwidth, self.internode_latency)
+            }
+        }
+    }
+}
+
+/// Log-linear interpolation over `(bytes, latency)` anchors sorted by bytes.
+fn interpolate(anchors: &[(u64, TimeNs)], bytes: u64) -> TimeNs {
+    debug_assert!(!anchors.is_empty());
+    let bytes = bytes.max(1);
+    let first = anchors.first().expect("nonempty anchors");
+    let last = anchors.last().expect("nonempty anchors");
+    if bytes <= first.0 {
+        // Below the sweep floor latency is launch-dominated: scale the
+        // transfer share linearly, keep the floor's latency share.
+        let scale = bytes as f64 / first.0 as f64;
+        return first.1.scale(scale.max(0.05)).max(TimeNs::from_micros(5));
+    }
+    if bytes >= last.0 {
+        let scale = bytes as f64 / last.0 as f64;
+        return last.1.scale(scale);
+    }
+    let hi = anchors.iter().position(|(b, _)| *b >= bytes).expect("bytes below max anchor");
+    let (b0, t0) = anchors[hi - 1];
+    let (b1, t1) = anchors[hi];
+    let frac = ((bytes as f64).ln() - (b0 as f64).ln()) / ((b1 as f64).ln() - (b0 as f64).ln());
+    let t = t0.as_secs_f64() + frac * (t1.as_secs_f64() - t0.as_secs_f64());
+    TimeNs::from_secs_f64(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> CommModel {
+        CommModel::new(&ClusterSpec::aws_p4d(64), 1.0)
+    }
+
+    fn op(kind: CommKind, scope: CommScope, mib: u64, ranks: usize) -> CommOp {
+        CommOp {
+            kind,
+            bytes: Bytes::from_mib(mib),
+            ranks,
+            scope,
+            overlappable: false,
+            concurrent_groups: 1,
+        }
+    }
+
+    #[test]
+    fn interpolation_agrees_with_anchors_exactly() {
+        let m = model();
+        for mib in SWEEP_MIB {
+            let expect = all_reduce_time(
+                Bytes::from_mib(mib),
+                8,
+                235e9,
+                TimeNs::from_micros(8),
+            );
+            let got = m.intra_all_reduce(Bytes::from_mib(mib), 8);
+            let rel = (got.as_secs_f64() - expect.as_secs_f64()).abs() / expect.as_secs_f64();
+            assert!(rel < 1e-6, "anchor {mib}MiB: got {got}, expect {expect}");
+        }
+    }
+
+    #[test]
+    fn inter_node_uses_equation_one() {
+        let m = model();
+        let o = op(CommKind::DpAllReduce, CommScope::InterNode, 512, 8);
+        // 512 MiB · 2·7/8 / 100 GB/s ≈ 9.4 ms (+20 µs latency).
+        let t = m.latency(&o).as_secs_f64();
+        assert!((t - 0.0094).abs() < 0.0005, "got {t}");
+    }
+
+    #[test]
+    fn alpha_half_doubles_inter_node_time() {
+        let m = model();
+        let o = op(CommKind::DpAllReduce, CommScope::InterNode, 256, 16);
+        let base = m.latency(&o).as_secs_f64();
+        let half = m.with_alpha(0.5).latency(&o).as_secs_f64();
+        assert!((half / base - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn alpha_does_not_touch_intra_node() {
+        let m = model();
+        let o = op(CommKind::TpAllReduce, CommScope::IntraNode, 64, 8);
+        assert_eq!(m.latency(&o), m.with_alpha(0.3).latency(&o));
+    }
+
+    #[test]
+    fn pp_send_recv_cheaper_than_all_reduce() {
+        // §II-B: Send-Receive just moves the payload once; All-Reduce moves
+        // ~2× across the ring.
+        let m = model();
+        let send = m.latency(&op(CommKind::PpSendRecv, CommScope::InterNode, 128, 2));
+        let ar = m.latency(&op(CommKind::DpAllReduce, CommScope::InterNode, 128, 8));
+        assert!(send < ar);
+    }
+
+    #[test]
+    fn unprofiled_rank_count_falls_back_to_ring_model() {
+        let m = model();
+        let got = m.intra_all_reduce(Bytes::from_mib(64), 6);
+        let expect = all_reduce_time(Bytes::from_mib(64), 6, 235e9, TimeNs::from_micros(8));
+        assert_eq!(got, expect);
+    }
+
+    proptest! {
+        #[test]
+        fn interpolated_latency_monotone_in_bytes(a in 1u64..2048, b in 1u64..2048) {
+            let m = model();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let tl = m.intra_all_reduce(Bytes::from_mib(lo), 8);
+            let th = m.intra_all_reduce(Bytes::from_mib(hi), 8);
+            prop_assert!(tl <= th, "{}MiB -> {}, {}MiB -> {}", lo, tl, hi, th);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Operator → CUDA-kernel decomposition.
+//!
+//! Mirrors what Megatron-LM actually launches for each block under `t`-way
+//! tensor parallelism. Backward blocks follow the standard rule: every
+//! forward GEMM contributes a data-gradient GEMM and a weight-gradient GEMM;
+//! bandwidth-bound kernels run again at comparable cost; with activation
+//! recomputation enabled the whole forward kernel list is replayed first.
+
+use vtrain_gpu::KernelKind;
+use vtrain_graph::{CompKind, OpSignature};
+
+/// The CUDA-kernel sequence a single execution of `sig` launches on one GPU.
+///
+/// # Panics
+///
+/// Panics if the signature's tensor degree does not divide its head count or
+/// hidden size (Megatron's own requirement).
+pub fn decompose(sig: &OpSignature) -> Vec<KernelKind> {
+    match sig.kind {
+        CompKind::EmbeddingFwd => embedding_fwd(sig),
+        CompKind::EmbeddingBwd => embedding_bwd(sig),
+        CompKind::MhaFwd => mha_fwd(sig),
+        CompKind::FfnFwd => ffn_fwd(sig),
+        CompKind::MhaBwd => backward_of(sig, mha_fwd(sig)),
+        CompKind::FfnBwd => backward_of(sig, ffn_fwd(sig)),
+        CompKind::LmHeadFwd => lm_head_fwd(sig),
+        CompKind::LmHeadBwd => backward_of(sig, lm_head_fwd(sig)),
+        CompKind::WeightUpdate => vec![KernelKind::AdamUpdate { params: sig.params }],
+    }
+}
+
+fn tokens(sig: &OpSignature) -> u64 {
+    (sig.seq * sig.micro_batch) as u64
+}
+
+fn check_divisibility(sig: &OpSignature) {
+    assert!(
+        sig.heads % sig.tensor == 0 && sig.hidden % sig.tensor == 0,
+        "tensor degree {} must divide heads {} and hidden {}",
+        sig.tensor,
+        sig.heads,
+        sig.hidden
+    );
+}
+
+fn mha_fwd(sig: &OpSignature) -> Vec<KernelKind> {
+    check_divisibility(sig);
+    let h = sig.hidden as u64;
+    let t = sig.tensor as u64;
+    let s = sig.seq as u64;
+    let rows = tokens(sig);
+    let local_heads = (sig.heads / sig.tensor) as u64;
+    let head_dim = (sig.hidden / sig.heads) as u64;
+    let attn_batch = local_heads * sig.micro_batch as u64;
+    vec![
+        KernelKind::LayerNorm { rows, cols: h },
+        // Column-parallel fused QKV projection.
+        KernelKind::Gemm { m: rows, n: 3 * h / t, k: h, batch: 1 },
+        // Q·Kᵀ attention scores, one GEMM per (head, micro-batch sample).
+        KernelKind::Gemm { m: s, n: s, k: head_dim, batch: attn_batch },
+        KernelKind::Softmax { rows: attn_batch * s, cols: s },
+        // Scores·V context.
+        KernelKind::Gemm { m: s, n: head_dim, k: s, batch: attn_batch },
+        // Row-parallel output projection.
+        KernelKind::Gemm { m: rows, n: h, k: h / t, batch: 1 },
+        // Bias + dropout + residual.
+        KernelKind::Elementwise { bytes: 6 * rows * h },
+    ]
+}
+
+fn ffn_fwd(sig: &OpSignature) -> Vec<KernelKind> {
+    check_divisibility(sig);
+    let h = sig.hidden as u64;
+    let t = sig.tensor as u64;
+    let e = sig.ffn_expansion as u64;
+    let rows = tokens(sig);
+    vec![
+        KernelKind::LayerNorm { rows, cols: h },
+        // Column-parallel h → e·h/t.
+        KernelKind::Gemm { m: rows, n: e * h / t, k: h, batch: 1 },
+        // GeLU over the intermediate activation (read + write FP16).
+        KernelKind::Elementwise { bytes: 4 * rows * e * h / t },
+        // Row-parallel e·h/t → h.
+        KernelKind::Gemm { m: rows, n: h, k: e * h / t, batch: 1 },
+        KernelKind::Elementwise { bytes: 6 * rows * h },
+    ]
+}
+
+fn embedding_fwd(sig: &OpSignature) -> Vec<KernelKind> {
+    let rows = tokens(sig);
+    let h = sig.hidden as u64;
+    vec![
+        KernelKind::EmbeddingLookup { tokens: rows, hidden: h },
+        // Word + positional embedding add.
+        KernelKind::Elementwise { bytes: 6 * rows * h },
+    ]
+}
+
+fn embedding_bwd(sig: &OpSignature) -> Vec<KernelKind> {
+    let rows = tokens(sig);
+    let h = sig.hidden as u64;
+    // Scatter-add of token gradients into the (vocab-parallel) table.
+    vec![KernelKind::Elementwise { bytes: 8 * rows * h }]
+}
+
+fn lm_head_fwd(sig: &OpSignature) -> Vec<KernelKind> {
+    check_divisibility(sig);
+    let rows = tokens(sig);
+    let h = sig.hidden as u64;
+    let v_local = (sig.vocab / sig.tensor.max(1)) as u64;
+    vec![
+        // Vocab-parallel logits projection against the tied embedding.
+        KernelKind::Gemm { m: rows, n: v_local.max(1), k: h, batch: 1 },
+        // Log-softmax + cross-entropy.
+        KernelKind::Softmax { rows, cols: v_local.max(1) },
+    ]
+}
+
+/// Backward kernels derived from a block's forward kernel list.
+fn backward_of(sig: &OpSignature, forward: Vec<KernelKind>) -> Vec<KernelKind> {
+    let mut kernels = Vec::with_capacity(forward.len() * 3);
+    if sig.recompute {
+        // Activation recomputation replays the forward first (§II-B: the
+        // source of the 4th pass in the 96·B·s·L·h² accounting).
+        kernels.extend(forward.iter().copied());
+    }
+    for k in &forward {
+        match *k {
+            KernelKind::Gemm { m, n, k: kk, batch } => {
+                // Data gradient: dX = dY · Wᵀ  (m×n · n×k).
+                kernels.push(KernelKind::Gemm { m, n: kk, k: n, batch });
+                // Weight gradient: dW = Xᵀ · dY (k×m · m×n).
+                kernels.push(KernelKind::Gemm { m: kk, n, k: m, batch });
+            }
+            // Bandwidth-bound kernels re-stream comparable bytes backward.
+            other => kernels.push(other),
+        }
+    }
+    kernels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(kind: CompKind, tensor: usize, recompute: bool) -> OpSignature {
+        OpSignature {
+            kind,
+            hidden: 2048,
+            heads: 16,
+            seq: 1024,
+            micro_batch: 2,
+            tensor,
+            ffn_expansion: 4,
+            vocab: 51_200,
+            params: 1_000_000,
+            recompute,
+        }
+    }
+
+    fn total_gemm_flops(kernels: &[KernelKind]) -> f64 {
+        kernels
+            .iter()
+            .filter(|k| matches!(k, KernelKind::Gemm { .. }))
+            .map(|k| k.flops())
+            .sum()
+    }
+
+    #[test]
+    fn mha_fwd_gemm_flops_match_closed_form() {
+        // 24·s·h²·m/t per full layer... MHA share is 8·s·h² + 4·s²·h per
+        // sequence at t = 1.
+        let s = sig(CompKind::MhaFwd, 1, false);
+        let got = total_gemm_flops(&decompose(&s));
+        let seq = s.seq as f64;
+        let h = s.hidden as f64;
+        let expect = s.micro_batch as f64 * (8.0 * seq * h * h + 4.0 * seq * seq * h);
+        assert!((got - expect).abs() / expect < 1e-9, "got {got:e}, expect {expect:e}");
+    }
+
+    #[test]
+    fn ffn_fwd_gemm_flops_match_closed_form() {
+        let s = sig(CompKind::FfnFwd, 1, false);
+        let got = total_gemm_flops(&decompose(&s));
+        let seq = s.seq as f64;
+        let h = s.hidden as f64;
+        let expect = s.micro_batch as f64 * 16.0 * seq * h * h;
+        assert!((got - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn tensor_parallelism_divides_gemm_work() {
+        let full = total_gemm_flops(&decompose(&sig(CompKind::MhaFwd, 1, false)));
+        let split = total_gemm_flops(&decompose(&sig(CompKind::MhaFwd, 4, false)));
+        assert!((full / split - 4.0).abs() < 1e-9, "4-way TP must quarter the FLOPs");
+    }
+
+    #[test]
+    fn backward_without_recompute_is_twice_forward_gemms() {
+        let fwd = total_gemm_flops(&decompose(&sig(CompKind::MhaFwd, 2, false)));
+        let bwd = total_gemm_flops(&decompose(&sig(CompKind::MhaBwd, 2, false)));
+        assert!((bwd / fwd - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recompute_adds_one_forward() {
+        let fwd = total_gemm_flops(&decompose(&sig(CompKind::FfnFwd, 2, false)));
+        let without = total_gemm_flops(&decompose(&sig(CompKind::FfnBwd, 2, false)));
+        let with = total_gemm_flops(&decompose(&sig(CompKind::FfnBwd, 2, true)));
+        assert!(((with - without) / fwd - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_update_is_single_adam_kernel() {
+        let ks = decompose(&sig(CompKind::WeightUpdate, 2, true));
+        assert_eq!(ks, vec![KernelKind::AdamUpdate { params: 1_000_000 }]);
+    }
+
+    #[test]
+    fn lm_head_splits_vocab() {
+        let ks = decompose(&sig(CompKind::LmHeadFwd, 4, false));
+        let has_local_vocab = ks.iter().any(|k| matches!(
+            k,
+            KernelKind::Gemm { n, .. } if *n == 51_200 / 4
+        ));
+        assert!(has_local_vocab, "{ks:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_tensor_degree_panics() {
+        let mut s = sig(CompKind::MhaFwd, 3, false);
+        s.heads = 16; // 16 % 3 != 0
+        let _ = decompose(&s);
+    }
+
+    #[test]
+    fn every_kind_decomposes_nonempty() {
+        for kind in [
+            CompKind::EmbeddingFwd,
+            CompKind::EmbeddingBwd,
+            CompKind::MhaFwd,
+            CompKind::MhaBwd,
+            CompKind::FfnFwd,
+            CompKind::FfnBwd,
+            CompKind::LmHeadFwd,
+            CompKind::LmHeadBwd,
+            CompKind::WeightUpdate,
+        ] {
+            assert!(!decompose(&sig(kind, 2, true)).is_empty(), "{kind:?}");
+        }
+    }
+}

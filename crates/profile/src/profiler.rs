@@ -1,0 +1,128 @@
+//! The profiling driver: execute necessary operators, harvest kernel traces.
+
+use std::collections::HashSet;
+
+use vtrain_gpu::{DeviceModel, Kernel};
+use vtrain_graph::OpSignature;
+use vtrain_parallel::GpuSpec;
+
+use crate::decompose::decompose;
+use crate::table::{OperatorTaskTable, OpProfile, TaskRecord};
+
+/// Profiles necessary operators against a target GPU (paper §III-C).
+///
+/// Where the published system launches each operator once on a physical
+/// A100 and records its kernels through CUPTI, this profiler launches the
+/// operator's kernel decomposition against the analytical
+/// [`DeviceModel`] — producing the identical artifact: an
+/// [`OperatorTaskTable`] of named kernels with wall-clock latencies.
+#[derive(Clone, Debug)]
+pub struct Profiler {
+    device: DeviceModel,
+}
+
+impl Profiler {
+    /// Creates a profiler targeting the given GPU.
+    pub fn new(gpu: GpuSpec) -> Self {
+        Profiler { device: DeviceModel::new(gpu) }
+    }
+
+    /// The underlying device model.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Executes one operator and records its kernel trace.
+    pub fn profile_operator(&self, sig: &OpSignature) -> OpProfile {
+        let tasks = decompose(sig)
+            .into_iter()
+            .map(|kind| {
+                let kernel = Kernel::new(kind);
+                let duration = self.device.kernel_latency(&kind);
+                TaskRecord::new(&kernel, duration)
+            })
+            .collect();
+        OpProfile { tasks }
+    }
+
+    /// Profiles every necessary operator, producing the lookup table.
+    ///
+    /// Cost is `O(|signatures|)` — constant in the number of layers and
+    /// micro-batches, per the paper's key profiling optimization.
+    pub fn profile(&self, signatures: &HashSet<OpSignature>) -> OperatorTaskTable {
+        let mut table = OperatorTaskTable::new();
+        for sig in signatures {
+            table.insert(*sig, self.profile_operator(sig));
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtrain_graph::{build_op_graph, GraphOptions};
+    use vtrain_model::{presets, TimeNs};
+    use vtrain_parallel::ParallelConfig;
+
+    fn table_for(t: usize, d: usize, p: usize) -> OperatorTaskTable {
+        let model = presets::megatron("1.7B");
+        let plan = ParallelConfig::builder()
+            .tensor(t)
+            .data(d)
+            .pipeline(p)
+            .micro_batch(1)
+            .global_batch(8 * d)
+            .build()
+            .unwrap();
+        let graph = build_op_graph(&model, &plan, &GraphOptions::default());
+        Profiler::new(vtrain_parallel::GpuSpec::a100_40gb())
+            .profile(&graph.necessary_operators())
+    }
+
+    #[test]
+    fn covers_all_necessary_operators() {
+        let model = presets::megatron("1.7B");
+        let plan = ParallelConfig::builder()
+            .tensor(2)
+            .data(2)
+            .pipeline(2)
+            .global_batch(8)
+            .build()
+            .unwrap();
+        let graph = build_op_graph(&model, &plan, &GraphOptions::default());
+        let sigs = graph.necessary_operators();
+        let table = Profiler::new(vtrain_parallel::GpuSpec::a100_40gb()).profile(&sigs);
+        assert_eq!(table.len(), sigs.len());
+        for sig in &sigs {
+            let profile = table.get(sig).expect("profiled");
+            assert!(profile.total() > TimeNs::ZERO);
+            assert!(profile.kernel_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn tensor_parallel_operators_are_faster() {
+        let t1 = table_for(1, 1, 1);
+        let t4 = table_for(4, 1, 1);
+        let total = |t: &OperatorTaskTable| -> f64 {
+            t.iter()
+                .filter(|(s, _)| {
+                    s.kind == vtrain_graph::CompKind::MhaFwd
+                        || s.kind == vtrain_graph::CompKind::FfnFwd
+                })
+                .map(|(_, p)| p.total().as_secs_f64())
+                .sum()
+        };
+        assert!(total(&t4) < total(&t1), "4-way TP should shrink per-GPU layer time");
+    }
+
+    #[test]
+    fn profiling_is_deterministic() {
+        let a = table_for(2, 2, 2);
+        let b = table_for(2, 2, 2);
+        for (sig, profile) in a.iter() {
+            assert_eq!(Some(profile), b.get(sig));
+        }
+    }
+}

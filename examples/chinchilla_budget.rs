@@ -1,0 +1,69 @@
+//! Case study #3 in miniature: what is the largest Chinchilla-optimal model
+//! trainable in N days on M GPUs, once *effective* utilization is accounted
+//! for?
+//!
+//! ```sh
+//! cargo run --release --example chinchilla_budget
+//! ```
+
+use vtrain::prelude::*;
+use vtrain::scaling::{compute_optimal_search, CandidateSpec};
+
+fn main() {
+    let gpus = 256;
+    let days_budget = 30.0;
+    let cluster = ClusterSpec::aws_p4d(gpus);
+    let law = ChinchillaLaw::default();
+
+    // Naive sizing from peak FLOPS (the trap §V-C warns about).
+    let naive_c = ChinchillaLaw::gpu_budget(gpus, days_budget, cluster.gpu.peak_fp16_flops);
+    let naive = law.optimal_point(naive_c);
+    println!(
+        "naive budget  C = {:.2e} FLOPs  ->  N = {:.2}B params, T = {:.0}B tokens",
+        naive.compute,
+        naive.params / 1e9,
+        naive.tokens / 1e9
+    );
+
+    // Realistic sizing: simulate each candidate's best plan.
+    let estimator = Estimator::new(cluster);
+    let candidates = [
+        CandidateSpec { hidden: 4096, layers: 36, heads: 32 },
+        CandidateSpec { hidden: 5120, layers: 40, heads: 40 },
+        CandidateSpec { hidden: 6144, layers: 40, heads: 48 },
+        CandidateSpec { hidden: 6144, layers: 48, heads: 48 },
+        CandidateSpec { hidden: 8192, layers: 48, heads: 64 },
+    ];
+    let limits =
+        SearchLimits { max_tensor: 8, max_data: 16, max_pipeline: 12, max_micro_batch: 4 };
+    let (outcomes, best) =
+        compute_optimal_search(&estimator, &law, &candidates, 512, days_budget, &limits, 8);
+
+    println!("\n{:>6} {:>4} {:>9} {:>10} {:>20} {:>7} {:>8}", "h", "L", "params", "tokens", "best (t,d,p,m)", "util", "days");
+    for o in &outcomes {
+        println!(
+            "{:>6} {:>4} {:>8.2}B {:>9.0}B {:>20} {:>6.1}% {:>8.1}",
+            o.spec.hidden,
+            o.spec.layers,
+            o.params / 1e9,
+            o.tokens / 1e9,
+            format!(
+                "({}, {}, {}, {})",
+                o.best_plan.tensor(),
+                o.best_plan.data(),
+                o.best_plan.pipeline(),
+                o.best_plan.micro_batch()
+            ),
+            o.utilization * 100.0,
+            o.training_days
+        );
+    }
+    match best {
+        Some(b) => println!(
+            "\ncompute-optimal within {days_budget} days: {:.2}B parameters ({:.0}B tokens)",
+            b.params / 1e9,
+            b.tokens / 1e9
+        ),
+        None => println!("\nno candidate fits the {days_budget}-day budget"),
+    }
+}

@@ -1,0 +1,68 @@
+//! Case study #2 in miniature: multi-tenant GPU cluster scheduling with
+//! ElasticFlow-baseline vs vTrain-informed throughput profiles.
+//!
+//! ```sh
+//! cargo run --release --example cluster_scheduling
+//! ```
+
+use vtrain::cluster::{
+    build_catalog, generate_trace, simulate_cluster, ProfilePolicy, SchedulerConfig, TraceConfig,
+};
+use vtrain::prelude::*;
+
+fn main() {
+    // A 128-GPU shared cluster and two tenant model families.
+    let total_gpus = 128;
+    let estimator = Estimator::new(ClusterSpec::aws_p4d(total_gpus));
+    let models =
+        vec![(presets::megatron("1.7B"), 64usize), (presets::megatron("3.6B"), 128usize)];
+    let limits =
+        SearchLimits { max_tensor: 8, max_data: 16, max_pipeline: 6, max_micro_batch: 4 };
+
+    println!("profiling tenant models (both profile flavours)...");
+    let catalog = build_catalog(&estimator, &models, &limits, 8);
+    for name in catalog.names() {
+        let entry = catalog.get(name).unwrap();
+        println!(
+            "  {name}: baseline rungs {:?} | vTrain rungs {:?}",
+            entry.baseline.entries().iter().map(|&(g, _)| g).collect::<Vec<_>>(),
+            entry.vtrain.entries().iter().map(|&(g, _)| g).collect::<Vec<_>>()
+        );
+    }
+
+    println!("\n{:<7} {:>16} {:>16} {:>14} {:>14}", "trace", "ratio(Elastic)", "ratio(vTrain)", "JCT gain", "makespan gain");
+    for seed in 1..=5u64 {
+        let trace_cfg = TraceConfig {
+            num_jobs: 32,
+            seed,
+            arrival_window: TimeNs::from_secs(40 * 3600),
+            deadline_lambda: Some((0.5, 1.5)),
+            iterations: (100, 600),
+        };
+        let jobs = generate_trace(&trace_cfg, &catalog);
+        let base = simulate_cluster(
+            &jobs,
+            &catalog,
+            &SchedulerConfig { total_gpus, policy: ProfilePolicy::DataParallelOnly },
+        );
+        let vt = simulate_cluster(
+            &jobs,
+            &catalog,
+            &SchedulerConfig { total_gpus, policy: ProfilePolicy::VTrainOptimal },
+        );
+        let jct_gain = match (base.average_jct(&jobs), vt.average_jct(&jobs)) {
+            (Some(b), Some(v)) => 100.0 * (1.0 - v.as_secs_f64() / b.as_secs_f64()),
+            _ => 0.0,
+        };
+        let mk_gain =
+            100.0 * (1.0 - vt.makespan.as_secs_f64() / base.makespan.as_secs_f64().max(1e-9));
+        println!(
+            "{:<7} {:>16.2} {:>16.2} {:>13.1}% {:>13.1}%",
+            seed,
+            base.deadline_satisfactory_ratio(),
+            vt.deadline_satisfactory_ratio(),
+            jct_gain,
+            mk_gain
+        );
+    }
+}

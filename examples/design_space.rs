@@ -1,0 +1,84 @@
+//! Case study #1 in miniature: explore the `(t, d, p, m)` design space of a
+//! model and report the fastest, cheapest, and Pareto-optimal plans.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use vtrain::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = ClusterSpec::aws_p4d(512);
+    let model = presets::megatron("18.4B");
+    let global_batch = 512;
+    let estimator = Estimator::new(cluster);
+
+    // Exhaustive sweep, parallelized across CPU cores (§III-F).
+    let limits = SearchLimits {
+        max_tensor: 8,
+        max_data: 32,
+        max_pipeline: 10,
+        max_micro_batch: 8,
+    };
+    let started = std::time::Instant::now();
+    let points = search::explore(
+        &estimator,
+        &model,
+        global_batch,
+        PipelineSchedule::OneFOneB,
+        &limits,
+        std::thread::available_parallelism().map(Into::into).unwrap_or(8),
+    );
+    println!(
+        "evaluated {} feasible design points in {:.1}s\n",
+        points.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    // The fastest plan under a few GPU budgets.
+    println!("{:<8} {:>22} {:>12} {:>8}", "budget", "best (t,d,p,m)", "iter time", "util");
+    for budget in [64usize, 128, 256, 512] {
+        if let Some(best) = search::fastest_within_gpu_budget(&points, budget) {
+            println!(
+                "{:<8} {:>22} {:>12} {:>7.1}%",
+                budget,
+                format!(
+                    "({}, {}, {}, {})",
+                    best.plan.tensor(),
+                    best.plan.data(),
+                    best.plan.pipeline(),
+                    best.plan.micro_batch()
+                ),
+                best.estimate.iteration_time.to_string(),
+                best.estimate.utilization * 100.0
+            );
+        }
+    }
+
+    // The most cost-effective plan for a 300B-token run.
+    let cost = CostModel::default();
+    let (point, projection) =
+        search::most_cost_effective(&points, 300_000_000_000, &cost, 512)
+            .expect("at least one feasible plan");
+    println!(
+        "\ncheapest end-to-end: {} -> {:.1} days, ${:.2}M ({} GPUs)",
+        point.plan,
+        projection.days(),
+        projection.total_dollars / 1e6,
+        point.estimate.num_gpus
+    );
+
+    // The (iteration time × GPU count) Pareto frontier.
+    let front = search::pareto_front(&points);
+    println!("\nPareto frontier ({} points):", front.len());
+    for p in front.iter().take(10) {
+        println!(
+            "  {:>4} GPUs  {:>12}  util {:>5.1}%  {}",
+            p.estimate.num_gpus,
+            p.estimate.iteration_time.to_string(),
+            p.estimate.utilization * 100.0,
+            p.plan
+        );
+    }
+    Ok(())
+}

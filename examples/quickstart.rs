@@ -1,0 +1,58 @@
+//! Quickstart: predict the single-iteration training time, utilization, and
+//! end-to-end cost of one LLM training plan.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vtrain::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the training platform: 512 A100 GPUs, 8 per node,
+    //    NVSwitch inside nodes, 4×200 Gb/s InfiniBand between them.
+    let cluster = ClusterSpec::aws_p4d(512);
+
+    // 2. Pick a model (the 18.4B-parameter member of the Megatron scaling
+    //    family the paper validates against) and a 3D-parallel plan.
+    let model = presets::megatron("18.4B");
+    let plan = ParallelConfig::builder()
+        .tensor(8) // intra-node tensor parallelism
+        .data(8) // data-parallel replicas
+        .pipeline(8) // pipeline stages
+        .micro_batch(2)
+        .global_batch(512)
+        .schedule(PipelineSchedule::OneFOneB)
+        .build()?;
+
+    // 3. Simulate one training iteration.
+    let estimator = Estimator::new(cluster);
+    let estimate = estimator.estimate(&model, &plan)?;
+
+    println!("model:            {model}");
+    println!("plan:             {plan}");
+    println!("GPUs:             {}", estimate.num_gpus);
+    println!("iteration time:   {}", estimate.iteration_time);
+    println!("GPU utilization:  {:.1}%", estimate.utilization * 100.0);
+    println!("pipeline bubble:  {:.1}%", (1.0 - estimate.occupancy) * 100.0);
+    println!(
+        "busy breakdown:   compute {} | TP {} | DP {} | PP {}",
+        estimate.busy.compute,
+        estimate.busy.tp_comm,
+        estimate.busy.dp_comm,
+        estimate.busy.pp_comm
+    );
+
+    // 4. Project end-to-end training over 300B tokens at AWS p4d pricing.
+    let cost = CostModel::default();
+    let projection = TrainingProjection::project(
+        estimate.iteration_time,
+        estimate.tokens_per_iteration,
+        300_000_000_000,
+        estimate.num_gpus,
+        &cost,
+    );
+    println!("iterations:       {}", projection.iterations);
+    println!("training time:    {:.1} days", projection.days());
+    println!("training cost:    ${:.2}M", projection.total_dollars / 1e6);
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Validation in miniature (paper Fig. 9): compare vTrain's predicted
+//! iteration times against ground-truth emulated "measurements" over a grid
+//! of single-node plans, reporting MAPE and R².
+//!
+//! ```sh
+//! cargo run --release --example validate_prediction
+//! ```
+
+use vtrain::prelude::*;
+
+fn main() {
+    let cluster = ClusterSpec::aws_p4d(8);
+    let estimator = Estimator::new(cluster);
+    let noise = NoiseModel::new(NoiseConfig::default());
+
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    for model in presets::single_node_family().into_iter().take(12) {
+        for (t, d, p) in [(1, 1, 1), (2, 2, 2), (4, 2, 1), (8, 1, 1), (2, 4, 1), (1, 2, 4)] {
+            if model.num_layers() % p != 0 {
+                continue;
+            }
+            let Ok(plan) = ParallelConfig::builder()
+                .tensor(t)
+                .data(d)
+                .pipeline(p)
+                .micro_batch(1)
+                .global_batch(16)
+                .build()
+            else {
+                continue;
+            };
+            let (Ok(pred), Ok(meas)) = (
+                estimator.estimate(&model, &plan),
+                estimator.measure(&model, &plan, &noise),
+            ) else {
+                continue;
+            };
+            pairs.push((pred.iteration_time.as_secs_f64(), meas.iteration_time.as_secs_f64()));
+        }
+    }
+
+    let mape = 100.0
+        * pairs.iter().map(|(p, m)| ((p - m) / m).abs()).sum::<f64>()
+        / pairs.len() as f64;
+    let mean_m = pairs.iter().map(|&(_, m)| m).sum::<f64>() / pairs.len() as f64;
+    let ss_res: f64 = pairs.iter().map(|(p, m)| (m - p).powi(2)).sum();
+    let ss_tot: f64 = pairs.iter().map(|(_, m)| (m - mean_m).powi(2)).sum();
+    let r2 = 1.0 - ss_res / ss_tot;
+
+    println!("validation points: {}", pairs.len());
+    println!("MAPE:              {mape:.2}%   (paper single-node: 8.37%)");
+    println!("R²:                {r2:.4}  (paper single-node: 0.9896)");
+    for (p, m) in pairs.iter().take(8) {
+        println!("  predicted {p:.4}s   measured {m:.4}s");
+    }
+}

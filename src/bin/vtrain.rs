@@ -1,0 +1,75 @@
+//! The `vtrain` command-line front-end: evaluate an input description file
+//! (paper Fig. 4, step ①) and print the predicted iteration time,
+//! utilization, breakdown, and end-to-end projection.
+//!
+//! ```sh
+//! cargo run --release --bin vtrain -- examples/descriptions/megatron_18b.json
+//! ```
+
+use std::process::ExitCode;
+
+use vtrain::description::Description;
+use vtrain::prelude::*;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: vtrain <description.json>");
+        eprintln!("see examples/descriptions/ for the schema");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&text) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(text: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let description = Description::from_json(text)?;
+    let model = description.model()?;
+    let cluster = description.cluster()?;
+    let plan = description.plan()?;
+
+    let estimator = Estimator::new(cluster);
+    let estimate = estimator.estimate(&model, &plan)?;
+
+    println!("model:           {model}");
+    println!("plan:            {plan}");
+    println!("GPUs:            {}", estimate.num_gpus);
+    println!("iteration time:  {}", estimate.iteration_time);
+    println!("utilization:     {:.1}%", estimate.utilization * 100.0);
+    println!(
+        "busy breakdown:  compute {} | TP {} | DP {} | PP {}",
+        estimate.busy.compute,
+        estimate.busy.tp_comm,
+        estimate.busy.dp_comm,
+        estimate.busy.pp_comm
+    );
+
+    if let Some(tokens) = description.tokens {
+        let cost = description
+            .cost_per_gpu_hour
+            .map(CostModel::new)
+            .unwrap_or_default();
+        let projection = TrainingProjection::project(
+            estimate.iteration_time,
+            estimate.tokens_per_iteration,
+            tokens,
+            estimate.num_gpus,
+            &cost,
+        );
+        println!("iterations:      {}", projection.iterations);
+        println!("training time:   {:.2} days", projection.days());
+        println!("training cost:   ${:.2}M", projection.total_dollars / 1e6);
+    }
+    Ok(())
+}

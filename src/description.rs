@@ -1,0 +1,254 @@
+//! The input description file (paper Fig. 4, step ①).
+//!
+//! vTrain is driven by a single description containing the target LLM, the
+//! training-system configuration, and the parallelization strategy to
+//! evaluate. This module defines the JSON schema and its conversion into
+//! the workspace's typed configs.
+//!
+//! ```json
+//! {
+//!   "model": { "preset": "megatron-18.4B" },
+//!   "cluster": { "preset": "aws-p4d", "total_gpus": 512 },
+//!   "parallelism": { "tensor": 8, "data": 8, "pipeline": 8,
+//!                    "micro_batch": 2, "global_batch": 512,
+//!                    "schedule": "1f1b" },
+//!   "tokens": 300000000000
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+use vtrain_model::{presets, ModelConfig};
+use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule};
+
+/// Root of the input description file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Description {
+    /// The target LLM.
+    pub model: ModelSection,
+    /// The training system.
+    pub cluster: ClusterSection,
+    /// The `(t, d, p)` strategy to evaluate.
+    pub parallelism: ParallelismSection,
+    /// Total training tokens (enables the end-to-end projection).
+    #[serde(default)]
+    pub tokens: Option<u64>,
+    /// Dollars per GPU-hour (default $5.00, the paper's P4d rate).
+    #[serde(default)]
+    pub cost_per_gpu_hour: Option<f64>,
+}
+
+/// Model: either a named preset or explicit hyperparameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ModelSection {
+    /// A named preset, e.g. `"gpt3-175b"`, `"mt-nlg-530b"`,
+    /// `"megatron-18.4B"`.
+    Preset {
+        /// Preset name.
+        preset: String,
+    },
+    /// Explicit hyperparameters (paper Fig. 2 notation).
+    Explicit {
+        /// Display name.
+        #[serde(default)]
+        name: Option<String>,
+        /// Hidden size `h`.
+        hidden_size: usize,
+        /// Decoder layers `L`.
+        num_layers: usize,
+        /// Attention heads `n`.
+        num_heads: usize,
+        /// Sequence length `s`.
+        seq_len: usize,
+        /// Vocabulary size `V`.
+        vocab_size: usize,
+    },
+}
+
+/// Cluster: a platform preset plus size.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterSection {
+    /// `"aws-p4d"` (A100-40GB) or `"dgx-a100-80gb"`.
+    pub preset: String,
+    /// Total GPUs.
+    pub total_gpus: usize,
+}
+
+/// The 3D-parallelism plan.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParallelismSection {
+    /// Tensor-parallel degree `t`.
+    pub tensor: usize,
+    /// Data-parallel degree `d`.
+    pub data: usize,
+    /// Pipeline depth `p`.
+    pub pipeline: usize,
+    /// Micro-batch size `m`.
+    pub micro_batch: usize,
+    /// Global batch (sequences per iteration).
+    pub global_batch: usize,
+    /// `"1f1b"` (default) or `"gpipe"`.
+    #[serde(default)]
+    pub schedule: Option<String>,
+    /// DP gradient bucketing (default true).
+    #[serde(default)]
+    pub gradient_bucketing: Option<bool>,
+}
+
+/// Error turning a description into typed configs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DescriptionError(String);
+
+impl std::fmt::Display for DescriptionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid description: {}", self.0)
+    }
+}
+
+impl std::error::Error for DescriptionError {}
+
+impl Description {
+    /// Parses a description from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the malformed field.
+    pub fn from_json(text: &str) -> Result<Self, DescriptionError> {
+        serde_json::from_str(text).map_err(|e| DescriptionError(e.to_string()))
+    }
+
+    /// Resolves the model section.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown presets or invalid hyperparameters.
+    pub fn model(&self) -> Result<ModelConfig, DescriptionError> {
+        match &self.model {
+            ModelSection::Preset { preset } => match preset.to_lowercase().as_str() {
+                "gpt2-1.5b" => Ok(presets::gpt2_1_5b()),
+                "gpt3-175b" => Ok(presets::gpt3_175b()),
+                "mt-nlg-530b" => Ok(presets::mt_nlg_530b()),
+                other => {
+                    if let Some(size) = other.strip_prefix("megatron-") {
+                        let target = size.to_uppercase();
+                        presets::megatron_family()
+                            .into_iter()
+                            .find(|m| m.name().ends_with(&target))
+                            .ok_or_else(|| {
+                                DescriptionError(format!("unknown megatron size `{size}`"))
+                            })
+                    } else {
+                        Err(DescriptionError(format!("unknown model preset `{preset}`")))
+                    }
+                }
+            },
+            ModelSection::Explicit { name, hidden_size, num_layers, num_heads, seq_len, vocab_size } => {
+                ModelConfig::builder()
+                    .name(name.clone().unwrap_or_else(|| "description".to_owned()))
+                    .hidden_size(*hidden_size)
+                    .num_layers(*num_layers)
+                    .num_heads(*num_heads)
+                    .seq_len(*seq_len)
+                    .vocab_size(*vocab_size)
+                    .build()
+                    .map_err(|e| DescriptionError(e.to_string()))
+            }
+        }
+    }
+
+    /// Resolves the cluster section.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown platform presets.
+    pub fn cluster(&self) -> Result<ClusterSpec, DescriptionError> {
+        match self.cluster.preset.to_lowercase().as_str() {
+            "aws-p4d" => Ok(ClusterSpec::aws_p4d(self.cluster.total_gpus)),
+            "dgx-a100-80gb" => Ok(ClusterSpec::dgx_a100_80gb(self.cluster.total_gpus)),
+            other => Err(DescriptionError(format!("unknown cluster preset `{other}`"))),
+        }
+    }
+
+    /// Resolves the parallelism section.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid degrees or an unknown schedule.
+    pub fn plan(&self) -> Result<ParallelConfig, DescriptionError> {
+        let schedule = match self.parallelism.schedule.as_deref() {
+            None | Some("1f1b") | Some("1F1B") => PipelineSchedule::OneFOneB,
+            Some("gpipe") | Some("GPipe") => PipelineSchedule::GPipe,
+            Some(other) => {
+                return Err(DescriptionError(format!("unknown schedule `{other}`")));
+            }
+        };
+        ParallelConfig::builder()
+            .tensor(self.parallelism.tensor)
+            .data(self.parallelism.data)
+            .pipeline(self.parallelism.pipeline)
+            .micro_batch(self.parallelism.micro_batch)
+            .global_batch(self.parallelism.global_batch)
+            .schedule(schedule)
+            .gradient_bucketing(self.parallelism.gradient_bucketing.unwrap_or(true))
+            .build()
+            .map_err(|e| DescriptionError(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"{
+        "model": { "preset": "megatron-18.4B" },
+        "cluster": { "preset": "aws-p4d", "total_gpus": 512 },
+        "parallelism": { "tensor": 8, "data": 8, "pipeline": 8,
+                         "micro_batch": 2, "global_batch": 512,
+                         "schedule": "1f1b" },
+        "tokens": 300000000000
+    }"#;
+
+    #[test]
+    fn example_description_resolves() {
+        let d = Description::from_json(EXAMPLE).unwrap();
+        assert_eq!(d.model().unwrap().hidden_size(), 6144);
+        assert_eq!(d.cluster().unwrap().total_gpus, 512);
+        let plan = d.plan().unwrap();
+        assert_eq!(plan.num_gpus(), 512);
+        assert_eq!(d.tokens, Some(300_000_000_000));
+    }
+
+    #[test]
+    fn explicit_model_resolves() {
+        let text = r#"{
+            "model": { "hidden_size": 1024, "num_layers": 8, "num_heads": 16,
+                       "seq_len": 512, "vocab_size": 50257 },
+            "cluster": { "preset": "dgx-a100-80gb", "total_gpus": 8 },
+            "parallelism": { "tensor": 2, "data": 2, "pipeline": 2,
+                             "micro_batch": 1, "global_batch": 8 }
+        }"#;
+        let d = Description::from_json(text).unwrap();
+        assert_eq!(d.model().unwrap().num_layers(), 8);
+        assert_eq!(d.plan().unwrap().schedule(), PipelineSchedule::OneFOneB);
+    }
+
+    #[test]
+    fn unknown_preset_is_an_error() {
+        let text = EXAMPLE.replace("megatron-18.4B", "bert-base");
+        let d = Description::from_json(&text).unwrap();
+        let err = d.model().unwrap_err();
+        assert!(err.to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn unknown_schedule_is_an_error() {
+        let text = EXAMPLE.replace("1f1b", "interleaved");
+        let d = Description::from_json(&text).unwrap();
+        assert!(d.plan().is_err());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(Description::from_json("{").is_err());
+    }
+}

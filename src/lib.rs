@@ -1,0 +1,73 @@
+//! # vTrain — a simulation framework for cost-effective and compute-optimal
+//! LLM training
+//!
+//! Rust reproduction of *vTrain* (Bang et al., MICRO 2024): a
+//! profiling-driven simulator that predicts the single-iteration training
+//! time of transformer LLMs under `(t, d, p)`-way 3D parallelism, and the
+//! three case studies built on it — cost-effective training-plan search,
+//! multi-tenant GPU cluster scheduling, and compute-optimal model sizing.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`model`] | `vtrain-model` | LLM descriptions, parameter/FLOPs/memory accounting |
+//! | [`parallel`] | `vtrain-parallel` | 3D-parallel plans, clusters, pipeline schedules |
+//! | [`graph`] | `vtrain-graph` | operator-granularity execution graphs |
+//! | [`gpu`] | `vtrain-gpu` | A100 device model + ground-truth emulation |
+//! | [`profile`] | `vtrain-profile` | CUPTI-like profiling, communication models |
+//! | [`sim`] | `vtrain-core` | task graphs, Algorithm 1, cost model, DSE |
+//! | [`cluster`] | `vtrain-cluster` | multi-tenant scheduler experiments |
+//! | [`scaling`] | `vtrain-scaling` | Chinchilla law, compute-optimal sizing |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vtrain::prelude::*;
+//!
+//! // A 512-GPU A100 cluster and an 18.4B-parameter model.
+//! let cluster = ClusterSpec::aws_p4d(512);
+//! let model = presets::megatron("18.4B");
+//!
+//! // An (8, 8, 8)-way 3D-parallel plan.
+//! let plan = ParallelConfig::builder()
+//!     .tensor(8).data(8).pipeline(8)
+//!     .micro_batch(2).global_batch(512)
+//!     .build()?;
+//!
+//! // Predict one training iteration.
+//! let estimator = Estimator::new(cluster);
+//! let estimate = estimator.estimate(&model, &plan)?;
+//! println!(
+//!     "iteration {}, utilization {:.1}%",
+//!     estimate.iteration_time,
+//!     estimate.utilization * 100.0
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod description;
+
+pub use vtrain_cluster as cluster;
+pub use vtrain_core as sim;
+pub use vtrain_gpu as gpu;
+pub use vtrain_graph as graph;
+pub use vtrain_model as model;
+pub use vtrain_parallel as parallel;
+pub use vtrain_profile as profile;
+pub use vtrain_scaling as scaling;
+
+/// The types most programs need, in one import.
+pub mod prelude {
+    pub use vtrain_core::search::{self, SearchLimits};
+    pub use vtrain_core::{CostModel, Estimator, IterationEstimate, TrainingProjection};
+    pub use vtrain_gpu::{NoiseConfig, NoiseModel};
+    pub use vtrain_graph::{build_op_graph, GraphOptions};
+    pub use vtrain_model::{presets, Bytes, Flops, ModelConfig, TimeNs};
+    pub use vtrain_parallel::{ClusterSpec, GpuSpec, ParallelConfig, PipelineSchedule};
+    pub use vtrain_profile::{CommModel, Profiler};
+    pub use vtrain_scaling::ChinchillaLaw;
+}

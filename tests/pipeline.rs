@@ -1,0 +1,153 @@
+//! Cross-crate integration: the full vTrain flow from model description to
+//! simulated iteration time, exercised through the public facade.
+
+use vtrain::prelude::*;
+use vtrain::sim::{simulate, SimMode, TaskGraph};
+
+/// Walks the whole Fig. 4 flow by hand: description → operator graph →
+/// profiling → lookup table → task graph → Algorithm 1.
+#[test]
+fn full_simulation_flow_matches_estimator() {
+    let cluster = ClusterSpec::aws_p4d(64);
+    let model = presets::megatron("1.7B");
+    let plan = ParallelConfig::builder()
+        .tensor(4)
+        .data(2)
+        .pipeline(2)
+        .micro_batch(2)
+        .global_batch(32)
+        .build()
+        .unwrap();
+    plan.validate(&model, &cluster).unwrap();
+
+    // Manual flow.
+    let graph = build_op_graph(
+        &model,
+        &plan,
+        &GraphOptions { gpus_per_node: cluster.gpus_per_node, ..GraphOptions::default() },
+    );
+    assert!(graph.is_acyclic());
+    let table = Profiler::new(cluster.gpu.clone()).profile(&graph.necessary_operators());
+    let comm = CommModel::new(&cluster, 1.0);
+    let tg = TaskGraph::lower(&graph, &table, &comm).unwrap();
+    let report = simulate(&tg, SimMode::Predicted);
+
+    // Estimator front-end must agree exactly.
+    let est = Estimator::new(cluster).estimate(&model, &plan).unwrap();
+    assert_eq!(report.iteration_time, est.iteration_time);
+}
+
+/// The published MT-NLG plan must be feasible on an 80 GB cluster and land
+/// in a plausible iteration-time range (Table I reports 42.59 s for
+/// (8, 8, 35); our simulated substrate should land within a factor ~1.5).
+#[test]
+fn mt_nlg_published_plan_is_plausible() {
+    let cluster = ClusterSpec::dgx_a100_80gb(2240);
+    let model = presets::mt_nlg_530b();
+    let plan = ParallelConfig::builder()
+        .tensor(8)
+        .data(8)
+        .pipeline(35)
+        .micro_batch(1)
+        .global_batch(1920)
+        .build()
+        .unwrap();
+    let est = Estimator::new(cluster).estimate(&model, &plan).unwrap();
+    let secs = est.iteration_time.as_secs_f64();
+    assert!(
+        (25.0..65.0).contains(&secs),
+        "MT-NLG (8,8,35) iteration time {secs:.1}s outside plausible band"
+    );
+    assert!(
+        (0.33..0.58).contains(&est.utilization),
+        "utilization {:.3} outside the paper's ~42% band",
+        est.utilization
+    );
+}
+
+/// Bigger models on the same hardware must run slower per iteration and the
+/// ordering must be stable across the Megatron family.
+#[test]
+fn iteration_time_monotone_in_model_size() {
+    let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
+    let plan = ParallelConfig::builder()
+        .tensor(8)
+        .data(2)
+        .pipeline(4)
+        .micro_batch(1)
+        .global_batch(32)
+        .build()
+        .unwrap();
+    let mut last = None;
+    for size in ["1.7B", "3.6B", "7.5B"] {
+        let model = presets::megatron(size);
+        let est = estimator.estimate(&model, &plan).unwrap();
+        if let Some(prev) = last {
+            assert!(est.iteration_time > prev, "{size} should be slower than its predecessor");
+        }
+        last = Some(est.iteration_time);
+    }
+}
+
+/// Gradient bucketing (Fig. 5) must never hurt, and its benefit must vanish
+/// when there is no data parallelism.
+#[test]
+fn bucketing_interaction_with_data_parallelism() {
+    let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
+    let model = presets::megatron("1.7B");
+    for d in [1usize, 8] {
+        let mk = |bucketing: bool| {
+            let plan = ParallelConfig::builder()
+                .data(d)
+                .tensor(2)
+                .micro_batch(2)
+                .global_batch(16 * d)
+                .gradient_bucketing(bucketing)
+                .build()
+                .unwrap();
+            estimator.estimate(&model, &plan).unwrap().iteration_time
+        };
+        let with = mk(true);
+        let without = mk(false);
+        assert!(with <= without, "bucketing regressed at d={d}");
+        if d == 1 {
+            assert_eq!(with, without, "no DP ⇒ bucketing is a no-op");
+        }
+    }
+}
+
+/// End-to-end cost arithmetic through the facade: doubling GPUs at equal
+/// utilization should roughly halve time but keep cost within a few
+/// percent.
+#[test]
+fn cost_model_consistency_across_scales() {
+    let estimator = Estimator::new(ClusterSpec::aws_p4d(128));
+    let model = presets::megatron("3.6B");
+    let cost = CostModel::default();
+    let project = |d: usize| {
+        let plan = ParallelConfig::builder()
+            .tensor(2)
+            .data(d)
+            .pipeline(2)
+            .micro_batch(2)
+            .global_batch(256)
+            .build()
+            .unwrap();
+        let est = estimator.estimate(&model, &plan).unwrap();
+        TrainingProjection::project(
+            est.iteration_time,
+            est.tokens_per_iteration,
+            10_000_000_000,
+            est.num_gpus,
+            &cost,
+        )
+    };
+    let small = project(8);
+    let large = project(16);
+    assert!(large.total_time < small.total_time);
+    let cost_ratio = large.total_dollars / small.total_dollars;
+    assert!(
+        (0.8..1.35).contains(&cost_ratio),
+        "doubling DP should be roughly cost-neutral, got ratio {cost_ratio:.3}"
+    );
+}

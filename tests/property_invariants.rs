@@ -1,0 +1,109 @@
+//! Cross-crate property tests: invariants the estimator must hold for any
+//! feasible configuration (DESIGN.md §6).
+
+use proptest::prelude::*;
+use vtrain::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = ModelConfig> {
+    (1usize..=4, 1usize..=3, 0usize..=2).prop_map(|(h_idx, l_idx, s_idx)| {
+        let hidden = 512 * h_idx; // 512..2048
+        let layers = 4 * l_idx; // 4..12
+        let seq = 256 << s_idx; // 256..1024
+        ModelConfig::builder()
+            .name(format!("prop-h{hidden}-L{layers}-s{seq}"))
+            .hidden_size(hidden)
+            .num_layers(layers)
+            .num_heads(8)
+            .seq_len(seq)
+            .vocab_size(32_000)
+            .build()
+            .expect("property grid is valid")
+    })
+}
+
+fn arb_plan(layers: usize) -> impl Strategy<Value = ParallelConfig> {
+    (0usize..=2, 0usize..=2, 0usize..=2, 0usize..=1).prop_filter_map(
+        "pipeline must divide layers",
+        move |(t_exp, d_exp, p_exp, m_exp)| {
+            let (t, d, p, m) = (1 << t_exp, 1 << d_exp, 1 << p_exp, 1 << m_exp);
+            if layers % p != 0 {
+                return None;
+            }
+            ParallelConfig::builder()
+                .tensor(t)
+                .data(d)
+                .pipeline(p)
+                .micro_batch(m)
+                .global_batch(d * m * 4)
+                .build()
+                .ok()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any feasible (model, plan) yields a positive iteration time, a valid
+    /// utilization fraction, and busy-time accounting bounded by wall-clock
+    /// across devices.
+    #[test]
+    fn estimates_are_well_formed(
+        model in arb_model(),
+        seed_plan in (0usize..=2, 0usize..=2, 0usize..=2, 0usize..=1),
+    ) {
+        let (t_exp, d_exp, p_exp, m_exp) = seed_plan;
+        let (t, d, p, m) = (1usize << t_exp, 1 << d_exp, 1 << p_exp, 1 << m_exp);
+        prop_assume!(model.num_layers() % p == 0);
+        let plan = ParallelConfig::builder()
+            .tensor(t).data(d).pipeline(p).micro_batch(m)
+            .global_batch(d * m * 4)
+            .build()
+            .unwrap();
+        let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
+        let Ok(est) = estimator.estimate(&model, &plan) else { return Ok(()); };
+        prop_assert!(est.iteration_time > TimeNs::ZERO);
+        prop_assert!(est.utilization > 0.0 && est.utilization <= 1.0);
+        prop_assert!(est.occupancy > 0.0 && est.occupancy <= 1.0);
+        prop_assert!(est.busy.compute > TimeNs::ZERO);
+        // Compute-stream busy time cannot exceed wall-clock × stages.
+        let wall = est.iteration_time.as_secs_f64() * plan.pipeline() as f64;
+        prop_assert!(est.busy.compute.as_secs_f64() + est.busy.tp_comm.as_secs_f64() <= wall * 1.0001);
+    }
+
+    /// The ground-truth measurement is deterministic and within a sane
+    /// envelope of the prediction for any feasible point.
+    #[test]
+    fn measurement_envelope(model in arb_model(), plan in arb_plan(8)) {
+        prop_assume!(model.num_layers() % plan.pipeline() == 0);
+        let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
+        let noise = NoiseModel::new(NoiseConfig::default());
+        let Ok(pred) = estimator.estimate(&model, &plan) else { return Ok(()); };
+        let meas_a = estimator.measure(&model, &plan, &noise).unwrap();
+        let meas_b = estimator.measure(&model, &plan, &noise).unwrap();
+        prop_assert_eq!(meas_a.iteration_time, meas_b.iteration_time);
+        let ratio = meas_a.iteration_time.as_secs_f64() / pred.iteration_time.as_secs_f64();
+        prop_assert!((0.6..2.5).contains(&ratio), "measured/predicted ratio {}", ratio);
+    }
+
+    /// Doubling the data-parallel degree at fixed per-replica work never
+    /// reduces tokens per iteration and never scales iteration time
+    /// super-linearly.
+    #[test]
+    fn data_parallel_scaling_sane(model in arb_model(), d_exp in 0usize..=2) {
+        let d = 1usize << d_exp;
+        let mk = |dd: usize| {
+            ParallelConfig::builder()
+                .tensor(2).data(dd).micro_batch(1).global_batch(dd * 4)
+                .build()
+                .unwrap()
+        };
+        let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
+        let Ok(small) = estimator.estimate(&model, &mk(d)) else { return Ok(()); };
+        let Ok(large) = estimator.estimate(&model, &mk(2 * d)) else { return Ok(()); };
+        prop_assert_eq!(large.tokens_per_iteration, 2 * small.tokens_per_iteration);
+        prop_assert!(
+            large.iteration_time.as_secs_f64() <= 2.0 * small.iteration_time.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Miniature versions of the paper's validation studies (Fig. 9, Table II),
+//! asserting that prediction quality stays inside the published bands.
+
+use vtrain::prelude::*;
+
+fn stats(pairs: &[(f64, f64)]) -> (f64, f64) {
+    let mape = 100.0 * pairs.iter().map(|(p, m)| ((p - m) / m).abs()).sum::<f64>()
+        / pairs.len() as f64;
+    let mean = pairs.iter().map(|&(_, m)| m).sum::<f64>() / pairs.len() as f64;
+    let ss_res: f64 = pairs.iter().map(|(p, m)| (m - p).powi(2)).sum();
+    let ss_tot: f64 = pairs.iter().map(|(_, m)| (m - mean).powi(2)).sum();
+    (mape, 1.0 - ss_res / ss_tot)
+}
+
+/// Single-node validation (Fig. 9a): predicted vs ground-truth-emulated
+/// iteration times across models × plans on one 8-GPU node. The paper
+/// reports MAPE 8.37 %, R² 0.9896; we require the same ballpark.
+#[test]
+fn single_node_validation_band() {
+    let estimator = Estimator::new(ClusterSpec::aws_p4d(8));
+    let noise = NoiseModel::new(NoiseConfig::default());
+    let mut pairs = Vec::new();
+    for model in presets::single_node_family().into_iter().take(9) {
+        for (t, d, p, m) in [(1, 1, 1, 2), (2, 2, 2, 1), (4, 2, 1, 2), (8, 1, 1, 4), (2, 1, 4, 1)]
+        {
+            if model.num_layers() % p != 0 {
+                continue;
+            }
+            let plan = ParallelConfig::builder()
+                .tensor(t)
+                .data(d)
+                .pipeline(p)
+                .micro_batch(m)
+                .global_batch(16)
+                .build()
+                .unwrap();
+            let (Ok(pred), Ok(meas)) = (
+                estimator.estimate(&model, &plan),
+                estimator.measure(&model, &plan, &noise),
+            ) else {
+                continue;
+            };
+            pairs.push((
+                pred.iteration_time.as_secs_f64(),
+                meas.iteration_time.as_secs_f64(),
+            ));
+        }
+    }
+    assert!(pairs.len() >= 30, "need a real sample, got {}", pairs.len());
+    let (mape, r2) = stats(&pairs);
+    assert!(mape < 12.0, "single-node MAPE {mape:.2}% above band");
+    assert!(r2 > 0.97, "single-node R² {r2:.4} below band");
+}
+
+/// Multi-node validation (Fig. 9b): larger models on up to 256 GPUs. The
+/// paper reports MAPE 14.73 %, R² 0.9887.
+#[test]
+fn multi_node_validation_band() {
+    let estimator = Estimator::new(ClusterSpec::aws_p4d(256));
+    let noise = NoiseModel::new(NoiseConfig::default());
+    let mut pairs = Vec::new();
+    for size in ["3.6B", "7.5B", "18.4B"] {
+        let model = presets::megatron(size);
+        for (t, d, p, m) in
+            [(8, 4, 1, 2), (8, 8, 2, 1), (4, 16, 2, 1), (8, 16, 2, 2), (8, 8, 4, 2)]
+        {
+            if model.num_layers() % p != 0 {
+                continue;
+            }
+            let plan = ParallelConfig::builder()
+                .tensor(t)
+                .data(d)
+                .pipeline(p)
+                .micro_batch(m)
+                .global_batch(256)
+                .build()
+                .unwrap();
+            let (Ok(pred), Ok(meas)) = (
+                estimator.estimate(&model, &plan),
+                estimator.measure(&model, &plan, &noise),
+            ) else {
+                continue;
+            };
+            pairs.push((
+                pred.iteration_time.as_secs_f64(),
+                meas.iteration_time.as_secs_f64(),
+            ));
+        }
+    }
+    assert!(pairs.len() >= 10, "need a real sample, got {}", pairs.len());
+    let (mape, r2) = stats(&pairs);
+    assert!(mape < 20.0, "multi-node MAPE {mape:.2}% above band");
+    assert!(r2 > 0.95, "multi-node R² {r2:.4} below band");
+    // Predictions systematically undershoot measurements (the paper's NCCL
+    // isolation bias): the majority of points should sit below the measured
+    // value.
+    let undershoot = pairs.iter().filter(|(p, m)| p < m).count();
+    assert!(2 * undershoot > pairs.len(), "bias direction unexpected");
+}
+
+/// The α calibration sweep of §IV: sweeping the bandwidth-effectiveness
+/// factor against ground-truth measurements, the error curve must not be
+/// minimized at crippled bandwidth, and full effectiveness (α = 1.0, the
+/// paper's optimum) must fit nearly as well as the best α. Bucketing is
+/// disabled so the inter-node gradient All-Reduce is actually exposed.
+#[test]
+fn alpha_sweep_prefers_high_alpha() {
+    let noise = NoiseModel::new(NoiseConfig::default());
+    let mut configs = Vec::new();
+    for size in ["3.6B", "7.5B"] {
+        for (t, d, p) in [(8, 16, 1), (8, 16, 2), (8, 32, 1)] {
+            let model = presets::megatron(size);
+            if model.num_layers() % p != 0 {
+                continue;
+            }
+            let plan = ParallelConfig::builder()
+                .tensor(t)
+                .data(d)
+                .pipeline(p)
+                .micro_batch(1)
+                .global_batch(256)
+                .gradient_bucketing(false)
+                .build()
+                .unwrap();
+            configs.push((model, plan));
+        }
+    }
+    let cluster = ClusterSpec::aws_p4d(512);
+    let measured: Vec<f64> = configs
+        .iter()
+        .filter_map(|(m, p)| {
+            Estimator::new(cluster.clone())
+                .measure(m, p, &noise)
+                .ok()
+                .map(|e| e.iteration_time.as_secs_f64())
+        })
+        .collect();
+    assert!(measured.len() >= 4);
+
+    let mape_at = |alpha: f64| {
+        let est = Estimator::with_alpha(cluster.clone(), alpha);
+        let pairs: Vec<(f64, f64)> = configs
+            .iter()
+            .zip(&measured)
+            .filter_map(|((m, p), &meas)| {
+                est.estimate(m, p).ok().map(|e| (e.iteration_time.as_secs_f64(), meas))
+            })
+            .collect();
+        pairs.iter().map(|(p, m)| ((p - m) / m).abs()).sum::<f64>() / pairs.len() as f64
+    };
+    let alphas = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let errs: Vec<f64> = alphas.iter().map(|&a| mape_at(a)).collect();
+    let best_idx =
+        (0..alphas.len()).min_by(|&a, &b| errs[a].total_cmp(&errs[b])).unwrap();
+    assert!(alphas[best_idx] >= 0.4, "error minimized at crippled α = {}", alphas[best_idx]);
+    let err_full = errs[alphas.len() - 1];
+    let err_best = errs[best_idx];
+    assert!(
+        err_full <= err_best * 1.5 + 0.02,
+        "α = 1.0 (err {err_full:.3}) must fit nearly as well as α = {} (err {err_best:.3})",
+        alphas[best_idx]
+    );
+}
