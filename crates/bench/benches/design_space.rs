@@ -11,8 +11,7 @@ use vtrain_parallel::{ClusterSpec, PipelineSchedule};
 fn bench_sweep(c: &mut Criterion) {
     let estimator = Estimator::new(ClusterSpec::aws_p4d(256));
     let model = presets::megatron("3.6B");
-    let limits =
-        SearchLimits { max_tensor: 8, max_data: 16, max_pipeline: 6, max_micro_batch: 2 };
+    let limits = SearchLimits { max_tensor: 8, max_data: 16, max_pipeline: 6, max_micro_batch: 2 };
     let candidates = search::enumerate_candidates(
         &model,
         estimator.cluster(),
@@ -23,13 +22,9 @@ fn bench_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("design_space_sweep");
     group.sample_size(10);
     for threads in [1usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| search::sweep(&estimator, &model, &candidates, threads));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            b.iter(|| search::sweep(&estimator, &model, &candidates, threads));
+        });
     }
     group.finish();
 }

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the vtrain-engine kernel itself: event-queue
+//! scheduling/popping throughput and full dispatch through a handler.
+//!
+//! These establish the baseline for future performance PRs (sharded
+//! queues, batched dispatch): see `crates/bench/BASELINES.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vtrain_engine::{EventQueue, Handler, Simulation};
+use vtrain_model::TimeNs;
+
+/// Pushes `n` events at pseudo-random times, then drains the queue.
+fn queue_round_trip(n: u64) -> u64 {
+    let mut q = EventQueue::with_capacity(n as usize);
+    let mut t = 0x9E37_79B9u64;
+    for i in 0..n {
+        // Cheap LCG spread of timestamps; ~12% duplicates exercise the
+        // sequence tie-break path.
+        t = t.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        q.push(TimeNs::from_nanos(t % (n / 8 + 1)), i);
+    }
+    let mut checksum = 0u64;
+    while let Some(entry) = q.pop() {
+        checksum = checksum.wrapping_add(entry.event);
+    }
+    checksum
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_event_queue");
+    for n in [1_000u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| queue_round_trip(n));
+        });
+    }
+    group.finish();
+}
+
+enum Ev {
+    Hop(u32),
+}
+
+struct Hopper;
+
+impl Handler<Ev> for Hopper {
+    fn handle(&mut self, Ev::Hop(budget): Ev, sim: &mut Simulation<Ev>) {
+        if budget > 0 {
+            sim.schedule_after(TimeNs::from_nanos(100), Ev::Hop(budget - 1));
+        }
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    // A self-rescheduling event chain: measures the full step() path
+    // (pop, clock update, stats, handler call, push).
+    c.bench_function("engine_dispatch_chain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            sim.schedule(TimeNs::ZERO, Ev::Hop(100_000));
+            let mut handler = Hopper;
+            sim.run(&mut handler)
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_dispatch);
+criterion_main!(benches);

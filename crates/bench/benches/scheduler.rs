@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vtrain_cluster::{
-    generate_trace, simulate_cluster, CatalogEntry, ModelCatalog, ProfilePolicy,
-    SchedulerConfig, ThroughputProfile, TraceConfig,
+    generate_trace, simulate_cluster, CatalogEntry, ModelCatalog, ProfilePolicy, SchedulerConfig,
+    ThroughputProfile, TraceConfig,
 };
 use vtrain_model::TimeNs;
 
@@ -18,9 +18,8 @@ fn synthetic_catalog() -> ModelCatalog {
             })
             .collect();
         let baseline = ThroughputProfile::new(rungs.clone());
-        let vtrain = ThroughputProfile::new(
-            rungs.iter().map(|&(g, t)| (g, t.scale(0.8))).collect(),
-        );
+        let vtrain =
+            ThroughputProfile::new(rungs.iter().map(|&(g, t)| (g, t.scale(0.8))).collect());
         catalog.insert(CatalogEntry {
             name: name.to_owned(),
             global_batch: 1024,

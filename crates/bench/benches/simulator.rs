@@ -23,9 +23,7 @@ fn plan(t: usize, d: usize, p: usize, m: usize, b: usize) -> ParallelConfig {
 fn bench_graph_build(c: &mut Criterion) {
     let model = presets::megatron("18.4B");
     let mut group = c.benchmark_group("op_graph_build");
-    for (label, cfg) in
-        [("p8_mb32", plan(8, 2, 8, 1, 64)), ("p8_mb128", plan(8, 2, 8, 1, 256))]
-    {
+    for (label, cfg) in [("p8_mb32", plan(8, 2, 8, 1, 64)), ("p8_mb128", plan(8, 2, 8, 1, 256))] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
             b.iter(|| build_op_graph(&model, cfg, &GraphOptions::default()));
         });
@@ -47,11 +45,8 @@ fn bench_replay(c: &mut Criterion) {
     let model = presets::megatron("18.4B");
     let cluster = ClusterSpec::aws_p4d(512);
     let cfg = plan(8, 4, 8, 1, 128);
-    let graph = build_op_graph(
-        &model,
-        &cfg,
-        &GraphOptions { gpus_per_node: 8, ..GraphOptions::default() },
-    );
+    let graph =
+        build_op_graph(&model, &cfg, &GraphOptions { gpus_per_node: 8, ..GraphOptions::default() });
     let table = Profiler::new(cluster.gpu.clone()).profile(&graph.necessary_operators());
     let comm = CommModel::new(&cluster, 1.0);
     let tg = TaskGraph::lower(&graph, &table, &comm).unwrap();

@@ -51,10 +51,9 @@ fn run(
                     if i % n != w {
                         continue;
                     }
-                    let (Ok(pred), Ok(meas)) = (
-                        estimator.estimate(model, plan),
-                        estimator.measure(model, plan, noise),
-                    ) else {
+                    let (Ok(pred), Ok(meas)) =
+                        (estimator.estimate(model, plan), estimator.measure(model, plan, noise))
+                    else {
                         continue;
                     };
                     out.push((
@@ -110,7 +109,8 @@ fn alpha_sweep() {
     use vtrain_model::{Bytes, TimeNs};
     let cluster = ClusterSpec::aws_p4d(512);
     let noise = NoiseModel::new(NoiseConfig::default());
-    let reference = InterNodeModel::new(cluster.internode_bandwidth, 1.0, cluster.internode_latency);
+    let reference =
+        InterNodeModel::new(cluster.internode_bandwidth, 1.0, cluster.internode_latency);
 
     // "Measured" collectives: the emulated fat-tree delivers the full link
     // rate, perturbed by launch jitter and straggler pacing.
@@ -119,9 +119,7 @@ fn alpha_sweep() {
     for nodes in [2usize, 4, 8, 16, 32, 64] {
         for mib in [1u64, 8, 64, 256, 1024] {
             let clean = reference.all_reduce(Bytes::from_mib(mib), nodes);
-            let t = noise
-                .comm_time(id, clean, false, 1)
-                .scale(noise.sync_straggler_factor(nodes));
+            let t = noise.comm_time(id, clean, false, 1).scale(noise.sync_straggler_factor(nodes));
             measured.push((nodes, mib, t));
             id += 1;
         }

@@ -76,7 +76,7 @@ fn main() {
     println!("\nslice t = 8 (iteration seconds):");
     println!("{:>6} {:>6} {:>6} {:>10} {:>8}", "d", "p", "GPUs", "iter (s)", "util %");
     let mut slice: Vec<&Row> = rows.iter().filter(|r| r.tensor == 8).collect();
-    slice.sort_by(|a, b| (a.pipeline, a.data).cmp(&(b.pipeline, b.data)));
+    slice.sort_by_key(|r| (r.pipeline, r.data));
     for r in slice.iter().take(40) {
         println!(
             "{:>6} {:>6} {:>6} {:>10.2} {:>8.1}",
@@ -95,9 +95,7 @@ fn main() {
             fastest.utilization_pct,
             fastest.gpus
         );
-        println!(
-            "(the paper's (16,16,105) analogue is fast but wasteful: ~17% utilization)"
-        );
+        println!("(the paper's (16,16,105) analogue is fast but wasteful: ~17% utilization)");
     }
     report::dump_json("fig10_design_space", &rows);
 }

@@ -9,8 +9,8 @@
 //! ```
 
 use serde::Serialize;
-use vtrain_bench::sched::{table_iii_catalog, CLUSTER_GPUS};
 use vtrain_bench::report;
+use vtrain_bench::sched::{table_iii_catalog, CLUSTER_GPUS};
 use vtrain_cluster::{
     generate_trace, simulate_cluster, ProfilePolicy, SchedulerConfig, TraceConfig,
 };
@@ -26,7 +26,10 @@ struct Row {
 
 fn main() {
     report::banner("Table III: job model configurations");
-    println!("{:<16} {:>8} {:>7} {:>7} {:>6} {:>6} {:>6}", "model", "params", "L", "h", "n", "s", "B");
+    println!(
+        "{:<16} {:>8} {:>7} {:>7} {:>6} {:>6} {:>6}",
+        "model", "params", "L", "h", "n", "s", "B"
+    );
     for (model, batch) in presets::table_iii_models() {
         println!(
             "{:<16} {:>7.1}B {:>7} {:>7} {:>6} {:>6} {:>6}",

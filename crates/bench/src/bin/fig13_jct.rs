@@ -7,8 +7,8 @@
 //! ```
 
 use serde::Serialize;
-use vtrain_bench::sched::{table_iii_catalog, CLUSTER_GPUS};
 use vtrain_bench::report;
+use vtrain_bench::sched::{table_iii_catalog, CLUSTER_GPUS};
 use vtrain_cluster::{
     generate_trace, simulate_cluster, ProfilePolicy, SchedulerConfig, TraceConfig,
 };
@@ -54,16 +54,14 @@ fn main() {
         let norm = v / b;
         sum_norm += norm;
         println!("{trace_id:>6} {:>16.2} {:>14.2} {norm:>12.3}", b / 3600.0, v / 3600.0);
-        rows.push(Row {
-            trace: trace_id,
-            elasticflow_jct_s: b,
-            vtrain_jct_s: v,
-            normalized: norm,
-        });
+        rows.push(Row { trace: trace_id, elasticflow_jct_s: b, vtrain_jct_s: v, normalized: norm });
     }
     println!(
         "{:>6} {:>16} {:>14} {:>12.3}   (paper avg: 0.848, i.e. −15.21%)",
-        "avg", "", "", sum_norm / 9.0
+        "avg",
+        "",
+        "",
+        sum_norm / 9.0
     );
     report::dump_json("fig13_jct", &rows);
 }

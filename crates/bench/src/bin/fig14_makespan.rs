@@ -8,8 +8,8 @@
 //! ```
 
 use serde::Serialize;
-use vtrain_bench::sched::{table_iii_catalog, CLUSTER_GPUS};
 use vtrain_bench::report;
+use vtrain_bench::sched::{table_iii_catalog, CLUSTER_GPUS};
 use vtrain_cluster::{
     generate_trace, simulate_cluster, ProfilePolicy, SchedulerConfig, TraceConfig,
 };
@@ -52,12 +52,7 @@ fn main() {
         let (b, v) = (base.makespan.as_secs_f64(), vt.makespan.as_secs_f64());
         let norm = v / b;
         println!("{jobs:>6} {:>16.2} {:>14.2} {norm:>12.3}", b / 3600.0, v / 3600.0);
-        rows.push(Row {
-            jobs,
-            elasticflow_makespan_s: b,
-            vtrain_makespan_s: v,
-            normalized: norm,
-        });
+        rows.push(Row { jobs, elasticflow_makespan_s: b, vtrain_makespan_s: v, normalized: norm });
     }
     println!("(paper: gains grow with load, up to −23.03%)");
     report::dump_json("fig14_makespan", &rows);

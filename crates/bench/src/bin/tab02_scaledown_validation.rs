@@ -29,7 +29,8 @@ fn main() {
     // Table II's measured values average many iterations of the same
     // job, cancelling per-configuration runtime variability; the
     // systematic effects (contention, launches, stragglers) remain.
-    let noise = NoiseModel::new(NoiseConfig { iteration_bias_sigma: 0.0, ..NoiseConfig::default() });
+    let noise =
+        NoiseModel::new(NoiseConfig { iteration_bias_sigma: 0.0, ..NoiseConfig::default() });
     // Batch sizes follow [40]'s weak-scaling setup per model size.
     let batches = [512usize, 1024, 1536];
 

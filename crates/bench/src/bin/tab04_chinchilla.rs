@@ -42,8 +42,7 @@ fn main() {
     );
 
     let estimator = Estimator::new(cluster);
-    let limits =
-        SearchLimits { max_tensor: 8, max_data: 96, max_pipeline: 20, max_micro_batch: 2 };
+    let limits = SearchLimits { max_tensor: 8, max_data: 96, max_pipeline: 20, max_micro_batch: 2 };
     let (outcomes, best) = compute_optimal_search(
         &estimator,
         &law,

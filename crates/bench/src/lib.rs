@@ -44,10 +44,12 @@ pub fn table_i_plans() -> Vec<(&'static str, ParallelConfig)> {
     ]
 }
 
+/// A `(t, d, p, m)` plan shorthand.
+pub type Tdpm = (usize, usize, usize, usize);
+
 /// The Table II scale-down study: `(params-label, gpus, [40]-plan,
 /// vTrain-plan)` with plans given as `(t, d, p, m)`.
-pub fn table_ii_rows() -> Vec<(&'static str, usize, (usize, usize, usize, usize), (usize, usize, usize, usize))>
-{
+pub fn table_ii_rows() -> Vec<(&'static str, usize, Tdpm, Tdpm)> {
     vec![
         ("3.6", 64, (2, 32, 1, 16), (1, 64, 1, 8)),
         ("18.4", 256, (8, 32, 1, 4), (8, 32, 1, 8)),
@@ -56,7 +58,7 @@ pub fn table_ii_rows() -> Vec<(&'static str, usize, (usize, usize, usize, usize)
 }
 
 /// Builds a `(t, d, p, m)` plan at a given global batch.
-pub fn plan(tdpm: (usize, usize, usize, usize), global_batch: usize) -> ParallelConfig {
+pub fn plan(tdpm: Tdpm, global_batch: usize) -> ParallelConfig {
     ParallelConfig::builder()
         .tensor(tdpm.0)
         .data(tdpm.1)

@@ -13,7 +13,7 @@ pub fn single_node_points() -> Vec<(ModelConfig, ParallelConfig)> {
         for t in [1usize, 2, 4, 8] {
             for d in [1usize, 2, 4, 8] {
                 for p in [1usize, 2, 4] {
-                    if t * d * p > 8 || model.num_layers() % p != 0 {
+                    if t * d * p > 8 || !model.num_layers().is_multiple_of(p) {
                         continue;
                     }
                     for m in [1usize, 2] {
@@ -55,7 +55,7 @@ pub fn multi_node_points() -> Vec<(ModelConfig, ParallelConfig)> {
             for d in [2usize, 4, 8, 16, 32] {
                 for p in [1usize, 2, 4, 8] {
                     let gpus = t * d * p;
-                    if !(16..=512).contains(&gpus) || model.num_layers() % p != 0 {
+                    if !(16..=512).contains(&gpus) || !model.num_layers().is_multiple_of(p) {
                         continue;
                     }
                     for m in [1usize, 2, 4] {
@@ -99,11 +99,7 @@ mod tests {
     #[test]
     fn single_node_sweep_is_large_and_feasible() {
         let pts = single_node_points();
-        assert!(
-            (1_000..2_000).contains(&pts.len()),
-            "expected ~1,440 points, got {}",
-            pts.len()
-        );
+        assert!((1_000..2_000).contains(&pts.len()), "expected ~1,440 points, got {}", pts.len());
         assert!(pts.iter().all(|(_, p)| p.num_gpus() <= 8));
     }
 

@@ -37,8 +37,7 @@ mod tests {
         std::env::set_var("VTRAIN_RESULTS_DIR", std::env::temp_dir().join("vtrain-test-results"));
         dump_json("unit-test", &vec![1, 2, 3]);
         let path = results_dir().join("unit-test.json");
-        let back: Vec<i32> =
-            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
         std::env::remove_var("VTRAIN_RESULTS_DIR");
     }

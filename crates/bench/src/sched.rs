@@ -33,8 +33,7 @@ pub fn table_iii_catalog() -> ModelCatalog {
     eprintln!("[catalog] profiling Table III models (cached after first run)...");
     let estimator = Estimator::new(ClusterSpec::aws_p4d(CLUSTER_GPUS));
     let models = presets::table_iii_models();
-    let limits =
-        SearchLimits { max_tensor: 8, max_data: 64, max_pipeline: 16, max_micro_batch: 4 };
+    let limits = SearchLimits { max_tensor: 8, max_data: 64, max_pipeline: 16, max_micro_batch: 4 };
     let catalog = build_catalog(&estimator, &models, &limits, threads());
     assert_eq!(catalog.len(), 3, "all Table III models must profile");
     fs::write(&cache, serde_json::to_string(&catalog).expect("catalog serializes"))

@@ -183,17 +183,16 @@ fn baseline_min_plan(
     let gpn = estimator.cluster().gpus_per_node;
     let t = {
         let mut t = gpn.min(8);
-        while t > 1 && (model.num_heads() % t != 0 || model.hidden_size() % t != 0) {
+        while t > 1
+            && (!model.num_heads().is_multiple_of(t) || !model.hidden_size().is_multiple_of(t))
+        {
             t /= 2;
         }
         t
     };
     let depths: Vec<usize> =
-        (1..=model.num_layers()).filter(|p| model.num_layers() % p == 0).collect();
+        (1..=model.num_layers()).filter(|&p| model.num_layers().is_multiple_of(p)).collect();
     for &p in &depths {
-        if global_batch % 1 != 0 {
-            continue;
-        }
         let plan = ParallelConfig::builder()
             .tensor(t)
             .data(1)
@@ -229,12 +228,12 @@ pub fn build_catalog(
         if let Some((t, p)) = baseline_min_plan(estimator, model, *global_batch) {
             let mut d = 1usize;
             while t * p * d <= cluster_gpus {
-                if global_batch % d == 0 {
+                if global_batch.is_multiple_of(d) {
                     // Give the baseline its best micro-batch (profiling the
                     // DP dimension includes batching, per ElasticFlow).
                     let mut best: Option<TimeNs> = None;
                     let mut m = 1usize;
-                    while m <= 8 && (global_batch / d) % m == 0 {
+                    while m <= 8 && (global_batch / d).is_multiple_of(m) {
                         let plan = ParallelConfig::builder()
                             .tensor(t)
                             .data(d)

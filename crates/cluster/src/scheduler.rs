@@ -1,7 +1,21 @@
 //! The ElasticFlow-style deadline-aware elastic scheduler and its
 //! discrete-event cluster simulation (§V-B).
+//!
+//! The simulation runs on the shared [`vtrain_engine`] kernel: job
+//! arrivals, predicted completions, and deadline expirations are typed
+//! engine events, and the GPU fleet is a counting
+//! [`CapacityPool`](vtrain_engine::resource::CapacityPool) resource.
+//! Because elastic reallocation changes every running job's completion
+//! time at every event, completion predictions carry the epoch of the
+//! reallocation that computed them and are lazily invalidated: a stale
+//! prediction popping off the queue is skipped without touching state, so
+//! the sequence of *effective* events is identical to a loop that
+//! recomputes the next event time from scratch each round (the pre-engine
+//! implementation).
 
 use serde::{Deserialize, Serialize};
+use vtrain_engine::resource::CapacityPool;
+use vtrain_engine::{Handler, Simulation};
 use vtrain_model::TimeNs;
 
 use crate::catalog::{ModelCatalog, ProfilePolicy, ThroughputProfile};
@@ -23,6 +37,9 @@ pub struct SimOutcome {
     pub outcomes: Vec<JobOutcome>,
     /// Time at which the last job left the system.
     pub makespan: TimeNs,
+    /// Effective engine events dispatched (arrivals, completions, deadline
+    /// expirations; excludes lazily invalidated predictions).
+    pub events_processed: u64,
 }
 
 impl SimOutcome {
@@ -58,19 +75,166 @@ struct Active {
     alloc: usize, // 0 = paused
 }
 
+/// Progress-tracking tolerance (iterations / seconds).
+const EPS: f64 = 1e-6;
+
+/// The cluster simulation's typed engine events.
+enum ClusterEvent {
+    /// The `k`-th job in arrival order reaches the cluster.
+    Arrival(usize),
+    /// A running job is predicted to finish, as computed by the
+    /// reallocation of the carried epoch; stale epochs are skipped.
+    Completion(u64),
+    /// An admitted job's absolute deadline passes; skipped if the job
+    /// already left the system.
+    DeadlineExpiry(usize),
+}
+
+/// Engine handler owning all scheduler state.
+struct ClusterSim<'a> {
+    jobs: &'a [JobSpec],
+    profiles: Vec<&'a ThroughputProfile>,
+    /// Job indices sorted by `(arrival, id)`.
+    order: Vec<usize>,
+    next_arrival: usize,
+    active: Vec<Active>,
+    outcomes: Vec<JobOutcome>,
+    pool: CapacityPool,
+    /// Simulation time (seconds) progress was last advanced to.
+    last_now: f64,
+    makespan: f64,
+    /// Bumped by every reallocation; invalidates older completion
+    /// predictions.
+    epoch: u64,
+    /// Effective (non-stale) events dispatched.
+    effective_events: u64,
+}
+
+impl Handler<ClusterEvent> for ClusterSim<'_> {
+    fn handle(&mut self, event: ClusterEvent, sim: &mut Simulation<ClusterEvent>) {
+        // Lazy invalidation: skip events that no longer describe the
+        // system without advancing any state.
+        match event {
+            ClusterEvent::Arrival(k) if k < self.next_arrival => return,
+            ClusterEvent::Completion(epoch) if epoch != self.epoch => return,
+            ClusterEvent::DeadlineExpiry(idx) if !self.active.iter().any(|a| a.idx == idx) => {
+                return;
+            }
+            _ => {}
+        }
+        self.effective_events += 1;
+        let now = sim.now().as_secs_f64();
+
+        // ---- advance running jobs' progress to `now`.
+        let dt = now - self.last_now;
+        for a in &mut self.active {
+            if a.alloc > 0 {
+                let it = self.profiles[a.idx].iter_time(a.alloc).expect("allocated rung exists");
+                a.remaining -= dt / it.as_secs_f64();
+            }
+        }
+        self.last_now = now;
+
+        // ---- completions.
+        let (outcomes, makespan) = (&mut self.outcomes, &mut self.makespan);
+        self.active.retain(|a| {
+            if a.remaining <= EPS {
+                outcomes[a.idx].completion = Some(TimeNs::from_secs_f64(now));
+                *makespan = makespan.max(now);
+                false
+            } else {
+                true
+            }
+        });
+
+        // ---- deadline expirations (terminate, count as violated).
+        let jobs = self.jobs;
+        self.active.retain(|a| {
+            let expired = jobs[a.idx].deadline.is_some_and(|d| d.as_secs_f64() <= now + EPS);
+            if expired {
+                outcomes[a.idx].violated = true;
+                *makespan = makespan.max(now);
+            }
+            !expired
+        });
+
+        // ---- arrivals.
+        while self.next_arrival < self.order.len()
+            && self.jobs[self.order[self.next_arrival]].arrival.as_secs_f64() <= now + EPS
+        {
+            let idx = self.order[self.next_arrival];
+            self.next_arrival += 1;
+            let job = &self.jobs[idx];
+            let profile = self.profiles[idx];
+            if profile.min_gpus() > self.pool.total() {
+                self.outcomes[idx].violated = true;
+                self.makespan = self.makespan.max(now);
+                continue;
+            }
+            if let Some(d) = job.deadline {
+                // Admission control: reject if even the largest profiled
+                // allocation cannot make the deadline in isolation.
+                let left = TimeNs::from_secs_f64((d.as_secs_f64() - now).max(0.0));
+                if profile.min_gpus_to_finish(job.iterations as f64, left).is_none() {
+                    self.outcomes[idx].violated = true;
+                    self.makespan = self.makespan.max(now);
+                    continue;
+                }
+                // Admitted with a deadline: its expiry is a real event.
+                sim.schedule(d.max(sim.now()), ClusterEvent::DeadlineExpiry(idx));
+            }
+            self.active.push(Active { idx, remaining: job.iterations as f64, alloc: 0 });
+        }
+
+        if self.active.is_empty() && self.next_arrival >= self.order.len() {
+            // Only stale predictions can remain; don't bother skipping
+            // through them one by one.
+            sim.stop();
+            return;
+        }
+
+        // ---- elastic reallocation, then predict the next completion.
+        reallocate(&mut self.active, self.jobs, &self.profiles, &mut self.pool, now);
+        self.epoch += 1;
+        let mut next_completion = f64::INFINITY;
+        for a in &self.active {
+            if a.alloc > 0 {
+                let it = self.profiles[a.idx].iter_time(a.alloc).expect("allocated rung exists");
+                next_completion = next_completion.min(now + a.remaining * it.as_secs_f64());
+            }
+        }
+        if next_completion.is_finite() {
+            // Quantizing to nanoseconds can round the prediction back onto
+            // the current instant; dispatching it there would advance no
+            // progress (dt = 0) and re-predict the same time forever. One
+            // nanosecond forward guarantees dt > 0, which overshoots any
+            // sub-nanosecond residue and retires the job.
+            let mut at = TimeNs::from_secs_f64(next_completion);
+            if at <= sim.now() {
+                at = sim.now() + TimeNs::from_nanos(1);
+            }
+            sim.schedule(at, ClusterEvent::Completion(self.epoch));
+        }
+        // If nothing is running, the next arrival or deadline event (both
+        // already queued) drives the simulation; if neither exists the
+        // queue drains and the leftovers are marked unschedulable below.
+    }
+}
+
 /// Simulates the cluster over a trace.
 ///
 /// Both compared systems run *this exact function*; only
 /// `cfg.policy` differs (§V-B: "we implement the exact same scheduling
 /// algorithm ElasticFlow proposes").
 ///
-/// Algorithm per event: advance running jobs' progress, retire completions
-/// and deadline expirations (ElasticFlow terminates deadline-missing jobs),
-/// admit arrivals (optimistic admission — rejected outright only if even
-/// the largest profiled allocation cannot meet the deadline), then
-/// reallocate: earliest-deadline-first gets each deadline job its minimum
-/// sufficient allocation, remaining jobs get their minimal rung, and
-/// leftover GPUs go to the upgrade with the best marginal speed-up per GPU.
+/// Algorithm per effective event: advance running jobs' progress, retire
+/// completions and deadline expirations (ElasticFlow terminates
+/// deadline-missing jobs), admit arrivals (optimistic admission — rejected
+/// outright only if even the largest profiled allocation cannot meet the
+/// deadline), then reallocate: earliest-deadline-first gets each deadline
+/// job its minimum sufficient allocation, remaining jobs get their minimal
+/// rung, and leftover GPUs go to the upgrade with the best marginal
+/// speed-up per GPU.
 ///
 /// # Panics
 ///
@@ -87,121 +251,59 @@ pub fn simulate_cluster(
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by_key(|&i| (jobs[i].arrival, jobs[i].id));
 
-    let mut outcomes: Vec<JobOutcome> =
-        jobs.iter().map(|j| JobOutcome { id: j.id, completion: None, violated: false }).collect();
-    let mut active: Vec<Active> = Vec::new();
-    let mut next_arrival = 0usize;
-    let mut now = 0.0f64;
-    let mut makespan = 0.0f64;
-    let eps = 1e-6;
-
-    loop {
-        // ---- next event time.
-        let mut t_next = f64::INFINITY;
-        if next_arrival < order.len() {
-            t_next = t_next.min(jobs[order[next_arrival]].arrival.as_secs_f64());
-        }
-        for a in &active {
-            if a.alloc > 0 {
-                let it = profiles[a.idx].iter_time(a.alloc).expect("allocated rung exists");
-                t_next = t_next.min(now + a.remaining * it.as_secs_f64());
-            }
-            if let Some(d) = jobs[a.idx].deadline {
-                t_next = t_next.min(d.as_secs_f64().max(now));
-            }
-        }
-        if !t_next.is_finite() {
-            // Unschedulable stragglers (min rung larger than the cluster).
-            for a in &active {
-                outcomes[a.idx].violated = true;
-            }
-            break;
-        }
-
-        // ---- advance progress.
-        let dt = t_next - now;
-        for a in &mut active {
-            if a.alloc > 0 {
-                let it = profiles[a.idx].iter_time(a.alloc).expect("allocated rung exists");
-                a.remaining -= dt / it.as_secs_f64();
-            }
-        }
-        now = t_next;
-
-        // ---- completions.
-        active.retain(|a| {
-            if a.remaining <= eps {
-                outcomes[a.idx].completion = Some(TimeNs::from_secs_f64(now));
-                makespan = makespan.max(now);
-                false
-            } else {
-                true
-            }
-        });
-
-        // ---- deadline expirations (terminate, count as violated).
-        active.retain(|a| {
-            let expired = jobs[a.idx]
-                .deadline
-                .is_some_and(|d| d.as_secs_f64() <= now + eps);
-            if expired {
-                outcomes[a.idx].violated = true;
-                makespan = makespan.max(now);
-            }
-            !expired
-        });
-
-        // ---- arrivals.
-        while next_arrival < order.len()
-            && jobs[order[next_arrival]].arrival.as_secs_f64() <= now + eps
-        {
-            let idx = order[next_arrival];
-            next_arrival += 1;
-            let job = &jobs[idx];
-            let profile = profiles[idx];
-            if profile.min_gpus() > cfg.total_gpus {
-                outcomes[idx].violated = true;
-                makespan = makespan.max(now);
-                continue;
-            }
-            if let Some(d) = job.deadline {
-                // Admission control: reject if even the largest profiled
-                // allocation cannot make the deadline in isolation.
-                let left = TimeNs::from_secs_f64((d.as_secs_f64() - now).max(0.0));
-                if profile.min_gpus_to_finish(job.iterations as f64, left).is_none() {
-                    outcomes[idx].violated = true;
-                    makespan = makespan.max(now);
-                    continue;
-                }
-            }
-            active.push(Active { idx, remaining: job.iterations as f64, alloc: 0 });
-        }
-
-        if active.is_empty() && next_arrival >= order.len() {
-            break;
-        }
-
-        reallocate(&mut active, jobs, &profiles, cfg.total_gpus, now);
+    let mut sim = Simulation::with_capacity(jobs.len() * 2);
+    for (k, &idx) in order.iter().enumerate() {
+        sim.schedule(jobs[idx].arrival, ClusterEvent::Arrival(k));
     }
 
-    SimOutcome { outcomes, makespan: TimeNs::from_secs_f64(makespan) }
+    let mut state = ClusterSim {
+        jobs,
+        profiles,
+        order,
+        next_arrival: 0,
+        active: Vec::new(),
+        outcomes: jobs
+            .iter()
+            .map(|j| JobOutcome { id: j.id, completion: None, violated: false })
+            .collect(),
+        pool: CapacityPool::new(cfg.total_gpus),
+        last_now: 0.0,
+        makespan: 0.0,
+        epoch: 0,
+        effective_events: 0,
+    };
+    sim.run(&mut state);
+
+    // Unschedulable stragglers: admitted jobs that can never run (their
+    // minimal rung exceeds free capacity forever) leave the queue with no
+    // completion or deadline event to retire them.
+    for a in &state.active {
+        state.outcomes[a.idx].violated = true;
+    }
+
+    SimOutcome {
+        outcomes: state.outcomes,
+        makespan: TimeNs::from_secs_f64(state.makespan),
+        events_processed: state.effective_events,
+    }
 }
 
-/// Elastic reallocation at an event boundary.
+/// Elastic reallocation at an event boundary: returns every granted GPU to
+/// the pool, then re-grants from scratch.
 fn reallocate(
     active: &mut [Active],
     jobs: &[JobSpec],
     profiles: &[&ThroughputProfile],
-    total_gpus: usize,
+    pool: &mut CapacityPool,
     now: f64,
 ) {
-    let mut capacity = total_gpus;
+    pool.release_all();
     for a in active.iter_mut() {
         a.alloc = 0;
     }
 
-    // Phase 1a: deadline jobs, earliest deadline first, get their minimum
-    // sufficient allocation.
+    // Phase 1: deadline jobs, earliest deadline first, get their minimum
+    // sufficient allocation; deadline-free jobs their minimal rung.
     let mut idxs: Vec<usize> = (0..active.len()).collect();
     idxs.sort_by(|&x, &y| {
         let dx = jobs[active[x].idx].deadline.map(|d| d.as_nanos()).unwrap_or(u64::MAX);
@@ -219,16 +321,16 @@ fn reallocate(
             }
             None => profile.min_gpus(),
         };
-        let grant = if want <= capacity {
+        let grant = if want <= pool.free() {
             Some(want)
         } else {
             // Best-effort: the largest rung that still fits.
-            profile.rung(capacity)
+            profile.rung(pool.free())
         };
         if let Some(g) = grant {
             let g = profile.rung(g).expect("grant snapped to a rung");
+            assert!(pool.acquire(g), "phase-1 grant within free capacity");
             active[i].alloc = g;
-            capacity -= g;
         }
     }
 
@@ -240,13 +342,11 @@ fn reallocate(
             let cur = a.alloc;
             let cur_time = profile.iter_time(cur.max(profile.min_gpus()));
             // Next strictly larger rung.
-            let Some(&(g_next, t_next)) =
-                profile.entries().iter().find(|&&(g, _)| g > cur)
-            else {
+            let Some(&(g_next, t_next)) = profile.entries().iter().find(|&&(g, _)| g > cur) else {
                 continue;
             };
             let delta = g_next - cur;
-            if delta > capacity {
+            if delta > pool.free() {
                 continue;
             }
             let t_cur = if a.alloc == 0 {
@@ -259,12 +359,12 @@ fn reallocate(
             } else {
                 a.remaining * (t_cur - t_next.as_secs_f64()) / delta as f64
             };
-            if gain > 0.0 && best.map_or(true, |(_, _, bg)| gain > bg) {
+            if gain > 0.0 && best.is_none_or(|(_, _, bg)| gain > bg) {
                 best = Some((i, g_next, gain));
             }
         }
         let Some((i, g_next, _)) = best else { break };
-        capacity -= g_next - active[i].alloc;
+        assert!(pool.acquire(g_next - active[i].alloc), "upgrade within free capacity");
         active[i].alloc = g_next;
     }
 }
@@ -367,6 +467,22 @@ mod tests {
     }
 
     #[test]
+    fn missed_deadline_terminates_the_job_at_its_deadline() {
+        // The job *passes* admission (32 GPUs make 100 iters in 400 s
+        // against a 450 s deadline) but competition keeps it at 8 GPUs
+        // (10 s/iter), so ElasticFlow kills it when the deadline passes.
+        let jobs = vec![job(0, 100, 0.0, Some(405.0)), job(1, 2000, 0.0, Some(8010.0))];
+        // 32 GPUs: EDF gives job 0 its minimal sufficient rung first; both
+        // jobs need the whole cluster to hit their deadlines, so the later
+        // deadline starves.
+        let cfg = SchedulerConfig { total_gpus: 32, policy: ProfilePolicy::DataParallelOnly };
+        let out = simulate_cluster(&jobs, &catalog(), &cfg);
+        assert!(!out.outcomes[0].violated, "earliest deadline wins EDF");
+        assert!(out.outcomes[1].violated, "starved job terminates at its deadline");
+        assert!(out.outcomes[1].completion.is_none());
+    }
+
+    #[test]
     fn vtrain_never_worse_on_shared_traces() {
         let catalog = catalog();
         for seed in 1..=5 {
@@ -405,6 +521,28 @@ mod tests {
         let b = simulate_cluster(&jobs, &cat, &cfg);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert!(a.events_processed >= jobs.len() as u64, "every arrival is an event");
+    }
+
+    #[test]
+    fn degenerate_zero_time_rung_terminates() {
+        // A zero-duration rung makes every completion prediction land on
+        // the current instant after nanosecond quantization; the 1 ns
+        // forward bump must keep the event loop progressing instead of
+        // re-dispatching a dt = 0 event forever.
+        let mut cat = ModelCatalog::new();
+        cat.insert(CatalogEntry {
+            name: "m".into(),
+            global_batch: 64,
+            baseline: profile(&[(8, 0.0)]),
+            vtrain: profile(&[(8, 0.0)]),
+        });
+        let jobs = vec![job(0, 5, 0.0, None), job(1, 5, 1.0, None)];
+        let cfg = SchedulerConfig { total_gpus: 8, policy: ProfilePolicy::DataParallelOnly };
+        let out = simulate_cluster(&jobs, &cat, &cfg);
+        assert!(out.outcomes.iter().all(|o| o.completion.is_some()));
+        assert!(out.makespan <= t(1.1));
     }
 
     #[test]

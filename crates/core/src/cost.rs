@@ -127,13 +127,8 @@ mod tests {
 
     #[test]
     fn iterations_round_up() {
-        let proj = TrainingProjection::project(
-            TimeNs::from_secs(1),
-            1000,
-            1500,
-            1,
-            &CostModel::default(),
-        );
+        let proj =
+            TrainingProjection::project(TimeNs::from_secs(1), 1000, 1500, 1, &CostModel::default());
         assert_eq!(proj.iterations, 2);
     }
 }

@@ -79,7 +79,8 @@ impl Estimator {
     /// Creates an estimator with an explicit bandwidth-effectiveness factor.
     pub fn with_alpha(cluster: ClusterSpec, alpha: f64) -> Self {
         let comm = CommModel::new(&cluster, alpha);
-        let graph_opts = GraphOptions { gpus_per_node: cluster.gpus_per_node, ..GraphOptions::default() };
+        let graph_opts =
+            GraphOptions { gpus_per_node: cluster.gpus_per_node, ..GraphOptions::default() };
         Estimator { cluster, comm, graph_opts }
     }
 
@@ -91,8 +92,7 @@ impl Estimator {
     /// Builds and lowers the execution graph for a validated plan.
     fn lower(&self, model: &ModelConfig, plan: &ParallelConfig) -> TaskGraph {
         let graph = build_op_graph(model, plan, &self.graph_opts);
-        let table =
-            Profiler::new(self.cluster.gpu.clone()).profile(&graph.necessary_operators());
+        let table = Profiler::new(self.cluster.gpu.clone()).profile(&graph.necessary_operators());
         TaskGraph::lower(&graph, &table, &self.comm)
             .expect("profiler covered all necessary operators")
     }
@@ -105,8 +105,7 @@ impl Estimator {
     ) -> IterationEstimate {
         let flops = model.flops_per_iteration(plan.global_batch(), self.graph_opts.recompute);
         let peak = self.cluster.gpu.peak_fp16_flops * plan.num_gpus() as f64;
-        let utilization =
-            (flops.as_f64() / (peak * report.iteration_time.as_secs_f64())).min(1.0);
+        let utilization = (flops.as_f64() / (peak * report.iteration_time.as_secs_f64())).min(1.0);
         IterationEstimate {
             iteration_time: report.iteration_time,
             utilization,
@@ -197,11 +196,7 @@ mod tests {
         // 25–60 % utilization band the paper reports for A100 systems.
         let est = Estimator::new(ClusterSpec::aws_p4d(64));
         let e = est.estimate(&presets::megatron("18.4B"), &plan(8, 8, 1, 2, 128)).unwrap();
-        assert!(
-            e.utilization > 0.25 && e.utilization < 0.65,
-            "utilization {:.3}",
-            e.utilization
-        );
+        assert!(e.utilization > 0.25 && e.utilization < 0.65, "utilization {:.3}", e.utilization);
     }
 
     #[test]
@@ -223,8 +218,7 @@ mod tests {
         let predicted = est.estimate(&model, &p).unwrap();
         let noise = NoiseModel::new(NoiseConfig::default());
         let measured = est.measure(&model, &p, &noise).unwrap();
-        let ratio =
-            measured.iteration_time.as_secs_f64() / predicted.iteration_time.as_secs_f64();
+        let ratio = measured.iteration_time.as_secs_f64() / predicted.iteration_time.as_secs_f64();
         assert!(ratio > 1.0 && ratio < 1.6, "measured/predicted ratio {ratio}");
     }
 
@@ -236,8 +230,7 @@ mod tests {
         // iteration in comparable time.
         let one = est.estimate(&model, &plan(2, 1, 1, 2, 16)).unwrap();
         let eight = est.estimate(&model, &plan(2, 8, 1, 2, 128)).unwrap();
-        let slowdown =
-            eight.iteration_time.as_secs_f64() / one.iteration_time.as_secs_f64();
+        let slowdown = eight.iteration_time.as_secs_f64() / one.iteration_time.as_secs_f64();
         assert!(slowdown < 1.4, "DP iteration slowdown {slowdown}");
         assert_eq!(eight.tokens_per_iteration, 8 * one.tokens_per_iteration);
     }

@@ -72,18 +72,18 @@ pub fn enumerate_candidates(
     let mut tensors = Vec::new();
     let mut t = 1;
     while t <= limits.max_tensor.min(cluster.gpus_per_node) {
-        if model.num_heads() % t == 0 && model.hidden_size() % t == 0 {
+        if model.num_heads().is_multiple_of(t) && model.hidden_size().is_multiple_of(t) {
             tensors.push(t);
         }
         t *= 2;
     }
     let pipelines: Vec<usize> = (1..=limits.max_pipeline.min(model.num_layers()))
-        .filter(|p| model.num_layers() % p == 0)
+        .filter(|&p| model.num_layers().is_multiple_of(p))
         .collect();
     let mut out = Vec::new();
     for &t in &tensors {
         for d in 1..=limits.max_data {
-            if global_batch % d != 0 {
+            if !global_batch.is_multiple_of(d) {
                 continue;
             }
             for &p in &pipelines {
@@ -92,7 +92,7 @@ pub fn enumerate_candidates(
                 }
                 let mut m = 1;
                 while m <= limits.max_micro_batch {
-                    if (global_batch / d) % m == 0 {
+                    if (global_batch / d).is_multiple_of(m) {
                         let plan = ParallelConfig::builder()
                             .tensor(t)
                             .data(d)
@@ -133,9 +133,7 @@ pub fn sweep(
                     break;
                 }
                 if let Ok(estimate) = estimator.estimate(model, &candidates[i]) {
-                    results
-                        .lock()
-                        .push((i, DesignPoint { plan: candidates[i], estimate }));
+                    results.lock().push((i, DesignPoint { plan: candidates[i], estimate }));
                 }
             });
         }
@@ -161,10 +159,7 @@ pub fn explore(
 }
 
 /// The fastest feasible plan using at most `max_gpus` GPUs.
-pub fn fastest_within_gpu_budget(
-    points: &[DesignPoint],
-    max_gpus: usize,
-) -> Option<&DesignPoint> {
+pub fn fastest_within_gpu_budget(points: &[DesignPoint], max_gpus: usize) -> Option<&DesignPoint> {
     points
         .iter()
         .filter(|p| p.estimate.num_gpus <= max_gpus)
@@ -229,13 +224,7 @@ mod tests {
         let cluster = ClusterSpec::aws_p4d(64);
         let limits =
             SearchLimits { max_tensor: 16, max_data: 8, max_pipeline: 8, max_micro_batch: 4 };
-        let cands = enumerate_candidates(
-            &model,
-            &cluster,
-            32,
-            PipelineSchedule::OneFOneB,
-            &limits,
-        );
+        let cands = enumerate_candidates(&model, &cluster, 32, PipelineSchedule::OneFOneB, &limits);
         assert!(!cands.is_empty());
         for c in &cands {
             assert!(c.tensor() <= 8, "tensor capped by node size");
@@ -264,13 +253,7 @@ mod tests {
         let model = presets::megatron("1.7B");
         let limits =
             SearchLimits { max_tensor: 2, max_data: 2, max_pipeline: 2, max_micro_batch: 2 };
-        let cands = enumerate_candidates(
-            &model,
-            &cluster,
-            8,
-            PipelineSchedule::OneFOneB,
-            &limits,
-        );
+        let cands = enumerate_candidates(&model, &cluster, 8, PipelineSchedule::OneFOneB, &limits);
         let serial = sweep(&estimator, &model, &cands, 1);
         let parallel = sweep(&estimator, &model, &cands, 8);
         assert_eq!(serial.len(), parallel.len());

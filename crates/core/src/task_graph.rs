@@ -112,9 +112,7 @@ impl TaskGraph {
             };
             tasks.push(task);
         }
-        let children = (0..graph.num_nodes() as u32)
-            .map(|i| graph.children(i).to_vec())
-            .collect();
+        let children = (0..graph.num_nodes() as u32).map(|i| graph.children(i).to_vec()).collect();
         Ok(TaskGraph { tasks, children, num_devices: graph.num_devices() })
     }
 

@@ -1,0 +1,158 @@
+//! The time-ordered event queue with explicit sequence-number tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use vtrain_model::TimeNs;
+
+/// One scheduled event: the payload plus its dispatch key.
+#[derive(Clone, Debug)]
+pub struct EventEntry<E> {
+    /// Dispatch time.
+    pub time: TimeNs,
+    /// Monotonic insertion index; the tie-breaker for equal times.
+    pub seq: u64,
+    /// Caller-defined payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for EventEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for EventEntry<E> {}
+
+impl<E> PartialOrd for EventEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for EventEntry<E> {
+    /// Reversed `(time, seq)` ordering, so `BinaryHeap` (a max-heap) pops
+    /// the *earliest* event, and among equal times the *first inserted*.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events pop in ascending `(time, seq)` order, where `seq` is assigned at
+/// insertion. Equal-timestamp events therefore pop in exactly the order
+/// they were scheduled — the property the Algorithm 1 port relies on to
+/// reproduce the paper's FIFO ready queue, and the property that makes
+/// whole-simulation replays bit-identical.
+#[derive(Clone, Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+    }
+
+    /// Schedules `event` at `time`, returning its sequence number.
+    pub fn push(&mut self, time: TimeNs, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(EventEntry { time, seq, event });
+        seq
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        self.heap.pop()
+    }
+
+    /// Dispatch time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<TimeNs> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled on this queue (sequence numbers are
+    /// dense, so this is the next sequence number).
+    pub fn total_scheduled(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(TimeNs::from_micros(3), "c");
+        q.push(TimeNs::from_micros(1), "a");
+        q.push(TimeNs::from_micros(2), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = TimeNs::from_micros(5);
+        for i in 0..100u32 {
+            q.push(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_ties_still_respect_time_first() {
+        let mut q = EventQueue::new();
+        let t1 = TimeNs::from_micros(1);
+        let t2 = TimeNs::from_micros(2);
+        q.push(t2, 10);
+        q.push(t1, 0);
+        q.push(t2, 11);
+        q.push(t1, 1);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(TimeNs::ZERO, ());
+        q.push(TimeNs::ZERO, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_scheduled(), 2);
+        assert_eq!(q.peek_time(), Some(TimeNs::ZERO));
+        q.pop();
+        q.pop();
+        assert!(q.pop().is_none());
+        assert_eq!(q.total_scheduled(), 2);
+    }
+}

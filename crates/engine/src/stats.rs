@@ -1,0 +1,23 @@
+//! Run statistics collected by the simulation driver.
+
+use serde::{Deserialize, Serialize};
+use vtrain_model::TimeNs;
+
+/// Counters describing one simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Events dispatched to the handler.
+    pub events_processed: u64,
+    /// Events scheduled over the run's lifetime (including seed events).
+    pub events_scheduled: u64,
+    /// Simulation time of the last dispatched event.
+    pub horizon: TimeNs,
+}
+
+impl RunStats {
+    /// Events still pending when the run stopped (a run that drained the
+    /// queue reports zero).
+    pub fn events_pending(&self) -> u64 {
+        self.events_scheduled - self.events_processed
+    }
+}

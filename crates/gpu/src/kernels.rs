@@ -66,7 +66,9 @@ impl KernelKind {
     /// per element but are memory bound anyway).
     pub fn flops(&self) -> f64 {
         match *self {
-            KernelKind::Gemm { m, n, k, batch } => 2.0 * m as f64 * n as f64 * k as f64 * batch as f64,
+            KernelKind::Gemm { m, n, k, batch } => {
+                2.0 * m as f64 * n as f64 * k as f64 * batch as f64
+            }
             KernelKind::Elementwise { bytes } => bytes as f64 / 2.0,
             KernelKind::Softmax { rows, cols } => 5.0 * rows as f64 * cols as f64,
             KernelKind::LayerNorm { rows, cols } => 8.0 * rows as f64 * cols as f64,
@@ -112,9 +114,9 @@ impl Kernel {
     /// `ampere_fp16_s16816gemm_fp16_128x128_ldg8_f2f_tn_b1_m4096_n4096_k1024`.
     pub fn name(&self) -> String {
         match self.kind {
-            KernelKind::Gemm { m, n, k, batch } => format!(
-                "ampere_fp16_s16816gemm_fp16_128x128_ldg8_f2f_tn_b{batch}_m{m}_n{n}_k{k}"
-            ),
+            KernelKind::Gemm { m, n, k, batch } => {
+                format!("ampere_fp16_s16816gemm_fp16_128x128_ldg8_f2f_tn_b{batch}_m{m}_n{n}_k{k}")
+            }
             KernelKind::Elementwise { bytes } => {
                 format!("vectorized_elementwise_kernel_v4_{bytes}b")
             }

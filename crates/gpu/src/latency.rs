@@ -63,8 +63,8 @@ impl DeviceModel {
         let tiles_m = m.div_ceil(TILE_M);
         let tiles_n = n.div_ceil(TILE_N);
         let tiles = tiles_m * tiles_n * batch;
-        let tile_util = (m as f64 / (tiles_m * TILE_M) as f64)
-            * (n as f64 / (tiles_n * TILE_N) as f64);
+        let tile_util =
+            (m as f64 / (tiles_m * TILE_M) as f64) * (n as f64 / (tiles_n * TILE_N) as f64);
         let waves = tiles.div_ceil(self.spec.sm_count as u64);
         let wave_util = tiles as f64 / (waves * self.spec.sm_count as u64) as f64;
         let k_util = k as f64 / (k as f64 + 64.0);
@@ -133,7 +133,9 @@ mod tests {
         let d = dev();
         // k = 64 cannot hide the MMA pipeline latency: roughly half the
         // deep-k efficiency.
-        assert!(d.gemm_efficiency(4096, 4096, 64, 1) < 0.6 * d.gemm_efficiency(4096, 4096, 4096, 1));
+        assert!(
+            d.gemm_efficiency(4096, 4096, 64, 1) < 0.6 * d.gemm_efficiency(4096, 4096, 4096, 1)
+        );
     }
 
     #[test]
@@ -157,7 +159,10 @@ mod tests {
             KernelKind::Elementwise { bytes: 1 << 20 },
             KernelKind::Softmax { rows: 1024, cols: 1024 },
         ];
-        assert_eq!(d.sequence_latency(ks.iter()), d.kernel_latency(&ks[0]) + d.kernel_latency(&ks[1]));
+        assert_eq!(
+            d.sequence_latency(ks.iter()),
+            d.kernel_latency(&ks[0]) + d.kernel_latency(&ks[1])
+        );
     }
 
     proptest! {

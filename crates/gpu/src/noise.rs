@@ -153,8 +153,7 @@ impl NoiseModel {
     /// reproducing the error structure (multi-node scatter ≈ 2×
     /// single-node).
     pub fn iteration_bias(&self, config_key: u64, nodes: usize) -> f64 {
-        let sigma =
-            self.cfg.iteration_bias_sigma * (1.0 + 0.45 * (nodes.max(1) as f64).ln());
+        let sigma = self.cfg.iteration_bias_sigma * (1.0 + 0.45 * (nodes.max(1) as f64).ln());
         (sigma * self.normal(config_key, 4) + 0.5 * sigma).exp()
     }
 }
@@ -247,10 +246,7 @@ mod tests {
         // single-node ones (the paper's Fig. 9 error structure).
         let m = model();
         let spread = |nodes: usize| {
-            (0..500u64)
-                .map(|k| (m.iteration_bias(k, nodes) - 1.0).abs())
-                .sum::<f64>()
-                / 500.0
+            (0..500u64).map(|k| (m.iteration_bias(k, nodes) - 1.0).abs()).sum::<f64>() / 500.0
         };
         let single = spread(1);
         let multi = spread(64);
@@ -263,8 +259,7 @@ mod tests {
     #[test]
     fn iteration_bias_drifts_positive_on_average() {
         let m = model();
-        let mean: f64 =
-            (0..1000u64).map(|k| m.iteration_bias(k, 8)).sum::<f64>() / 1000.0;
+        let mean: f64 = (0..1000u64).map(|k| m.iteration_bias(k, 8)).sum::<f64>() / 1000.0;
         assert!(mean > 1.0, "mean bias {mean:.4} should exceed 1 (overheads add time)");
     }
 }

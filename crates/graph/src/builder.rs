@@ -22,11 +22,7 @@ pub struct GraphOptions {
 
 impl Default for GraphOptions {
     fn default() -> Self {
-        GraphOptions {
-            gpus_per_node: 8,
-            dp_bucket_bytes: Bytes::from_mib(25),
-            recompute: true,
-        }
+        GraphOptions { gpus_per_node: 8, dp_bucket_bytes: Bytes::from_mib(25), recompute: true }
     }
 }
 
@@ -38,11 +34,7 @@ impl Default for GraphOptions {
 ///
 /// Panics if the plan's pipeline depth exceeds the model's layer count
 /// (call [`ParallelConfig::validate`] first).
-pub fn build_op_graph(
-    model: &ModelConfig,
-    plan: &ParallelConfig,
-    opts: &GraphOptions,
-) -> OpGraph {
+pub fn build_op_graph(model: &ModelConfig, plan: &ParallelConfig, opts: &GraphOptions) -> OpGraph {
     Builder::new(model, plan, opts).build()
 }
 
@@ -105,8 +97,7 @@ impl<'a> Builder<'a> {
     }
 
     fn layer_sig(&self, kind: CompKind) -> OpSignature {
-        let recompute = self.opts.recompute
-            && matches!(kind, CompKind::MhaBwd | CompKind::FfnBwd);
+        let recompute = self.opts.recompute && matches!(kind, CompKind::MhaBwd | CompKind::FfnBwd);
         OpSignature {
             kind,
             hidden: self.model.hidden_size(),
@@ -189,7 +180,11 @@ impl<'a> Builder<'a> {
             ranks: d,
             scope: if inter_node { CommScope::InterNode } else { CommScope::IntraNode },
             overlappable: true,
-            concurrent_groups: if inter_node { self.opts.gpus_per_node / t.min(self.opts.gpus_per_node) } else { 1 },
+            concurrent_groups: if inter_node {
+                self.opts.gpus_per_node / t.min(self.opts.gpus_per_node)
+            } else {
+                1
+            },
         };
         self.emit(device, StreamKind::Comm, Op::Comm(op))
     }
@@ -382,9 +377,8 @@ impl<'a> Builder<'a> {
             if self.plan.gradient_bucketing() {
                 // Buckets group layers in gradient-readiness order
                 // (deepest local layer first).
-                let per_bucket =
-                    (self.opts.dp_bucket_bytes.as_u64() / grad_bytes_per_layer.max(1)).max(1)
-                        as usize;
+                let per_bucket = (self.opts.dp_bucket_bytes.as_u64() / grad_bytes_per_layer.max(1))
+                    .max(1) as usize;
                 let mut layer = layers_here;
                 while layer > 0 {
                     let lo = layer.saturating_sub(per_bucket);
@@ -446,10 +440,7 @@ mod tests {
     }
 
     fn count_kind(g: &OpGraph, kind: CompKind) -> usize {
-        g.nodes()
-            .iter()
-            .filter(|n| n.op.signature().is_some_and(|s| s.kind == kind))
-            .count()
+        g.nodes().iter().filter(|n| n.op.signature().is_some_and(|s| s.kind == kind)).count()
     }
 
     fn count_comm(g: &OpGraph, kind: CommKind) -> usize {
@@ -499,7 +490,7 @@ mod tests {
         let with = plan(1, 4, 1, 1, 8, Sched::OneFOneB);
         let g = build_op_graph(&model, &with, &GraphOptions::default());
         let buckets = count_comm(&g, CommKind::DpAllReduce);
-        assert!(buckets >= 1 && buckets <= 24, "buckets = {buckets}");
+        assert!((1..=24).contains(&buckets), "buckets = {buckets}");
         // Disabling bucketing collapses to exactly one All-Reduce (Fig. 5b).
         let without = ParallelConfig::builder()
             .data(4)
@@ -528,14 +519,12 @@ mod tests {
         };
         let p_small = plan(2, 2, 2, 1, 8, Sched::OneFOneB);
         let p_big = plan(2, 2, 2, 1, 32, Sched::OneFOneB);
-        let ops_small = build_op_graph(&small, &p_small, &GraphOptions::default())
-            .necessary_operators();
-        let ops_big =
-            build_op_graph(&big, &p_big, &GraphOptions::default()).necessary_operators();
+        let ops_small =
+            build_op_graph(&small, &p_small, &GraphOptions::default()).necessary_operators();
+        let ops_big = build_op_graph(&big, &p_big, &GraphOptions::default()).necessary_operators();
         // Layer ops share signatures; only WeightUpdate params differ.
         let non_wu = |s: &OpSignature| s.kind != CompKind::WeightUpdate;
-        let a: std::collections::HashSet<_> =
-            ops_small.iter().copied().filter(non_wu).collect();
+        let a: std::collections::HashSet<_> = ops_small.iter().copied().filter(non_wu).collect();
         let b: std::collections::HashSet<_> = ops_big.iter().copied().filter(non_wu).collect();
         assert_eq!(a, b, "layer signatures must be scale-invariant");
         assert!(ops_small.len() <= 12);
@@ -544,11 +533,8 @@ mod tests {
     #[test]
     fn gpipe_and_1f1b_have_identical_node_multisets() {
         let model = presets::megatron("1.7B");
-        let a = build_op_graph(
-            &model,
-            &plan(2, 2, 2, 1, 16, Sched::GPipe),
-            &GraphOptions::default(),
-        );
+        let a =
+            build_op_graph(&model, &plan(2, 2, 2, 1, 16, Sched::GPipe), &GraphOptions::default());
         let b = build_op_graph(
             &model,
             &plan(2, 2, 2, 1, 16, Sched::OneFOneB),
@@ -562,11 +548,8 @@ mod tests {
     fn dp_scope_follows_rank_layout() {
         let model = presets::megatron("1.7B");
         // t·d = 4 ≤ 8 ⇒ DP stays intra-node.
-        let intra = build_op_graph(
-            &model,
-            &plan(2, 2, 1, 1, 4, Sched::OneFOneB),
-            &GraphOptions::default(),
-        );
+        let intra =
+            build_op_graph(&model, &plan(2, 2, 1, 1, 4, Sched::OneFOneB), &GraphOptions::default());
         let scope = intra
             .nodes()
             .iter()

@@ -137,7 +137,11 @@ impl fmt::Display for ModelConfig {
         write!(
             f,
             "{} (h={}, L={}, s={}, n={}, V={})",
-            self.name, self.hidden_size, self.num_layers, self.seq_len, self.num_heads,
+            self.name,
+            self.hidden_size,
+            self.num_layers,
+            self.seq_len,
+            self.num_heads,
             self.vocab_size
         )
     }
@@ -238,7 +242,7 @@ impl ModelConfigBuilder {
                 return Err(ModelConfigError::ZeroDimension(field));
             }
         }
-        if self.hidden_size % self.num_heads != 0 {
+        if !self.hidden_size.is_multiple_of(self.num_heads) {
             return Err(ModelConfigError::HeadsDoNotDivideHidden {
                 hidden_size: self.hidden_size,
                 num_heads: self.num_heads,

@@ -52,8 +52,9 @@ impl ModelConfig {
 
     /// LM-head forward FLOPs for a single sequence (`2·s·h·V`).
     pub fn lm_head_forward_flops_per_seq(&self) -> Flops {
-        Flops::new(2.0 * self.seq_len() as f64 * self.hidden_size() as f64
-            * self.vocab_size() as f64)
+        Flops::new(
+            2.0 * self.seq_len() as f64 * self.hidden_size() as f64 * self.vocab_size() as f64,
+        )
     }
 
     /// Full per-iteration FLOPs breakdown at the given global batch size

@@ -58,7 +58,8 @@ impl ModelConfig {
         // embedding and final LayerNorm. Take the heavier endpoint.
         let first_extra = self.embedding_params() / tensor as u64;
         let last_extra = 2 * self.hidden_size() as u64;
-        layer_share + if pipeline == 1 { first_extra + last_extra } else { first_extra.max(last_extra) }
+        layer_share
+            + if pipeline == 1 { first_extra + last_extra } else { first_extra.max(last_extra) }
     }
 
     /// Activation bytes for ONE micro-batch on one GPU of a stage, following
@@ -77,8 +78,9 @@ impl ModelConfig {
     /// Layer-boundary activation bytes for one micro-batch (the only thing
     /// stored per layer under full recomputation): `2·s·b·h` (FP16).
     pub fn boundary_activation_bytes(&self, micro_batch: usize) -> Bytes {
-        Bytes::from_bytes(2 * self.seq_len() as u64 * micro_batch as u64
-            * self.hidden_size() as u64)
+        Bytes::from_bytes(
+            2 * self.seq_len() as u64 * micro_batch as u64 * self.hidden_size() as u64,
+        )
     }
 
     /// Estimates the memory footprint of the most loaded GPU.
@@ -106,11 +108,9 @@ impl ModelConfig {
                 // Working set of the one layer being recomputed.
                 self.activation_bytes_per_layer(micro_batch, tensor).as_u64(),
             ),
-            ActivationStrategy::StoreAll => (
-                self.activation_bytes_per_layer(micro_batch, tensor).as_u64()
-                    * layers_heaviest,
-                0,
-            ),
+            ActivationStrategy::StoreAll => {
+                (self.activation_bytes_per_layer(micro_batch, tensor).as_u64() * layers_heaviest, 0)
+            }
         };
         MemoryBreakdown {
             weights: Bytes::from_bytes(2 * params),

@@ -79,14 +79,8 @@ mod tests {
     fn megatron_family_matches_advertised_names() {
         for m in presets::megatron_family() {
             // Names encode the advertised size, e.g. "Megatron 18.4B".
-            let advertised: f64 = m
-                .name()
-                .split_whitespace()
-                .last()
-                .unwrap()
-                .trim_end_matches('B')
-                .parse()
-                .unwrap();
+            let advertised: f64 =
+                m.name().split_whitespace().last().unwrap().trim_end_matches('B').parse().unwrap();
             let got = m.num_parameters_billion();
             assert!(
                 (got - advertised).abs() / advertised < 0.08,

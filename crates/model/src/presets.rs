@@ -84,14 +84,7 @@ pub fn single_node_family() -> Vec<ModelConfig> {
     for (h, n) in [(1024, 16), (1536, 16), (2048, 16), (2560, 32), (3072, 32)] {
         for l in [4usize, 8, 12] {
             for s in [512usize, 1024, 2048] {
-                out.push(preset(
-                    &format!("val-h{h}-L{l}-s{s}"),
-                    h,
-                    l,
-                    n,
-                    s,
-                    51_200,
-                ));
+                out.push(preset(&format!("val-h{h}-L{l}-s{s}"), h, l, n, s, 51_200));
             }
         }
     }
@@ -130,7 +123,7 @@ mod tests {
         let fam = single_node_family();
         assert_eq!(fam.len(), 45);
         for m in &fam {
-            assert!(m.hidden_size() % m.num_heads() == 0);
+            assert!(m.hidden_size().is_multiple_of(m.num_heads()));
         }
     }
 }

@@ -205,7 +205,11 @@ impl fmt::Display for ParallelConfig {
         write!(
             f,
             "({}, {}, {})-way, m={}, B={}, {:?}",
-            self.tensor, self.data, self.pipeline, self.micro_batch, self.global_batch,
+            self.tensor,
+            self.data,
+            self.pipeline,
+            self.micro_batch,
+            self.global_batch,
             self.schedule
         )
     }
@@ -300,11 +304,8 @@ impl ParallelConfigBuilder {
             }
         }
         let divisor = self.data * self.micro_batch;
-        if self.global_batch % divisor != 0 {
-            return Err(PlanError::BatchNotDivisible {
-                global_batch: self.global_batch,
-                divisor,
-            });
+        if !self.global_batch.is_multiple_of(divisor) {
+            return Err(PlanError::BatchNotDivisible { global_batch: self.global_batch, divisor });
         }
         Ok(ParallelConfig {
             tensor: self.tensor,
@@ -351,12 +352,8 @@ mod tests {
 
     #[test]
     fn indivisible_batch_rejected() {
-        let err = ParallelConfig::builder()
-            .data(3)
-            .micro_batch(2)
-            .global_batch(16)
-            .build()
-            .unwrap_err();
+        let err =
+            ParallelConfig::builder().data(3).micro_batch(2).global_batch(16).build().unwrap_err();
         assert!(matches!(err, PlanError::BatchNotDivisible { divisor: 6, .. }));
     }
 
@@ -401,10 +398,8 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let err = PlanError::OutOfMemory {
-            required: Bytes::from_gib(50),
-            capacity: Bytes::from_gib(40),
-        };
+        let err =
+            PlanError::OutOfMemory { required: Bytes::from_gib(50), capacity: Bytes::from_gib(40) };
         assert!(err.to_string().contains("50.00GiB"));
     }
 

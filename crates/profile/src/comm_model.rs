@@ -54,7 +54,11 @@ impl CommModel {
             .collect();
         CommModel {
             intra_anchors,
-            inter: InterNodeModel::new(cluster.internode_bandwidth, alpha, cluster.internode_latency),
+            inter: InterNodeModel::new(
+                cluster.internode_bandwidth,
+                alpha,
+                cluster.internode_latency,
+            ),
             nvlink_bus_bandwidth: cluster.nvlink_bus_bandwidth,
             nvlink_latency: cluster.nvlink_latency,
             internode_bandwidth: cluster.internode_bandwidth,
@@ -155,12 +159,7 @@ mod tests {
     fn interpolation_agrees_with_anchors_exactly() {
         let m = model();
         for mib in SWEEP_MIB {
-            let expect = all_reduce_time(
-                Bytes::from_mib(mib),
-                8,
-                235e9,
-                TimeNs::from_micros(8),
-            );
+            let expect = all_reduce_time(Bytes::from_mib(mib), 8, 235e9, TimeNs::from_micros(8));
             let got = m.intra_all_reduce(Bytes::from_mib(mib), 8);
             let rel = (got.as_secs_f64() - expect.as_secs_f64()).abs() / expect.as_secs_f64();
             assert!(rel < 1e-6, "anchor {mib}MiB: got {got}, expect {expect}");

@@ -35,7 +35,7 @@ fn tokens(sig: &OpSignature) -> u64 {
 
 fn check_divisibility(sig: &OpSignature) {
     assert!(
-        sig.heads % sig.tensor == 0 && sig.hidden % sig.tensor == 0,
+        sig.heads.is_multiple_of(sig.tensor) && sig.hidden.is_multiple_of(sig.tensor),
         "tensor degree {} must divide heads {} and hidden {}",
         sig.tensor,
         sig.heads,
@@ -159,11 +159,7 @@ mod tests {
     }
 
     fn total_gemm_flops(kernels: &[KernelKind]) -> f64 {
-        kernels
-            .iter()
-            .filter(|k| matches!(k, KernelKind::Gemm { .. }))
-            .map(|k| k.flops())
-            .sum()
+        kernels.iter().filter(|k| matches!(k, KernelKind::Gemm { .. })).map(|k| k.flops()).sum()
     }
 
     #[test]
@@ -219,10 +215,12 @@ mod tests {
     #[test]
     fn lm_head_splits_vocab() {
         let ks = decompose(&sig(CompKind::LmHeadFwd, 4, false));
-        let has_local_vocab = ks.iter().any(|k| matches!(
-            k,
-            KernelKind::Gemm { n, .. } if *n == 51_200 / 4
-        ));
+        let has_local_vocab = ks.iter().any(|k| {
+            matches!(
+                k,
+                KernelKind::Gemm { n, .. } if *n == 51_200 / 4
+            )
+        });
         assert!(has_local_vocab, "{ks:?}");
     }
 

@@ -51,4 +51,4 @@ mod table;
 pub use comm_model::CommModel;
 pub use decompose::decompose;
 pub use profiler::Profiler;
-pub use table::{OperatorTaskTable, OpProfile, TaskRecord};
+pub use table::{OpProfile, OperatorTaskTable, TaskRecord};

@@ -7,7 +7,7 @@ use vtrain_graph::OpSignature;
 use vtrain_parallel::GpuSpec;
 
 use crate::decompose::decompose;
-use crate::table::{OperatorTaskTable, OpProfile, TaskRecord};
+use crate::table::{OpProfile, OperatorTaskTable, TaskRecord};
 
 /// Profiles necessary operators against a target GPU (paper §III-C).
 ///
@@ -76,8 +76,7 @@ mod tests {
             .build()
             .unwrap();
         let graph = build_op_graph(&model, &plan, &GraphOptions::default());
-        Profiler::new(vtrain_parallel::GpuSpec::a100_40gb())
-            .profile(&graph.necessary_operators())
+        Profiler::new(vtrain_parallel::GpuSpec::a100_40gb()).profile(&graph.necessary_operators())
     }
 
     #[test]

@@ -31,6 +31,6 @@ mod optimizer;
 
 pub use law::{ChinchillaLaw, ChinchillaPoint};
 pub use optimizer::{
-    evaluate_candidate, table_iv_candidates, CandidateOutcome, CandidateSpec,
-    compute_optimal_search,
+    compute_optimal_search, evaluate_candidate, table_iv_candidates, CandidateOutcome,
+    CandidateSpec,
 };

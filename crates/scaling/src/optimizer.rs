@@ -123,9 +123,7 @@ pub fn compute_optimal_search(
 ) -> (Vec<CandidateOutcome>, Option<CandidateOutcome>) {
     let outcomes: Vec<CandidateOutcome> = candidates
         .iter()
-        .filter_map(|&spec| {
-            evaluate_candidate(estimator, law, spec, global_batch, limits, threads)
-        })
+        .filter_map(|&spec| evaluate_candidate(estimator, law, spec, global_batch, limits, threads))
         .collect();
     let best = outcomes
         .iter()
@@ -182,8 +180,7 @@ mod tests {
         // With an unbounded day budget the larger model wins.
         assert_eq!(best.spec.hidden, 2048);
         // Tighter-than-feasible budget selects nothing.
-        let (_, none) =
-            compute_optimal_search(&estimator, &law, &candidates, 32, 1e-9, &limits, 4);
+        let (_, none) = compute_optimal_search(&estimator, &law, &candidates, 32, 1e-9, &limits, 4);
         assert!(none.is_none());
     }
 }

@@ -34,12 +34,14 @@ fn main() {
         CandidateSpec { hidden: 6144, layers: 48, heads: 48 },
         CandidateSpec { hidden: 8192, layers: 48, heads: 64 },
     ];
-    let limits =
-        SearchLimits { max_tensor: 8, max_data: 16, max_pipeline: 12, max_micro_batch: 4 };
+    let limits = SearchLimits { max_tensor: 8, max_data: 16, max_pipeline: 12, max_micro_batch: 4 };
     let (outcomes, best) =
         compute_optimal_search(&estimator, &law, &candidates, 512, days_budget, &limits, 8);
 
-    println!("\n{:>6} {:>4} {:>9} {:>10} {:>20} {:>7} {:>8}", "h", "L", "params", "tokens", "best (t,d,p,m)", "util", "days");
+    println!(
+        "\n{:>6} {:>4} {:>9} {:>10} {:>20} {:>7} {:>8}",
+        "h", "L", "params", "tokens", "best (t,d,p,m)", "util", "days"
+    );
     for o in &outcomes {
         println!(
             "{:>6} {:>4} {:>8.2}B {:>9.0}B {:>20} {:>6.1}% {:>8.1}",

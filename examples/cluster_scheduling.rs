@@ -14,10 +14,8 @@ fn main() {
     // A 128-GPU shared cluster and two tenant model families.
     let total_gpus = 128;
     let estimator = Estimator::new(ClusterSpec::aws_p4d(total_gpus));
-    let models =
-        vec![(presets::megatron("1.7B"), 64usize), (presets::megatron("3.6B"), 128usize)];
-    let limits =
-        SearchLimits { max_tensor: 8, max_data: 16, max_pipeline: 6, max_micro_batch: 4 };
+    let models = vec![(presets::megatron("1.7B"), 64usize), (presets::megatron("3.6B"), 128usize)];
+    let limits = SearchLimits { max_tensor: 8, max_data: 16, max_pipeline: 6, max_micro_batch: 4 };
 
     println!("profiling tenant models (both profile flavours)...");
     let catalog = build_catalog(&estimator, &models, &limits, 8);
@@ -30,7 +28,10 @@ fn main() {
         );
     }
 
-    println!("\n{:<7} {:>16} {:>16} {:>14} {:>14}", "trace", "ratio(Elastic)", "ratio(vTrain)", "JCT gain", "makespan gain");
+    println!(
+        "\n{:<7} {:>16} {:>16} {:>14} {:>14}",
+        "trace", "ratio(Elastic)", "ratio(vTrain)", "JCT gain", "makespan gain"
+    );
     for seed in 1..=5u64 {
         let trace_cfg = TraceConfig {
             num_jobs: 32,

@@ -14,12 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let estimator = Estimator::new(cluster);
 
     // Exhaustive sweep, parallelized across CPU cores (§III-F).
-    let limits = SearchLimits {
-        max_tensor: 8,
-        max_data: 32,
-        max_pipeline: 10,
-        max_micro_batch: 8,
-    };
+    let limits = SearchLimits { max_tensor: 8, max_data: 32, max_pipeline: 10, max_micro_batch: 8 };
     let started = std::time::Instant::now();
     let points = search::explore(
         &estimator,
@@ -57,9 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The most cost-effective plan for a 300B-token run.
     let cost = CostModel::default();
-    let (point, projection) =
-        search::most_cost_effective(&points, 300_000_000_000, &cost, 512)
-            .expect("at least one feasible plan");
+    let (point, projection) = search::most_cost_effective(&points, 300_000_000_000, &cost, 512)
+        .expect("at least one feasible plan");
     println!(
         "\ncheapest end-to-end: {} -> {:.1} days, ${:.2}M ({} GPUs)",
         point.plan,

@@ -36,10 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("pipeline bubble:  {:.1}%", (1.0 - estimate.occupancy) * 100.0);
     println!(
         "busy breakdown:   compute {} | TP {} | DP {} | PP {}",
-        estimate.busy.compute,
-        estimate.busy.tp_comm,
-        estimate.busy.dp_comm,
-        estimate.busy.pp_comm
+        estimate.busy.compute, estimate.busy.tp_comm, estimate.busy.dp_comm, estimate.busy.pp_comm
     );
 
     // 4. Project end-to-end training over 300B tokens at AWS p4d pricing.

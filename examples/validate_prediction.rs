@@ -29,19 +29,17 @@ fn main() {
             else {
                 continue;
             };
-            let (Ok(pred), Ok(meas)) = (
-                estimator.estimate(&model, &plan),
-                estimator.measure(&model, &plan, &noise),
-            ) else {
+            let (Ok(pred), Ok(meas)) =
+                (estimator.estimate(&model, &plan), estimator.measure(&model, &plan, &noise))
+            else {
                 continue;
             };
             pairs.push((pred.iteration_time.as_secs_f64(), meas.iteration_time.as_secs_f64()));
         }
     }
 
-    let mape = 100.0
-        * pairs.iter().map(|(p, m)| ((p - m) / m).abs()).sum::<f64>()
-        / pairs.len() as f64;
+    let mape =
+        100.0 * pairs.iter().map(|(p, m)| ((p - m) / m).abs()).sum::<f64>() / pairs.len() as f64;
     let mean_m = pairs.iter().map(|&(_, m)| m).sum::<f64>() / pairs.len() as f64;
     let ss_res: f64 = pairs.iter().map(|(p, m)| (m - p).powi(2)).sum();
     let ss_tot: f64 = pairs.iter().map(|(_, m)| (m - mean_m).powi(2)).sum();

@@ -49,17 +49,11 @@ fn run(text: &str) -> Result<(), Box<dyn std::error::Error>> {
     println!("utilization:     {:.1}%", estimate.utilization * 100.0);
     println!(
         "busy breakdown:  compute {} | TP {} | DP {} | PP {}",
-        estimate.busy.compute,
-        estimate.busy.tp_comm,
-        estimate.busy.dp_comm,
-        estimate.busy.pp_comm
+        estimate.busy.compute, estimate.busy.tp_comm, estimate.busy.dp_comm, estimate.busy.pp_comm
     );
 
     if let Some(tokens) = description.tokens {
-        let cost = description
-            .cost_per_gpu_hour
-            .map(CostModel::new)
-            .unwrap_or_default();
+        let cost = description.cost_per_gpu_hour.map(CostModel::new).unwrap_or_default();
         let projection = TrainingProjection::project(
             estimate.iteration_time,
             estimate.tokens_per_iteration,

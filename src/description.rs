@@ -142,17 +142,22 @@ impl Description {
                     }
                 }
             },
-            ModelSection::Explicit { name, hidden_size, num_layers, num_heads, seq_len, vocab_size } => {
-                ModelConfig::builder()
-                    .name(name.clone().unwrap_or_else(|| "description".to_owned()))
-                    .hidden_size(*hidden_size)
-                    .num_layers(*num_layers)
-                    .num_heads(*num_heads)
-                    .seq_len(*seq_len)
-                    .vocab_size(*vocab_size)
-                    .build()
-                    .map_err(|e| DescriptionError(e.to_string()))
-            }
+            ModelSection::Explicit {
+                name,
+                hidden_size,
+                num_layers,
+                num_heads,
+                seq_len,
+                vocab_size,
+            } => ModelConfig::builder()
+                .name(name.clone().unwrap_or_else(|| "description".to_owned()))
+                .hidden_size(*hidden_size)
+                .num_layers(*num_layers)
+                .num_heads(*num_heads)
+                .seq_len(*seq_len)
+                .vocab_size(*vocab_size)
+                .build()
+                .map_err(|e| DescriptionError(e.to_string())),
         }
     }
 

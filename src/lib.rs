@@ -16,6 +16,7 @@
 //! | [`graph`] | `vtrain-graph` | operator-granularity execution graphs |
 //! | [`gpu`] | `vtrain-gpu` | A100 device model + ground-truth emulation |
 //! | [`profile`] | `vtrain-profile` | CUPTI-like profiling, communication models |
+//! | [`engine`] | `vtrain-engine` | deterministic discrete-event simulation kernel |
 //! | [`sim`] | `vtrain-core` | task graphs, Algorithm 1, cost model, DSE |
 //! | [`cluster`] | `vtrain-cluster` | multi-tenant scheduler experiments |
 //! | [`scaling`] | `vtrain-scaling` | Chinchilla law, compute-optimal sizing |
@@ -53,6 +54,7 @@ pub mod description;
 
 pub use vtrain_cluster as cluster;
 pub use vtrain_core as sim;
+pub use vtrain_engine as engine;
 pub use vtrain_gpu as gpu;
 pub use vtrain_graph as graph;
 pub use vtrain_model as model;
@@ -64,6 +66,7 @@ pub use vtrain_scaling as scaling;
 pub mod prelude {
     pub use vtrain_core::search::{self, SearchLimits};
     pub use vtrain_core::{CostModel, Estimator, IterationEstimate, TrainingProjection};
+    pub use vtrain_engine::{Handler, RunStats, Simulation};
     pub use vtrain_gpu::{NoiseConfig, NoiseModel};
     pub use vtrain_graph::{build_op_graph, GraphOptions};
     pub use vtrain_model::{presets, Bytes, Flops, ModelConfig, TimeNs};

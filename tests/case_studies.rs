@@ -25,19 +25,11 @@ fn dse_finds_plan_no_worse_than_heuristic() {
         .unwrap();
     let heuristic_est = estimator.estimate(&model, &heuristic).unwrap();
 
-    let limits =
-        SearchLimits { max_tensor: 8, max_data: 32, max_pipeline: 6, max_micro_batch: 8 };
-    let points = search::explore(
-        &estimator,
-        &model,
-        global_batch,
-        PipelineSchedule::OneFOneB,
-        &limits,
-        8,
-    );
+    let limits = SearchLimits { max_tensor: 8, max_data: 32, max_pipeline: 6, max_micro_batch: 8 };
+    let points =
+        search::explore(&estimator, &model, global_batch, PipelineSchedule::OneFOneB, &limits, 8);
     let cost = CostModel::default();
-    let (best, proj) =
-        search::most_cost_effective(&points, 50_000_000_000, &cost, 128).unwrap();
+    let (best, proj) = search::most_cost_effective(&points, 50_000_000_000, &cost, 128).unwrap();
     let heuristic_proj = TrainingProjection::project(
         heuristic_est.iteration_time,
         heuristic_est.tokens_per_iteration,
@@ -73,8 +65,7 @@ fn recommended_plan_wins_predicted_and_measured() {
         .build()
         .unwrap();
 
-    let limits =
-        SearchLimits { max_tensor: 8, max_data: 64, max_pipeline: 3, max_micro_batch: 16 };
+    let limits = SearchLimits { max_tensor: 8, max_data: 64, max_pipeline: 3, max_micro_batch: 16 };
     let candidates = search::enumerate_candidates(
         &model,
         estimator.cluster(),
@@ -82,8 +73,7 @@ fn recommended_plan_wins_predicted_and_measured() {
         PipelineSchedule::OneFOneB,
         &limits,
     );
-    let candidates: Vec<_> =
-        candidates.into_iter().filter(|c| c.num_gpus() == 64).collect();
+    let candidates: Vec<_> = candidates.into_iter().filter(|c| c.num_gpus() == 64).collect();
     let points = search::sweep(&estimator, &model, &candidates, 8);
     let ours = search::fastest_within_gpu_budget(&points, 64).unwrap();
 
@@ -91,8 +81,7 @@ fn recommended_plan_wins_predicted_and_measured() {
     let pred_ours = ours.estimate.iteration_time;
     assert!(pred_ours <= pred_heuristic, "prediction must prefer our plan");
 
-    let meas_heuristic =
-        estimator.measure(&model, &heuristic, &noise).unwrap().iteration_time;
+    let meas_heuristic = estimator.measure(&model, &heuristic, &noise).unwrap().iteration_time;
     let meas_ours = estimator.measure(&model, &ours.plan, &noise).unwrap().iteration_time;
     assert!(
         meas_ours.as_secs_f64() <= meas_heuristic.as_secs_f64() * 1.02,
@@ -107,8 +96,7 @@ fn scheduler_with_vtrain_profiles_never_worse() {
     let total_gpus = 64;
     let estimator = Estimator::new(ClusterSpec::aws_p4d(total_gpus));
     let models = vec![(presets::megatron("1.7B"), 64usize)];
-    let limits =
-        SearchLimits { max_tensor: 8, max_data: 8, max_pipeline: 4, max_micro_batch: 4 };
+    let limits = SearchLimits { max_tensor: 8, max_data: 8, max_pipeline: 4, max_micro_batch: 4 };
     let catalog = build_catalog(&estimator, &models, &limits, 8);
     let entry = catalog.get("Megatron 1.7B").unwrap();
     assert!(entry.vtrain.dominates(&entry.baseline));
@@ -149,7 +137,8 @@ fn realistic_chinchilla_point_is_smaller_than_naive() {
     let days = 20.0;
     let cluster = ClusterSpec::aws_p4d(gpus);
     let law = ChinchillaLaw::default();
-    let naive = law.optimal_point(ChinchillaLaw::gpu_budget(gpus, days, cluster.gpu.peak_fp16_flops));
+    let naive =
+        law.optimal_point(ChinchillaLaw::gpu_budget(gpus, days, cluster.gpu.peak_fp16_flops));
 
     let estimator = Estimator::new(cluster);
     let candidates = [
@@ -158,8 +147,7 @@ fn realistic_chinchilla_point_is_smaller_than_naive() {
         CandidateSpec { hidden: 4096, layers: 36, heads: 32 },
         CandidateSpec { hidden: 6144, layers: 40, heads: 48 },
     ];
-    let limits =
-        SearchLimits { max_tensor: 8, max_data: 8, max_pipeline: 6, max_micro_batch: 4 };
+    let limits = SearchLimits { max_tensor: 8, max_data: 8, max_pipeline: 6, max_micro_batch: 4 };
     let (outcomes, best) =
         compute_optimal_search(&estimator, &law, &candidates, 128, days, &limits, 8);
     assert!(!outcomes.is_empty());

@@ -26,7 +26,7 @@ fn arb_plan(layers: usize) -> impl Strategy<Value = ParallelConfig> {
         "pipeline must divide layers",
         move |(t_exp, d_exp, p_exp, m_exp)| {
             let (t, d, p, m) = (1 << t_exp, 1 << d_exp, 1 << p_exp, 1 << m_exp);
-            if layers % p != 0 {
+            if !layers.is_multiple_of(p) {
                 return None;
             }
             ParallelConfig::builder()
@@ -54,7 +54,7 @@ proptest! {
     ) {
         let (t_exp, d_exp, p_exp, m_exp) = seed_plan;
         let (t, d, p, m) = (1usize << t_exp, 1 << d_exp, 1 << p_exp, 1 << m_exp);
-        prop_assume!(model.num_layers() % p == 0);
+        prop_assume!(model.num_layers().is_multiple_of(p));
         let plan = ParallelConfig::builder()
             .tensor(t).data(d).pipeline(p).micro_batch(m)
             .global_batch(d * m * 4)
@@ -75,7 +75,7 @@ proptest! {
     /// envelope of the prediction for any feasible point.
     #[test]
     fn measurement_envelope(model in arb_model(), plan in arb_plan(8)) {
-        prop_assume!(model.num_layers() % plan.pipeline() == 0);
+        prop_assume!(model.num_layers().is_multiple_of(plan.pipeline()));
         let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
         let noise = NoiseModel::new(NoiseConfig::default());
         let Ok(pred) = estimator.estimate(&model, &plan) else { return Ok(()); };

@@ -4,8 +4,8 @@
 use vtrain::prelude::*;
 
 fn stats(pairs: &[(f64, f64)]) -> (f64, f64) {
-    let mape = 100.0 * pairs.iter().map(|(p, m)| ((p - m) / m).abs()).sum::<f64>()
-        / pairs.len() as f64;
+    let mape =
+        100.0 * pairs.iter().map(|(p, m)| ((p - m) / m).abs()).sum::<f64>() / pairs.len() as f64;
     let mean = pairs.iter().map(|&(_, m)| m).sum::<f64>() / pairs.len() as f64;
     let ss_res: f64 = pairs.iter().map(|(p, m)| (m - p).powi(2)).sum();
     let ss_tot: f64 = pairs.iter().map(|(_, m)| (m - mean).powi(2)).sum();
@@ -21,9 +21,8 @@ fn single_node_validation_band() {
     let noise = NoiseModel::new(NoiseConfig::default());
     let mut pairs = Vec::new();
     for model in presets::single_node_family().into_iter().take(9) {
-        for (t, d, p, m) in [(1, 1, 1, 2), (2, 2, 2, 1), (4, 2, 1, 2), (8, 1, 1, 4), (2, 1, 4, 1)]
-        {
-            if model.num_layers() % p != 0 {
+        for (t, d, p, m) in [(1, 1, 1, 2), (2, 2, 2, 1), (4, 2, 1, 2), (8, 1, 1, 4), (2, 1, 4, 1)] {
+            if !model.num_layers().is_multiple_of(p) {
                 continue;
             }
             let plan = ParallelConfig::builder()
@@ -34,16 +33,12 @@ fn single_node_validation_band() {
                 .global_batch(16)
                 .build()
                 .unwrap();
-            let (Ok(pred), Ok(meas)) = (
-                estimator.estimate(&model, &plan),
-                estimator.measure(&model, &plan, &noise),
-            ) else {
+            let (Ok(pred), Ok(meas)) =
+                (estimator.estimate(&model, &plan), estimator.measure(&model, &plan, &noise))
+            else {
                 continue;
             };
-            pairs.push((
-                pred.iteration_time.as_secs_f64(),
-                meas.iteration_time.as_secs_f64(),
-            ));
+            pairs.push((pred.iteration_time.as_secs_f64(), meas.iteration_time.as_secs_f64()));
         }
     }
     assert!(pairs.len() >= 30, "need a real sample, got {}", pairs.len());
@@ -61,10 +56,9 @@ fn multi_node_validation_band() {
     let mut pairs = Vec::new();
     for size in ["3.6B", "7.5B", "18.4B"] {
         let model = presets::megatron(size);
-        for (t, d, p, m) in
-            [(8, 4, 1, 2), (8, 8, 2, 1), (4, 16, 2, 1), (8, 16, 2, 2), (8, 8, 4, 2)]
+        for (t, d, p, m) in [(8, 4, 1, 2), (8, 8, 2, 1), (4, 16, 2, 1), (8, 16, 2, 2), (8, 8, 4, 2)]
         {
-            if model.num_layers() % p != 0 {
+            if !model.num_layers().is_multiple_of(p) {
                 continue;
             }
             let plan = ParallelConfig::builder()
@@ -75,16 +69,12 @@ fn multi_node_validation_band() {
                 .global_batch(256)
                 .build()
                 .unwrap();
-            let (Ok(pred), Ok(meas)) = (
-                estimator.estimate(&model, &plan),
-                estimator.measure(&model, &plan, &noise),
-            ) else {
+            let (Ok(pred), Ok(meas)) =
+                (estimator.estimate(&model, &plan), estimator.measure(&model, &plan, &noise))
+            else {
                 continue;
             };
-            pairs.push((
-                pred.iteration_time.as_secs_f64(),
-                meas.iteration_time.as_secs_f64(),
-            ));
+            pairs.push((pred.iteration_time.as_secs_f64(), meas.iteration_time.as_secs_f64()));
         }
     }
     assert!(pairs.len() >= 10, "need a real sample, got {}", pairs.len());
@@ -110,7 +100,7 @@ fn alpha_sweep_prefers_high_alpha() {
     for size in ["3.6B", "7.5B"] {
         for (t, d, p) in [(8, 16, 1), (8, 16, 2), (8, 32, 1)] {
             let model = presets::megatron(size);
-            if model.num_layers() % p != 0 {
+            if !model.num_layers().is_multiple_of(p) {
                 continue;
             }
             let plan = ParallelConfig::builder()
@@ -150,8 +140,7 @@ fn alpha_sweep_prefers_high_alpha() {
     };
     let alphas = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
     let errs: Vec<f64> = alphas.iter().map(|&a| mape_at(a)).collect();
-    let best_idx =
-        (0..alphas.len()).min_by(|&a, &b| errs[a].total_cmp(&errs[b])).unwrap();
+    let best_idx = (0..alphas.len()).min_by(|&a, &b| errs[a].total_cmp(&errs[b])).unwrap();
     assert!(alphas[best_idx] >= 0.4, "error minimized at crippled α = {}", alphas[best_idx]);
     let err_full = errs[alphas.len() - 1];
     let err_best = errs[best_idx];

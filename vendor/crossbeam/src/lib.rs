@@ -1,0 +1,67 @@
+//! Vendored minimal stand-in for `crossbeam`'s scoped threads (offline
+//! build environment), implemented over `std::thread::scope`.
+//!
+//! Divergence from the real crate: a panicking child propagates its panic
+//! when the scope joins (std semantics) instead of surfacing through the
+//! returned `Result`, and the closure passed to [`Scope::spawn`] receives a
+//! zero-sized token rather than a re-spawnable `&Scope` (this workspace
+//! never spawns from inside workers).
+
+/// Token passed to spawned closures in place of crossbeam's nested scope.
+#[derive(Clone, Copy, Debug)]
+pub struct ScopeToken;
+
+static TOKEN: ScopeToken = ScopeToken;
+
+/// A scope within which spawned threads are guaranteed to be joined.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure's argument is a placeholder for
+    /// crossbeam's nested-spawn handle.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&ScopeToken) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&TOKEN))
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned threads join before this
+/// returns.
+///
+/// # Errors
+///
+/// Never returns `Err` (a panicking child re-raises on join instead); the
+/// `Result` mirrors crossbeam's signature so `.expect(...)` call sites
+/// compile unchanged.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            "done"
+        })
+        .unwrap();
+        assert_eq!(result, "done");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! The case-driving runner behind the [`proptest!`](crate::proptest) macro.
+
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+use crate::SampleRng;
+
+/// Configuration of one property test (mirrors `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Give up after this many strategy rejections across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why one test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; it does not count.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected assumption.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result type property-test bodies evaluate to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives a strategy through the configured number of cases.
+pub struct TestRunner {
+    config: Config,
+    rng: SampleRng,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test with a deterministic seed
+    /// derived from the test's full path, so failures reproduce run-to-run.
+    pub fn new(config: Config, name: &'static str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis.
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { config, rng: SampleRng::seed_from_u64(seed), name }
+    }
+
+    /// Runs `test` against `cases` generated values.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first assertion
+    /// failure, or if the strategy rejects too many draws.
+    pub fn run<S: Strategy, F>(&mut self, strategy: &S, mut test: F)
+    where
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejects = 0u32;
+        while passed < self.config.cases {
+            let Some(value) = strategy.generate(&mut self.rng) else {
+                rejects += 1;
+                if rejects > self.config.max_global_rejects {
+                    panic!(
+                        "{}: strategy rejected {} draws before reaching {} cases",
+                        self.name, rejects, self.config.cases
+                    );
+                }
+                continue;
+            };
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > self.config.max_global_rejects {
+                        panic!(
+                            "{}: assumptions rejected {} cases before reaching {}",
+                            self.name, rejects, self.config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{}: property failed after {passed} passing cases: {msg}", self.name);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples_work(x in 1usize..10, pair in (0u64..5, 0.0f64..1.0)) {
+            let (a, b) = pair;
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 5);
+            prop_assert!((0.0..1.0).contains(&b), "b = {}", b);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn combinators_compose(v in (1usize..4).prop_map(|x| x * 2)
+            .prop_filter_map("keep sixes", |x| (x != 6).then_some(x)))
+        {
+            prop_assert!(v == 2 || v == 4);
+            prop_assert_ne!(v, 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic() {
+        let mut runner = super::TestRunner::new(
+            super::Config { cases: 4, ..Default::default() },
+            "failures_panic",
+        );
+        runner.run(&(0usize..10,), |(_x,)| Err(super::TestCaseError::fail("intentional")));
+    }
+}

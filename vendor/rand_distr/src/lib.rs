@@ -1,0 +1,91 @@
+//! Vendored minimal stand-in for `rand_distr` (offline build environment).
+//!
+//! Implements the [`LogNormal`] distribution this workspace's trace
+//! generator uses, over the vendored `rand` crate's [`RngCore`].
+
+use rand::RngCore;
+
+/// Distributions that can be sampled with any RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The log-normal distribution `exp(N(mu, sigma^2))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the underlying normal's mean
+    /// and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `sigma` is negative or either parameter is
+    /// non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform; u is kept away from 0 so ln() stays finite.
+        let u = loop {
+            let u = rng.next_f64();
+            if u > f64::EPSILON {
+                break u;
+            }
+        };
+        let v = rng.next_f64();
+        let normal = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        (self.mu + self.sigma * normal).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, 1.2).is_ok());
+    }
+
+    #[test]
+    fn samples_are_positive_and_heavy_tailed() {
+        let dist = LogNormal::new(0.0, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..20_000).map(|_| dist.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0 && x.is_finite()));
+        // Median of exp(N(0, s)) is 1; the mean exceeds it (heavy tail).
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((median - 1.0).abs() < 0.1, "median {median}");
+        assert!(mean > median, "log-normal mean should exceed the median");
+    }
+}

@@ -1,0 +1,482 @@
+//! Vendored minimal stand-in for `serde`, built for offline workspaces.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! workspace vendors a self-consistent subset of the serde data model: a
+//! JSON-shaped [`Value`] tree, [`Serialize`]/[`Deserialize`] traits that
+//! convert through it, and derive macros (re-exported from `serde_derive`)
+//! supporting the attribute subset the workspace uses (`#[serde(default)]`
+//! and `#[serde(untagged)]`). The companion `serde_json` vendored crate
+//! supplies the text format.
+//!
+//! This is intentionally *not* API-compatible with the real serde beyond
+//! the surface this workspace exercises; swap in the real crates when the
+//! build environment has registry access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::Value;
+
+/// Error produced by (de)serialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error carrying `msg`.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the generic value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the generic value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Hook for a field that is absent from its enclosing object.
+    ///
+    /// Mirrors serde's special case: `Option<T>` fields default to `None`
+    /// when missing; everything else is an error unless `#[serde(default)]`
+    /// is present.
+    fn from_missing_field(struct_name: &str, field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}` in `{struct_name}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| type_error("unsigned integer", v))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| type_error("integer", v))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| type_error("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map(|f| f as f32).ok_or_else(|| type_error("number", v))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(type_error("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(type_error("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(type_error("single-character string", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(type_error("null", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing_field(_struct_name: &str, _field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(type_error("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let Value::Array(items) = v else {
+                    return Err(type_error("tuple array", v));
+                };
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected a {expected}-element array, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Encodes map entries: string-keyed maps become objects; other key types
+/// become an array of `[key, value]` pairs. Entries are sorted by key so
+/// hash-map iteration order never leaks into the output.
+fn map_to_value(pairs: Vec<(Value, Value)>) -> Value {
+    let mut pairs = pairs;
+    pairs.sort_by(|a, b| value::value_cmp(&a.0, &b.0));
+    if pairs.iter().all(|(k, _)| matches!(k, Value::String(_))) {
+        Value::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| {
+                    let Value::String(k) = k else { unreachable!() };
+                    (k, v)
+                })
+                .collect(),
+        )
+    } else {
+        Value::Array(pairs.into_iter().map(|(k, v)| Value::Array(vec![k, v])).collect())
+    }
+}
+
+/// Decodes either map encoding produced by [`map_to_value`].
+fn map_from_value<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    match v {
+        Value::Object(entries) => entries
+            .iter()
+            .map(|(k, val)| {
+                let key = K::from_value(&Value::String(k.clone()))?;
+                Ok((key, V::from_value(val)?))
+            })
+            .collect(),
+        Value::Array(items) => items
+            .iter()
+            .map(|item| {
+                let Value::Array(pair) = item else {
+                    return Err(type_error("[key, value] pair", item));
+                };
+                if pair.len() != 2 {
+                    return Err(Error::custom("map pair must have two elements"));
+                }
+                Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+            })
+            .collect(),
+        other => Err(type_error("map (object or pair array)", other)),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter().map(|(k, v)| (k.to_value(), v.to_value())).collect())
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter().map(|(k, v)| (k.to_value(), v.to_value())).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+fn type_error(expected: &str, found: &Value) -> Error {
+    Error::custom(format!("expected {expected}, found {}", found.kind()))
+}
+
+// ---------------------------------------------------------------------------
+// Support functions the derive macros expand to.
+// ---------------------------------------------------------------------------
+
+/// Internal support for `serde_derive` expansions. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Looks up `field` in an object value; missing fields defer to
+    /// [`Deserialize::from_missing_field`] (so `Option` fields read `None`).
+    pub fn get_field<T: Deserialize>(
+        v: &Value,
+        struct_name: &str,
+        field: &str,
+    ) -> Result<T, Error> {
+        let Value::Object(_) = v else {
+            return Err(Error::custom(format!(
+                "expected object for `{struct_name}`, found {}",
+                v.kind()
+            )));
+        };
+        match v.get(field) {
+            Some(inner) => T::from_value(inner)
+                .map_err(|e| Error::custom(format!("field `{struct_name}.{field}`: {e}"))),
+            None => T::from_missing_field(struct_name, field),
+        }
+    }
+
+    /// Like [`get_field`] but `#[serde(default)]`: missing fields take
+    /// `T::default()`.
+    pub fn get_field_or_default<T: Deserialize + Default>(
+        v: &Value,
+        struct_name: &str,
+        field: &str,
+    ) -> Result<T, Error> {
+        let Value::Object(_) = v else {
+            return Err(Error::custom(format!(
+                "expected object for `{struct_name}`, found {}",
+                v.kind()
+            )));
+        };
+        match v.get(field) {
+            Some(inner) => T::from_value(inner)
+                .map_err(|e| Error::custom(format!("field `{struct_name}.{field}`: {e}"))),
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Element `idx` of a tuple-struct array encoding.
+    pub fn get_elem<T: Deserialize>(
+        v: &Value,
+        type_name: &str,
+        idx: usize,
+        arity: usize,
+    ) -> Result<T, Error> {
+        let Value::Array(items) = v else {
+            return Err(Error::custom(format!(
+                "expected a {arity}-element array for `{type_name}`, found {}",
+                v.kind()
+            )));
+        };
+        if items.len() != arity {
+            return Err(Error::custom(format!(
+                "expected a {arity}-element array for `{type_name}`, found {} elements",
+                items.len()
+            )));
+        }
+        T::from_value(&items[idx])
+    }
+
+    /// The single `{ "Variant": payload }` entry of an externally tagged
+    /// enum encoding, or the bare string of a unit variant.
+    pub fn enum_tag<'v>(
+        v: &'v Value,
+        enum_name: &str,
+    ) -> Result<(&'v str, Option<&'v Value>), Error> {
+        match v {
+            Value::String(s) => Ok((s.as_str(), None)),
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(Error::custom(format!(
+                "expected enum `{enum_name}` (string or single-key object), found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Error for an unrecognized variant tag.
+    pub fn unknown_variant(enum_name: &str, tag: &str) -> Error {
+        Error::custom(format!("unknown variant `{tag}` of enum `{enum_name}`"))
+    }
+
+    /// Error when no untagged variant matched.
+    pub fn untagged_mismatch(enum_name: &str) -> Error {
+        Error::custom(format!("data did not match any variant of untagged enum `{enum_name}`"))
+    }
+}

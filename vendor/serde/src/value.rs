@@ -1,0 +1,126 @@
+//! The generic JSON-shaped value tree all (de)serialization flows through.
+
+/// A dynamically typed value: the intermediate representation between Rust
+/// types and the `serde_json` text format.
+///
+/// Objects preserve insertion order (like `serde_json`'s `preserve_order`
+/// feature) so serialized output is stable and human-diffable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (JSON number without sign or fraction).
+    U64(u64),
+    /// Signed integer (JSON number with a leading minus).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as ordered `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// A total order over values (kind rank, then content), used to sort map
+/// entries deterministically.
+pub(crate) fn value_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => 2,
+            Value::String(_) => 3,
+            Value::Array(_) => 4,
+            Value::Object(_) => 5,
+        }
+    }
+
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::String(x), Value::String(y)) => x.cmp(y),
+        (Value::Array(x), Value::Array(y)) => {
+            for (xi, yi) in x.iter().zip(y) {
+                let ord = value_cmp(xi, yi);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Object(x), Value::Object(y)) => {
+            for ((kx, vx), (ky, vy)) in x.iter().zip(y) {
+                let ord = kx.cmp(ky).then_with(|| value_cmp(vx, vy));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ if rank(a) == 2 && rank(b) == 2 => {
+            let (fa, fb) = (a.as_f64().unwrap_or(f64::NAN), b.as_f64().unwrap_or(f64::NAN));
+            fa.total_cmp(&fb)
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+impl Value {
+    /// Short human-readable name of the value's kind (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up `key` if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`, accepting any non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) => u64::try_from(n).ok(),
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`, accepting any in-range integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) => i64::try_from(n).ok(),
+            Value::F64(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`, accepting any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Vendored minimal `Serialize`/`Deserialize` derive macros.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`: the build
+//! environment is offline). Supports the shape subset this workspace uses:
+//! non-generic structs (named, tuple, unit) and enums (unit, newtype,
+//! tuple, struct variants), with the `#[serde(default)]` field attribute
+//! and the `#[serde(untagged)]` container attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Debug, Default)]
+struct SerdeAttrs {
+    default: bool,
+    untagged: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Clone, Debug)]
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Clone, Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Clone, Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes leading `#[...]` attribute groups, folding any `#[serde(...)]`
+/// flags into `attrs`, and returns the index of the first non-attribute
+/// token.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, attrs: &mut SerdeAttrs) -> usize {
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else { break };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(flag) = t {
+                            match flag.to_string().as_str() {
+                                "default" => attrs.default = true,
+                                "untagged" => attrs.untagged = true,
+                                other => {
+                                    panic!("vendored serde_derive: unsupported #[serde({other})]")
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    i
+}
+
+/// Splits a token slice on top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments don't split.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses one `name: Type` chunk of a named-field body.
+fn parse_named_field(chunk: &[TokenTree]) -> Field {
+    let mut attrs = SerdeAttrs::default();
+    let mut i = skip_attrs(chunk, 0, &mut attrs);
+    // Skip visibility: `pub` optionally followed by `(...)`.
+    if let Some(TokenTree::Ident(id)) = chunk.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    let TokenTree::Ident(name) = &chunk[i] else {
+        panic!("vendored serde_derive: expected field name, got {:?}", chunk[i]);
+    };
+    Field { name: name.to_string(), attrs }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level(&tokens)
+        .iter()
+        .filter(|c| !c.is_empty())
+        .map(|c| parse_named_field(c))
+        .collect()
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let mut attrs = SerdeAttrs::default();
+    let i = skip_attrs(chunk, 0, &mut attrs);
+    let TokenTree::Ident(name) = &chunk[i] else {
+        panic!("vendored serde_derive: expected variant name, got {:?}", chunk[i]);
+    };
+    let kind = match chunk.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            VariantKind::Struct(parse_named_fields(g))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+            let arity = split_top_level(&tokens).iter().filter(|c| !c.is_empty()).count();
+            if arity == 1 {
+                VariantKind::Newtype
+            } else {
+                VariantKind::Tuple(arity)
+            }
+        }
+        _ => VariantKind::Unit,
+    };
+    Variant { name: name.to_string(), kind }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = SerdeAttrs::default();
+    let mut i = skip_attrs(&tokens, 0, &mut attrs);
+
+    // Skip visibility.
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let TokenTree::Ident(kw) = &tokens[i] else {
+        panic!("vendored serde_derive: expected `struct` or `enum`, got {:?}", tokens[i]);
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("vendored serde_derive: expected item name, got {:?}", tokens[i]);
+    };
+    let name = name.to_string();
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive: generic type `{name}` is not supported");
+        }
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let arity = split_top_level(&inner).iter().filter(|c| !c.is_empty()).count();
+                Shape::TupleStruct(arity)
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("vendored serde_derive: enum `{name}` has no body");
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let variants = split_top_level(&inner)
+                .iter()
+                .filter(|c| !c.is_empty())
+                .map(|c| parse_variant(c))
+                .collect();
+            Shape::Enum(variants)
+        }
+        other => panic!("vendored serde_derive: unsupported item kind `{other}`"),
+    };
+
+    Item { name, attrs, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+/// `Object(...)` expression serializing named fields from expressions like
+/// `&self.f` or bound pattern names.
+fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut s = String::from(
+        "{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new(); ",
+    );
+    for f in fields {
+        s.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{0}\"), \
+             ::serde::Serialize::to_value({1})));",
+            f.name,
+            access(&f.name)
+        ));
+    }
+    s.push_str(" ::serde::Value::Object(__fields) }");
+    s
+}
+
+fn de_named_fields(fields: &[Field], type_path: &str, type_label: &str, source: &str) -> String {
+    let mut s = format!("{type_path} {{ ");
+    for f in fields {
+        let helper = if f.attrs.default { "get_field_or_default" } else { "get_field" };
+        s.push_str(&format!(
+            "{0}: ::serde::__private::{helper}({source}, \"{type_label}\", \"{0}\")?, ",
+            f.name
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => ser_named_fields(fields, |f| format!("&self.{f}")),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let arm = match (&v.kind, item.attrs.untagged) {
+                    (VariantKind::Unit, false) => format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::String(::std::string::String::from(\"{vname}\")),"
+                    ),
+                    (VariantKind::Unit, true) => {
+                        format!("{name}::{vname} => ::serde::Value::Null,")
+                    }
+                    (VariantKind::Newtype, untagged) => {
+                        let inner = "::serde::Serialize::to_value(__f0)";
+                        if untagged {
+                            format!("{name}::{vname}(__f0) => {inner},")
+                        } else {
+                            format!(
+                                "{name}::{vname}(__f0) => ::serde::Value::Object(vec![\
+                                 (::std::string::String::from(\"{vname}\"), {inner})]),"
+                            )
+                        }
+                    }
+                    (VariantKind::Tuple(n), untagged) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        let arr = format!("::serde::Value::Array(vec![{}])", elems.join(", "));
+                        if untagged {
+                            format!("{name}::{vname}({}) => {arr},", pats.join(", "))
+                        } else {
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                                 (::std::string::String::from(\"{vname}\"), {arr})]),",
+                                pats.join(", ")
+                            )
+                        }
+                    }
+                    (VariantKind::Struct(fields), untagged) => {
+                        let pats: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let obj = ser_named_fields(fields, |f| f.to_owned());
+                        if untagged {
+                            format!("{name}::{vname} {{ {} }} => {obj},", pats.join(", "))
+                        } else {
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![\
+                                 (::std::string::String::from(\"{vname}\"), {obj})]),",
+                                pats.join(", ")
+                            )
+                        }
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            format!("Ok({})", de_named_fields(fields, name, name, "__v"))
+        }
+        Shape::TupleStruct(1) => {
+            format!("::serde::Deserialize::from_value(__v).map({name})")
+        }
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::get_elem(__v, \"{name}\", {i}, {n})?"))
+                .collect();
+            format!("Ok({name}({}))", elems.join(", "))
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) if item.attrs.untagged => {
+            // Try each variant in declaration order; first success wins.
+            let mut attempts = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let attempt = match &v.kind {
+                    VariantKind::Unit => format!(
+                        "if matches!(__v, ::serde::Value::Null) \
+                         {{ return Ok({name}::{vname}); }}"
+                    ),
+                    VariantKind::Newtype => format!(
+                        "if let Ok(__inner) = ::serde::Deserialize::from_value(__v) \
+                         {{ return Ok({name}::{vname}(__inner)); }}"
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::__private::get_elem(__v, \"{name}\", {i}, {n})?")
+                            })
+                            .collect();
+                        format!(
+                            "if let Ok(__var) = (|| -> ::std::result::Result<{name}, \
+                             ::serde::Error> {{ Ok({name}::{vname}({})) }})() \
+                             {{ return Ok(__var); }}",
+                            elems.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let build = de_named_fields(
+                            fields,
+                            &format!("{name}::{vname}"),
+                            &format!("{name}::{vname}"),
+                            "__v",
+                        );
+                        format!(
+                            "if let Ok(__var) = (|| -> ::std::result::Result<{name}, \
+                             ::serde::Error> {{ Ok({build}) }})() \
+                             {{ return Ok(__var); }}"
+                        )
+                    }
+                };
+                attempts.push_str(&attempt);
+            }
+            format!("{attempts} Err(::serde::__private::untagged_mismatch(\"{name}\"))")
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let arm = match &v.kind {
+                    VariantKind::Unit => {
+                        format!("(\"{vname}\", _) => Ok({name}::{vname}),")
+                    }
+                    VariantKind::Newtype => format!(
+                        "(\"{vname}\", Some(__payload)) => \
+                         Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?)),"
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::__private::get_elem(__payload, \
+                                     \"{name}::{vname}\", {i}, {n})?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "(\"{vname}\", Some(__payload)) => \
+                             Ok({name}::{vname}({})),",
+                            elems.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let build = de_named_fields(
+                            fields,
+                            &format!("{name}::{vname}"),
+                            &format!("{name}::{vname}"),
+                            "__payload",
+                        );
+                        format!("(\"{vname}\", Some(__payload)) => Ok({build}),")
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!(
+                "let (__tag, __payload) = ::serde::__private::enum_tag(__v, \"{name}\")?; \
+                 match (__tag, __payload) {{ {arms} \
+                 (__other, _) => Err(::serde::__private::unknown_variant(\"{name}\", __other)), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
