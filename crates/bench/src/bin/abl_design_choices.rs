@@ -122,8 +122,11 @@ fn main() {
         .build()
         .unwrap();
     let mut base = None;
+    // One shared profile cache across the α-sweep estimators: α only
+    // affects the communication model, never the kernel profiles.
+    let shared = std::sync::Arc::clone(estimator.cache());
     for alpha in [1.0, 0.8, 0.6, 0.4, 0.2] {
-        let est = Estimator::with_alpha(cluster.clone(), alpha);
+        let est = Estimator::with_cache(cluster.clone(), alpha, std::sync::Arc::clone(&shared));
         let t = time(&exposed, &est);
         let b = *base.get_or_insert(t);
         println!("α = {alpha:.1}: {t:.3}s ({:+.1}%)", 100.0 * (t / b - 1.0));

@@ -4,15 +4,20 @@
 //!
 //! The default grid covers the paper's axes at a coarser density to finish
 //! in minutes; pass `--full` for the complete `t ≤ 16, d ≤ 32, p ≤ 105`
-//! sweep.
+//! sweep, or `--smoke` for the CI throughput probe (a thin grid that still
+//! exercises the staged pipeline and the shared profile cache).
+//!
+//! Every run also writes `results/BENCH_sweep.json` with the sweep's
+//! throughput report (wall time, points/s, cache hit-rate) so the perf
+//! trajectory is tracked across PRs.
 //!
 //! ```sh
-//! cargo run --release -p vtrain-bench --bin fig10_design_space [-- --full]
+//! cargo run --release -p vtrain-bench --bin fig10_design_space [-- --full | --smoke]
 //! ```
 
 use serde::Serialize;
 use vtrain_bench::{full_mode, mtnlg_workload, report, threads};
-use vtrain_core::search::{self, SearchLimits};
+use vtrain_core::search::{self, SearchLimits, SweepStats};
 use vtrain_core::Estimator;
 use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule};
 
@@ -27,6 +32,19 @@ struct Row {
     utilization_pct: f64,
 }
 
+/// The sweep-throughput record of `results/BENCH_sweep.json`.
+#[derive(Serialize)]
+struct SweepBench {
+    grid: &'static str,
+    stats: SweepStats,
+    points_per_sec: f64,
+    cache_hit_rate: f64,
+}
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
 fn main() {
     report::banner("Figure 10: MT-NLG (t, d, p) design-space exploration");
     let (model, global_batch, _) = mtnlg_workload();
@@ -34,10 +52,21 @@ fn main() {
     let cluster = ClusterSpec::dgx_a100_80gb(16 * 32 * 105);
     let estimator = Estimator::new(cluster.clone());
 
-    let limits = if full_mode() {
-        SearchLimits { max_tensor: 16, max_data: 32, max_pipeline: 105, max_micro_batch: 2 }
+    let (grid, limits) = if full_mode() {
+        (
+            "full",
+            SearchLimits { max_tensor: 16, max_data: 32, max_pipeline: 105, max_micro_batch: 2 },
+        )
+    } else if smoke_mode() {
+        (
+            "smoke",
+            SearchLimits { max_tensor: 16, max_data: 24, max_pipeline: 21, max_micro_batch: 1 },
+        )
     } else {
-        SearchLimits { max_tensor: 16, max_data: 24, max_pipeline: 35, max_micro_batch: 1 }
+        (
+            "coarse",
+            SearchLimits { max_tensor: 16, max_data: 24, max_pipeline: 35, max_micro_batch: 1 },
+        )
     };
     let mut candidates = search::enumerate_candidates(
         &model,
@@ -48,18 +77,30 @@ fn main() {
     );
     if !full_mode() {
         // Thin the micro-batch-heavy low-d corner that dominates runtime.
-        candidates.retain(|c: &ParallelConfig| c.data() >= 4 || c.pipeline() >= 15);
+        let min_d = if smoke_mode() { 8 } else { 4 };
+        candidates.retain(|c: &ParallelConfig| c.data() >= min_d || c.pipeline() >= 15);
     }
     println!("candidates: {}", candidates.len());
-    let started = std::time::Instant::now();
-    let points = search::sweep(&estimator, &model, &candidates, threads());
+    let outcome = search::sweep(&estimator, &model, &candidates, threads());
+    let stats = outcome.stats;
     println!(
-        "feasible points: {} (swept in {:.0}s — the paper reports <200s for the full space)",
-        points.len(),
-        started.elapsed().as_secs_f64()
+        "feasible points: {} (swept in {:.1}s — the paper reports <200s for the full space)",
+        outcome.points.len(),
+        stats.wall_s
+    );
+    println!(
+        "sweep: {} pruned pre-lowering, {:.1} points/s, profile-cache hit-rate {:.1}% \
+         ({} hits / {} misses), {} threads",
+        stats.pruned,
+        stats.points_per_sec(),
+        stats.cache_hit_rate() * 100.0,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.threads
     );
 
-    let rows: Vec<Row> = points
+    let rows: Vec<Row> = outcome
+        .points
         .iter()
         .map(|p| Row {
             tensor: p.plan.tensor(),
@@ -98,4 +139,13 @@ fn main() {
         println!("(the paper's (16,16,105) analogue is fast but wasteful: ~17% utilization)");
     }
     report::dump_json("fig10_design_space", &rows);
+    report::dump_json(
+        "BENCH_sweep",
+        &SweepBench {
+            grid,
+            stats,
+            points_per_sec: stats.points_per_sec(),
+            cache_hit_rate: stats.cache_hit_rate(),
+        },
+    );
 }

@@ -41,6 +41,7 @@ fn main() {
     let cloud = search::sweep(&estimator, &model, &candidates, threads());
 
     let mut points: Vec<Point> = cloud
+        .points
         .iter()
         .map(|p| Point {
             label: p.plan.to_string(),
@@ -69,6 +70,11 @@ fn main() {
             highlighted: true,
         });
     }
-    println!("\nbackground cloud points: {}", cloud.len());
+    println!(
+        "\nbackground cloud points: {} ({:.0} points/s, cache hit-rate {:.1}%)",
+        cloud.points.len(),
+        cloud.stats.points_per_sec(),
+        cloud.stats.cache_hit_rate() * 100.0
+    );
     report::dump_json("fig11_tradeoff", &points);
 }

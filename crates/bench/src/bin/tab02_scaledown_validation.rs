@@ -39,11 +39,18 @@ fn main() {
         "params", "GPUs", "(t, d, p, m)", "predicted", "measured"
     );
     let mut rows = Vec::new();
+    // The per-row estimators model different cluster sizes of the same
+    // GPU, so one shared profile cache serves all of them.
+    let cache = std::sync::Arc::new(vtrain_profile::ProfileCache::new());
     for ((label, gpus, published, ours), batch) in table_ii_rows().into_iter().zip(batches) {
         let model = presets::megatron(&format!("{label}B"));
         // [40]'s runs were on Selene-class DGX A100-80GB nodes; the
         // (8, 32, 1)-style plans need the 80 GB capacity.
-        let estimator = Estimator::new(ClusterSpec::dgx_a100_80gb(gpus));
+        let estimator = Estimator::with_cache(
+            ClusterSpec::dgx_a100_80gb(gpus),
+            1.0,
+            std::sync::Arc::clone(&cache),
+        );
         let mut row_pair = Vec::new();
         for (source, tdpm) in [("[40]", published), ("Ours", ours)] {
             let p = plan(tdpm, batch);

@@ -262,8 +262,11 @@ pub fn build_catalog(
         }
         let baseline = ThroughputProfile::new(baseline_samples);
 
-        // --- vTrain: best plan per GPU count from the full DSE.
-        let points = search::explore(
+        // --- vTrain: best plan per GPU count from the full DSE (the
+        // sweep shares the estimator's profile cache across models too;
+        // per-model throughput lives in `outcome.stats` should a caller
+        // want to report it).
+        let outcome = search::explore(
             estimator,
             model,
             *global_batch,
@@ -272,7 +275,7 @@ pub fn build_catalog(
             threads,
         );
         let mut best_per_gpus: HashMap<usize, TimeNs> = HashMap::new();
-        for p in &points {
+        for p in &outcome.points {
             best_per_gpus
                 .entry(p.estimate.num_gpus)
                 .and_modify(|t| *t = (*t).min(p.estimate.iteration_time))

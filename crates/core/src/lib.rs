@@ -2,14 +2,21 @@
 //!
 //! The vTrain simulator proper (paper §III-D/E/F and §V-A).
 //!
-//! Pipeline: an operator-granularity execution graph plus the profiled
-//! operator-to-task lookup table and communication models are lowered into a
-//! [`TaskGraph`]; [`simulate`] replays it with **Algorithm 1** — a FIFO
-//! ready-queue traversal over per-(GPU, stream) timelines that honors
-//! dependencies and computation/communication overlap — yielding the
-//! single-iteration training time. [`Estimator`] wraps the whole flow;
-//! [`search`] sweeps the `(t, d, p, m)` design space in parallel to find
-//! cost-effective plans; [`CostModel`] converts GPU-hours to dollars.
+//! The estimation path is a staged pipeline ([`Estimator`]): **validate**
+//! (cheap feasibility/memory checks, also the sweep's pruning predicate) →
+//! **lower** (necessary-operator signatures resolved against a shared
+//! concurrent profile cache, then graph construction fused with lowering
+//! into a [`TaskGraph`]) → **simulate** ([`simulate`] replays **Algorithm
+//! 1** — a FIFO ready-queue traversal over per-(GPU, stream) timelines
+//! honoring dependencies and computation/communication overlap; stream-
+//! chained graphs take a provably equivalent dataflow fast path) →
+//! **summarize** (fold the replay into an [`IterationEstimate`]).
+//! [`Estimator::estimate`] composes the stages; [`search`] sweeps the
+//! `(t, d, p, m)` design space on a work-stealing executor that shares the
+//! profile cache across workers (each unique operator signature is
+//! profiled once per sweep, §III-C/F) and reports
+//! [`SweepStats`](search::SweepStats); [`CostModel`] converts GPU-hours
+//! to dollars.
 //!
 //! Two execution modes mirror the paper's validation methodology:
 //! * **Predicted** — clean lookup-table replay (what vTrain reports);

@@ -1,13 +1,17 @@
 //! Design-space exploration over `(t, d, p, m)` 3D-parallelism plans
 //! (paper §V-A, Figs. 10/11, Tables I/II).
 //!
-//! Every simulation point is independent, so the sweep fans out over
-//! crossbeam scoped threads — the software analogue of the paper's
-//! "completely parallelizable over multiple CPU cores" observation (§III-F).
+//! Every simulation point is independent, so the sweep fans out over a
+//! work-stealing pool of scoped threads — the software analogue of the
+//! paper's "completely parallelizable over multiple CPU cores"
+//! observation (§III-F). Infeasible candidates are pruned by the cheap
+//! validation stage before any lowering work; feasible points share the
+//! estimator's profile cache, so each unique operator signature is
+//! profiled once per sweep rather than once per plan.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use vtrain_model::ModelConfig;
 use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule};
@@ -55,6 +59,63 @@ impl DesignPoint {
             cost,
         )
     }
+}
+
+/// Execution report of one sweep.
+///
+/// Cache counters are attributed by before/after snapshots of the
+/// estimator's shared cache, so if *other* work (another sweep, ad-hoc
+/// estimates) drives the same cache concurrently, its lookups fold into
+/// this report's `cache_hits`/`cache_misses`. Points and pruning counts
+/// are always exact.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Candidate plans submitted.
+    pub candidates: usize,
+    /// Candidates pruned by the validation stage before lowering.
+    pub pruned: usize,
+    /// Candidates lowered and simulated (`candidates − pruned`).
+    pub evaluated: usize,
+    /// Profile-cache hits attributed to this sweep.
+    pub cache_hits: u64,
+    /// Profile-cache misses (signatures profiled) during this sweep.
+    pub cache_misses: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+}
+
+impl SweepStats {
+    /// Fraction of profile lookups served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Evaluated (feasible) design points per wall-clock second.
+    pub fn points_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.evaluated as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The result of a sweep: feasible design points in candidate order plus
+/// the execution report.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOutcome {
+    /// Feasible points, in candidate order (deterministic for a given
+    /// candidate list regardless of thread count).
+    pub points: Vec<DesignPoint>,
+    /// Execution report.
+    pub stats: SweepStats,
 }
 
 /// Enumerates the candidate plans of an exhaustive `(t, d, p, m)` sweep.
@@ -112,36 +173,81 @@ pub fn enumerate_candidates(
     out
 }
 
-/// Evaluates candidates in parallel, discarding infeasible plans.
+/// Evaluates candidates on a work-stealing thread pool, pruning
+/// infeasible plans with the cheap validation stage and sharing the
+/// estimator's profile cache across workers.
 ///
-/// Results are returned in candidate order regardless of thread
-/// interleaving, so sweeps are deterministic.
+/// Each worker owns a contiguous candidate range with an atomic cursor
+/// and a private result buffer; exhausted workers steal from the cursors
+/// of loaded neighbours, and buffers merge once at the end — no
+/// per-result lock anywhere. Results are returned in candidate order, so
+/// sweeps are deterministic regardless of thread count or interleaving.
 pub fn sweep(
     estimator: &Estimator,
     model: &ModelConfig,
     candidates: &[ParallelConfig],
     threads: usize,
-) -> Vec<DesignPoint> {
-    let threads = threads.max(1);
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, DesignPoint)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= candidates.len() {
-                    break;
-                }
-                if let Ok(estimate) = estimator.estimate(model, &candidates[i]) {
-                    results.lock().push((i, DesignPoint { plan: candidates[i], estimate }));
-                }
-            });
-        }
+) -> SweepOutcome {
+    let started = Instant::now();
+    let cache_before = estimator.cache_stats();
+    let threads = threads.max(1).min(candidates.len().max(1));
+    let pruned = AtomicUsize::new(0);
+
+    // Contiguous per-worker ranges: (cursor, end). A worker drains its own
+    // range, then scans the others for leftover work; `fetch_add` claims
+    // are exclusive, so every index is evaluated exactly once.
+    let chunk = candidates.len().div_ceil(threads);
+    let ranges: Vec<(AtomicUsize, usize)> = (0..threads)
+        .map(|w| (AtomicUsize::new(w * chunk), ((w + 1) * chunk).min(candidates.len())))
+        .collect();
+
+    let mut buffers: Vec<Vec<(u32, DesignPoint)>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let ranges = &ranges;
+                let pruned = &pruned;
+                scope.spawn(move |_| {
+                    let mut buf: Vec<(u32, DesignPoint)> = Vec::new();
+                    for victim in 0..threads {
+                        let (cursor, end) = &ranges[(w + victim) % threads];
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= *end {
+                                break;
+                            }
+                            let plan = candidates[i];
+                            if estimator.validate(model, &plan).is_err() {
+                                pruned.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            let estimate = estimator.estimate_validated(model, &plan);
+                            buf.push((i as u32, DesignPoint { plan, estimate }));
+                        }
+                    }
+                    buf
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
     })
-    .expect("sweep worker panicked");
-    let mut out = results.into_inner();
-    out.sort_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, p)| p).collect()
+    .expect("sweep scope");
+
+    let mut indexed: Vec<(u32, DesignPoint)> = buffers.drain(..).flatten().collect();
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    let points: Vec<DesignPoint> = indexed.into_iter().map(|(_, p)| p).collect();
+
+    let pruned = pruned.into_inner();
+    let cache = estimator.cache_stats().since(&cache_before);
+    let stats = SweepStats {
+        candidates: candidates.len(),
+        pruned,
+        evaluated: candidates.len() - pruned,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        threads,
+        wall_s: started.elapsed().as_secs_f64(),
+    };
+    SweepOutcome { points, stats }
 }
 
 /// Convenience: enumerate + sweep with one call.
@@ -152,7 +258,7 @@ pub fn explore(
     schedule: PipelineSchedule,
     limits: &SearchLimits,
     threads: usize,
-) -> Vec<DesignPoint> {
+) -> SweepOutcome {
     let candidates =
         enumerate_candidates(model, estimator.cluster(), global_batch, schedule, limits);
     sweep(estimator, model, &candidates, threads)
@@ -182,27 +288,46 @@ pub fn most_cost_effective<'a>(
         .min_by(|a, b| a.1.total_dollars.total_cmp(&b.1.total_dollars))
 }
 
-/// Pareto frontier minimizing `(iteration_time, num_gpus)`.
+/// Pareto frontier minimizing `(iteration_time, num_gpus)`, in input
+/// order.
+///
+/// Sort-based `O(n log n)`: after ordering by `(time, gpus)`, a point
+/// survives iff it has the fewest GPUs within its exact iteration time
+/// *and* strictly fewer GPUs than every strictly-faster point. Exact
+/// duplicates are mutually non-dominating and all survive, matching the
+/// quadratic definition (see the agreement property test).
 pub fn pareto_front(points: &[DesignPoint]) -> Vec<&DesignPoint> {
-    let mut front: Vec<&DesignPoint> = Vec::new();
-    for p in points {
-        let dominated = points.iter().any(|q| {
-            (q.estimate.iteration_time < p.estimate.iteration_time
-                && q.estimate.num_gpus <= p.estimate.num_gpus)
-                || (q.estimate.iteration_time <= p.estimate.iteration_time
-                    && q.estimate.num_gpus < p.estimate.num_gpus)
-        });
-        if !dominated {
-            front.push(p);
+    let key = |i: usize| (points[i].estimate.iteration_time, points[i].estimate.num_gpus);
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_unstable_by_key(|&i| key(i));
+
+    let mut keep = vec![false; points.len()];
+    let mut best_gpus = usize::MAX;
+    let mut at = 0;
+    while at < order.len() {
+        let time = key(order[at]).0;
+        let mut end = at;
+        let mut group_min = usize::MAX;
+        while end < order.len() && key(order[end]).0 == time {
+            group_min = group_min.min(key(order[end]).1);
+            end += 1;
         }
+        if group_min < best_gpus {
+            for &idx in &order[at..end] {
+                keep[idx] = key(idx).1 == group_min;
+            }
+            best_gpus = group_min;
+        }
+        at = end;
     }
-    front
+    points.iter().enumerate().filter_map(|(i, p)| keep[i].then_some(p)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vtrain_model::presets;
+    use proptest::prelude::*;
+    use vtrain_model::{presets, TimeNs};
 
     fn small_points() -> Vec<DesignPoint> {
         let cluster = ClusterSpec::aws_p4d(16);
@@ -216,6 +341,39 @@ mod tests {
             &SearchLimits { max_tensor: 4, max_data: 4, max_pipeline: 4, max_micro_batch: 4 },
             4,
         )
+        .points
+    }
+
+    /// The original quadratic frontier, kept as the oracle for the
+    /// sort-based implementation.
+    fn pareto_front_naive(points: &[DesignPoint]) -> Vec<&DesignPoint> {
+        let mut front: Vec<&DesignPoint> = Vec::new();
+        for p in points {
+            let dominated = points.iter().any(|q| {
+                (q.estimate.iteration_time < p.estimate.iteration_time
+                    && q.estimate.num_gpus <= p.estimate.num_gpus)
+                    || (q.estimate.iteration_time <= p.estimate.iteration_time
+                        && q.estimate.num_gpus < p.estimate.num_gpus)
+            });
+            if !dominated {
+                front.push(p);
+            }
+        }
+        front
+    }
+
+    fn synthetic_point(time_us: u64, gpus: usize) -> DesignPoint {
+        DesignPoint {
+            plan: ParallelConfig::builder().global_batch(1).build().unwrap(),
+            estimate: IterationEstimate {
+                iteration_time: TimeNs::from_micros(time_us),
+                utilization: 0.5,
+                busy: Default::default(),
+                occupancy: 0.5,
+                num_gpus: gpus,
+                tokens_per_iteration: 1,
+            },
+        }
     }
 
     #[test]
@@ -249,17 +407,52 @@ mod tests {
     #[test]
     fn parallel_and_serial_sweeps_agree() {
         let cluster = ClusterSpec::aws_p4d(16);
-        let estimator = Estimator::new(cluster.clone());
         let model = presets::megatron("1.7B");
         let limits =
             SearchLimits { max_tensor: 2, max_data: 2, max_pipeline: 2, max_micro_batch: 2 };
         let cands = enumerate_candidates(&model, &cluster, 8, PipelineSchedule::OneFOneB, &limits);
-        let serial = sweep(&estimator, &model, &cands, 1);
-        let parallel = sweep(&estimator, &model, &cands, 8);
-        assert_eq!(serial.len(), parallel.len());
-        for (a, b) in serial.iter().zip(&parallel) {
+        // Fresh estimator per thread count: the executor must be
+        // deterministic at 1 vs N threads with hot *or* cold caches.
+        let serial = sweep(&Estimator::new(cluster.clone()), &model, &cands, 1);
+        let parallel = sweep(&Estimator::new(cluster.clone()), &model, &cands, 8);
+        assert_eq!(serial.points.len(), parallel.points.len());
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(a.plan, b.plan);
             assert_eq!(a.estimate.iteration_time, b.estimate.iteration_time);
         }
+        assert_eq!(serial.stats.pruned, parallel.stats.pruned);
+        assert_eq!(serial.stats.evaluated, parallel.stats.evaluated);
+        assert_eq!(serial.stats.threads, 1);
+    }
+
+    #[test]
+    fn sweep_stats_account_for_every_candidate() {
+        // 18.4B on 32 GPUs: low-parallelism candidates exceed HBM and must
+        // be pruned by the validation stage before any lowering work.
+        let cluster = ClusterSpec::aws_p4d(32);
+        let estimator = Estimator::new(cluster.clone());
+        let model = presets::megatron("18.4B");
+        let limits =
+            SearchLimits { max_tensor: 8, max_data: 8, max_pipeline: 8, max_micro_batch: 1 };
+        let cands = enumerate_candidates(&model, &cluster, 32, PipelineSchedule::OneFOneB, &limits);
+        let outcome = sweep(&estimator, &model, &cands, 4);
+        let s = outcome.stats;
+        assert_eq!(s.candidates, cands.len());
+        assert_eq!(s.pruned + s.evaluated, s.candidates);
+        assert_eq!(outcome.points.len(), s.evaluated);
+        assert!(s.pruned > 0, "memory-infeasible plans must be pruned");
+        assert!(s.evaluated > 0, "some plans must survive");
+        assert!(s.wall_s > 0.0);
+        assert!(s.points_per_sec() > 0.0);
+        assert_eq!(s.threads, 4);
+        // The sweep shares one cache: far more lookups hit than miss.
+        assert!(
+            s.cache_hit_rate() > 0.8,
+            "hit rate {:.3} (hits {}, misses {})",
+            s.cache_hit_rate(),
+            s.cache_hits,
+            s.cache_misses
+        );
     }
 
     #[test]
@@ -295,6 +488,52 @@ mod tests {
                     && b.estimate.num_gpus <= a.estimate.num_gpus;
                 assert!(!strictly_better, "front contains dominated point");
             }
+        }
+    }
+
+    #[test]
+    fn pareto_matches_naive_on_swept_points() {
+        let points = small_points();
+        let fast: Vec<*const DesignPoint> =
+            pareto_front(&points).into_iter().map(|p| p as *const _).collect();
+        let naive: Vec<*const DesignPoint> =
+            pareto_front_naive(&points).into_iter().map(|p| p as *const _).collect();
+        assert_eq!(fast, naive, "sort-based front must equal the quadratic oracle");
+    }
+
+    #[test]
+    fn pareto_keeps_exact_duplicates_and_time_ties() {
+        let points = vec![
+            synthetic_point(10, 4),
+            synthetic_point(10, 4), // exact duplicate: kept
+            synthetic_point(10, 8), // same time, more GPUs: dominated
+            synthetic_point(5, 8),
+            synthetic_point(20, 2),
+            synthetic_point(20, 4), // slower and ≥ GPUs than (10, 4): dominated
+        ];
+        let front = pareto_front(&points);
+        let naive = pareto_front_naive(&points);
+        assert_eq!(
+            front.iter().map(|p| p.estimate.num_gpus).collect::<Vec<_>>(),
+            naive.iter().map(|p| p.estimate.num_gpus).collect::<Vec<_>>()
+        );
+        assert_eq!(front.len(), 4, "duplicates of (10, 4) both survive alongside (5,8), (20,2)");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// The sort-based frontier agrees with the quadratic oracle on
+        /// random point clouds (including heavy tie collisions).
+        #[test]
+        fn pareto_agrees_with_naive(raw in proptest::collection::vec((1u64..20, 1usize..20), 0..60)) {
+            let points: Vec<DesignPoint> =
+                raw.into_iter().map(|(t, g)| synthetic_point(t, g)).collect();
+            let fast: Vec<*const DesignPoint> =
+                pareto_front(&points).into_iter().map(|p| p as *const _).collect();
+            let naive: Vec<*const DesignPoint> =
+                pareto_front_naive(&points).into_iter().map(|p| p as *const _).collect();
+            prop_assert_eq!(fast, naive);
         }
     }
 }

@@ -139,8 +139,7 @@ impl Handler<TaskReady> for Replay<'_> {
     }
 }
 
-/// Replays the task graph (Algorithm 1 of the paper) on the shared
-/// discrete-event engine.
+/// Replays the task graph (Algorithm 1 of the paper).
 ///
 /// Tasks are dispatched in FIFO order of becoming ready, seeded with all
 /// zero-dependency tasks; each task starts at the later of its stream's
@@ -148,11 +147,86 @@ impl Handler<TaskReady> for Replay<'_> {
 /// its children. The per-device compute and communication streams advance
 /// independently, modeling computation/communication overlap (Fig. 5).
 ///
+/// When the graph is [stream-chained](TaskGraph::is_stream_chained) — true
+/// for everything the graph builder produces — the FIFO schedule is fully
+/// determined by the DAG and the replay runs on the allocation-light
+/// dataflow fast path; otherwise it runs on the discrete-event engine.
+/// Both paths produce bit-identical reports on chained graphs (see the
+/// equivalence property test).
+///
 /// # Panics
 ///
 /// Panics if the graph contains a dependency cycle (some task never becomes
 /// ready).
 pub fn simulate(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
+    if graph.is_stream_chained() {
+        simulate_dataflow(graph, mode)
+    } else {
+        simulate_engine(graph, mode)
+    }
+}
+
+/// The dataflow fast path: longest-path relaxation over the DAG.
+///
+/// Correctness argument. On a stream-chained graph, tasks reserve each
+/// (device, stream) timeline in chain order, and a task's chain
+/// predecessor is one of its dependency parents. At the moment task `u`
+/// reserves its stream, the stream's availability equals its chain
+/// predecessor's finish — which `ready_at[u] = max(parent finishes)`
+/// already includes. So `start(u) = max(ready_at, avail) = ready_at[u]`:
+/// the FIFO dispatch order cannot influence any start time, and every
+/// quantity the report aggregates (max finish, commutative busy sums) is
+/// traversal-order independent. Hence this traversal — plain Kahn with a
+/// stack — reproduces the engine replay bit for bit.
+fn simulate_dataflow(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
+    let n = graph.len();
+    let devices = graph.num_devices() as usize;
+    let mut in_degree = graph.in_degrees();
+    let mut ready_at = vec![TimeNs::ZERO; n];
+    let mut device_busy = vec![TimeNs::ZERO; devices];
+    let mut busy = BusyBreakdown::default();
+    let mut iteration_time = TimeNs::ZERO;
+    let mut executed = 0usize;
+
+    let mut stack: Vec<u32> = (0..n as u32).filter(|&i| in_degree[i as usize] == 0).collect();
+    while let Some(u) = stack.pop() {
+        let task = &graph.tasks()[u as usize];
+        let duration = effective_duration(u, task.duration, &task.kind, &mode);
+        let finish = ready_at[u as usize] + duration;
+        iteration_time = iteration_time.max(finish);
+
+        let dev = task.device as usize;
+        match task.kind {
+            TaskKind::Compute { .. } => {
+                busy.compute += duration;
+                device_busy[dev] += duration;
+            }
+            TaskKind::Comm { kind, .. } => match kind {
+                CommKind::TpAllReduce => {
+                    busy.tp_comm += duration;
+                    device_busy[dev] += duration;
+                }
+                CommKind::DpAllReduce => busy.dp_comm += duration,
+                CommKind::PpSendRecv => busy.pp_comm += duration,
+            },
+        }
+
+        for &c in graph.children(u) {
+            ready_at[c as usize] = ready_at[c as usize].max(finish);
+            in_degree[c as usize] -= 1;
+            if in_degree[c as usize] == 0 {
+                stack.push(c);
+            }
+        }
+        executed += 1;
+    }
+
+    assert_eq!(executed, n, "task graph contains a cycle: {executed} of {n} tasks ran");
+    SimReport { iteration_time, busy, device_busy, tasks_executed: executed }
+}
+
+/// The general path: Algorithm 1 on the shared discrete-event engine.
+fn simulate_engine(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
     let n = graph.len();
     let devices = graph.num_devices() as usize;
     let mut replay = Replay {
@@ -453,15 +527,23 @@ mod tests {
             let b = d * m * 4;
             let sched = if gpipe { PipelineSchedule::GPipe } else { PipelineSchedule::OneFOneB };
             let tg = lower(t, d, p, m, b, sched, bucketing);
+            assert!(tg.is_stream_chained(), "builder graphs are stream-chained");
 
-            let engine = simulate(&tg, SimMode::Predicted);
+            // All three replays — dataflow fast path (what simulate picks
+            // for chained graphs), engine replay, legacy pseudocode — must
+            // agree exactly.
+            let fast = simulate(&tg, SimMode::Predicted);
+            let engine = simulate_engine(&tg, SimMode::Predicted);
             let legacy = simulate_reference(&tg, SimMode::Predicted);
+            assert_reports_identical(&fast, &engine);
             assert_reports_identical(&engine, &legacy);
 
             let noise = NoiseModel::new(NoiseConfig::default());
             let mode = SimMode::Measured { noise: &noise, nodes: (t * d * p).div_ceil(8) };
-            let engine = simulate(&tg, mode);
+            let fast = simulate(&tg, mode);
+            let engine = simulate_engine(&tg, mode);
             let legacy = simulate_reference(&tg, mode);
+            assert_reports_identical(&fast, &engine);
             assert_reports_identical(&engine, &legacy);
         }
     }

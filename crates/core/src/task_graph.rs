@@ -7,13 +7,23 @@
 //! one task carrying the summed latency and the kernel count — a lossless
 //! aggregation for the replay, while the kernel count preserves the
 //! launch-overhead accounting the ground-truth emulator needs.
+//!
+//! Two lowering paths produce identical graphs:
+//! * [`TaskGraph::lower`] consumes a materialized [`OpGraph`];
+//! * [`TaskGraph::lower_fused`] streams the builder's nodes straight into
+//!   tasks via [`GraphSink`], never allocating the operator graph — the
+//!   hot path of the staged estimation pipeline.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use vtrain_graph::{CommKind, CommScope, Op, OpGraph, StreamKind};
-use vtrain_model::TimeNs;
-use vtrain_profile::{CommModel, OperatorTaskTable};
+use vtrain_graph::{
+    build_op_graph_into, CommKind, CommOp, CommScope, GraphOptions, GraphSink, Op, OpGraph, OpNode,
+    OpSignature, StreamKind,
+};
+use vtrain_model::{ModelConfig, TimeNs};
+use vtrain_parallel::ParallelConfig;
+use vtrain_profile::{CommModel, OperatorTaskTable, ProfileSet};
 
 /// What a task does (drives how the measured-mode perturbations apply).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,10 +60,15 @@ pub struct Task {
 }
 
 /// The task-granularity execution graph consumed by Algorithm 1.
+///
+/// Children are stored in compressed sparse-row form: `targets[offsets[i]..
+/// offsets[i + 1]]` are the successors of task `i`, in edge-insertion
+/// order (which the replay's FIFO dispatch depends on).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct TaskGraph {
     tasks: Vec<Task>,
-    children: Vec<Vec<u32>>,
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
     num_devices: u32,
 }
 
@@ -84,10 +99,7 @@ impl TaskGraph {
     ) -> Result<Self, MissingProfile> {
         let mut tasks = Vec::with_capacity(graph.num_nodes());
         for node in graph.nodes() {
-            let stream = match node.stream {
-                StreamKind::Compute => 0u8,
-                StreamKind::Comm => 1u8,
-            };
+            let stream = stream_index(node.stream);
             let task = match &node.op {
                 Op::Compute(c) => {
                     let profile = table.get(&c.sig).ok_or(MissingProfile)?;
@@ -98,22 +110,82 @@ impl TaskGraph {
                         kind: TaskKind::Compute { kernels: profile.kernel_count() as u32 },
                     }
                 }
-                Op::Comm(c) => Task {
-                    device: node.device,
-                    stream,
-                    duration: comm.latency(c),
-                    kind: TaskKind::Comm {
-                        kind: c.kind,
-                        scope: c.scope,
-                        overlappable: c.overlappable,
-                        concurrent_groups: c.concurrent_groups as u32,
-                    },
-                },
+                Op::Comm(c) => comm_task(node.device, stream, c, comm.latency(c)),
             };
             tasks.push(task);
         }
-        let children = (0..graph.num_nodes() as u32).map(|i| graph.children(i).to_vec()).collect();
-        Ok(TaskGraph { tasks, children, num_devices: graph.num_devices() })
+        // CSR straight from the graph's per-node child lists.
+        let n = graph.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(graph.num_edges());
+        offsets.push(0u32);
+        for i in 0..n as u32 {
+            targets.extend_from_slice(graph.children(i));
+            offsets.push(targets.len() as u32);
+        }
+        Ok(TaskGraph::assemble(tasks, offsets, targets, graph.num_devices()))
+    }
+
+    /// Lowers `(model, plan)` in one fused pass: the graph builder streams
+    /// nodes directly into tasks (profiles resolved from `profiles`,
+    /// communication latencies from `comm`) without materializing an
+    /// [`OpGraph`]. Produces a graph identical to
+    /// [`TaskGraph::lower`]`(build_op_graph(..), ..)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingProfile`] if a signature the builder emits is
+    /// absent from `profiles` (resolve
+    /// [`vtrain_graph::plan_signatures`] first).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`vtrain_graph::build_op_graph`].
+    pub fn lower_fused(
+        model: &ModelConfig,
+        plan: &ParallelConfig,
+        opts: &GraphOptions,
+        profiles: &ProfileSet,
+        comm: &CommModel,
+    ) -> Result<Self, MissingProfile> {
+        let mut sink = LoweringSink {
+            profiles,
+            comm,
+            sig_memo: Vec::with_capacity(16),
+            comm_memo: Vec::with_capacity(8),
+            tasks: Vec::new(),
+            edges: Vec::new(),
+            num_devices: plan.pipeline() as u32,
+            missing: false,
+        };
+        build_op_graph_into(model, plan, opts, &mut sink);
+        if sink.missing {
+            return Err(MissingProfile);
+        }
+        let LoweringSink { tasks, edges, num_devices, .. } = sink;
+        // CSR from the flat edge list, preserving per-source insertion
+        // order (a counting sort over sources is stable in edge order).
+        let n = tasks.len();
+        let mut counts = vec![0u32; n + 1];
+        for &(from, _) in &edges {
+            counts[from as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; edges.len()];
+        for &(from, to) in &edges {
+            let slot = &mut cursor[from as usize];
+            targets[*slot as usize] = to;
+            *slot += 1;
+        }
+        Ok(TaskGraph::assemble(tasks, offsets, targets, num_devices))
+    }
+
+    fn assemble(tasks: Vec<Task>, offsets: Vec<u32>, targets: Vec<u32>, num_devices: u32) -> Self {
+        TaskGraph { tasks, offsets, targets, num_devices }
     }
 
     /// All tasks, indexed consistently with [`TaskGraph::children`].
@@ -123,7 +195,9 @@ impl TaskGraph {
 
     /// Successor indices of task `i`.
     pub fn children(&self, i: u32) -> &[u32] {
-        &self.children[i as usize]
+        let lo = self.offsets[i as usize] as usize;
+        let hi = self.offsets[i as usize + 1] as usize;
+        &self.targets[lo..hi]
     }
 
     /// Number of tasks.
@@ -141,25 +215,139 @@ impl TaskGraph {
         self.num_devices
     }
 
+    /// True if every per-(device, stream) program is totally ordered by
+    /// dependency edges — the structural property under which the FIFO
+    /// replay's schedule is fully determined by the DAG alone, licensing
+    /// the simulator's dataflow fast path.
+    ///
+    /// Verified by an O(edges) scan on every call (graphs the builder
+    /// produces always pass): the property is *checked*, never trusted —
+    /// in particular it is not persisted, so a deserialized graph cannot
+    /// claim it falsely.
+    pub fn is_stream_chained(&self) -> bool {
+        let streams = 2 * self.num_devices as usize;
+        let mut last: Vec<Option<u32>> = vec![None; streams];
+        for (i, task) in self.tasks.iter().enumerate() {
+            if task.stream > 1 || task.device >= self.num_devices {
+                return false;
+            }
+            let slot = task.device as usize * 2 + task.stream as usize;
+            if let Some(prev) = last[slot] {
+                if !self.children(prev).contains(&(i as u32)) {
+                    return false;
+                }
+            }
+            last[slot] = Some(i as u32);
+        }
+        true
+    }
+
     /// In-degrees (Algorithm 1's `ref` counts).
     pub fn in_degrees(&self) -> Vec<u32> {
         let mut deg = vec![0u32; self.tasks.len()];
-        for kids in &self.children {
-            for &k in kids {
-                deg[k as usize] += 1;
-            }
+        for &t in &self.targets {
+            deg[t as usize] += 1;
         }
         deg
+    }
+}
+
+fn stream_index(stream: StreamKind) -> u8 {
+    match stream {
+        StreamKind::Compute => 0,
+        StreamKind::Comm => 1,
+    }
+}
+
+fn comm_task(device: u32, stream: u8, c: &CommOp, latency: TimeNs) -> Task {
+    Task {
+        device,
+        stream,
+        duration: latency,
+        kind: TaskKind::Comm {
+            kind: c.kind,
+            scope: c.scope,
+            overlappable: c.overlappable,
+            concurrent_groups: c.concurrent_groups as u32,
+        },
+    }
+}
+
+/// A [`GraphSink`] mapping builder nodes straight to tasks.
+///
+/// Profile and communication-latency lookups are memoized in tiny
+/// linear-scan tables: one plan touches ≲ a dozen distinct compute
+/// signatures and a handful of distinct communication shapes, and a short
+/// `Vec` probe beats hashing an 80-byte signature per node.
+struct LoweringSink<'a> {
+    profiles: &'a ProfileSet,
+    comm: &'a CommModel,
+    sig_memo: Vec<(OpSignature, TimeNs, u32)>,
+    comm_memo: Vec<(CommOp, TimeNs)>,
+    tasks: Vec<Task>,
+    edges: Vec<(u32, u32)>,
+    num_devices: u32,
+    missing: bool,
+}
+
+impl LoweringSink<'_> {
+    fn compute_latency(&mut self, sig: &OpSignature) -> (TimeNs, u32) {
+        if let Some(&(_, total, kernels)) =
+            self.sig_memo.iter().find(|(cached, _, _)| cached == sig)
+        {
+            return (total, kernels);
+        }
+        let (total, kernels) = match self.profiles.lookup(sig) {
+            Some(hit) => hit,
+            None => {
+                self.missing = true;
+                (TimeNs::ZERO, 0)
+            }
+        };
+        self.sig_memo.push((*sig, total, kernels));
+        (total, kernels)
+    }
+
+    fn comm_latency(&mut self, op: &CommOp) -> TimeNs {
+        if let Some(&(_, latency)) = self.comm_memo.iter().find(|(cached, _)| cached == op) {
+            return latency;
+        }
+        let latency = self.comm.latency(op);
+        self.comm_memo.push((*op, latency));
+        latency
+    }
+}
+
+impl GraphSink for LoweringSink<'_> {
+    fn push(&mut self, node: OpNode) -> u32 {
+        let stream = stream_index(node.stream);
+        let task = match &node.op {
+            Op::Compute(c) => {
+                let (duration, kernels) = self.compute_latency(&c.sig);
+                Task { device: node.device, stream, duration, kind: TaskKind::Compute { kernels } }
+            }
+            Op::Comm(c) => {
+                let latency = self.comm_latency(c);
+                comm_task(node.device, stream, c, latency)
+            }
+        };
+        let idx = self.tasks.len() as u32;
+        self.tasks.push(task);
+        idx
+    }
+
+    fn add_edge(&mut self, from: u32, to: u32) {
+        self.edges.push((from, to));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vtrain_graph::{build_op_graph, GraphOptions};
+    use vtrain_graph::build_op_graph;
     use vtrain_model::presets;
     use vtrain_parallel::{ClusterSpec, GpuSpec, ParallelConfig};
-    use vtrain_profile::Profiler;
+    use vtrain_profile::{ProfileCache, Profiler};
 
     fn lower_plan(t: usize, d: usize, p: usize) -> TaskGraph {
         let model = presets::megatron("1.7B");
@@ -191,6 +379,7 @@ mod tests {
         assert_eq!(tg.len(), graph.num_nodes());
         assert_eq!(tg.num_devices(), 2);
         assert!(tg.tasks().iter().all(|t| t.duration > TimeNs::ZERO));
+        assert!(tg.is_stream_chained(), "builder graphs are chained by construction");
     }
 
     #[test]
@@ -201,6 +390,16 @@ mod tests {
         let empty = OperatorTaskTable::new();
         let comm = CommModel::new(&ClusterSpec::aws_p4d(8), 1.0);
         assert_eq!(TaskGraph::lower(&graph, &empty, &comm).unwrap_err(), MissingProfile);
+        // The fused path reports the same error for an empty profile set.
+        let err = TaskGraph::lower_fused(
+            &model,
+            &plan,
+            &GraphOptions::default(),
+            &ProfileSet::default(),
+            &comm,
+        )
+        .unwrap_err();
+        assert_eq!(err, MissingProfile);
     }
 
     #[test]
@@ -217,5 +416,61 @@ mod tests {
             .unwrap();
         // A backward block with recompute aggregates well over 10 kernels.
         assert!(max_kernels >= 10, "max kernels {max_kernels}");
+    }
+
+    #[test]
+    fn fused_lowering_is_identical_to_two_phase() {
+        let model = presets::megatron("1.7B");
+        let cluster = ClusterSpec::aws_p4d(64);
+        let comm = CommModel::new(&cluster, 1.0);
+        let cache = ProfileCache::new();
+        let profiler = Profiler::new(cluster.gpu.clone());
+        for (t, d, p, m, b) in [(1, 1, 1, 1, 4), (2, 2, 2, 1, 8), (2, 4, 3, 2, 16)] {
+            let plan = ParallelConfig::builder()
+                .tensor(t)
+                .data(d)
+                .pipeline(p)
+                .micro_batch(m)
+                .global_batch(b)
+                .build()
+                .unwrap();
+            let opts = GraphOptions::default();
+            let graph = build_op_graph(&model, &plan, &opts);
+            let table = profiler.profile(&graph.necessary_operators());
+            let two_phase = TaskGraph::lower(&graph, &table, &comm).unwrap();
+
+            let sigs = vtrain_graph::plan_signatures(&model, &plan, &opts);
+            let profiles = cache.resolve(&profiler, &sigs);
+            let fused = TaskGraph::lower_fused(&model, &plan, &opts, &profiles, &comm).unwrap();
+
+            assert_eq!(fused.len(), two_phase.len());
+            assert_eq!(fused.num_devices(), two_phase.num_devices());
+            assert!(fused.is_stream_chained());
+            for i in 0..fused.len() as u32 {
+                let (a, b) = (&fused.tasks()[i as usize], &two_phase.tasks()[i as usize]);
+                assert_eq!(
+                    (a.device, a.stream, a.duration, a.kind),
+                    (b.device, b.stream, b.duration, b.kind)
+                );
+                assert_eq!(fused.children(i), two_phase.children(i), "children of {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hand_built_unchained_graph_is_detected() {
+        // Two tasks on one stream with no edge between them: not chained.
+        let task = Task {
+            device: 0,
+            stream: 0,
+            duration: TimeNs::from_micros(1),
+            kind: TaskKind::Compute { kernels: 1 },
+        };
+        let tg = TaskGraph::assemble(vec![task, task], vec![0, 0, 0], vec![], 1);
+        assert!(!tg.is_stream_chained());
+        // Adding the chain edge restores the property.
+        let tg = TaskGraph::assemble(vec![task, task], vec![0, 1, 1], vec![1], 1);
+        assert!(tg.is_stream_chained());
+        assert_eq!(tg.in_degrees(), vec![0, 1]);
     }
 }

@@ -1,7 +1,7 @@
 //! The time-ordered event queue with explicit sequence-number tie-breaking.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use vtrain_model::TimeNs;
 
@@ -48,6 +48,19 @@ impl<E> Ord for EventEntry<E> {
 #[derive(Clone, Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<EventEntry<E>>,
+    /// Same-timestamp fast lane: a run of entries all sharing one dispatch
+    /// time, in ascending `seq` order (guaranteed because `seq` is assigned
+    /// monotonically and entries only append). Consecutive same-time pushes
+    /// — the shape Algorithm 1 produces, where *every* readiness event
+    /// lands on one logical tick — bypass the heap entirely, making them
+    /// O(1) instead of O(log n).
+    ///
+    /// Correctness: pop takes the global `(time, seq)` minimum of the heap
+    /// top and the lane front. The lane front is the lane's minimum (sorted
+    /// by construction) and the heap top is the heap's minimum, so any
+    /// partition of pending entries between the two structures dispatches
+    /// in exactly the order a single heap would.
+    fifo: VecDeque<EventEntry<E>>,
     next_seq: u64,
 }
 
@@ -60,40 +73,66 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::new(), fifo: VecDeque::new(), next_seq: 0 }
     }
 
     /// Creates an empty queue with room for `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::new(), fifo: VecDeque::with_capacity(capacity), next_seq: 0 }
     }
 
     /// Schedules `event` at `time`, returning its sequence number.
     pub fn push(&mut self, time: TimeNs, event: E) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(EventEntry { time, seq, event });
+        let entry = EventEntry { time, seq, event };
+        match self.fifo.back() {
+            // Extend (or start) the same-time run; otherwise spill to the
+            // heap without disturbing the active run.
+            Some(back) if back.time == time => self.fifo.push_back(entry),
+            None => self.fifo.push_back(entry),
+            Some(_) => self.heap.push(entry),
+        }
         seq
+    }
+
+    /// True if the earliest pending entry sits in the FIFO lane rather
+    /// than the heap.
+    fn fifo_is_next(&self) -> bool {
+        match (self.fifo.front(), self.heap.peek()) {
+            (Some(f), Some(h)) => (f.time, f.seq) < (h.time, h.seq),
+            (Some(_), None) => true,
+            _ => false,
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<EventEntry<E>> {
-        self.heap.pop()
+        if self.fifo_is_next() {
+            self.fifo.pop_front()
+        } else {
+            self.heap.pop()
+        }
     }
 
     /// Dispatch time of the earliest pending event.
     pub fn peek_time(&self) -> Option<TimeNs> {
-        self.heap.peek().map(|e| e.time)
+        match (self.fifo.front(), self.heap.peek()) {
+            (Some(f), Some(h)) => Some(f.time.min(h.time)),
+            (Some(f), None) => Some(f.time),
+            (None, Some(h)) => Some(h.time),
+            (None, None) => None,
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.fifo.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.fifo.is_empty()
     }
 
     /// Total events ever scheduled on this queue (sequence numbers are
@@ -139,6 +178,39 @@ mod tests {
         q.push(t1, 1);
         let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
         assert_eq!(order, vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn fifo_lane_spills_and_merges_correctly() {
+        // Start a same-time run, spill earlier events to the heap, extend
+        // the run, and check the global (time, seq) order is preserved.
+        let mut q = EventQueue::new();
+        let t1 = TimeNs::from_micros(1);
+        let t2 = TimeNs::from_micros(2);
+        q.push(t2, "run0"); // lane
+        q.push(t2, "run1"); // lane
+        q.push(t1, "early0"); // heap (lane is active at t2)
+        q.push(t1, "early1"); // heap
+        q.push(t2, "run2"); // lane append
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.peek_time(), Some(t1));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["early0", "early1", "run0", "run1", "run2"]);
+    }
+
+    #[test]
+    fn draining_lane_starts_fresh_run_at_new_time() {
+        let mut q = EventQueue::new();
+        let t1 = TimeNs::from_micros(1);
+        let t2 = TimeNs::from_micros(2);
+        q.push(t1, 1);
+        assert_eq!(q.pop().unwrap().event, 1);
+        // Lane drained: a new run may begin at a different time.
+        q.push(t2, 2);
+        q.push(t2, 3);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert!(q.is_empty());
     }
 
     #[test]

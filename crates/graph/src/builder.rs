@@ -1,11 +1,35 @@
 //! Constructs the operator-granularity execution graph from a model and a
 //! 3D-parallelism plan (paper §III-B, Figs. 5/6/8).
 
+use std::collections::HashSet;
+
 use vtrain_model::{Bytes, ModelConfig};
 use vtrain_parallel::{layer_partition, ParallelConfig, Pass};
 
 use crate::graph::{OpGraph, OpNode, StreamKind};
 use crate::ops::{CommKind, CommOp, CommScope, CompKind, ComputeOp, Op, OpSignature};
+
+/// Receives the nodes and edges of graph construction.
+///
+/// [`OpGraph`] is the canonical sink; consumers that only need a derived
+/// artifact (e.g. a lowered task graph) can implement this to skip
+/// materializing the operator graph entirely.
+pub trait GraphSink {
+    /// Appends a node, returning its index (dense, starting at 0).
+    fn push(&mut self, node: OpNode) -> u32;
+    /// Adds a dependency edge `from → to` between already-pushed nodes.
+    fn add_edge(&mut self, from: u32, to: u32);
+}
+
+impl GraphSink for OpGraph {
+    fn push(&mut self, node: OpNode) -> u32 {
+        OpGraph::push(self, node)
+    }
+
+    fn add_edge(&mut self, from: u32, to: u32) {
+        OpGraph::add_edge(self, from, to)
+    }
+}
 
 /// Tunables of graph construction.
 #[derive(Clone, Debug)]
@@ -35,14 +59,121 @@ impl Default for GraphOptions {
 /// Panics if the plan's pipeline depth exceeds the model's layer count
 /// (call [`ParallelConfig::validate`] first).
 pub fn build_op_graph(model: &ModelConfig, plan: &ParallelConfig, opts: &GraphOptions) -> OpGraph {
-    Builder::new(model, plan, opts).build()
+    let mut graph = OpGraph::new(plan.pipeline() as u32);
+    build_op_graph_into(model, plan, opts, &mut graph);
+    debug_assert!(graph.is_acyclic(), "execution graph must be a DAG");
+    graph
 }
 
-struct Builder<'a> {
+/// Streams one training iteration's nodes and edges into `sink` without
+/// requiring an [`OpGraph`] — the allocation-free entry point for fused
+/// lowering (the estimator maps nodes straight to tasks).
+///
+/// Emission order, node indices, and per-node edge order are identical to
+/// [`build_op_graph`].
+///
+/// # Panics
+///
+/// Same conditions as [`build_op_graph`].
+pub fn build_op_graph_into<S: GraphSink>(
+    model: &ModelConfig,
+    plan: &ParallelConfig,
+    opts: &GraphOptions,
+    sink: &mut S,
+) {
+    Builder::new(model, plan, opts, sink).build();
+}
+
+/// The deduplicated *necessary operator* set of `(model, plan)` — exactly
+/// the compute signatures [`build_op_graph`] emits — computed in O(p)
+/// without constructing the graph (paper §III-C).
+///
+/// This is what lets a design-space sweep ask a shared profile cache for
+/// only the signatures it is missing before any per-plan lowering work.
+pub fn plan_signatures(
+    model: &ModelConfig,
+    plan: &ParallelConfig,
+    opts: &GraphOptions,
+) -> HashSet<OpSignature> {
+    let sigs = SigFactory { model, plan, opts };
+    let p = plan.pipeline();
+    let partition = layer_partition(model.num_layers(), p);
+    let mut out = HashSet::new();
+    for (stage, layers) in partition.iter().enumerate() {
+        if stage == 0 {
+            out.insert(sigs.vocab(CompKind::EmbeddingFwd));
+            out.insert(sigs.vocab(CompKind::EmbeddingBwd));
+        }
+        if stage == p - 1 {
+            out.insert(sigs.vocab(CompKind::LmHeadFwd));
+            out.insert(sigs.vocab(CompKind::LmHeadBwd));
+        }
+        if !layers.is_empty() {
+            out.insert(sigs.layer(CompKind::MhaFwd));
+            out.insert(sigs.layer(CompKind::FfnFwd));
+            out.insert(sigs.layer(CompKind::MhaBwd));
+            out.insert(sigs.layer(CompKind::FfnBwd));
+        }
+        out.insert(sigs.weight_update(sigs.stage_local_params(stage, layers.len())));
+    }
+    out
+}
+
+/// Shared constructor of compute-operator signatures, used by both the
+/// graph builder and [`plan_signatures`] so the two can never disagree.
+struct SigFactory<'a> {
     model: &'a ModelConfig,
     plan: &'a ParallelConfig,
     opts: &'a GraphOptions,
-    graph: OpGraph,
+}
+
+impl SigFactory<'_> {
+    fn layer(&self, kind: CompKind) -> OpSignature {
+        let recompute = self.opts.recompute && matches!(kind, CompKind::MhaBwd | CompKind::FfnBwd);
+        OpSignature {
+            kind,
+            hidden: self.model.hidden_size(),
+            heads: self.model.num_heads(),
+            seq: self.model.seq_len(),
+            micro_batch: self.plan.micro_batch(),
+            tensor: self.plan.tensor(),
+            ffn_expansion: self.model.ffn_expansion(),
+            vocab: 0,
+            params: 0,
+            recompute,
+        }
+    }
+
+    fn vocab(&self, kind: CompKind) -> OpSignature {
+        OpSignature { vocab: self.model.vocab_size(), ..self.layer(kind) }
+    }
+
+    fn weight_update(&self, params: u64) -> OpSignature {
+        OpSignature { params, ..self.layer(CompKind::WeightUpdate) }
+    }
+
+    /// Parameters held by one GPU of `stage` (layer share + endpoint
+    /// extras), matching the weight-update and DP-gradient volume.
+    fn stage_local_params(&self, stage: usize, num_layers_here: usize) -> u64 {
+        let t = self.plan.tensor() as u64;
+        let p = self.plan.pipeline();
+        let mut params = num_layers_here as u64 * self.model.params_per_layer() / t;
+        if stage == 0 {
+            params += self.model.embedding_params() / t;
+        }
+        if stage == p - 1 {
+            params += 2 * self.model.hidden_size() as u64;
+        }
+        params
+    }
+}
+
+struct Builder<'a, S: GraphSink> {
+    model: &'a ModelConfig,
+    plan: &'a ParallelConfig,
+    opts: &'a GraphOptions,
+    sigs: SigFactory<'a>,
+    sink: &'a mut S,
     /// Last node per (device, stream) for program-order chaining.
     last_compute: Vec<Option<u32>>,
     last_comm: Vec<Option<u32>>,
@@ -69,14 +200,20 @@ struct StageRecord {
     dp_all_reduces: Vec<u32>,
 }
 
-impl<'a> Builder<'a> {
-    fn new(model: &'a ModelConfig, plan: &'a ParallelConfig, opts: &'a GraphOptions) -> Self {
+impl<'a, S: GraphSink> Builder<'a, S> {
+    fn new(
+        model: &'a ModelConfig,
+        plan: &'a ParallelConfig,
+        opts: &'a GraphOptions,
+        sink: &'a mut S,
+    ) -> Self {
         let p = plan.pipeline();
         Builder {
             model,
             plan,
             opts,
-            graph: OpGraph::new(p as u32),
+            sigs: SigFactory { model, plan, opts },
+            sink,
             last_compute: vec![None; p],
             last_comm: vec![None; p],
         }
@@ -85,39 +222,27 @@ impl<'a> Builder<'a> {
     /// Appends a node, chaining it after the previous node on the same
     /// (device, stream) to enforce program order.
     fn emit(&mut self, device: usize, stream: StreamKind, op: Op) -> u32 {
-        let idx = self.graph.push(OpNode { device: device as u32, stream, op });
+        let idx = self.sink.push(OpNode { device: device as u32, stream, op });
         let slot = match stream {
             StreamKind::Compute => &mut self.last_compute[device],
             StreamKind::Comm => &mut self.last_comm[device],
         };
         if let Some(prev) = slot.replace(idx) {
-            self.graph.add_edge(prev, idx);
+            self.sink.add_edge(prev, idx);
         }
         idx
     }
 
     fn layer_sig(&self, kind: CompKind) -> OpSignature {
-        let recompute = self.opts.recompute && matches!(kind, CompKind::MhaBwd | CompKind::FfnBwd);
-        OpSignature {
-            kind,
-            hidden: self.model.hidden_size(),
-            heads: self.model.num_heads(),
-            seq: self.model.seq_len(),
-            micro_batch: self.plan.micro_batch(),
-            tensor: self.plan.tensor(),
-            ffn_expansion: self.model.ffn_expansion(),
-            vocab: 0,
-            params: 0,
-            recompute,
-        }
+        self.sigs.layer(kind)
     }
 
     fn vocab_sig(&self, kind: CompKind) -> OpSignature {
-        OpSignature { vocab: self.model.vocab_size(), ..self.layer_sig(kind) }
+        self.sigs.vocab(kind)
     }
 
     fn weight_update_sig(&self, params: u64) -> OpSignature {
-        OpSignature { params, ..self.layer_sig(CompKind::WeightUpdate) }
+        self.sigs.weight_update(params)
     }
 
     fn compute(&mut self, device: usize, sig: OpSignature) -> u32 {
@@ -189,22 +314,11 @@ impl<'a> Builder<'a> {
         self.emit(device, StreamKind::Comm, Op::Comm(op))
     }
 
-    /// Parameters held by one GPU of `stage` (layer share + endpoint
-    /// extras), matching the weight-update and DP-gradient volume.
     fn stage_local_params(&self, stage: usize, num_layers_here: usize) -> u64 {
-        let t = self.plan.tensor() as u64;
-        let p = self.plan.pipeline();
-        let mut params = num_layers_here as u64 * self.model.params_per_layer() / t;
-        if stage == 0 {
-            params += self.model.embedding_params() / t;
-        }
-        if stage == p - 1 {
-            params += 2 * self.model.hidden_size() as u64;
-        }
-        params
+        self.sigs.stage_local_params(stage, num_layers_here)
     }
 
-    fn build(mut self) -> OpGraph {
+    fn build(mut self) {
         let p = self.plan.pipeline();
         let n_micro = self.plan.num_micro_batches();
         let partition = layer_partition(self.model.num_layers(), p);
@@ -255,19 +369,16 @@ impl<'a> Builder<'a> {
             for mb in 0..n_micro {
                 let send = records[stage - 1].fwd_send[mb].expect("forward send exists");
                 let first = records[stage].fwd_first[mb].expect("forward slot exists");
-                self.graph.add_edge(send, first);
+                self.sink.add_edge(send, first);
             }
         }
         for stage in 0..p.saturating_sub(1) {
             for mb in 0..n_micro {
                 let send = records[stage + 1].bwd_send[mb].expect("backward send exists");
                 let first = records[stage].bwd_first[mb].expect("backward slot exists");
-                self.graph.add_edge(send, first);
+                self.sink.add_edge(send, first);
             }
         }
-
-        debug_assert!(self.graph.is_acyclic(), "execution graph must be a DAG");
-        self.graph
     }
 
     /// Emits one forward slot; returns (first node, optional activation
@@ -304,7 +415,7 @@ impl<'a> Builder<'a> {
             // (it lives on the comm stream).
             let last_compute = self.last_compute[stage].expect("forward emitted compute");
             let send = self.pp_send(stage, inter);
-            self.graph.add_edge(last_compute, send);
+            self.sink.add_edge(last_compute, send);
             Some(send)
         };
         (first.expect("forward slot emits at least one node"), send)
@@ -352,7 +463,7 @@ impl<'a> Builder<'a> {
             let last_compute = self.last_compute[stage].expect("backward emitted compute");
             let inter = self.pp_boundary_is_inter_node(stage - 1);
             let send = self.pp_send(stage, inter);
-            self.graph.add_edge(last_compute, send);
+            self.sink.add_edge(last_compute, send);
             Some(send)
         };
         (first.expect("backward slot emits at least one node"), send)
@@ -391,10 +502,10 @@ impl<'a> Builder<'a> {
                     let ar = self.dp_all_reduce(stage, bytes);
                     // Ready when the shallowest layer of the bucket is done.
                     let ready = record.grad_ready[lo].expect("final backward recorded");
-                    self.graph.add_edge(ready, ar);
+                    self.sink.add_edge(ready, ar);
                     if is_last_bucket {
                         if let Some(emb) = record.embedding_bwd {
-                            self.graph.add_edge(emb, ar);
+                            self.sink.add_edge(emb, ar);
                         }
                     }
                     record.dp_all_reduces.push(ar);
@@ -408,7 +519,7 @@ impl<'a> Builder<'a> {
                 );
                 let last_compute = self.last_compute[stage].expect("stage has compute nodes");
                 let ar = self.dp_all_reduce(stage, bytes);
-                self.graph.add_edge(last_compute, ar);
+                self.sink.add_edge(last_compute, ar);
                 record.dp_all_reduces.push(ar);
             }
         }
@@ -416,7 +527,7 @@ impl<'a> Builder<'a> {
         let params = self.stage_local_params(stage, layers_here);
         let wu = self.compute(stage, self.weight_update_sig(params));
         for &ar in &record.dp_all_reduces {
-            self.graph.add_edge(ar, wu);
+            self.sink.add_edge(ar, wu);
         }
     }
 }
@@ -590,5 +701,83 @@ mod tests {
         let full = model.num_parameters();
         let rel = (covered as f64 - full as f64).abs() / full as f64;
         assert!(rel < 0.01, "weight updates cover {covered} of {full}");
+    }
+
+    #[test]
+    fn plan_signatures_match_built_graph_exactly() {
+        // The cheap precomputation must agree with the graph's necessary
+        // operators on every grid corner: schedules, batch splits, uneven
+        // layer partitions, recompute on/off.
+        let models = [presets::megatron("1.7B"), presets::megatron("18.4B")];
+        for model in &models {
+            for (t, d, p, m, b) in [
+                (1, 1, 1, 1, 4),
+                (2, 2, 2, 2, 8),
+                (4, 1, 3, 1, 6), // uneven partition candidate (24 % 3 == 0 but shapes differ)
+                (2, 4, 5, 1, 8), // 24 and 40 layers both leave a remainder stage for p = 5
+                (8, 2, 4, 2, 16),
+            ] {
+                if model.num_layers() < p {
+                    continue;
+                }
+                for sched in [Sched::OneFOneB, Sched::GPipe] {
+                    for recompute in [true, false] {
+                        let cfg = plan(t, d, p, m, b, sched);
+                        let opts = GraphOptions { recompute, ..GraphOptions::default() };
+                        let built = build_op_graph(model, &cfg, &opts).necessary_operators();
+                        let cheap = plan_signatures(model, &cfg, &opts);
+                        assert_eq!(
+                            cheap,
+                            built,
+                            "signature sets diverge for t={t} d={d} p={p} m={m} {sched:?} \
+                             recompute={recompute} on {}",
+                            model.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sink_stream_receives_same_nodes_and_edges_as_op_graph() {
+        #[derive(Default)]
+        struct Recorder {
+            nodes: Vec<(u32, StreamKind)>,
+            edges: Vec<(u32, u32)>,
+        }
+        impl crate::GraphSink for Recorder {
+            fn push(&mut self, node: OpNode) -> u32 {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push((node.device, node.stream));
+                idx
+            }
+            fn add_edge(&mut self, from: u32, to: u32) {
+                self.edges.push((from, to));
+            }
+        }
+
+        let model = presets::megatron("1.7B");
+        let cfg = plan(2, 2, 2, 1, 8, Sched::OneFOneB);
+        let opts = GraphOptions::default();
+        let graph = build_op_graph(&model, &cfg, &opts);
+        let mut rec = Recorder::default();
+        build_op_graph_into(&model, &cfg, &opts, &mut rec);
+
+        assert_eq!(rec.nodes.len(), graph.num_nodes());
+        assert_eq!(rec.edges.len(), graph.num_edges());
+        for (i, &(device, stream)) in rec.nodes.iter().enumerate() {
+            let n = graph.node(i as u32);
+            assert_eq!((n.device, n.stream), (device, stream));
+        }
+        // Edge multiset and per-node ordering must agree: group recorder
+        // edges by source in insertion order and compare child lists.
+        let mut children = vec![Vec::new(); rec.nodes.len()];
+        for &(from, to) in &rec.edges {
+            children[from as usize].push(to);
+        }
+        for i in 0..rec.nodes.len() as u32 {
+            assert_eq!(children[i as usize].as_slice(), graph.children(i));
+        }
     }
 }

@@ -47,6 +47,6 @@ mod builder;
 mod graph;
 mod ops;
 
-pub use builder::{build_op_graph, GraphOptions};
+pub use builder::{build_op_graph, build_op_graph_into, plan_signatures, GraphOptions, GraphSink};
 pub use graph::{OpGraph, OpNode, StreamKind};
 pub use ops::{CommKind, CommOp, CommScope, CompKind, ComputeOp, Op, OpSignature};

@@ -1,0 +1,342 @@
+//! The shared, concurrent profile cache (paper §III-C, §III-F).
+//!
+//! The paper's headline sweep cost — the full `(t, d, p, m)` space in
+//! under 200 s — rests on profiling each *necessary operator* once and
+//! reusing it across every configuration that shares the signature. This
+//! cache is that reuse made explicit: a sharded concurrent map from
+//! `(GpuKey, OpSignature)` to the profiled task list, shared by every
+//! worker thread of a sweep. Kernel decomposition and latency evaluation
+//! run once per unique signature per GPU, not once per plan.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use vtrain_graph::OpSignature;
+use vtrain_model::TimeNs;
+use vtrain_parallel::GpuSpec;
+
+use crate::decompose::canonical;
+use crate::profiler::Profiler;
+use crate::table::OpProfile;
+
+/// Stable hashable identity of a [`GpuSpec`] (the spec itself holds `f64`
+/// fields and cannot be a map key). Two specs with identical performance
+/// envelopes produce identical keys — and identical profiles.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GpuKey {
+    name: String,
+    peak_fp16_flops: u64,
+    memory_bandwidth: u64,
+    memory_bytes: u64,
+    sm_count: usize,
+    launch_overhead_ns: u64,
+}
+
+impl GpuKey {
+    /// Derives the cache key of a GPU spec (floats keyed bit-exactly).
+    ///
+    /// The exhaustive destructuring is deliberate: if [`GpuSpec`] grows a
+    /// field, this stops compiling until the key (or the destructuring)
+    /// accounts for it — two GPUs differing in a performance-relevant
+    /// field must never share cached profiles.
+    pub fn of(gpu: &GpuSpec) -> Self {
+        let GpuSpec {
+            name,
+            peak_fp16_flops,
+            memory_bandwidth,
+            memory,
+            sm_count,
+            kernel_launch_overhead,
+        } = gpu;
+        GpuKey {
+            name: name.clone(),
+            peak_fp16_flops: peak_fp16_flops.to_bits(),
+            memory_bandwidth: memory_bandwidth.to_bits(),
+            memory_bytes: memory.as_u64(),
+            sm_count: *sm_count,
+            launch_overhead_ns: kernel_launch_overhead.as_nanos(),
+        }
+    }
+}
+
+/// Hit/miss counters of a [`ProfileCache`] (monotonic over its lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the profiler.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter difference `self − earlier` (for per-sweep attribution).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+/// The resolved profiles of one plan's necessary operators: a small
+/// signature → `(total latency, kernel count)` view cheap to probe during
+/// lowering, holding shared handles to the cached task lists.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileSet {
+    entries: HashMap<OpSignature, Arc<OpProfile>>,
+}
+
+impl ProfileSet {
+    /// The profile of `sig`, if resolved.
+    pub fn get(&self, sig: &OpSignature) -> Option<&Arc<OpProfile>> {
+        self.entries.get(sig)
+    }
+
+    /// Adds (or replaces) a resolved profile, keyed by the *original*
+    /// signature — used for operators evaluated inline rather than
+    /// through a cache (e.g. single-kernel weight updates).
+    pub fn insert(&mut self, sig: OpSignature, profile: Arc<OpProfile>) {
+        self.entries.insert(sig, profile);
+    }
+
+    /// `(total latency, kernel count)` of `sig`, if resolved.
+    pub fn lookup(&self, sig: &OpSignature) -> Option<(TimeNs, u32)> {
+        self.entries.get(sig).map(|p| (p.total(), p.kernel_count() as u32))
+    }
+
+    /// Number of resolved signatures.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is resolved.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(signature, profile)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&OpSignature, &Arc<OpProfile>)> {
+        self.entries.iter()
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// One shard of the cache: GPU → (canonical signature → shared profile).
+/// Two-level so lookups borrow the [`GpuKey`] instead of cloning it.
+type Shard = RwLock<HashMap<GpuKey, HashMap<OpSignature, Arc<OpProfile>>>>;
+
+/// A concurrent, sharded map from `(GpuKey, OpSignature)` to profiled
+/// task lists, shared across the threads of a design-space sweep.
+///
+/// Reads take a shard read-lock; a miss profiles *outside* any lock and
+/// inserts under the shard write-lock (first writer wins, so handed-out
+/// [`Arc`]s always alias the stored profile). Profiling is deterministic,
+/// so racing writers compute identical values and the race is benign.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    shards: [Shard; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProfileCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ProfileCache::default()
+    }
+
+    fn shard(&self, sig: &OpSignature) -> &Shard {
+        // Spread by the fields that actually vary within one sweep; the
+        // exact spread only affects contention, never results.
+        let h = (sig.kind as usize)
+            .wrapping_mul(31)
+            .wrapping_add(sig.tensor)
+            .wrapping_mul(31)
+            .wrapping_add(sig.micro_batch)
+            .wrapping_mul(31)
+            .wrapping_add(sig.params as usize);
+        &self.shards[h % SHARDS]
+    }
+
+    /// The profile of `sig` on `profiler`'s GPU, profiling on first use.
+    ///
+    /// Entries are keyed by the signature's [canonical](canonical)
+    /// profiling identity, so signatures differing only in fields their
+    /// decomposition never reads (e.g. the tensor degree of an embedding
+    /// lookup) share one entry.
+    pub fn get_or_profile(&self, profiler: &Profiler, sig: &OpSignature) -> Arc<OpProfile> {
+        self.lookup(&GpuKey::of(profiler.gpu()), profiler, sig)
+    }
+
+    fn lookup(&self, gpu: &GpuKey, profiler: &Profiler, sig: &OpSignature) -> Arc<OpProfile> {
+        let sig = &canonical(sig);
+        let shard = self.shard(sig);
+        if let Some(hit) =
+            shard.read().unwrap_or_else(|e| e.into_inner()).get(gpu).and_then(|m| m.get(sig))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(profiler.profile_operator(sig));
+        let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(gpu.clone()).or_default().entry(*sig).or_insert(fresh))
+    }
+
+    /// Resolves every signature in `sigs`, profiling only the missing
+    /// ones. The GPU key is derived once per call, not once per
+    /// signature.
+    pub fn resolve<'a>(
+        &self,
+        profiler: &Profiler,
+        sigs: impl IntoIterator<Item = &'a OpSignature>,
+    ) -> ProfileSet {
+        let gpu = GpuKey::of(profiler.gpu());
+        let entries =
+            sigs.into_iter().map(|sig| (*sig, self.lookup(&gpu, profiler, sig))).collect();
+        ProfileSet { entries }
+    }
+
+    /// Distinct profiles currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .values()
+                    .map(HashMap::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// True if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtrain_graph::CompKind;
+
+    fn sig(micro_batch: usize) -> OpSignature {
+        OpSignature {
+            kind: CompKind::MhaFwd,
+            hidden: 2048,
+            heads: 16,
+            seq: 1024,
+            micro_batch,
+            tensor: 2,
+            ffn_expansion: 4,
+            vocab: 0,
+            params: 0,
+            recompute: false,
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits_and_aliases() {
+        let cache = ProfileCache::new();
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        let a = cache.get_or_profile(&profiler, &sig(1));
+        let b = cache.get_or_profile(&profiler, &sig(1));
+        assert!(Arc::ptr_eq(&a, &b), "hits must alias the cached profile");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_profile_is_bit_identical_to_direct_profiling() {
+        let cache = ProfileCache::new();
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        for m in [1, 2, 4] {
+            let cached = cache.get_or_profile(&profiler, &sig(m));
+            let direct = profiler.profile_operator(&sig(m));
+            assert_eq!(*cached, direct);
+        }
+    }
+
+    #[test]
+    fn distinct_gpus_do_not_share_entries() {
+        let cache = ProfileCache::new();
+        let a40 = Profiler::new(GpuSpec::a100_40gb());
+        let a80 = Profiler::new(GpuSpec::a100_80gb());
+        let p40 = cache.get_or_profile(&a40, &sig(1));
+        let p80 = cache.get_or_profile(&a80, &sig(1));
+        assert_eq!(cache.len(), 2);
+        // 80 GB parts have higher HBM bandwidth ⇒ faster bandwidth-bound
+        // kernels; the entries must be independent.
+        assert!(p80.total() <= p40.total());
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn resolve_profiles_only_missing_signatures() {
+        let cache = ProfileCache::new();
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        let sigs: Vec<OpSignature> = vec![sig(1), sig(2)];
+        let first = cache.resolve(&profiler, &sigs);
+        assert_eq!(first.len(), 2);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        let second = cache.resolve(&profiler, &sigs);
+        assert_eq!(second.len(), 2);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 2 });
+        assert_eq!(second.lookup(&sig(1)), first.lookup(&sig(1)));
+        assert!(second.lookup(&sig(1)).unwrap().0 > TimeNs::ZERO);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let cache = Arc::new(ProfileCache::new());
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        let totals: Vec<TimeNs> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let profiler = profiler.clone();
+                    scope.spawn(move || cache.get_or_profile(&profiler, &sig(2)).total())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        assert!(totals.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8);
+        assert!((0.0..=1.0).contains(&stats.hit_rate()));
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let a = CacheStats { hits: 10, misses: 4 };
+        let b = CacheStats { hits: 25, misses: 5 };
+        assert_eq!(b.since(&a), CacheStats { hits: 15, misses: 1 });
+        assert!((b.since(&a).hit_rate() - 15.0 / 16.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

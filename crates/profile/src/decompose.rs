@@ -29,6 +29,65 @@ pub fn decompose(sig: &OpSignature) -> Vec<KernelKind> {
     }
 }
 
+/// The profiling identity of `sig`: the signature with every field the
+/// kind's decomposition does *not* read zeroed out.
+///
+/// Two signatures with equal canonical forms launch identical kernel
+/// sequences, so they may share one cache entry — e.g. embedding lookups
+/// are independent of the tensor degree, and a weight update depends only
+/// on its parameter count. Kept next to [`decompose`] so the two evolve
+/// together (the `canonical_profiles_match_raw_profiles` test enforces
+/// agreement).
+pub fn canonical(sig: &OpSignature) -> OpSignature {
+    let mut c = *sig;
+    c.params = 0;
+    c.vocab = 0;
+    match sig.kind {
+        // tokens(seq, m) × hidden only.
+        CompKind::EmbeddingFwd | CompKind::EmbeddingBwd => {
+            c.heads = 0;
+            c.tensor = 0;
+            c.ffn_expansion = 0;
+            c.recompute = false;
+        }
+        // Attention shapes; the FFN expansion is never read.
+        CompKind::MhaFwd | CompKind::MhaBwd => {
+            c.ffn_expansion = 0;
+            if sig.kind == CompKind::MhaFwd {
+                c.recompute = false;
+            }
+        }
+        // FFN shapes; heads only feed the divisibility assertion, which
+        // canonicalization must preserve — keep them.
+        CompKind::FfnFwd | CompKind::FfnBwd => {
+            if sig.kind == CompKind::FfnFwd {
+                c.recompute = false;
+            }
+        }
+        // Vocab-parallel projection: vocab matters (and heads for the
+        // divisibility assertion).
+        CompKind::LmHeadFwd | CompKind::LmHeadBwd => {
+            c.vocab = sig.vocab;
+            c.ffn_expansion = 0;
+            if sig.kind == CompKind::LmHeadFwd {
+                c.recompute = false;
+            }
+        }
+        // A single fused Adam kernel over `params`.
+        CompKind::WeightUpdate => {
+            c.params = sig.params;
+            c.hidden = 0;
+            c.heads = 0;
+            c.seq = 0;
+            c.micro_batch = 0;
+            c.tensor = 0;
+            c.ffn_expansion = 0;
+            c.recompute = false;
+        }
+    }
+    c
+}
+
 fn tokens(sig: &OpSignature) -> u64 {
     (sig.seq * sig.micro_batch) as u64
 }
@@ -230,6 +289,43 @@ mod tests {
         let mut s = sig(CompKind::MhaFwd, 3, false);
         s.heads = 16; // 16 % 3 != 0
         let _ = decompose(&s);
+    }
+
+    #[test]
+    fn canonical_profiles_match_raw_profiles() {
+        // Canonicalization must never change what gets launched: for every
+        // kind, varying a zeroed-out field must not change the kernel
+        // list, and decomposing the canonical signature must reproduce the
+        // raw decomposition exactly.
+        for kind in [
+            CompKind::EmbeddingFwd,
+            CompKind::EmbeddingBwd,
+            CompKind::MhaFwd,
+            CompKind::MhaBwd,
+            CompKind::FfnFwd,
+            CompKind::FfnBwd,
+            CompKind::LmHeadFwd,
+            CompKind::LmHeadBwd,
+            CompKind::WeightUpdate,
+        ] {
+            for recompute in [false, true] {
+                let raw = sig(kind, 2, recompute);
+                let canon = canonical(&raw);
+                assert_eq!(decompose(&raw), decompose(&canon), "{kind:?} recompute={recompute}");
+            }
+        }
+        // Spot-check intended sharing: embeddings collapse across tensor
+        // degrees, weight updates across everything but params.
+        let e2 = canonical(&sig(CompKind::EmbeddingFwd, 2, false));
+        let e4 = canonical(&sig(CompKind::EmbeddingFwd, 4, false));
+        assert_eq!(e2, e4);
+        let w2 = canonical(&sig(CompKind::WeightUpdate, 2, true));
+        let w4 = canonical(&sig(CompKind::WeightUpdate, 4, false));
+        assert_eq!(w2, w4);
+        // ... but never across fields that matter.
+        let m1 = canonical(&sig(CompKind::MhaFwd, 2, false));
+        let m4 = canonical(&sig(CompKind::MhaFwd, 4, false));
+        assert_ne!(m1, m4);
     }
 
     #[test]

@@ -43,12 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod comm_model;
 mod decompose;
 mod profiler;
 mod table;
 
+pub use cache::{CacheStats, GpuKey, ProfileCache, ProfileSet};
 pub use comm_model::CommModel;
-pub use decompose::decompose;
+pub use decompose::{canonical, decompose};
 pub use profiler::Profiler;
 pub use table::{OpProfile, OperatorTaskTable, TaskRecord};

@@ -32,6 +32,11 @@ impl Profiler {
         &self.device
     }
 
+    /// The GPU being modeled.
+    pub fn gpu(&self) -> &GpuSpec {
+        self.device.spec()
+    }
+
     /// Executes one operator and records its kernel trace.
     pub fn profile_operator(&self, sig: &OpSignature) -> OpProfile {
         let tasks = decompose(sig)

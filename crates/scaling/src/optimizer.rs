@@ -84,7 +84,7 @@ pub fn evaluate_candidate(
     threads: usize,
 ) -> Option<CandidateOutcome> {
     let model = spec.to_model();
-    let points = search::explore(
+    let outcome = search::explore(
         estimator,
         &model,
         global_batch,
@@ -92,7 +92,7 @@ pub fn evaluate_candidate(
         limits,
         threads,
     );
-    let best = search::fastest_within_gpu_budget(&points, estimator.cluster().total_gpus)?;
+    let best = search::fastest_within_gpu_budget(&outcome.points, estimator.cluster().total_gpus)?;
     let params = model.num_parameters() as f64;
     let tokens = law.tokens_for_params(params);
     let tokens_per_iter = best.estimate.tokens_per_iteration as f64;

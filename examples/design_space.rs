@@ -15,8 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Exhaustive sweep, parallelized across CPU cores (§III-F).
     let limits = SearchLimits { max_tensor: 8, max_data: 32, max_pipeline: 10, max_micro_batch: 8 };
-    let started = std::time::Instant::now();
-    let points = search::explore(
+    let outcome = search::explore(
         &estimator,
         &model,
         global_batch,
@@ -24,10 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &limits,
         std::thread::available_parallelism().map(Into::into).unwrap_or(8),
     );
+    let points = outcome.points;
     println!(
-        "evaluated {} feasible design points in {:.1}s\n",
+        "evaluated {} feasible design points in {:.1}s ({} candidates pruned, {:.0} points/s, \
+         profile-cache hit-rate {:.1}%)\n",
         points.len(),
-        started.elapsed().as_secs_f64()
+        outcome.stats.wall_s,
+        outcome.stats.pruned,
+        outcome.stats.points_per_sec(),
+        outcome.stats.cache_hit_rate() * 100.0
     );
 
     // The fastest plan under a few GPU budgets.

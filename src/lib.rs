@@ -64,13 +64,13 @@ pub use vtrain_scaling as scaling;
 
 /// The types most programs need, in one import.
 pub mod prelude {
-    pub use vtrain_core::search::{self, SearchLimits};
+    pub use vtrain_core::search::{self, SearchLimits, SweepOutcome, SweepStats};
     pub use vtrain_core::{CostModel, Estimator, IterationEstimate, TrainingProjection};
     pub use vtrain_engine::{Handler, RunStats, Simulation};
     pub use vtrain_gpu::{NoiseConfig, NoiseModel};
-    pub use vtrain_graph::{build_op_graph, GraphOptions};
+    pub use vtrain_graph::{build_op_graph, plan_signatures, GraphOptions};
     pub use vtrain_model::{presets, Bytes, Flops, ModelConfig, TimeNs};
     pub use vtrain_parallel::{ClusterSpec, GpuSpec, ParallelConfig, PipelineSchedule};
-    pub use vtrain_profile::{CommModel, Profiler};
+    pub use vtrain_profile::{CacheStats, CommModel, ProfileCache, Profiler};
     pub use vtrain_scaling::ChinchillaLaw;
 }

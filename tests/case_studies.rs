@@ -26,10 +26,11 @@ fn dse_finds_plan_no_worse_than_heuristic() {
     let heuristic_est = estimator.estimate(&model, &heuristic).unwrap();
 
     let limits = SearchLimits { max_tensor: 8, max_data: 32, max_pipeline: 6, max_micro_batch: 8 };
-    let points =
+    let outcome =
         search::explore(&estimator, &model, global_batch, PipelineSchedule::OneFOneB, &limits, 8);
     let cost = CostModel::default();
-    let (best, proj) = search::most_cost_effective(&points, 50_000_000_000, &cost, 128).unwrap();
+    let (best, proj) =
+        search::most_cost_effective(&outcome.points, 50_000_000_000, &cost, 128).unwrap();
     let heuristic_proj = TrainingProjection::project(
         heuristic_est.iteration_time,
         heuristic_est.tokens_per_iteration,
@@ -74,8 +75,8 @@ fn recommended_plan_wins_predicted_and_measured() {
         &limits,
     );
     let candidates: Vec<_> = candidates.into_iter().filter(|c| c.num_gpus() == 64).collect();
-    let points = search::sweep(&estimator, &model, &candidates, 8);
-    let ours = search::fastest_within_gpu_budget(&points, 64).unwrap();
+    let outcome = search::sweep(&estimator, &model, &candidates, 8);
+    let ours = search::fastest_within_gpu_budget(&outcome.points, 64).unwrap();
 
     let pred_heuristic = estimator.estimate(&model, &heuristic).unwrap().iteration_time;
     let pred_ours = ours.estimate.iteration_time;

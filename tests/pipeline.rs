@@ -37,6 +37,45 @@ fn full_simulation_flow_matches_estimator() {
     assert_eq!(report.iteration_time, est.iteration_time);
 }
 
+/// Golden comparison for the staged pipeline: across an entire small
+/// sweep, the cached fused path must reproduce the legacy two-phase
+/// composition (materialized operator graph + per-plan profiling + table
+/// lowering + replay) **bit for bit**, cold or warm.
+#[test]
+fn sweep_is_bit_identical_to_legacy_per_plan_pipeline() {
+    let cluster = ClusterSpec::aws_p4d(32);
+    let model = presets::megatron("1.7B");
+    let estimator = Estimator::new(cluster.clone());
+    let limits = SearchLimits { max_tensor: 8, max_data: 4, max_pipeline: 4, max_micro_batch: 2 };
+    let candidates =
+        search::enumerate_candidates(&model, &cluster, 16, PipelineSchedule::OneFOneB, &limits);
+    // Warm-cache sweep, then compare every point against the uncached
+    // legacy composition.
+    let outcome = search::sweep(&estimator, &model, &candidates, 4);
+    assert!(outcome.points.len() >= 8, "grid too small: {}", outcome.points.len());
+    assert!(outcome.stats.cache_hits > 0, "sweep must reuse profiles");
+    let opts = GraphOptions { gpus_per_node: cluster.gpus_per_node, ..GraphOptions::default() };
+    let comm = CommModel::new(&cluster, 1.0);
+    for point in &outcome.points {
+        let graph = build_op_graph(&model, &point.plan, &opts);
+        let table = Profiler::new(cluster.gpu.clone()).profile(&graph.necessary_operators());
+        let tg = TaskGraph::lower(&graph, &table, &comm).unwrap();
+        let report = simulate(&tg, SimMode::Predicted);
+        let legacy = estimator.summarize(&model, &point.plan, &report);
+        assert_eq!(legacy.iteration_time, point.estimate.iteration_time, "{}", point.plan);
+        assert_eq!(legacy.busy, point.estimate.busy, "{}", point.plan);
+        assert_eq!(legacy.num_gpus, point.estimate.num_gpus);
+        assert_eq!(legacy.tokens_per_iteration, point.estimate.tokens_per_iteration);
+        assert_eq!(
+            legacy.utilization.to_bits(),
+            point.estimate.utilization.to_bits(),
+            "utilization must be bit-identical for {}",
+            point.plan
+        );
+        assert_eq!(legacy.occupancy.to_bits(), point.estimate.occupancy.to_bits());
+    }
+}
+
 /// The published MT-NLG plan must be feasible on an 80 GB cluster and land
 /// in a plausible iteration-time range (Table I reports 42.59 s for
 /// (8, 8, 35); our simulated substrate should land within a factor ~1.5).

@@ -56,8 +56,18 @@ fn multi_node_validation_band() {
     let mut pairs = Vec::new();
     for size in ["3.6B", "7.5B", "18.4B"] {
         let model = presets::megatron(size);
-        for (t, d, p, m) in [(8, 4, 1, 2), (8, 8, 2, 1), (4, 16, 2, 1), (8, 16, 2, 2), (8, 8, 4, 2)]
-        {
+        for (t, d, p, m) in [
+            (8, 4, 1, 2),
+            (8, 8, 2, 1),
+            (4, 16, 2, 1),
+            (8, 16, 2, 2),
+            (8, 8, 4, 2),
+            (8, 4, 2, 1),
+            (4, 8, 2, 2),
+            (8, 16, 1, 1),
+            (4, 16, 4, 1),
+            (8, 8, 1, 4),
+        ] {
             if !model.num_layers().is_multiple_of(p) {
                 continue;
             }
@@ -77,15 +87,23 @@ fn multi_node_validation_band() {
             pairs.push((pred.iteration_time.as_secs_f64(), meas.iteration_time.as_secs_f64()));
         }
     }
-    assert!(pairs.len() >= 10, "need a real sample, got {}", pairs.len());
+    assert!(pairs.len() >= 20, "need a real sample, got {}", pairs.len());
     let (mape, r2) = stats(&pairs);
     assert!(mape < 20.0, "multi-node MAPE {mape:.2}% above band");
     assert!(r2 > 0.95, "multi-node R² {r2:.4} below band");
     // Predictions systematically undershoot measurements (the paper's NCCL
-    // isolation bias): the majority of points should sit below the measured
-    // value.
+    // isolation bias): the majority of points sit below the measured value
+    // and the mean measured/predicted ratio exceeds 1. (Individual
+    // configurations scatter on both sides — Fig. 9's points straddle the
+    // diagonal — so both statistics are over the whole sample.)
     let undershoot = pairs.iter().filter(|(p, m)| p < m).count();
-    assert!(2 * undershoot > pairs.len(), "bias direction unexpected");
+    assert!(
+        2 * undershoot > pairs.len(),
+        "bias direction unexpected: {undershoot}/{}",
+        pairs.len()
+    );
+    let mean_ratio = pairs.iter().map(|(p, m)| m / p).sum::<f64>() / pairs.len() as f64;
+    assert!(mean_ratio > 1.0, "mean measured/predicted {mean_ratio:.3} should exceed 1");
 }
 
 /// The α calibration sweep of §IV: sweeping the bandwidth-effectiveness
@@ -93,9 +111,24 @@ fn multi_node_validation_band() {
 /// minimized at crippled bandwidth, and full effectiveness (α = 1.0, the
 /// paper's optimum) must fit nearly as well as the best α. Bucketing is
 /// disabled so the inter-node gradient All-Reduce is actually exposed.
+///
+/// Calibration isolates bandwidth effectiveness, so the measurement noise
+/// here disables the *separately modeled* error mechanisms — in-training
+/// NCCL contention, ToR interference, stragglers, and the per-config
+/// framework bias (which is keyed on the configuration hash and would
+/// make the verdict a function of hash luck). The paper treats those as
+/// residual error sources after calibration, not calibration inputs; our
+/// emulated platform's true effective bandwidth is α = 1.0 by
+/// construction, and the sweep must recover a high α.
 #[test]
 fn alpha_sweep_prefers_high_alpha() {
-    let noise = NoiseModel::new(NoiseConfig::default());
+    let noise = NoiseModel::new(NoiseConfig {
+        comm_inflation: 0.0,
+        congestion_per_group: 0.0,
+        straggler_sigma: 0.0,
+        iteration_bias_sigma: 0.0,
+        ..NoiseConfig::default()
+    });
     let mut configs = Vec::new();
     for size in ["3.6B", "7.5B"] {
         for (t, d, p) in [(8, 16, 1), (8, 16, 2), (8, 32, 1)] {

@@ -36,6 +36,35 @@ pub mod bool {
     }
 }
 
+/// Strategies over collections (mirrors `proptest::collection`).
+pub mod collection {
+    use rand::Rng;
+
+    use super::strategy::Strategy;
+    use super::SampleRng;
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `size` (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SampleRng) -> Option<Vec<S::Value>> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 /// The RNG strategies draw from.
 pub type SampleRng = rand::rngs::StdRng;
 
