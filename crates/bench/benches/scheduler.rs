@@ -49,7 +49,7 @@ fn bench_cluster_sim(c: &mut Criterion) {
                 simulate_cluster(
                     trace,
                     &catalog,
-                    &SchedulerConfig { total_gpus: 1024, policy: ProfilePolicy::VTrainOptimal },
+                    &SchedulerConfig::new(1024, ProfilePolicy::VTrainOptimal),
                 )
             });
         });

@@ -1,0 +1,164 @@
+//! Topology smoke: prices a fixed matrix of collectives over two- and
+//! three-tier topologies and runs a thin placement sweep, writing
+//! `results/BENCH_collectives.json` for the CI perf-regression gate
+//! (`check_bench` compares it against
+//! `crates/bench/baselines/ci_baseline.json`).
+//!
+//! ```sh
+//! cargo run --release -p vtrain-bench --bin bench_collectives
+//! ```
+
+use serde::Serialize;
+use vtrain_bench::report;
+use vtrain_core::search::{self, SearchLimits};
+use vtrain_model::{presets, Bytes, TimeNs};
+use vtrain_net::{collective, Algorithm, Collective, GroupPlacement, TierSpec, Topology};
+use vtrain_parallel::{ClusterSpec, PipelineSchedule};
+
+/// One priced collective scenario (deterministic: gated exactly).
+#[derive(Serialize)]
+struct CollectiveRow {
+    label: String,
+    total_ns: u64,
+    phases: Vec<(usize, u64)>,
+}
+
+/// One placement variant of the mini sweep.
+#[derive(Serialize)]
+struct PlacementRow {
+    label: String,
+    feasible_points: usize,
+    fastest_iteration_s: f64,
+    points_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct CollectivesBench {
+    collectives: Vec<CollectiveRow>,
+    placements: Vec<PlacementRow>,
+}
+
+fn price(
+    rows: &mut Vec<CollectiveRow>,
+    label: &str,
+    topo: &Topology,
+    placement: GroupPlacement,
+    kind: Collective,
+    algo: Algorithm,
+    mib: u64,
+) {
+    let c = collective::cost(topo, placement, kind, algo, Bytes::from_mib(mib));
+    rows.push(CollectiveRow {
+        label: label.to_owned(),
+        total_ns: c.total().as_nanos(),
+        phases: c.phases.iter().map(|p| (p.tier, p.time.as_nanos())).collect(),
+    });
+}
+
+fn main() {
+    report::banner("Collective-algorithm & placement smoke (CI gate input)");
+    let cluster = ClusterSpec::aws_p4d(64);
+    let two_tier = cluster.topology(1.0);
+    let spine = TierSpec::new(25e9, TimeNs::from_micros(35), 1.0);
+    let three_tier = cluster.topology(1.0).with_rack_tier(4, spine);
+
+    let packed = GroupPlacement { ranks_per_node: 8, nodes_per_rack: 8, racks: 1 };
+    let racked = GroupPlacement { ranks_per_node: 8, nodes_per_rack: 4, racks: 2 };
+    let mut rows = Vec::new();
+    for mib in [32, 512] {
+        for (algo, name) in [
+            (Algorithm::Ring, "ring"),
+            (Algorithm::Tree, "tree"),
+            (Algorithm::Hierarchical, "hier"),
+        ] {
+            price(
+                &mut rows,
+                &format!("allreduce/{name}/2tier/{mib}MiB"),
+                &two_tier,
+                packed,
+                Collective::AllReduce,
+                algo,
+                mib,
+            );
+            price(
+                &mut rows,
+                &format!("allreduce/{name}/3tier/{mib}MiB"),
+                &three_tier,
+                racked,
+                Collective::AllReduce,
+                algo,
+                mib,
+            );
+        }
+    }
+    for (kind, name) in [
+        (Collective::AllGather, "allgather"),
+        (Collective::ReduceScatter, "reducescatter"),
+        (Collective::AllToAll, "alltoall"),
+    ] {
+        price(
+            &mut rows,
+            &format!("{name}/hier/2tier/128MiB"),
+            &two_tier,
+            packed,
+            kind,
+            Algorithm::Hierarchical,
+            128,
+        );
+    }
+    println!("{:<34} {:>12} {:>8}", "scenario", "total", "phases");
+    for r in &rows {
+        println!(
+            "{:<34} {:>12} {:>8}",
+            r.label,
+            TimeNs::from_nanos(r.total_ns).to_string(),
+            r.phases.len()
+        );
+    }
+
+    // Thin placement sweep: the same candidate grid priced under three
+    // interconnect shapes sharing one profile cache.
+    let model = presets::megatron("1.7B");
+    let limits = SearchLimits { max_tensor: 8, max_data: 8, max_pipeline: 2, max_micro_batch: 1 };
+    let candidates =
+        search::enumerate_candidates(&model, &cluster, 16, PipelineSchedule::OneFOneB, &limits);
+    let topologies = vec![
+        ("two-tier".to_owned(), two_tier),
+        ("multi-rack/4".to_owned(), three_tier.clone()),
+        (
+            "multi-rack/2".to_owned(),
+            cluster
+                .topology(1.0)
+                .with_rack_tier(2, TierSpec::new(25e9, TimeNs::from_micros(35), 1.0)),
+        ),
+    ];
+    let sweeps = search::sweep_topologies(&cluster, 1.0, &topologies, &model, &candidates, 4);
+    println!("\n{:<14} {:>8} {:>12} {:>10}", "placement", "points", "fastest", "pts/s");
+    let placements: Vec<PlacementRow> = sweeps
+        .iter()
+        .map(|s| {
+            let fastest = s
+                .outcome
+                .points
+                .iter()
+                .map(|p| p.estimate.iteration_time)
+                .min()
+                .unwrap_or(TimeNs::ZERO);
+            println!(
+                "{:<14} {:>8} {:>12} {:>10.1}",
+                s.label,
+                s.outcome.points.len(),
+                fastest.to_string(),
+                s.outcome.stats.points_per_sec()
+            );
+            PlacementRow {
+                label: s.label.clone(),
+                feasible_points: s.outcome.points.len(),
+                fastest_iteration_s: fastest.as_secs_f64(),
+                points_per_sec: s.outcome.stats.points_per_sec(),
+            }
+        })
+        .collect();
+
+    report::dump_json("BENCH_collectives", &CollectivesBench { collectives: rows, placements });
+}

@@ -1,0 +1,215 @@
+//! CI perf-regression gate.
+//!
+//! Compares the freshly generated `results/BENCH_sweep.json` (sweep
+//! throughput) and `results/BENCH_collectives.json` (deterministic
+//! collective costs) against the committed baseline
+//! `crates/bench/baselines/ci_baseline.json` and exits non-zero on:
+//!
+//! * sweep `points_per_sec` more than `max_throughput_regression_pct`
+//!   (25 %) below the baseline — a perf regression;
+//! * any collective cost drifting more than `collective_tolerance_rel`
+//!   (1 ppm) from the baseline — these are deterministic model outputs,
+//!   so any drift is an unintended semantic change (golden gate).
+//!
+//! Run the two producers first (`fig10_design_space --smoke`,
+//! `bench_collectives`). Pass `--write-baseline` to regenerate the
+//! baseline from the current results after an intentional change (and
+//! say why in `crates/bench/BASELINES.md`).
+//!
+//! ```sh
+//! cargo run --release -p vtrain-bench --bin check_bench [-- --write-baseline]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use serde::Value;
+use vtrain_bench::report::results_dir;
+
+fn baseline_path() -> PathBuf {
+    let dir = std::env::var("VTRAIN_BASELINE_DIR")
+        .unwrap_or_else(|_| "crates/bench/baselines".to_owned());
+    PathBuf::from(dir).join("ci_baseline.json")
+}
+
+fn load(path: &PathBuf) -> Value {
+    let text = fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read {} ({e}); run the producers first", path.display())
+    });
+    serde_json::value_from_str(&text)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e:?}", path.display()))
+}
+
+fn points_per_sec(sweep: &Value) -> f64 {
+    sweep.get("points_per_sec").and_then(Value::as_f64).expect("BENCH_sweep.points_per_sec")
+}
+
+/// The grid tag (`"smoke"` / `"coarse"` / `"full"`) a sweep record was
+/// produced with. Throughput is only comparable within one grid, so the
+/// gate (and the baseline writer) refuse to mix them.
+fn sweep_grid(sweep: &Value) -> String {
+    match sweep.get("grid") {
+        Some(Value::String(g)) => g.clone(),
+        other => panic!("BENCH_sweep.grid: {other:?}"),
+    }
+}
+
+/// `(label, total_ns)` rows of `BENCH_collectives.json`.
+fn collective_rows(bench: &Value) -> Vec<(String, u64)> {
+    let Some(Value::Array(rows)) = bench.get("collectives") else {
+        panic!("BENCH_collectives.collectives missing");
+    };
+    rows.iter()
+        .map(|r| {
+            let label = match r.get("label") {
+                Some(Value::String(s)) => s.clone(),
+                other => panic!("collective row label: {other:?}"),
+            };
+            let total = r.get("total_ns").and_then(Value::as_u64).expect("total_ns");
+            (label, total)
+        })
+        .collect()
+}
+
+fn write_baseline(grid: &str, pps: f64, rows: &[(String, u64)]) {
+    // Carry tuned thresholds forward from the committed baseline; fall
+    // back to the defaults only when no baseline exists yet.
+    let (max_reg, tol) = match fs::read_to_string(baseline_path()) {
+        Ok(text) => {
+            let old = serde_json::value_from_str(&text).expect("existing baseline parses");
+            (
+                old.get("max_throughput_regression_pct").and_then(Value::as_f64).unwrap_or(25.0),
+                old.get("collective_tolerance_rel").and_then(Value::as_f64).unwrap_or(1e-6),
+            )
+        }
+        Err(_) => (25.0, 1e-6),
+    };
+    // Hand-rolled JSON keeps the committed baseline diff-stable
+    // (one collective per line, fixed field order).
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"max_throughput_regression_pct\": {max_reg},\n"));
+    out.push_str(&format!("  \"collective_tolerance_rel\": {tol:e},\n"));
+    out.push_str(&format!("  \"sweep_grid\": \"{grid}\",\n"));
+    out.push_str(&format!("  \"sweep_points_per_sec\": {pps:.1},\n"));
+    out.push_str("  \"collectives\": [\n");
+    for (i, (label, total)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!("    [\"{label}\", {total}]{comma}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    let path = baseline_path();
+    fs::create_dir_all(path.parent().expect("baseline dir")).expect("baseline dir creatable");
+    fs::write(&path, out).expect("baseline writable");
+    println!("wrote {}", path.display());
+}
+
+fn main() -> ExitCode {
+    let sweep = load(&results_dir().join("BENCH_sweep.json"));
+    let bench = load(&results_dir().join("BENCH_collectives.json"));
+    let pps = points_per_sec(&sweep);
+    let grid = sweep_grid(&sweep);
+    let rows = collective_rows(&bench);
+
+    if std::env::args().any(|a| a == "--write-baseline") {
+        write_baseline(&grid, pps, &rows);
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = load(&baseline_path());
+    let base_grid = match baseline.get("sweep_grid") {
+        Some(Value::String(g)) => g.clone(),
+        other => panic!("baseline.sweep_grid: {other:?}"),
+    };
+    if grid != base_grid {
+        eprintln!(
+            "perf gate FAILURE: BENCH_sweep.json came from the `{grid}` grid but the baseline \
+             records `{base_grid}` — throughput is only comparable within one grid. Re-run \
+             `fig10_design_space -- --{base_grid}` before gating."
+        );
+        return ExitCode::FAILURE;
+    }
+    let max_reg_pct = baseline
+        .get("max_throughput_regression_pct")
+        .and_then(Value::as_f64)
+        .expect("baseline.max_throughput_regression_pct");
+    let tol = baseline
+        .get("collective_tolerance_rel")
+        .and_then(Value::as_f64)
+        .expect("baseline.collective_tolerance_rel");
+    let base_pps = baseline
+        .get("sweep_points_per_sec")
+        .and_then(Value::as_f64)
+        .expect("baseline.sweep_points_per_sec");
+
+    let mut failures = Vec::new();
+
+    let floor = base_pps * (1.0 - max_reg_pct / 100.0);
+    println!(
+        "sweep throughput: {pps:.1} points/s (baseline {base_pps:.1}, floor {floor:.1} at \
+         -{max_reg_pct:.0}%)"
+    );
+    if pps < floor {
+        failures.push(format!(
+            "sweep throughput regressed: {pps:.1} points/s < floor {floor:.1} \
+             ({:.1}% below the {base_pps:.1} baseline)",
+            (1.0 - pps / base_pps) * 100.0
+        ));
+    }
+
+    let Some(Value::Array(base_rows)) = baseline.get("collectives") else {
+        panic!("baseline.collectives missing");
+    };
+    let lookup = |label: &str| -> Option<u64> {
+        base_rows.iter().find_map(|pair| match pair {
+            Value::Array(kv) if kv.len() == 2 => match (&kv[0], kv[1].as_u64()) {
+                (Value::String(l), Some(t)) if l == label => Some(t),
+                _ => None,
+            },
+            _ => None,
+        })
+    };
+    for (label, got) in &rows {
+        match lookup(label) {
+            None => failures.push(format!("collective `{label}` missing from the baseline")),
+            Some(want) => {
+                let rel = (*got as f64 - want as f64).abs() / (want as f64).max(1.0);
+                if rel > tol {
+                    failures.push(format!(
+                        "collective `{label}` drifted: {got} ns vs baseline {want} ns \
+                         (rel {rel:.2e} > {tol:.0e})"
+                    ));
+                }
+            }
+        }
+    }
+    // Symmetric check: a scenario silently dropped from the producer is
+    // a gating hole, not a pass.
+    for pair in base_rows {
+        if let Value::Array(kv) = pair {
+            if let Value::String(label) = &kv[0] {
+                if !rows.iter().any(|(l, _)| l == label) {
+                    failures.push(format!(
+                        "baseline collective `{label}` is no longer produced by bench_collectives"
+                    ));
+                }
+            }
+        }
+    }
+    println!("collective costs: {} scenarios checked against the baseline", rows.len());
+
+    if failures.is_empty() {
+        println!("perf gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("perf gate FAILURE: {f}");
+        }
+        eprintln!(
+            "perf gate: FAIL ({} issue(s)). If intentional, regenerate with \
+             `check_bench -- --write-baseline` and document it in crates/bench/BASELINES.md.",
+            failures.len()
+        );
+        ExitCode::FAILURE
+    }
+}

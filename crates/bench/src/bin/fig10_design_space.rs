@@ -5,7 +5,10 @@
 //! The default grid covers the paper's axes at a coarser density to finish
 //! in minutes; pass `--full` for the complete `t ≤ 16, d ≤ 32, p ≤ 105`
 //! sweep, or `--smoke` for the CI throughput probe (a thin grid that still
-//! exercises the staged pipeline and the shared profile cache).
+//! exercises the staged pipeline and the shared profile cache). Pass
+//! `--topology` to additionally sweep the same grid over interconnect
+//! placements (two-tier vs multi-rack, writing `fig10_topology.json`) —
+//! the axis the flat communication model could not express.
 //!
 //! Every run also writes `results/BENCH_sweep.json` with the sweep's
 //! throughput report (wall time, points/s, cache hit-rate) so the perf
@@ -19,6 +22,8 @@ use serde::Serialize;
 use vtrain_bench::{full_mode, mtnlg_workload, report, threads};
 use vtrain_core::search::{self, SearchLimits, SweepStats};
 use vtrain_core::Estimator;
+use vtrain_model::TimeNs;
+use vtrain_net::TierSpec;
 use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule};
 
 #[derive(Serialize)]
@@ -43,6 +48,57 @@ struct SweepBench {
 
 fn smoke_mode() -> bool {
     std::env::args().any(|a| a == "--smoke")
+}
+
+fn topology_mode() -> bool {
+    std::env::args().any(|a| a == "--topology")
+}
+
+/// The placement axis: the same candidate plans priced under two-tier and
+/// multi-rack interconnects (one shared profile cache across variants).
+fn sweep_placements(
+    cluster: &ClusterSpec,
+    model: &vtrain_model::ModelConfig,
+    candidates: &[ParallelConfig],
+) {
+    #[derive(Serialize)]
+    struct TopoRow {
+        placement: String,
+        tensor: usize,
+        data: usize,
+        pipeline: usize,
+        iteration_s: f64,
+    }
+    let spine = TierSpec::new(25e9, TimeNs::from_micros(35), 1.0);
+    let topologies = vec![
+        ("two-tier".to_owned(), cluster.topology(1.0)),
+        ("multi-rack/8".to_owned(), cluster.topology(1.0).with_rack_tier(8, spine)),
+        ("multi-rack/4".to_owned(), cluster.topology(1.0).with_rack_tier(4, spine)),
+    ];
+    let sweeps = search::sweep_topologies(cluster, 1.0, &topologies, model, candidates, threads());
+    println!("\nplacement sweep (same grid, different interconnects):");
+    println!("{:<14} {:>8} {:>14} {:>10}", "placement", "points", "fastest (s)", "pts/s");
+    let mut rows = Vec::new();
+    for s in &sweeps {
+        let fastest = s.outcome.points.iter().min_by_key(|p| p.estimate.iteration_time);
+        if let Some(best) = fastest {
+            println!(
+                "{:<14} {:>8} {:>14.2} {:>10.1}",
+                s.label,
+                s.outcome.points.len(),
+                best.estimate.iteration_time.as_secs_f64(),
+                s.outcome.stats.points_per_sec()
+            );
+        }
+        rows.extend(s.outcome.points.iter().map(|p| TopoRow {
+            placement: s.label.clone(),
+            tensor: p.plan.tensor(),
+            data: p.plan.data(),
+            pipeline: p.plan.pipeline(),
+            iteration_s: p.estimate.iteration_time.as_secs_f64(),
+        }));
+    }
+    report::dump_json("fig10_topology", &rows);
 }
 
 fn main() {
@@ -137,6 +193,9 @@ fn main() {
             fastest.gpus
         );
         println!("(the paper's (16,16,105) analogue is fast but wasteful: ~17% utilization)");
+    }
+    if topology_mode() {
+        sweep_placements(&cluster, &model, &candidates);
     }
     report::dump_json("fig10_design_space", &rows);
     report::dump_json(

@@ -64,15 +64,12 @@ fn main() {
             let base = simulate_cluster(
                 &trace,
                 &catalog,
-                &SchedulerConfig {
-                    total_gpus: CLUSTER_GPUS,
-                    policy: ProfilePolicy::DataParallelOnly,
-                },
+                &SchedulerConfig::new(CLUSTER_GPUS, ProfilePolicy::DataParallelOnly),
             );
             let vt = simulate_cluster(
                 &trace,
                 &catalog,
-                &SchedulerConfig { total_gpus: CLUSTER_GPUS, policy: ProfilePolicy::VTrainOptimal },
+                &SchedulerConfig::new(CLUSTER_GPUS, ProfilePolicy::VTrainOptimal),
             );
             let (b, v) = (base.deadline_satisfactory_ratio(), vt.deadline_satisfactory_ratio());
             sums.0 += b;

@@ -42,12 +42,12 @@ fn main() {
         let base = simulate_cluster(
             &trace,
             &catalog,
-            &SchedulerConfig { total_gpus: CLUSTER_GPUS, policy: ProfilePolicy::DataParallelOnly },
+            &SchedulerConfig::new(CLUSTER_GPUS, ProfilePolicy::DataParallelOnly),
         );
         let vt = simulate_cluster(
             &trace,
             &catalog,
-            &SchedulerConfig { total_gpus: CLUSTER_GPUS, policy: ProfilePolicy::VTrainOptimal },
+            &SchedulerConfig::new(CLUSTER_GPUS, ProfilePolicy::VTrainOptimal),
         );
         let b = base.average_jct(&trace).expect("all jobs finish").as_secs_f64();
         let v = vt.average_jct(&trace).expect("all jobs finish").as_secs_f64();

@@ -24,10 +24,12 @@
 
 mod catalog;
 mod job;
+mod racks;
 mod scheduler;
 mod trace;
 
 pub use catalog::{build_catalog, CatalogEntry, ModelCatalog, ProfilePolicy, ThroughputProfile};
 pub use job::{JobOutcome, JobSpec};
+pub use racks::assign_racks;
 pub use scheduler::{simulate_cluster, SchedulerConfig, SimOutcome};
 pub use trace::{generate_trace, TraceConfig};

@@ -1,0 +1,126 @@
+//! Rack-aware placement of elastic GPU grants.
+//!
+//! The scheduler's allocation *amounts* come from the ElasticFlow
+//! algorithm untouched; this module decides *where* each grant lands.
+//! Jobs are packed best-fit-decreasing into racks so that as many as
+//! possible stay rack-local; a job that must spill across racks pays the
+//! configured cross-rack slowdown on its iteration time (its
+//! data-parallel gradient exchange now crosses the rack spine).
+
+/// Places the grants `gpus` (granted GPU counts, positionally keyed;
+/// 0 = paused, never placed) into racks of `gpus_per_rack` GPUs carved
+/// out of a `total_gpus` fleet, and returns how many racks each grant
+/// spans (aligned with `gpus`; paused jobs span 0). When the fleet size
+/// is not a rack multiple, the last rack holds only the remainder.
+///
+/// Deterministic best-fit-decreasing: grants are placed largest first
+/// (ties by list position), each into the fullest rack that still holds
+/// it whole; a grant no rack can hold whole spills greedily across the
+/// emptiest racks.
+///
+/// # Panics
+///
+/// Panics if the grants exceed `total_gpus` in total.
+pub fn assign_racks(gpus: &[usize], gpus_per_rack: usize, total_gpus: usize) -> Vec<usize> {
+    let num_racks = total_gpus.div_ceil(gpus_per_rack);
+    let mut free: Vec<usize> =
+        (0..num_racks).map(|r| gpus_per_rack.min(total_gpus - r * gpus_per_rack)).collect();
+    let mut spans = vec![0usize; gpus.len()];
+
+    let mut order: Vec<usize> = (0..gpus.len()).filter(|&i| gpus[i] > 0).collect();
+    order.sort_by_key(|&i| (usize::MAX - gpus[i], i));
+
+    for &i in &order {
+        let mut need = gpus[i];
+        // Best fit: the rack with the least leftover that still holds the
+        // whole grant (ties to the lowest rack index).
+        if let Some(rack) =
+            (0..num_racks).filter(|&r| free[r] >= need).min_by_key(|&r| (free[r], r))
+        {
+            free[rack] -= need;
+            spans[i] = 1;
+            continue;
+        }
+        // Spill: drain the emptiest racks first to minimize the span.
+        let mut by_free: Vec<usize> = (0..num_racks).filter(|&r| free[r] > 0).collect();
+        by_free.sort_by_key(|&r| (usize::MAX - free[r], r));
+        let mut span = 0usize;
+        for r in by_free {
+            let take = free[r].min(need);
+            free[r] -= take;
+            need -= take;
+            span += 1;
+            if need == 0 {
+                break;
+            }
+        }
+        assert!(need == 0, "grants exceed the fleet's rack capacity");
+        spans[i] = span;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rack_fleet_never_spans() {
+        assert_eq!(assign_racks(&[8, 16, 32], 64, 64), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn jobs_pack_rack_locally_when_possible() {
+        // Two racks of 32: 32 + 16 + 16 fits with zero spills.
+        assert_eq!(assign_racks(&[16, 32, 16], 32, 64), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn oversized_grant_spans_the_fewest_racks() {
+        // 48 GPUs cannot fit one 32-rack: spans exactly 2.
+        let spans = assign_racks(&[48, 8], 32, 128);
+        assert_eq!(spans[0], 2);
+        assert_eq!(spans[1], 1);
+    }
+
+    #[test]
+    fn fragmentation_forces_a_spill() {
+        // Racks of 16: three 12-GPU jobs leave 4 free in three racks; the
+        // final 12-GPU job must gather leftovers across 3 racks.
+        let spans = assign_racks(&[12, 12, 12, 12], 16, 64);
+        assert_eq!(spans, vec![1, 1, 1, 1], "a whole empty rack remains for the fourth job");
+        let spans = assign_racks(&[12, 12, 12, 12], 16, 48);
+        assert_eq!(&spans[..3], &[1, 1, 1]);
+        assert_eq!(spans[3], 3, "leftover fragments span three racks");
+    }
+
+    #[test]
+    fn partial_last_rack_has_no_phantom_capacity() {
+        // 100-GPU fleet in 32-GPU racks: the 4th rack holds only 4 GPUs,
+        // so the 16-GPU grant cannot sit there whole — it must span the
+        // leftovers (with phantom capacity it would wrongly fit).
+        let spans = assign_racks(&[32, 32, 20, 16], 32, 100);
+        assert_eq!(&spans[..3], &[1, 1, 1]);
+        assert_eq!(spans[3], 2, "the remainder rack holds 4 GPUs, not 32");
+        // And total capacity is the fleet size, not racks × rack size.
+        let spans = assign_racks(&[96, 4], 32, 100);
+        assert_eq!(spans, vec![3, 1]);
+    }
+
+    #[test]
+    fn paused_jobs_are_not_placed() {
+        assert_eq!(assign_racks(&[0, 8, 0], 8, 16), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let g = [8, 24, 8, 16, 32];
+        assert_eq!(assign_racks(&g, 32, 96), assign_racks(&g, 32, 96));
+    }
+
+    #[test]
+    #[should_panic(expected = "rack capacity")]
+    fn over_capacity_panics() {
+        let _ = assign_racks(&[64], 16, 32);
+    }
+}

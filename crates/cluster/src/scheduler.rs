@@ -20,14 +20,55 @@ use vtrain_model::TimeNs;
 
 use crate::catalog::{ModelCatalog, ProfilePolicy, ThroughputProfile};
 use crate::job::{JobOutcome, JobSpec};
+use crate::racks::assign_racks;
 
-/// Scheduler configuration: which profile source informs decisions.
+/// Scheduler configuration: which profile source informs decisions and
+/// how the fleet is carved into racks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedulerConfig {
     /// GPUs in the shared cluster (the paper uses 1,024).
     pub total_gpus: usize,
     /// Throughput profiles consulted: baseline ElasticFlow or vTrain.
     pub policy: ProfilePolicy,
+    /// GPUs per rack. Grants are packed rack-locally when possible; the
+    /// default ([`SchedulerConfig::new`]) is one rack spanning the whole
+    /// fleet, which reproduces the rack-oblivious behaviour exactly.
+    pub gpus_per_rack: usize,
+    /// Percent slowdown applied to a job's iteration time while its
+    /// allocation spans more than one rack (its gradient traffic crosses
+    /// the rack spine). 0 disables the penalty.
+    pub cross_rack_slowdown_pct: u32,
+}
+
+impl SchedulerConfig {
+    /// Rack-oblivious configuration: one rack, no cross-rack penalty.
+    pub fn new(total_gpus: usize, policy: ProfilePolicy) -> Self {
+        SchedulerConfig {
+            total_gpus,
+            policy,
+            gpus_per_rack: total_gpus,
+            cross_rack_slowdown_pct: 0,
+        }
+    }
+
+    /// Carves the fleet into racks of `gpus_per_rack` GPUs with a
+    /// `slowdown_pct` percent iteration-time penalty for grants that
+    /// span racks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus_per_rack == 0`.
+    pub fn with_racks(mut self, gpus_per_rack: usize, slowdown_pct: u32) -> Self {
+        assert!(gpus_per_rack > 0, "racks must hold at least one GPU");
+        self.gpus_per_rack = gpus_per_rack;
+        self.cross_rack_slowdown_pct = slowdown_pct;
+        self
+    }
+
+    /// Number of racks (`ceil(total_gpus / gpus_per_rack)`).
+    pub fn num_racks(&self) -> usize {
+        self.total_gpus.div_ceil(self.gpus_per_rack)
+    }
 }
 
 /// Result of simulating a whole trace.
@@ -40,6 +81,9 @@ pub struct SimOutcome {
     /// Effective engine events dispatched (arrivals, completions, deadline
     /// expirations; excludes lazily invalidated predictions).
     pub events_processed: u64,
+    /// Reallocation rounds in which at least one job's grant spanned
+    /// racks (0 on a single-rack fleet).
+    pub cross_rack_rounds: u64,
 }
 
 impl SimOutcome {
@@ -73,6 +117,9 @@ struct Active {
     idx: usize,
     remaining: f64,
     alloc: usize, // 0 = paused
+    /// Iteration-time factor from the current rack placement (1.0 =
+    /// rack-local).
+    penalty: f64,
 }
 
 /// Progress-tracking tolerance (iterations / seconds).
@@ -100,6 +147,8 @@ struct ClusterSim<'a> {
     active: Vec<Active>,
     outcomes: Vec<JobOutcome>,
     pool: CapacityPool,
+    cfg: SchedulerConfig,
+    cross_rack_rounds: u64,
     /// Simulation time (seconds) progress was last advanced to.
     last_now: f64,
     makespan: f64,
@@ -130,7 +179,7 @@ impl Handler<ClusterEvent> for ClusterSim<'_> {
         for a in &mut self.active {
             if a.alloc > 0 {
                 let it = self.profiles[a.idx].iter_time(a.alloc).expect("allocated rung exists");
-                a.remaining -= dt / it.as_secs_f64();
+                a.remaining -= dt / (it.as_secs_f64() * a.penalty);
             }
         }
         self.last_now = now;
@@ -183,7 +232,12 @@ impl Handler<ClusterEvent> for ClusterSim<'_> {
                 // Admitted with a deadline: its expiry is a real event.
                 sim.schedule(d.max(sim.now()), ClusterEvent::DeadlineExpiry(idx));
             }
-            self.active.push(Active { idx, remaining: job.iterations as f64, alloc: 0 });
+            self.active.push(Active {
+                idx,
+                remaining: job.iterations as f64,
+                alloc: 0,
+                penalty: 1.0,
+            });
         }
 
         if self.active.is_empty() && self.next_arrival >= self.order.len() {
@@ -193,14 +247,17 @@ impl Handler<ClusterEvent> for ClusterSim<'_> {
             return;
         }
 
-        // ---- elastic reallocation, then predict the next completion.
+        // ---- elastic reallocation, then rack placement, then predict the
+        // next completion.
         reallocate(&mut self.active, self.jobs, &self.profiles, &mut self.pool, now);
+        self.place_on_racks();
         self.epoch += 1;
         let mut next_completion = f64::INFINITY;
         for a in &self.active {
             if a.alloc > 0 {
                 let it = self.profiles[a.idx].iter_time(a.alloc).expect("allocated rung exists");
-                next_completion = next_completion.min(now + a.remaining * it.as_secs_f64());
+                next_completion =
+                    next_completion.min(now + a.remaining * it.as_secs_f64() * a.penalty);
             }
         }
         if next_completion.is_finite() {
@@ -218,6 +275,25 @@ impl Handler<ClusterEvent> for ClusterSim<'_> {
         // If nothing is running, the next arrival or deadline event (both
         // already queued) drives the simulation; if neither exists the
         // queue drains and the leftovers are marked unschedulable below.
+    }
+}
+
+impl ClusterSim<'_> {
+    /// Packs the fresh grants into racks and refreshes each job's
+    /// cross-rack penalty. On a single-rack fleet every span is 1 and
+    /// every penalty 1.0, reproducing rack-oblivious behaviour exactly.
+    fn place_on_racks(&mut self) {
+        let grants: Vec<usize> = self.active.iter().map(|a| a.alloc).collect();
+        let spans = assign_racks(&grants, self.cfg.gpus_per_rack, self.cfg.total_gpus);
+        let factor = 1.0 + f64::from(self.cfg.cross_rack_slowdown_pct) / 100.0;
+        let mut any_spill = false;
+        for (a, span) in self.active.iter_mut().zip(&spans) {
+            a.penalty = if *span > 1 { factor } else { 1.0 };
+            any_spill |= *span > 1;
+        }
+        if any_spill {
+            self.cross_rack_rounds += 1;
+        }
     }
 }
 
@@ -267,6 +343,8 @@ pub fn simulate_cluster(
             .map(|j| JobOutcome { id: j.id, completion: None, violated: false })
             .collect(),
         pool: CapacityPool::new(cfg.total_gpus),
+        cfg: *cfg,
+        cross_rack_rounds: 0,
         last_now: 0.0,
         makespan: 0.0,
         epoch: 0,
@@ -285,6 +363,7 @@ pub fn simulate_cluster(
         outcomes: state.outcomes,
         makespan: TimeNs::from_secs_f64(state.makespan),
         events_processed: state.effective_events,
+        cross_rack_rounds: state.cross_rack_rounds,
     }
 }
 
@@ -408,7 +487,7 @@ mod tests {
     #[test]
     fn lone_job_gets_the_largest_useful_allocation() {
         let jobs = vec![job(0, 100, 0.0, None)];
-        let cfg = SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::DataParallelOnly };
+        let cfg = SchedulerConfig::new(64, ProfilePolicy::DataParallelOnly);
         let out = simulate_cluster(&jobs, &catalog(), &cfg);
         // Baseline tops out at 32 GPUs, 4 s/iter ⇒ 400 s.
         let jct = out.average_jct(&jobs).unwrap().as_secs_f64();
@@ -422,12 +501,12 @@ mod tests {
         let base = simulate_cluster(
             &jobs,
             &catalog(),
-            &SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::DataParallelOnly },
+            &SchedulerConfig::new(64, ProfilePolicy::DataParallelOnly),
         );
         let vt = simulate_cluster(
             &jobs,
             &catalog(),
-            &SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::VTrainOptimal },
+            &SchedulerConfig::new(64, ProfilePolicy::VTrainOptimal),
         );
         // vTrain reaches 64 GPUs at 1.8 s/iter ⇒ 180 s.
         assert!(vt.makespan < base.makespan);
@@ -437,7 +516,7 @@ mod tests {
     #[test]
     fn two_jobs_share_capacity() {
         let jobs = vec![job(0, 100, 0.0, None), job(1, 100, 0.0, None)];
-        let cfg = SchedulerConfig { total_gpus: 16, policy: ProfilePolicy::DataParallelOnly };
+        let cfg = SchedulerConfig::new(16, ProfilePolicy::DataParallelOnly);
         let out = simulate_cluster(&jobs, &catalog(), &cfg);
         // Each gets 8 GPUs at 10 s/iter ⇒ both finish at 1000 s.
         assert!((out.makespan.as_secs_f64() - 1000.0).abs() < 1.0);
@@ -449,7 +528,7 @@ mod tests {
         // 100 iterations, best baseline rate 4 s/iter ⇒ needs 400 s; only
         // 100 s of slack.
         let jobs = vec![job(0, 100, 0.0, Some(100.0))];
-        let cfg = SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::DataParallelOnly };
+        let cfg = SchedulerConfig::new(64, ProfilePolicy::DataParallelOnly);
         let out = simulate_cluster(&jobs, &catalog(), &cfg);
         assert!(out.outcomes[0].violated);
         assert_eq!(out.deadline_satisfactory_ratio(), 0.0);
@@ -460,7 +539,7 @@ mod tests {
         // Needs ≤ 6 s/iter ⇒ EDF hands it 16 GPUs even while a
         // deadline-free job competes.
         let jobs = vec![job(0, 100, 0.0, Some(650.0)), job(1, 50, 0.0, None)];
-        let cfg = SchedulerConfig { total_gpus: 24, policy: ProfilePolicy::DataParallelOnly };
+        let cfg = SchedulerConfig::new(24, ProfilePolicy::DataParallelOnly);
         let out = simulate_cluster(&jobs, &catalog(), &cfg);
         assert!(!out.outcomes[0].violated, "deadline job must be satisfied");
         assert!(out.outcomes[1].completion.is_some(), "background job still finishes");
@@ -475,7 +554,7 @@ mod tests {
         // 32 GPUs: EDF gives job 0 its minimal sufficient rung first; both
         // jobs need the whole cluster to hit their deadlines, so the later
         // deadline starves.
-        let cfg = SchedulerConfig { total_gpus: 32, policy: ProfilePolicy::DataParallelOnly };
+        let cfg = SchedulerConfig::new(32, ProfilePolicy::DataParallelOnly);
         let out = simulate_cluster(&jobs, &catalog(), &cfg);
         assert!(!out.outcomes[0].violated, "earliest deadline wins EDF");
         assert!(out.outcomes[1].violated, "starved job terminates at its deadline");
@@ -497,12 +576,12 @@ mod tests {
             let base = simulate_cluster(
                 &jobs,
                 &catalog,
-                &SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::DataParallelOnly },
+                &SchedulerConfig::new(64, ProfilePolicy::DataParallelOnly),
             );
             let vt = simulate_cluster(
                 &jobs,
                 &catalog,
-                &SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::VTrainOptimal },
+                &SchedulerConfig::new(64, ProfilePolicy::VTrainOptimal),
             );
             assert!(
                 vt.deadline_satisfactory_ratio() >= base.deadline_satisfactory_ratio() - 1e-9,
@@ -512,11 +591,61 @@ mod tests {
     }
 
     #[test]
+    fn racked_fleet_with_zero_penalty_matches_single_rack_exactly() {
+        let cfg_trace = TraceConfig { num_jobs: 16, seed: 7, ..TraceConfig::default() };
+        let cat = catalog();
+        let jobs = generate_trace(&cfg_trace, &cat);
+        let flat = SchedulerConfig::new(64, ProfilePolicy::VTrainOptimal);
+        let racked = flat.with_racks(16, 0);
+        let a = simulate_cluster(&jobs, &cat, &flat);
+        let b = simulate_cluster(&jobs, &cat, &racked);
+        // Placement changes, but a zero penalty must not move any time.
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.cross_rack_rounds, 0, "single rack never spans");
+    }
+
+    #[test]
+    fn cross_rack_penalty_slows_spanning_jobs() {
+        // One job wanting 32 GPUs on racks of 16: it must span 2 racks.
+        let jobs = vec![job(0, 100, 0.0, None)];
+        let base = SchedulerConfig::new(64, ProfilePolicy::DataParallelOnly);
+        let flat = simulate_cluster(&jobs, &catalog(), &base);
+        let racked = simulate_cluster(&jobs, &catalog(), &base.with_racks(16, 20));
+        assert!(racked.cross_rack_rounds > 0, "32-GPU grant spans 16-GPU racks");
+        // 400 s rack-local becomes 480 s at +20%.
+        assert!((racked.makespan.as_secs_f64() - 480.0).abs() < 1.0, "{}", racked.makespan);
+        assert!(racked.makespan > flat.makespan);
+    }
+
+    #[test]
+    fn rack_local_jobs_escape_the_penalty() {
+        // Two 100-iteration jobs on two racks of 16: each fits one rack
+        // (ElasticFlow grants both their best rack-sized rung, 16 GPUs),
+        // so even a huge penalty changes nothing.
+        let jobs = vec![job(0, 100, 0.0, None), job(1, 100, 0.0, None)];
+        let base = SchedulerConfig::new(32, ProfilePolicy::DataParallelOnly);
+        let flat = simulate_cluster(&jobs, &catalog(), &base);
+        let racked = simulate_cluster(&jobs, &catalog(), &base.with_racks(16, 100));
+        assert_eq!(racked.cross_rack_rounds, 0);
+        assert_eq!(flat.makespan, racked.makespan);
+        assert_eq!(flat.outcomes, racked.outcomes);
+    }
+
+    #[test]
+    fn num_racks_rounds_up() {
+        let cfg = SchedulerConfig::new(100, ProfilePolicy::VTrainOptimal).with_racks(32, 10);
+        assert_eq!(cfg.num_racks(), 4);
+        assert_eq!(SchedulerConfig::new(64, ProfilePolicy::VTrainOptimal).num_racks(), 1);
+    }
+
+    #[test]
     fn simulation_is_deterministic() {
         let cfg_trace = TraceConfig { num_jobs: 16, seed: 3, ..TraceConfig::default() };
         let cat = catalog();
         let jobs = generate_trace(&cfg_trace, &cat);
-        let cfg = SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::VTrainOptimal };
+        let cfg = SchedulerConfig::new(64, ProfilePolicy::VTrainOptimal);
         let a = simulate_cluster(&jobs, &cat, &cfg);
         let b = simulate_cluster(&jobs, &cat, &cfg);
         assert_eq!(a.makespan, b.makespan);
@@ -539,7 +668,7 @@ mod tests {
             vtrain: profile(&[(8, 0.0)]),
         });
         let jobs = vec![job(0, 5, 0.0, None), job(1, 5, 1.0, None)];
-        let cfg = SchedulerConfig { total_gpus: 8, policy: ProfilePolicy::DataParallelOnly };
+        let cfg = SchedulerConfig::new(8, ProfilePolicy::DataParallelOnly);
         let out = simulate_cluster(&jobs, &cat, &cfg);
         assert!(out.outcomes.iter().all(|o| o.completion.is_some()));
         assert!(out.makespan <= t(1.1));
@@ -555,7 +684,7 @@ mod tests {
             vtrain: profile(&[(128, 1.0)]),
         });
         let jobs = vec![job(0, 10, 0.0, None)];
-        let cfg = SchedulerConfig { total_gpus: 64, policy: ProfilePolicy::DataParallelOnly };
+        let cfg = SchedulerConfig::new(64, ProfilePolicy::DataParallelOnly);
         let out = simulate_cluster(&jobs, &cat, &cfg);
         assert!(out.outcomes[0].violated);
         assert!(out.outcomes[0].completion.is_none());

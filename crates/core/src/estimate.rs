@@ -26,6 +26,7 @@ use serde::{Deserialize, Serialize};
 use vtrain_gpu::NoiseModel;
 use vtrain_graph::{plan_signatures, CompKind, GraphOptions};
 use vtrain_model::{ModelConfig, TimeNs};
+use vtrain_net::Topology;
 use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule, PlanError};
 use vtrain_profile::{CacheStats, CommModel, ProfileCache, Profiler};
 
@@ -115,6 +116,55 @@ impl Estimator {
             GraphOptions { gpus_per_node: cluster.gpus_per_node, ..GraphOptions::default() };
         let profiler = Profiler::new(cluster.gpu.clone());
         Estimator { cluster, comm, graph_opts, profiler, cache }
+    }
+
+    /// Creates a topology-aware estimator: collectives are placed on
+    /// `topology` (which may add a rack tier via
+    /// [`Topology::with_rack_tier`]) and priced by the `vtrain-net`
+    /// algorithm library instead of the flat Equation (1) model.
+    ///
+    /// `alpha` supersedes any per-tier `alpha` set on `topology`'s
+    /// inter-node tiers — it is the one §IV calibration knob, applied
+    /// uniformly above the node level (encode per-tier effectiveness
+    /// differences in tier bandwidths instead).
+    pub fn with_topology(cluster: ClusterSpec, alpha: f64, topology: Topology) -> Self {
+        Estimator::with_topology_and_cache(cluster, alpha, topology, Arc::new(ProfileCache::new()))
+    }
+
+    /// [`Estimator::with_topology`] over a shared profile cache. Compute
+    /// profiles are topology-independent (only communication pricing
+    /// changes), so estimators for different placements can — and in a
+    /// placement sweep do — share one cache soundly.
+    pub fn with_topology_and_cache(
+        cluster: ClusterSpec,
+        alpha: f64,
+        topology: Topology,
+        cache: Arc<ProfileCache>,
+    ) -> Self {
+        let comm = CommModel::with_topology(&cluster, alpha, topology.clone());
+        // Graph placement geometry follows the topology's node shape
+        // (falling back to the cluster's for a flat topology's unbounded
+        // node).
+        let gpus_per_node = if topology.gpus_per_node() == usize::MAX {
+            cluster.gpus_per_node
+        } else {
+            topology.gpus_per_node()
+        };
+        let nodes_per_rack = (topology.num_tiers() == 3).then(|| topology.nodes_per_rack());
+        let graph_opts = GraphOptions { gpus_per_node, nodes_per_rack, ..GraphOptions::default() };
+        let profiler = Profiler::new(cluster.gpu.clone());
+        Estimator { cluster, comm, graph_opts, profiler, cache }
+    }
+
+    /// The interconnect topology communication is priced against.
+    pub fn topology(&self) -> &Topology {
+        self.comm.topology()
+    }
+
+    /// True if this estimator routes collectives through the
+    /// topology-aware algorithm library.
+    pub fn is_topology_aware(&self) -> bool {
+        self.comm.is_topology_aware()
     }
 
     /// The cluster being modeled.
@@ -455,6 +505,69 @@ mod tests {
         let misses_before = clone.cache_stats().misses;
         clone.estimate(&model, &p).unwrap();
         assert_eq!(clone.cache_stats().misses, misses_before, "clone reuses shared profiles");
+    }
+
+    #[test]
+    fn topology_estimator_agrees_with_flat_on_spread_groups() {
+        // t = 8 fills each node, so every DP group has one rank per node:
+        // the selector degenerates to the flat ring and the topology-aware
+        // estimate must be bit-identical to the legacy model.
+        let cluster = ClusterSpec::aws_p4d(64);
+        let flat = Estimator::new(cluster.clone());
+        let aware = Estimator::with_topology(cluster.clone(), 1.0, cluster.topology(1.0));
+        assert!(aware.is_topology_aware() && !flat.is_topology_aware());
+        let model = presets::megatron("18.4B");
+        let p = plan(8, 8, 1, 2, 128);
+        let a = flat.estimate(&model, &p).unwrap();
+        let b = aware.estimate(&model, &p).unwrap();
+        assert_eq!(a.iteration_time, b.iteration_time);
+        assert_eq!(a.busy, b.busy);
+        assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+    }
+
+    #[test]
+    fn topology_estimator_speeds_up_node_packed_gradients() {
+        // t = 2 leaves 4 DP ranks per node: hierarchical gradient
+        // All-Reduce sends only S/4 over InfiniBand, so the topology-aware
+        // estimate must be at least as fast as the flat Equation (1).
+        let cluster = ClusterSpec::aws_p4d(32);
+        let flat = Estimator::new(cluster.clone());
+        let aware = Estimator::with_topology(cluster.clone(), 1.0, cluster.topology(1.0));
+        let model = presets::megatron("1.7B");
+        let p = plan(2, 16, 1, 1, 16);
+        let a = flat.estimate(&model, &p).unwrap();
+        let b = aware.estimate(&model, &p).unwrap();
+        assert!(
+            b.iteration_time <= a.iteration_time,
+            "topology-aware {} vs flat {}",
+            b.iteration_time,
+            a.iteration_time
+        );
+    }
+
+    #[test]
+    fn rack_tier_slows_cross_rack_placements() {
+        // Same plan, same cluster; adding a rack tier with a slower spine
+        // can only lengthen communication.
+        let cluster = ClusterSpec::aws_p4d(64);
+        let two_tier = Estimator::with_topology(cluster.clone(), 1.0, cluster.topology(1.0));
+        let spine = vtrain_net::TierSpec::new(25e9, TimeNs::from_micros(35), 1.0);
+        let racked = Estimator::with_topology(
+            cluster.clone(),
+            1.0,
+            cluster.topology(1.0).with_rack_tier(2, spine),
+        );
+        assert_eq!(racked.topology().num_tiers(), 3);
+        let model = presets::megatron("1.7B");
+        let p = plan(2, 16, 2, 1, 16); // 64 GPUs: spans all 4 racks of 16.
+        let fast = two_tier.estimate(&model, &p).unwrap();
+        let slow = racked.estimate(&model, &p).unwrap();
+        assert!(
+            slow.iteration_time >= fast.iteration_time,
+            "racked {} vs two-tier {}",
+            slow.iteration_time,
+            fast.iteration_time
+        );
     }
 
     #[test]

@@ -10,11 +10,14 @@
 //! profiled once per sweep rather than once per plan.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use vtrain_model::ModelConfig;
+use vtrain_net::Topology;
 use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule};
+use vtrain_profile::ProfileCache;
 
 use crate::cost::{CostModel, TrainingProjection};
 use crate::estimate::{Estimator, IterationEstimate};
@@ -250,6 +253,49 @@ pub fn sweep(
     SweepOutcome { points, stats }
 }
 
+/// One topology variant's outcome in a placement sweep.
+#[derive(Clone, Debug)]
+pub struct PlacementSweep {
+    /// The variant's label (e.g. `"two-tier"`, `"multi-rack/4"`).
+    pub label: String,
+    /// The sweep over this placement.
+    pub outcome: SweepOutcome,
+}
+
+/// Sweeps the same candidate plans over several interconnect topologies
+/// — the placement axis of the design space (how racks reshape the
+/// fig10/fig11 landscape).
+///
+/// All variants share one profile cache: compute profiles are
+/// topology-independent, so every unique operator signature is profiled
+/// once for the *entire* placement sweep, and only communication pricing
+/// differs between variants.
+pub fn sweep_topologies(
+    cluster: &ClusterSpec,
+    alpha: f64,
+    topologies: &[(String, Topology)],
+    model: &ModelConfig,
+    candidates: &[ParallelConfig],
+    threads: usize,
+) -> Vec<PlacementSweep> {
+    let cache = Arc::new(ProfileCache::new());
+    topologies
+        .iter()
+        .map(|(label, topo)| {
+            let estimator = Estimator::with_topology_and_cache(
+                cluster.clone(),
+                alpha,
+                topo.clone(),
+                Arc::clone(&cache),
+            );
+            PlacementSweep {
+                label: label.clone(),
+                outcome: sweep(&estimator, model, candidates, threads),
+            }
+        })
+        .collect()
+}
+
 /// Convenience: enumerate + sweep with one call.
 pub fn explore(
     estimator: &Estimator,
@@ -453,6 +499,33 @@ mod tests {
             s.cache_hits,
             s.cache_misses
         );
+    }
+
+    #[test]
+    fn placement_sweep_shares_one_cache_and_orders_topologies() {
+        let cluster = ClusterSpec::aws_p4d(32);
+        let model = presets::megatron("1.7B");
+        let limits =
+            SearchLimits { max_tensor: 4, max_data: 8, max_pipeline: 2, max_micro_batch: 2 };
+        let cands = enumerate_candidates(&model, &cluster, 16, PipelineSchedule::OneFOneB, &limits);
+        let spine = vtrain_net::TierSpec::new(25e9, vtrain_model::TimeNs::from_micros(35), 1.0);
+        let topologies = vec![
+            ("two-tier".to_owned(), cluster.topology(1.0)),
+            ("multi-rack/2".to_owned(), cluster.topology(1.0).with_rack_tier(2, spine)),
+        ];
+        let sweeps = sweep_topologies(&cluster, 1.0, &topologies, &model, &cands, 4);
+        assert_eq!(sweeps.len(), 2);
+        assert_eq!(sweeps[0].label, "two-tier");
+        // Identical candidate grids: the same plans are feasible under
+        // every placement (feasibility never depends on the topology).
+        assert_eq!(sweeps[0].outcome.points.len(), sweeps[1].outcome.points.len());
+        // The second variant re-used every compute profile of the first.
+        assert_eq!(sweeps[1].outcome.stats.cache_misses, 0, "placement sweeps share one cache");
+        // A slower spine can only slow points down.
+        for (a, b) in sweeps[0].outcome.points.iter().zip(&sweeps[1].outcome.points) {
+            assert_eq!(a.plan, b.plan);
+            assert!(b.estimate.iteration_time >= a.estimate.iteration_time);
+        }
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub fn ring_factor(ranks: usize) -> f64 {
 /// Latency of a ring All-Reduce of `bytes` across `ranks` peers sharing
 /// `bandwidth_per_rank` bytes/s each, plus a fixed `base_latency`
 /// (Equation (1) of the paper with `B = bandwidth_per_rank`).
+///
+/// Boundary semantics (pinned by the `boundary_*` tests): a zero-byte
+/// collective is a no-op the runtime skips entirely (zero cost), while a
+/// single-rank collective with a payload still launches its kernel and
+/// pays `base_latency` — the pre-fix code silently dropped it.
 pub fn all_reduce_time(
     bytes: Bytes,
     ranks: usize,
@@ -38,17 +43,24 @@ pub fn all_reduce_time(
     base_latency: TimeNs,
 ) -> TimeNs {
     assert!(bandwidth_per_rank > 0.0, "bandwidth must be positive");
-    if ranks <= 1 {
+    if bytes == Bytes::ZERO {
         return TimeNs::ZERO;
+    }
+    if ranks <= 1 {
+        return base_latency;
     }
     let transfer = bytes.as_f64() * ring_factor(ranks) / bandwidth_per_rank;
     base_latency + TimeNs::from_secs_f64(transfer)
 }
 
 /// Latency of a point-to-point Send-Receive of `bytes` over a link of
-/// `bandwidth` bytes/s with `base_latency` setup time.
+/// `bandwidth` bytes/s with `base_latency` setup time. A zero-byte
+/// transfer is a no-op and costs nothing.
 pub fn send_recv_time(bytes: Bytes, bandwidth: f64, base_latency: TimeNs) -> TimeNs {
     assert!(bandwidth > 0.0, "bandwidth must be positive");
+    if bytes == Bytes::ZERO {
+        return TimeNs::ZERO;
+    }
     base_latency + TimeNs::from_secs_f64(bytes.as_f64() / bandwidth)
 }
 
@@ -100,10 +112,40 @@ mod tests {
     }
 
     #[test]
-    fn all_reduce_single_rank_is_free() {
+    fn boundary_single_rank_still_pays_launch_latency() {
+        // A one-rank "collective" moves nothing but still launches: the
+        // base latency must survive (it used to be silently dropped).
         assert_eq!(
             all_reduce_time(Bytes::from_gib(1), 1, 1e9, TimeNs::from_micros(10)),
-            TimeNs::ZERO
+            TimeNs::from_micros(10)
+        );
+    }
+
+    #[test]
+    fn boundary_zero_bytes_is_a_noop() {
+        // Zero-byte collectives and transfers are skipped by the runtime:
+        // no ring traffic, no launch latency.
+        for ranks in [1, 2, 8, 512] {
+            assert_eq!(
+                all_reduce_time(Bytes::ZERO, ranks, 1e9, TimeNs::from_micros(10)),
+                TimeNs::ZERO
+            );
+        }
+        assert_eq!(send_recv_time(Bytes::ZERO, 1e9, TimeNs::from_micros(20)), TimeNs::ZERO);
+    }
+
+    #[test]
+    fn boundary_costs_are_monotone_through_the_edges() {
+        let lat = TimeNs::from_micros(10);
+        // bytes: 0 → 1 → many is non-decreasing.
+        let t0 = all_reduce_time(Bytes::ZERO, 4, 1e9, lat);
+        let t1 = all_reduce_time(Bytes::from_bytes(1), 4, 1e9, lat);
+        let t2 = all_reduce_time(Bytes::from_mib(1), 4, 1e9, lat);
+        assert!(t0 <= t1 && t1 <= t2);
+        // ranks: 1 → 2 is non-decreasing for any payload.
+        assert!(
+            all_reduce_time(Bytes::from_mib(1), 1, 1e9, lat)
+                <= all_reduce_time(Bytes::from_mib(1), 2, 1e9, lat)
         );
     }
 

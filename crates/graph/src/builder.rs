@@ -3,8 +3,9 @@
 
 use std::collections::HashSet;
 
-use vtrain_model::{Bytes, ModelConfig};
-use vtrain_parallel::{layer_partition, ParallelConfig, Pass};
+use vtrain_model::{Bytes, ModelConfig, TimeNs};
+use vtrain_net::{GroupPlacement, TierSpec, Topology};
+use vtrain_parallel::{layer_partition, ParallelConfig, Pass, ProcessGroups};
 
 use crate::graph::{OpGraph, OpNode, StreamKind};
 use crate::ops::{CommKind, CommOp, CommScope, CompKind, ComputeOp, Op, OpSignature};
@@ -36,6 +37,10 @@ impl GraphSink for OpGraph {
 pub struct GraphOptions {
     /// GPUs per server node (decides which collectives cross nodes).
     pub gpus_per_node: usize,
+    /// Nodes per rack, when the cluster has a rack tier (`None` places
+    /// every node in one rack). Only affects the [`CommOp::placement`]
+    /// geometry consumed by topology-aware communication models.
+    pub nodes_per_rack: Option<usize>,
     /// Target gradient-bucket payload for DP bucketing (PyTorch DDP defaults
     /// to 25 MiB).
     pub dp_bucket_bytes: Bytes,
@@ -46,7 +51,25 @@ pub struct GraphOptions {
 
 impl Default for GraphOptions {
     fn default() -> Self {
-        GraphOptions { gpus_per_node: 8, dp_bucket_bytes: Bytes::from_mib(25), recompute: true }
+        GraphOptions {
+            gpus_per_node: 8,
+            nodes_per_rack: None,
+            dp_bucket_bytes: Bytes::from_mib(25),
+            recompute: true,
+        }
+    }
+}
+
+impl GraphOptions {
+    /// The shape-only topology placements are computed against (tier
+    /// bandwidths are irrelevant to geometry and set to placeholders).
+    fn shape_topology(&self) -> Topology {
+        let unit = TierSpec::new(1.0, TimeNs::ZERO, 1.0);
+        let topo = Topology::two_tier(self.gpus_per_node, unit, unit);
+        match self.nodes_per_rack {
+            Some(npr) => topo.with_rack_tier(npr, unit),
+            None => topo,
+        }
     }
 }
 
@@ -174,6 +197,10 @@ struct Builder<'a, S: GraphSink> {
     opts: &'a GraphOptions,
     sigs: SigFactory<'a>,
     sink: &'a mut S,
+    /// Shape-only topology for placement geometry.
+    topo: Topology,
+    /// Per-plan process-group placements (computed once, not per node).
+    groups: ProcessGroups,
     /// Last node per (device, stream) for program-order chaining.
     last_compute: Vec<Option<u32>>,
     last_comm: Vec<Option<u32>>,
@@ -208,12 +235,16 @@ impl<'a, S: GraphSink> Builder<'a, S> {
         sink: &'a mut S,
     ) -> Self {
         let p = plan.pipeline();
+        let topo = opts.shape_topology();
+        let groups = ProcessGroups::new(plan, &topo);
         Builder {
             model,
             plan,
             opts,
             sigs: SigFactory { model, plan, opts },
             sink,
+            topo,
+            groups,
             last_compute: vec![None; p],
             last_comm: vec![None; p],
         }
@@ -266,28 +297,21 @@ impl<'a, S: GraphSink> Builder<'a, S> {
             bytes: self.boundary_bytes(),
             ranks: t,
             scope: CommScope::IntraNode,
+            placement: self.groups.tensor,
             overlappable: false,
             concurrent_groups: 1,
         };
         Some(self.emit(device, StreamKind::Compute, Op::Comm(op)))
     }
 
-    /// Whether the pipeline boundary after `stage` crosses a node boundary
-    /// under the Megatron rank layout (tensor fastest, then data, then
-    /// pipeline).
-    fn pp_boundary_is_inter_node(&self, stage: usize) -> bool {
-        let block = self.plan.tensor() * self.plan.data();
-        let a = (stage * block) / self.opts.gpus_per_node;
-        let b = ((stage + 1) * block) / self.opts.gpus_per_node;
-        a != b
-    }
-
-    fn pp_send(&mut self, device: usize, inter_node: bool) -> u32 {
+    fn pp_send(&mut self, device: usize, boundary: usize) -> u32 {
+        let tier = ProcessGroups::pipeline_boundary_tier(self.plan, &self.topo, boundary);
         let op = CommOp {
             kind: CommKind::PpSendRecv,
             bytes: self.boundary_bytes(),
             ranks: 2,
-            scope: if inter_node { CommScope::InterNode } else { CommScope::IntraNode },
+            scope: if tier > 0 { CommScope::InterNode } else { CommScope::IntraNode },
+            placement: GroupPlacement::pair(tier),
             overlappable: false,
             concurrent_groups: 1,
         };
@@ -304,6 +328,7 @@ impl<'a, S: GraphSink> Builder<'a, S> {
             bytes,
             ranks: d,
             scope: if inter_node { CommScope::InterNode } else { CommScope::IntraNode },
+            placement: self.groups.data,
             overlappable: true,
             concurrent_groups: if inter_node {
                 self.opts.gpus_per_node / t.min(self.opts.gpus_per_node)
@@ -410,11 +435,10 @@ impl<'a, S: GraphSink> Builder<'a, S> {
             self.compute(stage, self.vocab_sig(CompKind::LmHeadFwd));
             None
         } else {
-            let inter = self.pp_boundary_is_inter_node(stage);
             // The send waits for the last compute node via an explicit edge
             // (it lives on the comm stream).
             let last_compute = self.last_compute[stage].expect("forward emitted compute");
-            let send = self.pp_send(stage, inter);
+            let send = self.pp_send(stage, stage);
             self.sink.add_edge(last_compute, send);
             Some(send)
         };
@@ -461,8 +485,7 @@ impl<'a, S: GraphSink> Builder<'a, S> {
             None
         } else {
             let last_compute = self.last_compute[stage].expect("backward emitted compute");
-            let inter = self.pp_boundary_is_inter_node(stage - 1);
-            let send = self.pp_send(stage, inter);
+            let send = self.pp_send(stage, stage - 1);
             self.sink.add_edge(last_compute, send);
             Some(send)
         };
@@ -682,6 +705,55 @@ mod tests {
             .unwrap();
         assert_eq!(op.scope, CommScope::InterNode);
         assert_eq!(op.concurrent_groups, 4);
+    }
+
+    #[test]
+    fn comm_placements_follow_the_rack_shape() {
+        let model = presets::megatron("1.7B");
+        let cfg = plan(8, 8, 1, 1, 8, Sched::OneFOneB);
+        // 8 GPUs per node, 4 nodes per rack: each DP replica owns a node,
+        // the 8 replicas span 2 racks.
+        let opts = GraphOptions { nodes_per_rack: Some(4), ..GraphOptions::default() };
+        let g = build_op_graph(&model, &cfg, &opts);
+        let dp = g
+            .nodes()
+            .iter()
+            .find_map(|n| n.op.comm().filter(|c| c.kind == CommKind::DpAllReduce))
+            .unwrap();
+        assert_eq!(
+            dp.placement,
+            vtrain_net::GroupPlacement { ranks_per_node: 1, nodes_per_rack: 4, racks: 2 }
+        );
+        let tp = g
+            .nodes()
+            .iter()
+            .find_map(|n| n.op.comm().filter(|c| c.kind == CommKind::TpAllReduce))
+            .unwrap();
+        assert_eq!(tp.placement, vtrain_net::GroupPlacement::intra_node(8));
+        // Without a rack tier the same plan spans one logical rack.
+        let flat = build_op_graph(&model, &cfg, &GraphOptions::default());
+        let dp_flat = flat
+            .nodes()
+            .iter()
+            .find_map(|n| n.op.comm().filter(|c| c.kind == CommKind::DpAllReduce))
+            .unwrap();
+        assert_eq!(dp_flat.placement.racks, 1);
+        assert_eq!(dp_flat.placement.nodes_per_rack, 8);
+    }
+
+    #[test]
+    fn pp_placement_tier_matches_scope() {
+        let model = presets::megatron("1.7B");
+        let cfg = plan(2, 2, 3, 1, 6, Sched::OneFOneB); // 4-rank stages
+        let g = build_op_graph(&model, &cfg, &GraphOptions::default());
+        for n in g.nodes() {
+            if let Some(c) = n.op.comm().filter(|c| c.kind == CommKind::PpSendRecv) {
+                match c.scope {
+                    CommScope::IntraNode => assert_eq!(c.placement.top_tier(), 0),
+                    CommScope::InterNode => assert!(c.placement.top_tier() >= 1),
+                }
+            }
+        }
     }
 
     #[test]

@@ -153,6 +153,7 @@ mod tests {
                 bytes: Bytes::from_mib(1),
                 ranks: 2,
                 scope: CommScope::InterNode,
+                placement: vtrain_net::GroupPlacement::pair(1),
                 overlappable: false,
                 concurrent_groups: 1,
             }),

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use vtrain_model::Bytes;
+use vtrain_net::GroupPlacement;
 
 /// The computation operator classes of a decoder-only LLM iteration.
 ///
@@ -97,6 +98,11 @@ pub struct CommOp {
     pub ranks: usize,
     /// Network tier.
     pub scope: CommScope,
+    /// How the group's ranks spread over the interconnect hierarchy
+    /// (ranks per node / nodes per rack / racks) — the geometric input
+    /// of the topology-aware collective cost models. The flat model
+    /// reads only [`CommOp::scope`].
+    pub placement: GroupPlacement,
     /// True if the runtime may overlap this collective with compute
     /// (DP bucket All-Reduces); false for the sequentially-dependent TP
     /// All-Reduces and pipeline transfers consumed on the critical path.
@@ -172,6 +178,7 @@ mod tests {
             bytes: Bytes::from_mib(4),
             ranks: 8,
             scope: CommScope::IntraNode,
+            placement: GroupPlacement::intra_node(8),
             overlappable: false,
             concurrent_groups: 1,
         });

@@ -1,0 +1,534 @@
+//! Analytical cost models for collective algorithms over a
+//! [`Topology`], each returning a per-tier [`CostBreakdown`].
+//!
+//! All formulas price a group of `n` ranks moving a buffer of `S` bytes
+//! against the effective bandwidth `B = α·Bmax` and base latency `L` of
+//! the tiers the group crosses:
+//!
+//! * **Ring** — the paper's Equation (1) family: one launch latency plus
+//!   the bandwidth-optimal traffic factor at the *highest* tier the group
+//!   spans (`2(n-1)/n` for All-Reduce, `(n-1)/n` for All-Gather /
+//!   Reduce-Scatter / All-to-All). On a single-tier topology the
+//!   All-Reduce form is bit-identical to
+//!   `vtrain_gpu::comm::all_reduce_time`.
+//! * **Tree** — latency-oriented: `⌈log₂n⌉` rounds. All-Reduce uses the
+//!   pipelined double-tree form (`2⌈log₂n⌉·L + 2S/B`); All-Gather and
+//!   Reduce-Scatter recursive doubling/halving; All-to-All the Bruck
+//!   exchange (`⌈log₂n⌉·L + S·⌈log₂n⌉/2/B`).
+//! * **Hierarchical** — reduce-scatter up the hierarchy, a ring phase at
+//!   the top tier over the shrunken shard, and an all-gather back down
+//!   (the NCCL/Horovod multi-level pattern). Only `S/f₀` (or `S/f₀f₁`)
+//!   bytes cross the scarce upper tiers, which is what the flat model
+//!   cannot express.
+//!
+//! Boundary semantics match the repaired flat primitives: a zero-byte
+//! collective is a no-op (zero cost), and a single-rank group costs one
+//! launch latency at its tier.
+
+use serde::{Deserialize, Serialize};
+use vtrain_model::{Bytes, TimeNs};
+
+use crate::topology::{GroupPlacement, Topology};
+
+/// The collective operation classes of distributed training.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Collective {
+    /// Reduce + broadcast: every rank ends with the full reduction.
+    AllReduce,
+    /// Every rank ends with the concatenation of all shards.
+    AllGather,
+    /// Every rank ends with its reduced shard.
+    ReduceScatter,
+    /// Every rank exchanges a distinct shard with every other rank
+    /// (expert-parallel / sequence-parallel traffic).
+    AllToAll,
+}
+
+/// The pluggable collective algorithms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Bandwidth-optimal flat ring at the group's top tier (Equation (1)).
+    Ring,
+    /// Latency-oriented `⌈log₂n⌉`-round tree / recursive doubling.
+    Tree,
+    /// Reduce-scatter intra-tier, ring at the top tier, all-gather back.
+    Hierarchical,
+}
+
+/// The cost of one phase of a collective, attributed to the tier whose
+/// links it occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Tier index (0 = intra-node).
+    pub tier: usize,
+    /// Phase duration.
+    pub time: TimeNs,
+}
+
+/// A collective's cost, decomposed into sequential per-tier phases.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Sequential phases; empty for a no-op collective.
+    pub phases: Vec<PhaseCost>,
+}
+
+impl CostBreakdown {
+    /// Total duration: phases run back to back.
+    pub fn total(&self) -> TimeNs {
+        self.phases.iter().map(|p| p.time).sum()
+    }
+
+    /// Time attributed to `tier` across all phases.
+    pub fn tier_time(&self, tier: usize) -> TimeNs {
+        self.phases.iter().filter(|p| p.tier == tier).map(|p| p.time).sum()
+    }
+}
+
+/// The ring traffic factor of `kind` over `n` ranks: each byte crosses
+/// the ring twice for All-Reduce (reduce-scatter + all-gather), once for
+/// the single-pass collectives.
+pub fn ring_traffic_factor(kind: Collective, n: usize) -> f64 {
+    match kind {
+        Collective::AllReduce => 2.0 * (n as f64 - 1.0) / n as f64,
+        Collective::AllGather | Collective::ReduceScatter | Collective::AllToAll => {
+            (n as f64 - 1.0) / n as f64
+        }
+    }
+}
+
+/// `⌈log₂n⌉` for `n ≥ 1`.
+fn log2_ceil(n: usize) -> u32 {
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// One phase at `tier`: launch latency plus `bytes · factor / B`.
+///
+/// The float expression mirrors `vtrain_gpu::comm::all_reduce_time`
+/// exactly (multiply, then one divide, then quantize) so that flat ring
+/// costs are bit-identical to the legacy model.
+fn phase(topo: &Topology, tier: usize, bytes: f64, factor: f64, latency_rounds: u32) -> PhaseCost {
+    let spec = topo.tier(tier);
+    let mut time = TimeNs::from_secs_f64(bytes * factor / spec.effective_bandwidth());
+    for _ in 0..latency_rounds {
+        time += spec.base_latency;
+    }
+    PhaseCost { tier, time }
+}
+
+/// Cost of running `kind` with `algorithm` over a group placed as
+/// `placement` on `topo`, moving a buffer of `bytes` per rank.
+///
+/// Zero bytes cost nothing; a single-rank group costs one launch latency
+/// at its top tier.
+pub fn cost(
+    topo: &Topology,
+    placement: GroupPlacement,
+    kind: Collective,
+    algorithm: Algorithm,
+    bytes: Bytes,
+) -> CostBreakdown {
+    let n = placement.size();
+    let top = placement.top_tier().min(topo.num_tiers() - 1);
+    if bytes == Bytes::ZERO {
+        return CostBreakdown::default();
+    }
+    if n <= 1 {
+        return CostBreakdown {
+            phases: vec![PhaseCost { tier: top, time: topo.tier(top).base_latency }],
+        };
+    }
+    let s = bytes.as_f64();
+    let phases = match algorithm {
+        Algorithm::Ring => vec![phase(topo, top, s, ring_traffic_factor(kind, n), 1)],
+        Algorithm::Tree => {
+            let rounds = log2_ceil(n);
+            match kind {
+                Collective::AllReduce => vec![phase(topo, top, s, 2.0, 2 * rounds)],
+                Collective::AllGather | Collective::ReduceScatter => {
+                    vec![phase(topo, top, s, ring_traffic_factor(kind, n), rounds)]
+                }
+                Collective::AllToAll => {
+                    vec![phase(topo, top, s, rounds as f64 / 2.0, rounds)]
+                }
+            }
+        }
+        Algorithm::Hierarchical => hierarchical(topo, placement, kind, s),
+    };
+    CostBreakdown { phases }
+}
+
+/// The multi-level decomposition. For All-Reduce: reduce-scatter at each
+/// crossed tier below the top (payload shrinking by the tier's fan-out),
+/// a ring All-Reduce over the top-tier fan-out, then the mirrored
+/// all-gathers back down. Reduce-Scatter keeps only the upward sweep,
+/// All-Gather only the downward one, and All-to-All exchanges at each
+/// tier exactly the traffic fraction that crosses it.
+///
+/// A placement may span more levels than the topology has tiers (e.g. a
+/// multi-rack group priced on a two-tier topology): the fan-outs above
+/// the topology's top tier fold into its fan-out, so every rank is
+/// always accounted for.
+fn hierarchical(
+    topo: &Topology,
+    placement: GroupPlacement,
+    kind: Collective,
+    s: f64,
+) -> Vec<PhaseCost> {
+    let top = placement.top_tier().min(topo.num_tiers() - 1);
+    let n = placement.size();
+
+    if let Collective::AllToAll = kind {
+        // Fraction of each rank's buffer that crosses exactly level k:
+        // peers reachable at ≤ k minus peers reachable at < k, over n.
+        // Levels the topology cannot separate accumulate into one
+        // exchange at the clamped tier (single launch).
+        let mut fracs = [0.0f64; 3];
+        let mut reach_below = 1usize;
+        for level in 0..=placement.top_tier() {
+            let reach = reach_below * placement.fanout(level);
+            fracs[level.min(top)] += (reach - reach_below) as f64 / n as f64;
+            reach_below = reach;
+        }
+        return fracs
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0.0)
+            .map(|(tier, &f)| phase(topo, tier, s, f, 1))
+            .collect();
+    }
+
+    // Upward reduce-scatter sweep: payload shrinks by each fan-out.
+    let mut up = Vec::new();
+    let mut shard = s;
+    for tier in 0..top {
+        let f = placement.fanout(tier);
+        if f > 1 {
+            up.push(phase(topo, tier, shard, ring_traffic_factor(Collective::ReduceScatter, f), 1));
+            shard /= f as f64;
+        }
+    }
+    // Levels the topology cannot separate collapse into the top tier's
+    // ring phase.
+    let top_fanout: usize = (top..=placement.top_tier()).map(|l| placement.fanout(l)).product();
+
+    match kind {
+        Collective::AllReduce => {
+            let mut phases = up.clone();
+            phases.push(phase(
+                topo,
+                top,
+                shard,
+                ring_traffic_factor(Collective::AllReduce, top_fanout),
+                1,
+            ));
+            phases.extend(up.into_iter().rev());
+            phases
+        }
+        Collective::ReduceScatter => {
+            let mut phases = up;
+            phases.push(phase(
+                topo,
+                top,
+                shard,
+                ring_traffic_factor(Collective::ReduceScatter, top_fanout),
+                1,
+            ));
+            phases
+        }
+        Collective::AllGather => {
+            // Mirror of reduce-scatter: gather the top-tier shards first,
+            // then fan the growing buffer back down.
+            let mut phases = vec![phase(
+                topo,
+                top,
+                shard,
+                ring_traffic_factor(Collective::AllGather, top_fanout),
+                1,
+            )];
+            phases.extend(up.into_iter().rev());
+            phases
+        }
+        Collective::AllToAll => unreachable!("handled above"),
+    }
+}
+
+/// Deterministically selects the cheapest algorithm for a collective
+/// signature: candidates are priced with [`cost`] and the first
+/// strict minimum in `[Ring, Tree, Hierarchical]` order wins, so ties
+/// fall back to the paper's flat ring model.
+///
+/// Intra-node groups always use the ring (that path is table-driven in
+/// the profiled communication model, matching the paper's methodology).
+pub fn select(
+    topo: &Topology,
+    placement: GroupPlacement,
+    kind: Collective,
+    bytes: Bytes,
+) -> Algorithm {
+    if placement.top_tier() == 0 {
+        return Algorithm::Ring;
+    }
+    let mut best = Algorithm::Ring;
+    let mut best_total = cost(topo, placement, kind, Algorithm::Ring, bytes).total();
+    for algo in [Algorithm::Tree, Algorithm::Hierarchical] {
+        let total = cost(topo, placement, kind, algo, bytes).total();
+        if total < best_total {
+            best = algo;
+            best_total = total;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TierSpec;
+    use proptest::prelude::*;
+
+    fn p4d_like() -> Topology {
+        Topology::two_tier(
+            8,
+            TierSpec::new(235e9, TimeNs::from_micros(8), 1.0),
+            TierSpec::new(100e9, TimeNs::from_micros(20), 1.0),
+        )
+    }
+
+    fn three_tier() -> Topology {
+        p4d_like().with_rack_tier(4, TierSpec::new(50e9, TimeNs::from_micros(35), 1.0))
+    }
+
+    #[test]
+    fn flat_ring_all_reduce_matches_equation_one() {
+        // 1 GiB across 8 ranks at 100 GB/s ≈ 18.8 ms (the paper's worked
+        // example for Equation (1)).
+        let topo = Topology::flat(TierSpec::new(100e9, TimeNs::ZERO, 1.0));
+        let c = cost(
+            &topo,
+            GroupPlacement::intra_node(8),
+            Collective::AllReduce,
+            Algorithm::Ring,
+            Bytes::from_gib(1),
+        );
+        assert_eq!(c.phases.len(), 1);
+        assert!((c.total().as_secs_f64() - 0.0188).abs() < 0.001);
+    }
+
+    #[test]
+    fn zero_bytes_and_single_rank_boundaries() {
+        let topo = p4d_like();
+        let pl = GroupPlacement::intra_node(8);
+        for kind in [
+            Collective::AllReduce,
+            Collective::AllGather,
+            Collective::ReduceScatter,
+            Collective::AllToAll,
+        ] {
+            for algo in [Algorithm::Ring, Algorithm::Tree, Algorithm::Hierarchical] {
+                assert_eq!(cost(&topo, pl, kind, algo, Bytes::ZERO).total(), TimeNs::ZERO);
+                assert_eq!(
+                    cost(&topo, GroupPlacement::intra_node(1), kind, algo, Bytes::from_mib(4))
+                        .total(),
+                    TimeNs::from_micros(8),
+                    "single-rank collective costs one launch latency"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_all_reduce_breaks_down_per_tier() {
+        let topo = p4d_like();
+        // 4 nodes × 8 ranks.
+        let pl = GroupPlacement { ranks_per_node: 8, nodes_per_rack: 4, racks: 1 };
+        let c =
+            cost(&topo, pl, Collective::AllReduce, Algorithm::Hierarchical, Bytes::from_mib(512));
+        // RS intra, AR inter, AG intra.
+        assert_eq!(c.phases.len(), 3);
+        assert_eq!(c.phases[0].tier, 0);
+        assert_eq!(c.phases[1].tier, 1);
+        assert_eq!(c.phases[2].tier, 0);
+        assert_eq!(c.phases[0].time, c.phases[2].time);
+        assert_eq!(c.total(), c.tier_time(0) + c.tier_time(1));
+        // Only S/8 crossed InfiniBand: far cheaper than the flat ring.
+        let flat = cost(&topo, pl, Collective::AllReduce, Algorithm::Ring, Bytes::from_mib(512));
+        assert!(c.total() < flat.total());
+    }
+
+    #[test]
+    fn hierarchical_spans_three_tiers() {
+        let topo = three_tier();
+        let pl = GroupPlacement { ranks_per_node: 8, nodes_per_rack: 4, racks: 2 };
+        let c = cost(&topo, pl, Collective::AllReduce, Algorithm::Hierarchical, Bytes::from_gib(1));
+        // RS(0), RS(1), AR(2), AG(1), AG(0).
+        assert_eq!(c.phases.iter().map(|p| p.tier).collect::<Vec<_>>(), vec![0, 1, 2, 1, 0]);
+        // The spine sees only S/32.
+        let spine_bytes = Bytes::from_gib(1).as_f64() / 32.0;
+        let expect = TimeNs::from_secs_f64(spine_bytes * 1.0 / 50e9) + TimeNs::from_micros(35);
+        assert_eq!(c.tier_time(2), expect);
+    }
+
+    #[test]
+    fn all_to_all_attributes_traffic_fractions() {
+        let topo = p4d_like();
+        let pl = GroupPlacement { ranks_per_node: 8, nodes_per_rack: 4, racks: 1 };
+        let c = cost(&topo, pl, Collective::AllToAll, Algorithm::Hierarchical, Bytes::from_mib(32));
+        assert_eq!(c.phases.len(), 2);
+        // 7/32 of the buffer stays intra-node, 24/32 crosses nodes.
+        let s = Bytes::from_mib(32).as_f64();
+        let intra = TimeNs::from_secs_f64(s * (7.0 / 32.0) / 235e9) + TimeNs::from_micros(8);
+        let inter = TimeNs::from_secs_f64(s * (24.0 / 32.0) / 100e9) + TimeNs::from_micros(20);
+        assert_eq!(c.phases[0].time, intra);
+        assert_eq!(c.phases[1].time, inter);
+    }
+
+    #[test]
+    fn clamped_topology_folds_upper_fanouts_into_the_top_tier() {
+        // A multi-rack placement priced on a two-tier topology must still
+        // reduce over all 64 ranks: the racks dimension folds into the
+        // inter-node ring (8 nodes × 2 racks → 8-way fan-out at tier 1).
+        let topo = p4d_like();
+        let racked = GroupPlacement { ranks_per_node: 8, nodes_per_rack: 4, racks: 2 };
+        let merged = GroupPlacement { ranks_per_node: 8, nodes_per_rack: 8, racks: 1 };
+        for kind in [
+            Collective::AllReduce,
+            Collective::AllGather,
+            Collective::ReduceScatter,
+            Collective::AllToAll,
+        ] {
+            let a = cost(&topo, racked, kind, Algorithm::Hierarchical, Bytes::from_mib(256));
+            let b = cost(&topo, merged, kind, Algorithm::Hierarchical, Bytes::from_mib(256));
+            assert_eq!(a.total(), b.total(), "{kind:?}");
+        }
+        // On a flat topology, hierarchical degenerates to the full-group
+        // ring — never to a cheaper truncated reduction.
+        let flat = Topology::flat(TierSpec::new(100e9, TimeNs::from_micros(20), 1.0));
+        let spread = GroupPlacement { ranks_per_node: 1, nodes_per_rack: 8, racks: 1 };
+        let hier = cost(
+            &flat,
+            spread,
+            Collective::AllReduce,
+            Algorithm::Hierarchical,
+            Bytes::from_mib(64),
+        );
+        let ring = cost(&flat, spread, Collective::AllReduce, Algorithm::Ring, Bytes::from_mib(64));
+        assert_eq!(hier.total(), ring.total());
+    }
+
+    #[test]
+    fn tree_trades_bandwidth_for_rounds() {
+        let topo = p4d_like();
+        let pl = GroupPlacement { ranks_per_node: 1, nodes_per_rack: 16, racks: 1 };
+        let tree = cost(&topo, pl, Collective::AllReduce, Algorithm::Tree, Bytes::from_mib(256));
+        let ring = cost(&topo, pl, Collective::AllReduce, Algorithm::Ring, Bytes::from_mib(256));
+        // 4 rounds up + 4 down at 20 µs each.
+        assert_eq!(tree.phases.len(), 1);
+        assert!(tree.total() > ring.total(), "large payloads favor the ring");
+    }
+
+    #[test]
+    fn selection_prefers_hierarchical_across_nodes_and_ring_within() {
+        let topo = p4d_like();
+        let multi = GroupPlacement { ranks_per_node: 8, nodes_per_rack: 8, racks: 1 };
+        assert_eq!(
+            select(&topo, multi, Collective::AllReduce, Bytes::from_mib(512)),
+            Algorithm::Hierarchical
+        );
+        assert_eq!(
+            select(
+                &topo,
+                GroupPlacement::intra_node(8),
+                Collective::AllReduce,
+                Bytes::from_mib(512)
+            ),
+            Algorithm::Ring
+        );
+        // One rank per node: nothing to reduce locally, hierarchical
+        // degenerates to the ring and the tie keeps Ring.
+        let spread = GroupPlacement { ranks_per_node: 1, nodes_per_rack: 8, racks: 1 };
+        assert_eq!(
+            select(&topo, spread, Collective::AllReduce, Bytes::from_mib(512)),
+            Algorithm::Ring
+        );
+    }
+
+    proptest! {
+        /// Costs are monotone in payload bytes for every (kind, algo).
+        #[test]
+        fn cost_monotone_in_bytes(
+            mib_a in 0u64..2048,
+            mib_b in 0u64..2048,
+            rpn in 1usize..8,
+            nodes in 1usize..16,
+        ) {
+            let topo = p4d_like();
+            let pl = GroupPlacement { ranks_per_node: rpn, nodes_per_rack: nodes, racks: 1 };
+            let (lo, hi) = if mib_a <= mib_b { (mib_a, mib_b) } else { (mib_b, mib_a) };
+            for kind in [Collective::AllReduce, Collective::AllGather,
+                         Collective::ReduceScatter, Collective::AllToAll] {
+                for algo in [Algorithm::Ring, Algorithm::Tree, Algorithm::Hierarchical] {
+                    let tl = cost(&topo, pl, kind, algo, Bytes::from_mib(lo)).total();
+                    let th = cost(&topo, pl, kind, algo, Bytes::from_mib(hi)).total();
+                    prop_assert!(tl <= th, "{kind:?}/{algo:?}: {lo}MiB → {tl}, {hi}MiB → {th}");
+                }
+            }
+        }
+
+        /// Ring and tree costs are monotone in group size (more ranks
+        /// never make the same-tier collective cheaper).
+        #[test]
+        fn flat_cost_monotone_in_ranks(n in 2usize..256, mib in 1u64..512) {
+            let topo = p4d_like();
+            let small = GroupPlacement { ranks_per_node: 1, nodes_per_rack: n, racks: 1 };
+            let large = GroupPlacement { ranks_per_node: 1, nodes_per_rack: n + 1, racks: 1 };
+            for kind in [Collective::AllReduce, Collective::AllGather,
+                         Collective::ReduceScatter, Collective::AllToAll] {
+                for algo in [Algorithm::Ring, Algorithm::Tree] {
+                    let a = cost(&topo, small, kind, algo, Bytes::from_mib(mib)).total();
+                    let b = cost(&topo, large, kind, algo, Bytes::from_mib(mib)).total();
+                    prop_assert!(a <= b, "{kind:?}/{algo:?}: n={n} → {a}, n+1 → {b}");
+                }
+            }
+        }
+
+        /// Hierarchical All-Reduce never beats the intra-node-only bound:
+        /// its intra-node phases alone already cost at least a full
+        /// intra-node ring reduce-scatter + all-gather.
+        #[test]
+        fn hierarchical_never_beats_intra_bound(
+            rpn in 2usize..8,
+            nodes in 2usize..32,
+            mib in 1u64..2048,
+        ) {
+            let topo = p4d_like();
+            let pl = GroupPlacement { ranks_per_node: rpn, nodes_per_rack: nodes, racks: 1 };
+            let hier =
+                cost(&topo, pl, Collective::AllReduce, Algorithm::Hierarchical, Bytes::from_mib(mib));
+            let intra_only = cost(
+                &topo,
+                GroupPlacement::intra_node(rpn),
+                Collective::AllReduce,
+                Algorithm::Ring,
+                Bytes::from_mib(mib),
+            );
+            prop_assert!(hier.total() >= intra_only.total());
+        }
+
+        /// The selector returns the cheapest candidate.
+        #[test]
+        fn selection_is_optimal(rpn in 1usize..8, nodes in 1usize..16, mib in 0u64..1024) {
+            let topo = p4d_like();
+            let pl = GroupPlacement { ranks_per_node: rpn, nodes_per_rack: nodes, racks: 1 };
+            for kind in [Collective::AllReduce, Collective::AllToAll] {
+                let chosen = select(&topo, pl, kind, Bytes::from_mib(mib));
+                let chosen_cost = cost(&topo, pl, kind, chosen, Bytes::from_mib(mib)).total();
+                if pl.top_tier() > 0 {
+                    for algo in [Algorithm::Ring, Algorithm::Tree, Algorithm::Hierarchical] {
+                        let c = cost(&topo, pl, kind, algo, Bytes::from_mib(mib)).total();
+                        prop_assert!(chosen_cost <= c, "{kind:?}: chose {chosen:?}");
+                    }
+                }
+            }
+        }
+    }
+}

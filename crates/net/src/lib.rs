@@ -1,0 +1,33 @@
+//! # vtrain-net
+//!
+//! Hierarchical interconnect topology and the pluggable
+//! collective-algorithm cost library.
+//!
+//! The paper models every collective with one flat formula — Equation (1),
+//! `t = S/B · 2(n-1)/n` with a per-tier bandwidth-effectiveness factor `α`
+//! (§IV) — which cannot distinguish an All-Reduce that stays inside an
+//! NVLink node from one that crosses the InfiniBand fabric, let alone a
+//! rack boundary. This crate supplies the missing structure:
+//!
+//! * [`Topology`] — a GPU → node → rack → cluster hierarchy where each
+//!   tier carries its own bandwidth, base latency, and `α`
+//!   ([`TierSpec`]). A single-tier topology reproduces the paper's flat
+//!   model *bit-identically* (ring All-Reduce over one tier computes the
+//!   exact Equation (1) expression — see the golden tests).
+//! * [`GroupPlacement`] — how one process group's ranks spread over the
+//!   hierarchy (ranks per node, nodes per rack, racks), the geometric
+//!   input every cost formula needs.
+//! * [`collective`] — analytical cost models for ring, tree, and
+//!   hierarchical All-Reduce, All-Gather, Reduce-Scatter, and All-to-All,
+//!   each returning a per-tier [`CostBreakdown`], plus a deterministic
+//!   [`select`](collective::select) policy choosing an algorithm per
+//!   collective signature.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collective;
+mod topology;
+
+pub use collective::{Algorithm, Collective, CostBreakdown, PhaseCost};
+pub use topology::{GroupPlacement, TierSpec, Topology};

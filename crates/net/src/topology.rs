@@ -1,0 +1,332 @@
+//! The GPU → node → rack → cluster interconnect hierarchy.
+
+use serde::{Deserialize, Serialize};
+use vtrain_model::TimeNs;
+
+/// One tier of the interconnect: the link class connecting the units of
+/// the level below (GPUs within a node, nodes within a rack, racks within
+/// the cluster).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// Per-participant bus bandwidth `Bmax`, bytes/s.
+    pub bandwidth: f64,
+    /// Fixed per-collective launch/traversal latency at this tier.
+    pub base_latency: TimeNs,
+    /// Bandwidth effectiveness factor `α ∈ (0, 1]` (paper §IV).
+    pub alpha: f64,
+}
+
+impl TierSpec {
+    /// Creates a tier spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is non-positive or `alpha` is outside `(0, 1]`.
+    pub fn new(bandwidth: f64, base_latency: TimeNs, alpha: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        TierSpec { bandwidth, base_latency, alpha }
+    }
+
+    /// Effective bandwidth `B = α·Bmax`.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.alpha * self.bandwidth
+    }
+}
+
+/// How one process group's ranks spread over the hierarchy.
+///
+/// The three fan-outs multiply to the group size under a regular layout:
+/// `ranks_per_node · nodes_per_rack · racks == group size`. Each field is
+/// at least 1; a tier whose fan-out is 1 is not crossed by the group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GroupPlacement {
+    /// Co-located participants per node.
+    pub ranks_per_node: usize,
+    /// Distinct nodes occupied per rack.
+    pub nodes_per_rack: usize,
+    /// Distinct racks occupied.
+    pub racks: usize,
+}
+
+impl GroupPlacement {
+    /// A group entirely inside one node.
+    pub fn intra_node(ranks: usize) -> Self {
+        GroupPlacement { ranks_per_node: ranks.max(1), nodes_per_rack: 1, racks: 1 }
+    }
+
+    /// A point-to-point pair whose link lives at `tier` (0 = same node,
+    /// 1 = same rack, 2 = cross-rack).
+    pub fn pair(tier: usize) -> Self {
+        match tier {
+            0 => GroupPlacement { ranks_per_node: 2, nodes_per_rack: 1, racks: 1 },
+            1 => GroupPlacement { ranks_per_node: 1, nodes_per_rack: 2, racks: 1 },
+            _ => GroupPlacement { ranks_per_node: 1, nodes_per_rack: 1, racks: 2 },
+        }
+    }
+
+    /// Total ranks in the group.
+    pub fn size(&self) -> usize {
+        self.ranks_per_node * self.nodes_per_rack * self.racks
+    }
+
+    /// The highest tier the group crosses (0 = intra-node, 1 =
+    /// intra-rack, 2 = cross-rack).
+    pub fn top_tier(&self) -> usize {
+        if self.racks > 1 {
+            2
+        } else if self.nodes_per_rack > 1 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Fan-out at `tier`: co-located ranks (tier 0), nodes per rack
+    /// (tier 1), racks (tier 2).
+    pub fn fanout(&self, tier: usize) -> usize {
+        match tier {
+            0 => self.ranks_per_node,
+            1 => self.nodes_per_rack,
+            _ => self.racks,
+        }
+    }
+}
+
+/// A hierarchical interconnect: GPUs grouped into nodes, nodes into
+/// racks, racks into the cluster, with one [`TierSpec`] per level.
+///
+/// `tiers[0]` always describes the intra-node network; `tiers[1]` (if
+/// present) the intra-rack fabric; `tiers[2]` (if present) the rack-spine.
+/// A [`Topology::flat`] topology has a single tier and one unbounded
+/// node — every group is intra-node and every collective prices against
+/// that one tier, reproducing the paper's flat model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    gpus_per_node: usize,
+    nodes_per_rack: usize,
+    tiers: Vec<TierSpec>,
+}
+
+impl Topology {
+    /// Single-tier topology: one unbounded NVLink-like domain priced by
+    /// `tier`. Ring collectives over it are bit-identical to the paper's
+    /// Equation (1).
+    pub fn flat(tier: TierSpec) -> Self {
+        Topology { gpus_per_node: usize::MAX, nodes_per_rack: 1, tiers: vec![tier] }
+    }
+
+    /// Two-tier topology: nodes of `gpus_per_node` GPUs on `intra_node`,
+    /// joined by `inter_node` (the paper's validation platform shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus_per_node == 0`.
+    pub fn two_tier(gpus_per_node: usize, intra_node: TierSpec, inter_node: TierSpec) -> Self {
+        assert!(gpus_per_node > 0, "nodes must hold at least one GPU");
+        Topology { gpus_per_node, nodes_per_rack: usize::MAX, tiers: vec![intra_node, inter_node] }
+    }
+
+    /// Extends a two-tier topology with a rack level: `nodes_per_rack`
+    /// nodes share the existing inter-node tier; racks are joined by
+    /// `spine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not two-tier or `nodes_per_rack == 0`.
+    pub fn with_rack_tier(mut self, nodes_per_rack: usize, spine: TierSpec) -> Self {
+        assert_eq!(self.tiers.len(), 2, "rack tier extends a two-tier topology");
+        assert!(nodes_per_rack > 0, "racks must hold at least one node");
+        self.nodes_per_rack = nodes_per_rack;
+        self.tiers.push(spine);
+        self
+    }
+
+    /// Returns a copy with `alpha` applied to every tier above the node
+    /// level — the §IV bandwidth-effectiveness calibration knob, which
+    /// never touches the profiled intra-node network.
+    pub fn with_inter_tier_alpha(mut self, alpha: f64) -> Self {
+        for tier in self.tiers.iter_mut().skip(1) {
+            *tier = TierSpec::new(tier.bandwidth, tier.base_latency, alpha);
+        }
+        self
+    }
+
+    /// GPUs per node (`usize::MAX` for a flat topology's unbounded node).
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    /// Nodes per rack (`usize::MAX` when there is no rack tier).
+    pub fn nodes_per_rack(&self) -> usize {
+        self.nodes_per_rack
+    }
+
+    /// Number of tiers (1, 2, or 3).
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The spec of `tier`, clamped to the highest configured tier — a
+    /// group that "crosses racks" on a two-tier topology prices against
+    /// the inter-node tier.
+    pub fn tier(&self, tier: usize) -> &TierSpec {
+        &self.tiers[tier.min(self.tiers.len() - 1)]
+    }
+
+    /// The node index of a global GPU rank.
+    fn node_of(&self, rank: usize) -> usize {
+        rank / self.gpus_per_node.max(1)
+    }
+
+    /// The rack index of a global GPU rank.
+    fn rack_of(&self, rank: usize) -> usize {
+        if self.nodes_per_rack == usize::MAX {
+            0
+        } else {
+            self.node_of(rank) / self.nodes_per_rack
+        }
+    }
+
+    /// Placement of the group `{base + i·stride | i < size}` of global
+    /// ranks (Megatron-style process groups: tensor groups are contiguous
+    /// `stride = 1`; data groups stride by the tensor degree; pipeline
+    /// groups stride by `t·d`).
+    ///
+    /// Computed exactly by walking the members; group sizes are the
+    /// parallel degrees (≤ a few thousand), so this is cheap and done once
+    /// per plan, not per operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `stride == 0`.
+    pub fn placement(&self, base: usize, stride: usize, size: usize) -> GroupPlacement {
+        assert!(size > 0, "group needs at least one rank");
+        assert!(stride > 0, "stride must be positive");
+        let mut nodes = 0usize;
+        let mut racks = 0usize;
+        let (mut last_node, mut last_rack) = (usize::MAX, usize::MAX);
+        for i in 0..size {
+            let rank = base + i * stride;
+            let node = self.node_of(rank);
+            let rack = self.rack_of(rank);
+            // Strided members visit nodes/racks in non-decreasing order,
+            // so counting transitions counts distinct values.
+            if node != last_node {
+                nodes += 1;
+                last_node = node;
+            }
+            if rack != last_rack {
+                racks += 1;
+                last_rack = rack;
+            }
+        }
+        GroupPlacement {
+            ranks_per_node: size.div_ceil(nodes),
+            nodes_per_rack: nodes.div_ceil(racks),
+            racks,
+        }
+    }
+
+    /// The tier of the link between two global ranks (0 = same node, 1 =
+    /// same rack, 2 = cross-rack), clamped to the configured tiers.
+    pub fn link_tier(&self, a: usize, b: usize) -> usize {
+        let tier = if self.node_of(a) == self.node_of(b) {
+            0
+        } else if self.rack_of(a) == self.rack_of(b) {
+            1
+        } else {
+            2
+        };
+        tier.min(self.tiers.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier(bw: f64) -> TierSpec {
+        TierSpec::new(bw, TimeNs::from_micros(10), 1.0)
+    }
+
+    fn three_tier() -> Topology {
+        // 8 GPUs per node, 4 nodes per rack.
+        Topology::two_tier(8, tier(235e9), tier(100e9)).with_rack_tier(4, tier(50e9))
+    }
+
+    #[test]
+    fn flat_topology_is_one_unbounded_node() {
+        let t = Topology::flat(tier(100e9));
+        assert_eq!(t.num_tiers(), 1);
+        let p = t.placement(0, 1, 4096);
+        assert_eq!(p, GroupPlacement::intra_node(4096));
+        assert_eq!(p.top_tier(), 0);
+        assert_eq!(t.link_tier(0, 4095), 0);
+    }
+
+    #[test]
+    fn contiguous_group_fills_nodes_then_racks() {
+        let t = three_tier();
+        // 16 contiguous ranks: 2 full nodes of one rack.
+        let p = t.placement(0, 1, 16);
+        assert_eq!(p, GroupPlacement { ranks_per_node: 8, nodes_per_rack: 2, racks: 1 });
+        assert_eq!(p.top_tier(), 1);
+        // 64 contiguous ranks: 8 nodes over 2 racks.
+        let p = t.placement(0, 1, 64);
+        assert_eq!(p, GroupPlacement { ranks_per_node: 8, nodes_per_rack: 4, racks: 2 });
+        assert_eq!(p.top_tier(), 2);
+    }
+
+    #[test]
+    fn strided_group_spreads_across_nodes() {
+        let t = three_tier();
+        // Data-parallel group of a t = 8 plan: stride 8, one rank per node.
+        let p = t.placement(0, 8, 8);
+        assert_eq!(p, GroupPlacement { ranks_per_node: 1, nodes_per_rack: 4, racks: 2 });
+        // Stride 2 within a node: 4 members co-located, then next node.
+        let p = t.placement(0, 2, 8);
+        assert_eq!(p, GroupPlacement { ranks_per_node: 4, nodes_per_rack: 2, racks: 1 });
+    }
+
+    #[test]
+    fn placement_size_is_consistent() {
+        let t = three_tier();
+        for (stride, size) in [(1, 8), (1, 24), (8, 16), (2, 32), (4, 4)] {
+            let p = t.placement(0, stride, size);
+            assert!(p.size() >= size, "{stride}/{size} → {p:?}");
+            assert!(p.ranks_per_node * p.nodes_per_rack * p.racks <= 2 * size);
+        }
+    }
+
+    #[test]
+    fn link_tiers_follow_the_hierarchy() {
+        let t = three_tier();
+        assert_eq!(t.link_tier(0, 7), 0);
+        assert_eq!(t.link_tier(7, 8), 1);
+        assert_eq!(t.link_tier(31, 32), 2);
+        // Two-tier topology clamps cross-rack to the inter-node tier.
+        let two = Topology::two_tier(8, tier(235e9), tier(100e9));
+        assert_eq!(two.link_tier(0, 4096), 1);
+    }
+
+    #[test]
+    fn tier_lookup_clamps() {
+        let t = Topology::flat(tier(100e9));
+        assert_eq!(t.tier(2).bandwidth, 100e9);
+    }
+
+    #[test]
+    fn pair_placements() {
+        assert_eq!(GroupPlacement::pair(0).top_tier(), 0);
+        assert_eq!(GroupPlacement::pair(1).top_tier(), 1);
+        assert_eq!(GroupPlacement::pair(2).top_tier(), 2);
+        assert_eq!(GroupPlacement::pair(1).size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn tier_alpha_validated() {
+        let _ = TierSpec::new(1e9, TimeNs::ZERO, 0.0);
+    }
+}

@@ -98,6 +98,19 @@ impl ClusterSpec {
         self.total_gpus.div_ceil(self.gpus_per_node)
     }
 
+    /// The cluster's two-tier interconnect topology: NVLink/NVSwitch
+    /// inside nodes, InfiniBand between them with bandwidth-effectiveness
+    /// `alpha` (paper §IV). Extend with
+    /// [`Topology::with_rack_tier`](vtrain_net::Topology::with_rack_tier)
+    /// for multi-rack studies.
+    pub fn topology(&self, alpha: f64) -> vtrain_net::Topology {
+        vtrain_net::Topology::two_tier(
+            self.gpus_per_node,
+            vtrain_net::TierSpec::new(self.nvlink_bus_bandwidth, self.nvlink_latency, 1.0),
+            vtrain_net::TierSpec::new(self.internode_bandwidth, self.internode_latency, alpha),
+        )
+    }
+
     /// Returns a copy resized to `total_gpus` GPUs.
     pub fn with_total_gpus(mut self, total_gpus: usize) -> Self {
         self.total_gpus = total_gpus;
@@ -129,6 +142,18 @@ mod tests {
         let c = ClusterSpec::aws_p4d(8).with_total_gpus(1024);
         assert_eq!(c.total_gpus, 1024);
         assert_eq!(c.num_nodes(), 128);
+    }
+
+    #[test]
+    fn topology_mirrors_the_cluster_tiers() {
+        let c = ClusterSpec::aws_p4d(64);
+        let topo = c.topology(0.7);
+        assert_eq!(topo.num_tiers(), 2);
+        assert_eq!(topo.gpus_per_node(), 8);
+        assert_eq!(topo.tier(0).bandwidth, c.nvlink_bus_bandwidth);
+        assert_eq!(topo.tier(1).bandwidth, c.internode_bandwidth);
+        assert_eq!(topo.tier(1).alpha, 0.7);
+        assert!((topo.tier(1).effective_bandwidth() - 70e9).abs() < 1.0);
     }
 
     #[test]

@@ -34,8 +34,10 @@
 
 mod cluster;
 mod config;
+mod placement;
 mod schedule;
 
 pub use cluster::{ClusterSpec, GpuSpec};
 pub use config::{ParallelConfig, ParallelConfigBuilder, PlanError};
+pub use placement::ProcessGroups;
 pub use schedule::{layer_partition, Pass, PipelineSchedule, StageSlot};

@@ -1,0 +1,94 @@
+//! Mapping `(t, d, p)` process groups onto interconnect topology
+//! placements.
+//!
+//! Megatron's rank order assigns the tensor dimension fastest, then data,
+//! then pipeline: the global rank of `(t_i, d_i, p_i)` under a
+//! `(t, d, p)` plan is `p_i·t·d + d_i·t + t_i`. Each parallel dimension
+//! therefore forms groups with a characteristic stride — tensor groups
+//! are contiguous, data groups stride by `t`, and pipeline neighbours sit
+//! `t·d` ranks apart — and the stride decides which interconnect tiers
+//! the group's collectives cross.
+
+use vtrain_net::{GroupPlacement, Topology};
+
+use crate::ParallelConfig;
+
+/// The topology placements of one plan's process groups.
+///
+/// Placements are taken at the origin of the rank grid; under the regular
+/// layouts the sweep enumerates (power-of-two degrees, node-aligned
+/// tensor groups) every same-kind group shares the same shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProcessGroups {
+    /// Tensor-parallel group: `t` contiguous ranks.
+    pub tensor: GroupPlacement,
+    /// Data-parallel group: `d` ranks striding by `t`.
+    pub data: GroupPlacement,
+}
+
+impl ProcessGroups {
+    /// Computes the placements of `plan`'s groups on `topo`.
+    pub fn new(plan: &ParallelConfig, topo: &Topology) -> Self {
+        ProcessGroups {
+            tensor: topo.placement(0, 1, plan.tensor()),
+            data: topo.placement(0, plan.tensor(), plan.data()),
+        }
+    }
+
+    /// The tier of the pipeline boundary between `stage` and `stage + 1`:
+    /// the link between the last rank of one stage block and the first
+    /// rank of the next (stage blocks hold `t·d` ranks each).
+    pub fn pipeline_boundary_tier(plan: &ParallelConfig, topo: &Topology, stage: usize) -> usize {
+        let block = plan.tensor() * plan.data();
+        topo.link_tier(stage * block, (stage + 1) * block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtrain_model::TimeNs;
+    use vtrain_net::TierSpec;
+
+    fn plan(t: usize, d: usize, p: usize) -> ParallelConfig {
+        ParallelConfig::builder()
+            .tensor(t)
+            .data(d)
+            .pipeline(p)
+            .micro_batch(1)
+            .global_batch(d * 4)
+            .build()
+            .unwrap()
+    }
+
+    fn topo() -> Topology {
+        let tier = |bw| TierSpec::new(bw, TimeNs::from_micros(10), 1.0);
+        Topology::two_tier(8, tier(235e9), tier(100e9)).with_rack_tier(4, tier(50e9))
+    }
+
+    #[test]
+    fn tensor_groups_stay_inside_the_node() {
+        let g = ProcessGroups::new(&plan(8, 4, 2), &topo());
+        assert_eq!(g.tensor, GroupPlacement::intra_node(8));
+        assert_eq!(g.tensor.top_tier(), 0);
+    }
+
+    #[test]
+    fn data_groups_stride_across_nodes_and_racks() {
+        // t = 8 fills each node, so d = 8 replicas sit on 8 nodes = 2 racks.
+        let g = ProcessGroups::new(&plan(8, 8, 1), &topo());
+        assert_eq!(g.data, GroupPlacement { ranks_per_node: 1, nodes_per_rack: 4, racks: 2 });
+        // t·d = 4 keeps data parallelism inside one node.
+        let g = ProcessGroups::new(&plan(2, 2, 1), &topo());
+        assert_eq!(g.data.top_tier(), 0);
+    }
+
+    #[test]
+    fn pipeline_boundaries_pick_up_the_crossed_tier() {
+        let p = plan(8, 4, 4); // 32-rank stages: one rack each.
+        assert_eq!(ProcessGroups::pipeline_boundary_tier(&p, &topo(), 0), 2);
+        let p = plan(2, 2, 4); // 4-rank stages: two per node.
+        assert_eq!(ProcessGroups::pipeline_boundary_tier(&p, &topo(), 0), 0);
+        assert_eq!(ProcessGroups::pipeline_boundary_tier(&p, &topo(), 1), 1);
+    }
+}

@@ -1,9 +1,24 @@
 //! Communication latency models (paper §III-D and §IV).
+//!
+//! Two regimes share one type:
+//!
+//! * **Flat** ([`CommModel::new`]) — the paper's model verbatim: profiled
+//!   intra-node tables plus the Equation (1) analytical inter-node form.
+//!   This is the default and reproduces every seed figure bit-identically.
+//! * **Topology-aware** ([`CommModel::with_topology`]) — collectives are
+//!   priced by the `vtrain-net` algorithm library against the group's
+//!   [placement](vtrain_graph::CommOp::placement): a deterministic
+//!   selector picks ring, tree, or hierarchical per collective signature
+//!   (payload + placement — the fields the runtime's algorithm choice
+//!   actually reads), and [`CommModel::breakdown`] exposes the per-tier
+//!   cost split. Intra-node collectives still go through the profiled
+//!   tables in both regimes, matching the paper's methodology.
 
 use serde::{Deserialize, Serialize};
 use vtrain_gpu::comm::{all_reduce_time, send_recv_time, InterNodeModel};
 use vtrain_graph::{CommKind, CommOp, CommScope};
 use vtrain_model::{Bytes, TimeNs};
+use vtrain_net::{collective, Algorithm, Collective, CostBreakdown, PhaseCost, Topology};
 use vtrain_parallel::ClusterSpec;
 
 /// Sizes swept when profiling intra-node NCCL primitives (1 MB – 1024 MB,
@@ -24,6 +39,11 @@ pub struct CommModel {
     nvlink_latency: TimeNs,
     internode_bandwidth: f64,
     internode_latency: TimeNs,
+    /// The interconnect hierarchy collectives are priced against.
+    topology: Topology,
+    /// False = the paper's flat model (default); true = route multi-tier
+    /// collectives through the `vtrain-net` algorithm library.
+    topology_aware: bool,
 }
 
 impl CommModel {
@@ -33,6 +53,25 @@ impl CommModel {
     /// contention inflation the ground-truth emulator injects), and
     /// instantiates Equation (1) with bandwidth-effectiveness `alpha`.
     pub fn new(cluster: &ClusterSpec, alpha: f64) -> Self {
+        CommModel::build(cluster, alpha, cluster.topology(alpha), false)
+    }
+
+    /// Builds a topology-aware model: multi-tier collectives are priced
+    /// by the `vtrain-net` algorithm library against `topology` (which
+    /// may add a rack tier or differ from the cluster's default two-tier
+    /// shape); intra-node collectives keep the profiled tables.
+    ///
+    /// `alpha` is the single §IV calibration knob: it is applied
+    /// uniformly to **every tier above the node level**, superseding any
+    /// per-tier `alpha` the caller set on `topology` (the same semantics
+    /// [`CommModel::with_alpha`] applies during a calibration sweep).
+    /// Per-tier effectiveness differences belong in the tiers'
+    /// `bandwidth` values.
+    pub fn with_topology(cluster: &ClusterSpec, alpha: f64, topology: Topology) -> Self {
+        CommModel::build(cluster, alpha, topology.with_inter_tier_alpha(alpha), true)
+    }
+
+    fn build(cluster: &ClusterSpec, alpha: f64, topology: Topology, topology_aware: bool) -> Self {
         let intra_anchors = SWEEP_RANKS
             .iter()
             .map(|&ranks| {
@@ -63,6 +102,8 @@ impl CommModel {
             nvlink_latency: cluster.nvlink_latency,
             internode_bandwidth: cluster.internode_bandwidth,
             internode_latency: cluster.internode_latency,
+            topology,
+            topology_aware,
         }
     }
 
@@ -71,6 +112,7 @@ impl CommModel {
     pub fn with_alpha(&self, alpha: f64) -> Self {
         let mut out = self.clone();
         out.inter = InterNodeModel::new(self.internode_bandwidth, alpha, self.internode_latency);
+        out.topology = self.topology.clone().with_inter_tier_alpha(alpha);
         out
     }
 
@@ -79,11 +121,27 @@ impl CommModel {
         self.inter.alpha
     }
 
+    /// The interconnect hierarchy this model prices against.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// True if multi-tier collectives route through the `vtrain-net`
+    /// algorithm library instead of the flat Equation (1) model.
+    pub fn is_topology_aware(&self) -> bool {
+        self.topology_aware
+    }
+
     /// Latency of an intra-node All-Reduce by table interpolation
-    /// (log-linear between profiled anchors; linear extrapolation outside).
+    /// (log-linear between profiled anchors; linear extrapolation
+    /// outside). Boundary semantics match the flat primitives: zero
+    /// bytes are free, a single rank pays one launch latency.
     pub fn intra_all_reduce(&self, bytes: Bytes, ranks: usize) -> TimeNs {
-        if ranks <= 1 {
+        if bytes == Bytes::ZERO {
             return TimeNs::ZERO;
+        }
+        if ranks <= 1 {
+            return self.nvlink_latency;
         }
         let Some((_, anchors)) = self.intra_anchors.iter().find(|(r, _)| *r == ranks) else {
             // Unprofiled rank count: fall back to the ring model directly.
@@ -94,6 +152,9 @@ impl CommModel {
 
     /// Latency of an operator from the execution graph.
     pub fn latency(&self, op: &CommOp) -> TimeNs {
+        if self.topology_aware {
+            return self.latency_topology(op);
+        }
         match (op.kind, op.scope) {
             (CommKind::TpAllReduce, _) | (CommKind::DpAllReduce, CommScope::IntraNode) => {
                 self.intra_all_reduce(op.bytes, op.ranks)
@@ -108,6 +169,61 @@ impl CommModel {
                 send_recv_time(op.bytes, self.internode_bandwidth, self.internode_latency)
             }
         }
+    }
+
+    /// Topology-aware routing: intra-node collectives keep the profiled
+    /// tables (the paper's methodology), multi-tier collectives go to
+    /// the selected `vtrain-net` algorithm, and pipeline transfers price
+    /// against the exact tier their boundary crosses.
+    fn latency_topology(&self, op: &CommOp) -> TimeNs {
+        match op.kind {
+            CommKind::TpAllReduce | CommKind::DpAllReduce => {
+                if op.placement.top_tier() == 0 {
+                    self.intra_all_reduce(op.bytes, op.ranks)
+                } else {
+                    self.multi_tier_cost(op).total()
+                }
+            }
+            CommKind::PpSendRecv => {
+                let tier = self.topology.tier(op.placement.top_tier());
+                send_recv_time(op.bytes, tier.effective_bandwidth(), tier.base_latency)
+            }
+        }
+    }
+
+    /// The collective algorithm the deterministic selector picks for
+    /// `op`. The choice is keyed only by the fields an algorithm choice
+    /// actually reads — collective class, payload, and placement — never
+    /// by runtime flags (overlappability, interference groups), so two
+    /// operators with equal selection signatures always agree.
+    pub fn chosen_algorithm(&self, op: &CommOp) -> Algorithm {
+        match op.kind {
+            CommKind::PpSendRecv => Algorithm::Ring,
+            CommKind::TpAllReduce | CommKind::DpAllReduce if self.topology_aware => {
+                collective::select(&self.topology, op.placement, Collective::AllReduce, op.bytes)
+            }
+            CommKind::TpAllReduce | CommKind::DpAllReduce => Algorithm::Ring,
+        }
+    }
+
+    /// Per-tier cost decomposition of `op`. Multi-tier collectives in
+    /// topology-aware mode split across their phases; everything else is
+    /// a single phase at the operator's top tier. The total always
+    /// equals [`CommModel::latency`].
+    pub fn breakdown(&self, op: &CommOp) -> CostBreakdown {
+        let multi_tier = matches!(op.kind, CommKind::TpAllReduce | CommKind::DpAllReduce)
+            && op.placement.top_tier() > 0;
+        if self.topology_aware && multi_tier {
+            return self.multi_tier_cost(op);
+        }
+        CostBreakdown {
+            phases: vec![PhaseCost { tier: op.placement.top_tier(), time: self.latency(op) }],
+        }
+    }
+
+    fn multi_tier_cost(&self, op: &CommOp) -> CostBreakdown {
+        let algo = self.chosen_algorithm(op);
+        collective::cost(&self.topology, op.placement, Collective::AllReduce, algo, op.bytes)
     }
 }
 
@@ -145,11 +261,19 @@ mod tests {
     }
 
     fn op(kind: CommKind, scope: CommScope, mib: u64, ranks: usize) -> CommOp {
+        use vtrain_net::GroupPlacement;
+        let placement = match scope {
+            CommScope::IntraNode => GroupPlacement::intra_node(ranks),
+            CommScope::InterNode => {
+                GroupPlacement { ranks_per_node: 1, nodes_per_rack: ranks, racks: 1 }
+            }
+        };
         CommOp {
             kind,
             bytes: Bytes::from_mib(mib),
             ranks,
             scope,
+            placement,
             overlappable: false,
             concurrent_groups: 1,
         }
@@ -207,6 +331,93 @@ mod tests {
         let got = m.intra_all_reduce(Bytes::from_mib(64), 6);
         let expect = all_reduce_time(Bytes::from_mib(64), 6, 235e9, TimeNs::from_micros(8));
         assert_eq!(got, expect);
+    }
+
+    fn aware_model() -> CommModel {
+        let cluster = ClusterSpec::aws_p4d(64);
+        CommModel::with_topology(&cluster, 1.0, cluster.topology(1.0))
+    }
+
+    #[test]
+    fn flat_is_the_default_and_aware_opts_in() {
+        assert!(!model().is_topology_aware());
+        assert!(aware_model().is_topology_aware());
+        assert_eq!(model().topology().num_tiers(), 2);
+    }
+
+    #[test]
+    fn aware_intra_node_keeps_the_profiled_tables() {
+        let flat = model();
+        let aware = aware_model();
+        for mib in [1, 16, 256] {
+            let o = op(CommKind::TpAllReduce, CommScope::IntraNode, mib, 8);
+            assert_eq!(flat.latency(&o), aware.latency(&o), "intra path must stay table-driven");
+        }
+    }
+
+    #[test]
+    fn aware_multi_node_all_reduce_goes_hierarchical_and_beats_flat() {
+        let flat = model();
+        let aware = aware_model();
+        // A d = 8 gradient All-Reduce with full nodes on each side: the
+        // hierarchical algorithm only sends S/8 across InfiniBand.
+        let mut o = op(CommKind::DpAllReduce, CommScope::InterNode, 512, 8);
+        o.placement = vtrain_net::GroupPlacement { ranks_per_node: 8, nodes_per_rack: 8, racks: 1 };
+        assert_eq!(aware.chosen_algorithm(&o), Algorithm::Hierarchical);
+        assert!(aware.latency(&o) < flat.latency(&o));
+        let b = aware.breakdown(&o);
+        assert_eq!(b.total(), aware.latency(&o));
+        assert!(b.phases.len() >= 3, "reduce-scatter / inter ring / all-gather phases");
+    }
+
+    #[test]
+    fn aware_spread_group_falls_back_to_the_flat_ring() {
+        let aware = aware_model();
+        // One rank per node: nothing to reduce locally; ring at the
+        // inter-node tier is exactly Equation (1).
+        let o = op(CommKind::DpAllReduce, CommScope::InterNode, 256, 8);
+        assert_eq!(aware.chosen_algorithm(&o), Algorithm::Ring);
+        assert_eq!(aware.latency(&o), model().latency(&o));
+    }
+
+    #[test]
+    fn aware_pp_transfer_prices_the_crossed_tier() {
+        let aware = aware_model();
+        let intra = op(CommKind::PpSendRecv, CommScope::IntraNode, 64, 2);
+        let mut inter = op(CommKind::PpSendRecv, CommScope::InterNode, 64, 2);
+        inter.placement = vtrain_net::GroupPlacement::pair(1);
+        assert_eq!(aware.latency(&intra), model().latency(&intra));
+        assert_eq!(aware.latency(&inter), model().latency(&inter));
+        assert!(aware.latency(&intra) < aware.latency(&inter));
+    }
+
+    #[test]
+    fn breakdown_total_always_matches_latency() {
+        for m in [model(), aware_model()] {
+            for (kind, scope) in [
+                (CommKind::TpAllReduce, CommScope::IntraNode),
+                (CommKind::DpAllReduce, CommScope::IntraNode),
+                (CommKind::DpAllReduce, CommScope::InterNode),
+                (CommKind::PpSendRecv, CommScope::InterNode),
+            ] {
+                let o = op(kind, scope, 128, 8);
+                assert_eq!(m.breakdown(&o).total(), m.latency(&o), "{kind:?}/{scope:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn aware_alpha_recalibrates_the_inter_tiers() {
+        let aware = aware_model();
+        let mut o = op(CommKind::DpAllReduce, CommScope::InterNode, 512, 8);
+        o.placement = vtrain_net::GroupPlacement { ranks_per_node: 8, nodes_per_rack: 8, racks: 1 };
+        let half = aware.with_alpha(0.5);
+        assert!(half.is_topology_aware(), "alpha sweep keeps the regime");
+        let b_full = aware.breakdown(&o);
+        let b_half = half.breakdown(&o);
+        // Intra phases untouched; inter phase slower with α = 0.5.
+        assert_eq!(b_full.tier_time(0), b_half.tier_time(0));
+        assert!(b_half.tier_time(1) > b_full.tier_time(1));
     }
 
     proptest! {

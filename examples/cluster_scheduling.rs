@@ -44,12 +44,12 @@ fn main() {
         let base = simulate_cluster(
             &jobs,
             &catalog,
-            &SchedulerConfig { total_gpus, policy: ProfilePolicy::DataParallelOnly },
+            &SchedulerConfig::new(total_gpus, ProfilePolicy::DataParallelOnly),
         );
         let vt = simulate_cluster(
             &jobs,
             &catalog,
-            &SchedulerConfig { total_gpus, policy: ProfilePolicy::VTrainOptimal },
+            &SchedulerConfig::new(total_gpus, ProfilePolicy::VTrainOptimal),
         );
         let jct_gain = match (base.average_jct(&jobs), vt.average_jct(&jobs)) {
             (Some(b), Some(v)) => 100.0 * (1.0 - v.as_secs_f64() / b.as_secs_f64()),

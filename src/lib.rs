@@ -15,6 +15,7 @@
 //! | [`parallel`] | `vtrain-parallel` | 3D-parallel plans, clusters, pipeline schedules |
 //! | [`graph`] | `vtrain-graph` | operator-granularity execution graphs |
 //! | [`gpu`] | `vtrain-gpu` | A100 device model + ground-truth emulation |
+//! | [`net`] | `vtrain-net` | hierarchical interconnect topology, collective-algorithm costs |
 //! | [`profile`] | `vtrain-profile` | CUPTI-like profiling, communication models |
 //! | [`engine`] | `vtrain-engine` | deterministic discrete-event simulation kernel |
 //! | [`sim`] | `vtrain-core` | task graphs, Algorithm 1, cost model, DSE |
@@ -58,6 +59,7 @@ pub use vtrain_engine as engine;
 pub use vtrain_gpu as gpu;
 pub use vtrain_graph as graph;
 pub use vtrain_model as model;
+pub use vtrain_net as net;
 pub use vtrain_parallel as parallel;
 pub use vtrain_profile as profile;
 pub use vtrain_scaling as scaling;
@@ -70,6 +72,7 @@ pub mod prelude {
     pub use vtrain_gpu::{NoiseConfig, NoiseModel};
     pub use vtrain_graph::{build_op_graph, plan_signatures, GraphOptions};
     pub use vtrain_model::{presets, Bytes, Flops, ModelConfig, TimeNs};
+    pub use vtrain_net::{Algorithm, Collective, GroupPlacement, TierSpec, Topology};
     pub use vtrain_parallel::{ClusterSpec, GpuSpec, ParallelConfig, PipelineSchedule};
     pub use vtrain_profile::{CacheStats, CommModel, ProfileCache, Profiler};
     pub use vtrain_scaling::ChinchillaLaw;

@@ -116,12 +116,12 @@ fn scheduler_with_vtrain_profiles_never_worse() {
         let base = simulate_cluster(
             &jobs,
             &catalog,
-            &SchedulerConfig { total_gpus, policy: ProfilePolicy::DataParallelOnly },
+            &SchedulerConfig::new(total_gpus, ProfilePolicy::DataParallelOnly),
         );
         let vt = simulate_cluster(
             &jobs,
             &catalog,
-            &SchedulerConfig { total_gpus, policy: ProfilePolicy::VTrainOptimal },
+            &SchedulerConfig::new(total_gpus, ProfilePolicy::VTrainOptimal),
         );
         assert!(
             vt.deadline_satisfactory_ratio() + 1e-9 >= base.deadline_satisfactory_ratio(),

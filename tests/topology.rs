@@ -1,0 +1,171 @@
+//! Golden-equivalence suite for the topology subsystem: the flat model
+//! the seed figures rest on must be reproducible *by construction* from
+//! the new collective-algorithm library.
+
+use proptest::prelude::*;
+use vtrain::gpu::comm::{all_reduce_time, send_recv_time};
+use vtrain::net::{collective, Algorithm, Collective, GroupPlacement, TierSpec, Topology};
+use vtrain::prelude::*;
+
+fn flat(bandwidth: f64, alpha: f64, latency_us: u64) -> Topology {
+    Topology::flat(TierSpec::new(bandwidth, TimeNs::from_micros(latency_us), alpha))
+}
+
+/// Ring All-Reduce on a single-tier topology computes the exact
+/// Equation (1) expression — same float operations, same order, same
+/// nanosecond quantization — as the legacy flat model.
+#[test]
+fn golden_flat_ring_equals_legacy_all_reduce() {
+    for (mib, ranks, bw, alpha, lat) in [
+        (1u64, 2usize, 235e9, 1.0, 8u64),
+        (64, 8, 235e9, 1.0, 8),
+        (512, 8, 100e9, 1.0, 20),
+        (1024, 64, 100e9, 0.7, 20),
+        (256, 512, 100e9, 0.31, 20),
+        (2048, 3, 25e9, 0.5, 35),
+    ] {
+        let topo = flat(bw, alpha, lat);
+        let got = collective::cost(
+            &topo,
+            GroupPlacement::intra_node(ranks),
+            Collective::AllReduce,
+            Algorithm::Ring,
+            Bytes::from_mib(mib),
+        )
+        .total();
+        let want =
+            all_reduce_time(Bytes::from_mib(mib), ranks, alpha * bw, TimeNs::from_micros(lat));
+        assert_eq!(got, want, "{mib}MiB × {ranks} ranks @ {bw}·{alpha}");
+    }
+}
+
+/// The two-tier topology built from a cluster prices an inter-node ring
+/// exactly like the paper's `InterNodeModel` (Equation (1) with α).
+#[test]
+fn golden_two_tier_ring_equals_equation_one() {
+    let cluster = ClusterSpec::aws_p4d(64);
+    for alpha in [1.0, 0.7, 0.31] {
+        let topo = cluster.topology(alpha);
+        // One rank per node: the flat ring at the inter-node tier.
+        let placement = GroupPlacement { ranks_per_node: 1, nodes_per_rack: 8, racks: 1 };
+        let got = collective::cost(
+            &topo,
+            placement,
+            Collective::AllReduce,
+            Algorithm::Ring,
+            Bytes::from_mib(512),
+        )
+        .total();
+        let want = all_reduce_time(
+            Bytes::from_mib(512),
+            8,
+            alpha * cluster.internode_bandwidth,
+            cluster.internode_latency,
+        );
+        assert_eq!(got, want, "alpha {alpha}");
+    }
+}
+
+/// A full topology-aware estimator run is bit-identical to the legacy
+/// flat estimator whenever every multi-tier group is one-rank-per-node
+/// (the selector's tie rule keeps the flat ring there) — which covers
+/// the node-filling `t = 8` plans all seed figures sweep.
+#[test]
+fn golden_topology_estimator_reproduces_flat_sweep() {
+    let cluster = ClusterSpec::aws_p4d(128);
+    let model = presets::megatron("18.4B");
+    let flat_est = Estimator::new(cluster.clone());
+    let aware = Estimator::with_topology(cluster.clone(), 1.0, cluster.topology(1.0));
+    for (d, p, m) in [(8, 1, 2), (16, 1, 1), (4, 2, 2), (8, 2, 1)] {
+        let plan = ParallelConfig::builder()
+            .tensor(8)
+            .data(d)
+            .pipeline(p)
+            .micro_batch(m)
+            .global_batch(64)
+            .build()
+            .unwrap();
+        let a = flat_est.estimate(&model, &plan).unwrap();
+        let b = aware.estimate(&model, &plan).unwrap();
+        assert_eq!(a.iteration_time, b.iteration_time, "t=8 d={d} p={p} m={m}");
+        assert_eq!(a.busy, b.busy);
+        assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+        assert_eq!(a.occupancy.to_bits(), b.occupancy.to_bits());
+    }
+}
+
+proptest! {
+    /// Bit-identity of the flat ring against the legacy primitive over
+    /// the whole parameter space (including the repaired boundaries:
+    /// zero bytes, one rank).
+    #[test]
+    fn flat_ring_bit_identical_to_legacy(
+        mib in 0u64..4096,
+        ranks in 1usize..600,
+        bw_gbps in 1u64..400,
+        alpha_pct in 1u64..=100,
+        lat_us in 0u64..100,
+    ) {
+        let bw = bw_gbps as f64 * 1e9;
+        let alpha = alpha_pct as f64 / 100.0;
+        let topo = flat(bw, alpha, lat_us);
+        let got = collective::cost(
+            &topo,
+            GroupPlacement::intra_node(ranks),
+            Collective::AllReduce,
+            Algorithm::Ring,
+            Bytes::from_mib(mib),
+        )
+        .total();
+        let want = all_reduce_time(
+            Bytes::from_mib(mib), ranks, alpha * bw, TimeNs::from_micros(lat_us),
+        );
+        prop_assert_eq!(got, want);
+    }
+
+    /// Pipeline transfers priced through a topology tier match the
+    /// legacy send/recv primitive at that tier's parameters.
+    #[test]
+    fn tiered_send_recv_matches_legacy(mib in 0u64..2048, bw_gbps in 1u64..400) {
+        let bw = bw_gbps as f64 * 1e9;
+        let lat = TimeNs::from_micros(20);
+        let tier = TierSpec::new(bw, lat, 1.0);
+        let got = send_recv_time(Bytes::from_mib(mib), tier.effective_bandwidth(), tier.base_latency);
+        let want = send_recv_time(Bytes::from_mib(mib), bw, lat);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Hierarchical All-Reduce on the paper's platform shape never beats
+    /// the bound set by its own intra-node phases.
+    #[test]
+    fn hierarchical_respects_intra_node_bound(
+        mib in 1u64..4096,
+        rpn in 2usize..=8,
+        nodes in 2usize..64,
+    ) {
+        let cluster = ClusterSpec::aws_p4d(512);
+        let topo = cluster.topology(1.0);
+        let grouped = GroupPlacement { ranks_per_node: rpn, nodes_per_rack: nodes, racks: 1 };
+        let hier = collective::cost(
+            &topo, grouped, Collective::AllReduce, Algorithm::Hierarchical, Bytes::from_mib(mib),
+        );
+        let intra_bound = collective::cost(
+            &topo,
+            GroupPlacement::intra_node(rpn),
+            Collective::AllReduce,
+            Algorithm::Ring,
+            Bytes::from_mib(mib),
+        );
+        prop_assert!(hier.total() >= intra_bound.total());
+        // And it always undercuts the flat ring at scale: strictly less
+        // traffic crosses the slow tier.
+        let flat_ring = collective::cost(
+            &topo, grouped, Collective::AllReduce, Algorithm::Ring, Bytes::from_mib(mib),
+        );
+        prop_assert!(
+            collective::select(&topo, grouped, Collective::AllReduce, Bytes::from_mib(mib))
+                != Algorithm::Tree
+                || flat_ring.total() > hier.total()
+        );
+    }
+}
