@@ -1,0 +1,85 @@
+//! Replay-hot-loop smoke: times the Algorithm 1 dataflow replay over a
+//! fixed pre-lowered task graph and writes `results/BENCH_sim.json` for
+//! the CI perf-regression gate (`check_bench` compares its
+//! `tasks_per_sec` against `crates/bench/baselines/ci_baseline.json`,
+//! alongside the sweep-throughput and collective-cost gates).
+//!
+//! The workload is the replay alone — lowering runs once up front — so
+//! the gate isolates regressions in the simulate stage from the rest of
+//! the sweep pipeline (`BENCH_sweep.json` covers the end-to-end path).
+//!
+//! ```sh
+//! cargo run --release -p vtrain-bench --bin bench_sim
+//! ```
+
+use std::time::Instant;
+
+use serde::Serialize;
+use vtrain_bench::report;
+use vtrain_core::{simulate_into, Estimator, SimMode, SimReport, SimScratch};
+use vtrain_model::presets;
+use vtrain_parallel::{ClusterSpec, ParallelConfig};
+
+#[derive(Serialize)]
+struct SimBench {
+    workload: String,
+    tasks: usize,
+    replays: usize,
+    /// Median across timed replays (robust to CI noise).
+    tasks_per_sec: f64,
+    ns_per_task: f64,
+}
+
+fn main() {
+    report::banner("Replay hot-loop smoke (CI gate input)");
+    // Mid-size reference point: large enough that per-replay overhead
+    // vanishes, small enough to finish in well under a second per replay
+    // on the CI container.
+    let estimator = Estimator::new(ClusterSpec::aws_p4d(512));
+    let model = presets::megatron("18.4B");
+    let plan = ParallelConfig::builder()
+        .tensor(8)
+        .data(4)
+        .pipeline(4)
+        .micro_batch(1)
+        .global_batch(128)
+        .build()
+        .expect("reference plan is arithmetically valid");
+    estimator.validate(&model, &plan).expect("reference plan feasible");
+    let graph = estimator.lower(&model, &plan);
+
+    let mut scratch = SimScratch::default();
+    let mut sim_report = SimReport::default();
+    // Warm-up: grow the scratch buffers and fault the graph in.
+    for _ in 0..2 {
+        simulate_into(&graph, SimMode::Predicted, &mut scratch, &mut sim_report);
+    }
+
+    let replays = 30;
+    let mut rates: Vec<f64> = (0..replays)
+        .map(|_| {
+            let started = Instant::now();
+            simulate_into(&graph, SimMode::Predicted, &mut scratch, &mut sim_report);
+            graph.len() as f64 / started.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(f64::total_cmp);
+    let tasks_per_sec = rates[replays / 2];
+
+    let bench = SimBench {
+        workload: format!("megatron-18.4B {plan}"),
+        tasks: graph.len(),
+        replays,
+        tasks_per_sec,
+        ns_per_task: 1e9 / tasks_per_sec,
+    };
+    println!(
+        "replay: {} tasks, median {:.2} Mtasks/s ({:.1} ns/task) over {} replays",
+        bench.tasks,
+        bench.tasks_per_sec / 1e6,
+        bench.ns_per_task,
+        bench.replays
+    );
+    assert_eq!(sim_report.tasks_executed, graph.len(), "replay must execute the whole graph");
+    report::dump_json("BENCH_sim", &bench);
+}

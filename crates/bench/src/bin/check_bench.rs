@@ -1,20 +1,25 @@
 //! CI perf-regression gate.
 //!
 //! Compares the freshly generated `results/BENCH_sweep.json` (sweep
-//! throughput) and `results/BENCH_collectives.json` (deterministic
-//! collective costs) against the committed baseline
+//! throughput), `results/BENCH_sim.json` (replay hot-loop throughput),
+//! and `results/BENCH_collectives.json` (deterministic collective costs)
+//! against the committed baseline
 //! `crates/bench/baselines/ci_baseline.json` and exits non-zero on:
 //!
 //! * sweep `points_per_sec` more than `max_throughput_regression_pct`
-//!   (25 %) below the baseline — a perf regression;
+//!   (25 %) below the baseline — a perf regression (the sweep must also
+//!   be an *exhaustive*-goal run: bound-pruned sweeps are not throughput
+//!   comparable);
+//! * replay `tasks_per_sec` more than `max_sim_regression_pct` (30 %)
+//!   below the baseline — a regression in the simulate stage alone;
 //! * any collective cost drifting more than `collective_tolerance_rel`
 //!   (1 ppm) from the baseline — these are deterministic model outputs,
 //!   so any drift is an unintended semantic change (golden gate).
 //!
-//! Run the two producers first (`fig10_design_space --smoke`,
-//! `bench_collectives`). Pass `--write-baseline` to regenerate the
-//! baseline from the current results after an intentional change (and
-//! say why in `crates/bench/BASELINES.md`).
+//! Run the three producers first (`fig10_design_space --smoke`,
+//! `bench_sim`, `bench_collectives`). Pass `--write-baseline` to
+//! regenerate the baseline from the current results after an intentional
+//! change (and say why in `crates/bench/BASELINES.md`).
 //!
 //! ```sh
 //! cargo run --release -p vtrain-bench --bin check_bench [-- --write-baseline]
@@ -55,6 +60,20 @@ fn sweep_grid(sweep: &Value) -> String {
     }
 }
 
+/// The goal tag of a sweep record. Records predating the `goal` field
+/// were always exhaustive.
+fn sweep_goal(sweep: &Value) -> String {
+    match sweep.get("goal") {
+        Some(Value::String(g)) => g.clone(),
+        None => "exhaustive".to_owned(),
+        other => panic!("BENCH_sweep.goal: {other:?}"),
+    }
+}
+
+fn sim_tasks_per_sec(sim: &Value) -> f64 {
+    sim.get("tasks_per_sec").and_then(Value::as_f64).expect("BENCH_sim.tasks_per_sec")
+}
+
 /// `(label, total_ns)` rows of `BENCH_collectives.json`.
 fn collective_rows(bench: &Value) -> Vec<(String, u64)> {
     let Some(Value::Array(rows)) = bench.get("collectives") else {
@@ -72,26 +91,29 @@ fn collective_rows(bench: &Value) -> Vec<(String, u64)> {
         .collect()
 }
 
-fn write_baseline(grid: &str, pps: f64, rows: &[(String, u64)]) {
+fn write_baseline(grid: &str, pps: f64, sim_tps: f64, rows: &[(String, u64)]) {
     // Carry tuned thresholds forward from the committed baseline; fall
     // back to the defaults only when no baseline exists yet.
-    let (max_reg, tol) = match fs::read_to_string(baseline_path()) {
+    let (max_reg, max_sim_reg, tol) = match fs::read_to_string(baseline_path()) {
         Ok(text) => {
             let old = serde_json::value_from_str(&text).expect("existing baseline parses");
             (
                 old.get("max_throughput_regression_pct").and_then(Value::as_f64).unwrap_or(25.0),
+                old.get("max_sim_regression_pct").and_then(Value::as_f64).unwrap_or(30.0),
                 old.get("collective_tolerance_rel").and_then(Value::as_f64).unwrap_or(1e-6),
             )
         }
-        Err(_) => (25.0, 1e-6),
+        Err(_) => (25.0, 30.0, 1e-6),
     };
     // Hand-rolled JSON keeps the committed baseline diff-stable
     // (one collective per line, fixed field order).
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"max_throughput_regression_pct\": {max_reg},\n"));
+    out.push_str(&format!("  \"max_sim_regression_pct\": {max_sim_reg},\n"));
     out.push_str(&format!("  \"collective_tolerance_rel\": {tol:e},\n"));
     out.push_str(&format!("  \"sweep_grid\": \"{grid}\",\n"));
     out.push_str(&format!("  \"sweep_points_per_sec\": {pps:.1},\n"));
+    out.push_str(&format!("  \"sim_tasks_per_sec\": {sim_tps:.0},\n"));
     out.push_str("  \"collectives\": [\n");
     for (i, (label, total)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -106,13 +128,25 @@ fn write_baseline(grid: &str, pps: f64, rows: &[(String, u64)]) {
 
 fn main() -> ExitCode {
     let sweep = load(&results_dir().join("BENCH_sweep.json"));
+    let sim = load(&results_dir().join("BENCH_sim.json"));
     let bench = load(&results_dir().join("BENCH_collectives.json"));
     let pps = points_per_sec(&sweep);
     let grid = sweep_grid(&sweep);
+    let goal = sweep_goal(&sweep);
+    let sim_tps = sim_tasks_per_sec(&sim);
     let rows = collective_rows(&bench);
 
+    if goal != "exhaustive" {
+        eprintln!(
+            "perf gate FAILURE: BENCH_sweep.json came from a `{goal}`-goal sweep — bound \
+             pruning skips evaluations, so its throughput is not comparable to the exhaustive \
+             baseline. Re-run `fig10_design_space -- --smoke` without `--goal` before gating."
+        );
+        return ExitCode::FAILURE;
+    }
+
     if std::env::args().any(|a| a == "--write-baseline") {
-        write_baseline(&grid, pps, &rows);
+        write_baseline(&grid, pps, sim_tps, &rows);
         return ExitCode::SUCCESS;
     }
 
@@ -155,6 +189,34 @@ fn main() -> ExitCode {
              ({:.1}% below the {base_pps:.1} baseline)",
             (1.0 - pps / base_pps) * 100.0
         ));
+    }
+
+    // Replay hot-loop gate (absent from pre-PR-4 baselines: then skipped
+    // with a warning so `--write-baseline` can bootstrap the field).
+    match baseline.get("sim_tasks_per_sec").and_then(Value::as_f64) {
+        None => println!("replay throughput: {sim_tps:.0} tasks/s (no baseline yet — not gated)"),
+        Some(base_sim) => {
+            let max_sim_reg =
+                baseline.get("max_sim_regression_pct").and_then(Value::as_f64).unwrap_or(30.0);
+            let sim_floor = base_sim * (1.0 - max_sim_reg / 100.0);
+            println!(
+                "replay throughput: {:.2} Mtasks/s (baseline {:.2}, floor {:.2} at -{:.0}%)",
+                sim_tps / 1e6,
+                base_sim / 1e6,
+                sim_floor / 1e6,
+                max_sim_reg
+            );
+            if sim_tps < sim_floor {
+                failures.push(format!(
+                    "replay throughput regressed: {:.2} Mtasks/s < floor {:.2} \
+                     ({:.1}% below the {:.2} Mtasks/s baseline)",
+                    sim_tps / 1e6,
+                    sim_floor / 1e6,
+                    (1.0 - sim_tps / base_sim) * 100.0,
+                    base_sim / 1e6
+                ));
+            }
+        }
     }
 
     let Some(Value::Array(base_rows)) = baseline.get("collectives") else {

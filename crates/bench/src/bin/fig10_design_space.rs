@@ -8,7 +8,13 @@
 //! exercises the staged pipeline and the shared profile cache). Pass
 //! `--topology` to additionally sweep the same grid over interconnect
 //! placements (two-tier vs multi-rack, writing `fig10_topology.json`) —
-//! the axis the flat communication model could not express.
+//! the axis the flat communication model could not express. Pass
+//! `--goal {exhaustive|front|best}` to let the bound-guided executor skip
+//! points whose analytic floor already loses to an incumbent: `front`
+//! returns exactly the Pareto frontier, `best` exactly the fastest point
+//! (both provably identical to the exhaustive winners); the default
+//! exhaustive mode computes no bounds and its grid JSON stays
+//! byte-identical by construction.
 //!
 //! Every run also writes `results/BENCH_sweep.json` with the sweep's
 //! throughput report (wall time, points/s, cache hit-rate) so the perf
@@ -19,8 +25,8 @@
 //! ```
 
 use serde::Serialize;
-use vtrain_bench::{full_mode, mtnlg_workload, report, threads};
-use vtrain_core::search::{self, SearchLimits, SweepStats};
+use vtrain_bench::{full_mode, mtnlg_workload, report, sweep_goal, threads};
+use vtrain_core::search::{self, SearchLimits, SweepGoal, SweepStats};
 use vtrain_core::Estimator;
 use vtrain_model::TimeNs;
 use vtrain_net::TierSpec;
@@ -41,6 +47,7 @@ struct Row {
 #[derive(Serialize)]
 struct SweepBench {
     grid: &'static str,
+    goal: String,
     stats: SweepStats,
     points_per_sec: f64,
     cache_hit_rate: f64,
@@ -60,6 +67,7 @@ fn sweep_placements(
     cluster: &ClusterSpec,
     model: &vtrain_model::ModelConfig,
     candidates: &[ParallelConfig],
+    goal: SweepGoal,
 ) {
     #[derive(Serialize)]
     struct TopoRow {
@@ -75,7 +83,15 @@ fn sweep_placements(
         ("multi-rack/8".to_owned(), cluster.topology(1.0).with_rack_tier(8, spine)),
         ("multi-rack/4".to_owned(), cluster.topology(1.0).with_rack_tier(4, spine)),
     ];
-    let sweeps = search::sweep_topologies(cluster, 1.0, &topologies, model, candidates, threads());
+    let sweeps = search::sweep_topologies_with_goal(
+        cluster,
+        1.0,
+        &topologies,
+        model,
+        candidates,
+        threads(),
+        goal,
+    );
     println!("\nplacement sweep (same grid, different interconnects):");
     println!("{:<14} {:>8} {:>14} {:>10}", "placement", "points", "fastest (s)", "pts/s");
     let mut rows = Vec::new();
@@ -136,8 +152,9 @@ fn main() {
         let min_d = if smoke_mode() { 8 } else { 4 };
         candidates.retain(|c: &ParallelConfig| c.data() >= min_d || c.pipeline() >= 15);
     }
-    println!("candidates: {}", candidates.len());
-    let outcome = search::sweep(&estimator, &model, &candidates, threads());
+    let goal = sweep_goal();
+    println!("candidates: {} (goal {goal:?})", candidates.len());
+    let outcome = search::sweep_with_goal(&estimator, &model, &candidates, threads(), goal);
     let stats = outcome.stats;
     println!(
         "feasible points: {} (swept in {:.1}s — the paper reports <200s for the full space)",
@@ -145,9 +162,10 @@ fn main() {
         stats.wall_s
     );
     println!(
-        "sweep: {} pruned pre-lowering, {:.1} points/s, profile-cache hit-rate {:.1}% \
-         ({} hits / {} misses), {} threads",
+        "sweep: {} pruned pre-lowering, {} bound-pruned, {:.1} points/s, profile-cache \
+         hit-rate {:.1}% ({} hits / {} misses), {} threads",
         stats.pruned,
+        stats.bound_pruned,
         stats.points_per_sec(),
         stats.cache_hit_rate() * 100.0,
         stats.cache_hits,
@@ -195,13 +213,14 @@ fn main() {
         println!("(the paper's (16,16,105) analogue is fast but wasteful: ~17% utilization)");
     }
     if topology_mode() {
-        sweep_placements(&cluster, &model, &candidates);
+        sweep_placements(&cluster, &model, &candidates, goal);
     }
     report::dump_json("fig10_design_space", &rows);
     report::dump_json(
         "BENCH_sweep",
         &SweepBench {
             grid,
+            goal: format!("{goal:?}").to_lowercase(),
             stats,
             points_per_sec: stats.points_per_sec(),
             cache_hit_rate: stats.cache_hit_rate(),

@@ -2,12 +2,16 @@
 //! tensor-parallel slice of the MT-NLG design space, highlighting the three
 //! published MT-NLG plans and the three vTrain-uncovered plans.
 //!
+//! Pass `--goal {exhaustive|front|best}` to bound-prune the background
+//! cloud (the highlighted Table I plans are always estimated in full);
+//! the default stays exhaustive and byte-identical.
+//!
 //! ```sh
 //! cargo run --release -p vtrain-bench --bin fig11_tradeoff
 //! ```
 
 use serde::Serialize;
-use vtrain_bench::{mtnlg_workload, report, table_i_plans, threads};
+use vtrain_bench::{mtnlg_workload, report, sweep_goal, table_i_plans, threads};
 use vtrain_core::search::{self, SearchLimits};
 use vtrain_core::Estimator;
 use vtrain_parallel::{ClusterSpec, PipelineSchedule};
@@ -38,7 +42,7 @@ fn main() {
         &limits,
     );
     candidates.retain(|c| c.tensor() == 8 && c.data() >= 4);
-    let cloud = search::sweep(&estimator, &model, &candidates, threads());
+    let cloud = search::sweep_with_goal(&estimator, &model, &candidates, threads(), sweep_goal());
 
     let mut points: Vec<Point> = cloud
         .points

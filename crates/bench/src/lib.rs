@@ -74,6 +74,33 @@ pub fn full_mode() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// The sweep goal selected by `--goal {exhaustive|front|best}` (also
+/// accepted as `--goal=<value>`). Defaults to an exhaustive sweep, which
+/// keeps every figure byte-identical to the pre-flag binaries.
+///
+/// # Panics
+///
+/// Panics on an unknown goal value, so CI catches typos instead of
+/// silently sweeping the wrong mode.
+pub fn sweep_goal() -> vtrain_core::search::SweepGoal {
+    use vtrain_core::search::SweepGoal;
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        let value = match a.strip_prefix("--goal=") {
+            Some(v) => v.to_owned(),
+            None if a == "--goal" => args.next().unwrap_or_default(),
+            None => continue,
+        };
+        return match value.as_str() {
+            "exhaustive" => SweepGoal::Exhaustive,
+            "front" => SweepGoal::Front,
+            "best" => SweepGoal::Best,
+            other => panic!("unknown --goal `{other}` (expected exhaustive|front|best)"),
+        };
+    }
+    SweepGoal::Exhaustive
+}
+
 /// Worker threads for sweeps.
 pub fn threads() -> usize {
     std::thread::available_parallelism().map(Into::into).unwrap_or(8)

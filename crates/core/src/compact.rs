@@ -1,0 +1,445 @@
+//! The sweep's compact replay: run-aggregated lowering fused with the
+//! Predicted-mode Algorithm 1 traversal.
+//!
+//! The graph builder emits long program-order chains per (device, stream)
+//! whose interior nodes never source or receive cross edges — whole
+//! forward/backward slots between [`GraphSink::cut`] boundaries. Because
+//! the Predicted replay applies no per-task perturbation, such a chain is
+//! lossless to aggregate: its start is its head's ready time, its finish
+//! is `start + Σ durations` (exact `u64` arithmetic), and every quantity
+//! the report accumulates (category busy sums, device busy, task counts,
+//! the finish-time maximum) distributes over the chain. The compact graph
+//! is therefore one-to-two orders of magnitude smaller than the full task
+//! graph while producing a **bit-identical** [`SimReport`] — proven
+//! against the full lowering + replay by the equivalence property test
+//! below and by the sweep's golden grid A/B.
+//!
+//! Measured mode keys noise on task ids and must replay the full graph;
+//! this path is Predicted-only by construction.
+//!
+//! All buffers live in a caller-owned [`CompactScratch`], so steady-state
+//! sweep evaluation performs no per-point heap allocation here.
+
+use vtrain_graph::{
+    build_op_graph_into, CommKind, CommOp, GraphOptions, GraphSink, Op, OpNode, OpSignature,
+    StreamKind,
+};
+use vtrain_model::{ModelConfig, TimeNs};
+use vtrain_parallel::ParallelConfig;
+use vtrain_profile::CommModel;
+
+use crate::sim::{BusyBreakdown, SimReport};
+use crate::task_graph::MissingProfile;
+
+/// Resolves compute-operator signatures to `(total latency, kernel
+/// count)` during compact lowering. Implemented by the estimator over the
+/// shared profile cache (with per-sweep hit/miss attribution) and by
+/// profile-set adapters in tests.
+pub(crate) trait ProfileSource {
+    /// The profiled `(total latency, kernel count)` of `sig`, or `None`
+    /// if the signature cannot be resolved.
+    fn op_latency(&mut self, sig: &OpSignature) -> Option<(TimeNs, u32)>;
+}
+
+/// No open run on this device's compute stream.
+const NONE: u32 = u32::MAX;
+
+/// One aggregated chain of tasks on a single (device, stream).
+#[derive(Clone, Copy, Debug, Default)]
+struct Run {
+    device: u32,
+    /// Total chain duration (sum of member durations).
+    duration: TimeNs,
+    /// Contribution to `busy.compute`.
+    compute: TimeNs,
+    /// Contribution to `busy.tp_comm`.
+    tp: TimeNs,
+    /// Contribution to `busy.dp_comm`.
+    dp: TimeNs,
+    /// Contribution to `busy.pp_comm`.
+    pp: TimeNs,
+    /// Source tasks aggregated into this run.
+    tasks: u32,
+    /// Builder node ids of the chain endpoints (invariant checks).
+    head: u32,
+    tail: u32,
+}
+
+/// Reusable buffers of the compact lowering + replay.
+#[derive(Default)]
+pub struct CompactScratch {
+    /// Builder node id → owning run.
+    node_run: Vec<u32>,
+    runs: Vec<Run>,
+    /// Inter-run edges as collected (source-run, target-run).
+    edges: Vec<(u32, u32)>,
+    /// Counting-sort cursor for the CSR build.
+    counts: Vec<u32>,
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    in_degree: Vec<u32>,
+    ready_at: Vec<TimeNs>,
+    stack: Vec<u32>,
+    /// Open (extendable) compute-stream run per device.
+    open: Vec<u32>,
+    /// Per-point compute-profile memo (a plan touches ≲ `8 + p` distinct
+    /// signatures; a short linear probe beats hashing per node).
+    sig_memo: Vec<(OpSignature, TimeNs)>,
+    /// Per-point communication-latency memo.
+    comm_memo: Vec<(CommOp, TimeNs)>,
+}
+
+struct CompactSink<'a, P> {
+    profiles: &'a mut P,
+    comm: &'a CommModel,
+    s: &'a mut CompactScratch,
+    missing: bool,
+}
+
+impl<P: ProfileSource> CompactSink<'_, P> {
+    fn compute_latency(&mut self, sig: &OpSignature) -> TimeNs {
+        if let Some(&(_, total)) = self.s.sig_memo.iter().find(|(cached, _)| cached == sig) {
+            return total;
+        }
+        let total = match self.profiles.op_latency(sig) {
+            Some((total, _)) => total,
+            None => {
+                self.missing = true;
+                TimeNs::ZERO
+            }
+        };
+        self.s.sig_memo.push((*sig, total));
+        total
+    }
+
+    fn comm_latency(&mut self, op: &CommOp) -> TimeNs {
+        if let Some(&(_, latency)) = self.s.comm_memo.iter().find(|(cached, _)| cached == op) {
+            return latency;
+        }
+        let latency = self.comm.latency(op);
+        self.s.comm_memo.push((*op, latency));
+        latency
+    }
+}
+
+impl<P: ProfileSource> GraphSink for CompactSink<'_, P> {
+    fn push(&mut self, node: OpNode) -> u32 {
+        let id = self.s.node_run.len() as u32;
+        let dev = node.device as usize;
+        // Busy-category deltas of this node.
+        let (duration, compute, tp, dp, pp) = match &node.op {
+            Op::Compute(c) => {
+                let d = self.compute_latency(&c.sig);
+                (d, d, TimeNs::ZERO, TimeNs::ZERO, TimeNs::ZERO)
+            }
+            Op::Comm(c) => {
+                let d = self.comm_latency(c);
+                let z = TimeNs::ZERO;
+                match c.kind {
+                    CommKind::TpAllReduce => (d, z, d, z, z),
+                    CommKind::DpAllReduce => (d, z, z, d, z),
+                    CommKind::PpSendRecv => (d, z, z, z, d),
+                }
+            }
+        };
+
+        let extend = node.stream == StreamKind::Compute && self.s.open[dev] != NONE;
+        let run_id = if extend {
+            let r = self.s.open[dev];
+            let run = &mut self.s.runs[r as usize];
+            run.duration += duration;
+            run.compute += compute;
+            run.tp += tp;
+            run.dp += dp;
+            run.pp += pp;
+            run.tasks += 1;
+            run.tail = id;
+            r
+        } else {
+            let r = self.s.runs.len() as u32;
+            self.s.runs.push(Run {
+                device: node.device,
+                duration,
+                compute,
+                tp,
+                dp,
+                pp,
+                tasks: 1,
+                head: id,
+                tail: id,
+            });
+            // Communication nodes join at cross-stream edges, so they are
+            // never extendable; compute chains stay open until cut.
+            if node.stream == StreamKind::Compute {
+                self.s.open[dev] = r;
+            }
+            r
+        };
+        self.s.node_run.push(run_id);
+        id
+    }
+
+    fn add_edge(&mut self, from: u32, to: u32) {
+        let rf = self.s.node_run[from as usize];
+        let rt = self.s.node_run[to as usize];
+        if rf == rt {
+            // The only intra-run edges are the builder's program-order
+            // chain links between consecutive members.
+            assert_eq!(to, from + 1, "non-chain edge inside an aggregation run");
+            return;
+        }
+        let src = &self.s.runs[rf as usize];
+        // An edge may only leave a run at its (current) tail; once it
+        // does, the run must not grow past the tail, so seal it.
+        assert_eq!(src.tail, from, "edge from the interior of an aggregation run");
+        if self.s.open[src.device as usize] == rf {
+            self.s.open[src.device as usize] = NONE;
+        }
+        assert_eq!(
+            self.s.runs[rt as usize].head, to,
+            "edge into the interior of an aggregation run"
+        );
+        self.s.edges.push((rf, rt));
+    }
+
+    fn cut(&mut self, device: u32) {
+        self.s.open[device as usize] = NONE;
+    }
+}
+
+/// Lowers `(model, plan)` straight into an aggregated replay graph and
+/// replays it in Predicted mode, writing the result into `report` — the
+/// sweep's fused lower + simulate hot path. Produces a report
+/// bit-identical to `simulate(&TaskGraph::lower_fused(..)?,
+/// SimMode::Predicted)`.
+///
+/// # Errors
+///
+/// Returns [`MissingProfile`] if `profiles` cannot resolve a signature
+/// the builder emits.
+///
+/// # Panics
+///
+/// Same conditions as [`vtrain_graph::build_op_graph`], or if the builder
+/// violates its [`GraphSink::cut`] aggregation contract (a bug, caught by
+/// the equivalence property tests).
+pub(crate) fn simulate_plan_compact<P: ProfileSource>(
+    model: &ModelConfig,
+    plan: &ParallelConfig,
+    opts: &GraphOptions,
+    profiles: &mut P,
+    comm: &CommModel,
+    scratch: &mut CompactScratch,
+    report: &mut SimReport,
+) -> Result<(), MissingProfile> {
+    let devices = plan.pipeline();
+    scratch.node_run.clear();
+    scratch.runs.clear();
+    scratch.edges.clear();
+    scratch.sig_memo.clear();
+    scratch.comm_memo.clear();
+    scratch.open.clear();
+    scratch.open.resize(devices, NONE);
+
+    let mut sink = CompactSink { profiles, comm, s: scratch, missing: false };
+    build_op_graph_into(model, plan, opts, &mut sink);
+    if sink.missing {
+        return Err(MissingProfile);
+    }
+
+    replay(scratch, devices, report);
+    Ok(())
+}
+
+/// The dataflow traversal over the aggregated graph. Compact graphs are
+/// stream-chained by construction (the builder chains consecutive runs on
+/// every slot), so the plain Kahn traversal reproduces the FIFO replay —
+/// the same argument as `simulate`'s fast path, proven bit-identical by
+/// the equivalence tests.
+fn replay(s: &mut CompactScratch, devices: usize, report: &mut SimReport) {
+    let n = s.runs.len();
+    // CSR over inter-run edges, preserving per-source insertion order,
+    // with in-degrees computed in the same pass.
+    s.counts.clear();
+    s.counts.resize(n + 1, 0);
+    s.in_degree.clear();
+    s.in_degree.resize(n, 0);
+    for &(from, to) in &s.edges {
+        s.counts[from as usize + 1] += 1;
+        s.in_degree[to as usize] += 1;
+    }
+    for i in 0..n {
+        s.counts[i + 1] += s.counts[i];
+    }
+    s.offsets.clear();
+    s.offsets.extend_from_slice(&s.counts);
+    s.targets.clear();
+    s.targets.resize(s.edges.len(), 0);
+    for &(from, to) in &s.edges {
+        let slot = &mut s.counts[from as usize];
+        s.targets[*slot as usize] = to;
+        *slot += 1;
+    }
+
+    report.busy = BusyBreakdown::default();
+    report.iteration_time = TimeNs::ZERO;
+    report.device_busy.clear();
+    report.device_busy.resize(devices, TimeNs::ZERO);
+    s.ready_at.clear();
+    s.ready_at.resize(n, TimeNs::ZERO);
+    s.stack.clear();
+    s.stack.extend((0..n as u32).filter(|&i| s.in_degree[i as usize] == 0));
+
+    let mut busy = BusyBreakdown::default();
+    let mut iteration_time = TimeNs::ZERO;
+    let mut executed_runs = 0usize;
+    let mut executed_tasks = 0usize;
+    while let Some(u) = s.stack.pop() {
+        let run = &s.runs[u as usize];
+        let finish = s.ready_at[u as usize] + run.duration;
+        iteration_time = iteration_time.max(finish);
+        busy.compute += run.compute;
+        busy.tp_comm += run.tp;
+        busy.dp_comm += run.dp;
+        busy.pp_comm += run.pp;
+        report.device_busy[run.device as usize] += run.compute + run.tp;
+        executed_runs += 1;
+        executed_tasks += run.tasks as usize;
+
+        let lo = s.offsets[u as usize] as usize;
+        let hi = s.offsets[u as usize + 1] as usize;
+        for &c in &s.targets[lo..hi] {
+            s.ready_at[c as usize] = s.ready_at[c as usize].max(finish);
+            s.in_degree[c as usize] -= 1;
+            if s.in_degree[c as usize] == 0 {
+                s.stack.push(c);
+            }
+        }
+    }
+    assert_eq!(executed_runs, n, "compact graph contains a cycle: {executed_runs} of {n} runs ran");
+    report.iteration_time = iteration_time;
+    report.busy = busy;
+    report.tasks_executed = executed_tasks;
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+    use vtrain_model::presets;
+    use vtrain_parallel::{ClusterSpec, GpuSpec, ParallelConfig, PipelineSchedule};
+    use vtrain_profile::{ProfileSet, Profiler};
+
+    use super::*;
+    use crate::sim::{simulate, SimMode};
+    use crate::task_graph::TaskGraph;
+
+    /// `ProfileSet` adapter for tests.
+    struct SetSource<'a>(&'a ProfileSet);
+
+    impl ProfileSource for SetSource<'_> {
+        fn op_latency(&mut self, sig: &OpSignature) -> Option<(TimeNs, u32)> {
+            self.0.lookup(sig)
+        }
+    }
+
+    fn compare_point(
+        model: &vtrain_model::ModelConfig,
+        plan: &ParallelConfig,
+        opts: &GraphOptions,
+        scratch: &mut CompactScratch,
+    ) {
+        let cluster = ClusterSpec::aws_p4d(512);
+        let comm = CommModel::new(&cluster, 1.0);
+        let cache = vtrain_profile::ProfileCache::new();
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        let sigs = vtrain_graph::plan_signatures(model, plan, opts);
+        let profiles = cache.resolve(&profiler, &sigs);
+
+        let full = TaskGraph::lower_fused(model, plan, opts, &profiles, &comm).unwrap();
+        let expect = simulate(&full, SimMode::Predicted);
+
+        let mut report = SimReport::default();
+        let mut source = SetSource(&profiles);
+        simulate_plan_compact(model, plan, opts, &mut source, &comm, scratch, &mut report).unwrap();
+
+        assert_eq!(report.iteration_time, expect.iteration_time, "{plan}");
+        assert_eq!(report.busy, expect.busy, "{plan}");
+        assert_eq!(report.device_busy, expect.device_busy, "{plan}");
+        assert_eq!(report.tasks_executed, expect.tasks_executed, "{plan}");
+        // The aggregation must actually shrink the graph whenever a stage
+        // holds more than one operator.
+        assert!(scratch.runs.len() <= full.len());
+    }
+
+    #[test]
+    fn compact_replay_matches_full_on_grid_corners() {
+        let model = presets::megatron("1.7B");
+        let mut scratch = CompactScratch::default();
+        for (t, d, p, m, b) in
+            [(1, 1, 1, 1, 4), (2, 2, 2, 1, 8), (2, 4, 3, 2, 16), (1, 8, 1, 1, 16), (4, 1, 6, 1, 6)]
+        {
+            for sched in [PipelineSchedule::OneFOneB, PipelineSchedule::GPipe] {
+                for bucketing in [true, false] {
+                    let plan = ParallelConfig::builder()
+                        .tensor(t)
+                        .data(d)
+                        .pipeline(p)
+                        .micro_batch(m)
+                        .global_batch(b)
+                        .schedule(sched)
+                        .gradient_bucketing(bucketing)
+                        .build()
+                        .unwrap();
+                    compare_point(&model, &plan, &GraphOptions::default(), &mut scratch);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_profile_reported() {
+        let model = presets::megatron("1.7B");
+        let plan = ParallelConfig::builder().global_batch(4).build().unwrap();
+        let comm = CommModel::new(&ClusterSpec::aws_p4d(8), 1.0);
+        let empty = ProfileSet::default();
+        let mut source = SetSource(&empty);
+        let err = simulate_plan_compact(
+            &model,
+            &plan,
+            &GraphOptions::default(),
+            &mut source,
+            &comm,
+            &mut CompactScratch::default(),
+            &mut SimReport::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, MissingProfile);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Golden equivalence: the aggregated replay reproduces the full
+        /// lowering + Predicted replay bit for bit on sampled design
+        /// points — schedules, bucketing, recompute, uneven partitions.
+        #[test]
+        fn compact_replay_is_bit_identical_to_full(
+            t_exp in 0usize..=2,
+            d_exp in 0usize..=2,
+            p in 1usize..=5,
+            m_exp in 0usize..=1,
+            flags in 0u32..8,
+        ) {
+            let (gpipe, bucketing, recompute) =
+                (flags & 1 != 0, flags & 2 != 0, flags & 4 != 0);
+            let (t, d, m) = (1usize << t_exp, 1 << d_exp, 1 << m_exp);
+            let b = d * m * 2;
+            let sched = if gpipe { PipelineSchedule::GPipe } else { PipelineSchedule::OneFOneB };
+            let plan = ParallelConfig::builder()
+                .tensor(t).data(d).pipeline(p).micro_batch(m).global_batch(b)
+                .schedule(sched).gradient_bucketing(bucketing).build().unwrap();
+            let opts = GraphOptions { recompute, ..GraphOptions::default() };
+            compare_point(&presets::megatron("1.7B"), &plan, &opts, &mut CompactScratch::default());
+        }
+    }
+}

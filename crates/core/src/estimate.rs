@@ -24,12 +24,13 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use vtrain_gpu::NoiseModel;
-use vtrain_graph::{plan_signatures, CompKind, GraphOptions};
+use vtrain_graph::{plan_signatures, CompKind, GraphOptions, OpSignature};
 use vtrain_model::{ModelConfig, TimeNs};
 use vtrain_net::Topology;
 use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule, PlanError};
-use vtrain_profile::{CacheStats, CommModel, ProfileCache, Profiler};
+use vtrain_profile::{CacheStats, CommModel, GpuKey, ProfileCache, Profiler};
 
+use crate::compact::{simulate_plan_compact, CompactScratch, ProfileSource};
 use crate::sim::{simulate, BusyBreakdown, SimMode, SimReport};
 use crate::task_graph::TaskGraph;
 
@@ -92,6 +93,51 @@ pub struct Estimator {
     graph_opts: GraphOptions,
     profiler: Profiler,
     cache: Arc<ProfileCache>,
+    /// The profiler GPU's cache key, derived once per estimator instead
+    /// of once per lookup.
+    gpu_key: GpuKey,
+}
+
+/// Reusable per-thread state of the sweep's evaluation hot path: the
+/// compact lowering/replay buffers, the report whose vectors are
+/// recycled, and this thread's exact share of profile-cache traffic.
+///
+/// Thread one of these through [`Estimator::estimate_validated_with`] and
+/// steady-state evaluation performs no per-point heap allocation.
+#[derive(Default)]
+pub struct EstimatorScratch {
+    compact: CompactScratch,
+    report: SimReport,
+    /// Profile-cache hits/misses attributable to this scratch's owner.
+    cache_stats: CacheStats,
+}
+
+impl EstimatorScratch {
+    /// This scratch's exact profile-cache hit/miss tally (monotonic).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats
+    }
+}
+
+/// [`ProfileSource`] over the estimator's shared cache: weight updates
+/// (near-unique parameter counts) are evaluated closed-form inline;
+/// everything else goes through the cache with exact hit/miss
+/// attribution into the scratch's local tally.
+struct CacheSource<'a> {
+    cache: &'a ProfileCache,
+    profiler: &'a Profiler,
+    gpu_key: &'a GpuKey,
+    stats: &'a mut CacheStats,
+}
+
+impl ProfileSource for CacheSource<'_> {
+    fn op_latency(&mut self, sig: &OpSignature) -> Option<(TimeNs, u32)> {
+        if sig.kind == CompKind::WeightUpdate {
+            return Some(self.profiler.operator_latency(sig));
+        }
+        let profile = self.cache.get_with(self.gpu_key, self.profiler, sig, self.stats);
+        Some((profile.total(), profile.kernel_count() as u32))
+    }
 }
 
 impl Estimator {
@@ -115,7 +161,8 @@ impl Estimator {
         let graph_opts =
             GraphOptions { gpus_per_node: cluster.gpus_per_node, ..GraphOptions::default() };
         let profiler = Profiler::new(cluster.gpu.clone());
-        Estimator { cluster, comm, graph_opts, profiler, cache }
+        let gpu_key = GpuKey::of(&cluster.gpu);
+        Estimator { cluster, comm, graph_opts, profiler, cache, gpu_key }
     }
 
     /// Creates a topology-aware estimator: collectives are placed on
@@ -153,7 +200,8 @@ impl Estimator {
         let nodes_per_rack = (topology.num_tiers() == 3).then(|| topology.nodes_per_rack());
         let graph_opts = GraphOptions { gpus_per_node, nodes_per_rack, ..GraphOptions::default() };
         let profiler = Profiler::new(cluster.gpu.clone());
-        Estimator { cluster, comm, graph_opts, profiler, cache }
+        let gpu_key = GpuKey::of(&cluster.gpu);
+        Estimator { cluster, comm, graph_opts, profiler, cache, gpu_key }
     }
 
     /// The interconnect topology communication is priced against.
@@ -280,6 +328,56 @@ impl Estimator {
         let tg = self.lower(model, plan);
         let report = self.simulate(&tg, SimMode::Predicted);
         self.summarize(model, plan, &report)
+    }
+
+    /// The sweep's allocation-free hot path: lowers `(model, plan)`
+    /// straight into the scratch's aggregated replay graph and replays it
+    /// in Predicted mode, reusing every buffer point to point. The result
+    /// is bit-identical to [`Estimator::estimate`] (equivalence proven by
+    /// the compact-replay property tests and the sweep golden tests); the
+    /// plan must already be validated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is invalid for the model (run
+    /// [`Estimator::validate`] first).
+    pub fn estimate_validated_with(
+        &self,
+        model: &ModelConfig,
+        plan: &ParallelConfig,
+        scratch: &mut EstimatorScratch,
+    ) -> IterationEstimate {
+        let EstimatorScratch { compact, report, cache_stats } = scratch;
+        let mut source = CacheSource {
+            cache: &self.cache,
+            profiler: &self.profiler,
+            gpu_key: &self.gpu_key,
+            stats: cache_stats,
+        };
+        simulate_plan_compact(
+            model,
+            plan,
+            &self.graph_opts,
+            &mut source,
+            &self.comm,
+            compact,
+            report,
+        )
+        .expect("estimator profile source resolves every signature");
+        self.summarize(model, plan, report)
+    }
+
+    /// An admissible analytic lower bound on the plan's Predicted
+    /// iteration time, computed without lowering — see
+    /// [`bounds`](crate::bounds) for the construction. Bound-guided sweep
+    /// goals use this to skip points that provably lose to an incumbent.
+    ///
+    /// # Panics
+    ///
+    /// Same preconditions as [`Estimator::lower`]: the plan must be valid
+    /// for the model.
+    pub fn lower_bound(&self, model: &ModelConfig, plan: &ParallelConfig) -> TimeNs {
+        crate::bounds::iteration_floor(model, plan, &self.graph_opts, &self.cluster.gpu, &self.comm)
     }
 
     /// Ground-truth emulated "measurement" of the same design point — the

@@ -45,6 +45,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounds;
+mod compact;
 mod cost;
 mod estimate;
 pub mod search;
@@ -52,6 +54,6 @@ mod sim;
 mod task_graph;
 
 pub use cost::{CostModel, TrainingProjection};
-pub use estimate::{EstimateError, Estimator, IterationEstimate};
-pub use sim::{simulate, BusyBreakdown, SimMode, SimReport};
+pub use estimate::{EstimateError, Estimator, EstimatorScratch, IterationEstimate};
+pub use sim::{simulate, simulate_into, BusyBreakdown, SimMode, SimReport, SimScratch};
 pub use task_graph::{Task, TaskGraph, TaskKind};

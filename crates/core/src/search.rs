@@ -9,18 +9,18 @@
 //! estimator's profile cache, so each unique operator signature is
 //! profiled once per sweep rather than once per plan.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
-use vtrain_model::ModelConfig;
+use vtrain_model::{ModelConfig, TimeNs};
 use vtrain_net::Topology;
 use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule};
 use vtrain_profile::ProfileCache;
 
 use crate::cost::{CostModel, TrainingProjection};
-use crate::estimate::{Estimator, IterationEstimate};
+use crate::estimate::{Estimator, EstimatorScratch, IterationEstimate};
 
 /// Bounds of the exhaustive sweep (paper §V-A sweeps `t ≤ 16`, `d ≤ 32`,
 /// `p ≤ 105`).
@@ -64,20 +64,44 @@ impl DesignPoint {
     }
 }
 
+/// What a sweep must guarantee about its result — the license for
+/// bound-guided pruning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepGoal {
+    /// Evaluate every feasible candidate and return all of them. No
+    /// bounds are computed, so results are byte-identical to the
+    /// pre-goal sweep by construction.
+    #[default]
+    Exhaustive,
+    /// Return exactly the Pareto frontier minimizing
+    /// `(iteration_time, num_gpus)`. Candidates whose analytic floor
+    /// already loses to an evaluated incumbent (strictly slower at no
+    /// fewer GPUs) are skipped without lowering.
+    Front,
+    /// Return exactly the single fastest feasible point (earliest
+    /// candidate on ties). Candidates whose floor is strictly slower
+    /// than the incumbent best are skipped without lowering.
+    Best,
+}
+
 /// Execution report of one sweep.
 ///
-/// Cache counters are attributed by before/after snapshots of the
-/// estimator's shared cache, so if *other* work (another sweep, ad-hoc
-/// estimates) drives the same cache concurrently, its lookups fold into
-/// this report's `cache_hits`/`cache_misses`. Points and pruning counts
-/// are always exact.
+/// Cache counters are tallied per worker at each lookup and summed, so
+/// they attribute exactly this sweep's traffic even when other work
+/// (another sweep, ad-hoc estimates) drives the same shared cache
+/// concurrently.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct SweepStats {
     /// Candidate plans submitted.
     pub candidates: usize,
     /// Candidates pruned by the validation stage before lowering.
     pub pruned: usize,
-    /// Candidates lowered and simulated (`candidates − pruned`).
+    /// Feasible candidates skipped because their analytic lower bound
+    /// already lost to an incumbent (always 0 under
+    /// [`SweepGoal::Exhaustive`]).
+    pub bound_pruned: usize,
+    /// Candidates lowered and simulated
+    /// (`candidates − pruned − bound_pruned`).
     pub evaluated: usize,
     /// Profile-cache hits attributed to this sweep.
     pub cache_hits: u64,
@@ -101,8 +125,12 @@ impl SweepStats {
     }
 
     /// Evaluated (feasible) design points per wall-clock second.
+    ///
+    /// Guarded against degenerate timers: a zero (or non-finite) wall
+    /// clock reports 0 instead of leaking `inf`/`NaN` into serialized
+    /// benchmark records.
     pub fn points_per_sec(&self) -> f64 {
-        if self.wall_s > 0.0 {
+        if self.wall_s.is_finite() && self.wall_s > 0.0 {
             self.evaluated as f64 / self.wall_s
         } else {
             0.0
@@ -176,25 +204,102 @@ pub fn enumerate_candidates(
     out
 }
 
+/// Shared bound-pruning watermarks: for each distinct GPU count in the
+/// candidate list (ascending), the best evaluated iteration time using
+/// *at most* that many GPUs, as atomic nanosecond values.
+///
+/// `Best` degenerates to a single bucket (GPU counts are irrelevant to
+/// the fastest-point goal); `Front` prunes a candidate only when an
+/// evaluated point with no more GPUs is *strictly* faster than the
+/// candidate's floor — by admissibility the candidate is then strictly
+/// dominated, so winner sets (and their candidate-order tie-breaks) are
+/// exactly those of the exhaustive sweep, regardless of thread timing.
+struct Watermarks {
+    gpu_buckets: Vec<usize>,
+    best_ns: Vec<AtomicU64>,
+}
+
+impl Watermarks {
+    fn new(goal: SweepGoal, candidates: &[ParallelConfig]) -> Watermarks {
+        let mut gpu_buckets = match goal {
+            SweepGoal::Best => Vec::new(),
+            _ => {
+                let mut gpus: Vec<usize> =
+                    candidates.iter().map(ParallelConfig::num_gpus).collect();
+                gpus.sort_unstable();
+                gpus.dedup();
+                gpus
+            }
+        };
+        if gpu_buckets.is_empty() {
+            gpu_buckets = vec![usize::MAX];
+        }
+        let best_ns = gpu_buckets.iter().map(|_| AtomicU64::new(u64::MAX)).collect();
+        Watermarks { gpu_buckets, best_ns }
+    }
+
+    fn bucket(&self, gpus: usize) -> usize {
+        self.gpu_buckets.partition_point(|&g| g < gpus).min(self.gpu_buckets.len() - 1)
+    }
+
+    /// True if some evaluated point with `≤ gpus` GPUs is strictly
+    /// faster than `floor` — the candidate is provably dominated.
+    fn dominates(&self, gpus: usize, floor: TimeNs) -> bool {
+        self.best_ns[self.bucket(gpus)].load(Ordering::Relaxed) < floor.as_nanos()
+    }
+
+    /// Records an evaluated point: its time becomes a pruning watermark
+    /// for every bucket of at least its GPU count.
+    fn record(&self, gpus: usize, time: TimeNs) {
+        for slot in &self.best_ns[self.bucket(gpus)..] {
+            slot.fetch_min(time.as_nanos(), Ordering::Relaxed);
+        }
+    }
+}
+
 /// Evaluates candidates on a work-stealing thread pool, pruning
 /// infeasible plans with the cheap validation stage and sharing the
 /// estimator's profile cache across workers.
 ///
-/// Each worker owns a contiguous candidate range with an atomic cursor
-/// and a private result buffer; exhausted workers steal from the cursors
-/// of loaded neighbours, and buffers merge once at the end — no
-/// per-result lock anywhere. Results are returned in candidate order, so
-/// sweeps are deterministic regardless of thread count or interleaving.
-pub fn sweep(
+/// Each worker owns a contiguous candidate range with an atomic cursor,
+/// a private result buffer, and a private [`EstimatorScratch`] (so
+/// steady-state evaluation allocates nothing per point); exhausted
+/// workers steal from the cursors of loaded neighbours, and buffers
+/// merge once at the end — no per-result lock anywhere. Results are
+/// returned in candidate order, so sweeps are deterministic regardless
+/// of thread count or interleaving.
+///
+/// Under [`SweepGoal::Front`]/[`SweepGoal::Best`], candidates whose
+/// [analytic floor](Estimator::lower_bound) is strictly beaten by an
+/// evaluated incumbent (shared across workers via atomic watermarks) are
+/// skipped entirely, and the outcome is filtered to exactly the goal's
+/// winners — provably the same winners the exhaustive sweep returns.
+pub fn sweep_with_goal(
     estimator: &Estimator,
     model: &ModelConfig,
     candidates: &[ParallelConfig],
     threads: usize,
+    goal: SweepGoal,
 ) -> SweepOutcome {
     let started = Instant::now();
-    let cache_before = estimator.cache_stats();
     let threads = threads.max(1).min(candidates.len().max(1));
     let pruned = AtomicUsize::new(0);
+    let bound_pruned = AtomicUsize::new(0);
+    // Exhaustive sweeps never consult watermarks; skip the sort and the
+    // atomic array entirely on that (default) path.
+    let watermarks = (goal != SweepGoal::Exhaustive).then(|| Watermarks::new(goal, candidates));
+
+    // Bound-guided goals are proven order-independent, so visit
+    // likely-fastest points first (more GPUs → shorter iterations in the
+    // bulk of the space): the incumbent tightens immediately and the
+    // slow small-GPU tail prunes instead of being evaluated. The stable
+    // sort keeps candidate order within a GPU count.
+    let order: Option<Vec<u32>> = (goal != SweepGoal::Exhaustive).then(|| {
+        let mut idx: Vec<u32> = (0..candidates.len() as u32).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(candidates[i as usize].num_gpus()));
+        idx
+    });
+    let order = order.as_deref();
 
     // Contiguous per-worker ranges: (cursor, end). A worker drains its own
     // range, then scans the others for leftover work; `fetch_add` claims
@@ -204,13 +309,17 @@ pub fn sweep(
         .map(|w| (AtomicUsize::new(w * chunk), ((w + 1) * chunk).min(candidates.len())))
         .collect();
 
-    let mut buffers: Vec<Vec<(u32, DesignPoint)>> = crossbeam::scope(|scope| {
+    type WorkerYield = (Vec<(u32, DesignPoint)>, vtrain_profile::CacheStats);
+    let results: Vec<WorkerYield> = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let ranges = &ranges;
                 let pruned = &pruned;
+                let bound_pruned = &bound_pruned;
+                let watermarks = watermarks.as_ref();
                 scope.spawn(move |_| {
                     let mut buf: Vec<(u32, DesignPoint)> = Vec::new();
+                    let mut scratch = EstimatorScratch::default();
                     for victim in 0..threads {
                         let (cursor, end) = &ranges[(w + victim) % threads];
                         loop {
@@ -218,16 +327,28 @@ pub fn sweep(
                             if i >= *end {
                                 break;
                             }
+                            let i = order.map_or(i, |o| o[i] as usize);
                             let plan = candidates[i];
                             if estimator.validate(model, &plan).is_err() {
                                 pruned.fetch_add(1, Ordering::Relaxed);
                                 continue;
                             }
-                            let estimate = estimator.estimate_validated(model, &plan);
+                            if let Some(marks) = watermarks {
+                                let floor = estimator.lower_bound(model, &plan);
+                                if marks.dominates(plan.num_gpus(), floor) {
+                                    bound_pruned.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                            }
+                            let estimate =
+                                estimator.estimate_validated_with(model, &plan, &mut scratch);
+                            if let Some(marks) = watermarks {
+                                marks.record(plan.num_gpus(), estimate.iteration_time);
+                            }
                             buf.push((i as u32, DesignPoint { plan, estimate }));
                         }
                     }
-                    buf
+                    (buf, scratch.cache_stats())
                 })
             })
             .collect();
@@ -235,22 +356,73 @@ pub fn sweep(
     })
     .expect("sweep scope");
 
-    let mut indexed: Vec<(u32, DesignPoint)> = buffers.drain(..).flatten().collect();
+    let mut indexed: Vec<(u32, DesignPoint)> = Vec::new();
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    for (buf, cache) in results {
+        indexed.extend(buf);
+        cache_hits += cache.hits;
+        cache_misses += cache.misses;
+    }
     indexed.sort_unstable_by_key(|(i, _)| *i);
-    let points: Vec<DesignPoint> = indexed.into_iter().map(|(_, p)| p).collect();
+    let mut points: Vec<DesignPoint> = indexed.into_iter().map(|(_, p)| p).collect();
+
+    // Filter to the goal's winners: pruning guarantees every winner was
+    // evaluated, so these are exactly the exhaustive sweep's winners.
+    match goal {
+        SweepGoal::Exhaustive => {}
+        SweepGoal::Front => {
+            // `pareto_front` returns members in input order; match them
+            // back by identity with one forward pass.
+            let keep: Vec<bool> = {
+                let front = pareto_front(&points);
+                let mut fi = 0;
+                points
+                    .iter()
+                    .map(|p| {
+                        let on_front = fi < front.len() && std::ptr::eq(p, front[fi]);
+                        fi += usize::from(on_front);
+                        on_front
+                    })
+                    .collect()
+            };
+            let mut it = keep.into_iter();
+            points.retain(|_| it.next().expect("keep mask covers points"));
+        }
+        SweepGoal::Best => {
+            let best = points
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.estimate.iteration_time)
+                .map(|(i, _)| i);
+            points = best.map(|i| vec![points[i].clone()]).unwrap_or_default();
+        }
+    }
 
     let pruned = pruned.into_inner();
-    let cache = estimator.cache_stats().since(&cache_before);
+    let bound_pruned = bound_pruned.into_inner();
     let stats = SweepStats {
         candidates: candidates.len(),
         pruned,
-        evaluated: candidates.len() - pruned,
-        cache_hits: cache.hits,
-        cache_misses: cache.misses,
+        bound_pruned,
+        evaluated: candidates.len() - pruned - bound_pruned,
+        cache_hits,
+        cache_misses,
         threads,
         wall_s: started.elapsed().as_secs_f64(),
     };
     SweepOutcome { points, stats }
+}
+
+/// [`sweep_with_goal`] under [`SweepGoal::Exhaustive`] — every feasible
+/// point evaluated and returned.
+pub fn sweep(
+    estimator: &Estimator,
+    model: &ModelConfig,
+    candidates: &[ParallelConfig],
+    threads: usize,
+) -> SweepOutcome {
+    sweep_with_goal(estimator, model, candidates, threads, SweepGoal::Exhaustive)
 }
 
 /// One topology variant's outcome in a placement sweep.
@@ -278,6 +450,31 @@ pub fn sweep_topologies(
     candidates: &[ParallelConfig],
     threads: usize,
 ) -> Vec<PlacementSweep> {
+    sweep_topologies_with_goal(
+        cluster,
+        alpha,
+        topologies,
+        model,
+        candidates,
+        threads,
+        SweepGoal::Exhaustive,
+    )
+}
+
+/// [`sweep_topologies`] under an explicit [`SweepGoal`]: each placement
+/// variant independently prunes against its own incumbents (bounds are
+/// priced per variant — communication costs differ between placements),
+/// while all variants still share one profile cache.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_topologies_with_goal(
+    cluster: &ClusterSpec,
+    alpha: f64,
+    topologies: &[(String, Topology)],
+    model: &ModelConfig,
+    candidates: &[ParallelConfig],
+    threads: usize,
+    goal: SweepGoal,
+) -> Vec<PlacementSweep> {
     let cache = Arc::new(ProfileCache::new());
     topologies
         .iter()
@@ -290,7 +487,7 @@ pub fn sweep_topologies(
             );
             PlacementSweep {
                 label: label.clone(),
-                outcome: sweep(&estimator, model, candidates, threads),
+                outcome: sweep_with_goal(&estimator, model, candidates, threads, goal),
             }
         })
         .collect()
@@ -593,6 +790,79 @@ mod tests {
         assert_eq!(front.len(), 4, "duplicates of (10, 4) both survive alongside (5,8), (20,2)");
     }
 
+    #[test]
+    fn points_per_sec_guards_degenerate_wall_clocks() {
+        let stats = SweepStats { evaluated: 5, wall_s: 0.0, ..SweepStats::default() };
+        assert_eq!(stats.points_per_sec(), 0.0, "zero wall must not emit inf");
+        let stats = SweepStats { evaluated: 5, wall_s: f64::NAN, ..SweepStats::default() };
+        assert_eq!(stats.points_per_sec(), 0.0, "NaN wall must not propagate");
+        let stats = SweepStats { evaluated: 4, wall_s: 2.0, ..SweepStats::default() };
+        assert!((stats.points_per_sec() - 2.0).abs() < 1e-12);
+    }
+
+    /// Winners of each goal derived from an exhaustive sweep's points —
+    /// the oracle the pruned sweeps must reproduce exactly.
+    fn assert_goal_outcomes_match(
+        estimator: &Estimator,
+        model: &ModelConfig,
+        cands: &[ParallelConfig],
+        threads: usize,
+    ) -> SweepStats {
+        let exhaustive = sweep(estimator, model, cands, threads);
+        assert_eq!(exhaustive.stats.bound_pruned, 0, "exhaustive mode never computes bounds");
+
+        let best = sweep_with_goal(estimator, model, cands, threads, SweepGoal::Best);
+        let want_best = exhaustive.points.iter().min_by_key(|p| p.estimate.iteration_time);
+        match want_best {
+            None => assert!(best.points.is_empty()),
+            Some(want) => {
+                assert_eq!(best.points.len(), 1);
+                assert_eq!(best.points[0].plan, want.plan);
+                assert_eq!(best.points[0].estimate.iteration_time, want.estimate.iteration_time);
+                assert_eq!(
+                    best.points[0].estimate.utilization.to_bits(),
+                    want.estimate.utilization.to_bits(),
+                    "winners must be bit-identical, not merely equal"
+                );
+            }
+        }
+
+        let front = sweep_with_goal(estimator, model, cands, threads, SweepGoal::Front);
+        let want_front: Vec<&DesignPoint> = pareto_front(&exhaustive.points);
+        assert_eq!(front.points.len(), want_front.len());
+        for (got, want) in front.points.iter().zip(&want_front) {
+            assert_eq!(got.plan, want.plan);
+            assert_eq!(got.estimate.iteration_time, want.estimate.iteration_time);
+            assert_eq!(got.estimate.num_gpus, want.estimate.num_gpus);
+        }
+
+        for outcome in [&best, &front] {
+            let s = outcome.stats;
+            assert_eq!(s.pruned + s.bound_pruned + s.evaluated, s.candidates);
+            assert!(outcome.points.len() <= s.evaluated);
+        }
+        best.stats
+    }
+
+    #[test]
+    fn goal_modes_return_exhaustive_winners_and_prune() {
+        let cluster = ClusterSpec::aws_p4d(32);
+        let estimator = Estimator::new(cluster.clone());
+        let model = presets::megatron("1.7B");
+        let limits =
+            SearchLimits { max_tensor: 4, max_data: 8, max_pipeline: 4, max_micro_batch: 4 };
+        let cands = enumerate_candidates(&model, &cluster, 32, PipelineSchedule::OneFOneB, &limits);
+        assert!(cands.len() > 20, "grid too small to be meaningful");
+        let best_stats = assert_goal_outcomes_match(&estimator, &model, &cands, 1);
+        // On a single thread the incumbent is established early, so the
+        // bound must actually skip work (the point of the feature).
+        assert!(
+            best_stats.bound_pruned > 0,
+            "Best goal pruned nothing on {} candidates",
+            cands.len()
+        );
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 
@@ -607,6 +877,42 @@ mod tests {
             let naive: Vec<*const DesignPoint> =
                 pareto_front_naive(&points).into_iter().map(|p| p as *const _).collect();
             prop_assert_eq!(fast, naive);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        /// Determinism under pruning: `Best`/`Front` return exactly the
+        /// exhaustive sweep's winners across random grids, batch sizes,
+        /// and thread counts — regardless of watermark race timing.
+        #[test]
+        fn goal_pruning_never_changes_winners(
+            max_tensor_exp in 0usize..=2,
+            max_data in 1usize..=6,
+            max_pipeline in 1usize..=4,
+            batch_exp in 3usize..=5,
+            threads in 1usize..=6,
+            big_model in proptest::bool::ANY,
+        ) {
+            let cluster = ClusterSpec::aws_p4d(64);
+            let estimator = Estimator::new(cluster.clone());
+            let model =
+                if big_model { presets::megatron("3.6B") } else { presets::megatron("1.7B") };
+            let limits = SearchLimits {
+                max_tensor: 1 << max_tensor_exp,
+                max_data,
+                max_pipeline,
+                max_micro_batch: 2,
+            };
+            let cands = enumerate_candidates(
+                &model,
+                &cluster,
+                1 << batch_exp,
+                PipelineSchedule::OneFOneB,
+                &limits,
+            );
+            assert_goal_outcomes_match(&estimator, &model, &cands, threads);
         }
     }
 }

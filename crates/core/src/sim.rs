@@ -86,23 +86,38 @@ impl SimReport {
 /// satisfied and enters the ready queue.
 struct TaskReady(u32);
 
+/// Reusable buffers of the replay — Algorithm 1's `ref`/`ready` arrays,
+/// the dataflow traversal stack, the chain-check scratch, and the engine
+/// simulation itself. A sweep worker threads one of these through every
+/// point it evaluates, so steady-state replays perform no per-point heap
+/// allocation in either the dataflow or the engine path.
+#[derive(Default)]
+pub struct SimScratch {
+    in_degree: Vec<u32>,
+    ready_at: Vec<TimeNs>,
+    stack: Vec<u32>,
+    chain_last: Vec<Option<u32>>,
+    engine: Simulation<TaskReady>,
+    streams: TimelineSet,
+}
+
 /// Engine handler executing ready tasks over the per-(device, stream)
 /// timelines.
-struct Replay<'a> {
+struct Replay<'a, 'b> {
     graph: &'a TaskGraph,
     mode: SimMode<'a>,
-    in_degree: Vec<u32>,
+    in_degree: &'b mut [u32],
     /// Dependency-completion time per task (Algorithm 1's `ready`).
-    ready_at: Vec<TimeNs>,
+    ready_at: &'b mut [TimeNs],
     /// Per-(device, stream) availability — the engine resources.
-    streams: TimelineSet,
-    device_busy: Vec<TimeNs>,
+    streams: &'b mut TimelineSet,
+    device_busy: &'b mut [TimeNs],
     busy: BusyBreakdown,
     iteration_time: TimeNs,
     executed: usize,
 }
 
-impl Handler<TaskReady> for Replay<'_> {
+impl Handler<TaskReady> for Replay<'_, '_> {
     fn handle(&mut self, TaskReady(u): TaskReady, sim: &mut Simulation<TaskReady>) {
         let task = &self.graph.tasks()[u as usize];
         let duration = effective_duration(u, task.duration, &task.kind, &self.mode);
@@ -159,10 +174,28 @@ impl Handler<TaskReady> for Replay<'_> {
 /// Panics if the graph contains a dependency cycle (some task never becomes
 /// ready).
 pub fn simulate(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
-    if graph.is_stream_chained() {
-        simulate_dataflow(graph, mode)
+    let mut report = SimReport::default();
+    simulate_into(graph, mode, &mut SimScratch::default(), &mut report);
+    report
+}
+
+/// [`simulate`] over caller-owned scratch buffers, writing the result into
+/// `report` (whose `device_busy` vector is reused). Repeated calls on
+/// graphs of non-increasing size perform no heap allocation.
+pub fn simulate_into(
+    graph: &TaskGraph,
+    mode: SimMode<'_>,
+    scratch: &mut SimScratch,
+    report: &mut SimReport,
+) {
+    report.busy = BusyBreakdown::default();
+    report.iteration_time = TimeNs::ZERO;
+    report.device_busy.clear();
+    report.device_busy.resize(graph.num_devices() as usize, TimeNs::ZERO);
+    if graph.is_stream_chained_with(&mut scratch.chain_last) {
+        simulate_dataflow(graph, mode, scratch, report);
     } else {
-        simulate_engine(graph, mode)
+        simulate_engine_into(graph, mode, scratch, report);
     }
 }
 
@@ -178,17 +211,26 @@ pub fn simulate(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
 /// quantity the report aggregates (max finish, commutative busy sums) is
 /// traversal-order independent. Hence this traversal — plain Kahn with a
 /// stack — reproduces the engine replay bit for bit.
-fn simulate_dataflow(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
+fn simulate_dataflow(
+    graph: &TaskGraph,
+    mode: SimMode<'_>,
+    scratch: &mut SimScratch,
+    report: &mut SimReport,
+) {
     let n = graph.len();
-    let devices = graph.num_devices() as usize;
-    let mut in_degree = graph.in_degrees();
-    let mut ready_at = vec![TimeNs::ZERO; n];
-    let mut device_busy = vec![TimeNs::ZERO; devices];
+    graph.fill_in_degrees(&mut scratch.in_degree);
+    let in_degree = &mut scratch.in_degree;
+    scratch.ready_at.clear();
+    scratch.ready_at.resize(n, TimeNs::ZERO);
+    let ready_at = &mut scratch.ready_at;
+    let device_busy = &mut report.device_busy;
     let mut busy = BusyBreakdown::default();
     let mut iteration_time = TimeNs::ZERO;
     let mut executed = 0usize;
 
-    let mut stack: Vec<u32> = (0..n as u32).filter(|&i| in_degree[i as usize] == 0).collect();
+    scratch.stack.clear();
+    scratch.stack.extend((0..n as u32).filter(|&i| in_degree[i as usize] == 0));
+    let stack = &mut scratch.stack;
     while let Some(u) = stack.pop() {
         let task = &graph.tasks()[u as usize];
         let duration = effective_duration(u, task.duration, &task.kind, &mode);
@@ -222,26 +264,38 @@ fn simulate_dataflow(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
     }
 
     assert_eq!(executed, n, "task graph contains a cycle: {executed} of {n} tasks ran");
-    SimReport { iteration_time, busy, device_busy, tasks_executed: executed }
+    report.iteration_time = iteration_time;
+    report.busy = busy;
+    report.tasks_executed = executed;
 }
 
 /// The general path: Algorithm 1 on the shared discrete-event engine.
-fn simulate_engine(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
+fn simulate_engine_into(
+    graph: &TaskGraph,
+    mode: SimMode<'_>,
+    scratch: &mut SimScratch,
+    report: &mut SimReport,
+) {
     let n = graph.len();
     let devices = graph.num_devices() as usize;
+    graph.fill_in_degrees(&mut scratch.in_degree);
+    scratch.ready_at.clear();
+    scratch.ready_at.resize(n, TimeNs::ZERO);
+    scratch.streams.reset(devices, 2);
     let mut replay = Replay {
         graph,
         mode,
-        in_degree: graph.in_degrees(),
-        ready_at: vec![TimeNs::ZERO; n],
-        streams: TimelineSet::new(devices, 2),
-        device_busy: vec![TimeNs::ZERO; devices],
+        in_degree: &mut scratch.in_degree,
+        ready_at: &mut scratch.ready_at,
+        streams: &mut scratch.streams,
+        device_busy: &mut report.device_busy,
         busy: BusyBreakdown::default(),
         iteration_time: TimeNs::ZERO,
         executed: 0,
     };
 
-    let mut sim = Simulation::with_capacity(n);
+    let sim = &mut scratch.engine;
+    sim.reset();
     for i in 0..n as u32 {
         if replay.in_degree[i as usize] == 0 {
             sim.schedule(TimeNs::ZERO, TaskReady(i));
@@ -254,12 +308,18 @@ fn simulate_engine(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
         "task graph contains a cycle: {} of {n} tasks ran",
         replay.executed
     );
-    SimReport {
-        iteration_time: replay.iteration_time,
-        busy: replay.busy,
-        device_busy: replay.device_busy,
-        tasks_executed: replay.executed,
-    }
+    report.iteration_time = replay.iteration_time;
+    report.busy = replay.busy;
+    report.tasks_executed = replay.executed;
+}
+
+/// The engine path with fresh buffers (test comparison hook).
+#[cfg(test)]
+fn simulate_engine(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
+    let mut report = SimReport::default();
+    report.device_busy.resize(graph.num_devices() as usize, TimeNs::ZERO);
+    simulate_engine_into(graph, mode, &mut SimScratch::default(), &mut report);
+    report
 }
 
 /// Applies the mode's perturbations to one task's clean duration.
@@ -297,7 +357,8 @@ fn simulate_reference(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
     use std::collections::VecDeque;
 
     let n = graph.len();
-    let mut in_degree = graph.in_degrees();
+    let mut in_degree = Vec::new();
+    graph.fill_in_degrees(&mut in_degree);
     let mut ready_at = vec![TimeNs::ZERO; n];
     let mut stream_avail = vec![[TimeNs::ZERO; 2]; graph.num_devices() as usize];
     let mut device_busy = vec![TimeNs::ZERO; graph.num_devices() as usize];

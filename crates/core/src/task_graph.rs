@@ -225,8 +225,16 @@ impl TaskGraph {
     /// in particular it is not persisted, so a deserialized graph cannot
     /// claim it falsely.
     pub fn is_stream_chained(&self) -> bool {
+        self.is_stream_chained_with(&mut Vec::new())
+    }
+
+    /// [`TaskGraph::is_stream_chained`] over a caller-owned scratch buffer
+    /// (cleared and refilled), so repeated checks allocate nothing once
+    /// the buffer has grown to the largest graph seen.
+    pub fn is_stream_chained_with(&self, last: &mut Vec<Option<u32>>) -> bool {
         let streams = 2 * self.num_devices as usize;
-        let mut last: Vec<Option<u32>> = vec![None; streams];
+        last.clear();
+        last.resize(streams, None);
         for (i, task) in self.tasks.iter().enumerate() {
             if task.stream > 1 || task.device >= self.num_devices {
                 return false;
@@ -242,13 +250,15 @@ impl TaskGraph {
         true
     }
 
-    /// In-degrees (Algorithm 1's `ref` counts).
-    pub fn in_degrees(&self) -> Vec<u32> {
-        let mut deg = vec![0u32; self.tasks.len()];
+    /// In-degrees (Algorithm 1's `ref` counts), written into `out`
+    /// (cleared and refilled — the allocation-free replacement for the
+    /// old `in_degrees() -> Vec<u32>` API).
+    pub fn fill_in_degrees(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(self.tasks.len(), 0);
         for &t in &self.targets {
-            deg[t as usize] += 1;
+            out[t as usize] += 1;
         }
-        deg
     }
 }
 
@@ -471,6 +481,8 @@ mod tests {
         // Adding the chain edge restores the property.
         let tg = TaskGraph::assemble(vec![task, task], vec![0, 1, 1], vec![1], 1);
         assert!(tg.is_stream_chained());
-        assert_eq!(tg.in_degrees(), vec![0, 1]);
+        let mut deg = Vec::new();
+        tg.fill_in_degrees(&mut deg);
+        assert_eq!(deg, vec![0, 1]);
     }
 }

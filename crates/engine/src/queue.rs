@@ -140,6 +140,15 @@ impl<E> EventQueue<E> {
     pub fn total_scheduled(&self) -> u64 {
         self.next_seq
     }
+
+    /// Empties the queue and restarts sequence numbering, keeping the
+    /// allocations of both the heap and the FIFO lane — the reuse hook for
+    /// callers that run many simulations back to back.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.fifo.clear();
+        self.next_seq = 0;
+    }
 }
 
 #[cfg(test)]

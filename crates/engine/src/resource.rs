@@ -61,6 +61,13 @@ pub struct TimelineSet {
     timelines: Vec<StreamTimeline>,
 }
 
+impl Default for TimelineSet {
+    /// An empty set (no devices); re-shape with [`TimelineSet::reset`].
+    fn default() -> Self {
+        TimelineSet::new(0, 0)
+    }
+}
+
 impl TimelineSet {
     /// Creates timelines for `devices` devices with `streams_per_device`
     /// streams each.
@@ -74,6 +81,16 @@ impl TimelineSet {
     /// Number of devices.
     pub fn num_devices(&self) -> usize {
         self.timelines.len().checked_div(self.streams_per_device).unwrap_or(0)
+    }
+
+    /// Re-shapes the set to `devices × streams_per_device` fresh (free
+    /// from time zero) timelines, keeping the backing allocation — the
+    /// reuse hook for replay loops that simulate many machines back to
+    /// back.
+    pub fn reset(&mut self, devices: usize, streams_per_device: usize) {
+        self.streams_per_device = streams_per_device;
+        self.timelines.clear();
+        self.timelines.resize(devices * streams_per_device, StreamTimeline::new());
     }
 
     /// Reserves `duration` on `(device, stream)` starting no earlier than

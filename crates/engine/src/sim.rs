@@ -101,6 +101,18 @@ impl<E> Simulation<E> {
         RunStats { events_scheduled: self.queue.total_scheduled(), ..self.stats }
     }
 
+    /// Resets the simulation to time zero with an empty queue and fresh
+    /// statistics, keeping the queue's allocations. Equivalent to
+    /// replacing the simulation with a new one, minus the reallocation —
+    /// the reuse hook for replay loops that simulate many graphs back to
+    /// back (the design-space sweep's per-thread scratch).
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.now = TimeNs::ZERO;
+        self.stats = RunStats::default();
+        self.stopped = false;
+    }
+
     /// Dispatches the single earliest event to `handler`. Returns false if
     /// the queue was empty or the simulation was stopped.
     pub fn step(&mut self, handler: &mut impl Handler<E>) -> bool {

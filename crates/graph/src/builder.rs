@@ -20,6 +20,18 @@ pub trait GraphSink {
     fn push(&mut self, node: OpNode) -> u32;
     /// Adds a dependency edge `from → to` between already-pushed nodes.
     fn add_edge(&mut self, from: u32, to: u32);
+    /// Marks a chain-aggregation boundary on `device`'s compute stream.
+    ///
+    /// The builder guarantees that between two consecutive `cut` calls the
+    /// compute-stream nodes of `device` form a pure program-order chain:
+    /// no node other than the first receives an edge from outside the
+    /// chain, and no node other than the last (at the moment the edge is
+    /// added) sources an edge to outside it. Sinks that aggregate chains
+    /// into single tasks (the sweep's compact replay) close their open run
+    /// here; graph-materializing sinks ignore it.
+    fn cut(&mut self, device: u32) {
+        let _ = device;
+    }
 }
 
 impl GraphSink for OpGraph {
@@ -150,6 +162,207 @@ struct SigFactory<'a> {
     opts: &'a GraphOptions,
 }
 
+/// One pipeline stage's communication workload, exactly as
+/// [`build_op_graph`] emits it — the communication analogue of
+/// [`plan_signatures`], shared with analytic consumers (the sweep's
+/// admissible iteration-time bounds) so the two can never disagree.
+#[derive(Clone, Debug)]
+pub struct StageCommOps {
+    /// The TP All-Reduce operator (compute stream), `None` when `t == 1`.
+    pub tp_all_reduce: Option<CommOp>,
+    /// TP All-Reduces emitted per micro-batch on this stage (forward +
+    /// backward slots combined).
+    pub tp_per_micro_batch: usize,
+    /// The forward activation send (comm stream), `None` on the last stage.
+    pub fwd_send: Option<CommOp>,
+    /// The backward gradient send (comm stream), `None` on stage 0.
+    pub bwd_send: Option<CommOp>,
+    /// The DP gradient All-Reduce sequence (comm stream), in emission
+    /// order; empty when `d == 1`.
+    pub dp_all_reduces: Vec<CommOp>,
+}
+
+/// The communication operators [`build_op_graph`] emits for `stage` of
+/// `(model, plan)` — shapes, scopes, and placements included.
+///
+/// # Panics
+///
+/// Panics if `stage >= plan.pipeline()` or the pipeline is deeper than the
+/// model (call [`ParallelConfig::validate`] first).
+pub fn stage_comm_ops(
+    model: &ModelConfig,
+    plan: &ParallelConfig,
+    opts: &GraphOptions,
+    stage: usize,
+) -> StageCommOps {
+    let p = plan.pipeline();
+    assert!(stage < p, "stage {stage} out of range {p}");
+    let comms = CommFactory::new(model, plan, opts);
+    let layers_here = layer_partition(model.num_layers(), p)[stage].len();
+    let dp_all_reduces = if plan.data() > 1 {
+        let sigs = SigFactory { model, plan, opts };
+        if plan.gradient_bucketing() {
+            DpBuckets::new(model, plan, opts, &sigs, stage, layers_here)
+                .map(|(_, bytes)| comms.dp_all_reduce(bytes))
+                .collect()
+        } else {
+            vec![comms.dp_all_reduce(unbucketed_dp_bytes(model, plan, opts, stage, layers_here))]
+        }
+    } else {
+        Vec::new()
+    };
+    StageCommOps {
+        tp_all_reduce: comms.tp_all_reduce,
+        tp_per_micro_batch: 4 * layers_here,
+        fwd_send: (stage + 1 < p).then(|| comms.pp_send(plan, stage)),
+        bwd_send: (stage > 0).then(|| comms.pp_send(plan, stage - 1)),
+        dp_all_reduces,
+    }
+}
+
+/// Total gradient bytes of one stage's single unbucketed DP All-Reduce.
+fn unbucketed_dp_bytes(
+    model: &ModelConfig,
+    plan: &ParallelConfig,
+    opts: &GraphOptions,
+    stage: usize,
+    layers_here: usize,
+) -> Bytes {
+    let sigs = SigFactory { model, plan, opts };
+    let t = plan.tensor() as u64;
+    let grad_bytes_per_layer = 2 * model.params_per_layer() / t;
+    let endpoint_extra = sigs.stage_local_params(stage, layers_here)
+        - layers_here as u64 * model.params_per_layer() / t;
+    Bytes::from_bytes(grad_bytes_per_layer * layers_here as u64 + 2 * endpoint_extra)
+}
+
+/// The gradient-bucket sequence of one stage under DP bucketing, yielding
+/// `(shallowest local layer of the bucket, payload bytes)` in emission
+/// (deepest-first) order. Shared by the builder's gradient-sync emission
+/// and [`stage_comm_ops`] so bucket shapes can never diverge.
+struct DpBuckets {
+    layer: usize,
+    per_bucket: usize,
+    grad_bytes_per_layer: u64,
+    endpoint_grad_bytes: u64,
+}
+
+impl DpBuckets {
+    fn new(
+        model: &ModelConfig,
+        plan: &ParallelConfig,
+        opts: &GraphOptions,
+        sigs: &SigFactory<'_>,
+        stage: usize,
+        layers_here: usize,
+    ) -> Self {
+        let t = plan.tensor() as u64;
+        let grad_bytes_per_layer = 2 * model.params_per_layer() / t;
+        let endpoint_extra = sigs.stage_local_params(stage, layers_here)
+            - layers_here as u64 * model.params_per_layer() / t;
+        let per_bucket =
+            (opts.dp_bucket_bytes.as_u64() / grad_bytes_per_layer.max(1)).max(1) as usize;
+        DpBuckets {
+            layer: layers_here,
+            per_bucket,
+            grad_bytes_per_layer,
+            endpoint_grad_bytes: 2 * endpoint_extra,
+        }
+    }
+}
+
+impl Iterator for DpBuckets {
+    type Item = (usize, Bytes);
+
+    fn next(&mut self) -> Option<(usize, Bytes)> {
+        if self.layer == 0 {
+            return None;
+        }
+        let lo = self.layer.saturating_sub(self.per_bucket);
+        let n_layers = self.layer - lo;
+        let mut bytes = Bytes::from_bytes(self.grad_bytes_per_layer * n_layers as u64);
+        if lo == 0 {
+            bytes += Bytes::from_bytes(self.endpoint_grad_bytes);
+        }
+        self.layer = lo;
+        Some((lo, bytes))
+    }
+}
+
+/// Shared constructor of communication operators, used by both the graph
+/// builder and [`stage_comm_ops`] so the two can never disagree. The TP
+/// All-Reduce (one shape per plan) is precomputed; pipeline sends and DP
+/// All-Reduces are derived per boundary / payload.
+struct CommFactory {
+    topo: Topology,
+    data_placement: GroupPlacement,
+    boundary_bytes: Bytes,
+    tensor: usize,
+    data: usize,
+    gpus_per_node: usize,
+    /// The plan's TP All-Reduce operator, `None` when `t == 1`.
+    tp_all_reduce: Option<CommOp>,
+}
+
+impl CommFactory {
+    fn new(model: &ModelConfig, plan: &ParallelConfig, opts: &GraphOptions) -> Self {
+        let topo = opts.shape_topology();
+        let groups = ProcessGroups::new(plan, &topo);
+        let boundary_bytes = model.boundary_activation_bytes(plan.micro_batch());
+        let t = plan.tensor();
+        let tp_all_reduce = (t > 1).then_some(CommOp {
+            kind: CommKind::TpAllReduce,
+            bytes: boundary_bytes,
+            ranks: t,
+            scope: CommScope::IntraNode,
+            placement: groups.tensor,
+            overlappable: false,
+            concurrent_groups: 1,
+        });
+        CommFactory {
+            topo,
+            data_placement: groups.data,
+            boundary_bytes,
+            tensor: t,
+            data: plan.data(),
+            gpus_per_node: opts.gpus_per_node,
+            tp_all_reduce,
+        }
+    }
+
+    /// The pipeline send crossing `boundary` (between stages `boundary`
+    /// and `boundary + 1`).
+    fn pp_send(&self, plan: &ParallelConfig, boundary: usize) -> CommOp {
+        let tier = ProcessGroups::pipeline_boundary_tier(plan, &self.topo, boundary);
+        CommOp {
+            kind: CommKind::PpSendRecv,
+            bytes: self.boundary_bytes,
+            ranks: 2,
+            scope: if tier > 0 { CommScope::InterNode } else { CommScope::IntraNode },
+            placement: GroupPlacement::pair(tier),
+            overlappable: false,
+            concurrent_groups: 1,
+        }
+    }
+
+    fn dp_all_reduce(&self, bytes: Bytes) -> CommOp {
+        let inter_node = self.tensor * self.data > self.gpus_per_node;
+        CommOp {
+            kind: CommKind::DpAllReduce,
+            bytes,
+            ranks: self.data,
+            scope: if inter_node { CommScope::InterNode } else { CommScope::IntraNode },
+            placement: self.data_placement,
+            overlappable: true,
+            concurrent_groups: if inter_node {
+                self.gpus_per_node / self.tensor.min(self.gpus_per_node)
+            } else {
+                1
+            },
+        }
+    }
+}
+
 impl SigFactory<'_> {
     fn layer(&self, kind: CompKind) -> OpSignature {
         let recompute = self.opts.recompute && matches!(kind, CompKind::MhaBwd | CompKind::FfnBwd);
@@ -178,17 +391,41 @@ impl SigFactory<'_> {
     /// Parameters held by one GPU of `stage` (layer share + endpoint
     /// extras), matching the weight-update and DP-gradient volume.
     fn stage_local_params(&self, stage: usize, num_layers_here: usize) -> u64 {
-        let t = self.plan.tensor() as u64;
-        let p = self.plan.pipeline();
-        let mut params = num_layers_here as u64 * self.model.params_per_layer() / t;
-        if stage == 0 {
-            params += self.model.embedding_params() / t;
-        }
-        if stage == p - 1 {
-            params += 2 * self.model.hidden_size() as u64;
-        }
-        params
+        stage_params_with_layers(self.model, self.plan, stage, num_layers_here)
     }
+}
+
+/// Parameters held by one GPU of `stage` under `plan` — exactly the
+/// weight-update (and DP-gradient) volume [`build_op_graph`] prices.
+/// Public so analytic consumers (the sweep's iteration-time bounds) can
+/// never disagree with the builder's accounting.
+///
+/// # Panics
+///
+/// Panics if `stage >= plan.pipeline()` or the pipeline is deeper than
+/// the model's layer count.
+pub fn stage_weight_params(model: &ModelConfig, plan: &ParallelConfig, stage: usize) -> u64 {
+    let layers_here = layer_partition(model.num_layers(), plan.pipeline())[stage].len();
+    stage_params_with_layers(model, plan, stage, layers_here)
+}
+
+/// [`stage_weight_params`] with the stage's layer count precomputed (the
+/// builder walks the partition once and passes lengths in).
+fn stage_params_with_layers(
+    model: &ModelConfig,
+    plan: &ParallelConfig,
+    stage: usize,
+    num_layers_here: usize,
+) -> u64 {
+    let t = plan.tensor() as u64;
+    let mut params = num_layers_here as u64 * model.params_per_layer() / t;
+    if stage == 0 {
+        params += model.embedding_params() / t;
+    }
+    if stage == plan.pipeline() - 1 {
+        params += 2 * model.hidden_size() as u64;
+    }
+    params
 }
 
 struct Builder<'a, S: GraphSink> {
@@ -197,10 +434,18 @@ struct Builder<'a, S: GraphSink> {
     opts: &'a GraphOptions,
     sigs: SigFactory<'a>,
     sink: &'a mut S,
-    /// Shape-only topology for placement geometry.
-    topo: Topology,
-    /// Per-plan process-group placements (computed once, not per node).
-    groups: ProcessGroups,
+    /// Shared communication-operator constructor (placement geometry
+    /// computed once, not per node).
+    comms: CommFactory,
+    /// Precomputed pipeline sends, indexed by boundary (`p - 1` entries).
+    pp_sends: Vec<CommOp>,
+    /// Precomputed per-kind compute signatures (the builder emits each of
+    /// these thousands of times; constructing them per node is measurable
+    /// on the sweep hot path).
+    sig_mha_fwd: OpSignature,
+    sig_ffn_fwd: OpSignature,
+    sig_mha_bwd: OpSignature,
+    sig_ffn_bwd: OpSignature,
     /// Last node per (device, stream) for program-order chaining.
     last_compute: Vec<Option<u32>>,
     last_comm: Vec<Option<u32>>,
@@ -235,16 +480,21 @@ impl<'a, S: GraphSink> Builder<'a, S> {
         sink: &'a mut S,
     ) -> Self {
         let p = plan.pipeline();
-        let topo = opts.shape_topology();
-        let groups = ProcessGroups::new(plan, &topo);
+        let comms = CommFactory::new(model, plan, opts);
+        let pp_sends = (0..p.saturating_sub(1)).map(|b| comms.pp_send(plan, b)).collect();
+        let sigs = SigFactory { model, plan, opts };
         Builder {
             model,
             plan,
             opts,
-            sigs: SigFactory { model, plan, opts },
+            sig_mha_fwd: sigs.layer(CompKind::MhaFwd),
+            sig_ffn_fwd: sigs.layer(CompKind::FfnFwd),
+            sig_mha_bwd: sigs.layer(CompKind::MhaBwd),
+            sig_ffn_bwd: sigs.layer(CompKind::FfnBwd),
+            sigs,
             sink,
-            topo,
-            groups,
+            comms,
+            pp_sends,
             last_compute: vec![None; p],
             last_comm: vec![None; p],
         }
@@ -264,10 +514,6 @@ impl<'a, S: GraphSink> Builder<'a, S> {
         idx
     }
 
-    fn layer_sig(&self, kind: CompKind) -> OpSignature {
-        self.sigs.layer(kind)
-    }
-
     fn vocab_sig(&self, kind: CompKind) -> OpSignature {
         self.sigs.vocab(kind)
     }
@@ -280,62 +526,21 @@ impl<'a, S: GraphSink> Builder<'a, S> {
         self.emit(device, StreamKind::Compute, Op::Compute(ComputeOp { sig }))
     }
 
-    /// Bytes of a layer-boundary activation (FP16 `s × m × h`).
-    fn boundary_bytes(&self) -> Bytes {
-        self.model.boundary_activation_bytes(self.plan.micro_batch())
-    }
-
     /// TP All-Reduce node on the compute stream (sequential dependency with
     /// the surrounding blocks, Fig. 6). No-op when `t == 1`.
     fn tp_all_reduce(&mut self, device: usize) -> Option<u32> {
-        let t = self.plan.tensor();
-        if t <= 1 {
-            return None;
-        }
-        let op = CommOp {
-            kind: CommKind::TpAllReduce,
-            bytes: self.boundary_bytes(),
-            ranks: t,
-            scope: CommScope::IntraNode,
-            placement: self.groups.tensor,
-            overlappable: false,
-            concurrent_groups: 1,
-        };
+        let op = self.comms.tp_all_reduce?;
         Some(self.emit(device, StreamKind::Compute, Op::Comm(op)))
     }
 
     fn pp_send(&mut self, device: usize, boundary: usize) -> u32 {
-        let tier = ProcessGroups::pipeline_boundary_tier(self.plan, &self.topo, boundary);
-        let op = CommOp {
-            kind: CommKind::PpSendRecv,
-            bytes: self.boundary_bytes(),
-            ranks: 2,
-            scope: if tier > 0 { CommScope::InterNode } else { CommScope::IntraNode },
-            placement: GroupPlacement::pair(tier),
-            overlappable: false,
-            concurrent_groups: 1,
-        };
+        let op = self.pp_sends[boundary];
         self.emit(device, StreamKind::Comm, Op::Comm(op))
     }
 
     /// DP gradient All-Reduce over `bytes` of this rank's gradients.
     fn dp_all_reduce(&mut self, device: usize, bytes: Bytes) -> u32 {
-        let t = self.plan.tensor();
-        let d = self.plan.data();
-        let inter_node = t * d > self.opts.gpus_per_node;
-        let op = CommOp {
-            kind: CommKind::DpAllReduce,
-            bytes,
-            ranks: d,
-            scope: if inter_node { CommScope::InterNode } else { CommScope::IntraNode },
-            placement: self.groups.data,
-            overlappable: true,
-            concurrent_groups: if inter_node {
-                self.opts.gpus_per_node / t.min(self.opts.gpus_per_node)
-            } else {
-                1
-            },
-        };
+        let op = self.comms.dp_all_reduce(bytes);
         self.emit(device, StreamKind::Comm, Op::Comm(op))
     }
 
@@ -364,6 +569,8 @@ impl<'a, S: GraphSink> Builder<'a, S> {
             let program = self.plan.schedule().stage_program(stage, p, n_micro);
             let mut bwd_slots_seen = 0usize;
             for slot in &program {
+                // Every slot's first node can receive a cross-stage edge.
+                self.sink.cut(stage as u32);
                 match slot.pass {
                     Pass::Forward => {
                         let first = self.emit_forward_slot(stage, layers_here, p);
@@ -425,10 +632,10 @@ impl<'a, S: GraphSink> Builder<'a, S> {
             track(idx, &mut first);
         }
         for _ in 0..layers_here {
-            let idx = self.compute(stage, self.layer_sig(CompKind::MhaFwd));
+            let idx = self.compute(stage, self.sig_mha_fwd);
             track(idx, &mut first);
             self.tp_all_reduce(stage);
-            self.compute(stage, self.layer_sig(CompKind::FfnFwd));
+            self.compute(stage, self.sig_ffn_fwd);
             self.tp_all_reduce(stage);
         }
         let send = if stage == p - 1 {
@@ -467,13 +674,16 @@ impl<'a, S: GraphSink> Builder<'a, S> {
         }
         // Backward visits layers deepest-first.
         for local_layer in (0..layers_here).rev() {
-            let idx = self.compute(stage, self.layer_sig(CompKind::FfnBwd));
+            let idx = self.compute(stage, self.sig_ffn_bwd);
             track(idx, &mut first);
             self.tp_all_reduce(stage);
-            let mha = self.compute(stage, self.layer_sig(CompKind::MhaBwd));
+            let mha = self.compute(stage, self.sig_mha_bwd);
             let last = self.tp_all_reduce(stage).unwrap_or(mha);
             if is_final_bwd {
+                // The per-layer gradient anchor sources a late edge to its
+                // DP bucket: close the aggregation run at the anchor.
                 record.grad_ready[local_layer] = Some(last);
+                self.sink.cut(stage as u32);
             }
         }
         let send = if stage == 0 {
@@ -481,6 +691,7 @@ impl<'a, S: GraphSink> Builder<'a, S> {
             track(idx, &mut first);
             if is_final_bwd {
                 record.embedding_bwd = Some(idx);
+                self.sink.cut(stage as u32);
             }
             None
         } else {
@@ -501,45 +712,35 @@ impl<'a, S: GraphSink> Builder<'a, S> {
         record: &mut StageRecord,
     ) {
         let d = self.plan.data();
-        let t = self.plan.tensor() as u64;
-        let grad_bytes_per_layer = 2 * self.model.params_per_layer() / t;
-        let endpoint_extra = self.stage_local_params(stage, layers_here)
-            - layers_here as u64 * self.model.params_per_layer() / t;
-        let endpoint_grad_bytes = 2 * endpoint_extra;
-
         if d > 1 {
             if self.plan.gradient_bucketing() {
                 // Buckets group layers in gradient-readiness order
                 // (deepest local layer first).
-                let per_bucket = (self.opts.dp_bucket_bytes.as_u64() / grad_bytes_per_layer.max(1))
-                    .max(1) as usize;
-                let mut layer = layers_here;
-                while layer > 0 {
-                    let lo = layer.saturating_sub(per_bucket);
-                    let n_layers = layer - lo;
-                    let mut bytes = Bytes::from_bytes(grad_bytes_per_layer * n_layers as u64);
-                    let is_last_bucket = lo == 0;
-                    if is_last_bucket {
-                        bytes += Bytes::from_bytes(endpoint_grad_bytes);
-                    }
+                let buckets = DpBuckets::new(
+                    self.model,
+                    self.plan,
+                    self.opts,
+                    &self.sigs,
+                    stage,
+                    layers_here,
+                );
+                for (lo, bytes) in buckets {
                     let ar = self.dp_all_reduce(stage, bytes);
                     // Ready when the shallowest layer of the bucket is done.
                     let ready = record.grad_ready[lo].expect("final backward recorded");
                     self.sink.add_edge(ready, ar);
-                    if is_last_bucket {
+                    if lo == 0 {
                         if let Some(emb) = record.embedding_bwd {
                             self.sink.add_edge(emb, ar);
                         }
                     }
                     record.dp_all_reduces.push(ar);
-                    layer = lo;
                 }
             } else {
                 // Unbucketed: a single All-Reduce strictly after the entire
                 // backward pass (Fig. 5(b)).
-                let bytes = Bytes::from_bytes(
-                    grad_bytes_per_layer * layers_here as u64 + endpoint_grad_bytes,
-                );
+                let bytes =
+                    unbucketed_dp_bytes(self.model, self.plan, self.opts, stage, layers_here);
                 let last_compute = self.last_compute[stage].expect("stage has compute nodes");
                 let ar = self.dp_all_reduce(stage, bytes);
                 self.sink.add_edge(last_compute, ar);
@@ -547,6 +748,9 @@ impl<'a, S: GraphSink> Builder<'a, S> {
             }
         }
 
+        // The weight update receives late edges from the All-Reduces: it
+        // must head its own aggregation run.
+        self.sink.cut(stage as u32);
         let params = self.stage_local_params(stage, layers_here);
         let wu = self.compute(stage, self.weight_update_sig(params));
         for &ar in &record.dp_all_reduces {

@@ -47,6 +47,9 @@ mod builder;
 mod graph;
 mod ops;
 
-pub use builder::{build_op_graph, build_op_graph_into, plan_signatures, GraphOptions, GraphSink};
+pub use builder::{
+    build_op_graph, build_op_graph_into, plan_signatures, stage_comm_ops, stage_weight_params,
+    GraphOptions, GraphSink, StageCommOps,
+};
 pub use graph::{OpGraph, OpNode, StreamKind};
 pub use ops::{CommKind, CommOp, CommScope, CompKind, ComputeOp, Op, OpSignature};

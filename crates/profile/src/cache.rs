@@ -177,22 +177,48 @@ impl ProfileCache {
     /// decomposition never reads (e.g. the tensor degree of an embedding
     /// lookup) share one entry.
     pub fn get_or_profile(&self, profiler: &Profiler, sig: &OpSignature) -> Arc<OpProfile> {
-        self.lookup(&GpuKey::of(profiler.gpu()), profiler, sig)
+        self.lookup(&GpuKey::of(profiler.gpu()), profiler, sig).0
     }
 
-    fn lookup(&self, gpu: &GpuKey, profiler: &Profiler, sig: &OpSignature) -> Arc<OpProfile> {
+    /// [`ProfileCache::get_or_profile`] with a caller-derived [`GpuKey`]
+    /// (skipping the per-lookup key derivation) and exact attribution:
+    /// the lookup's hit or miss is *also* tallied into `local`, so a
+    /// sweep worker can report precisely its own share of a cache it
+    /// shares with concurrent users.
+    pub fn get_with(
+        &self,
+        gpu: &GpuKey,
+        profiler: &Profiler,
+        sig: &OpSignature,
+        local: &mut CacheStats,
+    ) -> Arc<OpProfile> {
+        let (profile, hit) = self.lookup(gpu, profiler, sig);
+        if hit {
+            local.hits += 1;
+        } else {
+            local.misses += 1;
+        }
+        profile
+    }
+
+    fn lookup(
+        &self,
+        gpu: &GpuKey,
+        profiler: &Profiler,
+        sig: &OpSignature,
+    ) -> (Arc<OpProfile>, bool) {
         let sig = &canonical(sig);
         let shard = self.shard(sig);
         if let Some(hit) =
             shard.read().unwrap_or_else(|e| e.into_inner()).get(gpu).and_then(|m| m.get(sig))
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+            return (Arc::clone(hit), true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(profiler.profile_operator(sig));
         let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(map.entry(gpu.clone()).or_default().entry(*sig).or_insert(fresh))
+        (Arc::clone(map.entry(gpu.clone()).or_default().entry(*sig).or_insert(fresh)), false)
     }
 
     /// Resolves every signature in `sigs`, profiling only the missing
@@ -205,7 +231,7 @@ impl ProfileCache {
     ) -> ProfileSet {
         let gpu = GpuKey::of(profiler.gpu());
         let entries =
-            sigs.into_iter().map(|sig| (*sig, self.lookup(&gpu, profiler, sig))).collect();
+            sigs.into_iter().map(|sig| (*sig, self.lookup(&gpu, profiler, sig).0)).collect();
         ProfileSet { entries }
     }
 

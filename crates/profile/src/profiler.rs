@@ -50,6 +50,20 @@ impl Profiler {
         OpProfile { tasks }
     }
 
+    /// The `(total latency, kernel count)` of one operator execution,
+    /// without materializing the kernel trace. Single-kernel operators
+    /// (the fused Adam weight update) are evaluated closed-form with no
+    /// heap allocation — the hot path for per-stage weight updates, whose
+    /// near-unique parameter counts bypass the profile cache.
+    pub fn operator_latency(&self, sig: &OpSignature) -> (vtrain_model::TimeNs, u32) {
+        if sig.kind == vtrain_graph::CompKind::WeightUpdate {
+            let kind = vtrain_gpu::KernelKind::AdamUpdate { params: sig.params };
+            return (self.device.kernel_latency(&kind), 1);
+        }
+        let kernels = decompose(sig);
+        (self.device.sequence_latency(kernels.iter()), kernels.len() as u32)
+    }
+
     /// Profiles every necessary operator, producing the lookup table.
     ///
     /// Cost is `O(|signatures|)` — constant in the number of layers and
@@ -119,6 +133,26 @@ mod tests {
                 .sum()
         };
         assert!(total(&t4) < total(&t1), "4-way TP should shrink per-GPU layer time");
+    }
+
+    #[test]
+    fn operator_latency_matches_full_profile() {
+        let model = presets::megatron("1.7B");
+        let plan = ParallelConfig::builder()
+            .tensor(2)
+            .data(2)
+            .pipeline(2)
+            .global_batch(8)
+            .build()
+            .unwrap();
+        let graph = build_op_graph(&model, &plan, &GraphOptions::default());
+        let profiler = Profiler::new(vtrain_parallel::GpuSpec::a100_40gb());
+        for sig in &graph.necessary_operators() {
+            let profile = profiler.profile_operator(sig);
+            let (total, kernels) = profiler.operator_latency(sig);
+            assert_eq!(total, profile.total(), "{sig:?}");
+            assert_eq!(kernels as usize, profile.kernel_count(), "{sig:?}");
+        }
     }
 
     #[test]

@@ -66,8 +66,10 @@ pub use vtrain_scaling as scaling;
 
 /// The types most programs need, in one import.
 pub mod prelude {
-    pub use vtrain_core::search::{self, SearchLimits, SweepOutcome, SweepStats};
-    pub use vtrain_core::{CostModel, Estimator, IterationEstimate, TrainingProjection};
+    pub use vtrain_core::search::{self, SearchLimits, SweepGoal, SweepOutcome, SweepStats};
+    pub use vtrain_core::{
+        CostModel, Estimator, EstimatorScratch, IterationEstimate, TrainingProjection,
+    };
     pub use vtrain_engine::{Handler, RunStats, Simulation};
     pub use vtrain_gpu::{NoiseConfig, NoiseModel};
     pub use vtrain_graph::{build_op_graph, plan_signatures, GraphOptions};
