@@ -3,13 +3,13 @@
 //! server"; each point is independent and parallelizes over cores).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use vtrain_core::search::{self, SearchLimits};
+use vtrain_core::search::{self, SearchLimits, Sweep};
 use vtrain_core::Estimator;
 use vtrain_model::presets;
 use vtrain_parallel::{ClusterSpec, PipelineSchedule};
 
 fn bench_sweep(c: &mut Criterion) {
-    let estimator = Estimator::new(ClusterSpec::aws_p4d(256));
+    let estimator = Estimator::builder(ClusterSpec::aws_p4d(256)).build();
     let model = presets::megatron("3.6B");
     let limits = SearchLimits { max_tensor: 8, max_data: 16, max_pipeline: 6, max_micro_batch: 2 };
     let candidates = search::enumerate_candidates(
@@ -23,7 +23,11 @@ fn bench_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [1usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
-            b.iter(|| search::sweep(&estimator, &model, &candidates, threads));
+            // Configure once; the per-iteration clone is O(1) (the grid
+            // is Arc-shared), so the loop times the sweep itself.
+            let sweep =
+                Sweep::on(&estimator, &model).candidates(candidates.clone()).threads(threads);
+            b.iter(|| sweep.clone().run());
         });
     }
     group.finish();

@@ -9,7 +9,7 @@ use vtrain_model::presets;
 use vtrain_parallel::{ClusterSpec, ParallelConfig};
 
 fn lower(t: usize, d: usize, p: usize, b: usize) -> TaskGraph {
-    let estimator = Estimator::new(ClusterSpec::aws_p4d(512));
+    let estimator = Estimator::builder(ClusterSpec::aws_p4d(512)).build();
     let model = presets::megatron("18.4B");
     let plan = ParallelConfig::builder()
         .tensor(t)

@@ -58,7 +58,7 @@ fn bench_replay(c: &mut Criterion) {
 fn bench_end_to_end(c: &mut Criterion) {
     // The §III-F headline: one full estimate (graph + profile + lower +
     // replay) runs in single-digit seconds even for MT-NLG-scale inputs.
-    let estimator = Estimator::new(ClusterSpec::dgx_a100_80gb(2240));
+    let estimator = Estimator::builder(ClusterSpec::dgx_a100_80gb(2240)).build();
     let model = presets::mt_nlg_530b();
     let cfg = plan(8, 8, 35, 1, 1920);
     let mut group = c.benchmark_group("single_iteration_estimate");

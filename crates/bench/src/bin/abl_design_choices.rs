@@ -23,7 +23,7 @@ struct Abl {
 
 fn main() {
     let cluster = ClusterSpec::aws_p4d(256);
-    let estimator = Estimator::new(cluster.clone());
+    let estimator = Estimator::builder(cluster.clone()).build();
     let model = presets::megatron("18.4B");
     let mut rows: Vec<Abl> = Vec::new();
 
@@ -126,7 +126,10 @@ fn main() {
     // affects the communication model, never the kernel profiles.
     let shared = std::sync::Arc::clone(estimator.cache());
     for alpha in [1.0, 0.8, 0.6, 0.4, 0.2] {
-        let est = Estimator::with_cache(cluster.clone(), alpha, std::sync::Arc::clone(&shared));
+        let est = Estimator::builder(cluster.clone())
+            .alpha(alpha)
+            .cache(std::sync::Arc::clone(&shared))
+            .build();
         let t = time(&exposed, &est);
         let b = *base.get_or_insert(t);
         println!("α = {alpha:.1}: {t:.3}s ({:+.1}%)", 100.0 * (t / b - 1.0));

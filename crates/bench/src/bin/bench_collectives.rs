@@ -132,7 +132,12 @@ fn main() {
                 .with_rack_tier(2, TierSpec::new(25e9, TimeNs::from_micros(35), 1.0)),
         ),
     ];
-    let sweeps = search::sweep_topologies(&cluster, 1.0, &topologies, &model, &candidates, 4);
+    let sweeps = search::Sweep::over(&model, &cluster)
+        .candidates(candidates)
+        .placements(topologies)
+        .threads(4)
+        .run()
+        .into_variants();
     println!("\n{:<14} {:>8} {:>12} {:>10}", "placement", "points", "fastest", "pts/s");
     let placements: Vec<PlacementRow> = sweeps
         .iter()

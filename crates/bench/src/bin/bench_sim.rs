@@ -35,7 +35,7 @@ fn main() {
     // Mid-size reference point: large enough that per-replay overhead
     // vanishes, small enough to finish in well under a second per replay
     // on the CI container.
-    let estimator = Estimator::new(ClusterSpec::aws_p4d(512));
+    let estimator = Estimator::builder(ClusterSpec::aws_p4d(512)).build();
     let model = presets::megatron("18.4B");
     let plan = ParallelConfig::builder()
         .tensor(8)

@@ -36,7 +36,7 @@ fn run(
     pts: &[(ModelConfig, ParallelConfig)],
     paper: (f64, f64),
 ) -> Vec<(f64, f64)> {
-    let estimator = Estimator::new(cluster);
+    let estimator = Estimator::builder(cluster).build();
     let noise = NoiseModel::new(NoiseConfig::default());
     // Fan the points out across threads (each is independent).
     let chunked: Vec<Vec<(usize, f64, f64)>> = std::thread::scope(|scope| {
@@ -51,9 +51,10 @@ fn run(
                     if i % n != w {
                         continue;
                     }
-                    let (Ok(pred), Ok(meas)) =
-                        (estimator.estimate(model, plan), estimator.measure(model, plan, noise))
-                    else {
+                    let (Ok(pred), Ok(meas)) = (
+                        estimator.estimate(model, plan),
+                        estimator.measure_with(model, plan, noise),
+                    ) else {
                         continue;
                     };
                     out.push((

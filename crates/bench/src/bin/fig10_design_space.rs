@@ -66,7 +66,7 @@ fn topology_mode() -> bool {
 fn sweep_placements(
     cluster: &ClusterSpec,
     model: &vtrain_model::ModelConfig,
-    candidates: &[ParallelConfig],
+    candidates: std::sync::Arc<[ParallelConfig]>,
     goal: SweepGoal,
 ) {
     #[derive(Serialize)]
@@ -83,15 +83,13 @@ fn sweep_placements(
         ("multi-rack/8".to_owned(), cluster.topology(1.0).with_rack_tier(8, spine)),
         ("multi-rack/4".to_owned(), cluster.topology(1.0).with_rack_tier(4, spine)),
     ];
-    let sweeps = search::sweep_topologies_with_goal(
-        cluster,
-        1.0,
-        &topologies,
-        model,
-        candidates,
-        threads(),
-        goal,
-    );
+    let sweeps = search::Sweep::over(model, cluster)
+        .candidates(candidates)
+        .placements(topologies)
+        .threads(threads())
+        .goal(goal)
+        .run()
+        .into_variants();
     println!("\nplacement sweep (same grid, different interconnects):");
     println!("{:<14} {:>8} {:>14} {:>10}", "placement", "points", "fastest (s)", "pts/s");
     let mut rows = Vec::new();
@@ -122,7 +120,7 @@ fn main() {
     let (model, global_batch, _) = mtnlg_workload();
     // MT-NLG trained on A100-80GB DGX nodes; allow the paper's full grid.
     let cluster = ClusterSpec::dgx_a100_80gb(16 * 32 * 105);
-    let estimator = Estimator::new(cluster.clone());
+    let estimator = Estimator::builder(cluster.clone()).build();
 
     let (grid, limits) = if full_mode() {
         (
@@ -154,7 +152,14 @@ fn main() {
     }
     let goal = sweep_goal();
     println!("candidates: {} (goal {goal:?})", candidates.len());
-    let outcome = search::sweep_with_goal(&estimator, &model, &candidates, threads(), goal);
+    // One Arc-shared grid across the main sweep and the placement axis.
+    let candidates: std::sync::Arc<[ParallelConfig]> = candidates.into();
+    let outcome = search::Sweep::on(&estimator, &model)
+        .candidates(std::sync::Arc::clone(&candidates))
+        .threads(threads())
+        .goal(goal)
+        .run()
+        .into_outcome();
     let stats = outcome.stats;
     println!(
         "feasible points: {} (swept in {:.1}s — the paper reports <200s for the full space)",
@@ -213,7 +218,7 @@ fn main() {
         println!("(the paper's (16,16,105) analogue is fast but wasteful: ~17% utilization)");
     }
     if topology_mode() {
-        sweep_placements(&cluster, &model, &candidates, goal);
+        sweep_placements(&cluster, &model, candidates, goal);
     }
     report::dump_json("fig10_design_space", &rows);
     report::dump_json(

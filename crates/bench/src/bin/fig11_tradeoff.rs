@@ -29,7 +29,7 @@ fn main() {
     report::banner("Figure 11: iteration time vs utilization (t = 8 slice)");
     let (model, global_batch, _) = mtnlg_workload();
     let cluster = ClusterSpec::dgx_a100_80gb(8 * 32 * 105);
-    let estimator = Estimator::new(cluster.clone());
+    let estimator = Estimator::builder(cluster.clone()).build();
 
     // Background cloud: the t = 8 slice.
     let limits =
@@ -42,7 +42,12 @@ fn main() {
         &limits,
     );
     candidates.retain(|c| c.tensor() == 8 && c.data() >= 4);
-    let cloud = search::sweep_with_goal(&estimator, &model, &candidates, threads(), sweep_goal());
+    let cloud = search::Sweep::on(&estimator, &model)
+        .candidates(candidates)
+        .threads(threads())
+        .goal(sweep_goal())
+        .run()
+        .into_outcome();
 
     let mut points: Vec<Point> = cloud
         .points

@@ -26,7 +26,7 @@ fn main() {
     report::banner("Table I: MT-NLG baseline plans vs vTrain findings");
     let (model, _, total_tokens) = mtnlg_workload();
     let cluster = ClusterSpec::dgx_a100_80gb(3360);
-    let estimator = Estimator::new(cluster);
+    let estimator = Estimator::builder(cluster).build();
     let cost = CostModel::default();
 
     println!(

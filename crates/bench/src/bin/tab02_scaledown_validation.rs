@@ -1,6 +1,6 @@
 //! Table II: predicted vs measured single-iteration training time for the
 //! scaled-down Megatron models (3.6B / 18.4B / 39.1B on 64 / 256 / 512
-//! GPUs), comparing the published [40] plans against vTrain's uncovered
+//! GPUs), comparing the published \[40\] plans against vTrain's uncovered
 //! plans on BOTH timelines.
 //!
 //! ```sh
@@ -46,16 +46,14 @@ fn main() {
         let model = presets::megatron(&format!("{label}B"));
         // [40]'s runs were on Selene-class DGX A100-80GB nodes; the
         // (8, 32, 1)-style plans need the 80 GB capacity.
-        let estimator = Estimator::with_cache(
-            ClusterSpec::dgx_a100_80gb(gpus),
-            1.0,
-            std::sync::Arc::clone(&cache),
-        );
+        let estimator = Estimator::builder(ClusterSpec::dgx_a100_80gb(gpus))
+            .cache(std::sync::Arc::clone(&cache))
+            .build();
         let mut row_pair = Vec::new();
         for (source, tdpm) in [("[40]", published), ("Ours", ours)] {
             let p = plan(tdpm, batch);
             let pred = estimator.estimate(&model, &p).expect("published plan feasible");
-            let meas = estimator.measure(&model, &p, &noise).expect("plan feasible");
+            let meas = estimator.measure_with(&model, &p, &noise).expect("plan feasible");
             println!(
                 "{:<7} {:>5} {:<18} {:>11.3}s {:>11.3}s   ({source})",
                 label,

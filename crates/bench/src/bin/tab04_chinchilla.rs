@@ -41,7 +41,7 @@ fn main() {
         naive.tokens / 1e9
     );
 
-    let estimator = Estimator::new(cluster);
+    let estimator = Estimator::builder(cluster).build();
     let limits = SearchLimits { max_tensor: 8, max_data: 96, max_pipeline: 20, max_micro_batch: 2 };
     let (outcomes, best) = compute_optimal_search(
         &estimator,

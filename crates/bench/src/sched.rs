@@ -31,7 +31,7 @@ pub fn table_iii_catalog() -> ModelCatalog {
         }
     }
     eprintln!("[catalog] profiling Table III models (cached after first run)...");
-    let estimator = Estimator::new(ClusterSpec::aws_p4d(CLUSTER_GPUS));
+    let estimator = Estimator::builder(ClusterSpec::aws_p4d(CLUSTER_GPUS)).build();
     let models = presets::table_iii_models();
     let limits = SearchLimits { max_tensor: 8, max_data: 64, max_pipeline: 16, max_micro_batch: 4 };
     let catalog = build_catalog(&estimator, &models, &limits, threads());

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
-use vtrain_core::search::{self, SearchLimits};
+use vtrain_core::search::{SearchLimits, Sweep};
 use vtrain_core::Estimator;
 use vtrain_model::{ModelConfig, TimeNs};
 use vtrain_parallel::{ParallelConfig, PipelineSchedule};
@@ -266,14 +266,13 @@ pub fn build_catalog(
         // sweep shares the estimator's profile cache across models too;
         // per-model throughput lives in `outcome.stats` should a caller
         // want to report it).
-        let outcome = search::explore(
-            estimator,
-            model,
-            *global_batch,
-            PipelineSchedule::OneFOneB,
-            limits,
-            threads,
-        );
+        let outcome = Sweep::on(estimator, model)
+            .batch(*global_batch)
+            .schedule(PipelineSchedule::OneFOneB)
+            .limits(*limits)
+            .threads(threads)
+            .run()
+            .into_outcome();
         let mut best_per_gpus: HashMap<usize, TimeNs> = HashMap::new();
         for p in &outcome.points {
             best_per_gpus
@@ -339,7 +338,7 @@ mod tests {
 
     #[test]
     fn built_catalog_vtrain_dominates_baseline() {
-        let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
+        let estimator = Estimator::builder(ClusterSpec::aws_p4d(64)).build();
         let models = vec![(presets::megatron("1.7B"), 64usize)];
         let limits =
             SearchLimits { max_tensor: 8, max_data: 8, max_pipeline: 4, max_micro_batch: 4 };

@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn floor_is_positive_and_usefully_tight_on_a_compute_bound_point() {
-        let est = Estimator::new(ClusterSpec::aws_p4d(8));
+        let est = Estimator::builder(ClusterSpec::aws_p4d(8)).build();
         let model = presets::megatron("1.7B");
         let p = plan(1, 1, 1, 1, 4, PipelineSchedule::OneFOneB, true);
         let bound = est.lower_bound(&model, &p);
@@ -177,7 +177,7 @@ mod tests {
     #[test]
     fn floor_is_admissible_for_topology_aware_estimators() {
         let cluster = ClusterSpec::aws_p4d(64);
-        let est = Estimator::with_topology(cluster.clone(), 1.0, cluster.topology(1.0));
+        let est = Estimator::builder(cluster.clone()).topology(cluster.topology(1.0)).build();
         let model = presets::megatron("1.7B");
         for cfg in [
             plan(2, 16, 1, 1, 16, PipelineSchedule::OneFOneB, true),
@@ -212,7 +212,7 @@ mod tests {
             let sched = if gpipe { PipelineSchedule::GPipe } else { PipelineSchedule::OneFOneB };
             let cfg = plan(t, d, p, m, b, sched, bucketing);
             let model = presets::megatron("1.7B");
-            let est = Estimator::new(ClusterSpec::aws_p4d(512));
+            let est = Estimator::builder(ClusterSpec::aws_p4d(512)).build();
             prop_assume!(est.validate(&model, &cfg).is_ok());
             let bound = est.lower_bound(&model, &cfg);
             let actual = est.estimate(&model, &cfg).unwrap().iteration_time;

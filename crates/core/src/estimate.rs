@@ -84,8 +84,9 @@ pub struct IterationEstimate {
 /// The vTrain estimation front-end: a staged `validate → lower →
 /// simulate → summarize` pipeline over a shared profile cache.
 ///
-/// Clones share the cache (it sits behind an [`Arc`]), so handing clones
-/// to sweep worker threads deduplicates profiling across the whole sweep.
+/// Built declaratively with [`Estimator::builder`]; clones share the
+/// cache (it sits behind an [`Arc`]), so handing clones to sweep worker
+/// threads deduplicates profiling across the whole sweep.
 #[derive(Clone, Debug)]
 pub struct Estimator {
     cluster: ClusterSpec,
@@ -96,6 +97,133 @@ pub struct Estimator {
     /// The profiler GPU's cache key, derived once per estimator instead
     /// of once per lookup.
     gpu_key: GpuKey,
+    /// The §IV bandwidth-effectiveness calibration factor this estimator
+    /// was built with (kept so derived estimators — sweeps over the same
+    /// platform — can reproduce the configuration).
+    alpha: f64,
+    /// Ground-truth emulation oracle for [`Estimator::measure`].
+    noise: NoiseModel,
+}
+
+/// Declarative constructor for [`Estimator`] — one builder instead of a
+/// constructor per configuration axis.
+///
+/// Every axis is optional: the default is the paper's calibrated flat
+/// model (`α = 1.0`, fresh profile cache, Equation (1) communication,
+/// default measurement noise).
+///
+/// ```
+/// use std::sync::Arc;
+/// use vtrain_core::Estimator;
+/// use vtrain_parallel::ClusterSpec;
+/// use vtrain_profile::ProfileCache;
+///
+/// let cluster = ClusterSpec::aws_p4d(64);
+/// let estimator = Estimator::builder(cluster.clone())
+///     .alpha(0.9)
+///     .topology(cluster.topology(0.9))
+///     .cache(Arc::new(ProfileCache::new()))
+///     .build();
+/// assert!(estimator.is_topology_aware());
+/// ```
+#[derive(Clone, Debug)]
+pub struct EstimatorBuilder {
+    cluster: ClusterSpec,
+    /// `None` until [`EstimatorBuilder::alpha`] is called: unset, the
+    /// topology's own per-tier αs are used exactly as declared instead
+    /// of being silently reset to 1.0.
+    alpha: Option<f64>,
+    cache: Option<Arc<ProfileCache>>,
+    topology: Option<Topology>,
+    noise: Option<vtrain_gpu::NoiseConfig>,
+}
+
+impl EstimatorBuilder {
+    /// Sets the bandwidth-effectiveness factor `α ∈ (0, 1]` applied to
+    /// inter-node communication (paper §IV; default `1.0`, the value
+    /// found optimal on the paper's 512-GPU platform).
+    ///
+    /// With a [`topology`](EstimatorBuilder::topology), an explicit
+    /// `alpha` supersedes any per-tier `alpha` set on the topology's
+    /// inter-node tiers — it is the one §IV calibration knob, applied
+    /// uniformly above the node level (encode per-tier effectiveness
+    /// differences in tier bandwidths instead). When *not* called, the
+    /// topology's own per-tier `α`s are used exactly as declared.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Shares an existing profile cache instead of creating a fresh one
+    /// — e.g. one cache across estimators for several cluster sizes of
+    /// the same GPU. Compute profiles are topology-independent, so
+    /// estimators for different placements can share a cache soundly.
+    pub fn cache(mut self, cache: Arc<ProfileCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Prices collectives on a hierarchical `topology` (which may add a
+    /// rack tier via
+    /// [`Topology::with_rack_tier`](vtrain_net::Topology::with_rack_tier))
+    /// via the `vtrain-net` algorithm library instead of the flat
+    /// Equation (1) model.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Configures the ground-truth emulation effects
+    /// [`Estimator::measure`] injects (default
+    /// [`NoiseConfig::default`](vtrain_gpu::NoiseConfig), the paper's
+    /// §IV error decomposition).
+    pub fn noise(mut self, noise: vtrain_gpu::NoiseConfig) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Finalizes the estimator.
+    pub fn build(self) -> Estimator {
+        let EstimatorBuilder { cluster, alpha, cache, topology, noise } = self;
+        let cache = cache.unwrap_or_default();
+        let (comm, graph_opts) = match topology {
+            None => {
+                let comm = CommModel::new(&cluster, alpha.unwrap_or(1.0));
+                let graph_opts = GraphOptions {
+                    gpus_per_node: cluster.gpus_per_node,
+                    ..GraphOptions::default()
+                };
+                (comm, graph_opts)
+            }
+            Some(topology) => {
+                // An explicit α is the §IV supersede; unset, the
+                // topology's own per-tier αs are used exactly as
+                // declared (so `cluster.topology(0.8)` keeps its 0.8
+                // and a heterogeneous rack spine keeps its own value).
+                let comm = match alpha {
+                    Some(alpha) => CommModel::with_topology(&cluster, alpha, topology.clone()),
+                    None => CommModel::with_topology_tiers(&cluster, topology.clone()),
+                };
+                // Graph placement geometry follows the topology's node
+                // shape (falling back to the cluster's for a flat
+                // topology's unbounded node).
+                let gpus_per_node = if topology.gpus_per_node() == usize::MAX {
+                    cluster.gpus_per_node
+                } else {
+                    topology.gpus_per_node()
+                };
+                let nodes_per_rack = (topology.num_tiers() == 3).then(|| topology.nodes_per_rack());
+                let graph_opts =
+                    GraphOptions { gpus_per_node, nodes_per_rack, ..GraphOptions::default() };
+                (comm, graph_opts)
+            }
+        };
+        let profiler = Profiler::new(cluster.gpu.clone());
+        let gpu_key = GpuKey::of(&cluster.gpu);
+        let noise = NoiseModel::new(noise.unwrap_or_default());
+        let alpha = comm.alpha();
+        Estimator { cluster, comm, graph_opts, profiler, cache, gpu_key, alpha, noise }
+    }
 }
 
 /// Reusable per-thread state of the sweep's evaluation hot path: the
@@ -141,67 +269,68 @@ impl ProfileSource for CacheSource<'_> {
 }
 
 impl Estimator {
-    /// Creates an estimator for a cluster with `α = 1.0` (the value §IV
-    /// found optimal on the paper's 512-GPU platform) and a fresh profile
-    /// cache.
+    /// Starts building an estimator for `cluster` — the one constructor.
+    ///
+    /// Defaults: `α = 1.0` (the value §IV found optimal on the paper's
+    /// 512-GPU platform), a fresh profile cache, the flat Equation (1)
+    /// communication model, and the paper's default measurement noise.
+    pub fn builder(cluster: ClusterSpec) -> EstimatorBuilder {
+        EstimatorBuilder { cluster, alpha: None, cache: None, topology: None, noise: None }
+    }
+
+    /// Creates an estimator with all defaults.
+    #[deprecated(since = "0.6.0", note = "use `Estimator::builder(cluster).build()`")]
     pub fn new(cluster: ClusterSpec) -> Self {
-        Estimator::with_alpha(cluster, 1.0)
+        Estimator::builder(cluster).build()
     }
 
     /// Creates an estimator with an explicit bandwidth-effectiveness
     /// factor and a fresh profile cache.
+    #[deprecated(since = "0.6.0", note = "use `Estimator::builder(cluster).alpha(..).build()`")]
     pub fn with_alpha(cluster: ClusterSpec, alpha: f64) -> Self {
-        Estimator::with_cache(cluster, alpha, Arc::new(ProfileCache::new()))
+        Estimator::builder(cluster).alpha(alpha).build()
     }
 
-    /// Creates an estimator sharing an existing profile cache — e.g. one
-    /// cache across estimators for several cluster sizes of the same GPU.
+    /// Creates an estimator sharing an existing profile cache.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Estimator::builder(cluster).alpha(..).cache(..).build()`"
+    )]
     pub fn with_cache(cluster: ClusterSpec, alpha: f64, cache: Arc<ProfileCache>) -> Self {
-        let comm = CommModel::new(&cluster, alpha);
-        let graph_opts =
-            GraphOptions { gpus_per_node: cluster.gpus_per_node, ..GraphOptions::default() };
-        let profiler = Profiler::new(cluster.gpu.clone());
-        let gpu_key = GpuKey::of(&cluster.gpu);
-        Estimator { cluster, comm, graph_opts, profiler, cache, gpu_key }
+        Estimator::builder(cluster).alpha(alpha).cache(cache).build()
     }
 
-    /// Creates a topology-aware estimator: collectives are placed on
-    /// `topology` (which may add a rack tier via
-    /// [`Topology::with_rack_tier`]) and priced by the `vtrain-net`
-    /// algorithm library instead of the flat Equation (1) model.
-    ///
-    /// `alpha` supersedes any per-tier `alpha` set on `topology`'s
-    /// inter-node tiers — it is the one §IV calibration knob, applied
-    /// uniformly above the node level (encode per-tier effectiveness
-    /// differences in tier bandwidths instead).
+    /// Creates a topology-aware estimator.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Estimator::builder(cluster).alpha(..).topology(..).build()`"
+    )]
     pub fn with_topology(cluster: ClusterSpec, alpha: f64, topology: Topology) -> Self {
-        Estimator::with_topology_and_cache(cluster, alpha, topology, Arc::new(ProfileCache::new()))
+        Estimator::builder(cluster).alpha(alpha).topology(topology).build()
     }
 
-    /// [`Estimator::with_topology`] over a shared profile cache. Compute
-    /// profiles are topology-independent (only communication pricing
-    /// changes), so estimators for different placements can — and in a
-    /// placement sweep do — share one cache soundly.
+    /// Creates a topology-aware estimator over a shared profile cache.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Estimator::builder(cluster).alpha(..).topology(..).cache(..).build()`"
+    )]
     pub fn with_topology_and_cache(
         cluster: ClusterSpec,
         alpha: f64,
         topology: Topology,
         cache: Arc<ProfileCache>,
     ) -> Self {
-        let comm = CommModel::with_topology(&cluster, alpha, topology.clone());
-        // Graph placement geometry follows the topology's node shape
-        // (falling back to the cluster's for a flat topology's unbounded
-        // node).
-        let gpus_per_node = if topology.gpus_per_node() == usize::MAX {
-            cluster.gpus_per_node
-        } else {
-            topology.gpus_per_node()
-        };
-        let nodes_per_rack = (topology.num_tiers() == 3).then(|| topology.nodes_per_rack());
-        let graph_opts = GraphOptions { gpus_per_node, nodes_per_rack, ..GraphOptions::default() };
-        let profiler = Profiler::new(cluster.gpu.clone());
-        let gpu_key = GpuKey::of(&cluster.gpu);
-        Estimator { cluster, comm, graph_opts, profiler, cache, gpu_key }
+        Estimator::builder(cluster).alpha(alpha).topology(topology).cache(cache).build()
+    }
+
+    /// The bandwidth-effectiveness factor this estimator was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The ground-truth emulation oracle [`Estimator::measure`] uses.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
     }
 
     /// The interconnect topology communication is priced against.
@@ -385,10 +514,28 @@ impl Estimator {
     /// (Fig. 9, Table II). Same staged composition with the noise-model
     /// replay plus a configuration-level iteration bias.
     ///
+    /// Uses the noise the estimator was
+    /// [built with](EstimatorBuilder::noise) (the paper's §IV error
+    /// decomposition by default); [`Estimator::measure_with`] accepts an
+    /// explicit oracle.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`Estimator::estimate`].
     pub fn measure(
+        &self,
+        model: &ModelConfig,
+        plan: &ParallelConfig,
+    ) -> Result<IterationEstimate, EstimateError> {
+        self.measure_with(model, plan, &self.noise)
+    }
+
+    /// [`Estimator::measure`] under an explicit noise oracle.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::estimate`].
+    pub fn measure_with(
         &self,
         model: &ModelConfig,
         plan: &ParallelConfig,
@@ -496,7 +643,7 @@ mod tests {
 
     #[test]
     fn estimate_rejects_invalid_plans() {
-        let est = Estimator::new(ClusterSpec::aws_p4d(8));
+        let est = Estimator::builder(ClusterSpec::aws_p4d(8)).build();
         let err = est.estimate(&presets::megatron("1.7B"), &plan(16, 1, 1, 1, 8)).unwrap_err();
         assert!(matches!(err, EstimateError::InvalidPlan(_)));
         assert!(err.to_string().contains("invalid training plan"));
@@ -506,14 +653,14 @@ mod tests {
     fn utilization_in_plausible_band() {
         // A reasonable plan for 18.4B on 64 GPUs should land in the
         // 25–60 % utilization band the paper reports for A100 systems.
-        let est = Estimator::new(ClusterSpec::aws_p4d(64));
+        let est = Estimator::builder(ClusterSpec::aws_p4d(64)).build();
         let e = est.estimate(&presets::megatron("18.4B"), &plan(8, 8, 1, 2, 128)).unwrap();
         assert!(e.utilization > 0.25 && e.utilization < 0.65, "utilization {:.3}", e.utilization);
     }
 
     #[test]
     fn tensor_parallel_beats_single_gpu_latency() {
-        let est = Estimator::new(ClusterSpec::aws_p4d(8));
+        let est = Estimator::builder(ClusterSpec::aws_p4d(8)).build();
         let model = presets::megatron("1.7B");
         let t1 = est.estimate(&model, &plan(1, 1, 1, 1, 8)).unwrap();
         let t8 = est.estimate(&model, &plan(8, 1, 1, 1, 8)).unwrap();
@@ -528,7 +675,7 @@ mod tests {
         // below 1 (the paper's Fig. 9 points sit on both sides of the
         // diagonal), so assert the ensemble behaviour: each ratio stays in
         // a sane envelope and the mean shows the systematic slow-down.
-        let est = Estimator::new(ClusterSpec::aws_p4d(16));
+        let est = Estimator::builder(ClusterSpec::aws_p4d(16)).build();
         let model = presets::megatron("1.7B");
         let noise = NoiseModel::new(NoiseConfig::default());
         let plans =
@@ -536,7 +683,7 @@ mod tests {
         let mut ratios = Vec::new();
         for p in &plans {
             let predicted = est.estimate(&model, p).unwrap();
-            let measured = est.measure(&model, p, &noise).unwrap();
+            let measured = est.measure_with(&model, p, &noise).unwrap();
             let ratio =
                 measured.iteration_time.as_secs_f64() / predicted.iteration_time.as_secs_f64();
             assert!(ratio > 0.8 && ratio < 1.7, "measured/predicted ratio {ratio} for {p}");
@@ -548,7 +695,7 @@ mod tests {
 
     #[test]
     fn data_parallel_scales_throughput() {
-        let est = Estimator::new(ClusterSpec::aws_p4d(64));
+        let est = Estimator::builder(ClusterSpec::aws_p4d(64)).build();
         let model = presets::megatron("1.7B");
         // Same per-replica work, 8× replicas consume 8× tokens per
         // iteration in comparable time.
@@ -562,7 +709,7 @@ mod tests {
     #[test]
     fn staged_pipeline_composes_to_estimate() {
         // Running the stages by hand must equal the composed call.
-        let est = Estimator::new(ClusterSpec::aws_p4d(16));
+        let est = Estimator::builder(ClusterSpec::aws_p4d(16)).build();
         let model = presets::megatron("1.7B");
         let p = plan(2, 2, 2, 1, 8);
         est.validate(&model, &p).unwrap();
@@ -577,7 +724,7 @@ mod tests {
 
     #[test]
     fn repeated_estimates_hit_the_cache_and_agree_exactly() {
-        let est = Estimator::new(ClusterSpec::aws_p4d(16));
+        let est = Estimator::builder(ClusterSpec::aws_p4d(16)).build();
         let model = presets::megatron("1.7B");
         let p = plan(2, 2, 2, 1, 8);
         let cold = est.estimate(&model, &p).unwrap();
@@ -595,7 +742,7 @@ mod tests {
 
     #[test]
     fn clones_share_one_cache() {
-        let est = Estimator::new(ClusterSpec::aws_p4d(16));
+        let est = Estimator::builder(ClusterSpec::aws_p4d(16)).build();
         let clone = est.clone();
         let model = presets::megatron("1.7B");
         let p = plan(2, 2, 2, 1, 8);
@@ -606,13 +753,42 @@ mod tests {
     }
 
     #[test]
+    fn unset_alpha_inherits_the_topology_tier_alpha() {
+        // `.topology(cluster.topology(0.8))` without `.alpha(..)` must
+        // keep the declared 0.8, not silently reset tiers to 1.0.
+        let cluster = ClusterSpec::aws_p4d(32);
+        let inherited = Estimator::builder(cluster.clone()).topology(cluster.topology(0.8)).build();
+        assert_eq!(inherited.alpha(), 0.8);
+        assert_eq!(inherited.topology().tier(1).alpha, 0.8);
+        let explicit =
+            Estimator::builder(cluster.clone()).alpha(0.8).topology(cluster.topology(0.8)).build();
+        let model = presets::megatron("1.7B");
+        let p = plan(2, 8, 1, 1, 16);
+        let a = inherited.estimate(&model, &p).unwrap();
+        let b = explicit.estimate(&model, &p).unwrap();
+        assert_eq!(a.iteration_time, b.iteration_time);
+        // An explicit α still supersedes the tiers, as documented.
+        let overridden =
+            Estimator::builder(cluster.clone()).alpha(1.0).topology(cluster.topology(0.8)).build();
+        assert_eq!(overridden.topology().tier(1).alpha, 1.0);
+        // Heterogeneous tiers survive too: a rack spine declared at
+        // α = 0.5 keeps its own value when no explicit α is set.
+        let spine = vtrain_net::TierSpec::new(25e9, TimeNs::from_micros(35), 0.5);
+        let racked = Estimator::builder(cluster.clone())
+            .topology(cluster.topology(0.8).with_rack_tier(2, spine))
+            .build();
+        assert_eq!(racked.topology().tier(1).alpha, 0.8);
+        assert_eq!(racked.topology().tier(2).alpha, 0.5);
+    }
+
+    #[test]
     fn topology_estimator_agrees_with_flat_on_spread_groups() {
         // t = 8 fills each node, so every DP group has one rank per node:
         // the selector degenerates to the flat ring and the topology-aware
         // estimate must be bit-identical to the legacy model.
         let cluster = ClusterSpec::aws_p4d(64);
-        let flat = Estimator::new(cluster.clone());
-        let aware = Estimator::with_topology(cluster.clone(), 1.0, cluster.topology(1.0));
+        let flat = Estimator::builder(cluster.clone()).build();
+        let aware = Estimator::builder(cluster.clone()).topology(cluster.topology(1.0)).build();
         assert!(aware.is_topology_aware() && !flat.is_topology_aware());
         let model = presets::megatron("18.4B");
         let p = plan(8, 8, 1, 2, 128);
@@ -629,8 +805,8 @@ mod tests {
         // All-Reduce sends only S/4 over InfiniBand, so the topology-aware
         // estimate must be at least as fast as the flat Equation (1).
         let cluster = ClusterSpec::aws_p4d(32);
-        let flat = Estimator::new(cluster.clone());
-        let aware = Estimator::with_topology(cluster.clone(), 1.0, cluster.topology(1.0));
+        let flat = Estimator::builder(cluster.clone()).build();
+        let aware = Estimator::builder(cluster.clone()).topology(cluster.topology(1.0)).build();
         let model = presets::megatron("1.7B");
         let p = plan(2, 16, 1, 1, 16);
         let a = flat.estimate(&model, &p).unwrap();
@@ -648,13 +824,11 @@ mod tests {
         // Same plan, same cluster; adding a rack tier with a slower spine
         // can only lengthen communication.
         let cluster = ClusterSpec::aws_p4d(64);
-        let two_tier = Estimator::with_topology(cluster.clone(), 1.0, cluster.topology(1.0));
+        let two_tier = Estimator::builder(cluster.clone()).topology(cluster.topology(1.0)).build();
         let spine = vtrain_net::TierSpec::new(25e9, TimeNs::from_micros(35), 1.0);
-        let racked = Estimator::with_topology(
-            cluster.clone(),
-            1.0,
-            cluster.topology(1.0).with_rack_tier(2, spine),
-        );
+        let racked = Estimator::builder(cluster.clone())
+            .topology(cluster.topology(1.0).with_rack_tier(2, spine))
+            .build();
         assert_eq!(racked.topology().num_tiers(), 3);
         let model = presets::megatron("1.7B");
         let p = plan(2, 16, 2, 1, 16); // 64 GPUs: spans all 4 racks of 16.

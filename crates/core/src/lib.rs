@@ -32,7 +32,7 @@
 //! use vtrain_parallel::{ClusterSpec, ParallelConfig};
 //!
 //! let cluster = ClusterSpec::aws_p4d(64);
-//! let estimator = Estimator::new(cluster);
+//! let estimator = Estimator::builder(cluster).build();
 //! let plan = ParallelConfig::builder()
 //!     .tensor(8).data(4).pipeline(2).micro_batch(2).global_batch(64)
 //!     .build()?;
@@ -54,6 +54,8 @@ mod sim;
 mod task_graph;
 
 pub use cost::{CostModel, TrainingProjection};
-pub use estimate::{EstimateError, Estimator, EstimatorScratch, IterationEstimate};
+pub use estimate::{
+    EstimateError, Estimator, EstimatorBuilder, EstimatorScratch, IterationEstimate,
+};
 pub use sim::{simulate, simulate_into, BusyBreakdown, SimMode, SimReport, SimScratch};
-pub use task_graph::{Task, TaskGraph, TaskKind};
+pub use task_graph::{MissingProfile, Task, TaskGraph, TaskKind};

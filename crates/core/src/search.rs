@@ -257,9 +257,9 @@ impl Watermarks {
     }
 }
 
-/// Evaluates candidates on a work-stealing thread pool, pruning
-/// infeasible plans with the cheap validation stage and sharing the
-/// estimator's profile cache across workers.
+/// The sweep executor: evaluates candidates on a work-stealing thread
+/// pool, pruning infeasible plans with the cheap validation stage and
+/// sharing the estimator's profile cache across workers.
 ///
 /// Each worker owns a contiguous candidate range with an atomic cursor,
 /// a private result buffer, and a private [`EstimatorScratch`] (so
@@ -274,7 +274,7 @@ impl Watermarks {
 /// evaluated incumbent (shared across workers via atomic watermarks) are
 /// skipped entirely, and the outcome is filtered to exactly the goal's
 /// winners — provably the same winners the exhaustive sweep returns.
-pub fn sweep_with_goal(
+fn run_sweep(
     estimator: &Estimator,
     model: &ModelConfig,
     candidates: &[ParallelConfig],
@@ -414,15 +414,27 @@ pub fn sweep_with_goal(
     SweepOutcome { points, stats }
 }
 
-/// [`sweep_with_goal`] under [`SweepGoal::Exhaustive`] — every feasible
-/// point evaluated and returned.
+/// Evaluates explicit candidates under a goal.
+#[deprecated(since = "0.6.0", note = "use `Sweep::on(estimator, model).candidates(..).goal(..)`")]
+pub fn sweep_with_goal(
+    estimator: &Estimator,
+    model: &ModelConfig,
+    candidates: &[ParallelConfig],
+    threads: usize,
+    goal: SweepGoal,
+) -> SweepOutcome {
+    run_sweep(estimator, model, candidates, threads, goal)
+}
+
+/// Evaluates explicit candidates exhaustively.
+#[deprecated(since = "0.6.0", note = "use `Sweep::on(estimator, model).candidates(..)`")]
 pub fn sweep(
     estimator: &Estimator,
     model: &ModelConfig,
     candidates: &[ParallelConfig],
     threads: usize,
 ) -> SweepOutcome {
-    sweep_with_goal(estimator, model, candidates, threads, SweepGoal::Exhaustive)
+    run_sweep(estimator, model, candidates, threads, SweepGoal::Exhaustive)
 }
 
 /// One topology variant's outcome in a placement sweep.
@@ -434,14 +446,42 @@ pub struct PlacementSweep {
     pub outcome: SweepOutcome,
 }
 
-/// Sweeps the same candidate plans over several interconnect topologies
-/// — the placement axis of the design space (how racks reshape the
-/// fig10/fig11 landscape).
-///
-/// All variants share one profile cache: compute profiles are
-/// topology-independent, so every unique operator signature is profiled
-/// once for the *entire* placement sweep, and only communication pricing
-/// differs between variants.
+/// The placement-axis executor: the same candidate plans priced under
+/// several interconnect topologies, all variants sharing one profile
+/// cache (compute profiles are topology-independent, so every unique
+/// operator signature is profiled once for the *entire* placement sweep;
+/// bounds are priced per variant — communication costs differ between
+/// placements).
+#[allow(clippy::too_many_arguments)]
+fn run_placements(
+    cluster: &ClusterSpec,
+    alpha: Option<f64>,
+    cache: &Arc<ProfileCache>,
+    topologies: &[(String, Topology)],
+    model: &ModelConfig,
+    candidates: &[ParallelConfig],
+    threads: usize,
+    goal: SweepGoal,
+) -> Vec<PlacementSweep> {
+    topologies
+        .iter()
+        .map(|(label, topo)| {
+            let mut builder =
+                Estimator::builder(cluster.clone()).topology(topo.clone()).cache(Arc::clone(cache));
+            if let Some(alpha) = alpha {
+                builder = builder.alpha(alpha);
+            }
+            let estimator = builder.build();
+            PlacementSweep {
+                label: label.clone(),
+                outcome: run_sweep(&estimator, model, candidates, threads, goal),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps explicit candidates over several interconnect topologies.
+#[deprecated(since = "0.6.0", note = "use `Sweep::over(model, cluster).placements(..)`")]
 pub fn sweep_topologies(
     cluster: &ClusterSpec,
     alpha: f64,
@@ -450,9 +490,11 @@ pub fn sweep_topologies(
     candidates: &[ParallelConfig],
     threads: usize,
 ) -> Vec<PlacementSweep> {
-    sweep_topologies_with_goal(
+    let cache = Arc::new(ProfileCache::new());
+    run_placements(
         cluster,
-        alpha,
+        Some(alpha),
+        &cache,
         topologies,
         model,
         candidates,
@@ -461,10 +503,8 @@ pub fn sweep_topologies(
     )
 }
 
-/// [`sweep_topologies`] under an explicit [`SweepGoal`]: each placement
-/// variant independently prunes against its own incumbents (bounds are
-/// priced per variant — communication costs differ between placements),
-/// while all variants still share one profile cache.
+/// [`sweep_topologies`] under an explicit [`SweepGoal`].
+#[deprecated(since = "0.6.0", note = "use `Sweep::over(model, cluster).placements(..).goal(..)`")]
 #[allow(clippy::too_many_arguments)]
 pub fn sweep_topologies_with_goal(
     cluster: &ClusterSpec,
@@ -476,24 +516,11 @@ pub fn sweep_topologies_with_goal(
     goal: SweepGoal,
 ) -> Vec<PlacementSweep> {
     let cache = Arc::new(ProfileCache::new());
-    topologies
-        .iter()
-        .map(|(label, topo)| {
-            let estimator = Estimator::with_topology_and_cache(
-                cluster.clone(),
-                alpha,
-                topo.clone(),
-                Arc::clone(&cache),
-            );
-            PlacementSweep {
-                label: label.clone(),
-                outcome: sweep_with_goal(&estimator, model, candidates, threads, goal),
-            }
-        })
-        .collect()
+    run_placements(cluster, Some(alpha), &cache, topologies, model, candidates, threads, goal)
 }
 
-/// Convenience: enumerate + sweep with one call.
+/// Enumerate + sweep with one call.
+#[deprecated(since = "0.6.0", note = "use `Sweep::on(estimator, model).batch(..).limits(..)`")]
 pub fn explore(
     estimator: &Estimator,
     model: &ModelConfig,
@@ -504,7 +531,247 @@ pub fn explore(
 ) -> SweepOutcome {
     let candidates =
         enumerate_candidates(model, estimator.cluster(), global_batch, schedule, limits);
-    sweep(estimator, model, &candidates, threads)
+    run_sweep(estimator, model, &candidates, threads, SweepGoal::Exhaustive)
+}
+
+/// Declarative design-space sweep — the one entry point subsuming the
+/// deprecated `sweep` / `sweep_with_goal` / `sweep_topologies` /
+/// `sweep_topologies_with_goal` / `explore` functions.
+///
+/// A sweep needs a model, a cluster, and a candidate grid (either
+/// [enumerated](Sweep::batch) from a batch size + [`SearchLimits`] or
+/// [given explicitly](Sweep::candidates)); everything else — goal,
+/// threads, `α`, a shared cache, a topology, a placement axis — is an
+/// optional axis with the flat exhaustive sweep as the default. Results
+/// are bit-identical to the deprecated entry points by construction:
+/// the builder drives the exact same executor.
+///
+/// ```
+/// use vtrain_core::search::{SearchLimits, Sweep, SweepGoal};
+/// use vtrain_model::presets;
+/// use vtrain_parallel::ClusterSpec;
+///
+/// let model = presets::megatron("1.7B");
+/// let cluster = ClusterSpec::aws_p4d(16);
+/// let limits = SearchLimits { max_tensor: 4, max_data: 4, max_pipeline: 2, max_micro_batch: 2 };
+/// let run = Sweep::over(&model, &cluster)
+///     .batch(16)
+///     .limits(limits)
+///     .goal(SweepGoal::Best)
+///     .threads(2)
+///     .run();
+/// assert_eq!(run.outcome().points.len(), 1, "Best returns exactly the winner");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    /// `None` until [`Sweep::alpha`] is called: unset, the topology's
+    /// own inter-node tier α is inherited (see [`EstimatorBuilder`]).
+    alpha: Option<f64>,
+    cache: Option<Arc<ProfileCache>>,
+    topology: Option<Topology>,
+    placements: Vec<(String, Topology)>,
+    batch: Option<usize>,
+    schedule: PipelineSchedule,
+    limits: SearchLimits,
+    goal: SweepGoal,
+    threads: Option<usize>,
+    /// Shared, not owned: cloning a configured sweep (e.g. to re-run it
+    /// under another goal) must not copy the candidate grid.
+    candidates: Option<Arc<[ParallelConfig]>>,
+}
+
+impl Sweep {
+    /// Starts a sweep of `model` over `cluster` with default axes
+    /// (`α = 1.0`, fresh cache, flat interconnect, exhaustive goal,
+    /// 1F1B schedule, default [`SearchLimits`], all CPU cores).
+    pub fn over(model: &ModelConfig, cluster: &ClusterSpec) -> Sweep {
+        Sweep {
+            model: model.clone(),
+            cluster: cluster.clone(),
+            alpha: None,
+            cache: None,
+            topology: None,
+            placements: Vec::new(),
+            batch: None,
+            schedule: PipelineSchedule::OneFOneB,
+            limits: SearchLimits::default(),
+            goal: SweepGoal::default(),
+            threads: None,
+            candidates: None,
+        }
+    }
+
+    /// Starts a sweep reusing an existing estimator's configuration —
+    /// its cluster, `α`, topology, and (shared) profile cache — so ad-hoc
+    /// estimates and the sweep deduplicate profiling work.
+    pub fn on(estimator: &Estimator, model: &ModelConfig) -> Sweep {
+        let mut sweep = Sweep::over(model, estimator.cluster());
+        sweep.cache = Some(Arc::clone(estimator.cache()));
+        if estimator.is_topology_aware() {
+            // The estimator's topology already carries its resolved
+            // per-tier αs; leaving `alpha` unset reuses them exactly.
+            sweep.topology = Some(estimator.topology().clone());
+        } else {
+            sweep.alpha = Some(estimator.alpha());
+        }
+        sweep
+    }
+
+    /// Sets the global batch (sequences per iteration) the candidate
+    /// grid is enumerated for. Required unless
+    /// [`candidates`](Sweep::candidates) supplies the grid directly.
+    pub fn batch(mut self, global_batch: usize) -> Self {
+        self.batch = Some(global_batch);
+        self
+    }
+
+    /// Sets the pipeline schedule of enumerated candidates (default
+    /// [`PipelineSchedule::OneFOneB`]).
+    pub fn schedule(mut self, schedule: PipelineSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Bounds the enumerated `(t, d, p, m)` grid (default
+    /// [`SearchLimits::default`], the paper's §V-A axes).
+    pub fn limits(mut self, limits: SearchLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets what the sweep must guarantee (default
+    /// [`SweepGoal::Exhaustive`]); `Front`/`Best` license bound-guided
+    /// pruning and return exactly the exhaustive winners.
+    pub fn goal(mut self, goal: SweepGoal) -> Self {
+        self.goal = goal;
+        self
+    }
+
+    /// Sets the worker-thread count (default: all available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the bandwidth-effectiveness factor `α` (default `1.0`).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Shares an existing profile cache across this sweep (and anything
+    /// else holding it). Without this, the sweep creates a fresh cache —
+    /// still shared across its workers and placement variants.
+    pub fn cache(mut self, cache: Arc<ProfileCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Prices communication on a hierarchical topology instead of the
+    /// flat Equation (1) model. For sweeping *several* topologies, use
+    /// [`placements`](Sweep::placements).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Adds a placement axis: the same candidate grid is priced under
+    /// every `(label, topology)` variant, all variants sharing one
+    /// profile cache. Supersedes [`topology`](Sweep::topology).
+    pub fn placements(mut self, placements: impl IntoIterator<Item = (String, Topology)>) -> Self {
+        self.placements = placements.into_iter().collect();
+        self
+    }
+
+    /// Supplies the candidate grid explicitly instead of enumerating it
+    /// from [`batch`](Sweep::batch) + [`limits`](Sweep::limits).
+    ///
+    /// Accepts a `Vec`, an `Arc<[_]>`, or a slice; pass an
+    /// `Arc<[ParallelConfig]>` (cloned per sweep, O(1)) to share one
+    /// grid across several sweeps without copying it.
+    pub fn candidates(mut self, candidates: impl Into<Arc<[ParallelConfig]>>) -> Self {
+        self.candidates = Some(candidates.into());
+        self
+    }
+
+    /// Enumerates (if needed) and evaluates the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if neither [`batch`](Sweep::batch) nor
+    /// [`candidates`](Sweep::candidates) was set — there is no grid to
+    /// sweep.
+    pub fn run(self) -> SweepRun {
+        let threads = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(Into::into).unwrap_or(8));
+        let candidates: Arc<[ParallelConfig]> = match self.candidates {
+            Some(c) => c,
+            None => {
+                let batch =
+                    self.batch.expect("Sweep: set .batch(..) or .candidates(..) before .run()");
+                enumerate_candidates(&self.model, &self.cluster, batch, self.schedule, &self.limits)
+                    .into()
+            }
+        };
+        let cache = self.cache.unwrap_or_default();
+        let sweeps = if self.placements.is_empty() {
+            let mut builder = Estimator::builder(self.cluster).cache(cache);
+            if let Some(alpha) = self.alpha {
+                builder = builder.alpha(alpha);
+            }
+            if let Some(topology) = self.topology {
+                builder = builder.topology(topology);
+            }
+            let estimator = builder.build();
+            let outcome = run_sweep(&estimator, &self.model, &candidates, threads, self.goal);
+            vec![PlacementSweep { label: String::new(), outcome }]
+        } else {
+            run_placements(
+                &self.cluster,
+                self.alpha,
+                &cache,
+                &self.placements,
+                &self.model,
+                &candidates,
+                threads,
+                self.goal,
+            )
+        };
+        SweepRun { sweeps }
+    }
+}
+
+/// The result of a [`Sweep`]: one [`PlacementSweep`] per topology
+/// variant (exactly one for a sweep without a placement axis).
+#[derive(Clone, Debug)]
+pub struct SweepRun {
+    sweeps: Vec<PlacementSweep>,
+}
+
+impl SweepRun {
+    /// The (first) variant's outcome — the whole result for a sweep
+    /// without a placement axis.
+    pub fn outcome(&self) -> &SweepOutcome {
+        &self.sweeps[0].outcome
+    }
+
+    /// Consumes the run into the first variant's outcome.
+    pub fn into_outcome(self) -> SweepOutcome {
+        self.sweeps.into_iter().next().expect("a sweep always has at least one variant").outcome
+    }
+
+    /// All placement variants, in the order they were declared.
+    pub fn variants(&self) -> &[PlacementSweep] {
+        &self.sweeps
+    }
+
+    /// Consumes the run into its placement variants.
+    pub fn into_variants(self) -> Vec<PlacementSweep> {
+        self.sweeps
+    }
 }
 
 /// The fastest feasible plan using at most `max_gpus` GPUs.
@@ -574,17 +841,19 @@ mod tests {
 
     fn small_points() -> Vec<DesignPoint> {
         let cluster = ClusterSpec::aws_p4d(16);
-        let estimator = Estimator::new(cluster);
         let model = presets::megatron("1.7B");
-        explore(
-            &estimator,
-            &model,
-            16,
-            PipelineSchedule::OneFOneB,
-            &SearchLimits { max_tensor: 4, max_data: 4, max_pipeline: 4, max_micro_batch: 4 },
-            4,
-        )
-        .points
+        Sweep::over(&model, &cluster)
+            .batch(16)
+            .limits(SearchLimits {
+                max_tensor: 4,
+                max_data: 4,
+                max_pipeline: 4,
+                max_micro_batch: 4,
+            })
+            .threads(4)
+            .run()
+            .into_outcome()
+            .points
     }
 
     /// The original quadratic frontier, kept as the oracle for the
@@ -654,10 +923,12 @@ mod tests {
         let limits =
             SearchLimits { max_tensor: 2, max_data: 2, max_pipeline: 2, max_micro_batch: 2 };
         let cands = enumerate_candidates(&model, &cluster, 8, PipelineSchedule::OneFOneB, &limits);
-        // Fresh estimator per thread count: the executor must be
+        // Fresh cache per thread count: the executor must be
         // deterministic at 1 vs N threads with hot *or* cold caches.
-        let serial = sweep(&Estimator::new(cluster.clone()), &model, &cands, 1);
-        let parallel = sweep(&Estimator::new(cluster.clone()), &model, &cands, 8);
+        let serial =
+            Sweep::over(&model, &cluster).candidates(cands.clone()).threads(1).run().into_outcome();
+        let parallel =
+            Sweep::over(&model, &cluster).candidates(cands).threads(8).run().into_outcome();
         assert_eq!(serial.points.len(), parallel.points.len());
         for (a, b) in serial.points.iter().zip(&parallel.points) {
             assert_eq!(a.plan, b.plan);
@@ -673,12 +944,13 @@ mod tests {
         // 18.4B on 32 GPUs: low-parallelism candidates exceed HBM and must
         // be pruned by the validation stage before any lowering work.
         let cluster = ClusterSpec::aws_p4d(32);
-        let estimator = Estimator::new(cluster.clone());
+        let estimator = Estimator::builder(cluster.clone()).build();
         let model = presets::megatron("18.4B");
         let limits =
             SearchLimits { max_tensor: 8, max_data: 8, max_pipeline: 8, max_micro_batch: 1 };
         let cands = enumerate_candidates(&model, &cluster, 32, PipelineSchedule::OneFOneB, &limits);
-        let outcome = sweep(&estimator, &model, &cands, 4);
+        let outcome =
+            Sweep::on(&estimator, &model).candidates(cands.clone()).threads(4).run().into_outcome();
         let s = outcome.stats;
         assert_eq!(s.candidates, cands.len());
         assert_eq!(s.pruned + s.evaluated, s.candidates);
@@ -710,7 +982,12 @@ mod tests {
             ("two-tier".to_owned(), cluster.topology(1.0)),
             ("multi-rack/2".to_owned(), cluster.topology(1.0).with_rack_tier(2, spine)),
         ];
-        let sweeps = sweep_topologies(&cluster, 1.0, &topologies, &model, &cands, 4);
+        let sweeps = Sweep::over(&model, &cluster)
+            .candidates(cands)
+            .placements(topologies)
+            .threads(4)
+            .run()
+            .into_variants();
         assert_eq!(sweeps.len(), 2);
         assert_eq!(sweeps[0].label, "two-tier");
         // Identical candidate grids: the same plans are feasible under
@@ -808,10 +1085,18 @@ mod tests {
         cands: &[ParallelConfig],
         threads: usize,
     ) -> SweepStats {
-        let exhaustive = sweep(estimator, model, cands, threads);
+        let run_goal = |goal: SweepGoal| {
+            Sweep::on(estimator, model)
+                .candidates(cands.to_vec())
+                .threads(threads)
+                .goal(goal)
+                .run()
+                .into_outcome()
+        };
+        let exhaustive = run_goal(SweepGoal::Exhaustive);
         assert_eq!(exhaustive.stats.bound_pruned, 0, "exhaustive mode never computes bounds");
 
-        let best = sweep_with_goal(estimator, model, cands, threads, SweepGoal::Best);
+        let best = run_goal(SweepGoal::Best);
         let want_best = exhaustive.points.iter().min_by_key(|p| p.estimate.iteration_time);
         match want_best {
             None => assert!(best.points.is_empty()),
@@ -827,7 +1112,7 @@ mod tests {
             }
         }
 
-        let front = sweep_with_goal(estimator, model, cands, threads, SweepGoal::Front);
+        let front = run_goal(SweepGoal::Front);
         let want_front: Vec<&DesignPoint> = pareto_front(&exhaustive.points);
         assert_eq!(front.points.len(), want_front.len());
         for (got, want) in front.points.iter().zip(&want_front) {
@@ -847,7 +1132,7 @@ mod tests {
     #[test]
     fn goal_modes_return_exhaustive_winners_and_prune() {
         let cluster = ClusterSpec::aws_p4d(32);
-        let estimator = Estimator::new(cluster.clone());
+        let estimator = Estimator::builder(cluster.clone()).build();
         let model = presets::megatron("1.7B");
         let limits =
             SearchLimits { max_tensor: 4, max_data: 8, max_pipeline: 4, max_micro_batch: 4 };
@@ -896,7 +1181,7 @@ mod tests {
             big_model in proptest::bool::ANY,
         ) {
             let cluster = ClusterSpec::aws_p4d(64);
-            let estimator = Estimator::new(cluster.clone());
+            let estimator = Estimator::builder(cluster.clone()).build();
             let model =
                 if big_model { presets::megatron("3.6B") } else { presets::megatron("1.7B") };
             let limits = SearchLimits {

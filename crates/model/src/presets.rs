@@ -31,7 +31,7 @@ pub fn mt_nlg_530b() -> ModelConfig {
     preset("MT-NLG 530B", 20_480, 105, 128, 2048, 51_200)
 }
 
-/// The scaled-down Megatron model family of Narayanan et al. [40], used for
+/// The scaled-down Megatron model family of Narayanan et al. \[40\], used for
 /// the paper's multi-node validation and Table II. Names advertise the
 /// parameter count in billions.
 pub fn megatron_family() -> Vec<ModelConfig> {
@@ -58,9 +58,11 @@ pub fn megatron_family() -> Vec<ModelConfig> {
 ///
 /// Panics if `size` does not name a family member.
 pub fn megatron(size: &str) -> ModelConfig {
+    // Exact-name match: a suffix match would resolve "8.4B" to 18.4B.
+    let target = format!("Megatron {size}");
     megatron_family()
         .into_iter()
-        .find(|m| m.name().ends_with(size))
+        .find(|m| m.name() == target)
         .unwrap_or_else(|| panic!("no Megatron family member named {size}"))
 }
 

@@ -71,6 +71,15 @@ impl CommModel {
         CommModel::build(cluster, alpha, topology.with_inter_tier_alpha(alpha), true)
     }
 
+    /// [`CommModel::with_topology`] without the uniform α rewrite: every
+    /// tier's declared `alpha` is used exactly as given (heterogeneous
+    /// fabrics keep their per-tier effectiveness). The scalar
+    /// [`alpha()`](CommModel::alpha) reports the inter-node tier's.
+    pub fn with_topology_tiers(cluster: &ClusterSpec, topology: Topology) -> Self {
+        let alpha = topology.tier(1.min(topology.num_tiers() - 1)).alpha;
+        CommModel::build(cluster, alpha, topology, true)
+    }
+
     fn build(cluster: &ClusterSpec, alpha: f64, topology: Topology, topology_aware: bool) -> Self {
         let intra_anchors = SWEEP_RANKS
             .iter()

@@ -2,7 +2,7 @@
 //! throughput (paper Table IV).
 
 use serde::{Deserialize, Serialize};
-use vtrain_core::search::{self, SearchLimits};
+use vtrain_core::search::{self, SearchLimits, Sweep};
 use vtrain_core::Estimator;
 use vtrain_model::{ModelConfig, TimeNs};
 use vtrain_parallel::{ParallelConfig, PipelineSchedule};
@@ -84,14 +84,13 @@ pub fn evaluate_candidate(
     threads: usize,
 ) -> Option<CandidateOutcome> {
     let model = spec.to_model();
-    let outcome = search::explore(
-        estimator,
-        &model,
-        global_batch,
-        PipelineSchedule::OneFOneB,
-        limits,
-        threads,
-    );
+    let outcome = Sweep::on(estimator, &model)
+        .batch(global_batch)
+        .schedule(PipelineSchedule::OneFOneB)
+        .limits(*limits)
+        .threads(threads)
+        .run()
+        .into_outcome();
     let best = search::fastest_within_gpu_budget(&outcome.points, estimator.cluster().total_gpus)?;
     let params = model.num_parameters() as f64;
     let tokens = law.tokens_for_params(params);
@@ -152,7 +151,7 @@ mod tests {
     #[test]
     fn evaluate_candidate_produces_consistent_outcome() {
         // Small cluster + small candidate to keep the test fast.
-        let estimator = Estimator::new(ClusterSpec::aws_p4d(16));
+        let estimator = Estimator::builder(ClusterSpec::aws_p4d(16)).build();
         let law = ChinchillaLaw::default();
         let spec = CandidateSpec { hidden: 2048, layers: 16, heads: 16 };
         let limits =
@@ -165,7 +164,7 @@ mod tests {
 
     #[test]
     fn search_picks_largest_feasible_model() {
-        let estimator = Estimator::new(ClusterSpec::aws_p4d(16));
+        let estimator = Estimator::builder(ClusterSpec::aws_p4d(16)).build();
         let law = ChinchillaLaw::default();
         let candidates = [
             CandidateSpec { hidden: 1024, layers: 8, heads: 16 },

@@ -26,7 +26,7 @@ fn main() {
     );
 
     // Realistic sizing: simulate each candidate's best plan.
-    let estimator = Estimator::new(cluster);
+    let estimator = Estimator::builder(cluster).build();
     let candidates = [
         CandidateSpec { hidden: 4096, layers: 36, heads: 32 },
         CandidateSpec { hidden: 5120, layers: 40, heads: 40 },

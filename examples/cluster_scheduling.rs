@@ -13,7 +13,7 @@ use vtrain::prelude::*;
 fn main() {
     // A 128-GPU shared cluster and two tenant model families.
     let total_gpus = 128;
-    let estimator = Estimator::new(ClusterSpec::aws_p4d(total_gpus));
+    let estimator = Estimator::builder(ClusterSpec::aws_p4d(total_gpus)).build();
     let models = vec![(presets::megatron("1.7B"), 64usize), (presets::megatron("3.6B"), 128usize)];
     let limits = SearchLimits { max_tensor: 8, max_data: 16, max_pipeline: 6, max_micro_batch: 4 };
 

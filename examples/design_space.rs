@@ -11,18 +11,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = ClusterSpec::aws_p4d(512);
     let model = presets::megatron("18.4B");
     let global_batch = 512;
-    let estimator = Estimator::new(cluster);
 
     // Exhaustive sweep, parallelized across CPU cores (§III-F).
     let limits = SearchLimits { max_tensor: 8, max_data: 32, max_pipeline: 10, max_micro_batch: 8 };
-    let outcome = search::explore(
-        &estimator,
-        &model,
-        global_batch,
-        PipelineSchedule::OneFOneB,
-        &limits,
-        std::thread::available_parallelism().map(Into::into).unwrap_or(8),
-    );
+    let outcome = Sweep::over(&model, &cluster)
+        .batch(global_batch)
+        .schedule(PipelineSchedule::OneFOneB)
+        .limits(limits)
+        .run()
+        .into_outcome();
     let points = outcome.points;
     println!(
         "evaluated {} feasible design points in {:.1}s ({} candidates pruned, {:.0} points/s, \

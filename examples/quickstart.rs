@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     // 3. Simulate one training iteration.
-    let estimator = Estimator::new(cluster);
+    let estimator = Estimator::builder(cluster).build();
     let estimate = estimator.estimate(&model, &plan)?;
 
     println!("model:            {model}");

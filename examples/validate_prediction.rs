@@ -10,7 +10,7 @@ use vtrain::prelude::*;
 
 fn main() {
     let cluster = ClusterSpec::aws_p4d(8);
-    let estimator = Estimator::new(cluster);
+    let estimator = Estimator::builder(cluster).build();
     let noise = NoiseModel::new(NoiseConfig::default());
 
     let mut pairs: Vec<(f64, f64)> = Vec::new();
@@ -30,7 +30,7 @@ fn main() {
                 continue;
             };
             let (Ok(pred), Ok(meas)) =
-                (estimator.estimate(&model, &plan), estimator.measure(&model, &plan, &noise))
+                (estimator.estimate(&model, &plan), estimator.measure_with(&model, &plan, &noise))
             else {
                 continue;
             };

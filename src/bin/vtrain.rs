@@ -1,45 +1,103 @@
-//! The `vtrain` command-line front-end: evaluate an input description file
-//! (paper Fig. 4, step ①) and print the predicted iteration time,
-//! utilization, breakdown, and end-to-end projection.
+//! The `vtrain` command-line front-end: drive prediction, design-space
+//! sweeps, and validation from a single scenario file (paper Fig. 4,
+//! step ①) — no Rust code required.
 //!
 //! ```sh
-//! cargo run --release --bin vtrain -- examples/descriptions/megatron_18b.json
+//! vtrain predict  examples/descriptions/megatron_18b.json
+//! vtrain sweep    examples/descriptions/megatron_1_7b_sweep.json
+//! vtrain validate examples/descriptions/megatron_18b.json
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure (e.g. unreadable file),
+//! `2` usage or invalid scenario (malformed JSON reports line/field
+//! context).
 
 use std::process::ExitCode;
 
-use vtrain::description::Description;
 use vtrain::prelude::*;
 
+const USAGE: &str = "usage: vtrain <command> <scenario.json>
+
+commands:
+  predict    simulate the scenario's plan: iteration time, utilization,
+             busy breakdown, and (with `tokens`) the end-to-end projection
+  sweep      explore the (t, d, p, m) design space the scenario bounds,
+             honoring its goal and placement axis
+  validate   parse and resolve every section, reporting the first problem
+
+see examples/descriptions/ for the scenario schema";
+
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: vtrain <description.json>");
-        eprintln!("see examples/descriptions/ for the schema");
-        return ExitCode::from(2);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, path) = match args.as_slice() {
+        [command, path] => (command.as_str(), path.as_str()),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
     };
-    let text = match std::fs::read_to_string(&path) {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: cannot read {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    match run(&text) {
+    let scenario = match Scenario::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command {
+        "predict" => predict(&scenario),
+        "sweep" => sweep(&scenario),
+        "validate" => validate(&scenario),
+        other => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {path}: {e}");
+            ExitCode::from(2)
         }
     }
 }
 
-fn run(text: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let description = Description::from_json(text)?;
-    let model = description.model()?;
-    let cluster = description.cluster()?;
-    let plan = description.plan()?;
+/// Prints the end-to-end projection if the scenario carries a token
+/// budget; `indent` matches the caller's block structure.
+fn print_projection(
+    scenario: &Scenario,
+    cost: &CostModel,
+    estimate: &IterationEstimate,
+    indent: &str,
+) {
+    if let Some(tokens) = scenario.tokens {
+        let projection = TrainingProjection::project(
+            estimate.iteration_time,
+            estimate.tokens_per_iteration,
+            tokens,
+            estimate.num_gpus,
+            cost,
+        );
+        println!("{indent}iterations:      {}", projection.iterations);
+        println!("{indent}training time:   {:.2} days", projection.days());
+        println!("{indent}training cost:   ${:.2}M", projection.total_dollars / 1e6);
+    }
+}
 
-    let estimator = Estimator::new(cluster);
+fn predict(scenario: &Scenario) -> Result<(), Error> {
+    // Full cross-section validation: anything `validate` rejects must
+    // not run (e.g. a noise section that would be silently ignored).
+    scenario.check()?;
+    let model = scenario.model()?;
+    let plan = scenario.plan()?;
+    let cost = scenario.cost_model()?;
+    let estimator = scenario.estimator()?;
     let estimate = estimator.estimate(&model, &plan)?;
 
     println!("model:           {model}");
@@ -51,19 +109,81 @@ fn run(text: &str) -> Result<(), Box<dyn std::error::Error>> {
         "busy breakdown:  compute {} | TP {} | DP {} | PP {}",
         estimate.busy.compute, estimate.busy.tp_comm, estimate.busy.dp_comm, estimate.busy.pp_comm
     );
+    if scenario.noise.is_some() {
+        let measured = estimator.measure(&model, &plan)?;
+        println!("measured:        {} (noise-emulated ground truth)", measured.iteration_time);
+    }
+    print_projection(scenario, &cost, &estimate, "");
+    Ok(())
+}
 
-    if let Some(tokens) = description.tokens {
-        let cost = description.cost_per_gpu_hour.map(CostModel::new).unwrap_or_default();
-        let projection = TrainingProjection::project(
-            estimate.iteration_time,
-            estimate.tokens_per_iteration,
-            tokens,
-            estimate.num_gpus,
-            &cost,
+fn sweep(scenario: &Scenario) -> Result<(), Error> {
+    scenario.check()?;
+    let goal = scenario.goal()?;
+    let cost = scenario.cost_model()?;
+    let run = scenario.sweep()?.run();
+    for variant in run.variants() {
+        let outcome = &variant.outcome;
+        let stats = outcome.stats;
+        if variant.label.is_empty() {
+            println!("sweep (goal {goal:?}):");
+        } else {
+            println!("placement {} (goal {goal:?}):", variant.label);
+        }
+        println!(
+            "  {} candidates -> {} points ({} infeasible, {} bound-pruned) in {:.2}s \
+             ({:.0} points/s, cache hit-rate {:.1}%)",
+            stats.candidates,
+            outcome.points.len(),
+            stats.pruned,
+            stats.bound_pruned,
+            stats.wall_s,
+            stats.points_per_sec(),
+            stats.cache_hit_rate() * 100.0
         );
-        println!("iterations:      {}", projection.iterations);
-        println!("training time:   {:.2} days", projection.days());
-        println!("training cost:   ${:.2}M", projection.total_dollars / 1e6);
+        for point in outcome.points.iter().take(10) {
+            println!(
+                "  {:>24}  {:>6} GPUs  {:>12}  util {:>5.1}%",
+                point.plan.to_string(),
+                point.estimate.num_gpus,
+                point.estimate.iteration_time.to_string(),
+                point.estimate.utilization * 100.0
+            );
+        }
+        if outcome.points.len() > 10 {
+            println!("  ... and {} more points", outcome.points.len() - 10);
+        }
+        if let Some(best) = outcome.points.iter().min_by_key(|p| p.estimate.iteration_time) {
+            println!(
+                "  fastest: {} -> {} on {} GPUs",
+                best.plan, best.estimate.iteration_time, best.estimate.num_gpus
+            );
+            print_projection(scenario, &cost, &best.estimate, "  ");
+        }
+    }
+    Ok(())
+}
+
+fn validate(scenario: &Scenario) -> Result<(), Error> {
+    scenario.check()?;
+    let model = scenario.model()?;
+    let cluster = scenario.cluster()?;
+    println!("scenario OK");
+    println!("model:    {model}");
+    println!("cluster:  {} x {}", cluster.total_gpus, cluster.gpu.name);
+    if scenario.parallelism.is_some() {
+        println!("plan:     {}", scenario.plan()?);
+    }
+    if scenario.sweep.is_some() {
+        let limits = scenario.limits();
+        println!(
+            "sweep:    goal {:?}, t <= {}, d <= {}, p <= {}, m <= {}",
+            scenario.goal()?,
+            limits.max_tensor,
+            limits.max_data,
+            limits.max_pipeline,
+            limits.max_micro_batch
+        );
     }
     Ok(())
 }

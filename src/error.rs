@@ -1,0 +1,112 @@
+//! The unified workspace error type.
+//!
+//! Four PRs of organic growth left `ModelConfigError`, `PlanError`,
+//! `EstimateError`, and ad-hoc string errors scattered across layers.
+//! [`Error`] wraps them all (plus JSON parsing), so every fallible facade
+//! API — scenario resolution, prediction, the CLI — returns one type that
+//! implements [`std::error::Error`] with a proper `source()` chain.
+
+use std::fmt;
+
+use vtrain_core::EstimateError;
+use vtrain_model::ModelConfigError;
+use vtrain_parallel::PlanError;
+
+/// Any error the vTrain facade can produce.
+#[derive(Clone, Debug)]
+pub enum Error {
+    /// The model hyperparameters are invalid.
+    Model(ModelConfigError),
+    /// The 3D-parallel plan is malformed or infeasible.
+    Plan(PlanError),
+    /// The estimation pipeline rejected the design point.
+    Estimate(EstimateError),
+    /// The scenario JSON failed to parse (syntax or schema mismatch;
+    /// the message carries line/field context).
+    Parse(serde_json::Error),
+    /// The scenario parsed but cannot be resolved (unknown preset,
+    /// missing section, contradictory options).
+    Scenario(String),
+}
+
+impl Error {
+    /// Creates a scenario-level error.
+    pub fn scenario(msg: impl Into<String>) -> Self {
+        Error::Scenario(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Model(e) => write!(f, "invalid model: {e}"),
+            Error::Plan(e) => write!(f, "invalid plan: {e}"),
+            Error::Estimate(e) => write!(f, "{e}"),
+            Error::Parse(e) => write!(f, "invalid scenario JSON: {e}"),
+            Error::Scenario(msg) => write!(f, "invalid scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Model(e) => Some(e),
+            Error::Plan(e) => Some(e),
+            Error::Estimate(e) => Some(e),
+            Error::Parse(e) => Some(e),
+            Error::Scenario(_) => None,
+        }
+    }
+}
+
+impl From<ModelConfigError> for Error {
+    fn from(e: ModelConfigError) -> Self {
+        Error::Model(e)
+    }
+}
+
+impl From<PlanError> for Error {
+    fn from(e: PlanError) -> Self {
+        Error::Plan(e)
+    }
+}
+
+impl From<EstimateError> for Error {
+    fn from(e: EstimateError) -> Self {
+        Error::Estimate(e)
+    }
+}
+
+impl From<serde_json::Error> for Error {
+    fn from(e: serde_json::Error) -> Self {
+        Error::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn wraps_every_layer_with_sources() {
+        let model_err = vtrain_model::ModelConfig::builder().hidden_size(0).build().unwrap_err();
+        let e = Error::from(model_err);
+        assert!(e.to_string().contains("invalid model"));
+        assert!(e.source().is_some());
+
+        let plan_err = vtrain_parallel::ParallelConfig::builder().tensor(0).build().unwrap_err();
+        let e = Error::from(plan_err);
+        assert!(e.to_string().contains("invalid plan"));
+        assert!(e.source().is_some());
+
+        let parse_err = serde_json::value_from_str("{").unwrap_err();
+        let e = Error::from(parse_err);
+        assert!(e.to_string().contains("line 1"), "parse errors carry position: {e}");
+
+        let e = Error::scenario("unknown preset `foo`");
+        assert!(e.to_string().contains("unknown preset"));
+        assert!(e.source().is_none());
+    }
+}

@@ -38,7 +38,7 @@
 //!     .build()?;
 //!
 //! // Predict one training iteration.
-//! let estimator = Estimator::new(cluster);
+//! let estimator = Estimator::builder(cluster).build();
 //! let estimate = estimator.estimate(&model, &plan)?;
 //! println!(
 //!     "iteration {}, utilization {:.1}%",
@@ -47,11 +47,32 @@
 //! );
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Or declaratively, from a scenario file (the `vtrain` CLI is a thin
+//! wrapper over exactly this):
+//!
+//! ```
+//! use vtrain::prelude::*;
+//!
+//! let scenario = Scenario::from_json(r#"{
+//!     "model": { "preset": "megatron-1.7B" },
+//!     "cluster": { "preset": "aws-p4d", "total_gpus": 16 },
+//!     "parallelism": { "tensor": 2, "data": 2, "pipeline": 2,
+//!                      "micro_batch": 1, "global_batch": 8 }
+//! }"#)?;
+//! let estimate = scenario.estimator()?.estimate(&scenario.model()?, &scenario.plan()?)?;
+//! assert!(estimate.utilization > 0.0);
+//! # Ok::<(), vtrain::Error>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod description;
+mod error;
+
+pub use description::{Description, Scenario};
+pub use error::Error;
 
 pub use vtrain_cluster as cluster;
 pub use vtrain_core as sim;
@@ -65,17 +86,27 @@ pub use vtrain_profile as profile;
 pub use vtrain_scaling as scaling;
 
 /// The types most programs need, in one import.
+///
+/// Engine, graph, and profiler internals (`Simulation`, `Handler`,
+/// `plan_signatures`, `EstimatorScratch`, …) are deliberately absent:
+/// programs that drive those layers directly should import them from
+/// their home crates.
 pub mod prelude {
-    pub use vtrain_core::search::{self, SearchLimits, SweepGoal, SweepOutcome, SweepStats};
-    pub use vtrain_core::{
-        CostModel, Estimator, EstimatorScratch, IterationEstimate, TrainingProjection,
+    pub use crate::description::{Description, Scenario};
+    pub use crate::error::Error;
+    pub use vtrain_core::bounds::iteration_floor;
+    pub use vtrain_core::search::{
+        self, DesignPoint, PlacementSweep, SearchLimits, Sweep, SweepGoal, SweepOutcome, SweepRun,
+        SweepStats,
     };
-    pub use vtrain_engine::{Handler, RunStats, Simulation};
+    pub use vtrain_core::{
+        CostModel, Estimator, EstimatorBuilder, IterationEstimate, SimMode, SimReport,
+        TrainingProjection,
+    };
     pub use vtrain_gpu::{NoiseConfig, NoiseModel};
-    pub use vtrain_graph::{build_op_graph, plan_signatures, GraphOptions};
     pub use vtrain_model::{presets, Bytes, Flops, ModelConfig, TimeNs};
-    pub use vtrain_net::{Algorithm, Collective, GroupPlacement, TierSpec, Topology};
+    pub use vtrain_net::{GroupPlacement, TierSpec, Topology};
     pub use vtrain_parallel::{ClusterSpec, GpuSpec, ParallelConfig, PipelineSchedule};
-    pub use vtrain_profile::{CacheStats, CommModel, ProfileCache, Profiler};
+    pub use vtrain_profile::{CacheStats, ProfileCache};
     pub use vtrain_scaling::ChinchillaLaw;
 }

@@ -1,0 +1,129 @@
+//! A/B golden equivalence of the `Sweep` builder against the deprecated
+//! sweep entry points it replaces: the fig10-style grid JSON produced
+//! from the builder must be **byte-identical** to the old paths', under
+//! every goal and on the placement axis.
+//!
+//! (The full-size check is run on the real fig10 binaries: their
+//! `results/fig10_design_space.json` / `fig10_topology.json` are byte-
+//! identical across the migration. This test pins the same property on a
+//! grid small enough for CI.)
+
+#![allow(deprecated)] // the point of this test is to A/B the old API
+
+use vtrain::prelude::*;
+
+fn grid(model: &ModelConfig, cluster: &ClusterSpec, batch: usize) -> Vec<ParallelConfig> {
+    let limits = SearchLimits { max_tensor: 8, max_data: 8, max_pipeline: 4, max_micro_batch: 2 };
+    search::enumerate_candidates(model, cluster, batch, PipelineSchedule::OneFOneB, &limits)
+}
+
+/// The grid JSON of a sweep outcome, as one string for byte-wise
+/// comparison.
+fn grid_json(points: &[DesignPoint]) -> String {
+    serde_json::to_string(&points.to_vec()).unwrap()
+}
+
+#[test]
+fn sweep_builder_matches_deprecated_sweeps_byte_for_byte() {
+    let model = presets::megatron("1.7B");
+    let cluster = ClusterSpec::aws_p4d(64);
+    let candidates = grid(&model, &cluster, 32);
+    assert!(candidates.len() > 30, "grid too small to be meaningful");
+
+    for goal in [SweepGoal::Exhaustive, SweepGoal::Front, SweepGoal::Best] {
+        let old = {
+            let estimator = Estimator::builder(cluster.clone()).build();
+            search::sweep_with_goal(&estimator, &model, &candidates, 4, goal)
+        };
+        let new = Sweep::over(&model, &cluster)
+            .candidates(candidates.clone())
+            .threads(4)
+            .goal(goal)
+            .run()
+            .into_outcome();
+        assert_eq!(
+            grid_json(&old.points),
+            grid_json(&new.points),
+            "builder grid JSON must be byte-identical to the old path under {goal:?}"
+        );
+        // Winners are deterministic; `evaluated`/`bound_pruned` are not
+        // (watermark race timing), so only the deterministic stats are
+        // compared.
+        assert_eq!(old.stats.candidates, new.stats.candidates);
+        assert_eq!(old.stats.pruned, new.stats.pruned);
+    }
+
+    // The un-goaled legacy `sweep` as well.
+    let old = {
+        let estimator = Estimator::builder(cluster.clone()).build();
+        search::sweep(&estimator, &model, &candidates, 4)
+    };
+    let new = Sweep::over(&model, &cluster)
+        .candidates(candidates.clone())
+        .threads(4)
+        .run()
+        .into_outcome();
+    assert_eq!(grid_json(&old.points), grid_json(&new.points));
+}
+
+#[test]
+fn sweep_builder_matches_deprecated_topology_sweeps_byte_for_byte() {
+    let model = presets::megatron("1.7B");
+    let cluster = ClusterSpec::aws_p4d(32);
+    let candidates = grid(&model, &cluster, 16);
+    let spine = TierSpec::new(25e9, TimeNs::from_micros(35), 1.0);
+    let topologies = vec![
+        ("two-tier".to_owned(), cluster.topology(1.0)),
+        ("multi-rack/2".to_owned(), cluster.topology(1.0).with_rack_tier(2, spine)),
+    ];
+
+    let old = search::sweep_topologies(&cluster, 1.0, &topologies, &model, &candidates, 4);
+    let new = Sweep::over(&model, &cluster)
+        .candidates(candidates.clone())
+        .placements(topologies.clone())
+        .threads(4)
+        .run()
+        .into_variants();
+
+    assert_eq!(old.len(), new.len());
+    for (a, b) in old.iter().zip(&new) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(
+            grid_json(&a.outcome.points),
+            grid_json(&b.outcome.points),
+            "placement `{}` grid JSON must be byte-identical",
+            a.label
+        );
+    }
+}
+
+#[test]
+fn deprecated_estimator_constructors_agree_with_builder() {
+    let model = presets::megatron("1.7B");
+    let cluster = ClusterSpec::aws_p4d(32);
+    let plan = ParallelConfig::builder()
+        .tensor(2)
+        .data(4)
+        .pipeline(2)
+        .micro_batch(1)
+        .global_batch(16)
+        .build()
+        .unwrap();
+
+    let old = Estimator::new(cluster.clone()).estimate(&model, &plan).unwrap();
+    let new = Estimator::builder(cluster.clone()).build().estimate(&model, &plan).unwrap();
+    assert_eq!(old.iteration_time, new.iteration_time);
+    assert_eq!(old.utilization.to_bits(), new.utilization.to_bits());
+
+    let old = Estimator::with_topology(cluster.clone(), 0.9, cluster.topology(0.9))
+        .estimate(&model, &plan)
+        .unwrap();
+    let new = Estimator::builder(cluster.clone())
+        .alpha(0.9)
+        .topology(cluster.topology(0.9))
+        .build()
+        .estimate(&model, &plan)
+        .unwrap();
+    assert_eq!(old.iteration_time, new.iteration_time);
+    assert_eq!(old.utilization.to_bits(), new.utilization.to_bits());
+}

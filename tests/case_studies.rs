@@ -10,7 +10,7 @@ use vtrain::scaling::{compute_optimal_search, CandidateSpec};
 /// cost-effective as a fixed heuristic plan with a similar GPU budget.
 #[test]
 fn dse_finds_plan_no_worse_than_heuristic() {
-    let estimator = Estimator::new(ClusterSpec::aws_p4d(128));
+    let estimator = Estimator::builder(ClusterSpec::aws_p4d(128)).build();
     let model = presets::megatron("3.6B");
     let global_batch = 256;
 
@@ -26,8 +26,12 @@ fn dse_finds_plan_no_worse_than_heuristic() {
     let heuristic_est = estimator.estimate(&model, &heuristic).unwrap();
 
     let limits = SearchLimits { max_tensor: 8, max_data: 32, max_pipeline: 6, max_micro_batch: 8 };
-    let outcome =
-        search::explore(&estimator, &model, global_batch, PipelineSchedule::OneFOneB, &limits, 8);
+    let outcome = Sweep::on(&estimator, &model)
+        .batch(global_batch)
+        .limits(limits)
+        .threads(8)
+        .run()
+        .into_outcome();
     let cost = CostModel::default();
     let (best, proj) =
         search::most_cost_effective(&outcome.points, 50_000_000_000, &cost, 128).unwrap();
@@ -51,7 +55,7 @@ fn dse_finds_plan_no_worse_than_heuristic() {
 /// BOTH the predicted and the ground-truth-measured timelines.
 #[test]
 fn recommended_plan_wins_predicted_and_measured() {
-    let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
+    let estimator = Estimator::builder(ClusterSpec::aws_p4d(64)).build();
     let model = presets::megatron("3.6B");
     let global_batch = 512;
     let noise = NoiseModel::new(NoiseConfig::default());
@@ -75,15 +79,16 @@ fn recommended_plan_wins_predicted_and_measured() {
         &limits,
     );
     let candidates: Vec<_> = candidates.into_iter().filter(|c| c.num_gpus() == 64).collect();
-    let outcome = search::sweep(&estimator, &model, &candidates, 8);
+    let outcome =
+        Sweep::on(&estimator, &model).candidates(candidates).threads(8).run().into_outcome();
     let ours = search::fastest_within_gpu_budget(&outcome.points, 64).unwrap();
 
     let pred_heuristic = estimator.estimate(&model, &heuristic).unwrap().iteration_time;
     let pred_ours = ours.estimate.iteration_time;
     assert!(pred_ours <= pred_heuristic, "prediction must prefer our plan");
 
-    let meas_heuristic = estimator.measure(&model, &heuristic, &noise).unwrap().iteration_time;
-    let meas_ours = estimator.measure(&model, &ours.plan, &noise).unwrap().iteration_time;
+    let meas_heuristic = estimator.measure_with(&model, &heuristic, &noise).unwrap().iteration_time;
+    let meas_ours = estimator.measure_with(&model, &ours.plan, &noise).unwrap().iteration_time;
     assert!(
         meas_ours.as_secs_f64() <= meas_heuristic.as_secs_f64() * 1.02,
         "the win must survive ground-truth measurement: ours {meas_ours} vs heuristic {meas_heuristic}"
@@ -95,7 +100,7 @@ fn recommended_plan_wins_predicted_and_measured() {
 #[test]
 fn scheduler_with_vtrain_profiles_never_worse() {
     let total_gpus = 64;
-    let estimator = Estimator::new(ClusterSpec::aws_p4d(total_gpus));
+    let estimator = Estimator::builder(ClusterSpec::aws_p4d(total_gpus)).build();
     let models = vec![(presets::megatron("1.7B"), 64usize)];
     let limits = SearchLimits { max_tensor: 8, max_data: 8, max_pipeline: 4, max_micro_batch: 4 };
     let catalog = build_catalog(&estimator, &models, &limits, 8);
@@ -141,7 +146,7 @@ fn realistic_chinchilla_point_is_smaller_than_naive() {
     let naive =
         law.optimal_point(ChinchillaLaw::gpu_budget(gpus, days, cluster.gpu.peak_fp16_flops));
 
-    let estimator = Estimator::new(cluster);
+    let estimator = Estimator::builder(cluster).build();
     let candidates = [
         CandidateSpec { hidden: 2048, layers: 24, heads: 16 },
         CandidateSpec { hidden: 3072, layers: 30, heads: 32 },

@@ -1,8 +1,10 @@
 //! Cross-crate integration: the full vTrain flow from model description to
 //! simulated iteration time, exercised through the public facade.
 
+use vtrain::graph::{build_op_graph, GraphOptions};
 use vtrain::prelude::*;
-use vtrain::sim::{simulate, SimMode, TaskGraph};
+use vtrain::profile::{CommModel, Profiler};
+use vtrain::sim::{simulate, TaskGraph};
 
 /// Walks the whole Fig. 4 flow by hand: description → operator graph →
 /// profiling → lookup table → task graph → Algorithm 1.
@@ -33,7 +35,7 @@ fn full_simulation_flow_matches_estimator() {
     let report = simulate(&tg, SimMode::Predicted);
 
     // Estimator front-end must agree exactly.
-    let est = Estimator::new(cluster).estimate(&model, &plan).unwrap();
+    let est = Estimator::builder(cluster).build().estimate(&model, &plan).unwrap();
     assert_eq!(report.iteration_time, est.iteration_time);
 }
 
@@ -45,13 +47,14 @@ fn full_simulation_flow_matches_estimator() {
 fn sweep_is_bit_identical_to_legacy_per_plan_pipeline() {
     let cluster = ClusterSpec::aws_p4d(32);
     let model = presets::megatron("1.7B");
-    let estimator = Estimator::new(cluster.clone());
+    let estimator = Estimator::builder(cluster.clone()).build();
     let limits = SearchLimits { max_tensor: 8, max_data: 4, max_pipeline: 4, max_micro_batch: 2 };
     let candidates =
         search::enumerate_candidates(&model, &cluster, 16, PipelineSchedule::OneFOneB, &limits);
     // Warm-cache sweep, then compare every point against the uncached
     // legacy composition.
-    let outcome = search::sweep(&estimator, &model, &candidates, 4);
+    let outcome =
+        Sweep::on(&estimator, &model).candidates(candidates).threads(4).run().into_outcome();
     assert!(outcome.points.len() >= 8, "grid too small: {}", outcome.points.len());
     assert!(outcome.stats.cache_hits > 0, "sweep must reuse profiles");
     let opts = GraphOptions { gpus_per_node: cluster.gpus_per_node, ..GraphOptions::default() };
@@ -91,7 +94,7 @@ fn mt_nlg_published_plan_is_plausible() {
         .global_batch(1920)
         .build()
         .unwrap();
-    let est = Estimator::new(cluster).estimate(&model, &plan).unwrap();
+    let est = Estimator::builder(cluster).build().estimate(&model, &plan).unwrap();
     let secs = est.iteration_time.as_secs_f64();
     assert!(
         (25.0..65.0).contains(&secs),
@@ -108,7 +111,7 @@ fn mt_nlg_published_plan_is_plausible() {
 /// ordering must be stable across the Megatron family.
 #[test]
 fn iteration_time_monotone_in_model_size() {
-    let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
+    let estimator = Estimator::builder(ClusterSpec::aws_p4d(64)).build();
     let plan = ParallelConfig::builder()
         .tensor(8)
         .data(2)
@@ -132,7 +135,7 @@ fn iteration_time_monotone_in_model_size() {
 /// when there is no data parallelism.
 #[test]
 fn bucketing_interaction_with_data_parallelism() {
-    let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
+    let estimator = Estimator::builder(ClusterSpec::aws_p4d(64)).build();
     let model = presets::megatron("1.7B");
     for d in [1usize, 8] {
         let mk = |bucketing: bool| {
@@ -160,7 +163,7 @@ fn bucketing_interaction_with_data_parallelism() {
 /// percent.
 #[test]
 fn cost_model_consistency_across_scales() {
-    let estimator = Estimator::new(ClusterSpec::aws_p4d(128));
+    let estimator = Estimator::builder(ClusterSpec::aws_p4d(128)).build();
     let model = presets::megatron("3.6B");
     let cost = CostModel::default();
     let project = |d: usize| {

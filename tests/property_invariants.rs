@@ -60,7 +60,7 @@ proptest! {
             .global_batch(d * m * 4)
             .build()
             .unwrap();
-        let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
+        let estimator = Estimator::builder(ClusterSpec::aws_p4d(64)).build();
         let Ok(est) = estimator.estimate(&model, &plan) else { return Ok(()); };
         prop_assert!(est.iteration_time > TimeNs::ZERO);
         prop_assert!(est.utilization > 0.0 && est.utilization <= 1.0);
@@ -76,11 +76,11 @@ proptest! {
     #[test]
     fn measurement_envelope(model in arb_model(), plan in arb_plan(8)) {
         prop_assume!(model.num_layers().is_multiple_of(plan.pipeline()));
-        let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
+        let estimator = Estimator::builder(ClusterSpec::aws_p4d(64)).build();
         let noise = NoiseModel::new(NoiseConfig::default());
         let Ok(pred) = estimator.estimate(&model, &plan) else { return Ok(()); };
-        let meas_a = estimator.measure(&model, &plan, &noise).unwrap();
-        let meas_b = estimator.measure(&model, &plan, &noise).unwrap();
+        let meas_a = estimator.measure_with(&model, &plan, &noise).unwrap();
+        let meas_b = estimator.measure_with(&model, &plan, &noise).unwrap();
         prop_assert_eq!(meas_a.iteration_time, meas_b.iteration_time);
         let ratio = meas_a.iteration_time.as_secs_f64() / pred.iteration_time.as_secs_f64();
         prop_assert!((0.6..2.5).contains(&ratio), "measured/predicted ratio {}", ratio);
@@ -98,7 +98,7 @@ proptest! {
                 .build()
                 .unwrap()
         };
-        let estimator = Estimator::new(ClusterSpec::aws_p4d(64));
+        let estimator = Estimator::builder(ClusterSpec::aws_p4d(64)).build();
         let Ok(small) = estimator.estimate(&model, &mk(d)) else { return Ok(()); };
         let Ok(large) = estimator.estimate(&model, &mk(2 * d)) else { return Ok(()); };
         prop_assert_eq!(large.tokens_per_iteration, 2 * small.tokens_per_iteration);

@@ -1,0 +1,137 @@
+//! The scenario schema and the `vtrain` CLI, exercised end-to-end: serde
+//! round-trips, unknown-field rejection, subcommand golden output, and
+//! error exit codes.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+use vtrain::prelude::*;
+
+const EXAMPLE_PATH: &str = "examples/descriptions/megatron_18b.json";
+const SWEEP_PATH: &str = "examples/descriptions/megatron_1_7b_sweep.json";
+
+fn repo_file(rel: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel).to_str().unwrap().to_owned()
+}
+
+fn vtrain(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vtrain"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("vtrain binary runs")
+}
+
+#[test]
+fn shipped_scenarios_round_trip_through_serde() {
+    for path in [EXAMPLE_PATH, SWEEP_PATH] {
+        let text = std::fs::read_to_string(repo_file(path)).unwrap();
+        let parsed = Scenario::from_json(&text).unwrap();
+        let rewritten = parsed.to_json();
+        let reparsed = Scenario::from_json(&rewritten).unwrap();
+        assert_eq!(parsed, reparsed, "round-trip must be lossless for {path}");
+        parsed.check().unwrap_or_else(|e| panic!("{path} must validate: {e}"));
+    }
+}
+
+#[test]
+fn unknown_fields_are_rejected_at_every_level() {
+    let text = std::fs::read_to_string(repo_file(EXAMPLE_PATH)).unwrap();
+    // Root level.
+    let bad = text.replace("\"tokens\"", "\"tokenz\"");
+    let err = Scenario::from_json(&bad).unwrap_err();
+    assert!(err.to_string().contains("unknown field `tokenz`"), "{err}");
+    // Nested section.
+    let bad = text.replace("\"micro_batch\"", "\"micro_batchh\"");
+    assert!(Scenario::from_json(&bad).is_err());
+    // The untagged model section still names the typo'd key (each
+    // variant's rejection reason is carried into the mismatch error).
+    let bad = text.replace("\"preset\": \"megatron-18.4B\"", "\"presett\": \"megatron-18.4B\"");
+    let err = Scenario::from_json(&bad).unwrap_err();
+    assert!(err.to_string().contains("presett"), "{err}");
+    // Sweep section of the placement scenario.
+    let sweep_text = std::fs::read_to_string(repo_file(SWEEP_PATH)).unwrap();
+    let bad = sweep_text.replace("\"goal\"", "\"gaol\"");
+    assert!(Scenario::from_json(&bad).is_err());
+}
+
+#[test]
+fn predict_output_matches_golden() {
+    let out = vtrain(&["predict", EXAMPLE_PATH]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let golden = std::fs::read_to_string(repo_file("tests/golden/predict_megatron_18b.txt"))
+        .expect("golden file present");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        golden,
+        "`vtrain predict` output drifted from tests/golden/predict_megatron_18b.txt — \
+         if the change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn sweep_subcommand_runs_goal_guided_placements_end_to_end() {
+    let out = vtrain(&["sweep", SWEEP_PATH]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for label in ["two-tier", "multi-rack/4", "thin-spine/2"] {
+        assert!(stdout.contains(label), "placement `{label}` missing from:\n{stdout}");
+    }
+    assert!(stdout.contains("goal Front"), "goal must be honored:\n{stdout}");
+    assert!(stdout.contains("fastest:"), "per-variant winner must be reported");
+}
+
+#[test]
+fn validate_subcommand_accepts_shipped_scenarios() {
+    for path in [EXAMPLE_PATH, SWEEP_PATH] {
+        let out = vtrain(&["validate", path]);
+        assert!(out.status.success(), "{path} stderr: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(String::from_utf8_lossy(&out.stdout).contains("scenario OK"));
+    }
+}
+
+#[test]
+fn cli_error_paths_exit_2_with_context() {
+    // No arguments: usage on stderr, exit 2, and the subcommands listed.
+    let out = vtrain(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let usage = String::from_utf8_lossy(&out.stderr);
+    for cmd in ["predict", "sweep", "validate"] {
+        assert!(usage.contains(cmd), "usage must list `{cmd}`:\n{usage}");
+    }
+
+    // Unknown subcommand.
+    let out = vtrain(&["frobnicate", EXAMPLE_PATH]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Malformed JSON: line/column context, exit 2, no panic.
+    let dir = std::env::temp_dir().join(format!("vtrain-cli-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\n  \"model\": ,\n}").unwrap();
+    let out = vtrain(&["predict", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "position context in: {stderr}");
+
+    // Well-formed JSON with a schema typo: field context, exit 2.
+    let typo = dir.join("typo.json");
+    let text = std::fs::read_to_string(repo_file(EXAMPLE_PATH))
+        .unwrap()
+        .replace("\"tensor\"", "\"tensr\"");
+    std::fs::write(&typo, text).unwrap();
+    let out = vtrain(&["predict", typo.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Unreadable file: runtime failure, exit 1.
+    let out = vtrain(&["predict", "/nonexistent/scenario.json"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn scenario_without_parallelism_cannot_predict_but_can_sweep() {
+    let out = vtrain(&["predict", SWEEP_PATH]);
+    assert_eq!(out.status.code(), Some(2), "sweep-only scenario must not predict");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parallelism"));
+}

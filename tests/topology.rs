@@ -74,8 +74,8 @@ fn golden_two_tier_ring_equals_equation_one() {
 fn golden_topology_estimator_reproduces_flat_sweep() {
     let cluster = ClusterSpec::aws_p4d(128);
     let model = presets::megatron("18.4B");
-    let flat_est = Estimator::new(cluster.clone());
-    let aware = Estimator::with_topology(cluster.clone(), 1.0, cluster.topology(1.0));
+    let flat_est = Estimator::builder(cluster.clone()).build();
+    let aware = Estimator::builder(cluster.clone()).topology(cluster.topology(1.0)).build();
     for (d, p, m) in [(8, 1, 2), (16, 1, 1), (4, 2, 2), (8, 2, 1)] {
         let plan = ParallelConfig::builder()
             .tensor(8)

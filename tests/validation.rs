@@ -17,7 +17,7 @@ fn stats(pairs: &[(f64, f64)]) -> (f64, f64) {
 /// reports MAPE 8.37 %, R² 0.9896; we require the same ballpark.
 #[test]
 fn single_node_validation_band() {
-    let estimator = Estimator::new(ClusterSpec::aws_p4d(8));
+    let estimator = Estimator::builder(ClusterSpec::aws_p4d(8)).build();
     let noise = NoiseModel::new(NoiseConfig::default());
     let mut pairs = Vec::new();
     for model in presets::single_node_family().into_iter().take(9) {
@@ -34,7 +34,7 @@ fn single_node_validation_band() {
                 .build()
                 .unwrap();
             let (Ok(pred), Ok(meas)) =
-                (estimator.estimate(&model, &plan), estimator.measure(&model, &plan, &noise))
+                (estimator.estimate(&model, &plan), estimator.measure_with(&model, &plan, &noise))
             else {
                 continue;
             };
@@ -51,7 +51,7 @@ fn single_node_validation_band() {
 /// paper reports MAPE 14.73 %, R² 0.9887.
 #[test]
 fn multi_node_validation_band() {
-    let estimator = Estimator::new(ClusterSpec::aws_p4d(256));
+    let estimator = Estimator::builder(ClusterSpec::aws_p4d(256)).build();
     let noise = NoiseModel::new(NoiseConfig::default());
     let mut pairs = Vec::new();
     for size in ["3.6B", "7.5B", "18.4B"] {
@@ -80,7 +80,7 @@ fn multi_node_validation_band() {
                 .build()
                 .unwrap();
             let (Ok(pred), Ok(meas)) =
-                (estimator.estimate(&model, &plan), estimator.measure(&model, &plan, &noise))
+                (estimator.estimate(&model, &plan), estimator.measure_with(&model, &plan, &noise))
             else {
                 continue;
             };
@@ -152,8 +152,9 @@ fn alpha_sweep_prefers_high_alpha() {
     let measured: Vec<f64> = configs
         .iter()
         .filter_map(|(m, p)| {
-            Estimator::new(cluster.clone())
-                .measure(m, p, &noise)
+            Estimator::builder(cluster.clone())
+                .build()
+                .measure_with(m, p, &noise)
                 .ok()
                 .map(|e| e.iteration_time.as_secs_f64())
         })
@@ -161,7 +162,7 @@ fn alpha_sweep_prefers_high_alpha() {
     assert!(measured.len() >= 4);
 
     let mape_at = |alpha: f64| {
-        let est = Estimator::with_alpha(cluster.clone(), alpha);
+        let est = Estimator::builder(cluster.clone()).alpha(alpha).build();
         let pairs: Vec<(f64, f64)> = configs
             .iter()
             .zip(&measured)

@@ -49,7 +49,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec`](vec()).
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

@@ -470,13 +470,39 @@ pub mod __private {
         }
     }
 
+    /// `#[serde(deny_unknown_fields)]` support: errors on the first object
+    /// key that is not in `known`.
+    pub fn reject_unknown(v: &Value, known: &[&str], type_label: &str) -> Result<(), Error> {
+        let Value::Object(entries) = v else {
+            return Err(Error::custom(format!(
+                "expected object for `{type_label}`, found {}",
+                v.kind()
+            )));
+        };
+        for (key, _) in entries {
+            if !known.contains(&key.as_str()) {
+                return Err(Error::custom(format!(
+                    "unknown field `{key}` in `{type_label}` (expected one of: {})",
+                    known.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Error for an unrecognized variant tag.
     pub fn unknown_variant(enum_name: &str, tag: &str) -> Error {
         Error::custom(format!("unknown variant `{tag}` of enum `{enum_name}`"))
     }
 
-    /// Error when no untagged variant matched.
-    pub fn untagged_mismatch(enum_name: &str) -> Error {
-        Error::custom(format!("data did not match any variant of untagged enum `{enum_name}`"))
+    /// Error when no untagged variant matched, carrying each variant's
+    /// rejection reason so typos surface instead of a generic mismatch.
+    pub fn untagged_mismatch(enum_name: &str, attempts: &[Error]) -> Error {
+        let base = format!("data did not match any variant of untagged enum `{enum_name}`");
+        if attempts.is_empty() {
+            return Error::custom(base);
+        }
+        let reasons: Vec<String> = attempts.iter().map(Error::to_string).collect();
+        Error::custom(format!("{base} ({})", reasons.join("; ")))
     }
 }

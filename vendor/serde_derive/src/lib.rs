@@ -4,7 +4,8 @@
 //! environment is offline). Supports the shape subset this workspace uses:
 //! non-generic structs (named, tuple, unit) and enums (unit, newtype,
 //! tuple, struct variants), with the `#[serde(default)]` field attribute
-//! and the `#[serde(untagged)]` container attribute.
+//! and the `#[serde(untagged)]` / `#[serde(deny_unknown_fields)]`
+//! container attributes.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -12,6 +13,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct SerdeAttrs {
     default: bool,
     untagged: bool,
+    deny_unknown_fields: bool,
 }
 
 #[derive(Clone, Debug)]
@@ -88,6 +90,7 @@ fn skip_attrs(tokens: &[TokenTree], mut i: usize, attrs: &mut SerdeAttrs) -> usi
                             match flag.to_string().as_str() {
                                 "default" => attrs.default = true,
                                 "untagged" => attrs.untagged = true,
+                                "deny_unknown_fields" => attrs.deny_unknown_fields = true,
                                 other => {
                                     panic!("vendored serde_derive: unsupported #[serde({other})]")
                                 }
@@ -269,8 +272,22 @@ fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String
     s
 }
 
-fn de_named_fields(fields: &[Field], type_path: &str, type_label: &str, source: &str) -> String {
-    let mut s = format!("{type_path} {{ ");
+fn de_named_fields(
+    fields: &[Field],
+    type_path: &str,
+    type_label: &str,
+    source: &str,
+    deny_unknown: bool,
+) -> String {
+    let mut s = String::from("{ ");
+    if deny_unknown {
+        let known: Vec<String> = fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+        s.push_str(&format!(
+            "::serde::__private::reject_unknown({source}, &[{}], \"{type_label}\")?; ",
+            known.join(", ")
+        ));
+    }
+    s.push_str(&format!("{type_path} {{ "));
     for f in fields {
         let helper = if f.attrs.default { "get_field_or_default" } else { "get_field" };
         s.push_str(&format!(
@@ -278,7 +295,7 @@ fn de_named_fields(fields: &[Field], type_path: &str, type_label: &str, source: 
             f.name
         ));
     }
-    s.push('}');
+    s.push_str("} }");
     s
 }
 
@@ -362,7 +379,10 @@ fn gen_deserialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.shape {
         Shape::NamedStruct(fields) => {
-            format!("Ok({})", de_named_fields(fields, name, name, "__v"))
+            format!(
+                "Ok({})",
+                de_named_fields(fields, name, name, "__v", item.attrs.deny_unknown_fields)
+            )
         }
         Shape::TupleStruct(1) => {
             format!("::serde::Deserialize::from_value(__v).map({name})")
@@ -376,7 +396,12 @@ fn gen_deserialize(item: &Item) -> String {
         Shape::UnitStruct => format!("Ok({name})"),
         Shape::Enum(variants) if item.attrs.untagged => {
             // Try each variant in declaration order; first success wins.
-            let mut attempts = String::new();
+            // Failed attempts keep their errors so the final mismatch
+            // can say *why* each variant was rejected (e.g. name the
+            // unknown field instead of a generic "did not match").
+            let mut attempts = String::from(
+                "let mut __errs: ::std::vec::Vec<::serde::Error> = ::std::vec::Vec::new(); ",
+            );
             for v in variants {
                 let vname = &v.name;
                 let attempt = match &v.kind {
@@ -385,8 +410,9 @@ fn gen_deserialize(item: &Item) -> String {
                          {{ return Ok({name}::{vname}); }}"
                     ),
                     VariantKind::Newtype => format!(
-                        "if let Ok(__inner) = ::serde::Deserialize::from_value(__v) \
-                         {{ return Ok({name}::{vname}(__inner)); }}"
+                        "match ::serde::Deserialize::from_value(__v) \
+                         {{ Ok(__inner) => return Ok({name}::{vname}(__inner)), \
+                            Err(__e) => __errs.push(__e) }}"
                     ),
                     VariantKind::Tuple(n) => {
                         let elems: Vec<String> = (0..*n)
@@ -395,9 +421,9 @@ fn gen_deserialize(item: &Item) -> String {
                             })
                             .collect();
                         format!(
-                            "if let Ok(__var) = (|| -> ::std::result::Result<{name}, \
+                            "match (|| -> ::std::result::Result<{name}, \
                              ::serde::Error> {{ Ok({name}::{vname}({})) }})() \
-                             {{ return Ok(__var); }}",
+                             {{ Ok(__var) => return Ok(__var), Err(__e) => __errs.push(__e) }}",
                             elems.join(", ")
                         )
                     }
@@ -407,17 +433,18 @@ fn gen_deserialize(item: &Item) -> String {
                             &format!("{name}::{vname}"),
                             &format!("{name}::{vname}"),
                             "__v",
+                            item.attrs.deny_unknown_fields,
                         );
                         format!(
-                            "if let Ok(__var) = (|| -> ::std::result::Result<{name}, \
+                            "match (|| -> ::std::result::Result<{name}, \
                              ::serde::Error> {{ Ok({build}) }})() \
-                             {{ return Ok(__var); }}"
+                             {{ Ok(__var) => return Ok(__var), Err(__e) => __errs.push(__e) }}"
                         )
                     }
                 };
                 attempts.push_str(&attempt);
             }
-            format!("{attempts} Err(::serde::__private::untagged_mismatch(\"{name}\"))")
+            format!("{attempts} Err(::serde::__private::untagged_mismatch(\"{name}\", &__errs))")
         }
         Shape::Enum(variants) => {
             let mut arms = String::new();
@@ -452,6 +479,7 @@ fn gen_deserialize(item: &Item) -> String {
                             &format!("{name}::{vname}"),
                             &format!("{name}::{vname}"),
                             "__payload",
+                            item.attrs.deny_unknown_fields,
                         );
                         format!("(\"{vname}\", Some(__payload)) => Ok({build}),")
                     }

@@ -159,7 +159,21 @@ fn parse_value_complete(s: &str) -> Result<Value, Error> {
 
 impl<'a> Parser<'a> {
     fn error(&self, msg: &str) -> Error {
-        Error::custom(format!("{msg} at byte {}", self.pos))
+        // 1-based line/column of the error position, so user-facing
+        // tooling can point at the offending spot in the input file.
+        // Columns count characters, not bytes: UTF-8 continuation bytes
+        // (0b10xxxxxx) do not advance the column.
+        let mut line = 1usize;
+        let mut column = 1usize;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else if b & 0xC0 != 0x80 {
+                column += 1;
+            }
+        }
+        Error::custom(format!("{msg} at line {line} column {column}"))
     }
 
     fn skip_ws(&mut self) {
@@ -396,6 +410,16 @@ mod tests {
         assert!(value_from_str("[1,]").is_err());
         assert!(value_from_str("01x").is_err());
         assert!(value_from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn errors_carry_character_accurate_line_and_column() {
+        let err = value_from_str("{\n  \"a\": 1,\n  \"b\": !\n}").unwrap_err();
+        assert!(err.to_string().contains("line 3 column 8"), "{err}");
+        // Columns count characters: the two-byte `é`s must each advance
+        // the column once, not twice.
+        let err = value_from_str("{\"éé\": !}").unwrap_err();
+        assert!(err.to_string().contains("line 1 column 8"), "{err}");
     }
 
     #[test]
