@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use serde::Serialize;
 use vtrain_bench::report;
-use vtrain_core::{simulate_into, Estimator, SimMode, SimReport, SimScratch};
+use vtrain_core::{simulate_into, Estimator, SimMode, SimReport, SimScratch, StageNanos};
 use vtrain_model::presets;
 use vtrain_parallel::{ClusterSpec, ParallelConfig};
 
@@ -28,6 +28,9 @@ struct SimBench {
     /// Median across timed replays (robust to CI noise).
     tasks_per_sec: f64,
     ns_per_task: f64,
+    /// Mean per-estimate stage attribution of the unfused staged
+    /// pipeline on the same workload (validate/lower/simulate/summarize).
+    stage_profile: StageNanos,
 }
 
 fn main() {
@@ -66,12 +69,27 @@ fn main() {
     rates.sort_by(f64::total_cmp);
     let tasks_per_sec = rates[replays / 2];
 
+    // Stage attribution of the end-to-end staged pipeline on the same
+    // workload: where one estimate's time goes, as a per-estimate mean.
+    let staged_reps = 5u64;
+    let mut stages = StageNanos::default();
+    for _ in 0..staged_reps {
+        estimator.estimate_staged(&model, &plan, &mut stages).expect("reference plan feasible");
+    }
+    let stage_profile = StageNanos {
+        validate_ns: stages.validate_ns / staged_reps,
+        lower_ns: stages.lower_ns / staged_reps,
+        simulate_ns: stages.simulate_ns / staged_reps,
+        summarize_ns: stages.summarize_ns / staged_reps,
+    };
+
     let bench = SimBench {
         workload: format!("megatron-18.4B {plan}"),
         tasks: graph.len(),
         replays,
         tasks_per_sec,
         ns_per_task: 1e9 / tasks_per_sec,
+        stage_profile,
     };
     println!(
         "replay: {} tasks, median {:.2} Mtasks/s ({:.1} ns/task) over {} replays",
@@ -79,6 +97,14 @@ fn main() {
         bench.tasks_per_sec / 1e6,
         bench.ns_per_task,
         bench.replays
+    );
+    println!(
+        "staged estimate (mean of {staged_reps}): validate {:.2}ms | lower {:.2}ms | simulate \
+         {:.2}ms | summarize {:.3}ms",
+        stage_profile.validate_ns as f64 / 1e6,
+        stage_profile.lower_ns as f64 / 1e6,
+        stage_profile.simulate_ns as f64 / 1e6,
+        stage_profile.summarize_ns as f64 / 1e6
     );
     assert_eq!(sim_report.tasks_executed, graph.len(), "replay must execute the whole graph");
     report::dump_json("BENCH_sim", &bench);

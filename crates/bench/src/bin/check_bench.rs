@@ -14,7 +14,11 @@
 //!   below the baseline — a regression in the simulate stage alone;
 //! * any collective cost drifting more than `collective_tolerance_rel`
 //!   (1 ppm) from the baseline — these are deterministic model outputs,
-//!   so any drift is an unintended semantic change (golden gate).
+//!   so any drift is an unintended semantic change (golden gate);
+//! * the sweep record's warm-cache obs-on re-run more than
+//!   `max_obs_on_regression_pct` (5 %) slower than its obs-off twin —
+//!   observability must stay near-free when enabled and exactly free
+//!   when disabled (records without the A/B fields skip this gate).
 //!
 //! Run the three producers first (`fig10_design_space --smoke`,
 //! `bench_sim`, `bench_collectives`). Pass `--write-baseline` to
@@ -94,22 +98,24 @@ fn collective_rows(bench: &Value) -> Vec<(String, u64)> {
 fn write_baseline(grid: &str, pps: f64, sim_tps: f64, rows: &[(String, u64)]) {
     // Carry tuned thresholds forward from the committed baseline; fall
     // back to the defaults only when no baseline exists yet.
-    let (max_reg, max_sim_reg, tol) = match fs::read_to_string(baseline_path()) {
+    let (max_reg, max_sim_reg, max_obs_reg, tol) = match fs::read_to_string(baseline_path()) {
         Ok(text) => {
             let old = serde_json::value_from_str(&text).expect("existing baseline parses");
             (
                 old.get("max_throughput_regression_pct").and_then(Value::as_f64).unwrap_or(25.0),
                 old.get("max_sim_regression_pct").and_then(Value::as_f64).unwrap_or(30.0),
+                old.get("max_obs_on_regression_pct").and_then(Value::as_f64).unwrap_or(5.0),
                 old.get("collective_tolerance_rel").and_then(Value::as_f64).unwrap_or(1e-6),
             )
         }
-        Err(_) => (25.0, 30.0, 1e-6),
+        Err(_) => (25.0, 30.0, 5.0, 1e-6),
     };
     // Hand-rolled JSON keeps the committed baseline diff-stable
     // (one collective per line, fixed field order).
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"max_throughput_regression_pct\": {max_reg},\n"));
     out.push_str(&format!("  \"max_sim_regression_pct\": {max_sim_reg},\n"));
+    out.push_str(&format!("  \"max_obs_on_regression_pct\": {max_obs_reg},\n"));
     out.push_str(&format!("  \"collective_tolerance_rel\": {tol:e},\n"));
     out.push_str(&format!("  \"sweep_grid\": \"{grid}\",\n"));
     out.push_str(&format!("  \"sweep_points_per_sec\": {pps:.1},\n"));
@@ -214,6 +220,35 @@ fn main() -> ExitCode {
                     sim_floor / 1e6,
                     (1.0 - sim_tps / base_sim) * 100.0,
                     base_sim / 1e6
+                ));
+            }
+        }
+    }
+
+    // Instrumentation-overhead gate: the warm-cache obs-on re-run must
+    // stay within `max_obs_on_regression_pct` of its obs-off twin. Both
+    // fields come from the same BENCH_sweep.json record, so the pair is
+    // always apples-to-apples; `--full` runs (and pre-obs producers)
+    // omit them and skip the gate.
+    let obs_pair = sweep
+        .get("points_per_sec_obs_off")
+        .and_then(Value::as_f64)
+        .zip(sweep.get("points_per_sec_obs_on").and_then(Value::as_f64));
+    match obs_pair {
+        None => println!("instrumentation overhead: not recorded in BENCH_sweep.json — not gated"),
+        Some((obs_off, obs_on)) => {
+            let max_obs_reg =
+                baseline.get("max_obs_on_regression_pct").and_then(Value::as_f64).unwrap_or(5.0);
+            let obs_floor = obs_off * (1.0 - max_obs_reg / 100.0);
+            println!(
+                "instrumentation overhead: {obs_on:.1} points/s with obs on vs {obs_off:.1} off \
+                 (floor {obs_floor:.1} at -{max_obs_reg:.0}%)"
+            );
+            if obs_on < obs_floor {
+                failures.push(format!(
+                    "instrumentation overhead too high: {obs_on:.1} points/s with obs on < floor \
+                     {obs_floor:.1} ({:.1}% below the {obs_off:.1} points/s obs-off twin)",
+                    (1.0 - obs_on / obs_off) * 100.0
                 ));
             }
         }

@@ -26,7 +26,7 @@
 
 use serde::Serialize;
 use vtrain_bench::{full_mode, mtnlg_workload, report, sweep_goal, threads};
-use vtrain_core::search::{self, SearchLimits, SweepGoal, SweepStats};
+use vtrain_core::search::{self, SearchLimits, StageProfile, SweepGoal, SweepStats};
 use vtrain_core::Estimator;
 use vtrain_model::TimeNs;
 use vtrain_net::TierSpec;
@@ -51,6 +51,15 @@ struct SweepBench {
     stats: SweepStats,
     points_per_sec: f64,
     cache_hit_rate: f64,
+    /// Warm-cache re-run with observability disabled — the baseline of
+    /// the instrumentation-overhead A/B (absent under `--full`).
+    points_per_sec_obs_off: Option<f64>,
+    /// The same warm-cache re-run with the metrics registry and spans
+    /// enabled; `check_bench` gates `obs_on / obs_off` at 5%.
+    points_per_sec_obs_on: Option<f64>,
+    /// Per-stage CPU-time attribution of a stage-profiled re-run
+    /// (absent under `--full`).
+    stage_profile: Option<StageProfile>,
 }
 
 fn smoke_mode() -> bool {
@@ -218,9 +227,53 @@ fn main() {
         println!("(the paper's (16,16,105) analogue is fast but wasteful: ~17% utilization)");
     }
     if topology_mode() {
-        sweep_placements(&cluster, &model, candidates, goal);
+        sweep_placements(&cluster, &model, candidates.clone(), goal);
     }
     report::dump_json("fig10_design_space", &rows);
+
+    // Instrumentation-overhead A/B plus stage attribution, all on the
+    // now-warm cache so the three re-runs are apples-to-apples. Skipped
+    // under `--full` (three extra full-grid sweeps).
+    let (obs_off, obs_on, stage_profile) = if full_mode() {
+        (None, None, None)
+    } else {
+        let rerun = |obs: bool, profile: bool| {
+            vtrain_obs::set_enabled(obs);
+            let outcome = search::Sweep::on(&estimator, &model)
+                .candidates(std::sync::Arc::clone(&candidates))
+                .threads(threads())
+                .goal(goal)
+                .stage_profile(profile)
+                .run()
+                .into_outcome();
+            vtrain_obs::set_enabled(false);
+            outcome
+        };
+        let off = rerun(false, false).stats.points_per_sec();
+        let on = rerun(true, false).stats.points_per_sec();
+        let profiled = rerun(false, true);
+        println!(
+            "\ninstrumentation A/B (warm cache): {off:.1} points/s off, {on:.1} points/s on \
+             ({:+.1}%)",
+            (on / off - 1.0) * 100.0
+        );
+        report::dump_raw("metrics", &vtrain_obs::global().to_json());
+        (Some(off), Some(on), profiled.stage_profile)
+    };
+    if let Some(profile) = &stage_profile {
+        println!(
+            "stage attribution: validate {:.1}ms | bound {:.1}ms | lower {:.1}ms | simulate \
+             {:.1}ms | summarize {:.1}ms ({:.1}% of {} threads x {:.2}s)",
+            profile.stages.validate_ns as f64 / 1e6,
+            profile.bound_ns as f64 / 1e6,
+            profile.stages.lower_ns as f64 / 1e6,
+            profile.stages.simulate_ns as f64 / 1e6,
+            profile.stages.summarize_ns as f64 / 1e6,
+            profile.attributed_fraction() * 100.0,
+            profile.threads,
+            profile.wall_ns as f64 / 1e9
+        );
+    }
     report::dump_json(
         "BENCH_sweep",
         &SweepBench {
@@ -229,6 +282,9 @@ fn main() {
             stats,
             points_per_sec: stats.points_per_sec(),
             cache_hit_rate: stats.cache_hit_rate(),
+            points_per_sec_obs_off: obs_off,
+            points_per_sec_obs_on: obs_on,
+            stage_profile,
         },
     );
 }

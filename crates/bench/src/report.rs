@@ -23,6 +23,14 @@ pub fn dump_json<T: Serialize>(name: &str, value: &T) {
     eprintln!("[results] wrote {}", path.display());
 }
 
+/// Writes pre-serialized JSON to `results/<name>.json` (for producers
+/// that already emit JSON text, e.g. the metrics-registry snapshot).
+pub fn dump_raw(name: &str, json: &str) {
+    let path = results_dir().join(format!("{name}.json"));
+    fs::write(&path, json).expect("results file must be writable");
+    eprintln!("[results] wrote {}", path.display());
+}
+
 /// Prints a banner for an experiment section.
 pub fn banner(title: &str) {
     println!("\n=== {title} ===");

@@ -359,12 +359,26 @@ pub fn simulate_cluster(
         state.outcomes[a.idx].violated = true;
     }
 
-    SimOutcome {
+    let outcome = SimOutcome {
         outcomes: state.outcomes,
         makespan: TimeNs::from_secs_f64(state.makespan),
         events_processed: state.effective_events,
         cross_rack_rounds: state.cross_rack_rounds,
+    };
+    if vtrain_obs::enabled() {
+        let reg = vtrain_obs::global();
+        reg.counter("cluster.traces").inc();
+        reg.counter("cluster.jobs").add(jobs.len() as u64);
+        reg.counter("cluster.events_processed").add(outcome.events_processed);
+        reg.counter("cluster.cross_rack_rounds").add(outcome.cross_rack_rounds);
+        let jct = reg.histogram("cluster.jct_ms");
+        for (o, j) in outcome.outcomes.iter().zip(jobs) {
+            if let Some(t) = o.jct(j) {
+                jct.record(t.as_nanos() / 1_000_000);
+            }
+        }
     }
+    outcome
 }
 
 /// Elastic reallocation at an event boundary: returns every granted GPU to

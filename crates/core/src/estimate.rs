@@ -21,18 +21,23 @@
 
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use vtrain_gpu::NoiseModel;
-use vtrain_graph::{plan_signatures, CompKind, GraphOptions, OpSignature};
+use vtrain_graph::{
+    build_op_graph, plan_signatures, CommKind, CommOp, CompKind, GraphOptions, Op, OpSignature,
+    StreamKind,
+};
 use vtrain_model::{ModelConfig, TimeNs};
 use vtrain_net::Topology;
+use vtrain_obs::{TimelineRecorder, TraceSpan};
 use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule, PlanError};
 use vtrain_profile::{CacheStats, CommModel, GpuKey, ProfileCache, Profiler};
 
 use crate::compact::{simulate_plan_compact, CompactScratch, ProfileSource};
-use crate::sim::{simulate, BusyBreakdown, SimMode, SimReport};
-use crate::task_graph::TaskGraph;
+use crate::sim::{simulate, simulate_into_traced, BusyBreakdown, SimMode, SimReport, SimScratch};
+use crate::task_graph::{TaskGraph, TaskKind};
 
 /// Error produced by [`Estimator::estimate`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,6 +84,50 @@ pub struct IterationEstimate {
     pub num_gpus: usize,
     /// Tokens consumed per iteration.
     pub tokens_per_iteration: u64,
+}
+
+/// Wall-clock nanoseconds attributed to each pipeline stage across one
+/// or more estimates — the unit [`Estimator::estimate_staged`] fills and
+/// the sweep's `--stage-profile` mode aggregates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageNanos {
+    /// Stage 1 — feasibility/memory validation.
+    pub validate_ns: u64,
+    /// Stage 2 — signature resolution + graph construction + lowering.
+    pub lower_ns: u64,
+    /// Stage 3 — the Algorithm 1 replay.
+    pub simulate_ns: u64,
+    /// Stage 4 — folding the report into the estimate.
+    pub summarize_ns: u64,
+}
+
+impl StageNanos {
+    /// Total attributed time across all four stages.
+    pub fn total_ns(&self) -> u64 {
+        self.validate_ns + self.lower_ns + self.simulate_ns + self.summarize_ns
+    }
+
+    /// Accumulates another attribution into this one.
+    pub fn merge(&mut self, other: &StageNanos) {
+        self.validate_ns += other.validate_ns;
+        self.lower_ns += other.lower_ns;
+        self.simulate_ns += other.simulate_ns;
+        self.summarize_ns += other.summarize_ns;
+    }
+}
+
+/// A fully-labeled per-stream execution timeline of one predicted
+/// iteration — [`Estimator::timeline`]'s result.
+#[derive(Debug)]
+pub struct IterationTimeline {
+    /// The recorded timeline: one track per simulated device (each
+    /// pipeline stage's representative GPU), streams 0/1 = compute/comm,
+    /// spans labeled with operator kinds and per-tier communication
+    /// costs. Export with [`TimelineRecorder::to_chrome_trace`].
+    pub recorder: TimelineRecorder,
+    /// The replay report the timeline was captured from (bit-identical
+    /// to the untraced replay).
+    pub report: SimReport,
 }
 
 /// The vTrain estimation front-end: a staged `validate → lower →
@@ -276,51 +325,6 @@ impl Estimator {
     /// communication model, and the paper's default measurement noise.
     pub fn builder(cluster: ClusterSpec) -> EstimatorBuilder {
         EstimatorBuilder { cluster, alpha: None, cache: None, topology: None, noise: None }
-    }
-
-    /// Creates an estimator with all defaults.
-    #[deprecated(since = "0.6.0", note = "use `Estimator::builder(cluster).build()`")]
-    pub fn new(cluster: ClusterSpec) -> Self {
-        Estimator::builder(cluster).build()
-    }
-
-    /// Creates an estimator with an explicit bandwidth-effectiveness
-    /// factor and a fresh profile cache.
-    #[deprecated(since = "0.6.0", note = "use `Estimator::builder(cluster).alpha(..).build()`")]
-    pub fn with_alpha(cluster: ClusterSpec, alpha: f64) -> Self {
-        Estimator::builder(cluster).alpha(alpha).build()
-    }
-
-    /// Creates an estimator sharing an existing profile cache.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `Estimator::builder(cluster).alpha(..).cache(..).build()`"
-    )]
-    pub fn with_cache(cluster: ClusterSpec, alpha: f64, cache: Arc<ProfileCache>) -> Self {
-        Estimator::builder(cluster).alpha(alpha).cache(cache).build()
-    }
-
-    /// Creates a topology-aware estimator.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `Estimator::builder(cluster).alpha(..).topology(..).build()`"
-    )]
-    pub fn with_topology(cluster: ClusterSpec, alpha: f64, topology: Topology) -> Self {
-        Estimator::builder(cluster).alpha(alpha).topology(topology).build()
-    }
-
-    /// Creates a topology-aware estimator over a shared profile cache.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `Estimator::builder(cluster).alpha(..).topology(..).cache(..).build()`"
-    )]
-    pub fn with_topology_and_cache(
-        cluster: ClusterSpec,
-        alpha: f64,
-        topology: Topology,
-        cache: Arc<ProfileCache>,
-    ) -> Self {
-        Estimator::builder(cluster).alpha(alpha).topology(topology).cache(cache).build()
     }
 
     /// The bandwidth-effectiveness factor this estimator was built with.
@@ -552,6 +556,172 @@ impl Estimator {
         report.iteration_time = report.iteration_time.scale(noise.iteration_bias(key, nodes));
         Ok(self.summarize(model, plan, &report))
     }
+
+    /// [`Estimator::estimate`] with wall-clock stage attribution: each of
+    /// the four pipeline stages is timed individually and accumulated
+    /// into `stages`. The estimate itself is bit-identical to
+    /// [`Estimator::estimate`] — only the composition is unrolled.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::estimate`].
+    pub fn estimate_staged(
+        &self,
+        model: &ModelConfig,
+        plan: &ParallelConfig,
+        stages: &mut StageNanos,
+    ) -> Result<IterationEstimate, EstimateError> {
+        let t0 = Instant::now();
+        self.validate(model, plan)?;
+        stages.validate_ns += t0.elapsed().as_nanos() as u64;
+        Ok(self.estimate_validated_staged(model, plan, stages))
+    }
+
+    /// The staged estimate for pre-validated plans (the sweep's
+    /// `--stage-profile` path): `lower`, `simulate`, and `summarize` are
+    /// timed individually. Runs the unfused staged pipeline, whose result
+    /// is bit-identical to the compact hot path (pinned by the compact
+    /// equivalence tests) — stage profiling trades speed for attribution.
+    pub(crate) fn estimate_validated_staged(
+        &self,
+        model: &ModelConfig,
+        plan: &ParallelConfig,
+        stages: &mut StageNanos,
+    ) -> IterationEstimate {
+        let t0 = Instant::now();
+        let tg = self.lower(model, plan);
+        let t1 = Instant::now();
+        let report = self.simulate(&tg, SimMode::Predicted);
+        let t2 = Instant::now();
+        let estimate = self.summarize(model, plan, &report);
+        drop(report);
+        let t3 = Instant::now();
+        drop(tg);
+        let t4 = Instant::now();
+        // Teardown is attributed to the stage that allocated: the task
+        // graph to `lower`, the report to `summarize` — otherwise per-
+        // point deallocation (µs-scale) leaks out of the attribution.
+        stages.lower_ns += ((t1 - t0) + (t4 - t3)).as_nanos() as u64;
+        stages.simulate_ns += (t2 - t1).as_nanos() as u64;
+        stages.summarize_ns += (t3 - t2).as_nanos() as u64;
+        estimate
+    }
+
+    /// Captures a fully-labeled per-stream execution timeline of one
+    /// predicted iteration: the traced Algorithm 1 replay joined back to
+    /// the operator graph for names, with per-tier communication costs
+    /// from the estimator's [`CommModel`] attached as span args.
+    ///
+    /// The returned recorder has one track per simulated device (each
+    /// pipeline stage's representative GPU) with `compute`/`comm` stream
+    /// lanes; the report is bit-identical to [`Estimator::estimate`]'s
+    /// underlying replay, and the latest span end equals
+    /// `report.iteration_time` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::estimate`].
+    pub fn timeline(
+        &self,
+        model: &ModelConfig,
+        plan: &ParallelConfig,
+    ) -> Result<IterationTimeline, EstimateError> {
+        self.validate(model, plan)?;
+        // Materialize the operator graph once, purely for labels: the
+        // fused lowering emits exactly one task per node in node order
+        // (pinned by the lowering equivalence tests), so task id == node
+        // index and the join is an array lookup.
+        let graph = build_op_graph(model, plan, &self.graph_opts);
+        let tg = self.lower(model, plan);
+        assert_eq!(tg.len(), graph.num_nodes(), "lowering preserves node count and order");
+
+        let mut recorder = TimelineRecorder::new();
+        for dev in 0..u64::from(tg.num_devices()) {
+            recorder.set_track_name(dev, format!("stage {dev} rank group"));
+            recorder.set_stream_name(dev, 0, "compute");
+            recorder.set_stream_name(dev, 1, "comm");
+        }
+
+        let nodes = graph.nodes();
+        let tasks = tg.tasks();
+        let mut report = SimReport::default();
+        let mut record = |id: u32, start: TimeNs, finish: TimeNs| {
+            let node = &nodes[id as usize];
+            let tid = match node.stream {
+                StreamKind::Compute => 0,
+                StreamKind::Comm => 1,
+            };
+            let (name, cat, args) = match &node.op {
+                Op::Compute(c) => {
+                    let kernels = match tasks[id as usize].kind {
+                        TaskKind::Compute { kernels } => u64::from(kernels),
+                        TaskKind::Comm { .. } => 0,
+                    };
+                    let (name, cat) = compute_label(c.sig.kind);
+                    (name, cat, vec![("kernels".to_owned(), kernels)])
+                }
+                Op::Comm(c) => comm_label(c, &self.comm),
+            };
+            recorder.record(TraceSpan {
+                pid: u64::from(node.device),
+                tid,
+                name: name.to_owned(),
+                cat: cat.to_owned(),
+                start_ns: start.as_nanos(),
+                dur_ns: (finish - start).as_nanos(),
+                args,
+            });
+        };
+        simulate_into_traced(
+            &tg,
+            SimMode::Predicted,
+            &mut SimScratch::default(),
+            &mut report,
+            &mut record,
+        );
+        Ok(IterationTimeline { recorder, report })
+    }
+}
+
+/// `(name, category)` of a compute span.
+fn compute_label(kind: CompKind) -> (&'static str, &'static str) {
+    match kind {
+        CompKind::EmbeddingFwd => ("EmbeddingFwd", "Fwd"),
+        CompKind::MhaFwd => ("MhaFwd", "Fwd"),
+        CompKind::FfnFwd => ("FfnFwd", "Fwd"),
+        CompKind::LmHeadFwd => ("LmHeadFwd", "Fwd"),
+        CompKind::EmbeddingBwd => ("EmbeddingBwd", "Bwd"),
+        CompKind::MhaBwd => ("MhaBwd", "Bwd"),
+        CompKind::FfnBwd => ("FfnBwd", "Bwd"),
+        CompKind::LmHeadBwd => ("LmHeadBwd", "Bwd"),
+        CompKind::WeightUpdate => ("WeightUpdate", "WeightUpdate"),
+    }
+}
+
+/// `(name, category, args)` of a communication span: payload geometry
+/// plus the comm model's per-tier cost attribution ([`CostBreakdown`]
+/// phases summed by tier).
+fn comm_label(op: &CommOp, comm: &CommModel) -> (&'static str, &'static str, Vec<(String, u64)>) {
+    let name = match op.kind {
+        CommKind::TpAllReduce => "TpAllReduce",
+        CommKind::DpAllReduce => "DpAllReduce",
+        CommKind::PpSendRecv => "PpSendRecv",
+    };
+    let mut args =
+        vec![("bytes".to_owned(), op.bytes.as_u64()), ("ranks".to_owned(), op.ranks as u64)];
+    let breakdown = comm.breakdown(op);
+    let mut tiers: Vec<(usize, u64)> = Vec::new();
+    for phase in &breakdown.phases {
+        match tiers.iter_mut().find(|(t, _)| *t == phase.tier) {
+            Some((_, ns)) => *ns += phase.time.as_nanos(),
+            None => tiers.push((phase.tier, phase.time.as_nanos())),
+        }
+    }
+    tiers.sort_by_key(|&(t, _)| t);
+    for (tier, ns) in tiers {
+        args.push((format!("tier{tier}_ns"), ns));
+    }
+    (name, "Comm", args)
 }
 
 /// FNV-1a accumulator for the measured-mode configuration key.

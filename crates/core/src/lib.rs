@@ -56,6 +56,10 @@ mod task_graph;
 pub use cost::{CostModel, TrainingProjection};
 pub use estimate::{
     EstimateError, Estimator, EstimatorBuilder, EstimatorScratch, IterationEstimate,
+    IterationTimeline, StageNanos,
 };
-pub use sim::{simulate, simulate_into, BusyBreakdown, SimMode, SimReport, SimScratch};
+pub use sim::{
+    simulate, simulate_into, simulate_into_traced, BusyBreakdown, SimMode, SimReport, SimScratch,
+    TaskTrace,
+};
 pub use task_graph::{MissingProfile, Task, TaskGraph, TaskKind};

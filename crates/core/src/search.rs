@@ -20,7 +20,7 @@ use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule};
 use vtrain_profile::ProfileCache;
 
 use crate::cost::{CostModel, TrainingProjection};
-use crate::estimate::{Estimator, EstimatorScratch, IterationEstimate};
+use crate::estimate::{Estimator, EstimatorScratch, IterationEstimate, StageNanos};
 
 /// Bounds of the exhaustive sweep (paper §V-A sweeps `t ≤ 16`, `d ≤ 32`,
 /// `p ≤ 105`).
@@ -138,6 +138,47 @@ impl SweepStats {
     }
 }
 
+/// Wall-clock attribution of one sweep across the estimation pipeline's
+/// stages, captured when [`Sweep::stage_profile`] is enabled.
+///
+/// Stage times are summed over all workers, so on a multi-threaded sweep
+/// `stages.total_ns()` approaches `wall_ns × threads` (CPU time, not
+/// elapsed time); [`StageProfile::attributed_fraction`] normalizes by
+/// the thread count.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Per-stage time (validate / lower / simulate / summarize), summed
+    /// over workers.
+    pub stages: StageNanos,
+    /// Time spent computing analytic lower bounds (only nonzero under
+    /// `Front`/`Best` goals), summed over workers.
+    pub bound_ns: u64,
+    /// Elapsed wall-clock time of the whole sweep.
+    pub wall_ns: u64,
+    /// Worker threads the attribution is summed over.
+    pub threads: usize,
+}
+
+impl StageProfile {
+    /// Total time attributed to a named stage (the four pipeline stages
+    /// plus bound pricing).
+    pub fn attributed_ns(&self) -> u64 {
+        self.stages.total_ns() + self.bound_ns
+    }
+
+    /// Fraction of the sweep's total CPU budget
+    /// (`wall_ns × threads`) attributed to named stages — the remainder
+    /// is scheduling, stealing, and merge overhead.
+    pub fn attributed_fraction(&self) -> f64 {
+        let budget = self.wall_ns.saturating_mul(self.threads.max(1) as u64);
+        if budget == 0 {
+            0.0
+        } else {
+            self.attributed_ns() as f64 / budget as f64
+        }
+    }
+}
+
 /// The result of a sweep: feasible design points in candidate order plus
 /// the execution report.
 #[derive(Clone, Debug, Default)]
@@ -147,6 +188,9 @@ pub struct SweepOutcome {
     pub points: Vec<DesignPoint>,
     /// Execution report.
     pub stats: SweepStats,
+    /// Per-stage wall-clock attribution; `Some` iff the sweep ran with
+    /// [`Sweep::stage_profile`] enabled.
+    pub stage_profile: Option<StageProfile>,
 }
 
 /// Enumerates the candidate plans of an exhaustive `(t, d, p, m)` sweep.
@@ -280,8 +324,10 @@ fn run_sweep(
     candidates: &[ParallelConfig],
     threads: usize,
     goal: SweepGoal,
+    profile: bool,
 ) -> SweepOutcome {
     let started = Instant::now();
+    let _sweep_span = vtrain_obs::span!("sweep.run", candidates = candidates.len() as u64);
     let threads = threads.max(1).min(candidates.len().max(1));
     let pruned = AtomicUsize::new(0);
     let bound_pruned = AtomicUsize::new(0);
@@ -309,60 +355,87 @@ fn run_sweep(
         .map(|w| (AtomicUsize::new(w * chunk), ((w + 1) * chunk).min(candidates.len())))
         .collect();
 
-    type WorkerYield = (Vec<(u32, DesignPoint)>, vtrain_profile::CacheStats);
-    let results: Vec<WorkerYield> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let ranges = &ranges;
-                let pruned = &pruned;
-                let bound_pruned = &bound_pruned;
-                let watermarks = watermarks.as_ref();
-                scope.spawn(move |_| {
-                    let mut buf: Vec<(u32, DesignPoint)> = Vec::new();
-                    let mut scratch = EstimatorScratch::default();
-                    for victim in 0..threads {
-                        let (cursor, end) = &ranges[(w + victim) % threads];
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= *end {
-                                break;
-                            }
-                            let i = order.map_or(i, |o| o[i] as usize);
-                            let plan = candidates[i];
-                            if estimator.validate(model, &plan).is_err() {
-                                pruned.fetch_add(1, Ordering::Relaxed);
-                                continue;
-                            }
-                            if let Some(marks) = watermarks {
-                                let floor = estimator.lower_bound(model, &plan);
-                                if marks.dominates(plan.num_gpus(), floor) {
-                                    bound_pruned.fetch_add(1, Ordering::Relaxed);
-                                    continue;
-                                }
-                            }
-                            let estimate =
-                                estimator.estimate_validated_with(model, &plan, &mut scratch);
-                            if let Some(marks) = watermarks {
-                                marks.record(plan.num_gpus(), estimate.iteration_time);
-                            }
-                            buf.push((i as u32, DesignPoint { plan, estimate }));
-                        }
+    type WorkerYield = (Vec<(u32, DesignPoint)>, vtrain_profile::CacheStats, StageNanos, u64);
+    let run_worker = |w: usize| -> WorkerYield {
+        let mut buf: Vec<(u32, DesignPoint)> = Vec::new();
+        let mut scratch = EstimatorScratch::default();
+        let mut stages = StageNanos::default();
+        let mut bound_ns = 0u64;
+        for victim in 0..threads {
+            let (cursor, end) = &ranges[(w + victim) % threads];
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= *end {
+                    break;
+                }
+                let i = order.map_or(i, |o| o[i] as usize);
+                let plan = candidates[i];
+                let t0 = profile.then(Instant::now);
+                let feasible = estimator.validate(model, &plan).is_ok();
+                if let Some(t0) = t0 {
+                    stages.validate_ns += t0.elapsed().as_nanos() as u64;
+                }
+                if !feasible {
+                    pruned.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if let Some(marks) = watermarks.as_ref() {
+                    let t0 = profile.then(Instant::now);
+                    let floor = estimator.lower_bound(model, &plan);
+                    if let Some(t0) = t0 {
+                        bound_ns += t0.elapsed().as_nanos() as u64;
                     }
-                    (buf, scratch.cache_stats())
+                    if marks.dominates(plan.num_gpus(), floor) {
+                        bound_pruned.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+                // The staged path runs the unfused pipeline —
+                // bit-identical results (pinned by the compact
+                // equivalence tests), modestly slower, in exchange for
+                // per-stage attribution.
+                let estimate = if profile {
+                    estimator.estimate_validated_staged(model, &plan, &mut stages)
+                } else {
+                    estimator.estimate_validated_with(model, &plan, &mut scratch)
+                };
+                if let Some(marks) = watermarks.as_ref() {
+                    marks.record(plan.num_gpus(), estimate.iteration_time);
+                }
+                buf.push((i as u32, DesignPoint { plan, estimate }));
+            }
+        }
+        (buf, scratch.cache_stats(), stages, bound_ns)
+    };
+    // One worker needs no pool: run inline, skipping thread spawn/join
+    // (this also keeps single-threaded stage profiles nearly 100%
+    // attributable to the pipeline stages).
+    let results: Vec<WorkerYield> = if threads == 1 {
+        vec![run_worker(0)]
+    } else {
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let run_worker = &run_worker;
+                    scope.spawn(move |_| run_worker(w))
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
-    })
-    .expect("sweep scope");
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+        })
+        .expect("sweep scope")
+    };
 
     let mut indexed: Vec<(u32, DesignPoint)> = Vec::new();
     let mut cache_hits = 0u64;
     let mut cache_misses = 0u64;
-    for (buf, cache) in results {
+    let mut stages = StageNanos::default();
+    let mut bound_ns = 0u64;
+    for (buf, cache, worker_stages, worker_bound) in results {
         indexed.extend(buf);
         cache_hits += cache.hits;
         cache_misses += cache.misses;
+        stages.merge(&worker_stages);
+        bound_ns += worker_bound;
     }
     indexed.sort_unstable_by_key(|(i, _)| *i);
     let mut points: Vec<DesignPoint> = indexed.into_iter().map(|(_, p)| p).collect();
@@ -411,30 +484,24 @@ fn run_sweep(
         threads,
         wall_s: started.elapsed().as_secs_f64(),
     };
-    SweepOutcome { points, stats }
-}
-
-/// Evaluates explicit candidates under a goal.
-#[deprecated(since = "0.6.0", note = "use `Sweep::on(estimator, model).candidates(..).goal(..)`")]
-pub fn sweep_with_goal(
-    estimator: &Estimator,
-    model: &ModelConfig,
-    candidates: &[ParallelConfig],
-    threads: usize,
-    goal: SweepGoal,
-) -> SweepOutcome {
-    run_sweep(estimator, model, candidates, threads, goal)
-}
-
-/// Evaluates explicit candidates exhaustively.
-#[deprecated(since = "0.6.0", note = "use `Sweep::on(estimator, model).candidates(..)`")]
-pub fn sweep(
-    estimator: &Estimator,
-    model: &ModelConfig,
-    candidates: &[ParallelConfig],
-    threads: usize,
-) -> SweepOutcome {
-    run_sweep(estimator, model, candidates, threads, SweepGoal::Exhaustive)
+    if vtrain_obs::enabled() {
+        let reg = vtrain_obs::global();
+        reg.counter("sweep.runs").inc();
+        reg.counter("sweep.candidates").add(stats.candidates as u64);
+        reg.counter("sweep.evaluated").add(stats.evaluated as u64);
+        reg.counter("sweep.pruned").add(stats.pruned as u64);
+        reg.counter("sweep.bound_pruned").add(stats.bound_pruned as u64);
+        reg.counter("sweep.cache_hits").add(stats.cache_hits);
+        reg.counter("sweep.cache_misses").add(stats.cache_misses);
+        reg.histogram("sweep.wall_ms").record((stats.wall_s * 1e3) as u64);
+    }
+    let stage_profile = profile.then_some(StageProfile {
+        stages,
+        bound_ns,
+        wall_ns: (stats.wall_s * 1e9) as u64,
+        threads,
+    });
+    SweepOutcome { points, stats, stage_profile }
 }
 
 /// One topology variant's outcome in a placement sweep.
@@ -462,6 +529,7 @@ fn run_placements(
     candidates: &[ParallelConfig],
     threads: usize,
     goal: SweepGoal,
+    profile: bool,
 ) -> Vec<PlacementSweep> {
     topologies
         .iter()
@@ -474,69 +542,17 @@ fn run_placements(
             let estimator = builder.build();
             PlacementSweep {
                 label: label.clone(),
-                outcome: run_sweep(&estimator, model, candidates, threads, goal),
+                outcome: run_sweep(&estimator, model, candidates, threads, goal, profile),
             }
         })
         .collect()
 }
 
-/// Sweeps explicit candidates over several interconnect topologies.
-#[deprecated(since = "0.6.0", note = "use `Sweep::over(model, cluster).placements(..)`")]
-pub fn sweep_topologies(
-    cluster: &ClusterSpec,
-    alpha: f64,
-    topologies: &[(String, Topology)],
-    model: &ModelConfig,
-    candidates: &[ParallelConfig],
-    threads: usize,
-) -> Vec<PlacementSweep> {
-    let cache = Arc::new(ProfileCache::new());
-    run_placements(
-        cluster,
-        Some(alpha),
-        &cache,
-        topologies,
-        model,
-        candidates,
-        threads,
-        SweepGoal::Exhaustive,
-    )
-}
-
-/// [`sweep_topologies`] under an explicit [`SweepGoal`].
-#[deprecated(since = "0.6.0", note = "use `Sweep::over(model, cluster).placements(..).goal(..)`")]
-#[allow(clippy::too_many_arguments)]
-pub fn sweep_topologies_with_goal(
-    cluster: &ClusterSpec,
-    alpha: f64,
-    topologies: &[(String, Topology)],
-    model: &ModelConfig,
-    candidates: &[ParallelConfig],
-    threads: usize,
-    goal: SweepGoal,
-) -> Vec<PlacementSweep> {
-    let cache = Arc::new(ProfileCache::new());
-    run_placements(cluster, Some(alpha), &cache, topologies, model, candidates, threads, goal)
-}
-
-/// Enumerate + sweep with one call.
-#[deprecated(since = "0.6.0", note = "use `Sweep::on(estimator, model).batch(..).limits(..)`")]
-pub fn explore(
-    estimator: &Estimator,
-    model: &ModelConfig,
-    global_batch: usize,
-    schedule: PipelineSchedule,
-    limits: &SearchLimits,
-    threads: usize,
-) -> SweepOutcome {
-    let candidates =
-        enumerate_candidates(model, estimator.cluster(), global_batch, schedule, limits);
-    run_sweep(estimator, model, &candidates, threads, SweepGoal::Exhaustive)
-}
-
-/// Declarative design-space sweep — the one entry point subsuming the
-/// deprecated `sweep` / `sweep_with_goal` / `sweep_topologies` /
-/// `sweep_topologies_with_goal` / `explore` functions.
+/// Declarative design-space sweep — the one entry point (the former
+/// free-function `sweep` / `sweep_with_goal` / `sweep_topologies` /
+/// `sweep_topologies_with_goal` / `explore` shims were removed after a
+/// deprecation cycle; the builder drives the exact same executor they
+/// did).
 ///
 /// A sweep needs a model, a cluster, and a candidate grid (either
 /// [enumerated](Sweep::batch) from a batch size + [`SearchLimits`] or
@@ -577,6 +593,7 @@ pub struct Sweep {
     limits: SearchLimits,
     goal: SweepGoal,
     threads: Option<usize>,
+    stage_profile: bool,
     /// Shared, not owned: cloning a configured sweep (e.g. to re-run it
     /// under another goal) must not copy the candidate grid.
     candidates: Option<Arc<[ParallelConfig]>>,
@@ -599,6 +616,7 @@ impl Sweep {
             limits: SearchLimits::default(),
             goal: SweepGoal::default(),
             threads: None,
+            stage_profile: false,
             candidates: None,
         }
     }
@@ -652,6 +670,20 @@ impl Sweep {
     /// Sets the worker-thread count (default: all available cores).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Enables per-stage wall-clock attribution: the outcome carries a
+    /// [`StageProfile`] splitting the sweep's CPU time across
+    /// validate / bound / lower / simulate / summarize.
+    ///
+    /// Profiled sweeps run the unfused staged pipeline — results are
+    /// bit-identical to the default compact path (pinned by the compact
+    /// equivalence tests), but evaluation is modestly slower and cache
+    /// hit/miss counters are not attributed per worker. Leave this off
+    /// for throughput-sensitive sweeps.
+    pub fn stage_profile(mut self, enabled: bool) -> Self {
+        self.stage_profile = enabled;
         self
     }
 
@@ -726,7 +758,14 @@ impl Sweep {
                 builder = builder.topology(topology);
             }
             let estimator = builder.build();
-            let outcome = run_sweep(&estimator, &self.model, &candidates, threads, self.goal);
+            let outcome = run_sweep(
+                &estimator,
+                &self.model,
+                &candidates,
+                threads,
+                self.goal,
+                self.stage_profile,
+            );
             vec![PlacementSweep { label: String::new(), outcome }]
         } else {
             run_placements(
@@ -738,6 +777,7 @@ impl Sweep {
                 &candidates,
                 threads,
                 self.goal,
+                self.stage_profile,
             )
         };
         SweepRun { sweeps }
@@ -967,6 +1007,47 @@ mod tests {
             s.cache_hit_rate(),
             s.cache_hits,
             s.cache_misses
+        );
+    }
+
+    #[test]
+    fn stage_profiling_is_observation_only_and_accounts_for_the_wall_clock() {
+        let cluster = ClusterSpec::aws_p4d(16);
+        let model = presets::megatron("1.7B");
+        let limits =
+            SearchLimits { max_tensor: 4, max_data: 4, max_pipeline: 4, max_micro_batch: 4 };
+        let cands = enumerate_candidates(&model, &cluster, 16, PipelineSchedule::OneFOneB, &limits);
+        let plain =
+            Sweep::over(&model, &cluster).candidates(cands.clone()).threads(1).run().into_outcome();
+        let profiled = Sweep::over(&model, &cluster)
+            .candidates(cands)
+            .threads(1)
+            .stage_profile(true)
+            .run()
+            .into_outcome();
+        assert!(plain.stage_profile.is_none(), "profiling is opt-in");
+
+        // Profiling must not change a single bit of any estimate.
+        assert_eq!(plain.points.len(), profiled.points.len());
+        for (a, b) in plain.points.iter().zip(&profiled.points) {
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.estimate.iteration_time, b.estimate.iteration_time);
+            assert_eq!(a.estimate.utilization.to_bits(), b.estimate.utilization.to_bits());
+            assert_eq!(a.estimate.occupancy.to_bits(), b.estimate.occupancy.to_bits());
+        }
+
+        let profile = profiled.stage_profile.expect("requested profile must be attached");
+        assert_eq!(profile.threads, 1);
+        assert!(profile.stages.simulate_ns > 0, "replay time must be attributed");
+        assert!(profile.stages.lower_ns > 0, "lowering time must be attributed");
+        assert_eq!(profile.bound_ns, 0, "exhaustive sweeps never price bounds");
+        assert!(profile.attributed_ns() <= profile.wall_ns, "stages nest inside the wall clock");
+        // On one thread, named stages dominate the wall clock: the
+        // executor's own overhead (cursor claims, buffer merge) is noise.
+        assert!(
+            profile.attributed_fraction() > 0.9,
+            "stage attribution covers only {:.1}% of the wall clock",
+            profile.attributed_fraction() * 100.0
         );
     }
 

@@ -86,6 +86,10 @@ impl SimReport {
 /// satisfied and enters the ready queue.
 struct TaskReady(u32);
 
+/// Per-task observer of a traced replay: `(task id, start, finish)` on
+/// the simulated clock, invoked once per executed task.
+pub type TaskTrace<'t> = &'t mut dyn FnMut(u32, TimeNs, TimeNs);
+
 /// Reusable buffers of the replay — Algorithm 1's `ref`/`ready` arrays,
 /// the dataflow traversal stack, the chain-check scratch, and the engine
 /// simulation itself. A sweep worker threads one of these through every
@@ -103,7 +107,7 @@ pub struct SimScratch {
 
 /// Engine handler executing ready tasks over the per-(device, stream)
 /// timelines.
-struct Replay<'a, 'b> {
+struct Replay<'a, 'b, 't> {
     graph: &'a TaskGraph,
     mode: SimMode<'a>,
     in_degree: &'b mut [u32],
@@ -115,9 +119,10 @@ struct Replay<'a, 'b> {
     busy: BusyBreakdown,
     iteration_time: TimeNs,
     executed: usize,
+    trace: Option<TaskTrace<'t>>,
 }
 
-impl Handler<TaskReady> for Replay<'_, '_> {
+impl Handler<TaskReady> for Replay<'_, '_, '_> {
     fn handle(&mut self, TaskReady(u): TaskReady, sim: &mut Simulation<TaskReady>) {
         let task = &self.graph.tasks()[u as usize];
         let duration = effective_duration(u, task.duration, &task.kind, &self.mode);
@@ -125,6 +130,9 @@ impl Handler<TaskReady> for Replay<'_, '_> {
         let reservation =
             self.streams.reserve(dev, task.stream as usize, self.ready_at[u as usize], duration);
         self.iteration_time = self.iteration_time.max(reservation.finish);
+        if let Some(trace) = self.trace.as_mut() {
+            trace(u, reservation.start, reservation.finish);
+        }
 
         match task.kind {
             TaskKind::Compute { .. } => {
@@ -188,14 +196,42 @@ pub fn simulate_into(
     scratch: &mut SimScratch,
     report: &mut SimReport,
 ) {
+    simulate_into_with(graph, mode, scratch, report, None);
+}
+
+/// [`simulate_into`] with a per-task observer: `trace` is called once per
+/// executed task with `(task id, start, finish)` on the simulated clock.
+///
+/// Tracing is observation only — the report is bit-identical to the
+/// untraced replay (pinned by a property test). Task ids index
+/// [`TaskGraph::tasks`], which for [`TaskGraph::lower`]ed graphs also
+/// index the originating `OpGraph`'s nodes, so a caller can join spans
+/// back to operator names — the timeline exporter's labeling path.
+pub fn simulate_into_traced(
+    graph: &TaskGraph,
+    mode: SimMode<'_>,
+    scratch: &mut SimScratch,
+    report: &mut SimReport,
+    trace: TaskTrace<'_>,
+) {
+    simulate_into_with(graph, mode, scratch, report, Some(trace));
+}
+
+fn simulate_into_with(
+    graph: &TaskGraph,
+    mode: SimMode<'_>,
+    scratch: &mut SimScratch,
+    report: &mut SimReport,
+    trace: Option<TaskTrace<'_>>,
+) {
     report.busy = BusyBreakdown::default();
     report.iteration_time = TimeNs::ZERO;
     report.device_busy.clear();
     report.device_busy.resize(graph.num_devices() as usize, TimeNs::ZERO);
     if graph.is_stream_chained_with(&mut scratch.chain_last) {
-        simulate_dataflow(graph, mode, scratch, report);
+        simulate_dataflow(graph, mode, scratch, report, trace);
     } else {
-        simulate_engine_into(graph, mode, scratch, report);
+        simulate_engine_into(graph, mode, scratch, report, trace);
     }
 }
 
@@ -216,6 +252,7 @@ fn simulate_dataflow(
     mode: SimMode<'_>,
     scratch: &mut SimScratch,
     report: &mut SimReport,
+    mut trace: Option<TaskTrace<'_>>,
 ) {
     let n = graph.len();
     graph.fill_in_degrees(&mut scratch.in_degree);
@@ -234,8 +271,14 @@ fn simulate_dataflow(
     while let Some(u) = stack.pop() {
         let task = &graph.tasks()[u as usize];
         let duration = effective_duration(u, task.duration, &task.kind, &mode);
+        // On a stream-chained graph start(u) == ready_at[u] (see the
+        // correctness argument above), so the trace can report exact
+        // start/finish without consulting stream availability.
         let finish = ready_at[u as usize] + duration;
         iteration_time = iteration_time.max(finish);
+        if let Some(trace) = trace.as_mut() {
+            trace(u, ready_at[u as usize], finish);
+        }
 
         let dev = task.device as usize;
         match task.kind {
@@ -275,6 +318,7 @@ fn simulate_engine_into(
     mode: SimMode<'_>,
     scratch: &mut SimScratch,
     report: &mut SimReport,
+    trace: Option<TaskTrace<'_>>,
 ) {
     let n = graph.len();
     let devices = graph.num_devices() as usize;
@@ -292,6 +336,7 @@ fn simulate_engine_into(
         busy: BusyBreakdown::default(),
         iteration_time: TimeNs::ZERO,
         executed: 0,
+        trace,
     };
 
     let sim = &mut scratch.engine;
@@ -318,7 +363,7 @@ fn simulate_engine_into(
 fn simulate_engine(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
     let mut report = SimReport::default();
     report.device_busy.resize(graph.num_devices() as usize, TimeNs::ZERO);
-    simulate_engine_into(graph, mode, &mut SimScratch::default(), &mut report);
+    simulate_engine_into(graph, mode, &mut SimScratch::default(), &mut report, None);
     report
 }
 
@@ -606,6 +651,62 @@ mod tests {
             let legacy = simulate_reference(&tg, mode);
             assert_reports_identical(&fast, &engine);
             assert_reports_identical(&engine, &legacy);
+        }
+
+        /// Tracing is pure observation: a traced replay produces a
+        /// `SimReport` bit-identical to the untraced one, and the spans
+        /// themselves are consistent — exactly one per task, each
+        /// `finish − start` equal to the task's effective duration, and
+        /// the latest finish equal to the iteration time.
+        #[test]
+        fn tracing_never_changes_the_report(
+            t_exp in 0usize..=1,
+            d_exp in 0usize..=1,
+            p_exp in 0usize..=2,
+            m_exp in 0usize..=1,
+            gpipe in proptest::bool::ANY,
+            bucketing in proptest::bool::ANY,
+        ) {
+            let (t, d, p, m) = (1usize << t_exp, 1 << d_exp, 1 << p_exp, 1 << m_exp);
+            let b = d * m * 4;
+            let sched = if gpipe { PipelineSchedule::GPipe } else { PipelineSchedule::OneFOneB };
+            let tg = lower(t, d, p, m, b, sched, bucketing);
+
+            let noise = NoiseModel::new(NoiseConfig::default());
+            for mode in [
+                SimMode::Predicted,
+                SimMode::Measured { noise: &noise, nodes: (t * d * p).div_ceil(8) },
+            ] {
+                let plain = simulate(&tg, mode);
+                let mut spans: Vec<(u32, TimeNs, TimeNs)> = Vec::new();
+                let mut traced = SimReport::default();
+                let mut record = |id: u32, start: TimeNs, finish: TimeNs| {
+                    spans.push((id, start, finish));
+                };
+                simulate_into_traced(
+                    &tg,
+                    mode,
+                    &mut SimScratch::default(),
+                    &mut traced,
+                    &mut record,
+                );
+                assert_eq!(
+                    serde_json::to_string(&plain).unwrap(),
+                    serde_json::to_string(&traced).unwrap(),
+                    "tracing must not perturb the report"
+                );
+                assert_eq!(spans.len(), tg.len(), "one span per task");
+                let mut seen = vec![false; tg.len()];
+                let mut max_finish = TimeNs::ZERO;
+                for &(id, start, finish) in &spans {
+                    assert!(!std::mem::replace(&mut seen[id as usize], true));
+                    let task = &tg.tasks()[id as usize];
+                    let dur = effective_duration(id, task.duration, &task.kind, &mode);
+                    assert_eq!(finish, start + dur);
+                    max_finish = max_finish.max(finish);
+                }
+                assert_eq!(max_finish, traced.iteration_time);
+            }
         }
     }
 }

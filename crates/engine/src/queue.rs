@@ -62,6 +62,9 @@ pub struct EventQueue<E> {
     /// in exactly the order a single heap would.
     fifo: VecDeque<EventEntry<E>>,
     next_seq: u64,
+    /// Deepest the queue has ever been (pending events), across the
+    /// queue's lifetime until [`EventQueue::clear`].
+    max_depth: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -73,12 +76,17 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), fifo: VecDeque::new(), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::new(), fifo: VecDeque::new(), next_seq: 0, max_depth: 0 }
     }
 
     /// Creates an empty queue with room for `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue { heap: BinaryHeap::new(), fifo: VecDeque::with_capacity(capacity), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            fifo: VecDeque::with_capacity(capacity),
+            next_seq: 0,
+            max_depth: 0,
+        }
     }
 
     /// Schedules `event` at `time`, returning its sequence number.
@@ -93,6 +101,7 @@ impl<E> EventQueue<E> {
             None => self.fifo.push_back(entry),
             Some(_) => self.heap.push(entry),
         }
+        self.max_depth = self.max_depth.max(self.len());
         seq
     }
 
@@ -141,6 +150,12 @@ impl<E> EventQueue<E> {
         self.next_seq
     }
 
+    /// The deepest the queue has ever been (maximum simultaneous pending
+    /// events) since construction or the last [`EventQueue::clear`].
+    pub fn high_watermark(&self) -> usize {
+        self.max_depth
+    }
+
     /// Empties the queue and restarts sequence numbering, keeping the
     /// allocations of both the heap and the FIFO lane — the reuse hook for
     /// callers that run many simulations back to back.
@@ -148,6 +163,7 @@ impl<E> EventQueue<E> {
         self.heap.clear();
         self.fifo.clear();
         self.next_seq = 0;
+        self.max_depth = 0;
     }
 }
 
@@ -235,5 +251,26 @@ mod tests {
         q.pop();
         assert!(q.pop().is_none());
         assert_eq!(q.total_scheduled(), 2);
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak_depth_and_clears() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_watermark(), 0);
+        q.push(TimeNs::ZERO, 1);
+        q.push(TimeNs::ZERO, 2);
+        q.push(TimeNs::from_micros(1), 3);
+        assert_eq!(q.high_watermark(), 3);
+        q.pop();
+        q.pop();
+        // Draining does not lower the watermark …
+        assert_eq!(q.high_watermark(), 3);
+        q.push(TimeNs::from_micros(2), 4);
+        assert_eq!(q.high_watermark(), 3, "depth 2 never beats the old peak");
+        // … but a clear restarts it with the sequence numbering.
+        q.clear();
+        assert_eq!(q.high_watermark(), 0);
+        q.push(TimeNs::ZERO, 5);
+        assert_eq!(q.high_watermark(), 1);
     }
 }

@@ -137,7 +137,16 @@ impl<E> Simulation<E> {
     /// returning the final statistics.
     pub fn run(&mut self, handler: &mut impl Handler<E>) -> RunStats {
         while self.step(handler) {}
-        self.stats()
+        let stats = self.stats();
+        // One relaxed load when observability is off; publishing happens
+        // once per run, never inside the dispatch loop.
+        if vtrain_obs::enabled() {
+            let reg = vtrain_obs::global();
+            reg.counter("engine.runs").inc();
+            reg.counter("engine.events_processed").add(stats.events_processed);
+            reg.histogram("engine.queue_depth_peak").record(self.queue.high_watermark() as u64);
+        }
+        stats
     }
 }
 
@@ -232,6 +241,33 @@ mod tests {
         sim.run(&mut rec);
         assert_eq!(*log.borrow(), vec![(TimeNs::from_micros(1), 0), (TimeNs::from_micros(1), 1)]);
         assert!(sim.take_trace().is_some());
+    }
+
+    #[test]
+    fn recycled_simulation_pending_never_underflows() {
+        let mut sim = Simulation::new();
+        sim.schedule(TimeNs::from_micros(1), Ev::Tick(1));
+        let mut rec = Recorder::default();
+        let first = sim.run(&mut rec); // 4 events
+        assert_eq!(first.events_pending(), 0);
+
+        // Recycle the simulation for a second, smaller run.
+        sim.reset();
+        assert_eq!(sim.stats().events_pending(), 0);
+        sim.schedule(TimeNs::from_micros(1), Ev::Tick(4));
+        let second = sim.run(&mut rec); // 1 event
+        assert_eq!(second.events_pending(), 0);
+
+        // Aggregate accounting across the recycle — processed carried
+        // forward against the restarted schedule counter — must saturate
+        // to zero rather than underflow (this wrapped before the
+        // `saturating_sub` hardening).
+        let aggregate = RunStats {
+            events_processed: first.events_processed + second.events_processed,
+            ..second
+        };
+        assert!(aggregate.events_processed > aggregate.events_scheduled);
+        assert_eq!(aggregate.events_pending(), 0);
     }
 
     #[test]

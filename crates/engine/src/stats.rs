@@ -17,7 +17,32 @@ pub struct RunStats {
 impl RunStats {
     /// Events still pending when the run stopped (a run that drained the
     /// queue reports zero).
+    ///
+    /// Saturating: `Simulation::reset` restarts the queue's sequence
+    /// numbering while a caller may still hold counters from before the
+    /// reset, so a recycled simulation can legitimately observe
+    /// `events_scheduled < events_processed` mid-composition. That reads
+    /// as "nothing pending", never as an underflowed huge count.
     pub fn events_pending(&self) -> u64 {
-        self.events_scheduled - self.events_processed
+        self.events_scheduled.saturating_sub(self.events_processed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_is_the_scheduled_minus_processed_difference() {
+        let stats = RunStats { events_processed: 3, events_scheduled: 10, horizon: TimeNs::ZERO };
+        assert_eq!(stats.events_pending(), 7);
+    }
+
+    #[test]
+    fn pending_saturates_instead_of_underflowing() {
+        // The shape a recycled simulation can produce: processed counted
+        // across runs, scheduled restarted by a queue clear.
+        let stats = RunStats { events_processed: 10, events_scheduled: 4, horizon: TimeNs::ZERO };
+        assert_eq!(stats.events_pending(), 0);
     }
 }

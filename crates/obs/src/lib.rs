@@ -1,0 +1,105 @@
+//! # vtrain-obs
+//!
+//! The workspace's observability layer: a zero-cost-when-disabled span
+//! API, a sharded [`MetricsRegistry`] (counters, gauges, log-bucket
+//! histograms), and a [`TimelineRecorder`] exporting Chrome trace-event
+//! JSON loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! Instrumentation across the stack (the sweep executor, the profile
+//! cache, the engine event loop, the cluster scheduler) is gated on one
+//! process-global flag: with [`enabled`]`() == false` (the default) every
+//! instrumentation point reduces to a single relaxed atomic load — no
+//! clock reads, no allocation, no locking — so the simulation hot paths
+//! stay exactly as fast as before this crate existed.
+//!
+//! The crate is deliberately dependency-free so that every other crate in
+//! the workspace (including the engine at the bottom of the stack) can
+//! depend on it without cycles.
+//!
+//! # Examples
+//!
+//! ```
+//! vtrain_obs::set_enabled(true);
+//! {
+//!     let _span = vtrain_obs::span!("lower", tasks = 42u64);
+//!     // ... timed work ...
+//! }
+//! let reg = vtrain_obs::global();
+//! reg.counter("sweep.evaluated").add(3);
+//! assert_eq!(reg.counter("sweep.evaluated").get(), 3);
+//! assert!(reg.histogram("span.lower.ns").count() >= 1);
+//! vtrain_obs::set_enabled(false);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod span;
+mod timeline;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use span::{thread_id, SpanGuard};
+pub use timeline::{TimelineRecorder, TraceSpan};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns the process-global instrumentation on or off.
+///
+/// Off (the default), every `span!` and metrics publish point in the
+/// workspace is a single relaxed load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether instrumentation is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-global [`MetricsRegistry`] all instrumentation points
+/// publish into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Opens a timed span over a lexical scope.
+///
+/// `span!("name")` returns a guard that, while [`enabled`], records its
+/// wall-clock lifetime into the global histogram `span.<name>.ns` (and
+/// bumps the counter `span.<name>.calls`). Optional `key = value` fields
+/// (values coerced to `u64`) land in counters `span.<name>.<key>`.
+/// Disabled, the guard is inert: no clock read, no allocation.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let mut guard = $crate::SpanGuard::enter($name);
+        $(guard.field(stringify!($key), ($value) as u64);)+
+        guard
+    }};
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Sharded metrics registry: counters, gauges, and fixed log-bucket
+//! histograms with quantile accessors.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::escape_json;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (saturating high-water
+    /// mark semantics).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` holds values whose bit length is
+/// `i`, i.e. `[2^(i-1), 2^i)` for `i ≥ 1` and exactly `{0}` for `i = 0`,
+/// covering the full `u64` range.
+const BUCKETS: usize = 65;
+
+/// A lock-free histogram over fixed log₂ buckets.
+///
+/// Recording is two relaxed atomic adds; quantiles ([`Histogram::p50`],
+/// [`Histogram::p95`], [`Histogram::p99`]) are resolved to the upper
+/// bound of the bucket containing the requested rank, so they are exact
+/// to within a factor of 2 — plenty for latency distributions spanning
+/// orders of magnitude.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: [const { AtomicU64::new(0) }; BUCKETS], sum: AtomicU64::new(0) }
+    }
+}
+
+/// The bucket index of a value: its bit length.
+#[inline]
+fn bucket(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observations (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`), or 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let snapshot: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the requested quantile, 1-based, clamped into range.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in snapshot.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket upper bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+const SHARDS: usize = 16;
+
+#[derive(Default)]
+struct Shard {
+    counters: HashMap<String, Arc<Counter>>,
+    gauges: HashMap<String, Arc<Gauge>>,
+    histograms: HashMap<String, Arc<Histogram>>,
+}
+
+/// A concurrent, sharded name → metric registry.
+///
+/// Lookup hashes the metric name to one of 16 `RwLock`-guarded shards;
+/// the returned `Arc` can be cached by callers so the hot path never
+/// touches the lock. Metric updates themselves are lock-free atomics.
+pub struct MetricsRegistry {
+    shards: Vec<RwLock<Shard>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a, fixed and dependency-free: shard choice must not vary run to
+/// run, or snapshots could interleave differently under contention.
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry { shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect() }
+    }
+
+    fn with_shard<T>(&self, name: &str, f: impl FnOnce(&mut Shard) -> T) -> T {
+        let mut shard = self.shards[shard_of(name)].write().expect("metrics shard poisoned");
+        f(&mut shard)
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) =
+            self.shards[shard_of(name)].read().expect("metrics shard poisoned").counters.get(name)
+        {
+            return Arc::clone(c);
+        }
+        self.with_shard(name, |s| Arc::clone(s.counters.entry(name.to_owned()).or_default()))
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) =
+            self.shards[shard_of(name)].read().expect("metrics shard poisoned").gauges.get(name)
+        {
+            return Arc::clone(g);
+        }
+        self.with_shard(name, |s| Arc::clone(s.gauges.entry(name.to_owned()).or_default()))
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) =
+            self.shards[shard_of(name)].read().expect("metrics shard poisoned").histograms.get(name)
+        {
+            return Arc::clone(h);
+        }
+        self.with_shard(name, |s| Arc::clone(s.histograms.entry(name.to_owned()).or_default()))
+    }
+
+    /// Removes every metric (tests and fresh CLI runs).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.write().expect("metrics shard poisoned");
+            s.counters.clear();
+            s.gauges.clear();
+            s.histograms.clear();
+        }
+    }
+
+    /// Serializes a point-in-time snapshot as deterministic JSON: metric
+    /// names sorted within each section, histograms expanded to
+    /// `{count, sum, mean, p50, p95, p99}`.
+    pub fn to_json(&self) -> String {
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        let mut gauges: Vec<(String, u64)> = Vec::new();
+        let mut histograms: Vec<(String, Arc<Histogram>)> = Vec::new();
+        for shard in &self.shards {
+            let s = shard.read().expect("metrics shard poisoned");
+            counters.extend(s.counters.iter().map(|(k, v)| (k.clone(), v.get())));
+            gauges.extend(s.gauges.iter().map(|(k, v)| (k.clone(), v.get())));
+            histograms.extend(s.histograms.iter().map(|(k, v)| (k.clone(), Arc::clone(v))));
+        }
+        counters.sort();
+        gauges.sort();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            escape_json(name, &mut out);
+            out.push_str(&format!("\": {v}"));
+        }
+        out.push_str(if counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            escape_json(name, &mut out);
+            out.push_str(&format!("\": {v}"));
+        }
+        out.push_str(if gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            escape_json(name, &mut out);
+            out.push_str(&format!(
+                "\": {{ \"count\": {}, \"sum\": {}, \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \
+                 \"p99\": {} }}",
+                h.count(),
+                h.sum(),
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
+            ));
+        }
+        out.push_str(if histograms.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").inc();
+        reg.gauge("g").set(7);
+        reg.gauge("g").set_max(3); // lower — must not shrink
+        assert_eq!(reg.counter("a").get(), 3);
+        assert_eq!(reg.gauge("g").get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1107);
+        // 7 observations: p50 is the 4th (value 2 → bucket [2,4) → upper 3).
+        assert_eq!(h.p50(), 3);
+        // p99 is the 7th (value 1000 → bucket [512,1024) → upper 1023).
+        assert_eq!(h.p99(), 1023);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_u64() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(u64::MAX), 64);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_stable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").add(5);
+        reg.histogram("h").record(10);
+        let a = reg.to_json();
+        let b = reg.to_json();
+        assert_eq!(a, b, "snapshot must be deterministic");
+        let first = a.find("a.first").unwrap();
+        let last = a.find("z.last").unwrap();
+        assert!(first < last, "counters must be name-sorted");
+    }
+
+    #[test]
+    fn concurrent_counters_sum_exactly() {
+        use std::sync::Arc as StdArc;
+        let reg = StdArc::new(MetricsRegistry::new());
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let reg = StdArc::clone(&reg);
+                std::thread::spawn(move || {
+                    let c = reg.counter("shared");
+                    for _ in 0..PER_THREAD {
+                        c.inc();
+                    }
+                    reg.histogram("lat").record(1);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("shared").get(), THREADS as u64 * PER_THREAD);
+        assert_eq!(reg.histogram("lat").count(), THREADS as u64);
+    }
+}

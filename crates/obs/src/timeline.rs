@@ -1,0 +1,242 @@
+//! Timeline recording and Chrome trace-event JSON export.
+//!
+//! The recorder accumulates complete (`ph:"X"`) duration spans on
+//! `(pid, tid)` tracks — in this workspace, `pid` is a device (or rank
+//! group) and `tid` a stream — and serializes them as the JSON object
+//! format of the [Trace Event spec], loadable in `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev).
+//!
+//! Export is deterministic: metadata events first (sorted by track),
+//! then spans sorted by `(pid, tid, start, insertion order)` — so a
+//! golden test can pin the bytes.
+//!
+//! [Trace Event spec]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::BTreeMap;
+
+use crate::escape_json;
+
+/// One complete span on a `(pid, tid)` track. Times are nanoseconds on
+/// the simulated (or wall) clock; export converts to the trace format's
+/// microseconds exactly (3 decimal places).
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    /// Track group (device / rank group).
+    pub pid: u64,
+    /// Track within the group (stream).
+    pub tid: u64,
+    /// Span name (e.g. the operator kind).
+    pub name: String,
+    /// Span category (e.g. `Fwd` / `Bwd` / `Comm` / `WeightUpdate`).
+    pub cat: String,
+    /// Start, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration, in nanoseconds.
+    pub dur_ns: u64,
+    /// Numeric `args` shown in the trace viewer's detail pane.
+    pub args: Vec<(String, u64)>,
+}
+
+/// Accumulates named tracks and spans; exports Chrome trace-event JSON.
+#[derive(Debug, Default)]
+pub struct TimelineRecorder {
+    process_names: BTreeMap<u64, String>,
+    thread_names: BTreeMap<(u64, u64), String>,
+    spans: Vec<TraceSpan>,
+}
+
+/// `ns` rendered as microseconds with exact 3-decimal precision.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+impl TimelineRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names a track group (`process_name` metadata).
+    pub fn set_track_name(&mut self, pid: u64, name: impl Into<String>) {
+        self.process_names.insert(pid, name.into());
+    }
+
+    /// Names a track within a group (`thread_name` metadata).
+    pub fn set_stream_name(&mut self, pid: u64, tid: u64, name: impl Into<String>) {
+        self.thread_names.insert((pid, tid), name.into());
+    }
+
+    /// Records one complete span.
+    pub fn record(&mut self, span: TraceSpan) {
+        self.spans.push(span);
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The recorded spans, in insertion order.
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// The latest span end (ns) on track `(pid, tid)`, or 0 if none.
+    pub fn stream_end_ns(&self, pid: u64, tid: u64) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.pid == pid && s.tid == tid)
+            .map(|s| s.start_ns + s.dur_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The latest span end (ns) across every track, or 0 if empty.
+    pub fn max_end_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.start_ns + s.dur_ns).max().unwrap_or(0)
+    }
+
+    /// Sum of span durations per `(pid, tid)` track, sorted by track.
+    pub fn busy_per_stream(&self) -> Vec<((u64, u64), u64)> {
+        let mut busy: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        for s in &self.spans {
+            *busy.entry((s.pid, s.tid)).or_default() += s.dur_ns;
+        }
+        busy.into_iter().collect()
+    }
+
+    /// Sum of span durations per category, sorted by category name.
+    pub fn busy_per_category(&self) -> Vec<(String, u64)> {
+        let mut busy: BTreeMap<String, u64> = BTreeMap::new();
+        for s in &self.spans {
+            *busy.entry(s.cat.clone()).or_default() += s.dur_ns;
+        }
+        busy.into_iter().collect()
+    }
+
+    /// Serializes the timeline as Chrome trace-event JSON (one event per
+    /// line; byte-deterministic for a given recording).
+    pub fn to_chrome_trace(&self) -> String {
+        let mut lines: Vec<String> = Vec::with_capacity(
+            self.process_names.len() + self.thread_names.len() + self.spans.len(),
+        );
+        for (pid, name) in &self.process_names {
+            let mut line = format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\""
+            );
+            escape_json(name, &mut line);
+            line.push_str("\"}}");
+            lines.push(line);
+        }
+        for ((pid, tid), name) in &self.thread_names {
+            let mut line = format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\""
+            );
+            escape_json(name, &mut line);
+            line.push_str("\"}}");
+            lines.push(line);
+        }
+        // Stable span order: by track, then start time, then insertion
+        // order (the sort is stable, so ties keep their recording order).
+        let mut order: Vec<usize> = (0..self.spans.len()).collect();
+        order.sort_by_key(|&i| {
+            let s = &self.spans[i];
+            (s.pid, s.tid, s.start_ns)
+        });
+        for i in order {
+            let s = &self.spans[i];
+            let mut line = String::from("{\"ph\":\"X\",\"pid\":");
+            line.push_str(&format!("{},\"tid\":{},\"name\":\"", s.pid, s.tid));
+            escape_json(&s.name, &mut line);
+            line.push_str("\",\"cat\":\"");
+            escape_json(&s.cat, &mut line);
+            line.push_str(&format!(
+                "\",\"ts\":{},\"dur\":{}",
+                micros(s.start_ns),
+                micros(s.dur_ns)
+            ));
+            if !s.args.is_empty() {
+                line.push_str(",\"args\":{");
+                for (j, (key, value)) in s.args.iter().enumerate() {
+                    if j > 0 {
+                        line.push(',');
+                    }
+                    line.push('"');
+                    escape_json(key, &mut line);
+                    line.push_str(&format!("\":{value}"));
+                }
+                line.push('}');
+            }
+            line.push('}');
+            lines.push(line);
+        }
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(pid: u64, tid: u64, name: &str, start: u64, dur: u64) -> TraceSpan {
+        TraceSpan {
+            pid,
+            tid,
+            name: name.into(),
+            cat: "Fwd".into(),
+            start_ns: start,
+            dur_ns: dur,
+            args: vec![("kernels".into(), 4)],
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic_and_track_sorted() {
+        let mut rec = TimelineRecorder::new();
+        rec.set_track_name(1, "device 1");
+        rec.set_track_name(0, "device 0");
+        rec.set_stream_name(0, 0, "compute");
+        rec.record(span(1, 0, "later-track", 0, 10));
+        rec.record(span(0, 0, "b", 50, 10));
+        rec.record(span(0, 0, "a", 0, 50));
+        let json = rec.to_chrome_trace();
+        assert_eq!(json, rec.to_chrome_trace(), "byte-deterministic");
+        let a = json.find("\"name\":\"a\"").unwrap();
+        let b = json.find("\"name\":\"b\"").unwrap();
+        let later = json.find("later-track").unwrap();
+        assert!(a < b, "same track sorts by start time");
+        assert!(b < later, "track 0 precedes track 1");
+        assert!(json.starts_with("{\"traceEvents\":[\n"));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"ts\":0.000,\"dur\":0.050"));
+    }
+
+    #[test]
+    fn stream_accounting() {
+        let mut rec = TimelineRecorder::new();
+        rec.record(span(0, 0, "a", 0, 100));
+        rec.record(span(0, 1, "c", 25, 100));
+        rec.record(span(0, 0, "b", 100, 50));
+        assert_eq!(rec.stream_end_ns(0, 0), 150);
+        assert_eq!(rec.max_end_ns(), 150);
+        assert_eq!(rec.busy_per_stream(), vec![((0, 0), 150), ((0, 1), 100)]);
+        assert_eq!(rec.busy_per_category(), vec![("Fwd".to_owned(), 250)]);
+    }
+
+    #[test]
+    fn micros_is_exact() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(1_234), "1.234");
+        assert_eq!(micros(2_000_001), "2000.001");
+    }
+}

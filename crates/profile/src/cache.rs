@@ -261,6 +261,27 @@ impl ProfileCache {
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
+
+    /// Publishes this cache's lifetime counters into the global
+    /// [`vtrain_obs`] metrics registry (`profile_cache.hits` /
+    /// `.misses` counters, `profile_cache.entries` gauge). No-op while
+    /// observability is disabled.
+    ///
+    /// Registry counters are raised to the lifetime totals (a delta
+    /// against the last published value), so one cache publishing
+    /// repeatedly — e.g. once per sweep — never double-counts.
+    pub fn publish_metrics(&self) {
+        if !vtrain_obs::enabled() {
+            return;
+        }
+        let reg = vtrain_obs::global();
+        let stats = self.stats();
+        let hits = reg.counter("profile_cache.hits");
+        hits.add(stats.hits.saturating_sub(hits.get()));
+        let misses = reg.counter("profile_cache.misses");
+        misses.add(stats.misses.saturating_sub(misses.get()));
+        reg.gauge("profile_cache.entries").set(self.len() as u64);
+    }
 }
 
 #[cfg(test)]

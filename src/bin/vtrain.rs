@@ -3,8 +3,9 @@
 //! step ①) — no Rust code required.
 //!
 //! ```sh
-//! vtrain predict  examples/descriptions/megatron_18b.json
-//! vtrain sweep    examples/descriptions/megatron_1_7b_sweep.json
+//! vtrain predict  examples/descriptions/megatron_18b.json --timeline trace.json
+//! vtrain sweep    examples/descriptions/megatron_1_7b_sweep.json --metrics metrics.json
+//! vtrain explain  examples/descriptions/megatron_18b.json
 //! vtrain validate examples/descriptions/megatron_18b.json
 //! ```
 //!
@@ -16,23 +17,72 @@ use std::process::ExitCode;
 
 use vtrain::prelude::*;
 
-const USAGE: &str = "usage: vtrain <command> <scenario.json>
+const USAGE: &str = "usage: vtrain <command> <scenario.json> [options]
 
 commands:
   predict    simulate the scenario's plan: iteration time, utilization,
              busy breakdown, and (with `tokens`) the end-to-end projection
   sweep      explore the (t, d, p, m) design space the scenario bounds,
              honoring its goal and placement axis
+  explain    attribute where simulated (plan) or simulation (sweep) time
+             goes: per-stage/per-stream tables
   validate   parse and resolve every section, reporting the first problem
+
+options:
+  --timeline <out.json>   (predict) export the predicted iteration as a
+                          Chrome trace-event timeline (chrome://tracing,
+                          Perfetto)
+  --metrics <out.json>    (sweep) enable the metrics registry and write
+                          its snapshot after the sweep
+  --stage-profile         (sweep) attribute sweep CPU time across the
+                          validate/bound/lower/simulate/summarize stages
 
 see examples/descriptions/ for the scenario schema";
 
+/// Command-line options after the `<command> <scenario.json>` positionals.
+#[derive(Default)]
+struct Opts {
+    timeline: Option<String>,
+    metrics: Option<String>,
+    stage_profile: bool,
+}
+
+impl Opts {
+    /// Parses trailing options; `Err` carries the usage complaint.
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut opts = Opts::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--timeline" => match it.next() {
+                    Some(path) => opts.timeline = Some(path.clone()),
+                    None => return Err("--timeline needs an output path".into()),
+                },
+                "--metrics" => match it.next() {
+                    Some(path) => opts.metrics = Some(path.clone()),
+                    None => return Err("--metrics needs an output path".into()),
+                },
+                "--stage-profile" => opts.stage_profile = true,
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (command, path) = match args.as_slice() {
-        [command, path] => (command.as_str(), path.as_str()),
+    let (command, path, rest) = match args.as_slice() {
+        [command, path, rest @ ..] => (command.as_str(), path.as_str(), rest),
         _ => {
             eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(complaint) => {
+            eprintln!("error: {complaint}\n\n{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -51,8 +101,9 @@ fn main() -> ExitCode {
         }
     };
     let result = match command {
-        "predict" => predict(&scenario),
-        "sweep" => sweep(&scenario),
+        "predict" => predict(&scenario, &opts),
+        "sweep" => sweep(&scenario, &opts),
+        "explain" => explain(&scenario),
         "validate" => validate(&scenario),
         other => {
             eprintln!("error: unknown command `{other}`\n\n{USAGE}");
@@ -66,6 +117,12 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Writes `contents` to `path`, mapping I/O failures into the scenario
+/// error domain.
+fn write_file(path: &str, contents: &str) -> Result<(), Error> {
+    std::fs::write(path, contents).map_err(|e| Error::io(format!("cannot write {path}: {e}")))
 }
 
 /// Prints the end-to-end projection if the scenario carries a token
@@ -90,7 +147,7 @@ fn print_projection(
     }
 }
 
-fn predict(scenario: &Scenario) -> Result<(), Error> {
+fn predict(scenario: &Scenario, opts: &Opts) -> Result<(), Error> {
     // Full cross-section validation: anything `validate` rejects must
     // not run (e.g. a noise section that would be silently ignored).
     scenario.check()?;
@@ -99,6 +156,21 @@ fn predict(scenario: &Scenario) -> Result<(), Error> {
     let cost = scenario.cost_model()?;
     let estimator = scenario.estimator()?;
     let estimate = estimator.estimate(&model, &plan)?;
+
+    if let Some(out) = &opts.timeline {
+        let timeline = estimator.timeline(&model, &plan)?;
+        assert_eq!(
+            timeline.recorder.max_end_ns(),
+            estimate.iteration_time.as_nanos(),
+            "timeline must end exactly at the predicted iteration time"
+        );
+        write_file(out, &timeline.recorder.to_chrome_trace())?;
+        println!(
+            "timeline:        {} spans over {} tracks -> {out}",
+            timeline.recorder.len(),
+            timeline.report.device_busy.len()
+        );
+    }
 
     println!("model:           {model}");
     println!("plan:            {plan}");
@@ -117,11 +189,26 @@ fn predict(scenario: &Scenario) -> Result<(), Error> {
     Ok(())
 }
 
-fn sweep(scenario: &Scenario) -> Result<(), Error> {
+fn sweep(scenario: &Scenario, opts: &Opts) -> Result<(), Error> {
     scenario.check()?;
     let goal = scenario.goal()?;
     let cost = scenario.cost_model()?;
-    let run = scenario.sweep()?.run();
+    // A shared cache handle so its traffic can be published after the
+    // run; `--metrics` turns the (otherwise free) registry on.
+    let cache = std::sync::Arc::new(ProfileCache::new());
+    if opts.metrics.is_some() {
+        vtrain::obs::set_enabled(true);
+    }
+    let mut builder = scenario.sweep()?.cache(std::sync::Arc::clone(&cache));
+    if opts.stage_profile {
+        builder = builder.stage_profile(true);
+    }
+    let run = builder.run();
+    if let Some(out) = &opts.metrics {
+        cache.publish_metrics();
+        write_file(out, &vtrain::obs::global().to_json())?;
+        println!("metrics: registry snapshot -> {out}");
+    }
     for variant in run.variants() {
         let outcome = &variant.outcome;
         let stats = outcome.stats;
@@ -141,6 +228,9 @@ fn sweep(scenario: &Scenario) -> Result<(), Error> {
             stats.points_per_sec(),
             stats.cache_hit_rate() * 100.0
         );
+        if let Some(profile) = &outcome.stage_profile {
+            print_stage_profile(profile, "  ");
+        }
         for point in outcome.points.iter().take(10) {
             println!(
                 "  {:>24}  {:>6} GPUs  {:>12}  util {:>5.1}%",
@@ -160,6 +250,107 @@ fn sweep(scenario: &Scenario) -> Result<(), Error> {
             );
             print_projection(scenario, &cost, &best.estimate, "  ");
         }
+    }
+    Ok(())
+}
+
+/// Prints a sweep's per-stage CPU-time attribution table.
+fn print_stage_profile(profile: &StageProfile, indent: &str) {
+    let budget = (profile.wall_ns as f64 * profile.threads.max(1) as f64).max(1.0);
+    let pct = |ns: u64| ns as f64 / budget * 100.0;
+    let row = |name: &str, ns: u64| {
+        println!("{indent}{name:<12} {:>12.3} ms  {:>5.1}%", ns as f64 / 1e6, pct(ns));
+    };
+    println!(
+        "{indent}stage attribution ({} thread{}, {:.2}s wall):",
+        profile.threads,
+        if profile.threads == 1 { "" } else { "s" },
+        profile.wall_ns as f64 / 1e9
+    );
+    row("validate", profile.stages.validate_ns);
+    row("bound", profile.bound_ns);
+    row("lower", profile.stages.lower_ns);
+    row("simulate", profile.stages.simulate_ns);
+    row("summarize", profile.stages.summarize_ns);
+    println!(
+        "{indent}{:<12} {:>12.3} ms  {:>5.1}%  (scheduling + merge overhead: {:.1}%)",
+        "attributed",
+        profile.attributed_ns() as f64 / 1e6,
+        profile.attributed_fraction() * 100.0,
+        (1.0 - profile.attributed_fraction()) * 100.0
+    );
+}
+
+/// `explain`: where does the time go?
+///
+/// * For a scenario with a concrete plan: a per-pipeline-stage /
+///   per-stream busy table of the predicted iteration, derived from the
+///   same traced replay `predict --timeline` exports.
+/// * For a scenario with a sweep section: a stage-profiled
+///   single-threaded sweep whose CPU-time attribution table accounts for
+///   (nearly all of) the wall clock.
+fn explain(scenario: &Scenario) -> Result<(), Error> {
+    scenario.check()?;
+    let model = scenario.model()?;
+    if scenario.parallelism.is_some() {
+        let plan = scenario.plan()?;
+        let estimator = scenario.estimator()?;
+        let timeline = estimator.timeline(&model, &plan)?;
+        let iteration_ns = timeline.report.iteration_time.as_nanos();
+        println!("model:           {model}");
+        println!("plan:            {plan}");
+        println!("iteration time:  {}", timeline.report.iteration_time);
+        println!("per-stage stream attribution (% of iteration):");
+        println!("  {:<10} {:>14} {:>7}   {:>14} {:>7}", "stage", "compute", "", "comm", "");
+        let busy = timeline.recorder.busy_per_stream();
+        let lookup = |pid: u64, tid: u64| {
+            busy.iter().find(|((p, t), _)| *p == pid && *t == tid).map_or(0, |(_, ns)| *ns)
+        };
+        let stages: Vec<u64> = {
+            let mut pids: Vec<u64> = busy.iter().map(|((p, _), _)| *p).collect();
+            pids.dedup();
+            pids
+        };
+        let pct = |ns: u64| ns as f64 / iteration_ns.max(1) as f64 * 100.0;
+        for pid in stages {
+            let compute = lookup(pid, 0);
+            let comm = lookup(pid, 1);
+            println!(
+                "  {:<10} {:>11.3} ms {:>6.1}%   {:>11.3} ms {:>6.1}%",
+                format!("stage {pid}"),
+                compute as f64 / 1e6,
+                pct(compute),
+                comm as f64 / 1e6,
+                pct(comm)
+            );
+        }
+        println!("by category (% of aggregate stage-time, all tracks):");
+        let budget = (iteration_ns.max(1) * timeline.report.device_busy.len().max(1) as u64) as f64;
+        for (cat, ns) in timeline.recorder.busy_per_category() {
+            println!(
+                "  {cat:<14} {:>11.3} ms {:>6.1}%",
+                ns as f64 / 1e6,
+                ns as f64 / budget * 100.0
+            );
+        }
+    }
+    if scenario.sweep.is_some() {
+        // Single-threaded so CPU time ≈ wall time and the attribution
+        // table accounts for the whole run.
+        let outcome = scenario.sweep()?.threads(1).stage_profile(true).run().into_outcome();
+        println!(
+            "sweep: {} candidates -> {} points in {:.2}s",
+            outcome.stats.candidates,
+            outcome.points.len(),
+            outcome.stats.wall_s
+        );
+        let profile = outcome.stage_profile.expect("stage_profile(true) attaches a profile");
+        print_stage_profile(&profile, "  ");
+    }
+    if scenario.parallelism.is_none() && scenario.sweep.is_none() {
+        return Err(Error::scenario(
+            "nothing to explain: add a `parallelism` plan or a `sweep` section",
+        ));
     }
     Ok(())
 }

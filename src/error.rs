@@ -27,12 +27,21 @@ pub enum Error {
     /// The scenario parsed but cannot be resolved (unknown preset,
     /// missing section, contradictory options).
     Scenario(String),
+    /// An input or output file could not be read or written (the message
+    /// carries the path and the OS error; kept as a string so the error
+    /// stays [`Clone`]).
+    Io(String),
 }
 
 impl Error {
     /// Creates a scenario-level error.
     pub fn scenario(msg: impl Into<String>) -> Self {
         Error::Scenario(msg.into())
+    }
+
+    /// Creates an I/O-level error.
+    pub fn io(msg: impl Into<String>) -> Self {
+        Error::Io(msg.into())
     }
 }
 
@@ -44,6 +53,7 @@ impl fmt::Display for Error {
             Error::Estimate(e) => write!(f, "{e}"),
             Error::Parse(e) => write!(f, "invalid scenario JSON: {e}"),
             Error::Scenario(msg) => write!(f, "invalid scenario: {msg}"),
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
 }
@@ -55,7 +65,7 @@ impl std::error::Error for Error {
             Error::Plan(e) => Some(e),
             Error::Estimate(e) => Some(e),
             Error::Parse(e) => Some(e),
-            Error::Scenario(_) => None,
+            Error::Scenario(_) | Error::Io(_) => None,
         }
     }
 }

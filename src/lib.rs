@@ -18,6 +18,7 @@
 //! | [`net`] | `vtrain-net` | hierarchical interconnect topology, collective-algorithm costs |
 //! | [`profile`] | `vtrain-profile` | CUPTI-like profiling, communication models |
 //! | [`engine`] | `vtrain-engine` | deterministic discrete-event simulation kernel |
+//! | [`obs`] | `vtrain-obs` | structured spans, metrics registry, Chrome-trace timelines |
 //! | [`sim`] | `vtrain-core` | task graphs, Algorithm 1, cost model, DSE |
 //! | [`cluster`] | `vtrain-cluster` | multi-tenant scheduler experiments |
 //! | [`scaling`] | `vtrain-scaling` | Chinchilla law, compute-optimal sizing |
@@ -81,6 +82,7 @@ pub use vtrain_gpu as gpu;
 pub use vtrain_graph as graph;
 pub use vtrain_model as model;
 pub use vtrain_net as net;
+pub use vtrain_obs as obs;
 pub use vtrain_parallel as parallel;
 pub use vtrain_profile as profile;
 pub use vtrain_scaling as scaling;
@@ -96,16 +98,17 @@ pub mod prelude {
     pub use crate::error::Error;
     pub use vtrain_core::bounds::iteration_floor;
     pub use vtrain_core::search::{
-        self, DesignPoint, PlacementSweep, SearchLimits, Sweep, SweepGoal, SweepOutcome, SweepRun,
-        SweepStats,
+        self, DesignPoint, PlacementSweep, SearchLimits, StageProfile, Sweep, SweepGoal,
+        SweepOutcome, SweepRun, SweepStats,
     };
     pub use vtrain_core::{
-        CostModel, Estimator, EstimatorBuilder, IterationEstimate, SimMode, SimReport,
-        TrainingProjection,
+        CostModel, Estimator, EstimatorBuilder, IterationEstimate, IterationTimeline, SimMode,
+        SimReport, StageNanos, TrainingProjection,
     };
     pub use vtrain_gpu::{NoiseConfig, NoiseModel};
     pub use vtrain_model::{presets, Bytes, Flops, ModelConfig, TimeNs};
     pub use vtrain_net::{GroupPlacement, TierSpec, Topology};
+    pub use vtrain_obs::{MetricsRegistry, TimelineRecorder};
     pub use vtrain_parallel::{ClusterSpec, GpuSpec, ParallelConfig, PipelineSchedule};
     pub use vtrain_profile::{CacheStats, ProfileCache};
     pub use vtrain_scaling::ChinchillaLaw;

@@ -1,14 +1,12 @@
-//! A/B golden equivalence of the `Sweep` builder against the deprecated
-//! sweep entry points it replaces: the fig10-style grid JSON produced
-//! from the builder must be **byte-identical** to the old paths', under
-//! every goal and on the placement axis.
+//! Golden pins on the `Sweep` builder — the one sweep entry point.
 //!
-//! (The full-size check is run on the real fig10 binaries: their
-//! `results/fig10_design_space.json` / `fig10_topology.json` are byte-
-//! identical across the migration. This test pins the same property on a
-//! grid small enough for CI.)
-
-#![allow(deprecated)] // the point of this test is to A/B the old API
+//! The deprecated free-function sweeps (and the deprecated `Estimator`
+//! constructors) were deleted after their deprecation cycle; these tests
+//! keep the builder's observable behaviour pinned in their place: the
+//! fig10-style grid JSON must be **deterministic** (byte-identical run
+//! to run and across thread counts), goal-filtered results must be the
+//! exhaustive winners, and the placement axis must label its variants
+//! stably.
 
 use vtrain::prelude::*;
 
@@ -24,50 +22,76 @@ fn grid_json(points: &[DesignPoint]) -> String {
 }
 
 #[test]
-fn sweep_builder_matches_deprecated_sweeps_byte_for_byte() {
+fn sweep_builder_grid_json_is_deterministic_across_thread_counts() {
     let model = presets::megatron("1.7B");
     let cluster = ClusterSpec::aws_p4d(64);
     let candidates = grid(&model, &cluster, 32);
     assert!(candidates.len() > 30, "grid too small to be meaningful");
 
     for goal in [SweepGoal::Exhaustive, SweepGoal::Front, SweepGoal::Best] {
-        let old = {
-            let estimator = Estimator::builder(cluster.clone()).build();
-            search::sweep_with_goal(&estimator, &model, &candidates, 4, goal)
-        };
-        let new = Sweep::over(&model, &cluster)
+        let reference = Sweep::over(&model, &cluster)
+            .candidates(candidates.clone())
+            .threads(1)
+            .goal(goal)
+            .run()
+            .into_outcome();
+        for threads in [2, 4] {
+            let outcome = Sweep::over(&model, &cluster)
+                .candidates(candidates.clone())
+                .threads(threads)
+                .goal(goal)
+                .run()
+                .into_outcome();
+            assert_eq!(
+                grid_json(&reference.points),
+                grid_json(&outcome.points),
+                "grid JSON must be byte-identical at {threads} threads under {goal:?}"
+            );
+            // Winners are deterministic; `evaluated`/`bound_pruned` are
+            // not (watermark race timing), so only the deterministic
+            // stats are compared.
+            assert_eq!(reference.stats.candidates, outcome.stats.candidates);
+            assert_eq!(reference.stats.pruned, outcome.stats.pruned);
+        }
+    }
+}
+
+#[test]
+fn goal_filtered_sweeps_return_the_exhaustive_winners() {
+    let model = presets::megatron("1.7B");
+    let cluster = ClusterSpec::aws_p4d(64);
+    let candidates = grid(&model, &cluster, 32);
+
+    let sweep = |goal| {
+        Sweep::over(&model, &cluster)
             .candidates(candidates.clone())
             .threads(4)
             .goal(goal)
             .run()
-            .into_outcome();
-        assert_eq!(
-            grid_json(&old.points),
-            grid_json(&new.points),
-            "builder grid JSON must be byte-identical to the old path under {goal:?}"
-        );
-        // Winners are deterministic; `evaluated`/`bound_pruned` are not
-        // (watermark race timing), so only the deterministic stats are
-        // compared.
-        assert_eq!(old.stats.candidates, new.stats.candidates);
-        assert_eq!(old.stats.pruned, new.stats.pruned);
-    }
-
-    // The un-goaled legacy `sweep` as well.
-    let old = {
-        let estimator = Estimator::builder(cluster.clone()).build();
-        search::sweep(&estimator, &model, &candidates, 4)
+            .into_outcome()
     };
-    let new = Sweep::over(&model, &cluster)
-        .candidates(candidates.clone())
-        .threads(4)
-        .run()
-        .into_outcome();
-    assert_eq!(grid_json(&old.points), grid_json(&new.points));
+    let exhaustive = sweep(SweepGoal::Exhaustive);
+    let best = sweep(SweepGoal::Best);
+    let front = sweep(SweepGoal::Front);
+
+    let fastest =
+        exhaustive.points.iter().min_by_key(|p| p.estimate.iteration_time).unwrap().clone();
+    assert_eq!(best.points.len(), 1);
+    assert_eq!(grid_json(&best.points), grid_json(&[fastest]));
+
+    // Every front point exists verbatim in the exhaustive grid, and the
+    // front is no larger than the grid.
+    assert!(!front.points.is_empty() && front.points.len() <= exhaustive.points.len());
+    let exhaustive_json = grid_json(&exhaustive.points);
+    for p in &front.points {
+        let single = grid_json(std::slice::from_ref(p));
+        let body = &single[1..single.len() - 1]; // strip the [ ] brackets
+        assert!(exhaustive_json.contains(body), "front point missing from the exhaustive grid");
+    }
 }
 
 #[test]
-fn sweep_builder_matches_deprecated_topology_sweeps_byte_for_byte() {
+fn placement_sweep_labels_variants_stably() {
     let model = presets::megatron("1.7B");
     let cluster = ClusterSpec::aws_p4d(32);
     let candidates = grid(&model, &cluster, 16);
@@ -77,28 +101,32 @@ fn sweep_builder_matches_deprecated_topology_sweeps_byte_for_byte() {
         ("multi-rack/2".to_owned(), cluster.topology(1.0).with_rack_tier(2, spine)),
     ];
 
-    let old = search::sweep_topologies(&cluster, 1.0, &topologies, &model, &candidates, 4);
-    let new = Sweep::over(&model, &cluster)
-        .candidates(candidates.clone())
-        .placements(topologies.clone())
-        .threads(4)
-        .run()
-        .into_variants();
+    let run = |threads| {
+        Sweep::over(&model, &cluster)
+            .candidates(candidates.clone())
+            .placements(topologies.clone())
+            .threads(threads)
+            .run()
+            .into_variants()
+    };
+    let a = run(1);
+    let b = run(4);
 
-    assert_eq!(old.len(), new.len());
-    for (a, b) in old.iter().zip(&new) {
-        assert_eq!(a.label, b.label);
+    assert_eq!(a.len(), 2);
+    assert_eq!(a.len(), b.len());
+    for ((one, other), (label, _)) in a.iter().zip(&b).zip(&topologies) {
+        assert_eq!(one.label, *label);
+        assert_eq!(one.label, other.label);
         assert_eq!(
-            grid_json(&a.outcome.points),
-            grid_json(&b.outcome.points),
-            "placement `{}` grid JSON must be byte-identical",
-            a.label
+            grid_json(&one.outcome.points),
+            grid_json(&other.outcome.points),
+            "placement `{label}` grid JSON must be byte-identical across thread counts"
         );
     }
 }
 
 #[test]
-fn deprecated_estimator_constructors_agree_with_builder() {
+fn builder_axes_match_explicitly_configured_estimators() {
     let model = presets::megatron("1.7B");
     let cluster = ClusterSpec::aws_p4d(32);
     let plan = ParallelConfig::builder()
@@ -110,20 +138,24 @@ fn deprecated_estimator_constructors_agree_with_builder() {
         .build()
         .unwrap();
 
-    let old = Estimator::new(cluster.clone()).estimate(&model, &plan).unwrap();
-    let new = Estimator::builder(cluster.clone()).build().estimate(&model, &plan).unwrap();
-    assert_eq!(old.iteration_time, new.iteration_time);
-    assert_eq!(old.utilization.to_bits(), new.utilization.to_bits());
+    // The default build and an explicitly-defaulted build agree bit-for-bit.
+    let default = Estimator::builder(cluster.clone()).build().estimate(&model, &plan).unwrap();
+    let explicit =
+        Estimator::builder(cluster.clone()).alpha(1.0).build().estimate(&model, &plan).unwrap();
+    assert_eq!(default.iteration_time, explicit.iteration_time);
+    assert_eq!(default.utilization.to_bits(), explicit.utilization.to_bits());
 
-    let old = Estimator::with_topology(cluster.clone(), 0.9, cluster.topology(0.9))
-        .estimate(&model, &plan)
-        .unwrap();
-    let new = Estimator::builder(cluster.clone())
+    // The topology axis changes pricing deterministically.
+    let aware =
+        Estimator::builder(cluster.clone()).alpha(0.9).topology(cluster.topology(0.9)).build();
+    assert!(aware.is_topology_aware());
+    let a = aware.estimate(&model, &plan).unwrap();
+    let b = Estimator::builder(cluster.clone())
         .alpha(0.9)
         .topology(cluster.topology(0.9))
         .build()
         .estimate(&model, &plan)
         .unwrap();
-    assert_eq!(old.iteration_time, new.iteration_time);
-    assert_eq!(old.utilization.to_bits(), new.utilization.to_bits());
+    assert_eq!(a.iteration_time, b.iteration_time);
+    assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
 }

@@ -1,0 +1,174 @@
+//! The observability layer, end-to-end: golden Chrome-trace export for
+//! the shipped megatron-18.4B scenario, the `--timeline` / `--metrics` /
+//! `explain` CLI surface, and the zero-cost-when-disabled contract.
+//!
+//! The full 18.4B trace is ~1.4 MB, so instead of committing the bytes
+//! the golden pins a digest: track/stream ordering, per-stream busy and
+//! end times, and an FNV-1a hash of the exact export. Regenerate after
+//! an intentional change with `VTRAIN_BLESS=1 cargo test -q --test
+//! observability`.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+use vtrain::prelude::*;
+
+const EXAMPLE_PATH: &str = "examples/descriptions/megatron_18b.json";
+const SWEEP_PATH: &str = "examples/descriptions/megatron_1_7b_sweep.json";
+const GOLDEN_PATH: &str = "tests/golden/timeline_megatron_18b.digest.txt";
+
+fn repo_file(rel: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel).to_str().unwrap().to_owned()
+}
+
+fn vtrain(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vtrain"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("vtrain binary runs")
+}
+
+fn example_timeline() -> IterationTimeline {
+    let text = std::fs::read_to_string(repo_file(EXAMPLE_PATH)).unwrap();
+    let scenario = Scenario::from_json(&text).unwrap();
+    let model = scenario.model().unwrap();
+    let plan = scenario.plan().unwrap();
+    scenario.estimator().unwrap().timeline(&model, &plan).unwrap()
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The digest a 1.4 MB trace is pinned through: counts, per-stream
+/// accounting, and a hash of the exact bytes.
+fn digest(timeline: &IterationTimeline, trace_json: &str) -> String {
+    let rec = &timeline.recorder;
+    let mut out = String::new();
+    out.push_str(&format!("spans: {}\n", rec.len()));
+    out.push_str(&format!("iteration_ns: {}\n", timeline.report.iteration_time.as_nanos()));
+    for ((pid, tid), busy_ns) in rec.busy_per_stream() {
+        out.push_str(&format!(
+            "stream pid={pid} tid={tid}: busy_ns={busy_ns} end_ns={}\n",
+            rec.stream_end_ns(pid, tid)
+        ));
+    }
+    for (cat, busy_ns) in rec.busy_per_category() {
+        out.push_str(&format!("category {cat}: busy_ns={busy_ns}\n"));
+    }
+    out.push_str(&format!("fnv1a64: {:016x}\n", fnv1a64(trace_json.as_bytes())));
+    out
+}
+
+#[test]
+fn chrome_trace_export_matches_golden_digest() {
+    let timeline = example_timeline();
+    let trace = timeline.recorder.to_chrome_trace();
+    assert_eq!(trace, timeline.recorder.to_chrome_trace(), "export must be byte-deterministic");
+    let got = digest(&timeline, &trace);
+    let golden_path = repo_file(GOLDEN_PATH);
+    if std::env::var("VTRAIN_BLESS").is_ok() {
+        std::fs::write(&golden_path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).expect("golden digest present");
+    assert_eq!(
+        got, want,
+        "timeline export drifted from {GOLDEN_PATH} — if the change is intentional, \
+         regenerate with VTRAIN_BLESS=1"
+    );
+}
+
+/// Acceptance: the last span across the trace ends exactly at the
+/// predicted iteration time, and every stream stays inside it.
+#[test]
+fn stream_totals_match_the_predicted_iteration_time() {
+    let timeline = example_timeline();
+    let iteration_ns = timeline.report.iteration_time.as_nanos();
+    assert_eq!(timeline.recorder.max_end_ns(), iteration_ns);
+    for ((pid, tid), busy_ns) in timeline.recorder.busy_per_stream() {
+        assert!(busy_ns > 0, "stream ({pid},{tid}) recorded no work");
+        let end = timeline.recorder.stream_end_ns(pid, tid);
+        assert!(
+            end <= iteration_ns,
+            "stream ({pid},{tid}) ends at {end} ns, after the iteration ({iteration_ns} ns)"
+        );
+        assert!(
+            busy_ns <= end,
+            "stream ({pid},{tid}) busy time {busy_ns} ns exceeds its span extent {end} ns"
+        );
+    }
+}
+
+#[test]
+fn predict_timeline_flag_writes_parseable_chrome_trace() {
+    let dir = std::env::temp_dir().join(format!("vtrain-obs-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("trace.json");
+    let out = vtrain(&["predict", EXAMPLE_PATH, "--timeline", out_path.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("timeline:"));
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    let trace = serde_json::value_from_str(&text).expect("trace is valid JSON");
+    let events = trace.get("traceEvents").expect("traceEvents array present");
+    match events {
+        serde_json::Value::Array(events) => {
+            assert!(events.len() > 1000, "18.4B trace has thousands of events");
+        }
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    }
+    // The CLI export is the same recording the library produces.
+    assert_eq!(text, example_timeline().recorder.to_chrome_trace());
+}
+
+#[test]
+fn sweep_metrics_flag_writes_a_registry_snapshot() {
+    let dir = std::env::temp_dir().join(format!("vtrain-obs-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("metrics.json");
+    let out = vtrain(&["sweep", SWEEP_PATH, "--metrics", out_path.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    let snapshot = serde_json::value_from_str(&text).expect("metrics snapshot is valid JSON");
+    for key in ["counters", "gauges", "histograms"] {
+        assert!(snapshot.get(key).is_some(), "snapshot must carry `{key}`:\n{text}");
+    }
+    let counters = snapshot.get("counters").unwrap();
+    assert!(counters.get("sweep.runs").and_then(serde_json::Value::as_u64).unwrap_or(0) > 0);
+}
+
+#[test]
+fn explain_attributes_sweep_wall_time() {
+    let out = vtrain(&["explain", SWEEP_PATH]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("attributed"), "attribution summary missing:\n{stdout}");
+    // The summary row reads `attributed <ms> ms <pct>% ...`.
+    let pct: f64 = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("attributed"))
+        .and_then(|l| l.split_whitespace().find_map(|tok| tok.strip_suffix('%')?.parse().ok()))
+        .expect("attributed percentage printed");
+    assert!(pct >= 99.0, "stage attribution must cover >=99% of wall time, got {pct}%");
+}
+
+/// Recording a timeline is observation-only: the traced replay returns
+/// the same `SimReport` the plain estimate path computes.
+#[test]
+fn timeline_recording_never_changes_the_simulation() {
+    let text = std::fs::read_to_string(repo_file(EXAMPLE_PATH)).unwrap();
+    let scenario = Scenario::from_json(&text).unwrap();
+    let model = scenario.model().unwrap();
+    let plan = scenario.plan().unwrap();
+    let estimator = scenario.estimator().unwrap();
+    let timeline = estimator.timeline(&model, &plan).unwrap();
+    let estimate = estimator.estimate(&model, &plan).unwrap();
+    assert_eq!(timeline.report.iteration_time, estimate.iteration_time);
+    assert_eq!(timeline.report.tasks_executed, timeline.recorder.len());
+}
