@@ -16,9 +16,17 @@
 //!   (1 ppm) from the baseline — these are deterministic model outputs,
 //!   so any drift is an unintended semantic change (golden gate);
 //! * the sweep record's warm-cache obs-on re-run more than
-//!   `max_obs_on_regression_pct` (5 %) slower than its obs-off twin —
+//!   `max_obs_on_regression_pct` (8 % in the committed baseline; both
+//!   arms are best-of-3) slower than its obs-off twin —
 //!   observability must stay near-free when enabled and exactly free
-//!   when disabled (records without the A/B fields skip this gate).
+//!   when disabled (records without the A/B fields skip this gate);
+//! * the every-core re-run below `min_parallel_efficiency` (0.6) of
+//!   linear scaling over its warm single-thread twin — the two-level
+//!   executor must not waste its thread budget (reduces to a sanity
+//!   bound on single-core hosts);
+//! * `delta_equivalent == false` — the delta-lowered sweep must
+//!   reproduce from-scratch lowering bit for bit (records without the
+//!   delta A/B fields skip both gates).
 //!
 //! Run the three producers first (`fig10_design_space --smoke`,
 //! `bench_sim`, `bench_collectives`). Pass `--write-baseline` to
@@ -98,17 +106,19 @@ fn collective_rows(bench: &Value) -> Vec<(String, u64)> {
 fn write_baseline(grid: &str, pps: f64, sim_tps: f64, rows: &[(String, u64)]) {
     // Carry tuned thresholds forward from the committed baseline; fall
     // back to the defaults only when no baseline exists yet.
-    let (max_reg, max_sim_reg, max_obs_reg, tol) = match fs::read_to_string(baseline_path()) {
+    let (max_reg, max_sim_reg, max_obs_reg, min_eff, tol) = match fs::read_to_string(baseline_path())
+    {
         Ok(text) => {
             let old = serde_json::value_from_str(&text).expect("existing baseline parses");
             (
                 old.get("max_throughput_regression_pct").and_then(Value::as_f64).unwrap_or(25.0),
                 old.get("max_sim_regression_pct").and_then(Value::as_f64).unwrap_or(30.0),
                 old.get("max_obs_on_regression_pct").and_then(Value::as_f64).unwrap_or(5.0),
+                old.get("min_parallel_efficiency").and_then(Value::as_f64).unwrap_or(0.6),
                 old.get("collective_tolerance_rel").and_then(Value::as_f64).unwrap_or(1e-6),
             )
         }
-        Err(_) => (25.0, 30.0, 5.0, 1e-6),
+        Err(_) => (25.0, 30.0, 5.0, 0.6, 1e-6),
     };
     // Hand-rolled JSON keeps the committed baseline diff-stable
     // (one collective per line, fixed field order).
@@ -116,6 +126,7 @@ fn write_baseline(grid: &str, pps: f64, sim_tps: f64, rows: &[(String, u64)]) {
     out.push_str(&format!("  \"max_throughput_regression_pct\": {max_reg},\n"));
     out.push_str(&format!("  \"max_sim_regression_pct\": {max_sim_reg},\n"));
     out.push_str(&format!("  \"max_obs_on_regression_pct\": {max_obs_reg},\n"));
+    out.push_str(&format!("  \"min_parallel_efficiency\": {min_eff},\n"));
     out.push_str(&format!("  \"collective_tolerance_rel\": {tol:e},\n"));
     out.push_str(&format!("  \"sweep_grid\": \"{grid}\",\n"));
     out.push_str(&format!("  \"sweep_points_per_sec\": {pps:.1},\n"));
@@ -252,6 +263,58 @@ fn main() -> ExitCode {
                 ));
             }
         }
+    }
+
+    // Parallel-efficiency gate: the every-core re-run must deliver at
+    // least `min_parallel_efficiency` (0.6) of linear scaling over its
+    // warm single-thread twin. On a single-core host (`threads_mt == 1`)
+    // this reduces to a same-conditions sanity bound; records without
+    // the fields (old producers, `--full` runs) skip the gate.
+    let mt_pair = sweep
+        .get("points_per_sec_mt")
+        .and_then(Value::as_f64)
+        .zip(sweep.get("threads_mt").and_then(Value::as_u64));
+    match mt_pair {
+        None => println!("parallel efficiency: not recorded in BENCH_sweep.json — not gated"),
+        Some((pps_mt, threads_mt)) => {
+            // The warm obs-off re-run is the apples-to-apples
+            // single-thread comparator; fall back to the cold headline
+            // number for records without the A/B fields.
+            let pps_1t = sweep.get("points_per_sec_obs_off").and_then(Value::as_f64).unwrap_or(pps);
+            let min_eff =
+                baseline.get("min_parallel_efficiency").and_then(Value::as_f64).unwrap_or(0.6);
+            let mt_floor = pps_1t * threads_mt as f64 * min_eff;
+            println!(
+                "parallel efficiency: {pps_mt:.1} points/s on {threads_mt} thread(s) vs \
+                 {pps_1t:.1} on one (floor {mt_floor:.1} at {min_eff}x linear)"
+            );
+            if pps_mt < mt_floor {
+                failures.push(format!(
+                    "parallel efficiency too low: {pps_mt:.1} points/s on {threads_mt} thread(s) \
+                     < floor {mt_floor:.1} ({min_eff}x linear over the {pps_1t:.1} points/s \
+                     single-thread twin)"
+                ));
+            }
+        }
+    }
+
+    // Delta-equivalence gate: when the producer ran the delta-off A/B,
+    // the delta-lowered sweep must have reproduced the from-scratch
+    // points exactly — a `false` here means the patching invariant broke.
+    match sweep.get("delta_equivalent") {
+        None => println!("delta equivalence: not recorded in BENCH_sweep.json — not gated"),
+        Some(Value::Bool(true)) => {
+            let delta_pps =
+                sweep.get("points_per_sec_delta_off").and_then(Value::as_f64).unwrap_or(f64::NAN);
+            println!(
+                "delta equivalence: delta-on points match from-scratch lowering \
+                 (delta-off twin ran at {delta_pps:.1} points/s)"
+            );
+        }
+        Some(other) => failures.push(format!(
+            "delta-lowered sweep diverged from from-scratch lowering \
+             (BENCH_sweep.delta_equivalent = {other:?})"
+        )),
     }
 
     let Some(Value::Array(base_rows)) = baseline.get("collectives") else {

@@ -51,15 +51,35 @@ struct SweepBench {
     stats: SweepStats,
     points_per_sec: f64,
     cache_hit_rate: f64,
-    /// Warm-cache re-run with observability disabled — the baseline of
-    /// the instrumentation-overhead A/B (absent under `--full`).
+    /// Warm-cache re-run (best of 3) with observability disabled — the
+    /// baseline of the instrumentation-overhead A/B (absent under
+    /// `--full`).
     points_per_sec_obs_off: Option<f64>,
     /// The same warm-cache re-run with the metrics registry and spans
-    /// enabled; `check_bench` gates `obs_on / obs_off` at 5%.
+    /// enabled; `check_bench` gates `obs_on / obs_off` at the
+    /// baseline's `max_obs_on_regression_pct`.
     points_per_sec_obs_on: Option<f64>,
+    /// Warm-cache re-run on every available core; `check_bench` gates
+    /// parallel efficiency (`≥ 0.6·N×` single-thread) when `threads_mt
+    /// > 1`.
+    points_per_sec_mt: Option<f64>,
+    /// Thread count of the multi-thread re-run.
+    threads_mt: Option<usize>,
+    /// Warm-cache re-run with delta-lowering disabled — every point
+    /// lowered from scratch.
+    points_per_sec_delta_off: Option<f64>,
+    /// Whether the delta-off re-run reproduced the delta-on points
+    /// exactly (same plans, same predicted iteration times);
+    /// `check_bench` requires `true` when present.
+    delta_equivalent: Option<bool>,
     /// Per-stage CPU-time attribution of a stage-profiled re-run
     /// (absent under `--full`).
     stage_profile: Option<StageProfile>,
+    /// The same attribution under a bound-guided `best` goal: floor
+    /// pricing shows up as nonzero `bound_ns` (the attribution bucket a
+    /// pre-fix regression silently folded into lowering), observable in
+    /// the benchmark record regardless of the CLI goal.
+    stage_profile_goal: Option<StageProfile>,
 }
 
 fn smoke_mode() -> bool {
@@ -232,38 +252,94 @@ fn main() {
     report::dump_json("fig10_design_space", &rows);
 
     // Instrumentation-overhead A/B plus stage attribution, all on the
-    // now-warm cache so the three re-runs are apples-to-apples. Skipped
-    // under `--full` (three extra full-grid sweeps).
-    let (obs_off, obs_on, stage_profile) = if full_mode() {
-        (None, None, None)
+    // now-warm cache so the re-runs are apples-to-apples. Skipped under
+    // `--full` (each re-run is a full-grid sweep).
+    let (obs_off, obs_on, mt, delta_off, stage_profile, goal_profile) = if full_mode() {
+        (None, None, None, None, None, None)
     } else {
-        let rerun = |obs: bool, profile: bool| {
+        let rerun = |obs: bool, profile: bool, goal: SweepGoal, threads: usize, delta: bool| {
             vtrain_obs::set_enabled(obs);
             let outcome = search::Sweep::on(&estimator, &model)
                 .candidates(std::sync::Arc::clone(&candidates))
-                .threads(threads())
+                .threads(threads)
                 .goal(goal)
                 .stage_profile(profile)
+                .delta_lowering(delta)
                 .run()
                 .into_outcome();
             vtrain_obs::set_enabled(false);
             outcome
         };
-        let off = rerun(false, false).stats.points_per_sec();
-        let on = rerun(true, false).stats.points_per_sec();
-        let profiled = rerun(false, true);
+        // Warm-up: the first re-run after the report dump still pays
+        // page-cache and allocator transients; burn them here so the
+        // measured A/B passes see identical conditions.
+        let _ = rerun(false, false, goal, threads(), true);
+        // Every throughput arm is best-of-3: a single ~0.06 s smoke
+        // re-run can lose >10% to one scheduler hiccup on the 1-core CI
+        // host, and noise only ever subtracts, so the max is the
+        // low-variance estimator the ratio gates need.
+        let measure = |obs: bool, threads: usize, delta: bool| {
+            let mut best = rerun(obs, false, goal, threads, delta);
+            for _ in 0..2 {
+                let outcome = rerun(obs, false, goal, threads, delta);
+                if outcome.stats.points_per_sec() > best.stats.points_per_sec() {
+                    best = outcome;
+                }
+            }
+            best
+        };
+        let off_outcome = measure(false, threads(), true);
+        let off = off_outcome.stats.points_per_sec();
+        let on = measure(true, threads(), true).stats.points_per_sec();
+        let profiled = rerun(false, true, goal, threads(), true);
+        // Bound-guided attribution: floor pricing must show up as
+        // `bound_ns`, whatever goal the CLI ran with.
+        let goal_profiled = rerun(false, true, SweepGoal::Best, threads(), true);
+        let threads_mt =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(threads());
+        let mt = measure(false, threads_mt, true).stats.points_per_sec();
+        let delta_off_outcome = measure(false, threads(), false);
+        let key = |p: &search::DesignPoint| {
+            (
+                p.plan.tensor(),
+                p.plan.data(),
+                p.plan.pipeline(),
+                p.plan.micro_batch(),
+                p.estimate.iteration_time,
+            )
+        };
+        let delta_equivalent = off_outcome.points.len() == delta_off_outcome.points.len()
+            && off_outcome
+                .points
+                .iter()
+                .zip(&delta_off_outcome.points)
+                .all(|(a, b)| key(a) == key(b));
+        assert!(delta_equivalent, "delta-lowered sweep must reproduce from-scratch lowering");
         println!(
             "\ninstrumentation A/B (warm cache): {off:.1} points/s off, {on:.1} points/s on \
              ({:+.1}%)",
             (on / off - 1.0) * 100.0
         );
+        println!(
+            "parallel / delta A/B (warm cache): {mt:.1} points/s on {threads_mt} threads, \
+             {:.1} points/s delta-off (equivalent: {delta_equivalent})",
+            delta_off_outcome.stats.points_per_sec()
+        );
         report::dump_raw("metrics", &vtrain_obs::global().to_json());
-        (Some(off), Some(on), profiled.stage_profile)
+        (
+            Some(off),
+            Some(on),
+            Some((mt, threads_mt)),
+            Some((delta_off_outcome.stats.points_per_sec(), delta_equivalent)),
+            profiled.stage_profile,
+            goal_profiled.stage_profile,
+        )
     };
     if let Some(profile) = &stage_profile {
         println!(
-            "stage attribution: validate {:.1}ms | bound {:.1}ms | lower {:.1}ms | simulate \
-             {:.1}ms | summarize {:.1}ms ({:.1}% of {} threads x {:.2}s)",
+            "stage attribution: order {:.1}ms | validate {:.1}ms | bound {:.1}ms | lower {:.1}ms \
+             | simulate {:.1}ms | summarize {:.1}ms ({:.1}% of {} threads x {:.2}s)",
+            profile.order_ns as f64 / 1e6,
             profile.stages.validate_ns as f64 / 1e6,
             profile.bound_ns as f64 / 1e6,
             profile.stages.lower_ns as f64 / 1e6,
@@ -284,7 +360,12 @@ fn main() {
             cache_hit_rate: stats.cache_hit_rate(),
             points_per_sec_obs_off: obs_off,
             points_per_sec_obs_on: obs_on,
+            points_per_sec_mt: mt.map(|(pps, _)| pps),
+            threads_mt: mt.map(|(_, n)| n),
+            points_per_sec_delta_off: delta_off.map(|(pps, _)| pps),
+            delta_equivalent: delta_off.map(|(_, eq)| eq),
             stage_profile,
+            stage_profile_goal: goal_profile,
         },
     );
 }

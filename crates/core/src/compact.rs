@@ -1,5 +1,6 @@
 //! The sweep's compact replay: run-aggregated lowering fused with the
-//! Predicted-mode Algorithm 1 traversal.
+//! Predicted-mode Algorithm 1 traversal, plus the delta-lowering path
+//! that re-prices a cached graph for a shape-compatible neighbor.
 //!
 //! The graph builder emits long program-order chains per (device, stream)
 //! whose interior nodes never source or receive cross edges — whole
@@ -14,6 +15,32 @@
 //! against the full lowering + replay by the equivalence property test
 //! below and by the sweep's golden grid A/B.
 //!
+//! # Slots and delta-lowering
+//!
+//! Every node the builder emits carries a *latency slot*
+//! ([`vtrain_graph::visit_plan_slots`]): an index into the plan's
+//! canonical enumeration of distinct latency sources (8 fixed layer/vocab
+//! kinds, per-stage weight updates, the TP All-Reduce, per-boundary
+//! pipeline sends, per-stage DP buckets). Lowering prices all slots
+//! first (`slot_values`), then each node is an O(1) table lookup instead
+//! of a signature-memo probe.
+//!
+//! Two plans with equal [`PlanShapeKey`]s produce graphs with identical
+//! structure — node counts, run boundaries, edges, and slot assignments —
+//! differing only in slot *values*. When the scratch already holds a
+//! graph for the same key, [`simulate_plan_delta`] skips the builder and
+//! the CSR construction entirely and only refills the runs' value columns
+//! from the re-priced slot table and the cached run *compositions* —
+//! `(slot, multiplicity)` pairs per run, a handful of entries even for
+//! thousand-node chains. Exact integer `value · multiplicity` sums make
+//! the patched graph bit-identical to a fresh lowering (proven by the
+//! A/B property test below).
+//!
+//! The refill distributes over disjoint run ranges, so a single
+//! candidate's patch can be split across `shards` threads (two-level
+//! sweep parallelism); shard boundaries never change the values, so
+//! N-way output is byte-identical to serial.
+//!
 //! Measured mode keys noise on task ids and must replay the full graph;
 //! this path is Predicted-only by construction.
 //!
@@ -21,8 +48,8 @@
 //! sweep evaluation performs no per-point heap allocation here.
 
 use vtrain_graph::{
-    build_op_graph_into, CommKind, CommOp, GraphOptions, GraphSink, Op, OpNode, OpSignature,
-    StreamKind,
+    build_op_graph_into, plan_shape_key, visit_plan_slots, ChainOp, CommKind, GraphOptions,
+    GraphSink, OpNode, OpSignature, PlanShapeKey, SlotOp, StreamKind,
 };
 use vtrain_model::{ModelConfig, TimeNs};
 use vtrain_parallel::ParallelConfig;
@@ -41,164 +68,388 @@ pub(crate) trait ProfileSource {
     fn op_latency(&mut self, sig: &OpSignature) -> Option<(TimeNs, u32)>;
 }
 
+/// How [`simulate_plan_delta`] obtained the replayed graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LowerOutcome {
+    /// Built from scratch through the graph builder.
+    Fresh,
+    /// Re-priced the cached graph of a shape-compatible previous plan.
+    Patched,
+}
+
 /// No open run on this device's compute stream.
 const NONE: u32 = u32::MAX;
 
-/// One aggregated chain of tasks on a single (device, stream).
-#[derive(Clone, Copy, Debug, Default)]
-struct Run {
-    device: u32,
-    /// Total chain duration (sum of member durations).
-    duration: TimeNs,
-    /// Contribution to `busy.compute`.
-    compute: TimeNs,
-    /// Contribution to `busy.tp_comm`.
-    tp: TimeNs,
-    /// Contribution to `busy.dp_comm`.
-    dp: TimeNs,
-    /// Contribution to `busy.pp_comm`.
-    pp: TimeNs,
-    /// Source tasks aggregated into this run.
-    tasks: u32,
-    /// Builder node ids of the chain endpoints (invariant checks).
-    head: u32,
-    tail: u32,
+/// Busy-category codes of `slot_cat` (which [`BusyBreakdown`] field a
+/// slot's latency lands in).
+const CAT_COMPUTE: u8 = 0;
+const CAT_TP: u8 = 1;
+const CAT_DP: u8 = 2;
+const CAT_PP: u8 = 3;
+
+/// Reusable buffers of the compact lowering + replay, columnar throughout.
+///
+/// The buffers split into *structure* (run boundaries, compositions,
+/// edges, CSR, pristine in-degrees), which survives across points and is
+/// what delta-lowering reuses, and *values* (the slot table and the runs'
+/// duration/category columns), which are refilled per point.
+/// One accepted block replication: `periods` copies (including the
+/// original) of `node_stride` nodes / `run_stride` runs starting at
+/// builder node `start` and run `r0`.
+#[derive(Clone, Copy)]
+struct Rep {
+    start: u32,
+    node_stride: u32,
+    periods: u32,
+    run_stride: u32,
 }
 
-/// Reusable buffers of the compact lowering + replay.
 #[derive(Default)]
 pub struct CompactScratch {
-    /// Builder node id → owning run.
-    node_run: Vec<u32>,
-    runs: Vec<Run>,
+    // --- structure: valid for `base_key`, reused by the delta path ---
+    /// Builder node ids consumed so far (nodes are never stored
+    /// individually: each belongs to a run, and its latency slot lands in
+    /// the run's composition).
+    nodes: u32,
+    /// Run compositions — `(owning run, latency slot, multiplicity)`
+    /// triples, in emission order (so `comp_run` is non-decreasing: runs
+    /// own consecutive node-id ranges and close before the next run
+    /// opens). The builder's bulk layer chains land here as one triple
+    /// per pattern op regardless of layer count, which is what makes
+    /// lowering and the delta refill O(runs), not O(nodes).
+    comp_run: Vec<u32>,
+    comp_slot: Vec<u32>,
+    comp_count: Vec<u32>,
+    run_device: Vec<u32>,
+    /// Source tasks aggregated into each run.
+    run_tasks: Vec<u32>,
+    /// Builder node ids of each run's chain endpoints.
+    run_head: Vec<u32>,
+    run_tail: Vec<u32>,
     /// Inter-run edges as collected (source-run, target-run).
     edges: Vec<(u32, u32)>,
     /// Counting-sort cursor for the CSR build.
     counts: Vec<u32>,
     offsets: Vec<u32>,
     targets: Vec<u32>,
+    /// Pristine in-degrees (kept intact so replays can start without
+    /// re-deriving them from the edge list).
+    in_degree0: Vec<u32>,
+    /// The shape key the structure buffers were built for.
+    base_key: Option<PlanShapeKey>,
+    /// Moving cursors of [`CompactScratch::run_of_seq`] for edge
+    /// endpoints that miss the recency fast path (the builder's pass-2
+    /// cross-stage edges, whose sources and targets each arrive in
+    /// near-ascending node order).
+    hint_from: u32,
+    hint_to: u32,
+    /// Replicated block regions of the current build, in ascending node
+    /// order. Arithmetic edge trains whose endpoints stay inside one
+    /// region resolve their run ids by stride instead of per-edge
+    /// lookups.
+    reps: Vec<Rep>,
+    // --- values: refilled per point ---
+    /// Latency of each slot of the canonical enumeration.
+    slot_values: Vec<TimeNs>,
+    /// Busy category of each slot (`CAT_*`).
+    slot_cat: Vec<u8>,
+    /// Total chain duration per run (sum of member durations).
+    run_duration: Vec<TimeNs>,
+    /// Per-run contributions to the busy breakdown.
+    run_compute: Vec<TimeNs>,
+    run_tp: Vec<TimeNs>,
+    run_dp: Vec<TimeNs>,
+    run_pp: Vec<TimeNs>,
+    // --- replay working state ---
     in_degree: Vec<u32>,
     ready_at: Vec<TimeNs>,
     stack: Vec<u32>,
     /// Open (extendable) compute-stream run per device.
     open: Vec<u32>,
-    /// Per-point compute-profile memo (a plan touches ≲ `8 + p` distinct
-    /// signatures; a short linear probe beats hashing per node).
-    sig_memo: Vec<(OpSignature, TimeNs)>,
-    /// Per-point communication-latency memo.
-    comm_memo: Vec<(CommOp, TimeNs)>,
 }
 
-struct CompactSink<'a, P> {
-    profiles: &'a mut P,
-    comm: &'a CommModel,
-    s: &'a mut CompactScratch,
-    missing: bool,
-}
-
-impl<P: ProfileSource> CompactSink<'_, P> {
-    fn compute_latency(&mut self, sig: &OpSignature) -> TimeNs {
-        if let Some(&(_, total)) = self.s.sig_memo.iter().find(|(cached, _)| cached == sig) {
-            return total;
-        }
-        let total = match self.profiles.op_latency(sig) {
-            Some((total, _)) => total,
-            None => {
-                self.missing = true;
-                TimeNs::ZERO
-            }
-        };
-        self.s.sig_memo.push((*sig, total));
-        total
+impl CompactScratch {
+    /// Number of aggregated runs of the currently lowered graph.
+    #[cfg(test)]
+    pub(crate) fn num_runs(&self) -> usize {
+        self.run_device.len()
     }
 
-    fn comm_latency(&mut self, op: &CommOp) -> TimeNs {
-        if let Some(&(_, latency)) = self.s.comm_memo.iter().find(|(cached, _)| cached == op) {
-            return latency;
-        }
-        let latency = self.comm.latency(op);
-        self.s.comm_memo.push((*op, latency));
-        latency
-    }
-}
-
-impl<P: ProfileSource> GraphSink for CompactSink<'_, P> {
-    fn push(&mut self, node: OpNode) -> u32 {
-        let id = self.s.node_run.len() as u32;
-        let dev = node.device as usize;
-        // Busy-category deltas of this node.
-        let (duration, compute, tp, dp, pp) = match &node.op {
-            Op::Compute(c) => {
-                let d = self.compute_latency(&c.sig);
-                (d, d, TimeNs::ZERO, TimeNs::ZERO, TimeNs::ZERO)
+    /// Maps a builder node id back to its owning run. Runs own
+    /// consecutive, strictly increasing node-id ranges (asserted at every
+    /// extension), so the owner is the last run whose head is at most
+    /// `id`. Only edge endpoints ever need this mapping — chain interiors
+    /// are implicit. Pass-1 edges (chain links across cuts, send
+    /// attachments, comm-stream program order) always touch one of the
+    /// few most recent runs, so they resolve with a short backward scan;
+    /// only pass-2 cross-stage edges fall through to the binary search.
+    fn run_of(&self, id: u32, hint: u32) -> (u32, u32) {
+        let n = self.run_head.len();
+        let recent = n.saturating_sub(4);
+        if id >= self.run_head[recent] {
+            let mut r = n - 1;
+            while self.run_head[r] > id {
+                r -= 1;
             }
-            Op::Comm(c) => {
-                let d = self.comm_latency(c);
-                let z = TimeNs::ZERO;
-                match c.kind {
-                    CommKind::TpAllReduce => (d, z, d, z, z),
-                    CommKind::DpAllReduce => (d, z, z, d, z),
-                    CommKind::PpSendRecv => (d, z, z, z, d),
+            return (r as u32, hint);
+        }
+        let r = self.run_of_seq(id, hint);
+        (r, r)
+    }
+
+    /// The cold half of [`CompactScratch::run_of`]: resolves `id` near a
+    /// moving cursor — a short forward scan when queries ascend (the
+    /// pass-2 sequences), falling back to binary search on a miss.
+    fn run_of_seq(&self, id: u32, hint: u32) -> u32 {
+        let heads = &self.run_head;
+        let n = heads.len();
+        let mut r = (hint as usize).min(n - 1);
+        if heads[r] <= id {
+            for _ in 0..32 {
+                if r + 1 >= n || heads[r + 1] > id {
+                    return r as u32;
                 }
+                r += 1;
             }
-        };
+        }
+        (heads.partition_point(|&h| h <= id) - 1) as u32
+    }
 
-        let extend = node.stream == StreamKind::Compute && self.s.open[dev] != NONE;
-        let run_id = if extend {
-            let r = self.s.open[dev];
-            let run = &mut self.s.runs[r as usize];
-            run.duration += duration;
-            run.compute += compute;
-            run.tp += tp;
-            run.dp += dp;
-            run.pp += pp;
-            run.tasks += 1;
-            run.tail = id;
-            r
-        } else {
-            let r = self.s.runs.len() as u32;
-            self.s.runs.push(Run {
-                device: node.device,
-                duration,
-                compute,
-                tp,
-                dp,
-                pp,
-                tasks: 1,
-                head: id,
-                tail: id,
-            });
-            // Communication nodes join at cross-stream edges, so they are
-            // never extendable; compute chains stay open until cut.
-            if node.stream == StreamKind::Compute {
-                self.s.open[dev] = r;
+    /// Per-step run-id stride of an arithmetic node train `base + i *
+    /// node_stride` (`i < count`), provided the whole train lies inside a
+    /// single replicated block region advancing by that node stride —
+    /// then consecutive train members land in consecutive copies, whose
+    /// runs are exactly `run_stride` apart. `None` when no region covers
+    /// the train (the caller falls back to per-edge resolution).
+    fn train_run_stride(&self, base: u32, node_stride: u32, count: u32) -> Option<u32> {
+        let i = self.reps.partition_point(|rep| rep.start <= base).checked_sub(1)?;
+        let rep = self.reps[i];
+        let in_region = node_stride == rep.node_stride
+            && base - rep.start + node_stride * (count - 1) < node_stride * rep.periods;
+        in_region.then_some(rep.run_stride)
+    }
+
+    /// Appends `count` nodes of `slot` to `run`'s composition, merging
+    /// with the previous triple when it matches.
+    fn push_comp(&mut self, run: u32, slot: u32, count: u32) {
+        if let (Some(&r), Some(&s)) = (self.comp_run.last(), self.comp_slot.last()) {
+            if r == run && s == slot {
+                *self.comp_count.last_mut().expect("parallel comp columns") += count;
+                return;
             }
-            r
-        };
-        self.s.node_run.push(run_id);
+            debug_assert!(r <= run, "composition touched a closed run");
+        }
+        self.comp_run.push(run);
+        self.comp_slot.push(slot);
+        self.comp_count.push(count);
+    }
+
+    /// Opens a new run headed by node `first` on `device`, or returns the
+    /// device's open compute run (which `first` must extend contiguously).
+    fn open_or_extend(&mut self, device: u32, first: u32, compute_stream: bool) -> u32 {
+        let dev = device as usize;
+        if compute_stream && self.open[dev] != NONE {
+            let r = self.open[dev];
+            // `run_of` relies on runs owning contiguous id ranges.
+            assert_eq!(self.run_tail[r as usize], first - 1, "run extended non-contiguously");
+            return r;
+        }
+        let r = self.run_device.len() as u32;
+        self.run_device.push(device);
+        self.run_tasks.push(0);
+        self.run_head.push(first);
+        self.run_tail.push(first);
+        // Communication nodes join at cross-stream edges, so they are
+        // never extendable; compute chains stay open until cut.
+        if compute_stream {
+            self.open[dev] = r;
+        }
+        r
+    }
+}
+
+struct CompactSink<'a> {
+    s: &'a mut CompactScratch,
+}
+
+impl GraphSink for CompactSink<'_> {
+    fn push(&mut self, _node: OpNode) -> u32 {
+        unreachable!("the builder emits every node through push_slotted")
+    }
+
+    fn push_slotted(&mut self, node: OpNode, slot: u32) -> u32 {
+        let id = self.s.nodes;
+        self.s.nodes += 1;
+        let compute = node.stream == StreamKind::Compute;
+        let run_id = self.s.open_or_extend(node.device, id, compute);
+        self.s.run_tasks[run_id as usize] += 1;
+        self.s.run_tail[run_id as usize] = id;
+        self.s.push_comp(run_id, slot, 1);
         id
     }
 
+    fn push_chain(
+        &mut self,
+        device: u32,
+        prev: Option<u32>,
+        pattern: &[ChainOp],
+        repeat: u32,
+    ) -> u32 {
+        let first = self.s.nodes;
+        let n_new = pattern.len() as u32 * repeat;
+        self.s.nodes += n_new;
+        let was_open = self.s.open[device as usize] != NONE;
+        let run_id = self.s.open_or_extend(device, first, true);
+        self.s.run_tasks[run_id as usize] += n_new;
+        self.s.run_tail[run_id as usize] = first + n_new - 1;
+        // The whole block is one composition entry per pattern op — the
+        // interior program-order chain is implicit in the run.
+        for item in pattern {
+            self.s.push_comp(run_id, item.slot, repeat);
+        }
+        if !was_open {
+            // The chain edge from the device's previous compute node
+            // enters a fresh run: record it (and seal the source run),
+            // exactly as the per-node expansion would.
+            if let Some(p) = prev {
+                self.add_edge(p, first);
+            }
+        }
+        first
+    }
+
+    fn replicate_block(&mut self, start_node: u32, copies: u32) -> bool {
+        let s = &mut *self.s;
+        // The block began at a cut, so its first node heads the first
+        // block run; everything at or after it belongs to the block.
+        let r0 = s.run_head.partition_point(|&h| h < start_node);
+        assert_eq!(s.run_head[r0], start_node, "replicated block is not cut-aligned");
+        let node_stride = s.nodes - start_node;
+        let run_stride = (s.run_device.len() - r0) as u32;
+        let comp0 = s.comp_run.partition_point(|&r| (r as usize) < r0);
+        // The block's edges are the list's suffix targeting block runs.
+        // Sources before the block are the chain links into the block
+        // head — the builder re-emits those per copy, so skip them here.
+        let mut edge0 = s.edges.len();
+        while edge0 > 0 && s.edges[edge0 - 1].1 as usize >= r0 {
+            edge0 -= 1;
+        }
+        let (run_end, comp_end) = (s.run_device.len(), s.comp_run.len());
+        // The index ranges below keep pointing at period 0 as the
+        // vectors grow, so each extend_from_within is a straight memcpy
+        // of the original block; only the node/run-indexed columns need
+        // an offset fixup afterwards (a vectorizable add-scalar pass).
+        let (n_runs, n_comp) = (run_end - r0, comp_end - comp0);
+        s.run_device.reserve(n_runs * copies as usize);
+        s.run_tasks.reserve(n_runs * copies as usize);
+        s.run_head.reserve(n_runs * copies as usize);
+        s.run_tail.reserve(n_runs * copies as usize);
+        s.comp_run.reserve(n_comp * copies as usize);
+        s.comp_slot.reserve(n_comp * copies as usize);
+        s.comp_count.reserve(n_comp * copies as usize);
+        let block_edges: Vec<(u32, u32)> =
+            s.edges[edge0..].iter().copied().filter(|&(from, _)| from as usize >= r0).collect();
+        s.edges.reserve(block_edges.len() * copies as usize);
+        for q in 1..=copies {
+            let node_off = node_stride * q;
+            let run_off = run_stride * q;
+            s.run_device.extend_from_within(r0..run_end);
+            s.run_tasks.extend_from_within(r0..run_end);
+            let base = s.run_head.len();
+            s.run_head.extend_from_within(r0..run_end);
+            for v in &mut s.run_head[base..] {
+                *v += node_off;
+            }
+            s.run_tail.extend_from_within(r0..run_end);
+            for v in &mut s.run_tail[base..] {
+                *v += node_off;
+            }
+            let cbase = s.comp_run.len();
+            s.comp_run.extend_from_within(comp0..comp_end);
+            for v in &mut s.comp_run[cbase..] {
+                *v += run_off;
+            }
+            s.comp_slot.extend_from_within(comp0..comp_end);
+            s.comp_count.extend_from_within(comp0..comp_end);
+            s.edges.extend(block_edges.iter().map(|&(from, to)| (from + run_off, to + run_off)));
+        }
+        s.nodes += node_stride * copies;
+        s.reps.push(Rep { start: start_node, node_stride, periods: copies + 1, run_stride });
+        // Copies carry the block's internal cut structure; nothing stays
+        // extendable across the replication boundary.
+        s.open[s.run_device[r0] as usize] = NONE;
+        true
+    }
+
+    fn add_edge_train(&mut self, from: u32, from_stride: u32, to: u32, to_stride: u32, count: u32) {
+        if count == 0 {
+            return;
+        }
+        // The first edge takes the ordinary checked path (sealing the
+        // source run if it was still open).
+        self.add_edge(from, to);
+        if count == 1 {
+            return;
+        }
+        let strides = Option::zip(
+            self.s.train_run_stride(from, from_stride, count),
+            self.s.train_run_stride(to, to_stride, count),
+        );
+        let Some((frs, trs)) = strides else {
+            for i in 1..count {
+                self.add_edge(from + i * from_stride, to + i * to_stride);
+            }
+            return;
+        };
+        let s = &mut *self.s;
+        let (rf0, _) = s.run_of(from, s.hint_from);
+        let (rt0, _) = s.run_of(to, s.hint_to);
+        if rf0 == rt0 {
+            // An intra-run chain link — and so are all its copies:
+            // nothing to store (mirrors the `add_edge` early return).
+            debug_assert_eq!(to, from + 1, "non-chain edge inside an aggregation run");
+            return;
+        }
+        s.edges.reserve((count - 1) as usize);
+        for i in 1..count {
+            let (rf, rt) = (rf0 + i * frs, rt0 + i * trs);
+            debug_assert_eq!(
+                s.run_tail[rf as usize],
+                from + i * from_stride,
+                "train edge from the interior of a run"
+            );
+            debug_assert_eq!(
+                s.run_head[rt as usize],
+                to + i * to_stride,
+                "train edge into the interior of a run"
+            );
+            debug_assert_ne!(
+                s.open[s.run_device[rf as usize] as usize], rf,
+                "replicated runs never stay open"
+            );
+            s.edges.push((rf, rt));
+        }
+    }
+
     fn add_edge(&mut self, from: u32, to: u32) {
-        let rf = self.s.node_run[from as usize];
-        let rt = self.s.node_run[to as usize];
+        let (rf, hint_from) = self.s.run_of(from, self.s.hint_from);
+        let (rt, hint_to) = self.s.run_of(to, self.s.hint_to);
+        self.s.hint_from = hint_from;
+        self.s.hint_to = hint_to;
         if rf == rt {
             // The only intra-run edges are the builder's program-order
             // chain links between consecutive members.
             assert_eq!(to, from + 1, "non-chain edge inside an aggregation run");
             return;
         }
-        let src = &self.s.runs[rf as usize];
         // An edge may only leave a run at its (current) tail; once it
         // does, the run must not grow past the tail, so seal it.
-        assert_eq!(src.tail, from, "edge from the interior of an aggregation run");
-        if self.s.open[src.device as usize] == rf {
-            self.s.open[src.device as usize] = NONE;
+        assert_eq!(self.s.run_tail[rf as usize], from, "edge from the interior of a run");
+        let src_dev = self.s.run_device[rf as usize] as usize;
+        if self.s.open[src_dev] == rf {
+            self.s.open[src_dev] = NONE;
         }
-        assert_eq!(
-            self.s.runs[rt as usize].head, to,
-            "edge into the interior of an aggregation run"
-        );
+        assert_eq!(self.s.run_head[rt as usize], to, "edge into the interior of a run");
         self.s.edges.push((rf, rt));
     }
 
@@ -207,11 +458,51 @@ impl<P: ProfileSource> GraphSink for CompactSink<'_, P> {
     }
 }
 
+/// Prices every slot of the plan's canonical enumeration into
+/// `slot_values`/`slot_cat`. Returns `true` if any compute signature
+/// could not be resolved.
+fn resolve_slots<P: ProfileSource>(
+    model: &ModelConfig,
+    plan: &ParallelConfig,
+    opts: &GraphOptions,
+    profiles: &mut P,
+    comm: &CommModel,
+    slot_values: &mut Vec<TimeNs>,
+    slot_cat: &mut Vec<u8>,
+) -> bool {
+    slot_values.clear();
+    slot_cat.clear();
+    let mut missing = false;
+    visit_plan_slots(model, plan, opts, |op| match op {
+        SlotOp::Compute(sig) => {
+            let total = match profiles.op_latency(&sig) {
+                Some((total, _)) => total,
+                None => {
+                    missing = true;
+                    TimeNs::ZERO
+                }
+            };
+            slot_values.push(total);
+            slot_cat.push(CAT_COMPUTE);
+        }
+        SlotOp::Comm(c) => {
+            slot_values.push(comm.latency(&c));
+            slot_cat.push(match c.kind {
+                CommKind::TpAllReduce => CAT_TP,
+                CommKind::DpAllReduce => CAT_DP,
+                CommKind::PpSendRecv => CAT_PP,
+            });
+        }
+    });
+    missing
+}
+
 /// Lowers `(model, plan)` straight into an aggregated replay graph and
 /// replays it in Predicted mode, writing the result into `report` — the
 /// sweep's fused lower + simulate hot path. Produces a report
 /// bit-identical to `simulate(&TaskGraph::lower_fused(..)?,
-/// SimMode::Predicted)`.
+/// SimMode::Predicted)`. Always lowers from scratch; see
+/// [`simulate_plan_delta`] for the neighbor-patching variant.
 ///
 /// # Errors
 ///
@@ -223,6 +514,7 @@ impl<P: ProfileSource> GraphSink for CompactSink<'_, P> {
 /// Same conditions as [`vtrain_graph::build_op_graph`], or if the builder
 /// violates its [`GraphSink::cut`] aggregation contract (a bug, caught by
 /// the equivalence property tests).
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn simulate_plan_compact<P: ProfileSource>(
     model: &ModelConfig,
     plan: &ParallelConfig,
@@ -232,41 +524,103 @@ pub(crate) fn simulate_plan_compact<P: ProfileSource>(
     scratch: &mut CompactScratch,
     report: &mut SimReport,
 ) -> Result<(), MissingProfile> {
-    let devices = plan.pipeline();
-    scratch.node_run.clear();
-    scratch.runs.clear();
-    scratch.edges.clear();
-    scratch.sig_memo.clear();
-    scratch.comm_memo.clear();
-    scratch.open.clear();
-    scratch.open.resize(devices, NONE);
+    simulate_plan_delta(model, plan, opts, profiles, comm, scratch, report, false, 1).map(|_| ())
+}
 
-    let mut sink = CompactSink { profiles, comm, s: scratch, missing: false };
-    build_op_graph_into(model, plan, opts, &mut sink);
-    if sink.missing {
+/// [`simulate_plan_compact`] with delta-lowering: when `delta` is set and
+/// `scratch` holds the graph of a plan with the same [`PlanShapeKey`],
+/// the builder and CSR construction are skipped and only the slot table
+/// and the runs' value columns are recomputed (optionally split across
+/// `shards` threads). The patched graph — and hence the report — is
+/// bit-identical to a fresh lowering.
+#[cfg_attr(not(test), allow(dead_code))]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_plan_delta<P: ProfileSource>(
+    model: &ModelConfig,
+    plan: &ParallelConfig,
+    opts: &GraphOptions,
+    profiles: &mut P,
+    comm: &CommModel,
+    scratch: &mut CompactScratch,
+    report: &mut SimReport,
+    delta: bool,
+    shards: usize,
+) -> Result<LowerOutcome, MissingProfile> {
+    let outcome = lower_plan_delta(model, plan, opts, profiles, comm, scratch, delta, shards)?;
+    replay_lowered(scratch, plan.pipeline(), report);
+    Ok(outcome)
+}
+
+/// The lowering half of [`simulate_plan_delta`]: prices the slot table
+/// and either patches the cached graph (same shape key) or rebuilds it.
+/// Split from the replay so the sweep's stage profiler can attribute
+/// lower vs. simulate time on the compact path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lower_plan_delta<P: ProfileSource>(
+    model: &ModelConfig,
+    plan: &ParallelConfig,
+    opts: &GraphOptions,
+    profiles: &mut P,
+    comm: &CommModel,
+    scratch: &mut CompactScratch,
+    delta: bool,
+    shards: usize,
+) -> Result<LowerOutcome, MissingProfile> {
+    if resolve_slots(
+        model,
+        plan,
+        opts,
+        profiles,
+        comm,
+        &mut scratch.slot_values,
+        &mut scratch.slot_cat,
+    ) {
         return Err(MissingProfile);
     }
 
-    replay(scratch, devices, report);
-    Ok(())
+    let devices = plan.pipeline();
+    let key = plan_shape_key(model, plan, opts);
+    if delta && scratch.base_key == Some(key) {
+        refill_runs(scratch, shards);
+        return Ok(LowerOutcome::Patched);
+    }
+    scratch.base_key = None;
+    scratch.nodes = 0;
+    scratch.comp_run.clear();
+    scratch.comp_slot.clear();
+    scratch.comp_count.clear();
+    scratch.run_device.clear();
+    scratch.run_tasks.clear();
+    scratch.run_head.clear();
+    scratch.run_tail.clear();
+    scratch.edges.clear();
+    scratch.hint_from = 0;
+    scratch.hint_to = 0;
+    scratch.reps.clear();
+    scratch.open.clear();
+    scratch.open.resize(devices, NONE);
+    let mut sink = CompactSink { s: scratch };
+    build_op_graph_into(model, plan, opts, &mut sink);
+    build_csr(scratch);
+    // Fresh builds price their value columns through the same
+    // composition refill the patch path uses — one value computation,
+    // shared and equally sharded on both paths.
+    refill_runs(scratch, shards);
+    scratch.base_key = Some(key);
+    Ok(LowerOutcome::Fresh)
 }
 
-/// The dataflow traversal over the aggregated graph. Compact graphs are
-/// stream-chained by construction (the builder chains consecutive runs on
-/// every slot), so the plain Kahn traversal reproduces the FIFO replay —
-/// the same argument as `simulate`'s fast path, proven bit-identical by
-/// the equivalence tests.
-fn replay(s: &mut CompactScratch, devices: usize, report: &mut SimReport) {
-    let n = s.runs.len();
-    // CSR over inter-run edges, preserving per-source insertion order,
-    // with in-degrees computed in the same pass.
+/// Builds the inter-run CSR (per-source insertion order preserved) and
+/// the pristine in-degree column from the collected edge list.
+fn build_csr(s: &mut CompactScratch) {
+    let n = s.run_device.len();
     s.counts.clear();
     s.counts.resize(n + 1, 0);
-    s.in_degree.clear();
-    s.in_degree.resize(n, 0);
+    s.in_degree0.clear();
+    s.in_degree0.resize(n, 0);
     for &(from, to) in &s.edges {
         s.counts[from as usize + 1] += 1;
-        s.in_degree[to as usize] += 1;
+        s.in_degree0[to as usize] += 1;
     }
     for i in 0..n {
         s.counts[i + 1] += s.counts[i];
@@ -280,6 +634,129 @@ fn replay(s: &mut CompactScratch, devices: usize, report: &mut SimReport) {
         s.targets[*slot as usize] = to;
         *slot += 1;
     }
+}
+
+/// (Re)computes the runs' value columns from the (re-priced) slot table
+/// and the run compositions, leaving all structure untouched — the value
+/// half of a fresh lowering and the entirety of a delta patch. With
+/// `shards > 1` the work splits across disjoint contiguous run ranges on
+/// scoped threads; each run's value is the exact integer sum
+/// `Σ slot_value · multiplicity` either way, so the result is independent
+/// of the split (and equals per-node accumulation: `u64` addition is
+/// associative).
+fn refill_runs(s: &mut CompactScratch, shards: usize) {
+    let n_runs = s.run_device.len();
+    for col in
+        [&mut s.run_duration, &mut s.run_compute, &mut s.run_tp, &mut s.run_dp, &mut s.run_pp]
+    {
+        col.clear();
+        col.resize(n_runs, TimeNs::ZERO);
+    }
+    if n_runs == 0 {
+        return;
+    }
+    let shards = shards.clamp(1, n_runs);
+    if shards == 1 {
+        refill_range(
+            0,
+            &mut s.run_duration,
+            &mut s.run_compute,
+            &mut s.run_tp,
+            &mut s.run_dp,
+            &mut s.run_pp,
+            &s.comp_run,
+            &s.comp_slot,
+            &s.comp_count,
+            &s.slot_values,
+            &s.slot_cat,
+        );
+        return;
+    }
+    // Deterministic split: ceil(n_runs / shards) runs per shard.
+    // `comp_run` is non-decreasing, so each shard owns one contiguous
+    // composition range, found by binary search at the run boundary.
+    let chunk = n_runs.div_ceil(shards);
+    let (comp_run, comp_slot, comp_count) = (&s.comp_run, &s.comp_slot, &s.comp_count);
+    let (slot_values, slot_cat) = (&s.slot_values, &s.slot_cat);
+    std::thread::scope(|scope| {
+        let columns = s
+            .run_duration
+            .chunks_mut(chunk)
+            .zip(s.run_compute.chunks_mut(chunk))
+            .zip(s.run_tp.chunks_mut(chunk))
+            .zip(s.run_dp.chunks_mut(chunk))
+            .zip(s.run_pp.chunks_mut(chunk));
+        let mut run_lo = 0usize;
+        let mut comp_lo = 0usize;
+        for ((((dur, comp), tp), dp), pp) in columns {
+            let run_hi = run_lo + dur.len();
+            let comp_hi = comp_lo + comp_run[comp_lo..].partition_point(|&r| (r as usize) < run_hi);
+            let comp_cols = (
+                &comp_run[comp_lo..comp_hi],
+                &comp_slot[comp_lo..comp_hi],
+                &comp_count[comp_lo..comp_hi],
+            );
+            scope.spawn(move || {
+                refill_range(
+                    run_lo as u32,
+                    dur,
+                    comp,
+                    tp,
+                    dp,
+                    pp,
+                    comp_cols.0,
+                    comp_cols.1,
+                    comp_cols.2,
+                    slot_values,
+                    slot_cat,
+                )
+            });
+            run_lo = run_hi;
+            comp_lo = comp_hi;
+        }
+    });
+}
+
+/// Accumulates the value columns of runs `[run_base, run_base +
+/// dur.len())` (already zeroed) from their composition triples.
+#[allow(clippy::too_many_arguments)]
+fn refill_range(
+    run_base: u32,
+    dur: &mut [TimeNs],
+    comp: &mut [TimeNs],
+    tp: &mut [TimeNs],
+    dp: &mut [TimeNs],
+    pp: &mut [TimeNs],
+    comp_run: &[u32],
+    comp_slot: &[u32],
+    comp_count: &[u32],
+    slot_values: &[TimeNs],
+    slot_cat: &[u8],
+) {
+    for ((&r, &slot), &count) in comp_run.iter().zip(comp_slot).zip(comp_count) {
+        let i = (r - run_base) as usize;
+        let v = TimeNs::from_nanos(slot_values[slot as usize].as_nanos() * count as u64);
+        dur[i] += v;
+        match slot_cat[slot as usize] {
+            CAT_COMPUTE => comp[i] += v,
+            CAT_TP => tp[i] += v,
+            CAT_DP => dp[i] += v,
+            _ => pp[i] += v,
+        }
+    }
+}
+
+/// The dataflow traversal over the aggregated graph. Compact graphs are
+/// stream-chained by construction (the builder chains consecutive runs on
+/// every slot), so the plain Kahn traversal reproduces the FIFO replay —
+/// the same argument as `simulate`'s fast path, proven bit-identical by
+/// the equivalence tests. The CSR and pristine in-degrees are taken as
+/// built ([`build_csr`]); only working state is touched, so a patched
+/// graph replays without re-deriving structure.
+pub(crate) fn replay_lowered(s: &mut CompactScratch, devices: usize, report: &mut SimReport) {
+    let n = s.run_device.len();
+    s.in_degree.clear();
+    s.in_degree.extend_from_slice(&s.in_degree0);
 
     report.busy = BusyBreakdown::default();
     report.iteration_time = TimeNs::ZERO;
@@ -295,19 +772,19 @@ fn replay(s: &mut CompactScratch, devices: usize, report: &mut SimReport) {
     let mut executed_runs = 0usize;
     let mut executed_tasks = 0usize;
     while let Some(u) = s.stack.pop() {
-        let run = &s.runs[u as usize];
-        let finish = s.ready_at[u as usize] + run.duration;
+        let i = u as usize;
+        let finish = s.ready_at[i] + s.run_duration[i];
         iteration_time = iteration_time.max(finish);
-        busy.compute += run.compute;
-        busy.tp_comm += run.tp;
-        busy.dp_comm += run.dp;
-        busy.pp_comm += run.pp;
-        report.device_busy[run.device as usize] += run.compute + run.tp;
+        busy.compute += s.run_compute[i];
+        busy.tp_comm += s.run_tp[i];
+        busy.dp_comm += s.run_dp[i];
+        busy.pp_comm += s.run_pp[i];
+        report.device_busy[s.run_device[i] as usize] += s.run_compute[i] + s.run_tp[i];
         executed_runs += 1;
-        executed_tasks += run.tasks as usize;
+        executed_tasks += s.run_tasks[i] as usize;
 
-        let lo = s.offsets[u as usize] as usize;
-        let hi = s.offsets[u as usize + 1] as usize;
+        let lo = s.offsets[i] as usize;
+        let hi = s.offsets[i + 1] as usize;
         for &c in &s.targets[lo..hi] {
             s.ready_at[c as usize] = s.ready_at[c as usize].max(finish);
             s.in_degree[c as usize] -= 1;
@@ -368,7 +845,7 @@ mod tests {
         assert_eq!(report.tasks_executed, expect.tasks_executed, "{plan}");
         // The aggregation must actually shrink the graph whenever a stage
         // holds more than one operator.
-        assert!(scratch.runs.len() <= full.len());
+        assert!(scratch.num_runs() <= full.len());
     }
 
     #[test]
@@ -416,6 +893,162 @@ mod tests {
         assert_eq!(err, MissingProfile);
     }
 
+    /// Runs `plan` through the delta-enabled path on `walk_scratch` and
+    /// through a from-scratch lowering on a throwaway scratch, asserting
+    /// bit-identical reports. Returns the walk path's outcome.
+    fn compare_delta_step(
+        model: &vtrain_model::ModelConfig,
+        plan: &ParallelConfig,
+        opts: &GraphOptions,
+        walk_scratch: &mut CompactScratch,
+        shards: usize,
+    ) -> LowerOutcome {
+        let cluster = ClusterSpec::aws_p4d(512);
+        let comm = CommModel::new(&cluster, 1.0);
+        let cache = vtrain_profile::ProfileCache::new();
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        let sigs = vtrain_graph::plan_signatures(model, plan, opts);
+        let profiles = cache.resolve(&profiler, &sigs);
+
+        let mut fresh_report = SimReport::default();
+        let mut fresh_scratch = CompactScratch::default();
+        let mut source = SetSource(&profiles);
+        simulate_plan_compact(
+            model,
+            plan,
+            opts,
+            &mut source,
+            &comm,
+            &mut fresh_scratch,
+            &mut fresh_report,
+        )
+        .unwrap();
+
+        let mut walk_report = SimReport::default();
+        let mut source = SetSource(&profiles);
+        let outcome = simulate_plan_delta(
+            model,
+            plan,
+            opts,
+            &mut source,
+            &comm,
+            walk_scratch,
+            &mut walk_report,
+            true,
+            shards,
+        )
+        .unwrap();
+
+        assert_eq!(walk_report.iteration_time, fresh_report.iteration_time, "{plan}");
+        assert_eq!(walk_report.busy, fresh_report.busy, "{plan}");
+        assert_eq!(walk_report.device_busy, fresh_report.device_busy, "{plan}");
+        assert_eq!(walk_report.tasks_executed, fresh_report.tasks_executed, "{plan}");
+        outcome
+    }
+
+    #[test]
+    fn delta_patch_covers_shape_compatible_neighbors() {
+        // A deterministic neighbor walk that must exercise the patch
+        // path: t changes move slot values (boundary bytes per rank,
+        // WU params) but not the shape; so do micro-batch changes with
+        // n_micro held fixed.
+        let model = presets::megatron("1.7B");
+        let mut scratch = CompactScratch::default();
+        let step = |t, m, b, scratch: &mut CompactScratch, shards| {
+            let plan = ParallelConfig::builder()
+                .tensor(t)
+                .data(2)
+                .pipeline(3)
+                .micro_batch(m)
+                .global_batch(b)
+                .build()
+                .unwrap();
+            compare_delta_step(&model, &plan, &GraphOptions::default(), scratch, shards)
+        };
+        assert_eq!(step(2, 1, 8, &mut scratch, 1), LowerOutcome::Fresh);
+        // t changes within t > 1 keep the shape (the TP slot exists
+        // either way); only slot values move.
+        assert_eq!(step(4, 1, 8, &mut scratch, 3), LowerOutcome::Patched);
+        // Same n_micro (4), larger micro-batch: still a patch.
+        assert_eq!(step(4, 2, 16, &mut scratch, 2), LowerOutcome::Patched);
+        // n_micro changes (8): the stage programs differ, so re-lower.
+        assert_eq!(step(4, 1, 16, &mut scratch, 1), LowerOutcome::Fresh);
+        assert_eq!(step(2, 1, 16, &mut scratch, 4), LowerOutcome::Patched);
+        // Dropping to t = 1 removes the TP slot: re-lower again.
+        assert_eq!(step(1, 1, 16, &mut scratch, 1), LowerOutcome::Fresh);
+    }
+
+    #[test]
+    #[ignore = "manual profiling aid"]
+    fn profile_lower_breakdown() {
+        let model = presets::mt_nlg_530b();
+        let plan = ParallelConfig::builder()
+            .tensor(8)
+            .data(1)
+            .pipeline(21)
+            .micro_batch(1)
+            .global_batch(1920)
+            .build()
+            .unwrap();
+        let opts = GraphOptions::default();
+        let cluster = ClusterSpec::aws_p4d(21 * 8);
+        let comm = CommModel::new(&cluster, 1.0);
+        let cache = vtrain_profile::ProfileCache::new();
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        let sigs = vtrain_graph::plan_signatures(&model, &plan, &opts);
+        let profiles = cache.resolve(&profiler, &sigs);
+        let mut scratch = CompactScratch::default();
+        let mut report = SimReport::default();
+        for round in 0..3 {
+            let t0 = std::time::Instant::now();
+            let mut source = SetSource(&profiles);
+            resolve_slots(
+                &model,
+                &plan,
+                &opts,
+                &mut source,
+                &comm,
+                &mut scratch.slot_values,
+                &mut scratch.slot_cat,
+            );
+            let t1 = std::time::Instant::now();
+            scratch.base_key = None;
+            scratch.nodes = 0;
+            scratch.comp_run.clear();
+            scratch.comp_slot.clear();
+            scratch.comp_count.clear();
+            scratch.run_device.clear();
+            scratch.run_tasks.clear();
+            scratch.run_head.clear();
+            scratch.run_tail.clear();
+            scratch.edges.clear();
+            scratch.reps.clear();
+            scratch.open.clear();
+            scratch.open.resize(plan.pipeline(), NONE);
+            let mut sink = CompactSink { s: &mut scratch };
+            build_op_graph_into(&model, &plan, &opts, &mut sink);
+            let t2 = std::time::Instant::now();
+            build_csr(&mut scratch);
+            let t3 = std::time::Instant::now();
+            refill_runs(&mut scratch, 1);
+            let t4 = std::time::Instant::now();
+            replay_lowered(&mut scratch, plan.pipeline(), &mut report);
+            let t5 = std::time::Instant::now();
+            eprintln!(
+                "round {round}: slots {:?} build {:?} csr {:?} refill {:?} replay {:?} | nodes {} runs {} comp {} edges {}",
+                t1 - t0,
+                t2 - t1,
+                t3 - t2,
+                t4 - t3,
+                t5 - t4,
+                scratch.nodes,
+                scratch.run_device.len(),
+                scratch.comp_run.len(),
+                scratch.edges.len(),
+            );
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
@@ -428,18 +1061,50 @@ mod tests {
             d_exp in 0usize..=2,
             p in 1usize..=5,
             m_exp in 0usize..=1,
+            n_micro in 1usize..=24,
             flags in 0u32..8,
         ) {
             let (gpipe, bucketing, recompute) =
                 (flags & 1 != 0, flags & 2 != 0, flags & 4 != 0);
             let (t, d, m) = (1usize << t_exp, 1 << d_exp, 1 << m_exp);
-            let b = d * m * 2;
+            // Large-ish micro-batch counts exercise the builder's
+            // periodic block replication (warmup/steady/drain splits).
+            let b = d * m * n_micro;
             let sched = if gpipe { PipelineSchedule::GPipe } else { PipelineSchedule::OneFOneB };
             let plan = ParallelConfig::builder()
                 .tensor(t).data(d).pipeline(p).micro_batch(m).global_batch(b)
                 .schedule(sched).gradient_bucketing(bucketing).build().unwrap();
             let opts = GraphOptions { recompute, ..GraphOptions::default() };
             compare_point(&presets::megatron("1.7B"), &plan, &opts, &mut CompactScratch::default());
+        }
+
+        /// Delta A/B: walking random neighbors with one shared scratch —
+        /// patched whenever shapes line up, re-lowered otherwise, with
+        /// random shard splits — always reproduces a from-scratch
+        /// lowering bit for bit.
+        #[test]
+        fn delta_lowering_matches_fresh_on_random_walks(
+            walk in proptest::collection::vec(
+                (0usize..=2, 0usize..=2, 1usize..=4, 0usize..=1, 0u32..4,
+                 (1usize..=4, 1usize..=12)),
+                2..6,
+            ),
+        ) {
+            let model = presets::megatron("1.7B");
+            let mut scratch = CompactScratch::default();
+            for (t_exp, d_exp, p, m_exp, flags, (shards, n_micro)) in walk {
+                let (gpipe, bucketing) = (flags & 1 != 0, flags & 2 != 0);
+                let (t, d, m) = (1usize << t_exp, 1 << d_exp, 1 << m_exp);
+                let b = d * m * n_micro;
+                let sched =
+                    if gpipe { PipelineSchedule::GPipe } else { PipelineSchedule::OneFOneB };
+                let plan = ParallelConfig::builder()
+                    .tensor(t).data(d).pipeline(p).micro_batch(m).global_batch(b)
+                    .schedule(sched).gradient_bucketing(bucketing).build().unwrap();
+                compare_delta_step(
+                    &model, &plan, &GraphOptions::default(), &mut scratch, shards,
+                );
+            }
         }
     }
 }

@@ -26,8 +26,8 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 use vtrain_gpu::NoiseModel;
 use vtrain_graph::{
-    build_op_graph, plan_signatures, CommKind, CommOp, CompKind, GraphOptions, Op, OpSignature,
-    StreamKind,
+    build_op_graph, plan_shape_key, plan_signatures, CommKind, CommOp, CompKind, GraphOptions, Op,
+    OpSignature, PlanShapeKey, StreamKind,
 };
 use vtrain_model::{ModelConfig, TimeNs};
 use vtrain_net::Topology;
@@ -35,7 +35,9 @@ use vtrain_obs::{TimelineRecorder, TraceSpan};
 use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule, PlanError};
 use vtrain_profile::{CacheStats, CommModel, GpuKey, ProfileCache, Profiler};
 
-use crate::compact::{simulate_plan_compact, CompactScratch, ProfileSource};
+use crate::compact::{
+    lower_plan_delta, replay_lowered, CompactScratch, LowerOutcome, ProfileSource,
+};
 use crate::sim::{simulate, simulate_into_traced, BusyBreakdown, SimMode, SimReport, SimScratch};
 use crate::task_graph::{TaskGraph, TaskKind};
 
@@ -287,12 +289,23 @@ pub struct EstimatorScratch {
     report: SimReport,
     /// Profile-cache hits/misses attributable to this scratch's owner.
     cache_stats: CacheStats,
+    /// Points lowered from scratch through the graph builder (monotonic).
+    delta_fresh: u64,
+    /// Points delta-patched from a shape-compatible neighbor (monotonic).
+    delta_patched: u64,
 }
 
 impl EstimatorScratch {
     /// This scratch's exact profile-cache hit/miss tally (monotonic).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache_stats
+    }
+
+    /// `(fresh, patched)` lowering counts of this scratch: how many
+    /// points were lowered from scratch vs. delta-patched from a
+    /// shape-compatible neighbor's cached graph (monotonic).
+    pub fn delta_counts(&self) -> (u64, u64) {
+        (self.delta_fresh, self.delta_patched)
     }
 }
 
@@ -480,24 +493,87 @@ impl Estimator {
         plan: &ParallelConfig,
         scratch: &mut EstimatorScratch,
     ) -> IterationEstimate {
-        let EstimatorScratch { compact, report, cache_stats } = scratch;
+        self.estimate_validated_delta(model, plan, scratch, true, 1, None)
+    }
+
+    /// The full-control compact hot path: [`Estimator::estimate_validated_with`]
+    /// plus the delta-lowering switch, the two-level replay shard count,
+    /// and optional per-stage wall-clock attribution (timed *inside* the
+    /// fused pipeline, so the delta path's lower/simulate split is
+    /// observable). The estimate is bit-identical across every knob
+    /// combination — delta patches and shard splits are exact
+    /// re-pricings, proven by the compact A/B property tests.
+    pub(crate) fn estimate_validated_delta(
+        &self,
+        model: &ModelConfig,
+        plan: &ParallelConfig,
+        scratch: &mut EstimatorScratch,
+        delta: bool,
+        shards: usize,
+        stages: Option<&mut StageNanos>,
+    ) -> IterationEstimate {
+        let EstimatorScratch { compact, report, cache_stats, delta_fresh, delta_patched } = scratch;
         let mut source = CacheSource {
             cache: &self.cache,
             profiler: &self.profiler,
             gpu_key: &self.gpu_key,
             stats: cache_stats,
         };
-        simulate_plan_compact(
-            model,
-            plan,
-            &self.graph_opts,
-            &mut source,
-            &self.comm,
-            compact,
-            report,
-        )
-        .expect("estimator profile source resolves every signature");
-        self.summarize(model, plan, report)
+        let outcome;
+        let estimate = match stages {
+            None => {
+                outcome = lower_plan_delta(
+                    model,
+                    plan,
+                    &self.graph_opts,
+                    &mut source,
+                    &self.comm,
+                    compact,
+                    delta,
+                    shards,
+                )
+                .expect("estimator profile source resolves every signature");
+                replay_lowered(compact, plan.pipeline(), report);
+                self.summarize(model, plan, report)
+            }
+            Some(stages) => {
+                let t0 = Instant::now();
+                outcome = lower_plan_delta(
+                    model,
+                    plan,
+                    &self.graph_opts,
+                    &mut source,
+                    &self.comm,
+                    compact,
+                    delta,
+                    shards,
+                )
+                .expect("estimator profile source resolves every signature");
+                let t1 = Instant::now();
+                replay_lowered(compact, plan.pipeline(), report);
+                let t2 = Instant::now();
+                let estimate = self.summarize(model, plan, report);
+                let t3 = Instant::now();
+                stages.lower_ns += (t1 - t0).as_nanos() as u64;
+                stages.simulate_ns += (t2 - t1).as_nanos() as u64;
+                stages.summarize_ns += (t3 - t2).as_nanos() as u64;
+                estimate
+            }
+        };
+        match outcome {
+            LowerOutcome::Fresh => *delta_fresh += 1,
+            LowerOutcome::Patched => *delta_patched += 1,
+        }
+        estimate
+    }
+
+    /// The structural shape key of `(model, plan)` under this
+    /// estimator's graph options: equal keys guarantee identical compact
+    /// graph structure, licensing a delta patch between the two plans.
+    /// The sweep executor groups candidates by this key so
+    /// shape-compatible neighbors are visited back to back.
+    pub(crate) fn shape_key(&self, model: &ModelConfig, plan: &ParallelConfig) -> PlanShapeKey {
+        plan_shape_key(model, plan, &self.graph_opts)
     }
 
     /// An admissible analytic lower bound on the plan's Predicted
@@ -643,7 +719,7 @@ impl Estimator {
         }
 
         let nodes = graph.nodes();
-        let tasks = tg.tasks();
+        let kinds = tg.kinds();
         let mut report = SimReport::default();
         let mut record = |id: u32, start: TimeNs, finish: TimeNs| {
             let node = &nodes[id as usize];
@@ -653,7 +729,7 @@ impl Estimator {
             };
             let (name, cat, args) = match &node.op {
                 Op::Compute(c) => {
-                    let kernels = match tasks[id as usize].kind {
+                    let kernels = match kinds[id as usize] {
                         TaskKind::Compute { kernels } => u64::from(kernels),
                         TaskKind::Comm { .. } => 0,
                     };

@@ -9,6 +9,7 @@
 //! estimator's profile cache, so each unique operator signature is
 //! profiled once per sweep rather than once per plan.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -107,8 +108,21 @@ pub struct SweepStats {
     pub cache_hits: u64,
     /// Profile-cache misses (signatures profiled) during this sweep.
     pub cache_misses: u64,
+    /// Evaluated points lowered from scratch through the graph builder.
+    #[serde(default)]
+    pub delta_fresh: u64,
+    /// Evaluated points delta-patched from a shape-compatible neighbor's
+    /// cached graph structure (always 0 with
+    /// [`Sweep::delta_lowering`]`(false)`).
+    #[serde(default)]
+    pub delta_patched: u64,
     /// Worker threads used.
     pub threads: usize,
+    /// Replay shards each worker splits a candidate's value refill
+    /// across — greater than 1 only when the candidate count is small
+    /// relative to the thread budget (the two-level split).
+    #[serde(default)]
+    pub shards: usize,
     /// Wall-clock seconds.
     pub wall_s: f64,
 }
@@ -153,6 +167,11 @@ pub struct StageProfile {
     /// Time spent computing analytic lower bounds (only nonzero under
     /// `Front`/`Best` goals), summed over workers.
     pub bound_ns: u64,
+    /// Time spent ordering the candidate visit — GPU-count sorting for
+    /// bound-guided goals, shape-key grouping for delta sweeps (a
+    /// once-per-sweep driver pass, not per-point work).
+    #[serde(default)]
+    pub order_ns: u64,
     /// Elapsed wall-clock time of the whole sweep.
     pub wall_ns: u64,
     /// Worker threads the attribution is summed over.
@@ -161,9 +180,9 @@ pub struct StageProfile {
 
 impl StageProfile {
     /// Total time attributed to a named stage (the four pipeline stages
-    /// plus bound pricing).
+    /// plus bound pricing and candidate ordering).
     pub fn attributed_ns(&self) -> u64 {
-        self.stages.total_ns() + self.bound_ns
+        self.stages.total_ns() + self.bound_ns + self.order_ns
     }
 
     /// Fraction of the sweep's total CPU budget
@@ -318,6 +337,13 @@ impl Watermarks {
 /// evaluated incumbent (shared across workers via atomic watermarks) are
 /// skipped entirely, and the outcome is filtered to exactly the goal's
 /// winners — provably the same winners the exhaustive sweep returns.
+///
+/// Parallelism is two-level: when the candidate count is smaller than
+/// the thread budget (the `vtrain serve` shape — few points, many
+/// cores), the leftover threads split each candidate's value refill
+/// into `shards = threads / workers` deterministic chunks instead of
+/// idling. Shard splits are exact re-pricings (proven by the compact
+/// shard property tests), so output stays byte-identical to one thread.
 fn run_sweep(
     estimator: &Estimator,
     model: &ModelConfig,
@@ -325,10 +351,15 @@ fn run_sweep(
     threads: usize,
     goal: SweepGoal,
     profile: bool,
+    delta: bool,
 ) -> SweepOutcome {
     let started = Instant::now();
     let _sweep_span = vtrain_obs::span!("sweep.run", candidates = candidates.len() as u64);
-    let threads = threads.max(1).min(candidates.len().max(1));
+    let requested = threads.max(1);
+    let threads = requested.min(candidates.len().max(1));
+    // Level two: threads the candidate axis cannot absorb split each
+    // candidate's refill instead of idling.
+    let shards = (requested / threads).max(1);
     let pruned = AtomicUsize::new(0);
     let bound_pruned = AtomicUsize::new(0);
     // Exhaustive sweeps never consult watermarks; skip the sort and the
@@ -340,11 +371,35 @@ fn run_sweep(
     // bulk of the space): the incumbent tightens immediately and the
     // slow small-GPU tail prunes instead of being evaluated. The stable
     // sort keeps candidate order within a GPU count.
-    let order: Option<Vec<u32>> = (goal != SweepGoal::Exhaustive).then(|| {
-        let mut idx: Vec<u32> = (0..candidates.len() as u32).collect();
-        idx.sort_by_key(|&i| std::cmp::Reverse(candidates[i as usize].num_gpus()));
-        idx
-    });
+    //
+    // Exhaustive delta sweeps instead group candidates by graph shape
+    // (stable within a group), so shape-compatible neighbors land back
+    // to back in each worker's scratch and lower as patches rather than
+    // from scratch. Either reordering only changes *visit* order:
+    // results are re-sorted by candidate index below, so the outcome is
+    // byte-identical to the unordered sweep.
+    let order_t0 = profile.then(Instant::now);
+    let order: Option<Vec<u32>> = match goal {
+        SweepGoal::Exhaustive => delta.then(|| {
+            let mut group_of = HashMap::new();
+            let groups: Vec<u32> = candidates
+                .iter()
+                .map(|c| {
+                    let next = group_of.len() as u32;
+                    *group_of.entry(estimator.shape_key(model, c)).or_insert(next)
+                })
+                .collect();
+            let mut idx: Vec<u32> = (0..candidates.len() as u32).collect();
+            idx.sort_by_key(|&i| groups[i as usize]);
+            idx
+        }),
+        _ => {
+            let mut idx: Vec<u32> = (0..candidates.len() as u32).collect();
+            idx.sort_by_key(|&i| std::cmp::Reverse(candidates[i as usize].num_gpus()));
+            Some(idx)
+        }
+    };
+    let order_ns = order_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
     let order = order.as_deref();
 
     // Contiguous per-worker ranges: (cursor, end). A worker drains its own
@@ -355,7 +410,13 @@ fn run_sweep(
         .map(|w| (AtomicUsize::new(w * chunk), ((w + 1) * chunk).min(candidates.len())))
         .collect();
 
-    type WorkerYield = (Vec<(u32, DesignPoint)>, vtrain_profile::CacheStats, StageNanos, u64);
+    struct WorkerYield {
+        buf: Vec<(u32, DesignPoint)>,
+        cache: vtrain_profile::CacheStats,
+        delta_counts: (u64, u64),
+        stages: StageNanos,
+        bound_ns: u64,
+    }
     let run_worker = |w: usize| -> WorkerYield {
         let mut buf: Vec<(u32, DesignPoint)> = Vec::new();
         let mut scratch = EstimatorScratch::default();
@@ -380,6 +441,10 @@ fn run_sweep(
                     continue;
                 }
                 if let Some(marks) = watermarks.as_ref() {
+                    // The floor's cost is a stage of its own: bound
+                    // pricing is neither validation nor lowering, and
+                    // folding it into either would hide the cost of
+                    // bound-guided goals from the attribution table.
                     let t0 = profile.then(Instant::now);
                     let floor = estimator.lower_bound(model, &plan);
                     if let Some(t0) = t0 {
@@ -390,22 +455,31 @@ fn run_sweep(
                         continue;
                     }
                 }
-                // The staged path runs the unfused pipeline —
-                // bit-identical results (pinned by the compact
-                // equivalence tests), modestly slower, in exchange for
-                // per-stage attribution.
-                let estimate = if profile {
-                    estimator.estimate_validated_staged(model, &plan, &mut stages)
-                } else {
-                    estimator.estimate_validated_with(model, &plan, &mut scratch)
-                };
+                // Both paths run the same fused compact pipeline; the
+                // profiled variant times lower/simulate/summarize from
+                // inside it, so delta patches show up as shrunken
+                // `lower_ns` rather than a separate path.
+                let estimate = estimator.estimate_validated_delta(
+                    model,
+                    &plan,
+                    &mut scratch,
+                    delta,
+                    shards,
+                    profile.then_some(&mut stages),
+                );
                 if let Some(marks) = watermarks.as_ref() {
                     marks.record(plan.num_gpus(), estimate.iteration_time);
                 }
                 buf.push((i as u32, DesignPoint { plan, estimate }));
             }
         }
-        (buf, scratch.cache_stats(), stages, bound_ns)
+        WorkerYield {
+            buf,
+            cache: scratch.cache_stats(),
+            delta_counts: scratch.delta_counts(),
+            stages,
+            bound_ns,
+        }
     };
     // One worker needs no pool: run inline, skipping thread spawn/join
     // (this also keeps single-threaded stage profiles nearly 100%
@@ -428,14 +502,18 @@ fn run_sweep(
     let mut indexed: Vec<(u32, DesignPoint)> = Vec::new();
     let mut cache_hits = 0u64;
     let mut cache_misses = 0u64;
+    let mut delta_fresh = 0u64;
+    let mut delta_patched = 0u64;
     let mut stages = StageNanos::default();
     let mut bound_ns = 0u64;
-    for (buf, cache, worker_stages, worker_bound) in results {
-        indexed.extend(buf);
-        cache_hits += cache.hits;
-        cache_misses += cache.misses;
-        stages.merge(&worker_stages);
-        bound_ns += worker_bound;
+    for worker in results {
+        indexed.extend(worker.buf);
+        cache_hits += worker.cache.hits;
+        cache_misses += worker.cache.misses;
+        delta_fresh += worker.delta_counts.0;
+        delta_patched += worker.delta_counts.1;
+        stages.merge(&worker.stages);
+        bound_ns += worker.bound_ns;
     }
     indexed.sort_unstable_by_key(|(i, _)| *i);
     let mut points: Vec<DesignPoint> = indexed.into_iter().map(|(_, p)| p).collect();
@@ -481,7 +559,10 @@ fn run_sweep(
         evaluated: candidates.len() - pruned - bound_pruned,
         cache_hits,
         cache_misses,
+        delta_fresh,
+        delta_patched,
         threads,
+        shards,
         wall_s: started.elapsed().as_secs_f64(),
     };
     if vtrain_obs::enabled() {
@@ -493,11 +574,14 @@ fn run_sweep(
         reg.counter("sweep.bound_pruned").add(stats.bound_pruned as u64);
         reg.counter("sweep.cache_hits").add(stats.cache_hits);
         reg.counter("sweep.cache_misses").add(stats.cache_misses);
+        reg.counter("lower.delta.fresh").add(stats.delta_fresh);
+        reg.counter("lower.delta.patched").add(stats.delta_patched);
         reg.histogram("sweep.wall_ms").record((stats.wall_s * 1e3) as u64);
     }
     let stage_profile = profile.then_some(StageProfile {
         stages,
         bound_ns,
+        order_ns,
         wall_ns: (stats.wall_s * 1e9) as u64,
         threads,
     });
@@ -530,6 +614,7 @@ fn run_placements(
     threads: usize,
     goal: SweepGoal,
     profile: bool,
+    delta: bool,
 ) -> Vec<PlacementSweep> {
     topologies
         .iter()
@@ -542,7 +627,7 @@ fn run_placements(
             let estimator = builder.build();
             PlacementSweep {
                 label: label.clone(),
-                outcome: run_sweep(&estimator, model, candidates, threads, goal, profile),
+                outcome: run_sweep(&estimator, model, candidates, threads, goal, profile, delta),
             }
         })
         .collect()
@@ -594,6 +679,7 @@ pub struct Sweep {
     goal: SweepGoal,
     threads: Option<usize>,
     stage_profile: bool,
+    delta_lowering: bool,
     /// Shared, not owned: cloning a configured sweep (e.g. to re-run it
     /// under another goal) must not copy the candidate grid.
     candidates: Option<Arc<[ParallelConfig]>>,
@@ -617,6 +703,7 @@ impl Sweep {
             goal: SweepGoal::default(),
             threads: None,
             stage_profile: false,
+            delta_lowering: true,
             candidates: None,
         }
     }
@@ -677,13 +764,24 @@ impl Sweep {
     /// [`StageProfile`] splitting the sweep's CPU time across
     /// validate / bound / lower / simulate / summarize.
     ///
-    /// Profiled sweeps run the unfused staged pipeline — results are
-    /// bit-identical to the default compact path (pinned by the compact
-    /// equivalence tests), but evaluation is modestly slower and cache
-    /// hit/miss counters are not attributed per worker. Leave this off
-    /// for throughput-sensitive sweeps.
+    /// Profiled sweeps run the same fused compact pipeline as
+    /// unprofiled ones, timed from inside — results are bit-identical
+    /// and delta-patched points show up as shrunken `lower_ns`. The
+    /// only cost is the per-stage clock reads.
     pub fn stage_profile(mut self, enabled: bool) -> Self {
         self.stage_profile = enabled;
+        self
+    }
+
+    /// Enables or disables delta-lowering (default on): with it on,
+    /// exhaustive sweeps visit candidates grouped by graph shape and
+    /// each worker patches only the changed values of its previously
+    /// lowered graph when the shape matches, instead of rebuilding the
+    /// structure per point. Results are bit-identical either way
+    /// (proven by the delta A/B property tests); turn it off only to
+    /// measure or gate that equivalence.
+    pub fn delta_lowering(mut self, enabled: bool) -> Self {
+        self.delta_lowering = enabled;
         self
     }
 
@@ -765,6 +863,7 @@ impl Sweep {
                 threads,
                 self.goal,
                 self.stage_profile,
+                self.delta_lowering,
             );
             vec![PlacementSweep { label: String::new(), outcome }]
         } else {
@@ -778,6 +877,7 @@ impl Sweep {
                 threads,
                 self.goal,
                 self.stage_profile,
+                self.delta_lowering,
             )
         };
         SweepRun { sweeps }
@@ -977,6 +1077,108 @@ mod tests {
         assert_eq!(serial.stats.pruned, parallel.stats.pruned);
         assert_eq!(serial.stats.evaluated, parallel.stats.evaluated);
         assert_eq!(serial.stats.threads, 1);
+    }
+
+    #[test]
+    fn delta_lowering_is_bit_identical_and_actually_patches() {
+        let cluster = ClusterSpec::aws_p4d(32);
+        let model = presets::megatron("1.7B");
+        let limits =
+            SearchLimits { max_tensor: 4, max_data: 8, max_pipeline: 4, max_micro_batch: 4 };
+        let cands = enumerate_candidates(&model, &cluster, 32, PipelineSchedule::OneFOneB, &limits);
+        let run = |delta: bool| {
+            Sweep::over(&model, &cluster)
+                .candidates(cands.clone())
+                .threads(1)
+                .delta_lowering(delta)
+                .run()
+                .into_outcome()
+        };
+        let fresh = run(false);
+        let patched = run(true);
+        assert_eq!(fresh.stats.delta_patched, 0, "delta off must never patch");
+        assert_eq!(fresh.stats.delta_fresh as usize, fresh.stats.evaluated);
+        assert!(
+            patched.stats.delta_patched > 0,
+            "shape-grouped visit order must produce patches on a {}-point grid",
+            patched.stats.evaluated
+        );
+        assert_eq!(
+            patched.stats.delta_fresh + patched.stats.delta_patched,
+            patched.stats.evaluated as u64
+        );
+        // Patching must not change a single bit of any estimate, nor the
+        // candidate-order output contract.
+        assert_eq!(fresh.points.len(), patched.points.len());
+        for (a, b) in fresh.points.iter().zip(&patched.points) {
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.estimate.iteration_time, b.estimate.iteration_time);
+            assert_eq!(a.estimate.utilization.to_bits(), b.estimate.utilization.to_bits());
+            assert_eq!(a.estimate.occupancy.to_bits(), b.estimate.occupancy.to_bits());
+            assert_eq!(a.estimate.busy, b.estimate.busy);
+        }
+    }
+
+    #[test]
+    fn two_level_split_shards_small_grids_without_changing_output() {
+        let cluster = ClusterSpec::aws_p4d(16);
+        let model = presets::megatron("1.7B");
+        let plan = |t: usize, d: usize, p: usize| {
+            ParallelConfig::builder()
+                .tensor(t)
+                .data(d)
+                .pipeline(p)
+                .micro_batch(1)
+                .global_batch(8)
+                .build()
+                .unwrap()
+        };
+        let cands = vec![plan(1, 2, 2), plan(2, 2, 2), plan(2, 4, 1)];
+        let serial =
+            Sweep::over(&model, &cluster).candidates(cands.clone()).threads(1).run().into_outcome();
+        let sharded =
+            Sweep::over(&model, &cluster).candidates(cands).threads(16).run().into_outcome();
+        assert_eq!(serial.stats.shards, 1);
+        assert!(
+            sharded.stats.shards > 1,
+            "{} candidates on 16 threads must shard refills",
+            sharded.stats.candidates
+        );
+        assert_eq!(sharded.stats.threads, sharded.stats.candidates);
+        assert_eq!(serial.points.len(), sharded.points.len());
+        for (a, b) in serial.points.iter().zip(&sharded.points) {
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.estimate.iteration_time, b.estimate.iteration_time);
+            assert_eq!(a.estimate.utilization.to_bits(), b.estimate.utilization.to_bits());
+        }
+    }
+
+    #[test]
+    fn goal_guided_stage_profiles_attribute_bound_time() {
+        // Regression test: `bound_ns` must be a stage window of its own,
+        // nonzero whenever a goal-guided profiled sweep priced floors.
+        let cluster = ClusterSpec::aws_p4d(32);
+        let model = presets::megatron("1.7B");
+        let limits =
+            SearchLimits { max_tensor: 4, max_data: 8, max_pipeline: 4, max_micro_batch: 4 };
+        let cands = enumerate_candidates(&model, &cluster, 32, PipelineSchedule::OneFOneB, &limits);
+        let outcome = Sweep::over(&model, &cluster)
+            .candidates(cands)
+            .threads(1)
+            .goal(SweepGoal::Best)
+            .stage_profile(true)
+            .run()
+            .into_outcome();
+        let profile = outcome.stage_profile.expect("requested profile must be attached");
+        assert!(
+            outcome.stats.evaluated + outcome.stats.bound_pruned > 0,
+            "grid must reach the bound stage"
+        );
+        assert!(
+            profile.bound_ns > 0,
+            "goal-guided sweeps price floors, so bound time must be attributed"
+        );
+        assert!(profile.attributed_ns() <= profile.wall_ns);
     }
 
     #[test]

@@ -124,17 +124,18 @@ struct Replay<'a, 'b, 't> {
 
 impl Handler<TaskReady> for Replay<'_, '_, '_> {
     fn handle(&mut self, TaskReady(u): TaskReady, sim: &mut Simulation<TaskReady>) {
-        let task = &self.graph.tasks()[u as usize];
-        let duration = effective_duration(u, task.duration, &task.kind, &self.mode);
-        let dev = task.device as usize;
-        let reservation =
-            self.streams.reserve(dev, task.stream as usize, self.ready_at[u as usize], duration);
+        let i = u as usize;
+        let kind = self.graph.kinds()[i];
+        let duration = effective_duration(u, self.graph.durations()[i], &kind, &self.mode);
+        let dev = self.graph.devices()[i] as usize;
+        let stream = self.graph.streams()[i] as usize;
+        let reservation = self.streams.reserve(dev, stream, self.ready_at[i], duration);
         self.iteration_time = self.iteration_time.max(reservation.finish);
         if let Some(trace) = self.trace.as_mut() {
             trace(u, reservation.start, reservation.finish);
         }
 
-        match task.kind {
+        match kind {
             TaskKind::Compute { .. } => {
                 self.busy.compute += duration;
                 self.device_busy[dev] += duration;
@@ -203,8 +204,8 @@ pub fn simulate_into(
 /// executed task with `(task id, start, finish)` on the simulated clock.
 ///
 /// Tracing is observation only — the report is bit-identical to the
-/// untraced replay (pinned by a property test). Task ids index
-/// [`TaskGraph::tasks`], which for [`TaskGraph::lower`]ed graphs also
+/// untraced replay (pinned by a property test). Task ids index the
+/// graph's columns, which for [`TaskGraph::lower`]ed graphs also
 /// index the originating `OpGraph`'s nodes, so a caller can join spans
 /// back to operator names — the timeline exporter's labeling path.
 pub fn simulate_into_traced(
@@ -265,12 +266,18 @@ fn simulate_dataflow(
     let mut iteration_time = TimeNs::ZERO;
     let mut executed = 0usize;
 
+    // The hot loop reads the duration/kind/device columns directly; the
+    // stream column is untouched here (chained graphs need no stream
+    // availability — see the correctness argument above).
+    let durations = graph.durations();
+    let kinds = graph.kinds();
+    let devices = graph.devices();
+
     scratch.stack.clear();
     scratch.stack.extend((0..n as u32).filter(|&i| in_degree[i as usize] == 0));
     let stack = &mut scratch.stack;
     while let Some(u) = stack.pop() {
-        let task = &graph.tasks()[u as usize];
-        let duration = effective_duration(u, task.duration, &task.kind, &mode);
+        let duration = effective_duration(u, durations[u as usize], &kinds[u as usize], &mode);
         // On a stream-chained graph start(u) == ready_at[u] (see the
         // correctness argument above), so the trace can report exact
         // start/finish without consulting stream availability.
@@ -280,8 +287,8 @@ fn simulate_dataflow(
             trace(u, ready_at[u as usize], finish);
         }
 
-        let dev = task.device as usize;
-        match task.kind {
+        let dev = devices[u as usize] as usize;
+        match kinds[u as usize] {
             TaskKind::Compute { .. } => {
                 busy.compute += duration;
                 device_busy[dev] += duration;
@@ -394,9 +401,12 @@ fn effective_duration(task_id: u32, clean: TimeNs, kind: &TaskKind, mode: &SimMo
     }
 }
 
-/// The paper's pseudocode transcribed literally (the pre-engine
-/// implementation), kept as the golden reference the engine port is tested
-/// against. Delete once the equivalence test has survived a few PRs.
+/// The paper's pseudocode transcribed literally (the pre-engine,
+/// pre-columnar implementation), kept as the golden reference both the
+/// engine port and the columnar refactor are tested against: it walks the
+/// CSR through the assembled per-task [`TaskGraph::task`] view (the old
+/// array-of-structs access pattern), so any misalignment the column split
+/// could introduce shows up as a report divergence here.
 #[cfg(test)]
 fn simulate_reference(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
     use std::collections::VecDeque;
@@ -414,7 +424,7 @@ fn simulate_reference(graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
     let mut executed = 0usize;
 
     while let Some(u) = queue.pop_front() {
-        let task = &graph.tasks()[u as usize];
+        let task = graph.task(u);
         let duration = effective_duration(u, task.duration, &task.kind, &mode);
         let dev = task.device as usize;
         let stream = task.stream as usize;
@@ -536,7 +546,7 @@ mod tests {
         let r = simulate(&tg, SimMode::Predicted);
         assert_eq!(r.tasks_executed, tg.len());
         // Never below the busiest device, never above the serial sum.
-        let serial: TimeNs = tg.tasks().iter().map(|t| t.duration).sum();
+        let serial: TimeNs = tg.durations().iter().copied().sum();
         let busiest = r.device_busy.iter().copied().max().unwrap();
         assert!(r.iteration_time >= busiest);
         assert!(r.iteration_time <= serial);
@@ -548,7 +558,7 @@ mod tests {
         // p = 1, d = 1: everything serializes on one compute stream.
         let tg = lower(2, 1, 1, 1, 4, PipelineSchedule::OneFOneB, true);
         let r = simulate(&tg, SimMode::Predicted);
-        let serial: TimeNs = tg.tasks().iter().map(|t| t.duration).sum();
+        let serial: TimeNs = tg.durations().iter().copied().sum();
         assert_eq!(r.iteration_time, serial);
     }
 
@@ -700,7 +710,7 @@ mod tests {
                 let mut max_finish = TimeNs::ZERO;
                 for &(id, start, finish) in &spans {
                     assert!(!std::mem::replace(&mut seen[id as usize], true));
-                    let task = &tg.tasks()[id as usize];
+                    let task = tg.task(id);
                     let dur = effective_duration(id, task.duration, &task.kind, &mode);
                     assert_eq!(finish, start + dur);
                     max_finish = max_finish.max(finish);

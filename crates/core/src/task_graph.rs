@@ -8,6 +8,12 @@
 //! aggregation for the replay, while the kernel count preserves the
 //! launch-overhead accounting the ground-truth emulator needs.
 //!
+//! The graph is stored **columnar** (structure-of-arrays): the replay's hot
+//! loop touches `duration` for every task but `kind` only on the measured
+//! path, so packing each attribute contiguously keeps the dataflow replay's
+//! working set to the columns it actually reads instead of striding over
+//! 40-byte task records. [`Task`] remains as the assembled per-index view.
+//!
 //! Two lowering paths produce identical graphs:
 //! * [`TaskGraph::lower`] consumes a materialized [`OpGraph`];
 //! * [`TaskGraph::lower_fused`] streams the builder's nodes straight into
@@ -46,7 +52,8 @@ pub enum TaskKind {
     },
 }
 
-/// One schedulable unit of the task-granularity graph.
+/// One schedulable unit of the task-granularity graph — the assembled view
+/// of one index across the [`TaskGraph`]'s columns.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct Task {
     /// Owning device (pipeline-stage representative GPU).
@@ -61,12 +68,16 @@ pub struct Task {
 
 /// The task-granularity execution graph consumed by Algorithm 1.
 ///
-/// Children are stored in compressed sparse-row form: `targets[offsets[i]..
+/// Task attributes are stored as parallel columns indexed by task id;
+/// children are stored in compressed sparse-row form: `targets[offsets[i]..
 /// offsets[i + 1]]` are the successors of task `i`, in edge-insertion
 /// order (which the replay's FIFO dispatch depends on).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct TaskGraph {
-    tasks: Vec<Task>,
+    device: Vec<u32>,
+    stream: Vec<u8>,
+    duration: Vec<TimeNs>,
+    kind: Vec<TaskKind>,
     offsets: Vec<u32>,
     targets: Vec<u32>,
     num_devices: u32,
@@ -97,22 +108,23 @@ impl TaskGraph {
         table: &OperatorTaskTable,
         comm: &CommModel,
     ) -> Result<Self, MissingProfile> {
-        let mut tasks = Vec::with_capacity(graph.num_nodes());
+        let mut cols = Columns::with_capacity(graph.num_nodes());
         for node in graph.nodes() {
             let stream = stream_index(node.stream);
-            let task = match &node.op {
+            match &node.op {
                 Op::Compute(c) => {
                     let profile = table.get(&c.sig).ok_or(MissingProfile)?;
-                    Task {
-                        device: node.device,
+                    cols.push(
+                        node.device,
                         stream,
-                        duration: profile.total(),
-                        kind: TaskKind::Compute { kernels: profile.kernel_count() as u32 },
-                    }
+                        profile.total(),
+                        TaskKind::Compute { kernels: profile.kernel_count() as u32 },
+                    );
                 }
-                Op::Comm(c) => comm_task(node.device, stream, c, comm.latency(c)),
-            };
-            tasks.push(task);
+                Op::Comm(c) => {
+                    cols.push(node.device, stream, comm.latency(c), comm_kind(c));
+                }
+            }
         }
         // CSR straight from the graph's per-node child lists.
         let n = graph.num_nodes();
@@ -123,7 +135,7 @@ impl TaskGraph {
             targets.extend_from_slice(graph.children(i));
             offsets.push(targets.len() as u32);
         }
-        Ok(TaskGraph::assemble(tasks, offsets, targets, graph.num_devices()))
+        Ok(cols.into_graph(offsets, targets, graph.num_devices()))
     }
 
     /// Lowers `(model, plan)` in one fused pass: the graph builder streams
@@ -153,7 +165,7 @@ impl TaskGraph {
             comm,
             sig_memo: Vec::with_capacity(16),
             comm_memo: Vec::with_capacity(8),
-            tasks: Vec::new(),
+            cols: Columns::with_capacity(0),
             edges: Vec::new(),
             num_devices: plan.pipeline() as u32,
             missing: false,
@@ -162,10 +174,10 @@ impl TaskGraph {
         if sink.missing {
             return Err(MissingProfile);
         }
-        let LoweringSink { tasks, edges, num_devices, .. } = sink;
+        let LoweringSink { cols, edges, num_devices, .. } = sink;
         // CSR from the flat edge list, preserving per-source insertion
         // order (a counting sort over sources is stable in edge order).
-        let n = tasks.len();
+        let n = cols.len();
         let mut counts = vec![0u32; n + 1];
         for &(from, _) in &edges {
             counts[from as usize + 1] += 1;
@@ -181,16 +193,50 @@ impl TaskGraph {
             targets[*slot as usize] = to;
             *slot += 1;
         }
-        Ok(TaskGraph::assemble(tasks, offsets, targets, num_devices))
+        Ok(cols.into_graph(offsets, targets, num_devices))
     }
 
+    #[cfg(test)]
     fn assemble(tasks: Vec<Task>, offsets: Vec<u32>, targets: Vec<u32>, num_devices: u32) -> Self {
-        TaskGraph { tasks, offsets, targets, num_devices }
+        let mut cols = Columns::with_capacity(tasks.len());
+        for t in tasks {
+            cols.push(t.device, t.stream, t.duration, t.kind);
+        }
+        cols.into_graph(offsets, targets, num_devices)
     }
 
-    /// All tasks, indexed consistently with [`TaskGraph::children`].
-    pub fn tasks(&self) -> &[Task] {
-        &self.tasks
+    /// The assembled view of task `i` (cheap: four column reads).
+    pub fn task(&self, i: u32) -> Task {
+        let i = i as usize;
+        Task {
+            device: self.device[i],
+            stream: self.stream[i],
+            duration: self.duration[i],
+            kind: self.kind[i],
+        }
+    }
+
+    /// The clean-duration column, indexed consistently with
+    /// [`TaskGraph::children`] — the only per-task attribute the
+    /// predicted-mode replay reads per dispatch.
+    pub fn durations(&self) -> &[TimeNs] {
+        &self.duration
+    }
+
+    /// The task-class column (read by the measured-mode perturbations and
+    /// the timeline labeler).
+    pub fn kinds(&self) -> &[TaskKind] {
+        &self.kind
+    }
+
+    /// The owning-device column.
+    pub fn devices(&self) -> &[u32] {
+        &self.device
+    }
+
+    /// The stream column (0 = compute, 1 = comm).
+    pub fn streams(&self) -> &[u8] {
+        &self.stream
     }
 
     /// Successor indices of task `i`.
@@ -202,12 +248,12 @@ impl TaskGraph {
 
     /// Number of tasks.
     pub fn len(&self) -> usize {
-        self.tasks.len()
+        self.duration.len()
     }
 
     /// True if the graph has no tasks.
     pub fn is_empty(&self) -> bool {
-        self.tasks.is_empty()
+        self.duration.is_empty()
     }
 
     /// Number of devices.
@@ -235,11 +281,12 @@ impl TaskGraph {
         let streams = 2 * self.num_devices as usize;
         last.clear();
         last.resize(streams, None);
-        for (i, task) in self.tasks.iter().enumerate() {
-            if task.stream > 1 || task.device >= self.num_devices {
+        for i in 0..self.len() {
+            let (device, stream) = (self.device[i], self.stream[i]);
+            if stream > 1 || device >= self.num_devices {
                 return false;
             }
-            let slot = task.device as usize * 2 + task.stream as usize;
+            let slot = device as usize * 2 + stream as usize;
             if let Some(prev) = last[slot] {
                 if !self.children(prev).contains(&(i as u32)) {
                     return false;
@@ -255,9 +302,51 @@ impl TaskGraph {
     /// old `in_degrees() -> Vec<u32>` API).
     pub fn fill_in_degrees(&self, out: &mut Vec<u32>) {
         out.clear();
-        out.resize(self.tasks.len(), 0);
+        out.resize(self.len(), 0);
         for &t in &self.targets {
             out[t as usize] += 1;
+        }
+    }
+}
+
+/// The growing column set of a lowering in progress.
+struct Columns {
+    device: Vec<u32>,
+    stream: Vec<u8>,
+    duration: Vec<TimeNs>,
+    kind: Vec<TaskKind>,
+}
+
+impl Columns {
+    fn with_capacity(n: usize) -> Self {
+        Columns {
+            device: Vec::with_capacity(n),
+            stream: Vec::with_capacity(n),
+            duration: Vec::with_capacity(n),
+            kind: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, device: u32, stream: u8, duration: TimeNs, kind: TaskKind) {
+        self.device.push(device);
+        self.stream.push(stream);
+        self.duration.push(duration);
+        self.kind.push(kind);
+    }
+
+    fn len(&self) -> usize {
+        self.duration.len()
+    }
+
+    fn into_graph(self, offsets: Vec<u32>, targets: Vec<u32>, num_devices: u32) -> TaskGraph {
+        TaskGraph {
+            device: self.device,
+            stream: self.stream,
+            duration: self.duration,
+            kind: self.kind,
+            offsets,
+            targets,
+            num_devices,
         }
     }
 }
@@ -269,21 +358,16 @@ fn stream_index(stream: StreamKind) -> u8 {
     }
 }
 
-fn comm_task(device: u32, stream: u8, c: &CommOp, latency: TimeNs) -> Task {
-    Task {
-        device,
-        stream,
-        duration: latency,
-        kind: TaskKind::Comm {
-            kind: c.kind,
-            scope: c.scope,
-            overlappable: c.overlappable,
-            concurrent_groups: c.concurrent_groups as u32,
-        },
+fn comm_kind(c: &CommOp) -> TaskKind {
+    TaskKind::Comm {
+        kind: c.kind,
+        scope: c.scope,
+        overlappable: c.overlappable,
+        concurrent_groups: c.concurrent_groups as u32,
     }
 }
 
-/// A [`GraphSink`] mapping builder nodes straight to tasks.
+/// A [`GraphSink`] mapping builder nodes straight to task columns.
 ///
 /// Profile and communication-latency lookups are memoized in tiny
 /// linear-scan tables: one plan touches ≲ a dozen distinct compute
@@ -294,7 +378,7 @@ struct LoweringSink<'a> {
     comm: &'a CommModel,
     sig_memo: Vec<(OpSignature, TimeNs, u32)>,
     comm_memo: Vec<(CommOp, TimeNs)>,
-    tasks: Vec<Task>,
+    cols: Columns,
     edges: Vec<(u32, u32)>,
     num_devices: u32,
     missing: bool,
@@ -331,18 +415,17 @@ impl LoweringSink<'_> {
 impl GraphSink for LoweringSink<'_> {
     fn push(&mut self, node: OpNode) -> u32 {
         let stream = stream_index(node.stream);
-        let task = match &node.op {
+        let idx = self.cols.len() as u32;
+        match &node.op {
             Op::Compute(c) => {
                 let (duration, kernels) = self.compute_latency(&c.sig);
-                Task { device: node.device, stream, duration, kind: TaskKind::Compute { kernels } }
+                self.cols.push(node.device, stream, duration, TaskKind::Compute { kernels });
             }
             Op::Comm(c) => {
                 let latency = self.comm_latency(c);
-                comm_task(node.device, stream, c, latency)
+                self.cols.push(node.device, stream, latency, comm_kind(c));
             }
-        };
-        let idx = self.tasks.len() as u32;
-        self.tasks.push(task);
+        }
         idx
     }
 
@@ -388,8 +471,25 @@ mod tests {
         let tg = lower_plan(2, 2, 2);
         assert_eq!(tg.len(), graph.num_nodes());
         assert_eq!(tg.num_devices(), 2);
-        assert!(tg.tasks().iter().all(|t| t.duration > TimeNs::ZERO));
+        assert!(tg.durations().iter().all(|&d| d > TimeNs::ZERO));
         assert!(tg.is_stream_chained(), "builder graphs are chained by construction");
+    }
+
+    #[test]
+    fn columns_stay_aligned() {
+        let tg = lower_plan(2, 2, 2);
+        assert_eq!(tg.durations().len(), tg.len());
+        assert_eq!(tg.kinds().len(), tg.len());
+        assert_eq!(tg.devices().len(), tg.len());
+        assert_eq!(tg.streams().len(), tg.len());
+        // The assembled view agrees with the columns at every index.
+        for i in 0..tg.len() as u32 {
+            let t = tg.task(i);
+            assert_eq!(t.device, tg.devices()[i as usize]);
+            assert_eq!(t.stream, tg.streams()[i as usize]);
+            assert_eq!(t.duration, tg.durations()[i as usize]);
+            assert_eq!(t.kind, tg.kinds()[i as usize]);
+        }
     }
 
     #[test]
@@ -416,10 +516,10 @@ mod tests {
     fn compute_tasks_carry_kernel_counts() {
         let tg = lower_plan(2, 1, 1);
         let max_kernels = tg
-            .tasks()
+            .kinds()
             .iter()
-            .filter_map(|t| match t.kind {
-                TaskKind::Compute { kernels } => Some(kernels),
+            .filter_map(|k| match k {
+                TaskKind::Compute { kernels } => Some(*kernels),
                 _ => None,
             })
             .max()
@@ -457,7 +557,7 @@ mod tests {
             assert_eq!(fused.num_devices(), two_phase.num_devices());
             assert!(fused.is_stream_chained());
             for i in 0..fused.len() as u32 {
-                let (a, b) = (&fused.tasks()[i as usize], &two_phase.tasks()[i as usize]);
+                let (a, b) = (fused.task(i), two_phase.task(i));
                 assert_eq!(
                     (a.device, a.stream, a.duration, a.kind),
                     (b.device, b.stream, b.duration, b.kind)

@@ -48,8 +48,9 @@ mod graph;
 mod ops;
 
 pub use builder::{
-    build_op_graph, build_op_graph_into, plan_signatures, stage_comm_ops, stage_weight_params,
-    GraphOptions, GraphSink, StageCommOps,
+    build_op_graph, build_op_graph_into, plan_shape_key, plan_signatures, stage_comm_ops,
+    stage_weight_params, visit_plan_slots, ChainOp, GraphOptions, GraphSink, PlanShapeKey, SlotOp,
+    StageCommOps,
 };
 pub use graph::{OpGraph, OpNode, StreamKind};
 pub use ops::{CommKind, CommOp, CommScope, CompKind, ComputeOp, Op, OpSignature};

@@ -23,7 +23,9 @@ commands:
   predict    simulate the scenario's plan: iteration time, utilization,
              busy breakdown, and (with `tokens`) the end-to-end projection
   sweep      explore the (t, d, p, m) design space the scenario bounds,
-             honoring its goal and placement axis
+             honoring its goal and placement axis; given a directory,
+             sweep every *.json scenario in it (sorted, one shared
+             profile cache)
   explain    attribute where simulated (plan) or simulation (sweep) time
              goes: per-stage/per-stream tables
   validate   parse and resolve every section, reporting the first problem
@@ -86,6 +88,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if std::fs::metadata(path).is_ok_and(|m| m.is_dir()) {
+        if command != "sweep" {
+            eprintln!("error: {path} is a directory (only `sweep` accepts one)\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        return match sweep_batch(path, &opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -190,25 +205,74 @@ fn predict(scenario: &Scenario, opts: &Opts) -> Result<(), Error> {
 }
 
 fn sweep(scenario: &Scenario, opts: &Opts) -> Result<(), Error> {
-    scenario.check()?;
-    let goal = scenario.goal()?;
-    let cost = scenario.cost_model()?;
     // A shared cache handle so its traffic can be published after the
     // run; `--metrics` turns the (otherwise free) registry on.
     let cache = std::sync::Arc::new(ProfileCache::new());
     if opts.metrics.is_some() {
         vtrain::obs::set_enabled(true);
     }
-    let mut builder = scenario.sweep()?.cache(std::sync::Arc::clone(&cache));
-    if opts.stage_profile {
-        builder = builder.stage_profile(true);
+    sweep_one(scenario, opts, &cache)?;
+    dump_sweep_metrics(opts, &cache)
+}
+
+/// `sweep` over a directory: every `*.json` scenario in it, in sorted
+/// (deterministic) order, all sharing one profile cache — compute
+/// profiles depend on the operator signature and the GPU, not the
+/// scenario, so later scenarios start from the hits of earlier ones.
+fn sweep_batch(dir: &str, opts: &Opts) -> Result<(), Error> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| Error::io(format!("cannot read directory {dir}: {e}")))?;
+    let mut files: Vec<std::path::PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_file() && p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(Error::scenario(format!("no *.json scenarios in {dir}")));
     }
-    let run = builder.run();
+    let cache = std::sync::Arc::new(ProfileCache::new());
+    if opts.metrics.is_some() {
+        vtrain::obs::set_enabled(true);
+    }
+    println!("batch sweep: {} scenarios, one shared profile cache", files.len());
+    for (i, file) in files.iter().enumerate() {
+        let path = file.display();
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| Error::io(format!("cannot read {path}: {e}")))?;
+        let scenario =
+            Scenario::from_json(&text).map_err(|e| Error::scenario(format!("{path}: {e}")))?;
+        println!("\n[{}/{}] {path}", i + 1, files.len());
+        sweep_one(&scenario, opts, &cache).map_err(|e| Error::scenario(format!("{path}: {e}")))?;
+    }
+    dump_sweep_metrics(opts, &cache)
+}
+
+/// Writes the metrics-registry snapshot after a sweep (or a batch of
+/// them) when `--metrics` asked for one.
+fn dump_sweep_metrics(opts: &Opts, cache: &ProfileCache) -> Result<(), Error> {
     if let Some(out) = &opts.metrics {
         cache.publish_metrics();
         write_file(out, &vtrain::obs::global().to_json())?;
         println!("metrics: registry snapshot -> {out}");
     }
+    Ok(())
+}
+
+/// Runs one scenario's sweep against a caller-owned profile cache and
+/// prints its report.
+fn sweep_one(
+    scenario: &Scenario,
+    opts: &Opts,
+    cache: &std::sync::Arc<ProfileCache>,
+) -> Result<(), Error> {
+    scenario.check()?;
+    let goal = scenario.goal()?;
+    let cost = scenario.cost_model()?;
+    let mut builder = scenario.sweep()?.cache(std::sync::Arc::clone(cache));
+    if opts.stage_profile {
+        builder = builder.stage_profile(true);
+    }
+    let run = builder.run();
     for variant in run.variants() {
         let outcome = &variant.outcome;
         let stats = outcome.stats;
@@ -267,6 +331,7 @@ fn print_stage_profile(profile: &StageProfile, indent: &str) {
         if profile.threads == 1 { "" } else { "s" },
         profile.wall_ns as f64 / 1e9
     );
+    row("order", profile.order_ns);
     row("validate", profile.stages.validate_ns);
     row("bound", profile.bound_ns);
     row("lower", profile.stages.lower_ns);

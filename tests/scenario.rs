@@ -81,6 +81,53 @@ fn sweep_subcommand_runs_goal_guided_placements_end_to_end() {
     assert!(stdout.contains("fastest:"), "per-variant winner must be reported");
 }
 
+/// `vtrain sweep <dir>` batch mode: every `*.json` scenario in sorted
+/// order sharing one profile cache (observable as a 100% hit-rate from
+/// the second scenario on), with `2` exits for broken batches and for
+/// directories handed to any other command.
+#[test]
+fn sweep_batch_directory_shares_one_cache_and_exits_cleanly() {
+    let dir = std::env::temp_dir().join(format!("vtrain-batch-tests-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let sweep_text = std::fs::read_to_string(repo_file(SWEEP_PATH)).unwrap();
+    std::fs::write(dir.join("a_first.json"), &sweep_text).unwrap();
+    std::fs::write(dir.join("b_second.json"), &sweep_text).unwrap();
+    std::fs::write(dir.join("notes.txt"), "not a scenario").unwrap();
+
+    let out = vtrain(&["sweep", dir.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("batch sweep: 2 scenarios"), "txt files must be skipped:\n{stdout}");
+    let first = stdout.find("a_first.json").expect("first scenario reported");
+    let second = stdout.find("b_second.json").expect("second scenario reported");
+    assert!(first < second, "scenarios must run in sorted order:\n{stdout}");
+    // The second scenario starts on the first one's cache: pure hits.
+    assert!(
+        stdout[second..].contains("hit-rate 100.0%"),
+        "shared cache must carry across scenarios:\n{stdout}"
+    );
+
+    // Directories are sweep-only.
+    let out = vtrain(&["predict", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("directory"));
+
+    // A malformed scenario fails the whole batch, naming the file.
+    std::fs::write(dir.join("c_bad.json"), "{ not json").unwrap();
+    let out = vtrain(&["sweep", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("c_bad.json"));
+
+    // An empty directory is a scenario error, not a silent success.
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = vtrain(&["sweep", empty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn validate_subcommand_accepts_shipped_scenarios() {
     for path in [EXAMPLE_PATH, SWEEP_PATH] {
