@@ -26,10 +26,18 @@
 //!   bound on single-core hosts);
 //! * `delta_equivalent == false` — the delta-lowered sweep must
 //!   reproduce from-scratch lowering bit for bit (records without the
-//!   delta A/B fields skip both gates).
+//!   delta A/B fields skip both gates);
+//! * serve-daemon regressions, when `results/BENCH_serve.json` exists
+//!   (`bench_serve` ran): warm-traffic `requests_per_sec` more than
+//!   `max_serve_regression_pct` (30 %) below the baseline's
+//!   `serve_requests_per_sec`, or a warm cross-request `cache_hit_rate`
+//!   below `min_serve_hit_rate` (0.96) — the shared profile cache is
+//!   the daemon's reason to exist. Absent record or baseline field
+//!   skips the throughput gate.
 //!
 //! Run the three producers first (`fig10_design_space --smoke`,
-//! `bench_sim`, `bench_collectives`). Pass `--write-baseline` to
+//! `bench_sim`, `bench_collectives`; optionally `bench_serve` for the
+//! serving gate). Pass `--write-baseline` to
 //! regenerate the baseline from the current results after an intentional
 //! change (and say why in `crates/bench/BASELINES.md`).
 //!
@@ -103,23 +111,43 @@ fn collective_rows(bench: &Value) -> Vec<(String, u64)> {
         .collect()
 }
 
-fn write_baseline(grid: &str, pps: f64, sim_tps: f64, rows: &[(String, u64)]) {
+fn write_baseline(
+    grid: &str,
+    pps: f64,
+    sim_tps: f64,
+    serve_rps: Option<f64>,
+    rows: &[(String, u64)],
+) {
     // Carry tuned thresholds forward from the committed baseline; fall
     // back to the defaults only when no baseline exists yet.
-    let (max_reg, max_sim_reg, max_obs_reg, min_eff, tol) = match fs::read_to_string(baseline_path())
-    {
-        Ok(text) => {
-            let old = serde_json::value_from_str(&text).expect("existing baseline parses");
-            (
-                old.get("max_throughput_regression_pct").and_then(Value::as_f64).unwrap_or(25.0),
-                old.get("max_sim_regression_pct").and_then(Value::as_f64).unwrap_or(30.0),
-                old.get("max_obs_on_regression_pct").and_then(Value::as_f64).unwrap_or(5.0),
-                old.get("min_parallel_efficiency").and_then(Value::as_f64).unwrap_or(0.6),
-                old.get("collective_tolerance_rel").and_then(Value::as_f64).unwrap_or(1e-6),
-            )
-        }
-        Err(_) => (25.0, 30.0, 5.0, 0.6, 1e-6),
-    };
+    let (max_reg, max_sim_reg, max_obs_reg, min_eff, tol, max_serve_reg, min_hit) =
+        match fs::read_to_string(baseline_path()) {
+            Ok(text) => {
+                let old = serde_json::value_from_str(&text).expect("existing baseline parses");
+                (
+                    old.get("max_throughput_regression_pct")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(25.0),
+                    old.get("max_sim_regression_pct").and_then(Value::as_f64).unwrap_or(30.0),
+                    old.get("max_obs_on_regression_pct").and_then(Value::as_f64).unwrap_or(5.0),
+                    old.get("min_parallel_efficiency").and_then(Value::as_f64).unwrap_or(0.6),
+                    old.get("collective_tolerance_rel").and_then(Value::as_f64).unwrap_or(1e-6),
+                    old.get("max_serve_regression_pct").and_then(Value::as_f64).unwrap_or(30.0),
+                    old.get("min_serve_hit_rate").and_then(Value::as_f64).unwrap_or(0.96),
+                )
+            }
+            Err(_) => (25.0, 30.0, 5.0, 0.6, 1e-6, 30.0, 0.96),
+        };
+    // A baseline refresh without a fresh serve record keeps the old
+    // serve number instead of silently dropping the gate.
+    let serve_rps = serve_rps.or_else(|| {
+        fs::read_to_string(baseline_path()).ok().and_then(|text| {
+            serde_json::value_from_str(&text)
+                .ok()?
+                .get("serve_requests_per_sec")
+                .and_then(Value::as_f64)
+        })
+    });
     // Hand-rolled JSON keeps the committed baseline diff-stable
     // (one collective per line, fixed field order).
     let mut out = String::from("{\n");
@@ -128,9 +156,14 @@ fn write_baseline(grid: &str, pps: f64, sim_tps: f64, rows: &[(String, u64)]) {
     out.push_str(&format!("  \"max_obs_on_regression_pct\": {max_obs_reg},\n"));
     out.push_str(&format!("  \"min_parallel_efficiency\": {min_eff},\n"));
     out.push_str(&format!("  \"collective_tolerance_rel\": {tol:e},\n"));
+    out.push_str(&format!("  \"max_serve_regression_pct\": {max_serve_reg},\n"));
+    out.push_str(&format!("  \"min_serve_hit_rate\": {min_hit},\n"));
     out.push_str(&format!("  \"sweep_grid\": \"{grid}\",\n"));
     out.push_str(&format!("  \"sweep_points_per_sec\": {pps:.1},\n"));
     out.push_str(&format!("  \"sim_tasks_per_sec\": {sim_tps:.0},\n"));
+    if let Some(rps) = serve_rps {
+        out.push_str(&format!("  \"serve_requests_per_sec\": {rps:.1},\n"));
+    }
     out.push_str("  \"collectives\": [\n");
     for (i, (label, total)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -147,6 +180,11 @@ fn main() -> ExitCode {
     let sweep = load(&results_dir().join("BENCH_sweep.json"));
     let sim = load(&results_dir().join("BENCH_sim.json"));
     let bench = load(&results_dir().join("BENCH_collectives.json"));
+    // The serve record is optional: bench_serve is a separate producer
+    // and older pipelines never ran it.
+    let serve = fs::read_to_string(results_dir().join("BENCH_serve.json"))
+        .ok()
+        .map(|text| serde_json::value_from_str(&text).expect("BENCH_serve.json parses"));
     let pps = points_per_sec(&sweep);
     let grid = sweep_grid(&sweep);
     let goal = sweep_goal(&sweep);
@@ -163,7 +201,9 @@ fn main() -> ExitCode {
     }
 
     if std::env::args().any(|a| a == "--write-baseline") {
-        write_baseline(&grid, pps, sim_tps, &rows);
+        let serve_rps =
+            serve.as_ref().and_then(|s| s.get("requests_per_sec").and_then(Value::as_f64));
+        write_baseline(&grid, pps, sim_tps, serve_rps, &rows);
         return ExitCode::SUCCESS;
     }
 
@@ -315,6 +355,53 @@ fn main() -> ExitCode {
             "delta-lowered sweep diverged from from-scratch lowering \
              (BENCH_sweep.delta_equivalent = {other:?})"
         )),
+    }
+
+    // Serve-daemon gate: only when bench_serve produced a record. The
+    // hit-rate bound is unconditional (warm traffic over an identical
+    // scenario is deterministic up to scheduling); the throughput floor
+    // additionally needs a baseline field, which `--write-baseline`
+    // bootstraps.
+    match &serve {
+        None => println!("serve throughput: BENCH_serve.json not present — not gated"),
+        Some(record) => {
+            let rps =
+                record.get("requests_per_sec").and_then(Value::as_f64).expect("serve rps recorded");
+            let hit_rate =
+                record.get("cache_hit_rate").and_then(Value::as_f64).expect("serve hit rate");
+            let min_hit =
+                baseline.get("min_serve_hit_rate").and_then(Value::as_f64).unwrap_or(0.96);
+            if hit_rate < min_hit {
+                failures.push(format!(
+                    "serve warm hit-rate too low: {hit_rate:.4} < {min_hit} — repeat traffic is \
+                     not being answered from the shared profile cache"
+                ));
+            }
+            match baseline.get("serve_requests_per_sec").and_then(Value::as_f64) {
+                None => println!(
+                    "serve throughput: {rps:.1} req/s, warm hit-rate {hit_rate:.4} \
+                     (no baseline yet — throughput not gated)"
+                ),
+                Some(base_rps) => {
+                    let max_serve_reg = baseline
+                        .get("max_serve_regression_pct")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(30.0);
+                    let serve_floor = base_rps * (1.0 - max_serve_reg / 100.0);
+                    println!(
+                        "serve throughput: {rps:.1} req/s, warm hit-rate {hit_rate:.4} \
+                         (baseline {base_rps:.1}, floor {serve_floor:.1} at -{max_serve_reg:.0}%)"
+                    );
+                    if rps < serve_floor {
+                        failures.push(format!(
+                            "serve throughput regressed: {rps:.1} req/s < floor {serve_floor:.1} \
+                             ({:.1}% below the {base_rps:.1} baseline)",
+                            (1.0 - rps / base_rps) * 100.0
+                        ));
+                    }
+                }
+            }
+        }
     }
 
     let Some(Value::Array(base_rows)) = baseline.get("collectives") else {

@@ -71,7 +71,7 @@ impl From<PlanError> for EstimateError {
 }
 
 /// The simulator's verdict on one `(model, plan)` point.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct IterationEstimate {
     /// Single-iteration training time.
     pub iteration_time: TimeNs,

@@ -10,9 +10,9 @@
 //! profiled once per sweep rather than once per plan.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use vtrain_model::{ModelConfig, TimeNs};
@@ -44,7 +44,8 @@ impl Default for SearchLimits {
 }
 
 /// One evaluated design point.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct DesignPoint {
     /// The plan.
     pub plan: ParallelConfig,
@@ -85,6 +86,103 @@ pub enum SweepGoal {
     Best,
 }
 
+/// Why a sweep stopped before visiting every candidate.
+///
+/// Attached to [`SweepOutcome::aborted`] when a [`CancelToken`] fired
+/// mid-sweep; `None` means the sweep ran to completion and its points
+/// are the full (goal-filtered) result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The token's deadline passed.
+    Deadline,
+    /// The token's evaluated-point budget was exhausted.
+    Budget,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    /// Evaluation permits remaining; `None` means unbudgeted.
+    permits: Option<AtomicU64>,
+}
+
+/// A cooperative cancellation handle threaded into the sweep executor's
+/// candidate loop (the `vtrain serve` per-request budget mechanism).
+///
+/// Workers poll the token once per claimed candidate: an explicit
+/// [`cancel`](CancelToken::cancel), an elapsed deadline, or an exhausted
+/// point budget stops every worker at the next claim. The outcome then
+/// carries the points evaluated so far plus the
+/// [`AbortReason`](SweepOutcome::aborted) — a truncated result, *not*
+/// the goal's guaranteed winner set.
+///
+/// Clones share one state, so a server can hand the executor a token and
+/// keep a handle to fire it from another thread.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own (cancellable only via
+    /// [`cancel`](CancelToken::cancel)).
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token with an optional wall-clock deadline and an optional
+    /// budget of evaluated points — the serve-request shape.
+    pub fn with_limits(deadline: Option<Instant>, max_points: Option<u64>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline,
+                permits: max_points.map(AtomicU64::new),
+            }),
+        }
+    }
+
+    /// A token that fires `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> CancelToken {
+        CancelToken::with_limits(Instant::now().checked_add(timeout), None)
+    }
+
+    /// Requests cancellation; every sweep polling this token stops at
+    /// its next candidate claim.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`cancel`](CancelToken::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The reason work should stop right now, if any (explicit
+    /// cancellation wins over an elapsed deadline).
+    fn should_stop(&self) -> Option<AbortReason> {
+        if self.is_cancelled() {
+            return Some(AbortReason::Cancelled);
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => Some(AbortReason::Deadline),
+            _ => None,
+        }
+    }
+
+    /// Claims one evaluation permit; `false` means the point budget is
+    /// spent and the caller must stop instead of evaluating.
+    fn claim_permit(&self) -> bool {
+        let Some(permits) = &self.inner.permits else { return true };
+        permits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |left| left.checked_sub(1))
+            .is_ok()
+    }
+}
+
 /// Execution report of one sweep.
 ///
 /// Cache counters are tallied per worker at each lookup and summed, so
@@ -102,7 +200,8 @@ pub struct SweepStats {
     /// [`SweepGoal::Exhaustive`]).
     pub bound_pruned: usize,
     /// Candidates lowered and simulated
-    /// (`candidates − pruned − bound_pruned`).
+    /// (`candidates − pruned − bound_pruned` for a completed sweep;
+    /// fewer when a [`CancelToken`] aborted it).
     pub evaluated: usize,
     /// Profile-cache hits attributed to this sweep.
     pub cache_hits: u64,
@@ -200,7 +299,8 @@ impl StageProfile {
 
 /// The result of a sweep: feasible design points in candidate order plus
 /// the execution report.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct SweepOutcome {
     /// Feasible points, in candidate order (deterministic for a given
     /// candidate list regardless of thread count).
@@ -210,6 +310,11 @@ pub struct SweepOutcome {
     /// Per-stage wall-clock attribution; `Some` iff the sweep ran with
     /// [`Sweep::stage_profile`] enabled.
     pub stage_profile: Option<StageProfile>,
+    /// Why the sweep stopped early, if it did; `None` for a completed
+    /// sweep. (Defaulted on deserialization so records predating
+    /// cancellation still parse.)
+    #[serde(default)]
+    pub aborted: Option<AbortReason>,
 }
 
 /// Enumerates the candidate plans of an exhaustive `(t, d, p, m)` sweep.
@@ -344,6 +449,7 @@ impl Watermarks {
 /// into `shards = threads / workers` deterministic chunks instead of
 /// idling. Shard splits are exact re-pricings (proven by the compact
 /// shard property tests), so output stays byte-identical to one thread.
+#[allow(clippy::too_many_arguments)]
 fn run_sweep(
     estimator: &Estimator,
     model: &ModelConfig,
@@ -352,6 +458,7 @@ fn run_sweep(
     goal: SweepGoal,
     profile: bool,
     delta: bool,
+    cancel: Option<&CancelToken>,
 ) -> SweepOutcome {
     let started = Instant::now();
     let _sweep_span = vtrain_obs::span!("sweep.run", candidates = candidates.len() as u64);
@@ -362,6 +469,18 @@ fn run_sweep(
     let shards = (requested / threads).max(1);
     let pruned = AtomicUsize::new(0);
     let bound_pruned = AtomicUsize::new(0);
+    // First abort reason wins; 0 = running. Workers poll this (and the
+    // token) once per claimed candidate, so a fired token stops every
+    // worker within one evaluation.
+    let abort = AtomicUsize::new(0);
+    let flag_abort = |reason: AbortReason| {
+        let code = match reason {
+            AbortReason::Cancelled => 1,
+            AbortReason::Deadline => 2,
+            AbortReason::Budget => 3,
+        };
+        let _ = abort.compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
+    };
     // Exhaustive sweeps never consult watermarks; skip the sort and the
     // atomic array entirely on that (default) path.
     let watermarks = (goal != SweepGoal::Exhaustive).then(|| Watermarks::new(goal, candidates));
@@ -422,9 +541,16 @@ fn run_sweep(
         let mut scratch = EstimatorScratch::default();
         let mut stages = StageNanos::default();
         let mut bound_ns = 0u64;
-        for victim in 0..threads {
+        'steal: for victim in 0..threads {
             let (cursor, end) = &ranges[(w + victim) % threads];
             loop {
+                if abort.load(Ordering::Relaxed) != 0 {
+                    break 'steal;
+                }
+                if let Some(reason) = cancel.and_then(CancelToken::should_stop) {
+                    flag_abort(reason);
+                    break 'steal;
+                }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= *end {
                     break;
@@ -453,6 +579,14 @@ fn run_sweep(
                     if marks.dominates(plan.num_gpus(), floor) {
                         bound_pruned.fetch_add(1, Ordering::Relaxed);
                         continue;
+                    }
+                }
+                // The point budget is spent per *evaluation*: pruned
+                // candidates cost nothing against it.
+                if let Some(token) = cancel {
+                    if !token.claim_permit() {
+                        flag_abort(AbortReason::Budget);
+                        break 'steal;
                     }
                 }
                 // Both paths run the same fused compact pipeline; the
@@ -516,10 +650,16 @@ fn run_sweep(
         bound_ns += worker.bound_ns;
     }
     indexed.sort_unstable_by_key(|(i, _)| *i);
+    // Equals `candidates − pruned − bound_pruned` for a completed sweep;
+    // counting the merged buffers stays correct when a token aborted the
+    // sweep with candidates unvisited.
+    let evaluated = indexed.len();
     let mut points: Vec<DesignPoint> = indexed.into_iter().map(|(_, p)| p).collect();
 
     // Filter to the goal's winners: pruning guarantees every winner was
-    // evaluated, so these are exactly the exhaustive sweep's winners.
+    // evaluated, so these are exactly the exhaustive sweep's winners —
+    // unless a token aborted the sweep, in which case they are the best
+    // of the points visited so far (flagged via `aborted`).
     match goal {
         SweepGoal::Exhaustive => {}
         SweepGoal::Front => {
@@ -552,11 +692,17 @@ fn run_sweep(
 
     let pruned = pruned.into_inner();
     let bound_pruned = bound_pruned.into_inner();
+    let aborted = match abort.into_inner() {
+        0 => None,
+        1 => Some(AbortReason::Cancelled),
+        2 => Some(AbortReason::Deadline),
+        _ => Some(AbortReason::Budget),
+    };
     let stats = SweepStats {
         candidates: candidates.len(),
         pruned,
         bound_pruned,
-        evaluated: candidates.len() - pruned - bound_pruned,
+        evaluated,
         cache_hits,
         cache_misses,
         delta_fresh,
@@ -585,11 +731,12 @@ fn run_sweep(
         wall_ns: (stats.wall_s * 1e9) as u64,
         threads,
     });
-    SweepOutcome { points, stats, stage_profile }
+    SweepOutcome { points, stats, stage_profile, aborted }
 }
 
 /// One topology variant's outcome in a placement sweep.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct PlacementSweep {
     /// The variant's label (e.g. `"two-tier"`, `"multi-rack/4"`).
     pub label: String,
@@ -615,22 +762,28 @@ fn run_placements(
     goal: SweepGoal,
     profile: bool,
     delta: bool,
+    cancel: Option<&CancelToken>,
 ) -> Vec<PlacementSweep> {
-    topologies
-        .iter()
-        .map(|(label, topo)| {
-            let mut builder =
-                Estimator::builder(cluster.clone()).topology(topo.clone()).cache(Arc::clone(cache));
-            if let Some(alpha) = alpha {
-                builder = builder.alpha(alpha);
-            }
-            let estimator = builder.build();
-            PlacementSweep {
-                label: label.clone(),
-                outcome: run_sweep(&estimator, model, candidates, threads, goal, profile, delta),
-            }
-        })
-        .collect()
+    let mut sweeps = Vec::with_capacity(topologies.len());
+    for (label, topo) in topologies {
+        let mut builder =
+            Estimator::builder(cluster.clone()).topology(topo.clone()).cache(Arc::clone(cache));
+        if let Some(alpha) = alpha {
+            builder = builder.alpha(alpha);
+        }
+        let estimator = builder.build();
+        let outcome =
+            run_sweep(&estimator, model, candidates, threads, goal, profile, delta, cancel);
+        let stop = outcome.aborted.is_some();
+        sweeps.push(PlacementSweep { label: label.clone(), outcome });
+        if stop {
+            // A fired token stops the placement axis too: later variants
+            // are omitted entirely rather than returned empty-but-
+            // unlabeled-as-aborted.
+            break;
+        }
+    }
+    sweeps
 }
 
 /// Declarative design-space sweep — the one entry point (the former
@@ -680,6 +833,7 @@ pub struct Sweep {
     threads: Option<usize>,
     stage_profile: bool,
     delta_lowering: bool,
+    cancel: Option<CancelToken>,
     /// Shared, not owned: cloning a configured sweep (e.g. to re-run it
     /// under another goal) must not copy the candidate grid.
     candidates: Option<Arc<[ParallelConfig]>>,
@@ -704,6 +858,7 @@ impl Sweep {
             threads: None,
             stage_profile: false,
             delta_lowering: true,
+            cancel: None,
             candidates: None,
         }
     }
@@ -782,6 +937,16 @@ impl Sweep {
     /// measure or gate that equivalence.
     pub fn delta_lowering(mut self, enabled: bool) -> Self {
         self.delta_lowering = enabled;
+        self
+    }
+
+    /// Threads a [`CancelToken`] into the executor's candidate loop:
+    /// explicit cancellation, an elapsed deadline, or an exhausted point
+    /// budget stops every worker at its next candidate claim, and the
+    /// outcome reports the [`AbortReason`](SweepOutcome::aborted)
+    /// alongside the points evaluated so far.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -864,6 +1029,7 @@ impl Sweep {
                 self.goal,
                 self.stage_profile,
                 self.delta_lowering,
+                self.cancel.as_ref(),
             );
             vec![PlacementSweep { label: String::new(), outcome }]
         } else {
@@ -878,6 +1044,7 @@ impl Sweep {
                 self.goal,
                 self.stage_profile,
                 self.delta_lowering,
+                self.cancel.as_ref(),
             )
         };
         SweepRun { sweeps }
@@ -886,7 +1053,12 @@ impl Sweep {
 
 /// The result of a [`Sweep`]: one [`PlacementSweep`] per topology
 /// variant (exactly one for a sweep without a placement axis).
-#[derive(Clone, Debug)]
+///
+/// Serializes field-for-field (the stable machine form lives in the
+/// `vtrain::api` wire envelope, which versions and key-sorts it);
+/// deserialization rejects unknown fields so schema drift is loud.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct SweepRun {
     sweeps: Vec<PlacementSweep>,
 }
@@ -1429,6 +1601,62 @@ mod tests {
             "Best goal pruned nothing on {} candidates",
             cands.len()
         );
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_evaluation() {
+        let cluster = ClusterSpec::aws_p4d(16);
+        let model = presets::megatron("1.7B");
+        let token = CancelToken::new();
+        token.cancel();
+        let outcome =
+            Sweep::over(&model, &cluster).batch(16).threads(2).cancel(token).run().into_outcome();
+        assert_eq!(outcome.aborted, Some(AbortReason::Cancelled));
+        assert_eq!(outcome.stats.evaluated, 0, "no candidate may run after cancellation");
+        assert!(outcome.points.is_empty());
+    }
+
+    #[test]
+    fn point_budget_aborts_and_reports_budget() {
+        let cluster = ClusterSpec::aws_p4d(16);
+        let model = presets::megatron("1.7B");
+        let limits =
+            SearchLimits { max_tensor: 4, max_data: 4, max_pipeline: 4, max_micro_batch: 4 };
+        let full =
+            Sweep::over(&model, &cluster).batch(16).limits(limits).threads(2).run().into_outcome();
+        assert!(full.aborted.is_none());
+        assert!(full.stats.evaluated > 3, "grid too small to exercise the budget");
+
+        let budget = 3;
+        let token = CancelToken::with_limits(None, Some(budget));
+        let bounded = Sweep::over(&model, &cluster)
+            .batch(16)
+            .limits(limits)
+            .threads(2)
+            .cancel(token)
+            .run()
+            .into_outcome();
+        assert_eq!(bounded.aborted, Some(AbortReason::Budget));
+        assert!(
+            bounded.stats.evaluated <= budget as usize,
+            "claimed permits bound evaluations: {} > {budget}",
+            bounded.stats.evaluated
+        );
+        // Whatever did run is a subset of the full sweep's results —
+        // cancellation truncates, never corrupts.
+        for point in &bounded.points {
+            assert!(full.points.contains(point), "budgeted point not in full sweep");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_deadline_reason() {
+        let cluster = ClusterSpec::aws_p4d(16);
+        let model = presets::megatron("1.7B");
+        let token = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let outcome =
+            Sweep::over(&model, &cluster).batch(16).threads(2).cancel(token).run().into_outcome();
+        assert_eq!(outcome.aborted, Some(AbortReason::Deadline));
     }
 
     proptest! {

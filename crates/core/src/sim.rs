@@ -57,7 +57,8 @@ impl BusyBreakdown {
 }
 
 /// Result of one replay.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct SimReport {
     /// Predicted (or emulated) single-iteration training time — the maximum
     /// over all device timelines (Algorithm 1 line 22).

@@ -292,12 +292,12 @@ fn fixed_comp_slot(kind: CompKind) -> u32 {
 /// of delta-lowering across design-grid neighbors.
 ///
 /// Canonical order (`p = plan.pipeline()`):
-/// 1. the 8 fixed layer/vocab compute kinds ([`fixed_comp_slot`] order),
+/// 1. the 8 fixed layer/vocab compute kinds (`fixed_comp_slot` order),
 /// 2. `p` per-stage `WeightUpdate` signatures,
 /// 3. the TP All-Reduce (only when `t > 1`),
 /// 4. `p - 1` pipeline sends, by boundary,
 /// 5. per-stage DP gradient All-Reduces in emission order (only when
-///    `d > 1`; one per stage unbucketed, the [`DpBuckets`] sequence
+///    `d > 1`; one per stage unbucketed, the `DpBuckets` sequence
 ///    otherwise).
 ///
 /// # Panics

@@ -9,7 +9,7 @@
 //! run once per unique signature per GPU, not once per plan.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use vtrain_graph::OpSignature;
@@ -133,9 +133,18 @@ impl ProfileSet {
 
 const SHARDS: usize = 16;
 
-/// One shard of the cache: GPU → (canonical signature → shared profile).
+/// One cached profile plus its last-touched stamp (a tick of the cache's
+/// global access epoch, updated on every hit while a capacity is set —
+/// the recency the LRU eviction policy orders by).
+#[derive(Debug)]
+struct Entry {
+    profile: Arc<OpProfile>,
+    stamp: AtomicU64,
+}
+
+/// One shard of the cache: GPU → (canonical signature → entry).
 /// Two-level so lookups borrow the [`GpuKey`] instead of cloning it.
-type Shard = RwLock<HashMap<GpuKey, HashMap<OpSignature, Arc<OpProfile>>>>;
+type Shard = RwLock<HashMap<GpuKey, HashMap<OpSignature, Entry>>>;
 
 /// A concurrent, sharded map from `(GpuKey, OpSignature)` to profiled
 /// task lists, shared across the threads of a design-space sweep.
@@ -144,17 +153,56 @@ type Shard = RwLock<HashMap<GpuKey, HashMap<OpSignature, Arc<OpProfile>>>>;
 /// inserts under the shard write-lock (first writer wins, so handed-out
 /// [`Arc`]s always alias the stored profile). Profiling is deterministic,
 /// so racing writers compute identical values and the race is benign.
+///
+/// A cache built [`with_capacity`](ProfileCache::with_capacity) evicts
+/// its least-recently-used entry once inserts push it past the bound —
+/// the policy a long-lived `vtrain serve` process needs to stay
+/// size-bounded under unbounded tenant diversity. Eviction never changes
+/// results: an evicted signature is simply re-profiled (deterministically)
+/// on its next use, so a capacity-1 cache produces bit-identical sweeps,
+/// only slower.
 #[derive(Debug, Default)]
 pub struct ProfileCache {
     shards: [Shard; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Entries currently cached (maintained on insert/evict so the
+    /// capacity check never scans the shards).
+    entries: AtomicUsize,
+    /// Monotonic access clock; each touch stamps its entry with the next
+    /// tick. Only advanced while a capacity is set.
+    epoch: AtomicU64,
+    capacity: Option<usize>,
 }
 
 impl ProfileCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         ProfileCache::default()
+    }
+
+    /// Creates an empty cache bounded to at most `capacity` distinct
+    /// profiles (at least 1): once an insert exceeds the bound, the
+    /// least-recently-used entry — globally, across all shards — is
+    /// evicted and tallied in [`evictions`](ProfileCache::evictions).
+    ///
+    /// Concurrent inserters can transiently overshoot the bound by at
+    /// most the number of racing threads; each one then evicts back down
+    /// before returning.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ProfileCache { capacity: Some(capacity.max(1)), ..ProfileCache::default() }
+    }
+
+    /// The configured capacity bound; `None` for an unbounded cache.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Entries evicted over the cache's lifetime (always 0 without a
+    /// capacity).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     fn shard(&self, sig: &OpSignature) -> &Shard {
@@ -213,12 +261,67 @@ impl ProfileCache {
             shard.read().unwrap_or_else(|e| e.into_inner()).get(gpu).and_then(|m| m.get(sig))
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(hit), true);
+            if self.capacity.is_some() {
+                // Recency stamp under the *read* lock: a relaxed store is
+                // enough — a racing evictor observing the older stamp
+                // merely evicts an entry that was LRU a moment ago.
+                hit.stamp.store(self.epoch.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+            }
+            return (Arc::clone(&hit.profile), true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(profiler.profile_operator(sig));
         let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
-        (Arc::clone(map.entry(gpu.clone()).or_default().entry(*sig).or_insert(fresh)), false)
+        let mut inserted = false;
+        let entry = map.entry(gpu.clone()).or_default().entry(*sig).or_insert_with(|| {
+            inserted = true;
+            Entry {
+                profile: fresh,
+                stamp: AtomicU64::new(self.epoch.fetch_add(1, Ordering::Relaxed)),
+            }
+        });
+        let profile = Arc::clone(&entry.profile);
+        drop(map);
+        if inserted {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            self.evict_over_capacity();
+        }
+        (profile, false)
+    }
+
+    /// Evicts globally-least-recently-used entries until the cache is
+    /// back within its capacity. The victim scan takes read locks only
+    /// and is O(entries) — paid once per over-capacity insert, which
+    /// already paid the (much larger) profiling cost.
+    fn evict_over_capacity(&self) {
+        let Some(cap) = self.capacity else { return };
+        while self.entries.load(Ordering::Relaxed) > cap {
+            let mut victim: Option<(usize, GpuKey, OpSignature, u64)> = None;
+            for (si, shard) in self.shards.iter().enumerate() {
+                let map = shard.read().unwrap_or_else(|e| e.into_inner());
+                for (gpu, sigs) in map.iter() {
+                    for (sig, entry) in sigs {
+                        let stamp = entry.stamp.load(Ordering::Relaxed);
+                        if victim.as_ref().is_none_or(|v| stamp < v.3) {
+                            victim = Some((si, gpu.clone(), *sig, stamp));
+                        }
+                    }
+                }
+            }
+            let Some((si, gpu, sig, _)) = victim else { return };
+            let mut map = self.shards[si].write().unwrap_or_else(|e| e.into_inner());
+            let removed = map.get_mut(&gpu).is_some_and(|m| m.remove(&sig).is_some());
+            if removed && map.get(&gpu).is_some_and(HashMap::is_empty) {
+                map.remove(&gpu);
+            }
+            drop(map);
+            if removed {
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            // A racing evictor may have removed the victim first; its
+            // decrement re-drives the loop condition either way.
+        }
     }
 
     /// Resolves every signature in `sigs`, profiling only the missing
@@ -264,8 +367,8 @@ impl ProfileCache {
 
     /// Publishes this cache's lifetime counters into the global
     /// [`vtrain_obs`] metrics registry (`profile_cache.hits` /
-    /// `.misses` counters, `profile_cache.entries` gauge). No-op while
-    /// observability is disabled.
+    /// `.misses` / `.evictions` counters, `profile_cache.entries`
+    /// gauge). No-op while observability is disabled.
     ///
     /// Registry counters are raised to the lifetime totals (a delta
     /// against the last published value), so one cache publishing
@@ -280,6 +383,8 @@ impl ProfileCache {
         hits.add(stats.hits.saturating_sub(hits.get()));
         let misses = reg.counter("profile_cache.misses");
         misses.add(stats.misses.saturating_sub(misses.get()));
+        let evictions = reg.counter("profile_cache.evictions");
+        evictions.add(self.evictions().saturating_sub(evictions.get()));
         reg.gauge("profile_cache.entries").set(self.len() as u64);
     }
 }
@@ -376,6 +481,72 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, 8);
         assert!((0.0..=1.0).contains(&stats.hit_rate()));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let cache = ProfileCache::with_capacity(2);
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        let a = cache.get_or_profile(&profiler, &sig(1));
+        let _b = cache.get_or_profile(&profiler, &sig(2));
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        let a2 = cache.get_or_profile(&profiler, &sig(1));
+        assert!(Arc::ptr_eq(&a, &a2));
+        let _c = cache.get_or_profile(&profiler, &sig(4));
+        assert_eq!(cache.len(), 2, "capacity bound holds");
+        assert_eq!(cache.evictions(), 1);
+        // `a` survived (recently used): looking it up again hits...
+        let hits_before = cache.stats().hits;
+        let a3 = cache.get_or_profile(&profiler, &sig(1));
+        assert!(Arc::ptr_eq(&a, &a3));
+        assert_eq!(cache.stats().hits, hits_before + 1);
+        // ...while `b` was evicted and must re-profile (a miss).
+        let misses_before = cache.stats().misses;
+        let _b2 = cache.get_or_profile(&profiler, &sig(2));
+        assert_eq!(cache.stats().misses, misses_before + 1);
+        assert_eq!(cache.evictions(), 2, "refilling a full cache evicts again");
+    }
+
+    #[test]
+    fn capacity_one_still_serves_identical_profiles() {
+        let bounded = ProfileCache::with_capacity(1);
+        let unbounded = ProfileCache::new();
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        // Alternate signatures so every lookup on the bounded cache
+        // misses; results must still be bit-identical to the unbounded
+        // cache's.
+        for _ in 0..3 {
+            for m in [1, 2, 4] {
+                let b = bounded.get_or_profile(&profiler, &sig(m));
+                let u = unbounded.get_or_profile(&profiler, &sig(m));
+                assert_eq!(*b, *u);
+            }
+        }
+        assert_eq!(bounded.len(), 1);
+        assert!(bounded.evictions() >= 6, "thrashing cache evicts per insert");
+        assert_eq!(unbounded.evictions(), 0);
+        assert_eq!(unbounded.capacity(), None);
+        assert_eq!(bounded.capacity(), Some(1));
+    }
+
+    #[test]
+    fn concurrent_bounded_lookups_stay_within_capacity() {
+        let cache = Arc::new(ProfileCache::with_capacity(2));
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let cache = Arc::clone(&cache);
+                let profiler = profiler.clone();
+                scope.spawn(move || {
+                    for round in 0..8 {
+                        let m = 1 << ((w + round) % 4);
+                        let p = cache.get_or_profile(&profiler, &sig(m));
+                        assert_eq!(*p, profiler.profile_operator(&sig(m)));
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 2, "settles within capacity, got {}", cache.len());
     }
 
     #[test]

@@ -1,23 +1,35 @@
 //! The `vtrain` command-line front-end: drive prediction, design-space
-//! sweeps, and validation from a single scenario file (paper Fig. 4,
-//! step ①) — no Rust code required.
+//! sweeps, validation, and the serve daemon from a single scenario file
+//! (paper Fig. 4, step ①) — no Rust code required.
 //!
 //! ```sh
 //! vtrain predict  examples/descriptions/megatron_18b.json --timeline trace.json
 //! vtrain sweep    examples/descriptions/megatron_1_7b_sweep.json --metrics metrics.json
+//! vtrain sweep    examples/descriptions/megatron_1_7b_sweep.json --json
 //! vtrain explain  examples/descriptions/megatron_18b.json
 //! vtrain validate examples/descriptions/megatron_18b.json
+//! vtrain serve    127.0.0.1:7071 --workers 4 --cache-capacity 4096
 //! ```
 //!
-//! Exit codes: `0` success, `1` runtime failure (e.g. unreadable file),
-//! `2` usage or invalid scenario (malformed JSON reports line/field
-//! context).
+//! `--json` swaps the human report for one [`vtrain::api::Response`]
+//! line — byte-identical to what `vtrain serve` would answer for the
+//! same scenario — and maps the failure classification onto the exit
+//! codes below.
+//!
+//! Exit codes (one table for every command, `vtrain::api::ErrorCode`):
+//! `0` success; `1` internal/I-O failure; `2` usage error or invalid
+//! scenario; `3` server busy (admission rejected); `4` deadline or
+//! point budget exceeded.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use vtrain::api::{self, Budget, ErrorBody, ErrorCode, Request, RequestKind, Response};
 use vtrain::prelude::*;
+use vtrain::serve::{Server, ServerConfig};
 
 const USAGE: &str = "usage: vtrain <command> <scenario.json> [options]
+       vtrain serve <addr:port> [serve options]
 
 commands:
   predict    simulate the scenario's plan: iteration time, utilization,
@@ -29,8 +41,19 @@ commands:
   explain    attribute where simulated (plan) or simulation (sweep) time
              goes: per-stage/per-stream tables
   validate   parse and resolve every section, reporting the first problem
+  serve      run the sweep-as-a-service daemon: newline-delimited JSON
+             request/response frames (the same `--json` envelope) over
+             TCP, concurrent requests sharing one profile cache
 
 options:
+  --json                  (predict|sweep|validate) print one wire-API
+                          response line instead of the human report —
+                          byte-identical to the serve daemon's response
+                          for the same scenario
+  --deadline-ms <n>       (sweep; any command with --json) fail with the
+                          deadline exit code if the run exceeds n ms
+  --max-points <n>        (sweep; any command with --json) fail with the
+                          deadline exit code beyond n evaluated points
   --timeline <out.json>   (predict) export the predicted iteration as a
                           Chrome trace-event timeline (chrome://tracing,
                           Perfetto)
@@ -38,6 +61,22 @@ options:
                           its snapshot after the sweep
   --stage-profile         (sweep) attribute sweep CPU time across the
                           validate/bound/lower/simulate/summarize stages
+
+serve options:
+  --workers <n>           worker threads executing requests (default 2)
+  --queue-depth <n>       max requests waiting for a worker before
+                          admission rejects with the busy error (default 32)
+  --threads <n>           sweep threads per request (default: all cores)
+  --cache-capacity <n>    bound the shared profile cache to n entries,
+                          evicting least-recently-used (default unbounded)
+
+exit codes:
+  0  success
+  1  internal or I/O failure
+  2  usage error or invalid scenario (malformed JSON reports line/field
+     context)
+  3  server busy: the admission queue was full or the daemon is draining
+  4  deadline or point budget exceeded
 
 see examples/descriptions/ for the scenario schema";
 
@@ -47,6 +86,9 @@ struct Opts {
     timeline: Option<String>,
     metrics: Option<String>,
     stage_profile: bool,
+    json: bool,
+    deadline_ms: Option<u64>,
+    max_points: Option<u64>,
 }
 
 impl Opts {
@@ -65,11 +107,34 @@ impl Opts {
                     None => return Err("--metrics needs an output path".into()),
                 },
                 "--stage-profile" => opts.stage_profile = true,
+                "--json" => opts.json = true,
+                "--deadline-ms" => opts.deadline_ms = Some(parse_number(it.next(), arg)?),
+                "--max-points" => opts.max_points = Some(parse_number(it.next(), arg)?),
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
         Ok(opts)
     }
+
+    /// The budget the options describe, if any.
+    fn budget(&self) -> Option<Budget> {
+        let budget = Budget { deadline_ms: self.deadline_ms, max_points: self.max_points };
+        (!budget.is_empty()).then_some(budget)
+    }
+}
+
+/// Parses a numeric option value; `Err` carries the usage complaint.
+fn parse_number(value: Option<&String>, flag: &str) -> Result<u64, String> {
+    value
+        .ok_or_else(|| format!("{flag} needs a number"))?
+        .parse()
+        .map_err(|_| format!("{flag} needs a number"))
+}
+
+/// The one place an [`Error`] becomes a process exit code — the same
+/// classification table the wire API's error bodies carry.
+fn exit_for(e: &Error) -> ExitCode {
+    ExitCode::from(ErrorCode::classify(e).exit_code())
 }
 
 fn main() -> ExitCode {
@@ -81,6 +146,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if command == "serve" {
+        return match serve_cmd(path, rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit_for(&e)
+            }
+        };
+    }
     let opts = match Opts::parse(rest) {
         Ok(o) => o,
         Err(complaint) => {
@@ -88,6 +162,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.json {
+        return json_mode(command, path, &opts);
+    }
+    if opts.budget().is_some() && command != "sweep" {
+        eprintln!(
+            "error: --deadline-ms/--max-points apply to `sweep` (or any command with --json)\
+             \n\n{USAGE}"
+        );
+        return ExitCode::from(2);
+    }
     if std::fs::metadata(path).is_ok_and(|m| m.is_dir()) {
         if command != "sweep" {
             eprintln!("error: {path} is a directory (only `sweep` accepts one)\n\n{USAGE}");
@@ -97,22 +181,15 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {path}: {e}");
-                ExitCode::from(2)
+                exit_for(&e)
             }
         };
     }
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let scenario = match Scenario::from_json(&text) {
+    let scenario = match load_scenario(path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: {path}: {e}");
-            return ExitCode::from(2);
+            return exit_for(&e);
         }
     };
     let result = match command {
@@ -129,9 +206,64 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {path}: {e}");
-            ExitCode::from(2)
+            exit_for(&e)
         }
     }
+}
+
+/// Reads and parses one scenario file, both failure modes in the
+/// [`Error`] domain so they classify onto the exit-code table.
+fn load_scenario(path: &str) -> Result<Scenario, Error> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| Error::io(format!("cannot read {path}: {e}")))?;
+    Scenario::from_json(&text)
+}
+
+/// `--json`: execute through the wire API and print the one response
+/// line the serve daemon would send — same bytes, same classification.
+fn json_mode(command: &str, path: &str, opts: &Opts) -> ExitCode {
+    let kind = match command {
+        "predict" => RequestKind::Predict,
+        "sweep" => RequestKind::Sweep,
+        "validate" => RequestKind::Validate,
+        other => {
+            eprintln!("error: `{other}` has no --json mode (predict|sweep|validate)\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let response = match load_scenario(path) {
+        Ok(scenario) => {
+            let mut request = Request::new("cli", kind, scenario);
+            request.budget = opts.budget();
+            api::execute(&request, &Arc::new(ProfileCache::new()), None)
+        }
+        Err(e) => Response::err("cli", ErrorBody::from_error(&e)),
+    };
+    println!("{}", response.to_json());
+    match &response.outcome {
+        vtrain::api::Outcome::Ok(_) => ExitCode::SUCCESS,
+        vtrain::api::Outcome::Err(body) => ExitCode::from(body.code.exit_code()),
+    }
+}
+
+/// `vtrain serve <addr>`: bind, announce, and run until a shutdown
+/// frame drains the daemon.
+fn serve_cmd(addr: &str, rest: &[String]) -> Result<(), Error> {
+    let mut config = ServerConfig { addr: addr.to_owned(), ..ServerConfig::default() };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let number = |v: Option<&String>| parse_number(v, arg).map_err(Error::scenario);
+        match arg.as_str() {
+            "--workers" => config.workers = number(it.next())?.max(1) as usize,
+            "--queue-depth" => config.queue_depth = number(it.next())? as usize,
+            "--threads" => config.threads = Some(number(it.next())?.clamp(1, 512) as usize),
+            "--cache-capacity" => config.cache_capacity = Some(number(it.next())?.max(1) as usize),
+            other => return Err(Error::scenario(format!("unknown serve option `{other}`"))),
+        }
+    }
+    let server = Server::bind(config)?;
+    eprintln!("vtrain serve: listening on {}", server.local_addr());
+    server.run()
 }
 
 /// Writes `contents` to `path`, mapping I/O failures into the scenario
@@ -272,7 +404,33 @@ fn sweep_one(
     if opts.stage_profile {
         builder = builder.stage_profile(true);
     }
+    if let Some(budget) = opts.budget() {
+        let deadline = budget
+            .deadline_ms
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+        builder = builder.cancel(CancelToken::with_limits(deadline, budget.max_points));
+    }
     let run = builder.run();
+    // A blown limit fails the command (exit code 4), exactly like the
+    // wire API: a truncated winner set is not the answer asked for.
+    for variant in run.variants() {
+        match variant.outcome.aborted {
+            None => {}
+            Some(AbortReason::Deadline) => {
+                return Err(Error::deadline(format!(
+                    "sweep exceeded its {} ms deadline",
+                    opts.deadline_ms.unwrap_or(0)
+                )));
+            }
+            Some(AbortReason::Budget) => {
+                return Err(Error::deadline(format!(
+                    "sweep exceeded its {}-point budget",
+                    opts.max_points.unwrap_or(0)
+                )));
+            }
+            Some(AbortReason::Cancelled) => return Err(Error::server("sweep cancelled")),
+        }
+    }
     for variant in run.variants() {
         let outcome = &variant.outcome;
         let stats = outcome.stats;

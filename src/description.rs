@@ -28,13 +28,16 @@
 //! minimal (model, cluster, parallelism) file an "input description";
 //! the scenario schema extends it with the optional sections.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use vtrain_core::search::{SearchLimits, Sweep, SweepGoal};
-use vtrain_core::{CostModel, Estimator};
+use vtrain_core::{CostModel, Estimator, EstimatorBuilder};
 use vtrain_gpu::NoiseConfig;
 use vtrain_model::{presets, ModelConfig, TimeNs};
 use vtrain_net::{TierSpec, Topology};
 use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule};
+use vtrain_profile::ProfileCache;
 
 use crate::Error;
 
@@ -526,6 +529,20 @@ impl Scenario {
     ///
     /// Returns an error if the cluster or topology cannot be resolved.
     pub fn estimator(&self) -> Result<Estimator, Error> {
+        Ok(self.estimator_builder()?.build())
+    }
+
+    /// [`Scenario::estimator`] over a shared profile cache — the serving
+    /// path, where one cache spans every request's estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cluster or topology cannot be resolved.
+    pub fn estimator_with(&self, cache: Arc<ProfileCache>) -> Result<Estimator, Error> {
+        Ok(self.estimator_builder()?.cache(cache).build())
+    }
+
+    fn estimator_builder(&self) -> Result<EstimatorBuilder, Error> {
         let mut builder = Estimator::builder(self.cluster()?).alpha(self.checked_alpha()?);
         if let Some(topology) = self.topology()? {
             builder = builder.topology(topology);
@@ -533,7 +550,7 @@ impl Scenario {
         if let Some(noise) = self.noise_config()? {
             builder = builder.noise(noise);
         }
-        Ok(builder.build())
+        Ok(builder)
     }
 
     /// The cost model: the scenario's GPU-hour rate, or the paper's

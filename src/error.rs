@@ -31,6 +31,15 @@ pub enum Error {
     /// carries the path and the OS error; kept as a string so the error
     /// stays [`Clone`]).
     Io(String),
+    /// The serve daemon failed (bind error, broken connection, malformed
+    /// frame, internal fault).
+    Server(String),
+    /// The serve daemon's admission queue was full — back-pressure; the
+    /// request was rejected without being executed and can be retried.
+    Busy(String),
+    /// The request exceeded its deadline or evaluated-point budget and
+    /// was stopped cooperatively; any partial result was discarded.
+    Deadline(String),
 }
 
 impl Error {
@@ -43,6 +52,21 @@ impl Error {
     pub fn io(msg: impl Into<String>) -> Self {
         Error::Io(msg.into())
     }
+
+    /// Creates a server-level error.
+    pub fn server(msg: impl Into<String>) -> Self {
+        Error::Server(msg.into())
+    }
+
+    /// Creates an admission-rejected (queue full / draining) error.
+    pub fn busy(msg: impl Into<String>) -> Self {
+        Error::Busy(msg.into())
+    }
+
+    /// Creates a deadline/budget-exceeded error.
+    pub fn deadline(msg: impl Into<String>) -> Self {
+        Error::Deadline(msg.into())
+    }
 }
 
 impl fmt::Display for Error {
@@ -54,6 +78,9 @@ impl fmt::Display for Error {
             Error::Parse(e) => write!(f, "invalid scenario JSON: {e}"),
             Error::Scenario(msg) => write!(f, "invalid scenario: {msg}"),
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
+            Error::Server(msg) => write!(f, "server error: {msg}"),
+            Error::Busy(msg) => write!(f, "server busy: {msg}"),
+            Error::Deadline(msg) => write!(f, "deadline exceeded: {msg}"),
         }
     }
 }
@@ -65,7 +92,11 @@ impl std::error::Error for Error {
             Error::Plan(e) => Some(e),
             Error::Estimate(e) => Some(e),
             Error::Parse(e) => Some(e),
-            Error::Scenario(_) | Error::Io(_) => None,
+            Error::Scenario(_)
+            | Error::Io(_)
+            | Error::Server(_)
+            | Error::Busy(_)
+            | Error::Deadline(_) => None,
         }
     }
 }

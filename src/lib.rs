@@ -69,8 +69,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod description;
 mod error;
+pub mod serve;
 
 pub use description::{Description, Scenario};
 pub use error::Error;
@@ -94,12 +96,16 @@ pub use vtrain_scaling as scaling;
 /// programs that drive those layers directly should import them from
 /// their home crates.
 pub mod prelude {
+    pub use crate::api::{
+        ErrorCode, Outcome, Report, Request, RequestKind, Response, WIRE_VERSION,
+    };
     pub use crate::description::{Description, Scenario};
     pub use crate::error::Error;
+    pub use crate::serve::{Server, ServerConfig};
     pub use vtrain_core::bounds::iteration_floor;
     pub use vtrain_core::search::{
-        self, DesignPoint, PlacementSweep, SearchLimits, StageProfile, Sweep, SweepGoal,
-        SweepOutcome, SweepRun, SweepStats,
+        self, AbortReason, CancelToken, DesignPoint, PlacementSweep, SearchLimits, StageProfile,
+        Sweep, SweepGoal, SweepOutcome, SweepRun, SweepStats,
     };
     pub use vtrain_core::{
         CostModel, Estimator, EstimatorBuilder, IterationEstimate, IterationTimeline, SimMode,

@@ -1,0 +1,411 @@
+//! Sweep-as-a-service: the `vtrain serve` daemon.
+//!
+//! A long-running process that binds a TCP port, speaks the versioned
+//! wire API of [`crate::api`] in newline-delimited JSON frames, and
+//! multiplexes concurrent scenario requests onto a worker pool sharing
+//! one [`ProfileCache`] — so a fleet of sweeps pays the profiling cost
+//! of each distinct operator signature once, not once per request.
+//!
+//! Pure `std`: [`std::net::TcpListener`], one reader thread per
+//! connection, a [`Condvar`]-signalled bounded admission queue, and a
+//! fixed worker pool. No HTTP, no async runtime.
+//!
+//! # Lifecycle and backpressure
+//!
+//! - Each connection sends any number of request frames; responses
+//!   carry the request's `id`, so a client may pipeline requests and
+//!   match responses out of order.
+//! - Admission is bounded: when `queue_depth` requests are already
+//!   waiting, new work is rejected immediately with a `Busy` error
+//!   rather than queued without limit — the client owns the retry.
+//! - A request's `budget.deadline_ms` counts from *admission*: time
+//!   spent waiting in the queue is charged against it, and an already
+//!   expired request is answered with `DeadlineExceeded` without being
+//!   executed.
+//! - A `Shutdown` frame drains: admission closes (`Busy`), queued and
+//!   executing requests finish, then the shutdown response is written
+//!   and the accept loop exits.
+//!
+//! # Observability
+//!
+//! Aggregate counters are always available in-process via the `Stats`
+//! request kind ([`crate::api::ServerStats`]). When the `vtrain-obs`
+//! global registry is enabled, the daemon additionally publishes
+//! `serve.requests`, `serve.completed`, `serve.busy_rejections`,
+//! `serve.deadline_exceeded`, `serve.queue_depth`, and the
+//! `serve.latency_ms` histogram.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use vtrain_obs::Histogram;
+use vtrain_profile::ProfileCache;
+
+use crate::api::{
+    ErrorBody, ErrorCode, Report, Request, RequestKind, Response, ServerStats, ShutdownReport,
+};
+use crate::error::Error;
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `"127.0.0.1:7071"` (port 0 picks an
+    /// ephemeral port; read it back with [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing requests (default 2).
+    pub workers: usize,
+    /// Maximum requests waiting for a worker before admission rejects
+    /// with `Busy` (default 32; executing requests do not count).
+    pub queue_depth: usize,
+    /// Sweep worker threads per request (default: all cores). Kept low
+    /// when `workers` is high — the products multiply.
+    pub threads: Option<usize>,
+    /// Profile-cache capacity in entries (default unbounded).
+    pub cache_capacity: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7071".to_owned(),
+            workers: 2,
+            queue_depth: 32,
+            threads: None,
+            cache_capacity: None,
+        }
+    }
+}
+
+/// One admitted request waiting for (or holding) a worker.
+struct Job {
+    request: Request,
+    /// The admission-relative deadline, pre-resolved so queue wait
+    /// counts against it.
+    deadline: Option<Instant>,
+    admitted: Instant,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+/// Admission queue + drain flag behind one mutex, signalled by one
+/// condvar for both "work available" (workers) and "work finished"
+/// (the drain wait).
+#[derive(Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    draining: bool,
+    executing: u64,
+}
+
+/// State shared by the accept loop, reader threads, and workers.
+struct Shared {
+    cache: Arc<ProfileCache>,
+    config: ServerConfig,
+    queue: Mutex<Queue>,
+    cond: Condvar,
+    requests: AtomicU64,
+    completed: AtomicU64,
+    busy_rejections: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    latency_ms: Histogram,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        let (queue_depth, executing) = {
+            let q = self.queue.lock().expect("queue lock");
+            (q.jobs.len() as u64, q.executing)
+        };
+        let cache = self.cache.stats();
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            queue_depth,
+            executing,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_entries: self.cache.len() as u64,
+            cache_evictions: self.cache.evictions(),
+            latency_p50_ms: self.latency_ms.p50(),
+            latency_p95_ms: self.latency_ms.p95(),
+            latency_p99_ms: self.latency_ms.p99(),
+        }
+    }
+
+    /// Publishes the always-on counters into the `vtrain-obs` global
+    /// registry (no-op while tracing is disabled).
+    fn publish_metrics(&self) {
+        if !vtrain_obs::enabled() {
+            return;
+        }
+        let m = vtrain_obs::global();
+        let stats = self.stats();
+        let set = |name: &str, v: u64| {
+            let c = m.counter(name);
+            c.add(v.saturating_sub(c.get()));
+        };
+        set("serve.requests", stats.requests);
+        set("serve.completed", stats.completed);
+        set("serve.busy_rejections", stats.busy_rejections);
+        set("serve.deadline_exceeded", stats.deadline_exceeded);
+        m.gauge("serve.queue_depth").set(stats.queue_depth);
+        m.gauge("serve.latency_p95_ms").set(stats.latency_p95_ms);
+        self.cache.publish_metrics();
+    }
+}
+
+/// Writes one response frame, ignoring a peer that already hung up (its
+/// request still ran; nothing is waiting on the bytes).
+fn respond(out: &Arc<Mutex<TcpStream>>, response: &Response) {
+    let frame = response.to_frame();
+    let mut stream = out.lock().expect("stream lock");
+    let _ = stream.write_all(frame.as_bytes());
+    let _ = stream.flush();
+}
+
+/// A bound serve daemon: accept loop not yet running.
+///
+/// ```no_run
+/// use vtrain::serve::{Server, ServerConfig};
+///
+/// let server = Server::bind(ServerConfig::default())?;
+/// eprintln!("listening on {}", server.local_addr());
+/// server.run()?; // blocks until a Shutdown frame drains the daemon
+/// # Ok::<(), vtrain::Error>(())
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the configured address and prepares the shared state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Server`] if the address cannot be bound.
+    pub fn bind(config: ServerConfig) -> Result<Server, Error> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| Error::server(format!("cannot bind {}: {e}", config.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| Error::server(format!("cannot read bound address: {e}")))?;
+        let cache = Arc::new(match config.cache_capacity {
+            Some(capacity) => ProfileCache::with_capacity(capacity),
+            None => ProfileCache::new(),
+        });
+        let shared = Arc::new(Shared {
+            cache,
+            config,
+            queue: Mutex::new(Queue::default()),
+            cond: Condvar::new(),
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            latency_ms: Histogram::new(),
+        });
+        Ok(Server { listener, local_addr, shared })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs the accept loop until a `Shutdown` frame drains the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Server`] if accepting fails irrecoverably.
+    pub fn run(self) -> Result<(), Error> {
+        let workers: Vec<_> = (0..self.shared.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        for stream in self.listener.incoming() {
+            if self.shared.queue.lock().expect("queue lock").draining {
+                // Woken (possibly by the drain's own loopback connect)
+                // after a shutdown: stop accepting.
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) => return Err(Error::server(format!("accept failed: {e}"))),
+            };
+            let shared = Arc::clone(&self.shared);
+            let addr = self.local_addr;
+            thread::spawn(move || connection_loop(&shared, stream, addr));
+        }
+        // Drain already completed (the Shutdown handler waits for the
+        // queue); workers exit on the draining flag.
+        self.shared.cond.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        self.shared.publish_metrics();
+        Ok(())
+    }
+}
+
+/// Reads frames off one connection until EOF.
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, local_addr: SocketAddr) {
+    let out = match stream.try_clone() {
+        Ok(writer) => Arc::new(Mutex::new(writer)),
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let request: Request = match serde_json::from_str(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                // The frame never parsed, so there is no id to echo;
+                // the empty id marks a frame-level failure.
+                let body = ErrorBody::from_error(&Error::from(e));
+                respond(&out, &Response::err("", body));
+                continue;
+            }
+        };
+        match request.kind {
+            RequestKind::Stats => {
+                respond(&out, &Response::ok(request.id, Report::Stats(shared.stats())));
+            }
+            RequestKind::Shutdown => {
+                drain(shared);
+                let report = ShutdownReport { completed: shared.completed.load(Ordering::Relaxed) };
+                respond(&out, &Response::ok(request.id, Report::Shutdown(report)));
+                shared.publish_metrics();
+                // The accept loop blocks in `accept`; a loopback
+                // connect wakes it to observe the draining flag.
+                let _ = TcpStream::connect(local_addr);
+                return;
+            }
+            RequestKind::Predict | RequestKind::Sweep | RequestKind::Validate => {
+                admit(shared, request, &out);
+            }
+        }
+    }
+}
+
+/// Admits one scenario request into the bounded queue, or rejects it
+/// with `Busy`.
+fn admit(shared: &Arc<Shared>, request: Request, out: &Arc<Mutex<TcpStream>>) {
+    let admitted = Instant::now();
+    let deadline =
+        request.budget.and_then(|b| b.deadline_ms).map(|ms| admitted + Duration::from_millis(ms));
+    let id = request.id.clone();
+    let rejection = {
+        let mut q = shared.queue.lock().expect("queue lock");
+        if q.draining {
+            Some("server is draining")
+        } else if q.jobs.len() >= shared.config.queue_depth {
+            Some("admission queue is full")
+        } else {
+            q.jobs.push_back(Job { request, deadline, admitted, out: Arc::clone(out) });
+            None
+        }
+    };
+    match rejection {
+        None => shared.cond.notify_one(),
+        Some(reason) => {
+            shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            respond(
+                out,
+                &Response::err(
+                    id,
+                    ErrorBody::new(
+                        ErrorCode::Busy,
+                        format!("{reason} (queue depth {})", shared.config.queue_depth),
+                    ),
+                ),
+            );
+        }
+    }
+}
+
+/// Marks the daemon draining and blocks until queued and executing
+/// requests have finished.
+fn drain(shared: &Arc<Shared>) {
+    let mut q = shared.queue.lock().expect("queue lock");
+    q.draining = true;
+    shared.cond.notify_all();
+    while !(q.jobs.is_empty() && q.executing == 0) {
+        q = shared.cond.wait(q).expect("queue lock");
+    }
+}
+
+/// One worker: pop, execute, respond, repeat — until draining and empty.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    q.executing += 1;
+                    break job;
+                }
+                if q.draining {
+                    return;
+                }
+                q = shared.cond.wait(q).expect("queue lock");
+            }
+        };
+        let response = execute_job(shared, &job);
+        if matches!(
+            &response.outcome,
+            crate::api::Outcome::Err(body) if body.code == ErrorCode::DeadlineExceeded
+        ) {
+            shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        } else if matches!(&response.outcome, crate::api::Outcome::Ok(_)) {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        respond(&job.out, &response);
+        let elapsed_ms = job.admitted.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+        shared.latency_ms.record(elapsed_ms);
+        shared.publish_metrics();
+        let mut q = shared.queue.lock().expect("queue lock");
+        q.executing -= 1;
+        // Wake the drain wait (and any idle sibling) on completion.
+        shared.cond.notify_all();
+    }
+}
+
+/// Executes one admitted job with its deadline re-based to admission:
+/// the remaining budget, not the original, reaches the executor.
+fn execute_job(shared: &Arc<Shared>, job: &Job) -> Response {
+    let mut request = job.request.clone();
+    if let Some(deadline) = job.deadline {
+        let Some(remaining) =
+            deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+        else {
+            return Response::err(
+                request.id,
+                ErrorBody::new(
+                    ErrorCode::DeadlineExceeded,
+                    format!(
+                        "deadline exceeded: request spent its {} ms budget waiting in the queue",
+                        job.request.budget.and_then(|b| b.deadline_ms).unwrap_or(0)
+                    ),
+                ),
+            );
+        };
+        let mut budget = request.budget.unwrap_or_default();
+        budget.deadline_ms = Some(remaining.as_millis().max(1).min(u128::from(u64::MAX)) as u64);
+        request.budget = Some(budget);
+    }
+    crate::api::execute(&request, &shared.cache, shared.config.threads)
+}
