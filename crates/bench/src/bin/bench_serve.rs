@@ -1,12 +1,17 @@
 //! Serving-path smoke: boots an in-process `vtrain serve` daemon on an
 //! ephemeral port, drives it with concurrent wire-frame clients, and
 //! writes `results/BENCH_serve.json` (request throughput, latency
-//! percentiles, cross-request cache hit-rate) for the CI perf gate.
+//! percentiles, cross-request cache hit-rate, degraded-mode throughput,
+//! snapshot warm-restart hit-rate) for the CI perf gate.
 //!
-//! Two phases over the same scenario: a cold round that populates the
-//! shared profile cache, then warm rounds (best of 3) that are the
-//! headline number — the daemon's whole value is that repeat traffic
-//! runs out of cache.
+//! Four phases over the same scenario: a cold round that populates the
+//! shared profile cache; warm rounds (best of 3) that are the headline
+//! number — the daemon's whole value is that repeat traffic runs out of
+//! cache; a degraded round against a `--degrade bound-only` daemon
+//! forced to answer every sweep from the analytic floor (the
+//! load-shedding fallback must itself be fast); and a snapshot
+//! kill-and-restart measuring how much of the first batch a
+//! warm-restored cache absorbs.
 //!
 //! ```sh
 //! cargo run --release -p vtrain-bench --bin bench_serve
@@ -20,7 +25,7 @@ use std::time::Instant;
 use serde::Serialize;
 use vtrain::api::{Outcome, Report, Request, RequestKind, Response, ServerStats};
 use vtrain::prelude::*;
-use vtrain::serve::{Server, ServerConfig};
+use vtrain::serve::{DegradeMode, Server, ServerConfig};
 use vtrain_bench::report;
 
 /// The same small megatron-1.7B sweep the serve e2e tests use: big
@@ -47,6 +52,8 @@ struct ServeBench {
     latency_p95_ms: u64,
     latency_p99_ms: u64,
     cache_hit_rate: f64,
+    degraded_requests_per_sec: f64,
+    snapshot_warm_hit_rate: f64,
 }
 
 /// Sends one request frame and blocks for its response.
@@ -77,6 +84,19 @@ fn stats(addr: SocketAddr) -> ServerStats {
     }
 }
 
+fn shutdown(addr: SocketAddr) {
+    let bye = Request {
+        v: vtrain::api::WIRE_VERSION,
+        id: "bye".to_owned(),
+        kind: RequestKind::Shutdown,
+        scenario: None,
+        budget: None,
+        attempt: 0,
+    };
+    let ack = round_trip(addr, &bye);
+    assert!(matches!(ack.outcome, Outcome::Ok(Report::Shutdown(_))), "shutdown acks");
+}
+
 /// One round: every client sends `per_client` sweeps concurrently.
 fn round(addr: SocketAddr, per_client: usize, tag: &str) {
     let clients: Vec<_> = (0..CLIENTS)
@@ -98,20 +118,80 @@ fn round(addr: SocketAddr, per_client: usize, tag: &str) {
     }
 }
 
+fn spawn(config: ServerConfig) -> (SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig { addr: "127.0.0.1:0".to_owned(), ..config })
+        .expect("ephemeral bind succeeds");
+    let addr = server.local_addr();
+    (addr, thread::spawn(move || server.run().expect("serve loop")))
+}
+
+/// Phase 3: every sweep answered from the analytic floor (`--degrade
+/// bound-only` with a 0 high-water mark), best-of-3 rounds.
+fn degraded_phase(workers: usize) -> f64 {
+    let (addr, daemon) = spawn(ServerConfig {
+        workers,
+        threads: Some(1),
+        degrade: Some(DegradeMode::BoundOnly),
+        degrade_high_water: Some(0),
+        ..ServerConfig::default()
+    });
+    let total = CLIENTS * WARM_REQUESTS_PER_CLIENT;
+    let mut best_rps = 0.0f64;
+    for arm in 0..3 {
+        let start = Instant::now();
+        round(addr, WARM_REQUESTS_PER_CLIENT, &format!("deg{arm}"));
+        let wall = start.elapsed().as_secs_f64();
+        best_rps = best_rps.max(total as f64 / wall.max(1e-9));
+    }
+    let after = stats(addr);
+    assert_eq!(
+        after.degraded_responses,
+        3 * total as u64,
+        "a 0 high-water mark degrades every sweep"
+    );
+    shutdown(addr);
+    daemon.join().expect("degraded daemon thread");
+    best_rps
+}
+
+/// Phase 4: populate a snapshotting daemon, drain it (which persists),
+/// then measure what fraction of a fresh daemon's first batch the
+/// warm-restored cache absorbs.
+fn snapshot_phase(workers: usize) -> f64 {
+    let path = std::env::temp_dir().join(format!("vtrain-bench-snapshot-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let snapshotting = || ServerConfig {
+        workers,
+        threads: Some(1),
+        snapshot: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let (addr, daemon) = spawn(snapshotting());
+    round(addr, 1, "snap-populate");
+    shutdown(addr);
+    daemon.join().expect("snapshot daemon thread");
+
+    let (addr, daemon) = spawn(snapshotting());
+    let before = stats(addr);
+    assert_eq!(before.snapshot_loads, 1, "restart warm-restores the snapshot");
+    round(addr, 1, "snap-warm");
+    let after = stats(addr);
+    shutdown(addr);
+    daemon.join().expect("restarted daemon thread");
+    let _ = std::fs::remove_file(&path);
+
+    let hits = after.cache_hits - before.cache_hits;
+    let misses = after.cache_misses - before.cache_misses;
+    hits as f64 / (hits + misses).max(1) as f64
+}
+
 fn main() {
     report::banner("Serving-path smoke (CI gate input)");
     let workers = vtrain_bench::threads().clamp(2, 4);
-    let server = Server::bind(ServerConfig {
-        addr: "127.0.0.1:0".to_owned(),
-        workers,
-        // One estimator thread per request: concurrency comes from the
-        // worker pool, so per-request fan-out would only oversubscribe.
-        threads: Some(1),
-        ..ServerConfig::default()
-    })
-    .expect("ephemeral bind succeeds");
-    let addr = server.local_addr();
-    let daemon = thread::spawn(move || server.run().expect("serve loop"));
+    // One estimator thread per request: concurrency comes from the
+    // worker pool, so per-request fan-out would only oversubscribe.
+    let (addr, daemon) =
+        spawn(ServerConfig { workers, threads: Some(1), ..ServerConfig::default() });
 
     // Cold round: populate the shared profile cache.
     round(addr, 1, "cold");
@@ -130,6 +210,11 @@ fn main() {
         best_rps = best_rps.max(warm_total as f64 / wall.max(1e-9));
     }
     let after_warm = stats(addr);
+    shutdown(addr);
+    daemon.join().expect("daemon thread");
+
+    let degraded_rps = degraded_phase(workers);
+    let snapshot_hit_rate = snapshot_phase(workers);
 
     let hits = after_warm.cache_hits - after_cold.cache_hits;
     let misses = after_warm.cache_misses - after_cold.cache_misses;
@@ -143,11 +228,14 @@ fn main() {
         latency_p95_ms: after_warm.latency_p95_ms,
         latency_p99_ms: after_warm.latency_p99_ms,
         cache_hit_rate: hit_rate,
+        degraded_requests_per_sec: degraded_rps,
+        snapshot_warm_hit_rate: snapshot_hit_rate,
     };
 
     println!(
         "{} warm requests over {} clients / {} workers: {:.1} req/s, \
-         p50 {} ms p95 {} ms p99 {} ms, warm hit-rate {:.4}",
+         p50 {} ms p95 {} ms p99 {} ms, warm hit-rate {:.4}, \
+         degraded {:.1} req/s, snapshot warm hit-rate {:.4}",
         record.requests,
         record.concurrent_clients,
         record.workers,
@@ -155,18 +243,9 @@ fn main() {
         record.latency_p50_ms,
         record.latency_p95_ms,
         record.latency_p99_ms,
-        record.cache_hit_rate
+        record.cache_hit_rate,
+        record.degraded_requests_per_sec,
+        record.snapshot_warm_hit_rate
     );
     report::dump_json("BENCH_serve", &record);
-
-    let shutdown = Request {
-        v: vtrain::api::WIRE_VERSION,
-        id: "bye".to_owned(),
-        kind: RequestKind::Shutdown,
-        scenario: None,
-        budget: None,
-    };
-    let bye = round_trip(addr, &shutdown);
-    assert!(matches!(bye.outcome, Outcome::Ok(Report::Shutdown(_))), "shutdown acks");
-    daemon.join().expect("daemon thread");
 }

@@ -33,7 +33,15 @@
 //!   `serve_requests_per_sec`, or a warm cross-request `cache_hit_rate`
 //!   below `min_serve_hit_rate` (0.96) — the shared profile cache is
 //!   the daemon's reason to exist. Absent record or baseline field
-//!   skips the throughput gate.
+//!   skips the throughput gate. Records carrying the fault-tolerance
+//!   fields additionally gate degraded-mode throughput
+//!   (`degraded_requests_per_sec` against the baseline's
+//!   `serve_degraded_requests_per_sec`, same regression budget — the
+//!   load-shedding fallback must stay cheap) and the snapshot
+//!   warm-restart hit-rate (`snapshot_warm_hit_rate` at least
+//!   `min_snapshot_warm_hit_rate`, 0.9) — a restarted daemon must
+//!   answer its first batch from the restored cache. Absent fields
+//!   skip; `--write-baseline` carries old values forward.
 //!
 //! Run the three producers first (`fig10_design_space --smoke`,
 //! `bench_sim`, `bench_collectives`; optionally `bench_serve` for the
@@ -116,11 +124,12 @@ fn write_baseline(
     pps: f64,
     sim_tps: f64,
     serve_rps: Option<f64>,
+    degraded_rps: Option<f64>,
     rows: &[(String, u64)],
 ) {
     // Carry tuned thresholds forward from the committed baseline; fall
     // back to the defaults only when no baseline exists yet.
-    let (max_reg, max_sim_reg, max_obs_reg, min_eff, tol, max_serve_reg, min_hit) =
+    let (max_reg, max_sim_reg, max_obs_reg, min_eff, tol, max_serve_reg, min_hit, min_snap_hit) =
         match fs::read_to_string(baseline_path()) {
             Ok(text) => {
                 let old = serde_json::value_from_str(&text).expect("existing baseline parses");
@@ -134,20 +143,20 @@ fn write_baseline(
                     old.get("collective_tolerance_rel").and_then(Value::as_f64).unwrap_or(1e-6),
                     old.get("max_serve_regression_pct").and_then(Value::as_f64).unwrap_or(30.0),
                     old.get("min_serve_hit_rate").and_then(Value::as_f64).unwrap_or(0.96),
+                    old.get("min_snapshot_warm_hit_rate").and_then(Value::as_f64).unwrap_or(0.9),
                 )
             }
-            Err(_) => (25.0, 30.0, 5.0, 0.6, 1e-6, 30.0, 0.96),
+            Err(_) => (25.0, 30.0, 5.0, 0.6, 1e-6, 30.0, 0.96, 0.9),
         };
     // A baseline refresh without a fresh serve record keeps the old
-    // serve number instead of silently dropping the gate.
-    let serve_rps = serve_rps.or_else(|| {
+    // serve numbers instead of silently dropping those gates.
+    let old_serve_field = |field: &'static str| {
         fs::read_to_string(baseline_path()).ok().and_then(|text| {
-            serde_json::value_from_str(&text)
-                .ok()?
-                .get("serve_requests_per_sec")
-                .and_then(Value::as_f64)
+            serde_json::value_from_str(&text).ok()?.get(field).and_then(Value::as_f64)
         })
-    });
+    };
+    let serve_rps = serve_rps.or_else(|| old_serve_field("serve_requests_per_sec"));
+    let degraded_rps = degraded_rps.or_else(|| old_serve_field("serve_degraded_requests_per_sec"));
     // Hand-rolled JSON keeps the committed baseline diff-stable
     // (one collective per line, fixed field order).
     let mut out = String::from("{\n");
@@ -158,11 +167,15 @@ fn write_baseline(
     out.push_str(&format!("  \"collective_tolerance_rel\": {tol:e},\n"));
     out.push_str(&format!("  \"max_serve_regression_pct\": {max_serve_reg},\n"));
     out.push_str(&format!("  \"min_serve_hit_rate\": {min_hit},\n"));
+    out.push_str(&format!("  \"min_snapshot_warm_hit_rate\": {min_snap_hit},\n"));
     out.push_str(&format!("  \"sweep_grid\": \"{grid}\",\n"));
     out.push_str(&format!("  \"sweep_points_per_sec\": {pps:.1},\n"));
     out.push_str(&format!("  \"sim_tasks_per_sec\": {sim_tps:.0},\n"));
     if let Some(rps) = serve_rps {
         out.push_str(&format!("  \"serve_requests_per_sec\": {rps:.1},\n"));
+    }
+    if let Some(rps) = degraded_rps {
+        out.push_str(&format!("  \"serve_degraded_requests_per_sec\": {rps:.1},\n"));
     }
     out.push_str("  \"collectives\": [\n");
     for (i, (label, total)) in rows.iter().enumerate() {
@@ -203,7 +216,9 @@ fn main() -> ExitCode {
     if std::env::args().any(|a| a == "--write-baseline") {
         let serve_rps =
             serve.as_ref().and_then(|s| s.get("requests_per_sec").and_then(Value::as_f64));
-        write_baseline(&grid, pps, sim_tps, serve_rps, &rows);
+        let degraded_rps =
+            serve.as_ref().and_then(|s| s.get("degraded_requests_per_sec").and_then(Value::as_f64));
+        write_baseline(&grid, pps, sim_tps, serve_rps, degraded_rps, &rows);
         return ExitCode::SUCCESS;
     }
 
@@ -397,6 +412,60 @@ fn main() -> ExitCode {
                             "serve throughput regressed: {rps:.1} req/s < floor {serve_floor:.1} \
                              ({:.1}% below the {base_rps:.1} baseline)",
                             (1.0 - rps / base_rps) * 100.0
+                        ));
+                    }
+                }
+            }
+
+            // Degraded-mode throughput: the bound-only fallback is what a
+            // saturated daemon answers with, so it regressing defeats the
+            // point of degrading instead of shedding. Same regression
+            // budget as the healthy path; absent fields (older producers
+            // or baselines) skip.
+            let degraded_pair = record
+                .get("degraded_requests_per_sec")
+                .and_then(Value::as_f64)
+                .zip(baseline.get("serve_degraded_requests_per_sec").and_then(Value::as_f64));
+            match degraded_pair {
+                None => println!(
+                    "serve degraded throughput: record or baseline field absent — not gated"
+                ),
+                Some((deg_rps, base_deg)) => {
+                    let max_serve_reg = baseline
+                        .get("max_serve_regression_pct")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(30.0);
+                    let deg_floor = base_deg * (1.0 - max_serve_reg / 100.0);
+                    println!(
+                        "serve degraded throughput: {deg_rps:.1} req/s (baseline {base_deg:.1}, \
+                         floor {deg_floor:.1} at -{max_serve_reg:.0}%)"
+                    );
+                    if deg_rps < deg_floor {
+                        failures.push(format!(
+                            "degraded-mode throughput regressed: {deg_rps:.1} req/s < floor \
+                             {deg_floor:.1} ({:.1}% below the {base_deg:.1} baseline)",
+                            (1.0 - deg_rps / base_deg) * 100.0
+                        ));
+                    }
+                }
+            }
+
+            // Snapshot warm-restart hit-rate: like the warm-cache bound,
+            // this is deterministic up to scheduling, so it gates
+            // unconditionally whenever the producer recorded it.
+            match record.get("snapshot_warm_hit_rate").and_then(Value::as_f64) {
+                None => println!("snapshot warm hit-rate: not recorded — not gated"),
+                Some(snap_hit) => {
+                    let min_snap_hit = baseline
+                        .get("min_snapshot_warm_hit_rate")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.9);
+                    println!("snapshot warm hit-rate: {snap_hit:.4} (floor {min_snap_hit})");
+                    if snap_hit < min_snap_hit {
+                        failures.push(format!(
+                            "snapshot warm-restart hit-rate too low: {snap_hit:.4} < \
+                             {min_snap_hit} — a restarted daemon is not answering its first \
+                             batch from the restored cache"
                         ));
                     }
                 }

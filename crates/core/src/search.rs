@@ -22,6 +22,7 @@ use vtrain_profile::ProfileCache;
 
 use crate::cost::{CostModel, TrainingProjection};
 use crate::estimate::{Estimator, EstimatorScratch, IterationEstimate, StageNanos};
+use crate::sim::BusyBreakdown;
 
 /// Bounds of the exhaustive sweep (paper §V-A sweeps `t ≤ 16`, `d ≤ 32`,
 /// `p ≤ 105`).
@@ -660,35 +661,7 @@ fn run_sweep(
     // evaluated, so these are exactly the exhaustive sweep's winners —
     // unless a token aborted the sweep, in which case they are the best
     // of the points visited so far (flagged via `aborted`).
-    match goal {
-        SweepGoal::Exhaustive => {}
-        SweepGoal::Front => {
-            // `pareto_front` returns members in input order; match them
-            // back by identity with one forward pass.
-            let keep: Vec<bool> = {
-                let front = pareto_front(&points);
-                let mut fi = 0;
-                points
-                    .iter()
-                    .map(|p| {
-                        let on_front = fi < front.len() && std::ptr::eq(p, front[fi]);
-                        fi += usize::from(on_front);
-                        on_front
-                    })
-                    .collect()
-            };
-            let mut it = keep.into_iter();
-            points.retain(|_| it.next().expect("keep mask covers points"));
-        }
-        SweepGoal::Best => {
-            let best = points
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, p)| p.estimate.iteration_time)
-                .map(|(i, _)| i);
-            points = best.map(|i| vec![points[i].clone()]).unwrap_or_default();
-        }
-    }
+    apply_goal(goal, &mut points);
 
     let pruned = pruned.into_inner();
     let bound_pruned = bound_pruned.into_inner();
@@ -732,6 +705,97 @@ fn run_sweep(
         threads,
     });
     SweepOutcome { points, stats, stage_profile, aborted }
+}
+
+/// Filters `points` down to exactly what `goal` promises: everything
+/// (`Exhaustive`), the `(iteration_time, num_gpus)` Pareto frontier
+/// (`Front`), or the single fastest point (`Best`, earliest on ties).
+fn apply_goal(goal: SweepGoal, points: &mut Vec<DesignPoint>) {
+    match goal {
+        SweepGoal::Exhaustive => {}
+        SweepGoal::Front => {
+            // `pareto_front` returns members in input order; match them
+            // back by identity with one forward pass.
+            let keep: Vec<bool> = {
+                let front = pareto_front(points);
+                let mut fi = 0;
+                points
+                    .iter()
+                    .map(|p| {
+                        let on_front = fi < front.len() && std::ptr::eq(p, front[fi]);
+                        fi += usize::from(on_front);
+                        on_front
+                    })
+                    .collect()
+            };
+            let mut it = keep.into_iter();
+            points.retain(|_| it.next().expect("keep mask covers points"));
+        }
+        SweepGoal::Best => {
+            let best = points
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.estimate.iteration_time)
+                .map(|(i, _)| i);
+            *points = best.map(|i| vec![points[i].clone()]).unwrap_or_default();
+        }
+    }
+}
+
+/// The degraded-mode executor: prices every feasible candidate at its
+/// [admissible analytic floor](Estimator::lower_bound) instead of
+/// lowering and simulating it — a few microseconds per candidate, no
+/// profile-cache traffic, no threads. The floor is a true lower bound on
+/// iteration time, so relative ordering is meaningful even though the
+/// returned "estimates" carry zero utilization/occupancy and an empty
+/// busy breakdown (nothing was simulated to attribute).
+fn bound_only_sweep(
+    estimator: &Estimator,
+    model: &ModelConfig,
+    candidates: &[ParallelConfig],
+    goal: SweepGoal,
+) -> SweepOutcome {
+    let started = Instant::now();
+    let mut points: Vec<DesignPoint> = Vec::new();
+    let mut pruned = 0;
+    for plan in candidates {
+        if estimator.validate(model, plan).is_err() {
+            pruned += 1;
+            continue;
+        }
+        let floor = estimator.lower_bound(model, plan);
+        points.push(DesignPoint {
+            plan: *plan,
+            estimate: IterationEstimate {
+                iteration_time: floor,
+                utilization: 0.0,
+                busy: BusyBreakdown::default(),
+                occupancy: 0.0,
+                num_gpus: plan.num_gpus(),
+                tokens_per_iteration: model.tokens_per_iteration(plan.global_batch()),
+            },
+        });
+    }
+    let evaluated = points.len();
+    apply_goal(goal, &mut points);
+    SweepOutcome {
+        points,
+        stats: SweepStats {
+            candidates: candidates.len(),
+            pruned,
+            bound_pruned: 0,
+            evaluated,
+            cache_hits: 0,
+            cache_misses: 0,
+            delta_fresh: 0,
+            delta_patched: 0,
+            threads: 1,
+            shards: 1,
+            wall_s: started.elapsed().as_secs_f64(),
+        },
+        stage_profile: None,
+        aborted: None,
+    }
 }
 
 /// One topology variant's outcome in a placement sweep.
@@ -1049,6 +1113,68 @@ impl Sweep {
         };
         SweepRun { sweeps }
     }
+
+    /// Degraded bound-only evaluation: enumerates (if needed) and prices
+    /// the grid at each candidate's admissible analytic floor
+    /// ([`Estimator::lower_bound`]) instead of lowering and simulating —
+    /// the load-shedding answer a saturated `vtrain serve` hands out
+    /// under `--degrade bound-only`, orders of magnitude cheaper than
+    /// [`run`](Sweep::run).
+    ///
+    /// Floor points carry the true lower bound as their
+    /// `iteration_time`, the plan's GPU/token accounting, and zeroed
+    /// utilization/occupancy/busy fields (nothing was simulated). The
+    /// configured [`goal`](Sweep::goal) and placement axis apply exactly
+    /// as in a full run; cancellation tokens are ignored — bound pricing
+    /// is microseconds per candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if neither [`batch`](Sweep::batch) nor
+    /// [`candidates`](Sweep::candidates) was set, like [`run`](Sweep::run).
+    pub fn bound_only(self) -> SweepRun {
+        let candidates: Arc<[ParallelConfig]> = match self.candidates {
+            Some(c) => c,
+            None => {
+                let batch = self
+                    .batch
+                    .expect("Sweep: set .batch(..) or .candidates(..) before .bound_only()");
+                enumerate_candidates(&self.model, &self.cluster, batch, self.schedule, &self.limits)
+                    .into()
+            }
+        };
+        let cache = self.cache.unwrap_or_default();
+        let sweeps = if self.placements.is_empty() {
+            let mut builder = Estimator::builder(self.cluster).cache(cache);
+            if let Some(alpha) = self.alpha {
+                builder = builder.alpha(alpha);
+            }
+            if let Some(topology) = self.topology {
+                builder = builder.topology(topology);
+            }
+            let estimator = builder.build();
+            let outcome = bound_only_sweep(&estimator, &self.model, &candidates, self.goal);
+            vec![PlacementSweep { label: String::new(), outcome }]
+        } else {
+            self.placements
+                .iter()
+                .map(|(label, topo)| {
+                    let mut builder = Estimator::builder(self.cluster.clone())
+                        .topology(topo.clone())
+                        .cache(Arc::clone(&cache));
+                    if let Some(alpha) = self.alpha {
+                        builder = builder.alpha(alpha);
+                    }
+                    let estimator = builder.build();
+                    PlacementSweep {
+                        label: label.clone(),
+                        outcome: bound_only_sweep(&estimator, &self.model, &candidates, self.goal),
+                    }
+                })
+                .collect()
+        };
+        SweepRun { sweeps }
+    }
 }
 
 /// The result of a [`Sweep`]: one [`PlacementSweep`] per topology
@@ -1166,6 +1292,35 @@ mod tests {
             .run()
             .into_outcome()
             .points
+    }
+
+    #[test]
+    fn bound_only_floors_every_full_estimate() {
+        let cluster = ClusterSpec::aws_p4d(16);
+        let model = presets::megatron("1.7B");
+        let limits =
+            SearchLimits { max_tensor: 2, max_data: 2, max_pipeline: 2, max_micro_batch: 1 };
+        let sweep = Sweep::over(&model, &cluster).batch(16).limits(limits).threads(2);
+        let full = sweep.clone().run().into_outcome();
+        let floors = sweep.clone().bound_only().into_outcome();
+        // Same feasible set, in the same candidate order...
+        assert_eq!(full.points.len(), floors.points.len());
+        assert_eq!(full.stats.pruned, floors.stats.pruned);
+        for (f, b) in full.points.iter().zip(&floors.points) {
+            assert_eq!(f.plan, b.plan);
+            // ...and every floor is admissible: never above the
+            // simulated iteration time.
+            assert!(b.estimate.iteration_time <= f.estimate.iteration_time);
+            assert!(b.estimate.iteration_time > TimeNs::ZERO);
+            assert_eq!(b.estimate.num_gpus, f.estimate.num_gpus);
+            assert_eq!(b.estimate.tokens_per_iteration, f.estimate.tokens_per_iteration);
+            assert_eq!(b.estimate.utilization, 0.0, "nothing simulated, nothing attributed");
+        }
+        // The goal filter applies to floor points exactly as to full ones.
+        let best = sweep.goal(SweepGoal::Best).bound_only().into_outcome();
+        assert_eq!(best.points.len(), 1);
+        let min = floors.points.iter().map(|p| p.estimate.iteration_time).min().unwrap();
+        assert_eq!(best.points[0].estimate.iteration_time, min);
     }
 
     /// The original quadratic frontier, kept as the oracle for the

@@ -9,9 +9,12 @@
 //! run once per unique signature per GPU, not once per plan.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
+use serde::{Deserialize, Serialize};
 use vtrain_graph::OpSignature;
 use vtrain_model::TimeNs;
 use vtrain_parallel::GpuSpec;
@@ -23,7 +26,7 @@ use crate::table::OpProfile;
 /// Stable hashable identity of a [`GpuSpec`] (the spec itself holds `f64`
 /// fields and cannot be a map key). Two specs with identical performance
 /// envelopes produce identical keys — and identical profiles.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct GpuKey {
     name: String,
     peak_fp16_flops: u64,
@@ -132,6 +135,77 @@ impl ProfileSet {
 }
 
 const SHARDS: usize = 16;
+
+/// First token of a snapshot header line.
+const SNAPSHOT_MAGIC: &str = "vtrain-profile-snapshot";
+
+/// Snapshot format version; bumped on any encoding change so an old
+/// binary never misreads a new snapshot (or vice versa) — it cold-starts
+/// instead.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Why a snapshot could not be saved or restored.
+///
+/// Restore failures are *expected* operational events (a crash mid-write
+/// upgrade, a disk hiccup): callers log them and cold-start. None of them
+/// leave the cache partially modified.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot file could not be read, written, or renamed.
+    Io(String),
+    /// The document is truncated, checksum-failed, or unparseable.
+    Corrupt(String),
+    /// The header's format version is not [`SNAPSHOT_VERSION`].
+    Version {
+        /// The version the header claims.
+        found: u64,
+    },
+}
+
+impl SnapshotError {
+    fn corrupt(msg: impl Into<String>) -> SnapshotError {
+        SnapshotError::Corrupt(msg.into())
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(msg) => write!(f, "snapshot I/O failure: {msg}"),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::Version { found } => write!(
+                f,
+                "snapshot version mismatch: found v{found}, this build reads v{SNAPSHOT_VERSION}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One snapshot entry: the full cache key plus the profiled task list.
+#[derive(Serialize, Deserialize)]
+struct SnapshotRecord {
+    gpu: GpuKey,
+    sig: OpSignature,
+    profile: OpProfile,
+}
+
+/// FNV-1a over `bytes` — the same stable, dependency-free digest the
+/// workspace uses for golden-trace and stable-key checksums.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Parses `prefix=<u64>` from an optional header field.
+fn field_value(field: Option<&str>, prefix: &str) -> Option<u64> {
+    field.and_then(|f| f.strip_prefix(prefix)).and_then(|v| v.parse().ok())
+}
 
 /// One cached profile plus its last-touched stamp (a tick of the cache's
 /// global access epoch, updated on every hit while a capacity is set —
@@ -365,6 +439,175 @@ impl ProfileCache {
         }
     }
 
+    /// Inserts an already-profiled entry (the snapshot restore path),
+    /// keyed by the signature's canonical profiling identity. Returns
+    /// `true` if the entry was new; an existing entry wins (the running
+    /// cache's profile and the snapshot's are bit-identical anyway —
+    /// profiling is deterministic).
+    fn insert_profile(&self, gpu: GpuKey, sig: &OpSignature, profile: Arc<OpProfile>) -> bool {
+        let sig = canonical(sig);
+        let shard = self.shard(&sig);
+        let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
+        let mut inserted = false;
+        map.entry(gpu).or_default().entry(sig).or_insert_with(|| {
+            inserted = true;
+            Entry { profile, stamp: AtomicU64::new(self.epoch.fetch_add(1, Ordering::Relaxed)) }
+        });
+        drop(map);
+        if inserted {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            self.evict_over_capacity();
+        }
+        inserted
+    }
+
+    /// Encodes every cached profile as one deterministic snapshot
+    /// document: a versioned, checksummed header line followed by one
+    /// key-sorted JSON record per entry (records sorted bytewise, so two
+    /// caches holding the same entries encode byte-identically regardless
+    /// of insertion or shard order).
+    ///
+    /// The format is `vtrain-profile-snapshot v<N> entries=<n>
+    /// checksum=<fnv1a64 hex of the body>`; [`ProfileCache::decode_snapshot`]
+    /// (ProfileCache::decode_snapshot) verifies all three fields before
+    /// touching the cache, so a truncated or corrupted snapshot is
+    /// rejected whole — never partially applied.
+    pub fn encode_snapshot(&self) -> String {
+        let mut records: Vec<String> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read().unwrap_or_else(|e| e.into_inner());
+            for (gpu, sigs) in map.iter() {
+                for (sig, entry) in sigs {
+                    let record = SnapshotRecord {
+                        gpu: gpu.clone(),
+                        sig: *sig,
+                        profile: (*entry.profile).clone(),
+                    };
+                    records.push(
+                        serde_json::to_string(&record)
+                            .expect("snapshot records serialize infallibly"),
+                    );
+                }
+            }
+        }
+        records.sort_unstable();
+        let mut body = String::new();
+        for r in &records {
+            body.push_str(r);
+            body.push('\n');
+        }
+        format!(
+            "{SNAPSHOT_MAGIC} v{SNAPSHOT_VERSION} entries={} checksum={:016x}\n{body}",
+            records.len(),
+            fnv1a64(body.as_bytes()),
+        )
+    }
+
+    /// Decodes `text` (an [`encode_snapshot`](ProfileCache::encode_snapshot)
+    /// document) and inserts its entries, returning how many were new.
+    ///
+    /// Validation is all-or-nothing: the header's magic, version, entry
+    /// count, and body checksum are verified — and every record parsed —
+    /// *before* anything is inserted, so a failing snapshot leaves the
+    /// cache exactly as it was.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Version`] for a version-mismatched header,
+    /// [`SnapshotError::Corrupt`] for anything truncated, checksum-failed,
+    /// or unparseable.
+    pub fn decode_snapshot(&self, text: &str) -> Result<usize, SnapshotError> {
+        let (header, body) =
+            text.split_once('\n').ok_or_else(|| SnapshotError::corrupt("missing header line"))?;
+        let mut fields = header.split(' ');
+        if fields.next() != Some(SNAPSHOT_MAGIC) {
+            return Err(SnapshotError::corrupt("bad magic (not a vtrain profile snapshot)"));
+        }
+        let version = fields
+            .next()
+            .and_then(|f| f.strip_prefix('v'))
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| SnapshotError::corrupt("unparseable version field"))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Version { found: version });
+        }
+        let entries = field_value(fields.next(), "entries=")
+            .ok_or_else(|| SnapshotError::corrupt("unparseable entries field"))?;
+        let checksum = fields
+            .next()
+            .and_then(|f| f.strip_prefix("checksum="))
+            .and_then(|v| u64::from_str_radix(v, 16).ok())
+            .ok_or_else(|| SnapshotError::corrupt("unparseable checksum field"))?;
+        if fnv1a64(body.as_bytes()) != checksum {
+            return Err(SnapshotError::corrupt("body checksum mismatch"));
+        }
+        let records: Vec<SnapshotRecord> = body
+            .lines()
+            .map(|line| {
+                serde_json::from_str(line)
+                    .map_err(|e| SnapshotError::corrupt(format!("unparseable record: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if records.len() as u64 != entries {
+            return Err(SnapshotError::corrupt(format!(
+                "header promises {entries} entries, body holds {}",
+                records.len()
+            )));
+        }
+        let mut inserted = 0;
+        for record in records {
+            if self.insert_profile(record.gpu, &record.sig, Arc::new(record.profile)) {
+                inserted += 1;
+            }
+        }
+        Ok(inserted)
+    }
+
+    /// Persists the cache crash-safely: the snapshot is written to a
+    /// sibling temporary file and atomically renamed over `path`, so a
+    /// crash mid-write leaves either the previous snapshot or none —
+    /// never a torn one.
+    ///
+    /// Returns the number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the temporary file cannot be written or
+    /// renamed.
+    pub fn save_snapshot(&self, path: &Path) -> Result<usize, SnapshotError> {
+        let text = self.encode_snapshot();
+        let entries = self.len();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".{}.tmp", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, &text)
+            .map_err(|e| SnapshotError::Io(format!("cannot write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            SnapshotError::Io(format!(
+                "cannot rename {} over {}: {e}",
+                tmp.display(),
+                path.display()
+            ))
+        })?;
+        Ok(entries)
+    }
+
+    /// Restores a [`save_snapshot`](ProfileCache::save_snapshot) file
+    /// into this cache, returning how many entries were loaded.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the file cannot be read, plus everything
+    /// [`decode_snapshot`](ProfileCache::decode_snapshot) rejects. The
+    /// cache is untouched on any failure — callers treat that as a cold
+    /// start, never a crash.
+    pub fn load_snapshot(&self, path: &Path) -> Result<usize, SnapshotError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SnapshotError::Io(format!("cannot read {}: {e}", path.display())))?;
+        self.decode_snapshot(&text)
+    }
+
     /// Publishes this cache's lifetime counters into the global
     /// [`vtrain_obs`] metrics registry (`profile_cache.hits` /
     /// `.misses` / `.evictions` counters, `profile_cache.entries`
@@ -547,6 +790,89 @@ mod tests {
             }
         });
         assert!(cache.len() <= 2, "settles within capacity, got {}", cache.len());
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let cache = ProfileCache::new();
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        for m in [1, 2, 4] {
+            cache.get_or_profile(&profiler, &sig(m));
+        }
+        let text = cache.encode_snapshot();
+        let restored = ProfileCache::new();
+        assert_eq!(restored.decode_snapshot(&text).expect("valid snapshot decodes"), 3);
+        assert_eq!(restored.len(), 3);
+        // Restored entries serve hits with profiles bit-identical to the
+        // originals — and re-encoding is byte-identical (deterministic
+        // sorted encoding).
+        for m in [1, 2, 4] {
+            assert_eq!(
+                *restored.get_or_profile(&profiler, &sig(m)),
+                *cache.get_or_profile(&profiler, &sig(m))
+            );
+        }
+        assert_eq!(restored.stats().misses, 0, "every restored lookup hits");
+        assert_eq!(restored.encode_snapshot(), text);
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption_without_mutating() {
+        let cache = ProfileCache::new();
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        cache.get_or_profile(&profiler, &sig(1));
+        let text = cache.encode_snapshot();
+
+        let fresh = ProfileCache::new();
+        // Truncated mid-body: checksum (or count) mismatch.
+        let truncated = &text[..text.len() - 7];
+        assert!(matches!(fresh.decode_snapshot(truncated), Err(SnapshotError::Corrupt(_))));
+        // One flipped body byte: checksum mismatch.
+        let mut flipped = text.clone().into_bytes();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        let flipped = String::from_utf8(flipped).expect("ascii json stays utf-8");
+        assert!(fresh.decode_snapshot(&flipped).is_err());
+        // Future version: explicit mismatch, not a parse failure.
+        let future = text.replacen(" v1 ", " v999 ", 1);
+        assert_eq!(fresh.decode_snapshot(&future), Err(SnapshotError::Version { found: 999 }));
+        // Not a snapshot at all.
+        assert!(fresh.decode_snapshot("hello\nworld\n").is_err());
+        assert!(fresh.decode_snapshot("").is_err());
+        assert_eq!(fresh.len(), 0, "failed decodes never partially apply");
+    }
+
+    #[test]
+    fn snapshot_save_and_load_via_tmp_rename() {
+        let cache = ProfileCache::new();
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        cache.get_or_profile(&profiler, &sig(2));
+        let path = std::env::temp_dir()
+            .join(format!("vtrain-cache-snapshot-test-{}.snap", std::process::id()));
+        assert_eq!(cache.save_snapshot(&path).expect("save succeeds"), 1);
+        let restored = ProfileCache::new();
+        assert_eq!(restored.load_snapshot(&path).expect("load succeeds"), 1);
+        assert_eq!(restored.len(), 1);
+        // A second save atomically replaces the first.
+        cache.get_or_profile(&profiler, &sig(4));
+        assert_eq!(cache.save_snapshot(&path).expect("re-save succeeds"), 2);
+        let again = ProfileCache::new();
+        assert_eq!(again.load_snapshot(&path).expect("reload succeeds"), 2);
+        std::fs::remove_file(&path).expect("cleanup");
+        assert!(matches!(again.load_snapshot(&path), Err(SnapshotError::Io(_))));
+    }
+
+    #[test]
+    fn snapshot_restore_respects_capacity() {
+        let cache = ProfileCache::new();
+        let profiler = Profiler::new(GpuSpec::a100_40gb());
+        for m in [1, 2, 4] {
+            cache.get_or_profile(&profiler, &sig(m));
+        }
+        let bounded = ProfileCache::with_capacity(2);
+        bounded.decode_snapshot(&cache.encode_snapshot()).expect("decode into bounded cache");
+        assert!(bounded.len() <= 2, "restore evicts down to capacity");
+        assert!(bounded.evictions() >= 1);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Property tests for the crash-safe profile-cache snapshot codec: any
+//! cache round-trips byte-identically, and any single-byte corruption
+//! or truncation of a snapshot is rejected without mutating the cache
+//! it was being restored into.
+
+use proptest::prelude::*;
+use vtrain_graph::{CompKind, OpSignature};
+use vtrain_parallel::GpuSpec;
+use vtrain_profile::{ProfileCache, Profiler};
+
+/// A profilable signature from small generated dimensions (attention
+/// shapes only: the codec is shape-agnostic, variety comes cheap).
+fn sig(
+    kind_fwd: bool,
+    hidden_kib: usize,
+    heads_log2: usize,
+    seq_kib: usize,
+    mb: usize,
+) -> OpSignature {
+    OpSignature {
+        kind: if kind_fwd { CompKind::MhaFwd } else { CompKind::FfnFwd },
+        hidden: hidden_kib * 1024,
+        heads: 1 << heads_log2,
+        seq: seq_kib * 512,
+        micro_batch: mb,
+        tensor: 2,
+        ffn_expansion: 4,
+        vocab: 0,
+        params: 0,
+        recompute: false,
+    }
+}
+
+/// Populates a cache with the generated signature set (canonicalization
+/// may dedup some — the codec must reproduce whatever actually landed).
+fn populated(sigs: &[(bool, usize, usize, usize, usize)]) -> ProfileCache {
+    let cache = ProfileCache::new();
+    let profiler = Profiler::new(GpuSpec::a100_40gb());
+    for &(f, h, heads, s, mb) in sigs {
+        cache.get_or_profile(&profiler, &sig(f, h, heads, s, mb));
+    }
+    cache
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn snapshots_round_trip_byte_identically(
+        sigs in proptest::collection::vec(
+            (proptest::bool::Any, 1usize..3, 3usize..6, 1usize..3, 1usize..5),
+            1..6,
+        )
+    ) {
+        let original = populated(&sigs);
+        let encoded = original.encode_snapshot();
+        let restored = ProfileCache::new();
+        let inserted = restored.decode_snapshot(&encoded).expect("valid snapshot restores");
+        prop_assert_eq!(inserted, original.len());
+        prop_assert_eq!(restored.len(), original.len());
+        prop_assert_eq!(restored.encode_snapshot(), encoded);
+    }
+
+    #[test]
+    fn corrupted_snapshots_never_restore(
+        sigs in proptest::collection::vec(
+            (proptest::bool::Any, 1usize..3, 3usize..6, 1usize..3, 1usize..5),
+            1..4,
+        ),
+        at in 0usize..4096,
+        mask in 1u8..255,
+    ) {
+        let encoded = populated(&sigs).encode_snapshot();
+        let mut bytes = encoded.into_bytes();
+        let at = at % bytes.len();
+        bytes[at] ^= mask;
+        let corrupted = String::from_utf8_lossy(&bytes).into_owned();
+        let target = ProfileCache::new();
+        prop_assert!(
+            target.decode_snapshot(&corrupted).is_err(),
+            "flipping byte {} with {:#x} must be rejected", at, mask
+        );
+        prop_assert_eq!(target.len(), 0);
+    }
+
+    #[test]
+    fn truncated_snapshots_never_restore(
+        sigs in proptest::collection::vec(
+            (proptest::bool::Any, 1usize..3, 3usize..6, 1usize..3, 1usize..5),
+            1..4,
+        ),
+        keep in 0usize..4096,
+    ) {
+        let encoded = populated(&sigs).encode_snapshot();
+        let keep = keep % encoded.len();
+        let truncated: String = String::from_utf8_lossy(&encoded.as_bytes()[..keep]).into_owned();
+        let target = ProfileCache::new();
+        prop_assert!(
+            target.decode_snapshot(&truncated).is_err(),
+            "a snapshot cut to {} of {} bytes must be rejected", keep, encoded.len()
+        );
+        prop_assert_eq!(target.len(), 0);
+    }
+}

@@ -58,12 +58,25 @@ pub struct Request {
     /// Per-request limits; absent means the server's defaults.
     #[serde(default)]
     pub budget: Option<Budget>,
+    /// Delivery attempt of this request, counted from 1 by retrying
+    /// clients re-sending the same idempotent `id`; `0` (the wire
+    /// default) means the sender does not track attempts. The server
+    /// tallies `attempt > 1` into its `retries_observed` counter.
+    #[serde(default)]
+    pub attempt: u64,
 }
 
 impl Request {
     /// A version-1 request over `scenario` with no budget.
     pub fn new(id: impl Into<String>, kind: RequestKind, scenario: Scenario) -> Request {
-        Request { v: WIRE_VERSION, id: id.into(), kind, scenario: Some(scenario), budget: None }
+        Request {
+            v: WIRE_VERSION,
+            id: id.into(),
+            kind,
+            scenario: Some(scenario),
+            budget: None,
+            attempt: 0,
+        }
     }
 
     /// Serializes the request as one key-sorted wire frame (newline
@@ -200,6 +213,12 @@ pub struct SweepReport {
     /// One entry per placement variant (exactly one without a placement
     /// axis, labelled `""`).
     pub variants: Vec<SweepVariant>,
+    /// True when the server answered in degraded bound-only mode
+    /// (`--degrade bound-only` under overload): point `iteration_time`s
+    /// are admissible analytic floors, not simulated estimates, and
+    /// utilization/occupancy/busy fields are zeroed.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// One placement variant of a [`SweepReport`].
@@ -224,6 +243,7 @@ impl SweepReport {
     pub fn from_run(goal: SweepGoal, run: &SweepRun) -> SweepReport {
         SweepReport {
             goal,
+            degraded: false,
             variants: run
                 .variants()
                 .iter()
@@ -292,6 +312,28 @@ pub struct ServerStats {
     pub latency_p95_ms: u64,
     /// 99th-percentile request latency, ms.
     pub latency_p99_ms: u64,
+    /// Requests whose execution panicked; each was answered `Internal`
+    /// with the panic message while the worker respawned.
+    #[serde(default)]
+    pub panics: u64,
+    /// Requests carrying a client-reported `attempt > 1` — retries the
+    /// server actually saw again.
+    #[serde(default)]
+    pub retries_observed: u64,
+    /// Sweep requests answered from the analytic floor because the
+    /// queue was past its degrade high-water mark.
+    #[serde(default)]
+    pub degraded_responses: u64,
+    /// Profile-cache snapshots persisted (tmp-file + atomic rename).
+    #[serde(default)]
+    pub snapshot_saves: u64,
+    /// Snapshots successfully restored at startup (0 or 1).
+    #[serde(default)]
+    pub snapshot_loads: u64,
+    /// Startup snapshot restores rejected (missing, truncated, corrupt,
+    /// or version-mismatched) — each one a logged cold start.
+    #[serde(default)]
+    pub snapshot_load_failures: u64,
 }
 
 /// Acknowledgement of a `Shutdown` frame, sent once the queue has
@@ -361,6 +403,11 @@ pub struct ErrorBody {
     /// Source column of a parse failure, when known.
     #[serde(default)]
     pub column: Option<u64>,
+    /// On a `Busy` rejection: the server's backoff hint, derived from
+    /// queue depth and observed service time. Retrying clients should
+    /// wait at least this long before re-sending.
+    #[serde(default)]
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ErrorBody {
@@ -372,12 +419,18 @@ impl ErrorBody {
             Error::Parse(_) => (number_after(&message, "line "), number_after(&message, "column ")),
             _ => (None, None),
         };
-        ErrorBody { code: ErrorCode::classify(error), message, line, column }
+        ErrorBody { code: ErrorCode::classify(error), message, line, column, retry_after_ms: None }
     }
 
     /// A bare classified message (no position context).
     pub fn new(code: ErrorCode, message: impl Into<String>) -> ErrorBody {
-        ErrorBody { code, message: message.into(), line: None, column: None }
+        ErrorBody { code, message: message.into(), line: None, column: None, retry_after_ms: None }
+    }
+
+    /// Attaches a backoff hint (the `Busy` rejection path).
+    pub fn with_retry_after(mut self, ms: u64) -> ErrorBody {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -430,6 +483,56 @@ pub fn execute(request: &Request, cache: &Arc<ProfileCache>, threads: Option<usi
         Ok(report) => Response::ok(request.id.clone(), report),
         Err(e) => Response::err(request.id.clone(), ErrorBody::from_error(&e)),
     }
+}
+
+/// [`execute`] in degraded bound-only mode — the load-shedding answer a
+/// saturated `vtrain serve --degrade bound-only` hands out instead of a
+/// `Busy` rejection. A `Sweep` request is priced at each candidate's
+/// admissible analytic floor ([`Sweep::bound_only`](vtrain_core::search::Sweep::bound_only))
+/// and flagged `degraded: true` in its report; every other kind runs
+/// exactly as [`execute`] (prediction and validation are already cheap).
+///
+/// Point budgets do not apply (floors are not evaluations); a deadline
+/// is still honored.
+pub fn execute_degraded(
+    request: &Request,
+    cache: &Arc<ProfileCache>,
+    threads: Option<usize>,
+) -> Response {
+    if request.kind != RequestKind::Sweep {
+        return execute(request, cache, threads);
+    }
+    match run_degraded(request, cache) {
+        Ok(report) => Response::ok(request.id.clone(), report),
+        Err(e) => Response::err(request.id.clone(), ErrorBody::from_error(&e)),
+    }
+}
+
+fn run_degraded(request: &Request, cache: &Arc<ProfileCache>) -> Result<Report, Error> {
+    if request.v != WIRE_VERSION {
+        return Err(Error::scenario(format!(
+            "unsupported wire version {} (this build speaks v{WIRE_VERSION})",
+            request.v
+        )));
+    }
+    let budget = request.budget.unwrap_or_default();
+    let deadline = budget.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let scenario = request
+        .scenario
+        .as_ref()
+        .ok_or_else(|| Error::scenario(format!("{:?} request needs a `scenario`", request.kind)))?;
+    scenario.check()?;
+    let goal = scenario.goal()?;
+    let run = scenario.sweep()?.cache(Arc::clone(cache)).bound_only();
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Err(Error::deadline(format!(
+            "degraded sweep finished after its {} ms deadline",
+            budget.deadline_ms.unwrap_or(0)
+        )));
+    }
+    let mut report = SweepReport::from_run(goal, &run);
+    report.degraded = true;
+    Ok(Report::Sweep(report))
 }
 
 fn run(
@@ -612,6 +715,33 @@ mod tests {
             }
             other => panic!("expected a sweep report, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn degraded_execution_floors_the_sweep_and_flags_it() {
+        let cache = Arc::new(ProfileCache::new());
+        let req = Request::new("deg-1", RequestKind::Sweep, sweep_scenario());
+        let full = execute(&req, &cache, Some(1));
+        let degraded = execute_degraded(&req, &cache, Some(1));
+        let report = |resp: &Response| match &resp.outcome {
+            Outcome::Ok(Report::Sweep(r)) => r.clone(),
+            other => panic!("expected sweep report, got {other:?}"),
+        };
+        let (full, degraded) = (report(&full), report(&degraded));
+        assert!(degraded.degraded && !full.degraded);
+        assert_eq!(degraded.variants.len(), full.variants.len());
+        let (fv, dv) = (&full.variants[0], &degraded.variants[0]);
+        assert_eq!(fv.points.len(), dv.points.len(), "same feasible set");
+        for (f, d) in fv.points.iter().zip(&dv.points) {
+            assert_eq!(f.plan, d.plan);
+            assert!(d.estimate.iteration_time <= f.estimate.iteration_time, "floors floor");
+        }
+        // Non-sweep kinds pass through undegraded.
+        let validate = Request::new("v-1", RequestKind::Validate, sweep_scenario());
+        assert!(matches!(
+            execute_degraded(&validate, &cache, Some(1)).outcome,
+            Outcome::Ok(Report::Validate(_))
+        ));
     }
 
     #[test]

@@ -69,6 +69,25 @@ serve options:
   --threads <n>           sweep threads per request (default: all cores)
   --cache-capacity <n>    bound the shared profile cache to n entries,
                           evicting least-recently-used (default unbounded)
+  --max-frame-bytes <n>   reject request frames longer than n bytes with
+                          the bad-request error, keeping the connection
+                          (default 4194304)
+  --degrade bound-only    once the queue passes its high-water mark,
+                          answer sweeps from the analytic lower bound
+                          (flagged `degraded` in the report) instead of
+                          shedding them with the busy error
+  --degrade-high-water <n>  queue length that triggers degraded mode
+                          (default queue-depth/2; 0 degrades every sweep)
+  --snapshot <path>       persist the profile cache to <path> (tmp-file +
+                          atomic rename) and warm-restore it at startup;
+                          a corrupt or truncated file is a logged cold
+                          start, never a crash
+  --snapshot-every <n>    snapshot after every n completed requests
+                          (default 32; a snapshot is also written at
+                          shutdown drain)
+  --fault-plan <file>     inject deterministic faults from a JSON plan
+                          (testing: seeded drops/delays/corruption of
+                          response frames, scripted worker panics)
 
 exit codes:
   0  success
@@ -258,6 +277,34 @@ fn serve_cmd(addr: &str, rest: &[String]) -> Result<(), Error> {
             "--queue-depth" => config.queue_depth = number(it.next())? as usize,
             "--threads" => config.threads = Some(number(it.next())?.clamp(1, 512) as usize),
             "--cache-capacity" => config.cache_capacity = Some(number(it.next())?.max(1) as usize),
+            "--max-frame-bytes" => {
+                config.max_frame_bytes = number(it.next())?.max(64) as usize;
+            }
+            "--degrade" => match it.next().map(String::as_str) {
+                Some("bound-only") => config.degrade = Some(DegradeMode::BoundOnly),
+                Some(other) => {
+                    return Err(Error::scenario(format!(
+                        "unknown degrade mode `{other}` (expected `bound-only`)"
+                    )));
+                }
+                None => return Err(Error::scenario("--degrade needs a mode (`bound-only`)")),
+            },
+            "--degrade-high-water" => {
+                config.degrade_high_water = Some(number(it.next())? as usize);
+            }
+            "--snapshot" => match it.next() {
+                Some(path) => config.snapshot = Some(std::path::PathBuf::from(path)),
+                None => return Err(Error::scenario("--snapshot needs a file path")),
+            },
+            "--snapshot-every" => config.snapshot_every = number(it.next())?.max(1),
+            "--fault-plan" => match it.next() {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| Error::io(format!("cannot read fault plan {path}: {e}")))?;
+                    config.fault_plan = Some(FaultPlan::from_json(&text)?);
+                }
+                None => return Err(Error::scenario("--fault-plan needs a JSON file path")),
+            },
             other => return Err(Error::scenario(format!("unknown serve option `{other}`"))),
         }
     }

@@ -1,0 +1,416 @@
+//! A fault-tolerant blocking client for the `vtrain serve` wire API.
+//!
+//! [`Client`] wraps one TCP connection to a serve daemon and owns the
+//! retry loop the wire API's failure model asks of callers:
+//!
+//! - **Idempotent ids**: every attempt of a request re-sends the same
+//!   caller-chosen `id` with an incremented `attempt` counter, so the
+//!   server can tell a retry from new work (its `retries_observed`
+//!   counter) and the caller can correlate whichever attempt's response
+//!   lands. Requests are pure functions of their scenario, so replaying
+//!   one is always safe — the response is byte-identical whichever
+//!   attempt produced it.
+//! - **Deadline-aware backoff**: retryable failures back off
+//!   exponentially from [`base_backoff_ms`](ClientConfig::base_backoff_ms)
+//!   with *deterministic* jitter (seeded by `(seed, id, attempt)`, so a
+//!   chaos run replays exactly), floored at the server's
+//!   `retry_after_ms` hint on a `Busy` rejection, and truncated to the
+//!   client-side [`deadline`](ClientConfig::deadline) — a blown
+//!   deadline returns [`Error::Deadline`] instead of sleeping past it.
+//! - **Retryable vs terminal**: connection failures (reset, EOF,
+//!   timeout, unparseable or misdelivered frames) tear the connection
+//!   down and retry, as do `Busy` rejections and `Internal` answers (a
+//!   panicked execution); `BadRequest` and `DeadlineExceeded` are
+//!   terminal — re-sending a malformed or already-late request cannot
+//!   change the answer.
+//!
+//! ```no_run
+//! use vtrain::client::Client;
+//! use vtrain::prelude::*;
+//!
+//! let scenario = Scenario::from_json(r#"{
+//!     "model": { "preset": "megatron-1.7B" },
+//!     "cluster": { "preset": "aws-p4d", "total_gpus": 16 },
+//!     "sweep": { "global_batch": 16 }
+//! }"#)?;
+//! let mut client = Client::connect("127.0.0.1:7071");
+//! let response = client.sweep("job-1", scenario)?;
+//! # let _ = response;
+//! # Ok::<(), vtrain::Error>(())
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::api::{
+    ErrorBody, ErrorCode, Outcome, Report, Request, RequestKind, Response, ServerStats,
+    ShutdownReport, WIRE_VERSION,
+};
+use crate::description::Scenario;
+use crate::error::Error;
+
+/// Configuration of a [`Client`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// The daemon's address, e.g. `"127.0.0.1:7071"`.
+    pub addr: String,
+    /// Attempts per request before giving up (default 8; 1 = no retry).
+    pub max_attempts: u64,
+    /// First retry's base backoff, milliseconds (default 10); doubles
+    /// per attempt.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling, milliseconds (default 2000).
+    pub max_backoff_ms: u64,
+    /// Client-side wall-clock budget per request, covering every
+    /// attempt and backoff sleep (default `None`: retry until
+    /// `max_attempts`).
+    pub deadline: Option<Duration>,
+    /// Seed of the deterministic backoff jitter (default 0).
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            addr: "127.0.0.1:7071".to_owned(),
+            max_attempts: 8,
+            base_backoff_ms: 10,
+            max_backoff_ms: 2000,
+            deadline: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A blocking, retrying serve-daemon client. Not thread-safe: one
+/// in-flight request per client (spawn one client per thread to drive
+/// a daemon concurrently).
+#[derive(Debug)]
+pub struct Client {
+    config: ClientConfig,
+    conn: Option<Conn>,
+    last_attempts: u64,
+}
+
+#[derive(Debug)]
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// A client with the default retry policy against `addr`. No I/O
+    /// happens until the first request — a daemon that is still booting
+    /// (or restarting) is just another retryable failure.
+    pub fn connect(addr: impl Into<String>) -> Client {
+        Client::new(ClientConfig { addr: addr.into(), ..ClientConfig::default() })
+    }
+
+    /// A client with an explicit retry policy.
+    pub fn new(config: ClientConfig) -> Client {
+        Client { config, conn: None, last_attempts: 0 }
+    }
+
+    /// Attempts the previous [`request`](Client::request) took to get
+    /// its answer (1 = first try; diagnostics for chaos tests).
+    pub fn last_attempts(&self) -> u64 {
+        self.last_attempts
+    }
+
+    /// Sends `request` until it is answered terminally, retrying
+    /// retryable failures with backoff. The request's `attempt` field
+    /// is overwritten per try; everything else — in particular its
+    /// `id` — is re-sent verbatim, and the response is byte-identical
+    /// whichever attempt produced it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last transport failure once `max_attempts` is
+    /// exhausted without any response, or [`Error::Deadline`] when the
+    /// client-side deadline expires first. A response whose outcome is
+    /// a wire error is *not* an `Err` — it is the server's answer;
+    /// inspect [`Response::outcome`].
+    pub fn request(&mut self, mut request: Request) -> Result<Response, Error> {
+        let deadline = self.config.deadline.map(|d| Instant::now() + d);
+        let mut last_failure = Error::server("request was never attempted");
+        let mut last_response = None;
+        for attempt in 1..=self.config.max_attempts.max(1) {
+            request.attempt = attempt;
+            self.last_attempts = attempt;
+            let mut retry_floor_ms = 0;
+            match self.round_trip(&request, deadline) {
+                Ok(response) => match &response.outcome {
+                    Outcome::Err(body) if body.code == ErrorCode::Busy => {
+                        retry_floor_ms = body.retry_after_ms.unwrap_or(0);
+                        last_failure = Error::busy(body.message.clone());
+                        last_response = Some(response);
+                    }
+                    Outcome::Err(body) if body.code == ErrorCode::Internal => {
+                        last_failure = Error::server(body.message.clone());
+                        last_response = Some(response);
+                    }
+                    // Success, `BadRequest`, and `DeadlineExceeded` are
+                    // terminal: the answer cannot improve by resending.
+                    _ => return Ok(response),
+                },
+                Err(e) => {
+                    self.conn = None;
+                    last_failure = e;
+                }
+            }
+            if attempt < self.config.max_attempts.max(1) {
+                self.backoff(attempt, &request.id, retry_floor_ms, deadline)?;
+            }
+        }
+        match last_response {
+            Some(response) => Ok(response),
+            None => Err(last_failure),
+        }
+    }
+
+    /// [`request`](Client::request) for a `Sweep` over `scenario`.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Client::request).
+    pub fn sweep(&mut self, id: impl Into<String>, scenario: Scenario) -> Result<Response, Error> {
+        self.request(Request::new(id, RequestKind::Sweep, scenario))
+    }
+
+    /// [`request`](Client::request) for a `Predict` over `scenario`.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Client::request).
+    pub fn predict(
+        &mut self,
+        id: impl Into<String>,
+        scenario: Scenario,
+    ) -> Result<Response, Error> {
+        self.request(Request::new(id, RequestKind::Predict, scenario))
+    }
+
+    /// [`request`](Client::request) for a `Validate` over `scenario`.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Client::request).
+    pub fn validate(
+        &mut self,
+        id: impl Into<String>,
+        scenario: Scenario,
+    ) -> Result<Response, Error> {
+        self.request(Request::new(id, RequestKind::Validate, scenario))
+    }
+
+    /// Fetches the daemon's aggregate counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Client::request), plus a wire-error outcome
+    /// mapped back to [`Error`].
+    pub fn stats(&mut self) -> Result<ServerStats, Error> {
+        let response = self.request(bare_request("stats", RequestKind::Stats))?;
+        match response.outcome {
+            Outcome::Ok(Report::Stats(stats)) => Ok(stats),
+            Outcome::Ok(other) => {
+                Err(Error::server(format!("expected a stats report, got {other:?}")))
+            }
+            Outcome::Err(body) => Err(error_from_body(&body)),
+        }
+    }
+
+    /// Drains and stops the daemon, returning its lifetime completion
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// As [`stats`](Client::stats).
+    pub fn shutdown(&mut self) -> Result<ShutdownReport, Error> {
+        let response = self.request(bare_request("shutdown", RequestKind::Shutdown))?;
+        match response.outcome {
+            Outcome::Ok(Report::Shutdown(report)) => Ok(report),
+            Outcome::Ok(other) => {
+                Err(Error::server(format!("expected a shutdown report, got {other:?}")))
+            }
+            Outcome::Err(body) => Err(error_from_body(&body)),
+        }
+    }
+
+    /// One attempt: connect if needed, write the frame, block for the
+    /// answer. Any failure invalidates the connection (the caller tears
+    /// it down), because a half-delivered frame would desynchronize
+    /// every later response.
+    fn round_trip(
+        &mut self,
+        request: &Request,
+        deadline: Option<Instant>,
+    ) -> Result<Response, Error> {
+        let timeout = match deadline {
+            Some(d) => Some(remaining(d)?),
+            None => None,
+        };
+        if self.conn.is_none() {
+            let writer = TcpStream::connect(&self.config.addr).map_err(|e| {
+                Error::server(format!("cannot connect to {}: {e}", self.config.addr))
+            })?;
+            let reader = writer
+                .try_clone()
+                .map_err(|e| Error::server(format!("cannot clone connection: {e}")))?;
+            self.conn = Some(Conn { writer, reader: BufReader::new(reader) });
+        }
+        let conn = self.conn.as_mut().expect("connection was just established");
+        conn.writer
+            .set_write_timeout(timeout)
+            .and_then(|()| conn.reader.get_ref().set_read_timeout(timeout))
+            .map_err(|e| Error::server(format!("cannot arm socket timeout: {e}")))?;
+        conn.writer
+            .write_all(request.to_frame().as_bytes())
+            .and_then(|()| conn.writer.flush())
+            .map_err(|e| Error::server(format!("cannot send request: {e}")))?;
+        let mut line = String::new();
+        let n = conn
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| Error::server(format!("cannot read response: {e}")))?;
+        if n == 0 {
+            return Err(Error::server("connection closed before the response arrived"));
+        }
+        let response: Response = serde_json::from_str(line.trim())
+            .map_err(|e| Error::server(format!("unparseable response frame: {e}")))?;
+        if response.id != request.id {
+            return Err(Error::server(format!(
+                "response id `{}` does not match request id `{}`",
+                response.id, request.id
+            )));
+        }
+        Ok(response)
+    }
+
+    /// Sleeps out the backoff before the next attempt: exponential in
+    /// the attempt number with deterministic jitter, floored at the
+    /// server's `retry_after_ms` hint, truncated to the deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Deadline`] when the deadline has already passed
+    /// (sleeping further would be lying to the caller).
+    fn backoff(
+        &self,
+        attempt: u64,
+        id: &str,
+        floor_ms: u64,
+        deadline: Option<Instant>,
+    ) -> Result<(), Error> {
+        let exp = self
+            .config
+            .base_backoff_ms
+            .saturating_mul(1u64 << (attempt - 1).min(20))
+            .min(self.config.max_backoff_ms)
+            .max(1);
+        // Jitter in [exp/2, exp]: desynchronizes a thundering herd
+        // without ever under-shooting half the nominal backoff, and is
+        // a pure function of (seed, id, attempt) so runs replay.
+        let jittered = exp / 2 + mix(self.config.seed, id, attempt) % (exp - exp / 2 + 1);
+        let mut sleep_ms = jittered.max(floor_ms);
+        if let Some(d) = deadline {
+            let left = remaining(d)?;
+            sleep_ms = sleep_ms.min(left.as_millis().min(u128::from(u64::MAX)) as u64);
+        }
+        std::thread::sleep(Duration::from_millis(sleep_ms));
+        if let Some(d) = deadline {
+            remaining(d)?;
+        }
+        Ok(())
+    }
+}
+
+/// Time left until `deadline`, or [`Error::Deadline`] if none.
+fn remaining(deadline: Instant) -> Result<Duration, Error> {
+    deadline
+        .checked_duration_since(Instant::now())
+        .filter(|d| !d.is_zero())
+        .ok_or_else(|| Error::deadline("client-side deadline expired before the request settled"))
+}
+
+/// A scenario-less request frame (the server-state kinds).
+fn bare_request(id: &str, kind: RequestKind) -> Request {
+    Request { v: WIRE_VERSION, id: id.to_owned(), kind, scenario: None, budget: None, attempt: 0 }
+}
+
+/// Maps a wire error body back onto the [`Error`] the CLI would have
+/// produced locally.
+fn error_from_body(body: &ErrorBody) -> Error {
+    match body.code {
+        ErrorCode::BadRequest => Error::scenario(body.message.clone()),
+        ErrorCode::Busy => Error::busy(body.message.clone()),
+        ErrorCode::DeadlineExceeded => Error::deadline(body.message.clone()),
+        ErrorCode::Internal => Error::server(body.message.clone()),
+    }
+}
+
+/// SplitMix64 over `(seed, id, attempt)` — the jitter's entropy.
+fn mix(seed: u64, id: &str, attempt: u64) -> u64 {
+    let mut z = seed ^ attempt.wrapping_mul(0xbf58476d1ce4e5b9);
+    for b in id.bytes() {
+        z = (z ^ u64::from(b)).wrapping_mul(0x100000001b3);
+    }
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        assert_eq!(mix(7, "job-1", 3), mix(7, "job-1", 3));
+        assert_ne!(mix(7, "job-1", 3), mix(7, "job-1", 4));
+        assert_ne!(mix(7, "job-1", 3), mix(8, "job-1", 3));
+        assert_ne!(mix(7, "job-1", 3), mix(7, "job-2", 3));
+    }
+
+    #[test]
+    fn exhausted_transport_retries_surface_the_last_failure() {
+        // Nothing listens on this port (bind-then-drop reserves one).
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+            listener.local_addr().expect("probe addr").port()
+        };
+        let mut client = Client::new(ClientConfig {
+            addr: format!("127.0.0.1:{port}"),
+            max_attempts: 2,
+            base_backoff_ms: 1,
+            max_backoff_ms: 2,
+            ..ClientConfig::default()
+        });
+        let err = client.stats().expect_err("no daemon to answer");
+        assert!(err.to_string().contains("connect"), "{err}");
+        assert_eq!(client.last_attempts(), 2, "both attempts were spent");
+    }
+
+    #[test]
+    fn client_deadline_cuts_retries_short() {
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+            listener.local_addr().expect("probe addr").port()
+        };
+        let mut client = Client::new(ClientConfig {
+            addr: format!("127.0.0.1:{port}"),
+            max_attempts: 1000,
+            base_backoff_ms: 5,
+            max_backoff_ms: 10,
+            deadline: Some(Duration::from_millis(40)),
+            ..ClientConfig::default()
+        });
+        let started = Instant::now();
+        let err = client.stats().expect_err("deadline must fire");
+        assert!(matches!(err, Error::Deadline(_)), "{err}");
+        assert!(started.elapsed() < Duration::from_secs(5), "gave up promptly");
+        assert!(client.last_attempts() < 1000, "nowhere near max_attempts");
+    }
+}

@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod client;
 pub mod description;
 mod error;
 pub mod serve;
@@ -99,9 +100,11 @@ pub mod prelude {
     pub use crate::api::{
         ErrorCode, Outcome, Report, Request, RequestKind, Response, WIRE_VERSION,
     };
+    pub use crate::client::{Client, ClientConfig};
     pub use crate::description::{Description, Scenario};
     pub use crate::error::Error;
-    pub use crate::serve::{Server, ServerConfig};
+    pub use crate::serve::faults::FaultPlan;
+    pub use crate::serve::{DegradeMode, Server, ServerConfig};
     pub use vtrain_core::bounds::iteration_floor;
     pub use vtrain_core::search::{
         self, AbortReason, CancelToken, DesignPoint, PlacementSweep, SearchLimits, StageProfile,

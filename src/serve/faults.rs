@@ -1,0 +1,273 @@
+//! Deterministic, seeded fault injection for the serve daemon.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* — dropped connections,
+//! delayed or corrupted response frames, forced worker panics — as
+//! probability knobs plus an explicit scripted schedule, in the style of
+//! discrete-event network fault models. The daemon consults the plan's
+//! runtime state (`FaultState`) at each injection point:
+//!
+//! - **before writing a scenario response frame**: drop the connection,
+//!   delay the frame, or corrupt its bytes;
+//! - **before executing an admitted scenario request**: panic, when the
+//!   request's execution sequence number is on the scripted
+//!   `panic_on_requests` list.
+//!
+//! Every probabilistic decision is a pure function of the plan's `seed`
+//! and a monotonic injection-point counter, so a single-connection run
+//! is exactly reproducible and a concurrent run draws the same fault
+//! *sequence* (scheduling may permute which request observes which
+//! fault, but never how many of each kind occur per N events).
+//!
+//! Wired behind `vtrain serve --fault-plan <json>` and the in-process
+//! [`ServerConfig::fault_plan`](crate::serve::ServerConfig) field, so
+//! chaos tests construct plans directly. Server-state frames (`Stats`,
+//! `Shutdown`) are exempt from response faults: they are the health and
+//! lifecycle channel the chaos harness itself relies on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+
+/// A deterministic fault-injection plan: probability knobs plus a
+/// scripted panic schedule, all seeded.
+///
+/// The default plan injects nothing; `vtrain serve` without
+/// `--fault-plan` never consults one.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct FaultPlan {
+    /// Seed of every probabilistic decision (same seed, same faults).
+    #[serde(default)]
+    pub seed: u64,
+    /// Probability (0..=1) that a scenario response frame is answered by
+    /// dropping the connection instead — the client sees a reset/EOF and
+    /// must retry.
+    #[serde(default)]
+    pub drop_response: f64,
+    /// Probability (0..=1) that a scenario response frame is delayed by
+    /// a deterministic duration in `1..=max_delay_ms` before being
+    /// written.
+    #[serde(default)]
+    pub delay_response: f64,
+    /// Upper bound of an injected delay, milliseconds (default 20; a
+    /// plan that leaves it unset — or 0 — gets the default).
+    #[serde(default)]
+    pub max_delay_ms: u64,
+    /// Probability (0..=1) that a scenario response frame has one payload
+    /// byte corrupted before the write — the client's parse fails and it
+    /// must tear down the connection and retry.
+    #[serde(default)]
+    pub corrupt_response: f64,
+    /// Scripted schedule: 1-based execution sequence numbers (counted
+    /// over all scenario requests reaching a worker, retries included)
+    /// whose execution panics — exercising the daemon's `catch_unwind`
+    /// isolation and worker respawn.
+    #[serde(default)]
+    pub panic_on_requests: Vec<u64>,
+}
+
+fn default_max_delay_ms() -> u64 {
+    20
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_response: 0.0,
+            delay_response: 0.0,
+            max_delay_ms: default_max_delay_ms(),
+            corrupt_response: 0.0,
+            panic_on_requests: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses a plan from its JSON form (the `--fault-plan <json>` file
+    /// contents).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Scenario`] for unparseable JSON, unknown fields,
+    /// or out-of-range probabilities.
+    pub fn from_json(text: &str) -> Result<FaultPlan, Error> {
+        let mut plan: FaultPlan = serde_json::from_str(text)
+            .map_err(|e| Error::scenario(format!("invalid fault plan: {e}")))?;
+        if plan.max_delay_ms == 0 {
+            plan.max_delay_ms = default_max_delay_ms();
+        }
+        for (name, p) in [
+            ("drop_response", plan.drop_response),
+            ("delay_response", plan.delay_response),
+            ("corrupt_response", plan.corrupt_response),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(Error::scenario(format!(
+                    "invalid fault plan: {name} = {p} is not a probability in 0..=1"
+                )));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True if the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.drop_response > 0.0
+            || self.delay_response > 0.0
+            || self.corrupt_response > 0.0
+            || !self.panic_on_requests.is_empty()
+    }
+}
+
+/// What to do to one scenario response frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ResponseFault {
+    /// Write the frame normally.
+    None,
+    /// Drop the connection instead of writing.
+    Drop,
+    /// Corrupt one payload byte, then write.
+    Corrupt,
+}
+
+/// Runtime state of a [`FaultPlan`]: the plan plus the monotonic
+/// injection-point counters its decisions are keyed on.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    /// Scenario response frames considered so far.
+    responses: AtomicU64,
+    /// Scenario requests handed to a worker so far.
+    executions: AtomicU64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> FaultState {
+        FaultState { plan, responses: AtomicU64::new(0), executions: AtomicU64::new(0) }
+    }
+
+    /// Decides the fate of the next scenario response frame. Drop wins
+    /// over corrupt (independent draws from disjoint seed streams); the
+    /// returned delay (0 = none) applies before either.
+    pub(crate) fn next_response_fault(&self) -> (ResponseFault, u64) {
+        let seq = self.responses.fetch_add(1, Ordering::Relaxed);
+        let fault = if chance(self.plan.seed, 0x1, seq, self.plan.drop_response) {
+            ResponseFault::Drop
+        } else if chance(self.plan.seed, 0x2, seq, self.plan.corrupt_response) {
+            ResponseFault::Corrupt
+        } else {
+            ResponseFault::None
+        };
+        let delay_ms = if chance(self.plan.seed, 0x3, seq, self.plan.delay_response) {
+            1 + draw(self.plan.seed, 0x4, seq) % self.plan.max_delay_ms.max(1)
+        } else {
+            0
+        };
+        (fault, delay_ms)
+    }
+
+    /// Called once per scenario request reaching a worker; panics when
+    /// the execution's 1-based sequence number is on the scripted
+    /// schedule. The panic unwinds into the worker's `catch_unwind`.
+    pub(crate) fn on_execution(&self) {
+        let seq = self.executions.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.panic_on_requests.contains(&seq) {
+            panic!("injected fault: forced panic on execution #{seq}");
+        }
+    }
+}
+
+/// One SplitMix64 draw keyed on `(seed, stream, seq)` — deterministic,
+/// uniform, and independent across streams.
+fn draw(seed: u64, stream: u64, seq: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(stream.wrapping_mul(0x9e3779b97f4a7c15))
+        .wrapping_add(seq.wrapping_mul(0xbf58476d1ce4e5b9));
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// True with probability `p`, deterministically in `(seed, stream, seq)`.
+fn chance(seed: u64, stream: u64, seq: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    // 53 uniform mantissa bits → a uniform draw in [0, 1).
+    let unit = (draw(seed, stream, seq) >> 11) as f64 / (1u64 << 53) as f64;
+    unit < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        let state = FaultState::new(plan);
+        for _ in 0..100 {
+            assert_eq!(state.next_response_fault(), (ResponseFault::None, 0));
+            state.on_execution(); // never panics: empty schedule
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_the_seed() {
+        let plan = FaultPlan {
+            seed: 42,
+            drop_response: 0.3,
+            delay_response: 0.5,
+            corrupt_response: 0.2,
+            ..FaultPlan::default()
+        };
+        let a = FaultState::new(plan.clone());
+        let b = FaultState::new(plan.clone());
+        let seq_a: Vec<_> = (0..200).map(|_| a.next_response_fault()).collect();
+        let seq_b: Vec<_> = (0..200).map(|_| b.next_response_fault()).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same fault sequence");
+        let reseeded = FaultState::new(FaultPlan { seed: 43, ..plan });
+        let seq_c: Vec<_> = (0..200).map(|_| reseeded.next_response_fault()).collect();
+        assert_ne!(seq_a, seq_c, "different seed, different sequence");
+        // Frequencies track the knobs (loose bounds; 200 draws).
+        let drops = seq_a.iter().filter(|(f, _)| *f == ResponseFault::Drop).count();
+        let delays = seq_a.iter().filter(|(_, d)| *d > 0).count();
+        assert!((30..=90).contains(&drops), "~30% drops, got {drops}/200");
+        assert!((60..=140).contains(&delays), "~50% delays, got {delays}/200");
+        assert!(seq_a.iter().all(|(_, d)| *d <= plan.max_delay_ms));
+    }
+
+    #[test]
+    fn scripted_panics_fire_on_exact_sequence_numbers() {
+        let plan = FaultPlan { panic_on_requests: vec![3], ..FaultPlan::default() };
+        let state = FaultState::new(plan);
+        state.on_execution();
+        state.on_execution();
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.on_execution()));
+        assert!(panicked.is_err(), "execution #3 must panic");
+        state.on_execution(); // #4 is clean again
+    }
+
+    #[test]
+    fn json_plans_validate_probabilities_and_reject_unknown_fields() {
+        let plan = FaultPlan::from_json(
+            r#"{"seed": 7, "drop_response": 0.1, "panic_on_requests": [2, 5]}"#,
+        )
+        .expect("valid plan parses");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.max_delay_ms, 20, "defaults fill unset knobs");
+        assert!(plan.is_active());
+        assert!(FaultPlan::from_json(r#"{"drop_response": 1.5}"#).is_err());
+        assert!(FaultPlan::from_json(r#"{"surprise": true}"#).is_err());
+        assert!(FaultPlan::from_json("not json").is_err());
+    }
+}
