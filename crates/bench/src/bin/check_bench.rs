@@ -42,10 +42,23 @@
 //!   `min_snapshot_warm_hit_rate`, 0.9) — a restarted daemon must
 //!   answer its first batch from the restored cache. Absent fields
 //!   skip; `--write-baseline` carries old values forward.
+//! * fair-sharing network-model regressions, when
+//!   `results/BENCH_flow.json` exists (`bench_flow` ran):
+//!   `single_flow_ppm` above 1 ppm — the contention replay must
+//!   reproduce the closed form exactly when only one flow is in flight;
+//!   the overlap plan's `overlap_closed_form_ns` /
+//!   `overlap_fair_sharing_ns` drifting more than
+//!   `collective_tolerance_rel` from the baseline's golden values
+//!   (deterministic model outputs, like the collective costs), or fair
+//!   sharing not pricing the overlap plan strictly above the closed
+//!   form; and `flow_events_per_sec` more than
+//!   `max_flow_regression_pct` (40 %) below the baseline — a perf
+//!   regression in the flow kernel itself. Absent record or baseline
+//!   fields skip; `--write-baseline` carries old values forward.
 //!
 //! Run the three producers first (`fig10_design_space --smoke`,
-//! `bench_sim`, `bench_collectives`; optionally `bench_serve` for the
-//! serving gate). Pass `--write-baseline` to
+//! `bench_sim`, `bench_collectives`; optionally `bench_serve` and
+//! `bench_flow` for their gates). Pass `--write-baseline` to
 //! regenerate the baseline from the current results after an intentional
 //! change (and say why in `crates/bench/BASELINES.md`).
 //!
@@ -125,6 +138,7 @@ fn write_baseline(
     sim_tps: f64,
     serve_rps: Option<f64>,
     degraded_rps: Option<f64>,
+    flow: Option<(f64, u64, u64)>,
     rows: &[(String, u64)],
 ) {
     // Carry tuned thresholds forward from the committed baseline; fall
@@ -148,15 +162,32 @@ fn write_baseline(
             }
             Err(_) => (25.0, 30.0, 5.0, 0.6, 1e-6, 30.0, 0.96, 0.9),
         };
-    // A baseline refresh without a fresh serve record keeps the old
-    // serve numbers instead of silently dropping those gates.
+    let max_flow_reg = fs::read_to_string(baseline_path())
+        .ok()
+        .and_then(|text| {
+            serde_json::value_from_str(&text)
+                .ok()?
+                .get("max_flow_regression_pct")
+                .and_then(Value::as_f64)
+        })
+        .unwrap_or(40.0);
+    // A baseline refresh without a fresh serve (or flow) record keeps
+    // the old numbers instead of silently dropping those gates.
     let old_serve_field = |field: &'static str| {
         fs::read_to_string(baseline_path()).ok().and_then(|text| {
             serde_json::value_from_str(&text).ok()?.get(field).and_then(Value::as_f64)
         })
     };
+    let old_u64_field = |field: &'static str| {
+        fs::read_to_string(baseline_path()).ok().and_then(|text| {
+            serde_json::value_from_str(&text).ok()?.get(field).and_then(Value::as_u64)
+        })
+    };
     let serve_rps = serve_rps.or_else(|| old_serve_field("serve_requests_per_sec"));
     let degraded_rps = degraded_rps.or_else(|| old_serve_field("serve_degraded_requests_per_sec"));
+    let flow_eps = flow.map(|f| f.0).or_else(|| old_serve_field("flow_events_per_sec"));
+    let flow_closed = flow.map(|f| f.1).or_else(|| old_u64_field("flow_overlap_closed_form_ns"));
+    let flow_fair = flow.map(|f| f.2).or_else(|| old_u64_field("flow_overlap_fair_sharing_ns"));
     // Hand-rolled JSON keeps the committed baseline diff-stable
     // (one collective per line, fixed field order).
     let mut out = String::from("{\n");
@@ -168,6 +199,7 @@ fn write_baseline(
     out.push_str(&format!("  \"max_serve_regression_pct\": {max_serve_reg},\n"));
     out.push_str(&format!("  \"min_serve_hit_rate\": {min_hit},\n"));
     out.push_str(&format!("  \"min_snapshot_warm_hit_rate\": {min_snap_hit},\n"));
+    out.push_str(&format!("  \"max_flow_regression_pct\": {max_flow_reg},\n"));
     out.push_str(&format!("  \"sweep_grid\": \"{grid}\",\n"));
     out.push_str(&format!("  \"sweep_points_per_sec\": {pps:.1},\n"));
     out.push_str(&format!("  \"sim_tasks_per_sec\": {sim_tps:.0},\n"));
@@ -176,6 +208,15 @@ fn write_baseline(
     }
     if let Some(rps) = degraded_rps {
         out.push_str(&format!("  \"serve_degraded_requests_per_sec\": {rps:.1},\n"));
+    }
+    if let Some(eps) = flow_eps {
+        out.push_str(&format!("  \"flow_events_per_sec\": {eps:.0},\n"));
+    }
+    if let Some(ns) = flow_closed {
+        out.push_str(&format!("  \"flow_overlap_closed_form_ns\": {ns},\n"));
+    }
+    if let Some(ns) = flow_fair {
+        out.push_str(&format!("  \"flow_overlap_fair_sharing_ns\": {ns},\n"));
     }
     out.push_str("  \"collectives\": [\n");
     for (i, (label, total)) in rows.iter().enumerate() {
@@ -198,6 +239,11 @@ fn main() -> ExitCode {
     let serve = fs::read_to_string(results_dir().join("BENCH_serve.json"))
         .ok()
         .map(|text| serde_json::value_from_str(&text).expect("BENCH_serve.json parses"));
+    // The flow record is likewise optional: bench_flow is a separate
+    // producer and older pipelines never ran it.
+    let flow = fs::read_to_string(results_dir().join("BENCH_flow.json"))
+        .ok()
+        .map(|text| serde_json::value_from_str(&text).expect("BENCH_flow.json parses"));
     let pps = points_per_sec(&sweep);
     let grid = sweep_grid(&sweep);
     let goal = sweep_goal(&sweep);
@@ -218,7 +264,14 @@ fn main() -> ExitCode {
             serve.as_ref().and_then(|s| s.get("requests_per_sec").and_then(Value::as_f64));
         let degraded_rps =
             serve.as_ref().and_then(|s| s.get("degraded_requests_per_sec").and_then(Value::as_f64));
-        write_baseline(&grid, pps, sim_tps, serve_rps, degraded_rps, &rows);
+        let flow_triple = flow.as_ref().and_then(|f| {
+            Some((
+                f.get("flow_events_per_sec").and_then(Value::as_f64)?,
+                f.get("overlap_closed_form_ns").and_then(Value::as_u64)?,
+                f.get("overlap_fair_sharing_ns").and_then(Value::as_u64)?,
+            ))
+        });
+        write_baseline(&grid, pps, sim_tps, serve_rps, degraded_rps, flow_triple, &rows);
         return ExitCode::SUCCESS;
     }
 
@@ -466,6 +519,102 @@ fn main() -> ExitCode {
                             "snapshot warm-restart hit-rate too low: {snap_hit:.4} < \
                              {min_snap_hit} — a restarted daemon is not answering its first \
                              batch from the restored cache"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Flow-model gate: only when bench_flow produced a record. The
+    // equivalence anchor and the fair-above-closed ordering are
+    // deterministic model outputs and gate unconditionally; the overlap
+    // costs are golden-gated against the baseline like the collectives,
+    // and the kernel throughput floor needs a baseline field, which
+    // `--write-baseline` bootstraps.
+    match &flow {
+        None => println!("flow model: BENCH_flow.json not present — not gated"),
+        Some(record) => {
+            let ppm = record
+                .get("single_flow_ppm")
+                .and_then(Value::as_f64)
+                .expect("single-flow ppm recorded");
+            println!("flow single-flow anchor: {ppm:.3} ppm vs closed form (bound 1 ppm)");
+            if ppm > 1.0 {
+                failures.push(format!(
+                    "fair sharing diverges from the closed form on a single flow: {ppm:.3} ppm \
+                     > 1 ppm — the progressive-filling drain no longer matches the analytic cost"
+                ));
+            }
+
+            let closed = record
+                .get("overlap_closed_form_ns")
+                .and_then(Value::as_u64)
+                .expect("overlap closed-form cost recorded");
+            let fair = record
+                .get("overlap_fair_sharing_ns")
+                .and_then(Value::as_u64)
+                .expect("overlap fair-sharing cost recorded");
+            if fair <= closed {
+                failures.push(format!(
+                    "fair sharing no longer prices contention: overlap plan {fair} ns <= \
+                     closed-form {closed} ns"
+                ));
+            }
+            let golden = [
+                ("closed-form", closed, "flow_overlap_closed_form_ns"),
+                ("fair-sharing", fair, "flow_overlap_fair_sharing_ns"),
+            ];
+            for (label, got, field) in golden {
+                match baseline.get(field).and_then(Value::as_u64) {
+                    None => println!(
+                        "flow overlap ({label}): {got} ns (no baseline yet — drift not gated)"
+                    ),
+                    Some(want) => {
+                        let rel = (got as f64 - want as f64).abs() / (want as f64).max(1.0);
+                        println!(
+                            "flow overlap ({label}): {got} ns (baseline {want} ns, drift {rel:.2e})"
+                        );
+                        if rel > tol {
+                            failures.push(format!(
+                                "flow overlap cost ({label}) drifted: {got} ns vs baseline \
+                                 {want} ns (rel {rel:.2e} > {tol:.0e})"
+                            ));
+                        }
+                    }
+                }
+            }
+
+            let eps = record
+                .get("flow_events_per_sec")
+                .and_then(Value::as_f64)
+                .expect("flow kernel throughput recorded");
+            match baseline.get("flow_events_per_sec").and_then(Value::as_f64) {
+                None => println!(
+                    "flow kernel: {:.2} Mevents/s (no baseline yet — throughput not gated)",
+                    eps / 1e6
+                ),
+                Some(base_eps) => {
+                    let max_flow_reg = baseline
+                        .get("max_flow_regression_pct")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(40.0);
+                    let flow_floor = base_eps * (1.0 - max_flow_reg / 100.0);
+                    println!(
+                        "flow kernel: {:.2} Mevents/s (baseline {:.2}, floor {:.2} at \
+                         -{max_flow_reg:.0}%)",
+                        eps / 1e6,
+                        base_eps / 1e6,
+                        flow_floor / 1e6
+                    );
+                    if eps < flow_floor {
+                        failures.push(format!(
+                            "flow kernel throughput regressed: {:.2} Mevents/s < floor {:.2} \
+                             ({:.1}% below the {:.2} Mevents/s baseline)",
+                            eps / 1e6,
+                            flow_floor / 1e6,
+                            (1.0 - eps / base_eps) * 100.0,
+                            base_eps / 1e6
                         ));
                     }
                 }

@@ -17,6 +17,8 @@ use serde::{Deserialize, Serialize};
 use vtrain_engine::resource::CapacityPool;
 use vtrain_engine::{Handler, Simulation};
 use vtrain_model::TimeNs;
+use vtrain_net::flow::max_min_rates;
+use vtrain_net::NetworkBackend;
 
 use crate::catalog::{ModelCatalog, ProfilePolicy, ThroughputProfile};
 use crate::job::{JobOutcome, JobSpec};
@@ -37,7 +39,28 @@ pub struct SchedulerConfig {
     /// Percent slowdown applied to a job's iteration time while its
     /// allocation spans more than one rack (its gradient traffic crosses
     /// the rack spine). 0 disables the penalty.
+    ///
+    /// Under [`NetworkBackend::ClosedForm`] this scalar is the whole
+    /// cross-rack model: every spanning job pays the same fixed factor no
+    /// matter how many other jobs cross the spine with it. That regime is
+    /// kept as the documented fallback; prefer
+    /// [`with_network`](SchedulerConfig::with_network) with
+    /// [`NetworkBackend::FairSharing`], where the scalar becomes the cost
+    /// of a *sole* occupant's spine crossing and co-resident spanning
+    /// jobs additionally contend for the shared spine bandwidth.
     pub cross_rack_slowdown_pct: u32,
+    /// How co-scheduled jobs' cross-rack traffic shares the rack spine.
+    ///
+    /// [`NetworkBackend::ClosedForm`] (the default) applies the scalar
+    /// [`cross_rack_slowdown_pct`](SchedulerConfig::cross_rack_slowdown_pct)
+    /// to every spanning job independently. With
+    /// [`NetworkBackend::FairSharing`], spanning jobs are flows on the
+    /// shared spine link under max-min fair sharing: each one's crossing
+    /// drains at its fair share, so the slowdown grows with the number of
+    /// co-resident spanning jobs. A sole spanning job reproduces the
+    /// scalar penalty exactly.
+    #[serde(default)]
+    pub network: NetworkBackend,
 }
 
 impl SchedulerConfig {
@@ -48,6 +71,7 @@ impl SchedulerConfig {
             policy,
             gpus_per_rack: total_gpus,
             cross_rack_slowdown_pct: 0,
+            network: NetworkBackend::default(),
         }
     }
 
@@ -62,6 +86,13 @@ impl SchedulerConfig {
         assert!(gpus_per_rack > 0, "racks must hold at least one GPU");
         self.gpus_per_rack = gpus_per_rack;
         self.cross_rack_slowdown_pct = slowdown_pct;
+        self
+    }
+
+    /// Selects how spanning jobs share the rack spine (see
+    /// [`SchedulerConfig::network`]).
+    pub fn with_network(mut self, network: NetworkBackend) -> Self {
+        self.network = network;
         self
     }
 
@@ -149,6 +180,9 @@ struct ClusterSim<'a> {
     pool: CapacityPool,
     cfg: SchedulerConfig,
     cross_rack_rounds: u64,
+    /// Largest spanning-job slowdown factor any reallocation produced
+    /// (1.0 when nothing ever spanned).
+    max_penalty: f64,
     /// Simulation time (seconds) progress was last advanced to.
     last_now: f64,
     makespan: f64,
@@ -282,16 +316,45 @@ impl ClusterSim<'_> {
     /// Packs the fresh grants into racks and refreshes each job's
     /// cross-rack penalty. On a single-rack fleet every span is 1 and
     /// every penalty 1.0, reproducing rack-oblivious behaviour exactly.
+    ///
+    /// Under [`NetworkBackend::ClosedForm`] every spanning job pays the
+    /// fixed scalar factor. Under [`NetworkBackend::FairSharing`] each
+    /// spanning job contributes one flow on the shared spine link and
+    /// [`max_min_rates`] splits the spine between them: a job whose
+    /// crossing drains at a `1/k` fair share pays `k` times the scalar's
+    /// excess, so a sole occupant reproduces the scalar exactly and
+    /// co-resident spanning jobs slow each other down.
     fn place_on_racks(&mut self) {
         let grants: Vec<usize> = self.active.iter().map(|a| a.alloc).collect();
         let spans = assign_racks(&grants, self.cfg.gpus_per_rack, self.cfg.total_gpus);
-        let factor = 1.0 + f64::from(self.cfg.cross_rack_slowdown_pct) / 100.0;
-        let mut any_spill = false;
-        for (a, span) in self.active.iter_mut().zip(&spans) {
-            a.penalty = if *span > 1 { factor } else { 1.0 };
-            any_spill |= *span > 1;
+        let excess = f64::from(self.cfg.cross_rack_slowdown_pct) / 100.0;
+        let spanning: Vec<usize> =
+            spans.iter().enumerate().filter(|(_, s)| **s > 1).map(|(i, _)| i).collect();
+
+        for a in self.active.iter_mut() {
+            a.penalty = 1.0;
         }
-        if any_spill {
+        match self.cfg.network {
+            NetworkBackend::ClosedForm => {
+                for &i in &spanning {
+                    self.active[i].penalty = 1.0 + excess;
+                }
+            }
+            NetworkBackend::FairSharing => {
+                // One unit-demand flow per spanning job over the one
+                // spine link of unit capacity.
+                let flows: Vec<[usize; 1]> = spanning.iter().map(|_| [0usize]).collect();
+                let mut rates = Vec::new();
+                max_min_rates(&[1.0], &flows, &mut rates);
+                for (&i, rate) in spanning.iter().zip(&rates) {
+                    self.active[i].penalty = 1.0 + excess / rate;
+                }
+            }
+        }
+        for a in &self.active {
+            self.max_penalty = self.max_penalty.max(a.penalty);
+        }
+        if !spanning.is_empty() {
             self.cross_rack_rounds += 1;
         }
     }
@@ -345,6 +408,7 @@ pub fn simulate_cluster(
         pool: CapacityPool::new(cfg.total_gpus),
         cfg: *cfg,
         cross_rack_rounds: 0,
+        max_penalty: 1.0,
         last_now: 0.0,
         makespan: 0.0,
         epoch: 0,
@@ -371,6 +435,9 @@ pub fn simulate_cluster(
         reg.counter("cluster.jobs").add(jobs.len() as u64);
         reg.counter("cluster.events_processed").add(outcome.events_processed);
         reg.counter("cluster.cross_rack_rounds").add(outcome.cross_rack_rounds);
+        // Worst spanning-job slowdown factor, in permille (1000 = none).
+        reg.gauge("cluster.contention_slowdown")
+            .set_max((state.max_penalty * 1000.0).round() as u64);
         let jct = reg.histogram("cluster.jct_ms");
         for (o, j) in outcome.outcomes.iter().zip(jobs) {
             if let Some(t) = o.jct(j) {
@@ -645,6 +712,71 @@ mod tests {
         assert_eq!(racked.cross_rack_rounds, 0);
         assert_eq!(flat.makespan, racked.makespan);
         assert_eq!(flat.outcomes, racked.outcomes);
+    }
+
+    #[test]
+    fn fair_sharing_contention_slows_co_resident_spanning_jobs() {
+        // Two 100-iteration jobs on a 64-GPU fleet carved into 16-GPU
+        // racks: ElasticFlow grants each its best 32-GPU rung, so both
+        // span two racks and their gradient traffic shares the spine.
+        let pair = vec![job(0, 100, 0.0, None), job(1, 100, 0.0, None)];
+        let solo = vec![job(0, 100, 0.0, None)];
+        let base = SchedulerConfig::new(64, ProfilePolicy::DataParallelOnly).with_racks(16, 20);
+        let fair = base.with_network(NetworkBackend::FairSharing);
+
+        vtrain_obs::set_enabled(true);
+        let contended = simulate_cluster(&pair, &catalog(), &fair);
+        vtrain_obs::set_enabled(false);
+        let scalar = simulate_cluster(&pair, &catalog(), &base);
+        let alone = simulate_cluster(&solo, &catalog(), &fair);
+
+        // Scalar fallback: both jobs pay the fixed +20% (4 s/iter ->
+        // 4.8 s/iter, 480 s). Fair sharing: each drains at a 1/2 spine
+        // share while both are in flight, so each pays +40% (560 s).
+        assert!(contended.cross_rack_rounds > 0);
+        assert!((scalar.makespan.as_secs_f64() - 480.0).abs() < 1.0, "{}", scalar.makespan);
+        assert!((contended.makespan.as_secs_f64() - 560.0).abs() < 1.0, "{}", contended.makespan);
+        assert!(
+            contended.makespan > scalar.makespan,
+            "co-resident spanning jobs must contend, not just pay the scalar"
+        );
+        // ... and slower than either job crossing the spine alone.
+        assert!((alone.makespan.as_secs_f64() - 480.0).abs() < 1.0, "{}", alone.makespan);
+        assert!(contended.makespan > alone.makespan);
+        // The gauge records the worst slowdown factor in permille.
+        assert!(vtrain_obs::global().gauge("cluster.contention_slowdown").get() >= 1400);
+    }
+
+    #[test]
+    fn fair_sharing_with_a_sole_spanning_job_matches_the_scalar_exactly() {
+        // One flow on the spine gets the whole link: the fair share is
+        // exactly 1.0, so the penalty is bit-identical to the scalar's.
+        let jobs = vec![job(0, 100, 0.0, None)];
+        let base = SchedulerConfig::new(64, ProfilePolicy::DataParallelOnly).with_racks(16, 20);
+        let scalar = simulate_cluster(&jobs, &catalog(), &base);
+        let fair =
+            simulate_cluster(&jobs, &catalog(), &base.with_network(NetworkBackend::FairSharing));
+        assert_eq!(scalar.makespan, fair.makespan);
+        assert_eq!(scalar.outcomes, fair.outcomes);
+        assert_eq!(scalar.cross_rack_rounds, fair.cross_rack_rounds);
+    }
+
+    #[test]
+    fn fair_sharing_leaves_rack_local_schedules_untouched() {
+        // Both jobs fit one 16-GPU rack each: no flow ever crosses the
+        // spine, so the backend must not move a single number.
+        let jobs = vec![job(0, 100, 0.0, None), job(1, 100, 0.0, None)];
+        let base = SchedulerConfig::new(32, ProfilePolicy::DataParallelOnly);
+        let flat = simulate_cluster(&jobs, &catalog(), &base);
+        let fair = simulate_cluster(
+            &jobs,
+            &catalog(),
+            &base.with_racks(16, 100).with_network(NetworkBackend::FairSharing),
+        );
+        assert_eq!(fair.cross_rack_rounds, 0);
+        assert_eq!(flat.makespan, fair.makespan);
+        assert_eq!(flat.outcomes, fair.outcomes);
+        assert_eq!(flat.events_processed, fair.events_processed);
     }
 
     #[test]

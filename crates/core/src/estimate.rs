@@ -30,14 +30,16 @@ use vtrain_graph::{
     OpSignature, PlanShapeKey, StreamKind,
 };
 use vtrain_model::{ModelConfig, TimeNs};
-use vtrain_net::Topology;
-use vtrain_obs::{TimelineRecorder, TraceSpan};
+use vtrain_net::flow::FlowProgram;
+use vtrain_net::{NetworkBackend, Topology};
+use vtrain_obs::{CounterSample, TimelineRecorder, TraceSpan};
 use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule, PlanError};
 use vtrain_profile::{CacheStats, CommModel, GpuKey, ProfileCache, Profiler};
 
 use crate::compact::{
     lower_plan_delta, replay_lowered, CompactScratch, LowerOutcome, ProfileSource,
 };
+use crate::flow_replay::simulate_flows;
 use crate::sim::{simulate, simulate_into_traced, BusyBreakdown, SimMode, SimReport, SimScratch};
 use crate::task_graph::{TaskGraph, TaskKind};
 
@@ -187,6 +189,7 @@ pub struct EstimatorBuilder {
     cache: Option<Arc<ProfileCache>>,
     topology: Option<Topology>,
     noise: Option<vtrain_gpu::NoiseConfig>,
+    network: Option<NetworkBackend>,
 }
 
 impl EstimatorBuilder {
@@ -233,9 +236,22 @@ impl EstimatorBuilder {
         self
     }
 
+    /// Selects the network-cost regime (default
+    /// [`NetworkBackend::ClosedForm`], the paper's per-collective
+    /// Equation (1) pricing). Under
+    /// [`NetworkBackend::FairSharing`] the Predicted replay runs in
+    /// physical time with link-crossing collectives as flows that
+    /// max-min share each tier's effective bandwidth, so overlapping
+    /// DP/TP/PP communication contends instead of being priced in
+    /// isolation.
+    pub fn network(mut self, network: NetworkBackend) -> Self {
+        self.network = Some(network);
+        self
+    }
+
     /// Finalizes the estimator.
     pub fn build(self) -> Estimator {
-        let EstimatorBuilder { cluster, alpha, cache, topology, noise } = self;
+        let EstimatorBuilder { cluster, alpha, cache, topology, noise, network } = self;
         let cache = cache.unwrap_or_default();
         let (comm, graph_opts) = match topology {
             None => {
@@ -269,6 +285,7 @@ impl EstimatorBuilder {
                 (comm, graph_opts)
             }
         };
+        let comm = comm.with_backend(network.unwrap_or_default());
         let profiler = Profiler::new(cluster.gpu.clone());
         let gpu_key = GpuKey::of(&cluster.gpu);
         let noise = NoiseModel::new(noise.unwrap_or_default());
@@ -337,7 +354,20 @@ impl Estimator {
     /// 512-GPU platform), a fresh profile cache, the flat Equation (1)
     /// communication model, and the paper's default measurement noise.
     pub fn builder(cluster: ClusterSpec) -> EstimatorBuilder {
-        EstimatorBuilder { cluster, alpha: None, cache: None, topology: None, noise: None }
+        EstimatorBuilder {
+            cluster,
+            alpha: None,
+            cache: None,
+            topology: None,
+            noise: None,
+            network: None,
+        }
+    }
+
+    /// The network-cost regime this estimator replays communication
+    /// under.
+    pub fn network(&self) -> NetworkBackend {
+        self.comm.backend()
     }
 
     /// The bandwidth-effectiveness factor this estimator was built with.
@@ -422,6 +452,30 @@ impl Estimator {
             .expect("plan_signatures covers all emitted operators")
     }
 
+    /// [`Estimator::lower`] plus the per-task flow programs the
+    /// fair-sharing replay consumes: `programs[i]` is `Some` exactly for
+    /// the link-crossing communication tasks (the fused lowering emits
+    /// one task per operator-graph node in node order, so task id ==
+    /// node index).
+    fn lower_with_programs(
+        &self,
+        model: &ModelConfig,
+        plan: &ParallelConfig,
+    ) -> (TaskGraph, Vec<Option<FlowProgram>>) {
+        let graph = build_op_graph(model, plan, &self.graph_opts);
+        let tg = self.lower(model, plan);
+        assert_eq!(tg.len(), graph.num_nodes(), "lowering preserves node count and order");
+        let programs = graph
+            .nodes()
+            .iter()
+            .map(|node| match &node.op {
+                Op::Comm(c) => self.comm.flow_program(c),
+                Op::Compute(_) => None,
+            })
+            .collect();
+        (tg, programs)
+    }
+
     /// **Stage 3 — simulate.** Replays a lowered task graph (Algorithm 1).
     pub fn simulate(&self, task_graph: &TaskGraph, mode: SimMode<'_>) -> SimReport {
         simulate(task_graph, mode)
@@ -471,6 +525,11 @@ impl Estimator {
         model: &ModelConfig,
         plan: &ParallelConfig,
     ) -> IterationEstimate {
+        if self.network() == NetworkBackend::FairSharing {
+            let (tg, programs) = self.lower_with_programs(model, plan);
+            let report = simulate_flows(&tg, &programs, self.topology(), None, None);
+            return self.summarize(model, plan, &report);
+        }
         let tg = self.lower(model, plan);
         let report = self.simulate(&tg, SimMode::Predicted);
         self.summarize(model, plan, &report)
@@ -512,6 +571,20 @@ impl Estimator {
         shards: usize,
         stages: Option<&mut StageNanos>,
     ) -> IterationEstimate {
+        if self.network() == NetworkBackend::FairSharing {
+            // The compact/delta hot path prices each comm task in
+            // isolation — exactly the assumption fair sharing drops — so
+            // every fair-sharing point takes the full lowering + physical
+            // replay. This also keeps the ClosedForm compact path (and
+            // with it the sweep's winners) byte-identical to before the
+            // backend existed.
+            let estimate = match stages {
+                None => self.estimate_validated(model, plan),
+                Some(stages) => self.estimate_validated_staged(model, plan, stages),
+            };
+            scratch.delta_fresh += 1;
+            return estimate;
+        }
         let EstimatorScratch { compact, report, cache_stats, delta_fresh, delta_patched } = scratch;
         let mut source = CacheSource {
             cache: &self.cache,
@@ -664,6 +737,19 @@ impl Estimator {
         plan: &ParallelConfig,
         stages: &mut StageNanos,
     ) -> IterationEstimate {
+        if self.network() == NetworkBackend::FairSharing {
+            let t0 = Instant::now();
+            let (tg, programs) = self.lower_with_programs(model, plan);
+            let t1 = Instant::now();
+            let report = simulate_flows(&tg, &programs, self.topology(), None, None);
+            let t2 = Instant::now();
+            let estimate = self.summarize(model, plan, &report);
+            let t3 = Instant::now();
+            stages.lower_ns += (t1 - t0).as_nanos() as u64;
+            stages.simulate_ns += (t2 - t1).as_nanos() as u64;
+            stages.summarize_ns += (t3 - t2).as_nanos() as u64;
+            return estimate;
+        }
         let t0 = Instant::now();
         let tg = self.lower(model, plan);
         let t1 = Instant::now();
@@ -748,6 +834,39 @@ impl Estimator {
                 args,
             });
         };
+        if self.network() == NetworkBackend::FairSharing {
+            let programs: Vec<Option<FlowProgram>> = nodes
+                .iter()
+                .map(|node| match &node.op {
+                    Op::Comm(c) => self.comm.flow_program(c),
+                    Op::Compute(_) => None,
+                })
+                .collect();
+            // Counter samples are buffered and attached after the replay:
+            // the span-recording closure holds the recorder borrow.
+            let mut samples: Vec<(TimeNs, Vec<f64>)> = Vec::new();
+            let mut net_trace = |t: TimeNs, util: &[f64]| samples.push((t, util.to_vec()));
+            report = simulate_flows(
+                &tg,
+                &programs,
+                self.topology(),
+                Some(&mut record),
+                Some(&mut net_trace),
+            );
+            for (t, util) in samples {
+                recorder.record_counter(CounterSample {
+                    pid: 0,
+                    name: "net.link_utilization".to_owned(),
+                    ts_ns: t.as_nanos(),
+                    values: util
+                        .iter()
+                        .enumerate()
+                        .map(|(tier, u)| (format!("tier{tier}_pct"), (u * 100.0).round() as u64))
+                        .collect(),
+                });
+            }
+            return Ok(IterationTimeline { recorder, report });
+        }
         simulate_into_traced(
             &tg,
             SimMode::Predicted,
@@ -1086,6 +1205,125 @@ mod tests {
             slow.iteration_time,
             fast.iteration_time
         );
+    }
+
+    #[test]
+    fn fair_sharing_defaults_off_and_is_selectable() {
+        let cluster = ClusterSpec::aws_p4d(8);
+        let est = Estimator::builder(cluster.clone()).build();
+        assert_eq!(est.network(), NetworkBackend::ClosedForm);
+        let est = Estimator::builder(cluster).network(NetworkBackend::FairSharing).build();
+        assert_eq!(est.network(), NetworkBackend::FairSharing);
+    }
+
+    #[test]
+    fn fair_sharing_solo_flows_match_closed_form_exactly() {
+        // p = 1 → one simulated device → the comm stream serialises its
+        // transfers, so every flow drains alone. A solo drain is
+        // bit-identical to the closed-form cost, and therefore so is the
+        // whole iteration.
+        let cluster = ClusterSpec::aws_p4d(16);
+        let model = presets::megatron("1.7B");
+        let p = plan(8, 2, 1, 1, 8);
+        let closed = Estimator::builder(cluster.clone()).build().estimate(&model, &p).unwrap();
+        let fair = Estimator::builder(cluster)
+            .network(NetworkBackend::FairSharing)
+            .build()
+            .estimate(&model, &p)
+            .unwrap();
+        assert_eq!(closed.iteration_time, fair.iteration_time);
+        assert_eq!(closed.busy, fair.busy);
+        assert_eq!(closed.utilization.to_bits(), fair.utilization.to_bits());
+    }
+
+    #[test]
+    fn fair_sharing_intra_node_plans_are_untouched() {
+        // All communication on one node rides NVLink; nothing becomes a
+        // flow, so the physical-time replay coincides with Algorithm 1.
+        let cluster = ClusterSpec::aws_p4d(8);
+        let model = presets::megatron("1.7B");
+        let p = plan(8, 1, 1, 1, 8);
+        let closed = Estimator::builder(cluster.clone()).build().estimate(&model, &p).unwrap();
+        let fair = Estimator::builder(cluster)
+            .network(NetworkBackend::FairSharing)
+            .build()
+            .estimate(&model, &p)
+            .unwrap();
+        assert_eq!(closed.iteration_time, fair.iteration_time);
+        assert_eq!(closed.busy, fair.busy);
+    }
+
+    #[test]
+    fn fair_sharing_contention_lengthens_overlapping_communication() {
+        // p = 4 keeps several pipeline boundaries' inter-node transfers
+        // and the stages' gradient All-Reduces in flight at once on the
+        // shared inter-node tier. Under fair sharing the overlapping
+        // transfers split the link, so the iteration must come out
+        // strictly longer than the closed form, which prices every
+        // transfer against the full link.
+        let cluster = ClusterSpec::aws_p4d(32);
+        let model = presets::megatron("1.7B");
+        let p = plan(2, 4, 4, 1, 32);
+        let closed = Estimator::builder(cluster.clone()).build().estimate(&model, &p).unwrap();
+        let fair = Estimator::builder(cluster)
+            .network(NetworkBackend::FairSharing)
+            .build()
+            .estimate(&model, &p)
+            .unwrap();
+        assert!(
+            fair.iteration_time > closed.iteration_time,
+            "fair sharing {} should exceed closed form {}",
+            fair.iteration_time,
+            closed.iteration_time
+        );
+    }
+
+    #[test]
+    fn fair_sharing_compact_path_delegates_to_the_full_replay() {
+        // The sweep hot path has no fair-sharing fast lane: it must fall
+        // back to the full lowering + physical replay and agree exactly.
+        let cluster = ClusterSpec::aws_p4d(32);
+        let model = presets::megatron("1.7B");
+        let p = plan(2, 8, 2, 1, 16);
+        let est = Estimator::builder(cluster).network(NetworkBackend::FairSharing).build();
+        let composed = est.estimate(&model, &p).unwrap();
+        let mut scratch = EstimatorScratch::default();
+        let compact = est.estimate_validated_with(&model, &p, &mut scratch);
+        assert_eq!(composed.iteration_time, compact.iteration_time);
+        assert_eq!(composed.busy, compact.busy);
+        assert_eq!(scratch.delta_counts(), (1, 0), "fair sharing always lowers fresh");
+        let mut stages = StageNanos::default();
+        let staged = est.estimate_staged(&model, &p, &mut stages).unwrap();
+        assert_eq!(composed.iteration_time, staged.iteration_time);
+        assert!(stages.simulate_ns > 0);
+    }
+
+    #[test]
+    fn fair_sharing_timeline_carries_link_utilization_counters() {
+        let cluster = ClusterSpec::aws_p4d(32);
+        let model = presets::megatron("1.7B");
+        let p = plan(2, 8, 2, 1, 16);
+        let est = Estimator::builder(cluster.clone()).network(NetworkBackend::FairSharing).build();
+        let timeline = est.timeline(&model, &p).unwrap();
+        let estimate = est.estimate(&model, &p).unwrap();
+        assert_eq!(
+            timeline.recorder.max_end_ns(),
+            estimate.iteration_time.as_nanos(),
+            "traced replay is bit-identical to the untraced one"
+        );
+        assert_eq!(timeline.report.iteration_time, estimate.iteration_time);
+        let counters = timeline.recorder.counters();
+        assert!(!counters.is_empty(), "refills should leave utilization samples");
+        assert!(counters.iter().all(|c| c.name == "net.link_utilization"));
+        assert!(
+            counters
+                .iter()
+                .flat_map(|c| &c.values)
+                .any(|(series, pct)| series == "tier1_pct" && *pct > 0),
+            "the inter-node tier should see traffic"
+        );
+        let json = timeline.recorder.to_chrome_trace();
+        assert!(json.contains("\"ph\":\"C\""), "counters export as Chrome counter events");
     }
 
     #[test]

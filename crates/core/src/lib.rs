@@ -49,6 +49,7 @@ pub mod bounds;
 mod compact;
 mod cost;
 mod estimate;
+mod flow_replay;
 pub mod search;
 mod sim;
 mod task_graph;

@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use vtrain_model::{ModelConfig, TimeNs};
-use vtrain_net::Topology;
+use vtrain_net::{NetworkBackend, Topology};
 use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule};
 use vtrain_profile::ProfileCache;
 
@@ -818,6 +818,7 @@ pub struct PlacementSweep {
 fn run_placements(
     cluster: &ClusterSpec,
     alpha: Option<f64>,
+    network: NetworkBackend,
     cache: &Arc<ProfileCache>,
     topologies: &[(String, Topology)],
     model: &ModelConfig,
@@ -830,8 +831,10 @@ fn run_placements(
 ) -> Vec<PlacementSweep> {
     let mut sweeps = Vec::with_capacity(topologies.len());
     for (label, topo) in topologies {
-        let mut builder =
-            Estimator::builder(cluster.clone()).topology(topo.clone()).cache(Arc::clone(cache));
+        let mut builder = Estimator::builder(cluster.clone())
+            .topology(topo.clone())
+            .network(network)
+            .cache(Arc::clone(cache));
         if let Some(alpha) = alpha {
             builder = builder.alpha(alpha);
         }
@@ -889,6 +892,7 @@ pub struct Sweep {
     alpha: Option<f64>,
     cache: Option<Arc<ProfileCache>>,
     topology: Option<Topology>,
+    network: NetworkBackend,
     placements: Vec<(String, Topology)>,
     batch: Option<usize>,
     schedule: PipelineSchedule,
@@ -914,6 +918,7 @@ impl Sweep {
             alpha: None,
             cache: None,
             topology: None,
+            network: NetworkBackend::default(),
             placements: Vec::new(),
             batch: None,
             schedule: PipelineSchedule::OneFOneB,
@@ -933,6 +938,7 @@ impl Sweep {
     pub fn on(estimator: &Estimator, model: &ModelConfig) -> Sweep {
         let mut sweep = Sweep::over(model, estimator.cluster());
         sweep.cache = Some(Arc::clone(estimator.cache()));
+        sweep.network = estimator.network();
         if estimator.is_topology_aware() {
             // The estimator's topology already carries its resolved
             // per-tier αs; leaving `alpha` unset reuses them exactly.
@@ -1036,6 +1042,17 @@ impl Sweep {
         self
     }
 
+    /// Selects the network-cost regime every evaluated point runs
+    /// under (default [`NetworkBackend::ClosedForm`]). Under
+    /// [`NetworkBackend::FairSharing`] each point is priced by the
+    /// physical-time contention replay; the compact delta-lowering fast
+    /// path only applies to the closed form, so expect fair-sharing
+    /// sweeps to cost full lowering per point.
+    pub fn network(mut self, network: NetworkBackend) -> Self {
+        self.network = network;
+        self
+    }
+
     /// Adds a placement axis: the same candidate grid is priced under
     /// every `(label, topology)` variant, all variants sharing one
     /// profile cache. Supersedes [`topology`](Sweep::topology).
@@ -1077,7 +1094,7 @@ impl Sweep {
         };
         let cache = self.cache.unwrap_or_default();
         let sweeps = if self.placements.is_empty() {
-            let mut builder = Estimator::builder(self.cluster).cache(cache);
+            let mut builder = Estimator::builder(self.cluster).network(self.network).cache(cache);
             if let Some(alpha) = self.alpha {
                 builder = builder.alpha(alpha);
             }
@@ -1100,6 +1117,7 @@ impl Sweep {
             run_placements(
                 &self.cluster,
                 self.alpha,
+                self.network,
                 &cache,
                 &self.placements,
                 &self.model,
@@ -1145,7 +1163,7 @@ impl Sweep {
         };
         let cache = self.cache.unwrap_or_default();
         let sweeps = if self.placements.is_empty() {
-            let mut builder = Estimator::builder(self.cluster).cache(cache);
+            let mut builder = Estimator::builder(self.cluster).network(self.network).cache(cache);
             if let Some(alpha) = self.alpha {
                 builder = builder.alpha(alpha);
             }
@@ -1161,6 +1179,7 @@ impl Sweep {
                 .map(|(label, topo)| {
                     let mut builder = Estimator::builder(self.cluster.clone())
                         .topology(topo.clone())
+                        .network(self.network)
                         .cache(Arc::clone(&cache));
                     if let Some(alpha) = self.alpha {
                         builder = builder.alpha(alpha);

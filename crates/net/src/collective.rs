@@ -28,6 +28,7 @@
 use serde::{Deserialize, Serialize};
 use vtrain_model::{Bytes, TimeNs};
 
+use crate::flow::{FlowPhase, FlowProgram};
 use crate::topology::{GroupPlacement, Topology};
 
 /// The collective operation classes of distributed training.
@@ -101,22 +102,77 @@ fn log2_ceil(n: usize) -> u32 {
     usize::BITS - (n - 1).leading_zeros()
 }
 
-/// One phase at `tier`: launch latency plus `bytes · factor / B`.
+/// One planned phase at `tier`: `latency_rounds` launch latencies plus
+/// `bytes · factor` byte-equivalents of bandwidth work.
 ///
-/// The float expression mirrors `vtrain_gpu::comm::all_reduce_time`
-/// exactly (multiply, then one divide, then quantize) so that flat ring
-/// costs are bit-identical to the legacy model.
-fn phase(topo: &Topology, tier: usize, bytes: f64, factor: f64, latency_rounds: u32) -> PhaseCost {
-    let spec = topo.tier(tier);
-    let mut time = TimeNs::from_secs_f64(bytes * factor / spec.effective_bandwidth());
-    for _ in 0..latency_rounds {
+/// The work product is formed here (multiply) and divided by the tier's
+/// effective bandwidth only at pricing time, mirroring
+/// `vtrain_gpu::comm::all_reduce_time` exactly (multiply, then one
+/// divide, then quantize) so that flat ring costs are bit-identical to
+/// the legacy model — whether the phase is priced closed-form or drained
+/// through the fair-sharing simulator.
+fn phase(tier: usize, bytes: f64, factor: f64, latency_rounds: u32) -> FlowPhase {
+    FlowPhase { tier, work: bytes * factor, latency_rounds }
+}
+
+/// Prices one planned phase closed-form against its tier.
+fn price_phase(topo: &Topology, phase: &FlowPhase) -> PhaseCost {
+    let spec = topo.tier(phase.tier);
+    let mut time = TimeNs::from_secs_f64(phase.work / spec.effective_bandwidth());
+    for _ in 0..phase.latency_rounds {
         time += spec.base_latency;
     }
-    PhaseCost { tier, time }
+    PhaseCost { tier: phase.tier, time }
+}
+
+/// The phase plan of running `kind` with `algorithm` over a group placed
+/// as `placement` on `topo`, moving a buffer of `bytes` per rank: the
+/// sequence of (tier, bandwidth-work, latency-rounds) phases that both
+/// [`cost`] prices closed-form and the fair-sharing simulator
+/// ([`crate::flow::FlowSim`]) drains under contention. One plan feeds
+/// both backends, so a solo flow can never diverge from the closed form.
+///
+/// Zero bytes plan nothing; a single-rank group plans one latency-only
+/// phase at its top tier.
+pub fn plan(
+    topo: &Topology,
+    placement: GroupPlacement,
+    kind: Collective,
+    algorithm: Algorithm,
+    bytes: Bytes,
+) -> FlowProgram {
+    let n = placement.size();
+    let top = placement.top_tier().min(topo.num_tiers() - 1);
+    if bytes == Bytes::ZERO {
+        return FlowProgram::default();
+    }
+    if n <= 1 {
+        return FlowProgram { phases: vec![FlowPhase { tier: top, work: 0.0, latency_rounds: 1 }] };
+    }
+    let s = bytes.as_f64();
+    let phases = match algorithm {
+        Algorithm::Ring => vec![phase(top, s, ring_traffic_factor(kind, n), 1)],
+        Algorithm::Tree => {
+            let rounds = log2_ceil(n);
+            match kind {
+                Collective::AllReduce => vec![phase(top, s, 2.0, 2 * rounds)],
+                Collective::AllGather | Collective::ReduceScatter => {
+                    vec![phase(top, s, ring_traffic_factor(kind, n), rounds)]
+                }
+                Collective::AllToAll => {
+                    vec![phase(top, s, rounds as f64 / 2.0, rounds)]
+                }
+            }
+        }
+        Algorithm::Hierarchical => hierarchical(placement, kind, s, top),
+    };
+    FlowProgram { phases }
 }
 
 /// Cost of running `kind` with `algorithm` over a group placed as
-/// `placement` on `topo`, moving a buffer of `bytes` per rank.
+/// `placement` on `topo`, moving a buffer of `bytes` per rank: the
+/// closed-form pricing of [`plan`], each phase drained solo at its
+/// tier's full effective bandwidth.
 ///
 /// Zero bytes cost nothing; a single-rank group costs one launch latency
 /// at its top tier.
@@ -127,34 +183,8 @@ pub fn cost(
     algorithm: Algorithm,
     bytes: Bytes,
 ) -> CostBreakdown {
-    let n = placement.size();
-    let top = placement.top_tier().min(topo.num_tiers() - 1);
-    if bytes == Bytes::ZERO {
-        return CostBreakdown::default();
-    }
-    if n <= 1 {
-        return CostBreakdown {
-            phases: vec![PhaseCost { tier: top, time: topo.tier(top).base_latency }],
-        };
-    }
-    let s = bytes.as_f64();
-    let phases = match algorithm {
-        Algorithm::Ring => vec![phase(topo, top, s, ring_traffic_factor(kind, n), 1)],
-        Algorithm::Tree => {
-            let rounds = log2_ceil(n);
-            match kind {
-                Collective::AllReduce => vec![phase(topo, top, s, 2.0, 2 * rounds)],
-                Collective::AllGather | Collective::ReduceScatter => {
-                    vec![phase(topo, top, s, ring_traffic_factor(kind, n), rounds)]
-                }
-                Collective::AllToAll => {
-                    vec![phase(topo, top, s, rounds as f64 / 2.0, rounds)]
-                }
-            }
-        }
-        Algorithm::Hierarchical => hierarchical(topo, placement, kind, s),
-    };
-    CostBreakdown { phases }
+    let program = plan(topo, placement, kind, algorithm, bytes);
+    CostBreakdown { phases: program.phases.iter().map(|p| price_phase(topo, p)).collect() }
 }
 
 /// The multi-level decomposition. For All-Reduce: reduce-scatter at each
@@ -168,13 +198,7 @@ pub fn cost(
 /// multi-rack group priced on a two-tier topology): the fan-outs above
 /// the topology's top tier fold into its fan-out, so every rank is
 /// always accounted for.
-fn hierarchical(
-    topo: &Topology,
-    placement: GroupPlacement,
-    kind: Collective,
-    s: f64,
-) -> Vec<PhaseCost> {
-    let top = placement.top_tier().min(topo.num_tiers() - 1);
+fn hierarchical(placement: GroupPlacement, kind: Collective, s: f64, top: usize) -> Vec<FlowPhase> {
     let n = placement.size();
 
     if let Collective::AllToAll = kind {
@@ -193,7 +217,7 @@ fn hierarchical(
             .iter()
             .enumerate()
             .filter(|(_, &f)| f > 0.0)
-            .map(|(tier, &f)| phase(topo, tier, s, f, 1))
+            .map(|(tier, &f)| phase(tier, s, f, 1))
             .collect();
     }
 
@@ -203,7 +227,7 @@ fn hierarchical(
     for tier in 0..top {
         let f = placement.fanout(tier);
         if f > 1 {
-            up.push(phase(topo, tier, shard, ring_traffic_factor(Collective::ReduceScatter, f), 1));
+            up.push(phase(tier, shard, ring_traffic_factor(Collective::ReduceScatter, f), 1));
             shard /= f as f64;
         }
     }
@@ -215,7 +239,6 @@ fn hierarchical(
         Collective::AllReduce => {
             let mut phases = up.clone();
             phases.push(phase(
-                topo,
                 top,
                 shard,
                 ring_traffic_factor(Collective::AllReduce, top_fanout),
@@ -227,7 +250,6 @@ fn hierarchical(
         Collective::ReduceScatter => {
             let mut phases = up;
             phases.push(phase(
-                topo,
                 top,
                 shard,
                 ring_traffic_factor(Collective::ReduceScatter, top_fanout),
@@ -238,13 +260,8 @@ fn hierarchical(
         Collective::AllGather => {
             // Mirror of reduce-scatter: gather the top-tier shards first,
             // then fan the growing buffer back down.
-            let mut phases = vec![phase(
-                topo,
-                top,
-                shard,
-                ring_traffic_factor(Collective::AllGather, top_fanout),
-                1,
-            )];
+            let mut phases =
+                vec![phase(top, shard, ring_traffic_factor(Collective::AllGather, top_fanout), 1)];
             phases.extend(up.into_iter().rev());
             phases
         }

@@ -1,0 +1,51 @@
+//! Flow programs: the bandwidth-demand shape of one collective.
+//!
+//! [`collective::plan`](crate::collective::plan) compiles a collective
+//! signature into a [`FlowProgram`] — an ordered list of [`FlowPhase`]s,
+//! each demanding one link tier for a fixed amount of *work* (bytes ×
+//! traffic factor). Pricing a program against a quiet topology gives the
+//! closed-form cost; replaying it through [`FlowSim`](super::FlowSim)
+//! gives the contention-aware cost.
+
+use serde::{Deserialize, Serialize};
+
+/// One phase of a collective's wire time: `work` bytes of traffic on a
+/// single link `tier`, preceded by `latency_rounds` launches of that
+/// tier's base latency.
+///
+/// `work` is the pre-multiplied product `bytes × traffic_factor` (e.g.
+/// `S · 2(n−1)/n` for a ring All-Reduce). Storing the product — not the
+/// factors — makes the no-contention drain `work / effective_bandwidth`
+/// bit-identical to the closed-form phase cost.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlowPhase {
+    /// Link tier the phase occupies (0 = intra-node, 1 = inter-node,
+    /// 2 = rack spine).
+    pub tier: usize,
+    /// Bytes of wire traffic: `bytes × traffic_factor`.
+    pub work: f64,
+    /// How many times the tier's base latency is paid before draining.
+    pub latency_rounds: u32,
+}
+
+/// An ordered sequence of [`FlowPhase`]s; phases run strictly one after
+/// another (hierarchical algorithms reduce up, ring at the top, gather
+/// back down).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowProgram {
+    /// The phases, in execution order.
+    pub phases: Vec<FlowPhase>,
+}
+
+impl FlowProgram {
+    /// True when the program carries no phases at all (zero-byte
+    /// collectives compile to this; they cost nothing on any backend).
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Total wire work across all phases, in bytes.
+    pub fn total_work(&self) -> f64 {
+        self.phases.iter().map(|p| p.work).sum()
+    }
+}

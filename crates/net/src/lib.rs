@@ -22,12 +22,19 @@
 //!   each returning a per-tier [`CostBreakdown`], plus a deterministic
 //!   [`select`](collective::select) policy choosing an algorithm per
 //!   collective signature.
+//! * [`flow`] — the contention regime the closed forms cannot express: a
+//!   progressive-filling max-min fair-sharing simulator ([`FlowSim`])
+//!   where concurrent transfers split a tier's effective bandwidth,
+//!   selected per estimate by [`NetworkBackend`]. With a single flow in
+//!   flight it reproduces the closed-form costs bit-for-bit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collective;
+pub mod flow;
 mod topology;
 
 pub use collective::{Algorithm, Collective, CostBreakdown, PhaseCost};
+pub use flow::{FlowPhase, FlowProgram, FlowSim, NetworkBackend};
 pub use topology::{GroupPlacement, TierSpec, Topology};

@@ -40,7 +40,7 @@ mod timeline;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use span::{thread_id, SpanGuard};
-pub use timeline::{TimelineRecorder, TraceSpan};
+pub use timeline::{CounterSample, TimelineRecorder, TraceSpan};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -37,12 +37,28 @@ pub struct TraceSpan {
     pub args: Vec<(String, u64)>,
 }
 
+/// One counter sample on a `pid` track: an instantaneous multi-series
+/// value (`ph:"C"`), rendered by trace viewers as a stacked area chart —
+/// e.g. per-tier link utilization under the fair-sharing network model.
+#[derive(Debug, Clone)]
+pub struct CounterSample {
+    /// Track group the counter chart is attached to.
+    pub pid: u64,
+    /// Counter name (one chart per `(pid, name)`).
+    pub name: String,
+    /// Sample time, in nanoseconds.
+    pub ts_ns: u64,
+    /// `(series, value)` pairs plotted at this instant.
+    pub values: Vec<(String, u64)>,
+}
+
 /// Accumulates named tracks and spans; exports Chrome trace-event JSON.
 #[derive(Debug, Default)]
 pub struct TimelineRecorder {
     process_names: BTreeMap<u64, String>,
     thread_names: BTreeMap<(u64, u64), String>,
     spans: Vec<TraceSpan>,
+    counters: Vec<CounterSample>,
 }
 
 /// `ns` rendered as microseconds with exact 3-decimal precision.
@@ -69,6 +85,19 @@ impl TimelineRecorder {
     /// Records one complete span.
     pub fn record(&mut self, span: TraceSpan) {
         self.spans.push(span);
+    }
+
+    /// Records one counter sample. Counters are exported as `ph:"C"`
+    /// events on their own chart per `(pid, name)`; they do not affect
+    /// span accounting ([`TimelineRecorder::max_end_ns`],
+    /// [`TimelineRecorder::busy_per_stream`], …).
+    pub fn record_counter(&mut self, sample: CounterSample) {
+        self.counters.push(sample);
+    }
+
+    /// The recorded counter samples, in insertion order.
+    pub fn counters(&self) -> &[CounterSample] {
+        &self.counters
     }
 
     /// Number of recorded spans.
@@ -175,6 +204,28 @@ impl TimelineRecorder {
                 line.push('}');
             }
             line.push('}');
+            lines.push(line);
+        }
+        // Counters after spans, sorted by (pid, name, time, insertion).
+        let mut order: Vec<usize> = (0..self.counters.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (x, y) = (&self.counters[a], &self.counters[b]);
+            (x.pid, &x.name, x.ts_ns).cmp(&(y.pid, &y.name, y.ts_ns))
+        });
+        for i in order {
+            let c = &self.counters[i];
+            let mut line = format!("{{\"ph\":\"C\",\"pid\":{},\"tid\":0,\"name\":\"", c.pid);
+            escape_json(&c.name, &mut line);
+            line.push_str(&format!("\",\"ts\":{},\"args\":{{", micros(c.ts_ns)));
+            for (j, (series, value)) in c.values.iter().enumerate() {
+                if j > 0 {
+                    line.push(',');
+                }
+                line.push('"');
+                escape_json(series, &mut line);
+                line.push_str(&format!("\":{value}"));
+            }
+            line.push_str("}}");
             lines.push(line);
         }
         let mut out = String::from("{\"traceEvents\":[\n");

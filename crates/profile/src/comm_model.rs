@@ -15,9 +15,10 @@
 //!   tables in both regimes, matching the paper's methodology.
 
 use serde::{Deserialize, Serialize};
-use vtrain_gpu::comm::{all_reduce_time, send_recv_time, InterNodeModel};
+use vtrain_gpu::comm::{all_reduce_time, ring_factor, send_recv_time, InterNodeModel};
 use vtrain_graph::{CommKind, CommOp, CommScope};
 use vtrain_model::{Bytes, TimeNs};
+use vtrain_net::flow::{FlowPhase, FlowProgram, NetworkBackend};
 use vtrain_net::{collective, Algorithm, Collective, CostBreakdown, PhaseCost, Topology};
 use vtrain_parallel::ClusterSpec;
 
@@ -44,6 +45,10 @@ pub struct CommModel {
     /// False = the paper's flat model (default); true = route multi-tier
     /// collectives through the `vtrain-net` algorithm library.
     topology_aware: bool,
+    /// Which network-cost regime estimates run under: closed-form
+    /// per-collective pricing (default) or fair-sharing flow replay.
+    #[serde(default)]
+    backend: NetworkBackend,
 }
 
 impl CommModel {
@@ -113,7 +118,22 @@ impl CommModel {
             internode_latency: cluster.internode_latency,
             topology,
             topology_aware,
+            backend: NetworkBackend::default(),
         }
+    }
+
+    /// Returns a copy running under `backend`. The backend never changes
+    /// what a lone collective costs (the flow replay reproduces the
+    /// closed forms bit-for-bit without contention); it changes what
+    /// *concurrent* collectives cost.
+    pub fn with_backend(mut self, backend: NetworkBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The active network-cost regime.
+    pub fn backend(&self) -> NetworkBackend {
+        self.backend
     }
 
     /// Returns a copy with a different bandwidth-effectiveness factor
@@ -233,6 +253,74 @@ impl CommModel {
     fn multi_tier_cost(&self, op: &CommOp) -> CostBreakdown {
         let algo = self.chosen_algorithm(op);
         collective::cost(&self.topology, op.placement, Collective::AllReduce, algo, op.bytes)
+    }
+
+    /// The flow program `op` contributes to the fair-sharing network —
+    /// the same phases [`CommModel::latency`] prices, as bandwidth demand
+    /// instead of a fixed cost.
+    ///
+    /// Returns `None` when `op` does not touch a shareable link under
+    /// this model: the backend is [`NetworkBackend::ClosedForm`], the
+    /// transfer is intra-node (profiled tables — the paper's methodology
+    /// — or NVLink point-to-point, both opaque to the tier allocator),
+    /// or the payload prices to zero. Such operators keep their
+    /// closed-form latency even under fair sharing.
+    pub fn flow_program(&self, op: &CommOp) -> Option<FlowProgram> {
+        if self.backend != NetworkBackend::FairSharing || op.bytes == Bytes::ZERO {
+            return None;
+        }
+        if self.topology_aware {
+            return match op.kind {
+                CommKind::TpAllReduce | CommKind::DpAllReduce => {
+                    if op.placement.top_tier() == 0 {
+                        None
+                    } else {
+                        let program = collective::plan(
+                            &self.topology,
+                            op.placement,
+                            Collective::AllReduce,
+                            self.chosen_algorithm(op),
+                            op.bytes,
+                        );
+                        (!program.is_empty()).then_some(program)
+                    }
+                }
+                CommKind::PpSendRecv => {
+                    let tier = op.placement.top_tier();
+                    (tier > 0).then(|| FlowProgram {
+                        phases: vec![FlowPhase {
+                            tier,
+                            work: op.bytes.as_f64(),
+                            latency_rounds: 1,
+                        }],
+                    })
+                }
+            };
+        }
+        // Flat regime: only the two Equation (1) inter-node paths cross a
+        // shareable link. The flat pipeline path prices against the *raw*
+        // inter-node bandwidth while tier 1's capacity is the effective
+        // α·B, so its work is pre-scaled to drain in `bytes / B_raw` solo.
+        match (op.kind, op.scope) {
+            (CommKind::DpAllReduce, CommScope::InterNode) if op.ranks > 1 => Some(FlowProgram {
+                phases: vec![FlowPhase {
+                    tier: 1,
+                    work: op.bytes.as_f64() * ring_factor(op.ranks),
+                    latency_rounds: 1,
+                }],
+            }),
+            (CommKind::PpSendRecv, CommScope::InterNode) => {
+                let eff = self.topology.tier(1).effective_bandwidth();
+                Some(FlowProgram {
+                    phases: vec![FlowPhase {
+                        tier: 1,
+                        work: op.bytes.as_f64() * (eff / self.internode_bandwidth),
+                        latency_rounds: 1,
+                    }],
+                })
+            }
+            _ => None,
+        }
     }
 }
 
@@ -427,6 +515,51 @@ mod tests {
         // Intra phases untouched; inter phase slower with α = 0.5.
         assert_eq!(b_full.tier_time(0), b_half.tier_time(0));
         assert!(b_half.tier_time(1) > b_full.tier_time(1));
+    }
+
+    #[test]
+    fn closed_form_backend_never_emits_flow_programs() {
+        for m in [model(), aware_model()] {
+            assert_eq!(m.backend(), NetworkBackend::ClosedForm);
+            for (kind, scope) in [
+                (CommKind::TpAllReduce, CommScope::IntraNode),
+                (CommKind::DpAllReduce, CommScope::InterNode),
+                (CommKind::PpSendRecv, CommScope::InterNode),
+            ] {
+                assert!(m.flow_program(&op(kind, scope, 128, 8)).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn solo_flow_replay_matches_latency_for_every_link_crossing_op() {
+        use vtrain_net::FlowSim;
+        for m in [model(), aware_model()] {
+            let m = m.with_backend(NetworkBackend::FairSharing);
+            let mut hier = op(CommKind::DpAllReduce, CommScope::InterNode, 512, 64);
+            hier.placement =
+                vtrain_net::GroupPlacement { ranks_per_node: 8, nodes_per_rack: 8, racks: 1 };
+            let mut pp = op(CommKind::PpSendRecv, CommScope::InterNode, 64, 2);
+            pp.placement = vtrain_net::GroupPlacement::pair(1);
+            for o in [op(CommKind::DpAllReduce, CommScope::InterNode, 256, 8), hier, pp] {
+                let program = m.flow_program(&o).expect("inter-node ops cross a link");
+                let mut sim = FlowSim::new(m.topology());
+                sim.start(TimeNs::ZERO, program);
+                let done = sim.drain_all();
+                let want = m.latency(&o);
+                let rel = (done.as_secs_f64() - want.as_secs_f64()).abs() / want.as_secs_f64();
+                assert!(rel < 1e-6, "{:?}: replay {done} vs latency {want}", o.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn intra_node_ops_stay_on_the_closed_form_even_under_fair_sharing() {
+        let m = aware_model().with_backend(NetworkBackend::FairSharing);
+        assert_eq!(m.backend(), NetworkBackend::FairSharing);
+        assert!(m.flow_program(&op(CommKind::TpAllReduce, CommScope::IntraNode, 64, 8)).is_none());
+        assert!(m.flow_program(&op(CommKind::PpSendRecv, CommScope::IntraNode, 64, 2)).is_none());
+        assert!(m.flow_program(&op(CommKind::DpAllReduce, CommScope::InterNode, 0, 8)).is_none());
     }
 
     proptest! {

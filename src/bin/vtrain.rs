@@ -54,6 +54,11 @@ options:
                           deadline exit code if the run exceeds n ms
   --max-points <n>        (sweep; any command with --json) fail with the
                           deadline exit code beyond n evaluated points
+  --network <backend>     (predict|sweep|explain) override the scenario's
+                          communication pricing backend: `closed-form`
+                          (each collective at full tier bandwidth, the
+                          default) or `fair-sharing` (concurrent transfers
+                          contend for links max-min fairly)
   --timeline <out.json>   (predict) export the predicted iteration as a
                           Chrome trace-event timeline (chrome://tracing,
                           Perfetto)
@@ -102,6 +107,7 @@ see examples/descriptions/ for the scenario schema";
 /// Command-line options after the `<command> <scenario.json>` positionals.
 #[derive(Default)]
 struct Opts {
+    network: Option<String>,
     timeline: Option<String>,
     metrics: Option<String>,
     stage_profile: bool,
@@ -117,6 +123,12 @@ impl Opts {
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
+                "--network" => match it.next() {
+                    Some(backend) => opts.network = Some(backend.clone()),
+                    None => {
+                        return Err("--network needs a backend (closed-form|fair-sharing)".into());
+                    }
+                },
                 "--timeline" => match it.next() {
                     Some(path) => opts.timeline = Some(path.clone()),
                     None => return Err("--timeline needs an output path".into()),
@@ -205,7 +217,10 @@ fn main() -> ExitCode {
         };
     }
     let scenario = match load_scenario(path) {
-        Ok(s) => s,
+        Ok(mut s) => {
+            apply_network_override(&mut s, &opts);
+            s
+        }
         Err(e) => {
             eprintln!("error: {path}: {e}");
             return exit_for(&e);
@@ -238,6 +253,15 @@ fn load_scenario(path: &str) -> Result<Scenario, Error> {
     Scenario::from_json(&text)
 }
 
+/// `--network` replaces the scenario's own `network` section (the CLI
+/// wins); the name is validated downstream by `Scenario::check`, so a
+/// typo classifies as an invalid scenario (exit code 2).
+fn apply_network_override(scenario: &mut Scenario, opts: &Opts) {
+    if let Some(backend) = &opts.network {
+        scenario.network = Some(NetworkSection { backend: backend.clone() });
+    }
+}
+
 /// `--json`: execute through the wire API and print the one response
 /// line the serve daemon would send — same bytes, same classification.
 fn json_mode(command: &str, path: &str, opts: &Opts) -> ExitCode {
@@ -251,7 +275,8 @@ fn json_mode(command: &str, path: &str, opts: &Opts) -> ExitCode {
         }
     };
     let response = match load_scenario(path) {
-        Ok(scenario) => {
+        Ok(mut scenario) => {
+            apply_network_override(&mut scenario, opts);
             let mut request = Request::new("cli", kind, scenario);
             request.budget = opts.budget();
             api::execute(&request, &Arc::new(ProfileCache::new()), None)
@@ -418,8 +443,9 @@ fn sweep_batch(dir: &str, opts: &Opts) -> Result<(), Error> {
         let path = file.display();
         let text = std::fs::read_to_string(file)
             .map_err(|e| Error::io(format!("cannot read {path}: {e}")))?;
-        let scenario =
+        let mut scenario =
             Scenario::from_json(&text).map_err(|e| Error::scenario(format!("{path}: {e}")))?;
+        apply_network_override(&mut scenario, opts);
         println!("\n[{}/{}] {path}", i + 1, files.len());
         sweep_one(&scenario, opts, &cache).map_err(|e| Error::scenario(format!("{path}: {e}")))?;
     }

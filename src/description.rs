@@ -35,7 +35,7 @@ use vtrain_core::search::{SearchLimits, Sweep, SweepGoal};
 use vtrain_core::{CostModel, Estimator, EstimatorBuilder};
 use vtrain_gpu::NoiseConfig;
 use vtrain_model::{presets, ModelConfig, TimeNs};
-use vtrain_net::{TierSpec, Topology};
+use vtrain_net::{NetworkBackend, TierSpec, Topology};
 use vtrain_parallel::{ClusterSpec, ParallelConfig, PipelineSchedule};
 use vtrain_profile::ProfileCache;
 
@@ -62,6 +62,9 @@ pub struct Scenario {
     /// Interconnect topology overrides (α calibration, rack tier).
     #[serde(default)]
     pub topology: Option<TopologySection>,
+    /// Communication pricing backend (closed-form vs. fair sharing).
+    #[serde(default)]
+    pub network: Option<NetworkSection>,
     /// Ground-truth emulation effects for "measured" runs.
     #[serde(default)]
     pub noise: Option<NoiseSection>,
@@ -176,6 +179,19 @@ pub struct RackSection {
     /// Rack-spine base latency, µs (default 35).
     #[serde(default)]
     pub base_latency_us: Option<f64>,
+}
+
+/// How communication time is priced.
+///
+/// `"closed-form"` (the default) prices every collective in isolation
+/// via the paper's Equation (1) family; `"fair-sharing"` replays the
+/// task graph with concurrent transfers contending for link bandwidth
+/// under progressive-filling max-min fair sharing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct NetworkSection {
+    /// `"closed-form"` or `"fair-sharing"` (case-insensitive).
+    pub backend: String,
 }
 
 /// Ground-truth emulation magnitudes; every field defaults to the
@@ -431,6 +447,24 @@ impl Scenario {
         Ok(alpha)
     }
 
+    /// The communication pricing backend the scenario selects (default
+    /// [`NetworkBackend::ClosedForm`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown backend name.
+    pub fn network_backend(&self) -> Result<NetworkBackend, Error> {
+        match &self.network {
+            None => Ok(NetworkBackend::default()),
+            Some(section) => NetworkBackend::parse(&section.backend).ok_or_else(|| {
+                Error::scenario(format!(
+                    "unknown network backend `{}` (expected closed-form|fair-sharing)",
+                    section.backend
+                ))
+            }),
+        }
+    }
+
     /// The noise configuration: the optional section's overrides merged
     /// over [`NoiseConfig::default`]. `None` when no section is present.
     ///
@@ -543,7 +577,9 @@ impl Scenario {
     }
 
     fn estimator_builder(&self) -> Result<EstimatorBuilder, Error> {
-        let mut builder = Estimator::builder(self.cluster()?).alpha(self.checked_alpha()?);
+        let mut builder = Estimator::builder(self.cluster()?)
+            .alpha(self.checked_alpha()?)
+            .network(self.network_backend()?);
         if let Some(topology) = self.topology()? {
             builder = builder.topology(topology);
         }
@@ -650,7 +686,8 @@ impl Scenario {
             .schedule(schedule)
             .limits(limits)
             .goal(self.goal()?)
-            .alpha(self.checked_alpha()?);
+            .alpha(self.checked_alpha()?)
+            .network(self.network_backend()?);
         if let Some(threads) = section.and_then(|s| s.threads) {
             // Bound worker threads: a runaway value would panic at OS
             // thread-spawn instead of erroring like every other field.
@@ -747,6 +784,7 @@ impl Scenario {
             plan.validate(&model, &cluster)?;
         }
         self.topology()?;
+        self.network_backend()?;
         self.noise_config()?;
         self.cost_model()?;
         self.goal()?;
@@ -906,6 +944,41 @@ mod tests {
         let mut scenario = cased;
         scenario.parallelism.as_mut().unwrap().schedule = Some("GPIPE".to_owned());
         assert_eq!(scenario.plan().unwrap().schedule(), PipelineSchedule::GPipe);
+    }
+
+    #[test]
+    fn network_section_selects_the_pricing_backend() {
+        let base = r#"{
+            "model": { "preset": "megatron-1.7B" },
+            "cluster": { "preset": "aws-p4d", "total_gpus": 16 },
+            "parallelism": { "tensor": 2, "data": 4, "pipeline": 2,
+                             "micro_batch": 1, "global_batch": 8 }
+        }"#;
+        let d = Scenario::from_json(base).unwrap();
+        assert_eq!(d.network_backend().unwrap(), NetworkBackend::ClosedForm);
+        assert_eq!(d.estimator().unwrap().network(), NetworkBackend::ClosedForm);
+
+        let with = |backend: &str| {
+            let text = format!(
+                "{}, \"network\": {{ \"backend\": \"{backend}\" }}}}",
+                &base[..base.rfind('}').unwrap()]
+            );
+            Scenario::from_json(&text).unwrap()
+        };
+        // Both canonical spellings parse, case-insensitively.
+        let fair = with("fair-sharing");
+        fair.check().unwrap();
+        assert_eq!(fair.network_backend().unwrap(), NetworkBackend::FairSharing);
+        assert_eq!(fair.estimator().unwrap().network(), NetworkBackend::FairSharing);
+        assert_eq!(with("Closed-Form").network_backend().unwrap(), NetworkBackend::ClosedForm);
+        // An unknown backend errors at resolution and at validation.
+        let bad = with("tdma");
+        let err = bad.network_backend().unwrap_err();
+        assert!(err.to_string().contains("unknown network backend `tdma`"), "{err}");
+        assert!(bad.check().is_err(), "validate must flag the unknown backend");
+        // The section round-trips through serialization.
+        let reparsed = Scenario::from_json(&fair.to_json()).unwrap();
+        assert_eq!(reparsed.network_backend().unwrap(), NetworkBackend::FairSharing);
     }
 
     #[test]

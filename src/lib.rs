@@ -75,7 +75,7 @@ pub mod description;
 mod error;
 pub mod serve;
 
-pub use description::{Description, Scenario};
+pub use description::{Description, NetworkSection, Scenario};
 pub use error::Error;
 
 pub use vtrain_cluster as cluster;
@@ -101,7 +101,7 @@ pub mod prelude {
         ErrorCode, Outcome, Report, Request, RequestKind, Response, WIRE_VERSION,
     };
     pub use crate::client::{Client, ClientConfig};
-    pub use crate::description::{Description, Scenario};
+    pub use crate::description::{Description, NetworkSection, Scenario};
     pub use crate::error::Error;
     pub use crate::serve::faults::FaultPlan;
     pub use crate::serve::{DegradeMode, Server, ServerConfig};
@@ -116,7 +116,8 @@ pub mod prelude {
     };
     pub use vtrain_gpu::{NoiseConfig, NoiseModel};
     pub use vtrain_model::{presets, Bytes, Flops, ModelConfig, TimeNs};
-    pub use vtrain_net::{GroupPlacement, TierSpec, Topology};
+    pub use vtrain_net::flow::{FlowPhase, FlowProgram, FlowSim};
+    pub use vtrain_net::{GroupPlacement, NetworkBackend, TierSpec, Topology};
     pub use vtrain_obs::{MetricsRegistry, TimelineRecorder};
     pub use vtrain_parallel::{ClusterSpec, GpuSpec, ParallelConfig, PipelineSchedule};
     pub use vtrain_profile::{CacheStats, ProfileCache};

@@ -126,6 +126,44 @@ fn placement_sweep_labels_variants_stably() {
 }
 
 #[test]
+fn fair_sharing_sweeps_agree_with_per_point_estimates() {
+    let model = presets::megatron("1.7B");
+    let cluster = ClusterSpec::aws_p4d(32);
+    let candidates = grid(&model, &cluster, 16);
+    assert!(candidates.len() > 10, "grid too small to be meaningful");
+
+    // `Sweep::on` inherits the estimator's backend, so every point of a
+    // fair-sharing sweep must equal the same estimator's ad-hoc answer.
+    let estimator =
+        Estimator::builder(cluster.clone()).network(NetworkBackend::FairSharing).build();
+    assert_eq!(estimator.network(), NetworkBackend::FairSharing);
+    let outcome = Sweep::on(&estimator, &model)
+        .candidates(candidates.clone())
+        .threads(2)
+        .run()
+        .into_outcome();
+    assert_eq!(outcome.points.len(), candidates.len() - outcome.stats.pruned as usize);
+    for point in &outcome.points {
+        let solo = estimator.estimate(&model, &point.plan).unwrap();
+        assert_eq!(
+            point.estimate.iteration_time, solo.iteration_time,
+            "sweep point {} must match the ad-hoc fair-sharing estimate",
+            point.plan
+        );
+        assert_eq!(point.estimate.utilization.to_bits(), solo.utilization.to_bits());
+    }
+
+    // The contention replay is deterministic across the threaded executor.
+    let again = Sweep::over(&model, &cluster)
+        .candidates(candidates)
+        .network(NetworkBackend::FairSharing)
+        .threads(4)
+        .run()
+        .into_outcome();
+    assert_eq!(grid_json(&outcome.points), grid_json(&again.points));
+}
+
+#[test]
 fn builder_axes_match_explicitly_configured_estimators() {
     let model = presets::megatron("1.7B");
     let cluster = ClusterSpec::aws_p4d(32);
